@@ -1,0 +1,67 @@
+//! Criterion bench for Table 1 (main results): end-to-end synthesis time on
+//! representative textbook benchmarks.
+//!
+//! The full 20-benchmark sweep (including the application-scale ones) is
+//! produced by the `experiments` binary; Criterion runs here are kept to the
+//! benchmarks that complete in well under a second per iteration so the
+//! statistics are meaningful.
+
+use bench::{config_for, run_table1};
+use benchmarks::benchmark_by_name;
+use criterion::{criterion_group, criterion_main, Criterion};
+use migrator::SketchSolverKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_synthesis");
+    group.sample_size(10);
+    for name in ["Ambler-4", "Oracle-1", "Ambler-1", "Ambler-7"] {
+        let benchmark = benchmark_by_name(name).expect("benchmark exists");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+                assert!(row.succeeded);
+                row
+            })
+        });
+    }
+    group.finish();
+
+    // Pipeline-stage micro-benchmarks on the motivating example.
+    let mut stages = c.benchmark_group("table1_stages");
+    stages.sample_size(20);
+    let benchmark = benchmark_by_name("Ambler-1").expect("benchmark exists");
+    let config = config_for(&benchmark, SketchSolverKind::MfiGuided);
+    stages.bench_function("value_correspondence", |b| {
+        b.iter(|| {
+            let mut enumerator = migrator::value_corr::VcEnumerator::new(
+                &benchmark.source_program,
+                &benchmark.source_schema,
+                &benchmark.target_schema,
+                &config.vc,
+            );
+            enumerator.next_correspondence().expect("a correspondence exists")
+        })
+    });
+    stages.bench_function("sketch_generation", |b| {
+        let mut enumerator = migrator::value_corr::VcEnumerator::new(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &benchmark.target_schema,
+            &config.vc,
+        );
+        let phi = enumerator.next_correspondence().unwrap();
+        b.iter(|| {
+            migrator::sketch_gen::generate_sketch(
+                &benchmark.source_program,
+                &phi,
+                &benchmark.target_schema,
+                &config.sketch,
+            )
+            .expect("sketch exists")
+        })
+    });
+    stages.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench for Table 2 (comparison with the Sketch tool): the
+//! MFI-guided solver against the CEGIS-style enumerator on sketches where
+//! both terminate quickly. The qualitative result of Table 2 — the
+//! CEGIS-style solver times out on larger sketches — is reproduced by the
+//! `experiments table2` command; here we measure the two solvers on a small
+//! sketch where both finish, so the per-candidate overhead is visible.
+
+use benchmarks::benchmark_by_name;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbir::equiv::TestConfig;
+use migrator::baselines::{solve_cegis, CegisConfig};
+use migrator::completion::{complete_sketch, BlockingStrategy};
+use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
+use migrator::value_corr::{VcConfig, VcEnumerator};
+
+fn bench_table2(c: &mut Criterion) {
+    let benchmark = benchmark_by_name("Ambler-4").expect("benchmark exists");
+    let mut enumerator = VcEnumerator::new(
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+        &VcConfig::default(),
+    );
+    let phi = enumerator.next_correspondence().unwrap();
+    let sketch = generate_sketch(
+        &benchmark.source_program,
+        &phi,
+        &benchmark.target_schema,
+        &SketchGenConfig::default(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("table2_sketch_solvers");
+    group.sample_size(10);
+    group.bench_function("mfi_guided", |b| {
+        b.iter(|| {
+            let outcome = complete_sketch(
+                &sketch,
+                &benchmark.source_program,
+                &benchmark.source_schema,
+                &benchmark.target_schema,
+                &TestConfig::default(),
+                &TestConfig::default(),
+                BlockingStrategy::MinimumFailingInput,
+                0,
+            );
+            assert!(outcome.program.is_some());
+            outcome
+        })
+    });
+    group.bench_function("cegis_style", |b| {
+        b.iter(|| {
+            let outcome = solve_cegis(
+                &sketch,
+                &benchmark.source_program,
+                &benchmark.source_schema,
+                &benchmark.target_schema,
+                &CegisConfig::default(),
+            );
+            assert!(outcome.program.is_some());
+            outcome
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

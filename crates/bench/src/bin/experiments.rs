@@ -1,0 +1,255 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! experiments table1 [--textbook-only] [--only <name>]
+//! experiments table2 [--textbook-only] [--budget-secs <n>]
+//! experiments table3 [--textbook-only] [--cap <iterations>]
+//! experiments all    [--textbook-only]
+//! ```
+//!
+//! Each command prints a Markdown table with the measured numbers next to
+//! the numbers the paper reports, so EXPERIMENTS.md can be updated by
+//! copying the output.
+
+use std::time::{Duration, Instant};
+
+use bench::{cegis_config_for, config_for, run_table1};
+use benchmarks::{all_benchmarks, textbook_benchmarks, Benchmark};
+use migrator::baselines::solve_cegis;
+use migrator::sketch_gen::generate_sketch;
+use migrator::value_corr::VcEnumerator;
+use migrator::{SketchSolverKind, Synthesizer};
+
+#[derive(Debug)]
+struct Options {
+    command: String,
+    textbook_only: bool,
+    only: Option<String>,
+    budget_secs: u64,
+    cap: usize,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut options = Options {
+        command,
+        textbook_only: false,
+        only: None,
+        budget_secs: 20,
+        cap: 100_000,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--textbook-only" => options.textbook_only = true,
+            "--only" => options.only = args.next(),
+            "--budget-secs" => {
+                options.budget_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(options.budget_secs)
+            }
+            "--cap" => {
+                options.cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(options.cap)
+            }
+            other => eprintln!("ignoring unknown argument `{other}`"),
+        }
+    }
+    options
+}
+
+fn selected_benchmarks(options: &Options) -> Vec<Benchmark> {
+    let pool = if options.textbook_only {
+        textbook_benchmarks()
+    } else {
+        all_benchmarks()
+    };
+    match &options.only {
+        Some(name) => pool
+            .into_iter()
+            .filter(|b| b.name.eq_ignore_ascii_case(name))
+            .collect(),
+        None => pool,
+    }
+}
+
+fn table1(options: &Options) {
+    println!("## Table 1 — main results (measured vs. paper)\n");
+    println!(
+        "| Benchmark | Funcs | Value Corr (paper) | Iters (paper) | Synth s (paper) | Total s (paper) | OK |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for benchmark in selected_benchmarks(options) {
+        let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        println!(
+            "| {} | {} | {} ({}) | {} ({}) | {:.1} ({:.1}) | {:.1} ({:.1}) | {} |",
+            row.name,
+            benchmark.paper.funcs,
+            row.value_corr,
+            benchmark.paper.value_corr,
+            row.iters,
+            benchmark.paper.iters,
+            row.synth_time,
+            benchmark.paper.synth_time_secs,
+            row.total_time,
+            benchmark.paper.total_time_secs,
+            if row.succeeded { "yes" } else { "NO" },
+        );
+    }
+    println!();
+}
+
+fn table2(options: &Options) {
+    let budget = Duration::from_secs(options.budget_secs);
+    println!(
+        "## Table 2 — comparison with a CEGIS-style solver (budget {}s per benchmark)\n",
+        options.budget_secs
+    );
+    println!("| Benchmark | Migrator synth s | CEGIS-style s | Speedup | Paper (Sketch s) |");
+    println!("|---|---|---|---|---|");
+    for benchmark in selected_benchmarks(options) {
+        let migrator_row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        // Run the CEGIS baseline on the sketches produced by the same
+        // correspondence enumeration (the space the Sketch encoding covers).
+        let config = config_for(&benchmark, SketchSolverKind::MfiGuided);
+        let mut enumerator = VcEnumerator::new(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &benchmark.target_schema,
+            &config.vc,
+        );
+        let start = Instant::now();
+        let mut cegis_result = None;
+        while let Some(phi) = enumerator.next_correspondence() {
+            if start.elapsed() > budget {
+                break;
+            }
+            let Some(sketch) = generate_sketch(
+                &benchmark.source_program,
+                &phi,
+                &benchmark.target_schema,
+                &config.sketch,
+            ) else {
+                continue;
+            };
+            let remaining = budget.saturating_sub(start.elapsed());
+            let outcome = solve_cegis(
+                &sketch,
+                &benchmark.source_program,
+                &benchmark.source_schema,
+                &benchmark.target_schema,
+                &cegis_config_for(&benchmark, remaining),
+            );
+            if outcome.program.is_some() {
+                cegis_result = Some(start.elapsed());
+                break;
+            }
+            if outcome.timed_out {
+                break;
+            }
+        }
+        let (cegis_text, speedup_text) = match cegis_result {
+            Some(elapsed) => (
+                format!("{:.1}", elapsed.as_secs_f64()),
+                format!(
+                    "{:.1}x",
+                    elapsed.as_secs_f64() / migrator_row.synth_time.max(1e-3)
+                ),
+            ),
+            None => (
+                format!(">{:.1}", budget.as_secs_f64()),
+                format!(
+                    ">{:.1}x",
+                    budget.as_secs_f64() / migrator_row.synth_time.max(1e-3)
+                ),
+            ),
+        };
+        let paper = benchmark
+            .paper
+            .sketch_time_secs
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| ">86400".to_string());
+        println!(
+            "| {} | {:.1} | {} | {} | {} |",
+            benchmark.name, migrator_row.synth_time, cegis_text, speedup_text, paper
+        );
+    }
+    println!();
+}
+
+fn table3(options: &Options) {
+    println!(
+        "## Table 3 — comparison with symbolic enumerative search (cap {} candidates)\n",
+        options.cap
+    );
+    println!("| Benchmark | MFI iters | Enum iters (paper) | MFI synth s | Enum synth s (paper) |");
+    println!("|---|---|---|---|---|");
+    for benchmark in selected_benchmarks(options) {
+        let mfi_row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+
+        // Enumerative baseline: same pipeline with full-model blocking and a
+        // candidate cap standing in for the paper's 24-hour timeout.
+        let mut config = config_for(&benchmark, SketchSolverKind::Enumerative);
+        config.max_iterations_per_sketch = options.cap;
+        let start = Instant::now();
+        let result = Synthesizer::new(config).synthesize(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &benchmark.target_schema,
+        );
+        let enum_time = start.elapsed().as_secs_f64();
+        let (enum_iters, enum_time_text) = if result.succeeded() {
+            (
+                format!("{}", result.stats.iterations),
+                format!("{enum_time:.1}"),
+            )
+        } else {
+            (
+                format!(">{}", result.stats.iterations),
+                format!(">{enum_time:.1}"),
+            )
+        };
+        let paper_iters = benchmark
+            .paper
+            .enumerative_iters
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "timeout".to_string());
+        let paper_time = benchmark
+            .paper
+            .enumerative_time_secs
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| ">86400".to_string());
+        println!(
+            "| {} | {} | {} ({}) | {:.1} | {} ({}) |",
+            benchmark.name,
+            mfi_row.iters,
+            enum_iters,
+            paper_iters,
+            mfi_row.synth_time,
+            enum_time_text,
+            paper_time,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let options = parse_args();
+    match options.command.as_str() {
+        "table1" => table1(&options),
+        "table2" => table2(&options),
+        "table3" => table3(&options),
+        "all" => {
+            table1(&options);
+            table2(&options);
+            table3(&options);
+        }
+        other => {
+            eprintln!("unknown command `{other}`; expected table1, table2, table3 or all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared harness code for the experiment binary and the Criterion benches:
+//! per-benchmark synthesis configuration and result-row formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use benchmarks::{Benchmark, Category};
+use dbir::equiv::TestConfig;
+use migrator::baselines::CegisConfig;
+use migrator::{SketchSolverKind, SynthesisConfig, Synthesizer};
+
+/// The synthesis configuration used for a benchmark in the experiments:
+/// textbook benchmarks use the standard configuration; application-scale
+/// benchmarks use a leaner bounded-testing configuration (fewer argument
+/// combinations per function), matching DESIGN.md.
+pub fn config_for(benchmark: &Benchmark, solver: SketchSolverKind) -> SynthesisConfig {
+    let mut config = SynthesisConfig {
+        solver,
+        ..SynthesisConfig::standard()
+    };
+    if benchmark.category == Category::RealWorld {
+        config.testing = TestConfig {
+            max_arg_combinations: Some(4),
+            ..TestConfig::default()
+        };
+        config.verification = TestConfig {
+            max_arg_combinations: Some(4),
+            ..TestConfig::default()
+        };
+    }
+    config
+}
+
+/// The CEGIS (Sketch stand-in) configuration used in Table 2 runs.
+pub fn cegis_config_for(benchmark: &Benchmark, time_limit: Duration) -> CegisConfig {
+    let testing = config_for(benchmark, SketchSolverKind::MfiGuided).testing;
+    CegisConfig {
+        max_candidates: 0,
+        time_limit,
+        testing,
+    }
+}
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether synthesis succeeded.
+    pub succeeded: bool,
+    /// Value correspondences considered.
+    pub value_corr: usize,
+    /// Candidate programs explored.
+    pub iters: usize,
+    /// Synthesis time (seconds).
+    pub synth_time: f64,
+    /// Total time including verification (seconds).
+    pub total_time: f64,
+}
+
+/// Runs the full synthesis pipeline on a benchmark and returns the measured
+/// Table 1 row.
+pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row {
+    let synthesizer = Synthesizer::new(config_for(benchmark, solver));
+    let result = synthesizer.synthesize(
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+    );
+    Table1Row {
+        name: benchmark.name.clone(),
+        succeeded: result.succeeded(),
+        value_corr: result.stats.value_correspondences,
+        iters: result.stats.iterations,
+        synth_time: result.stats.synthesis_time.as_secs_f64(),
+        total_time: result.stats.total_time().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use benchmarks::benchmark_by_name;
+
+    #[test]
+    fn real_world_benchmarks_get_leaner_testing_configs() {
+        let textbook = benchmark_by_name("Ambler-4").unwrap();
+        let realworld = benchmark_by_name("coachup").unwrap();
+        let textbook_config = config_for(&textbook, SketchSolverKind::MfiGuided);
+        let realworld_config = config_for(&realworld, SketchSolverKind::MfiGuided);
+        assert!(
+            realworld_config.testing.max_arg_combinations.unwrap()
+                < textbook_config.testing.max_arg_combinations.unwrap()
+        );
+    }
+
+    #[test]
+    fn table1_row_for_the_smallest_benchmark() {
+        let benchmark = benchmark_by_name("Ambler-4").unwrap();
+        let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        assert!(row.succeeded);
+        assert!(row.value_corr >= 1);
+        assert!(row.total_time >= row.synth_time);
+    }
+}

@@ -1,0 +1,833 @@
+//! The ten real-world benchmarks, shaped after the Ruby-on-Rails
+//! applications used in the paper's evaluation.
+//!
+//! The original GitHub applications are not redistributable, so each
+//! benchmark is produced by a deterministic generator that builds an
+//! application-scale schema (entity tables with realistic column names), a
+//! CRUD-style source program with the published number of functions, and a
+//! target schema obtained by applying the refactoring the paper describes
+//! for that application (splitting tables, renaming attributes or tables,
+//! adding, moving or dropping attributes, merging tables).
+
+use dbir::ast::{Function, Program};
+use dbir::builder::ProgramBuilder;
+use dbir::schema::{QualifiedAttr, Schema, TableDef, TableName};
+use dbir::value::DataType;
+
+use crate::util::join_insert_function;
+use crate::{Benchmark, Category, PaperNumbers};
+
+/// A single refactoring step applied to the generated source schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Refactoring {
+    /// Move the last `moved` data attributes of `table` into a new
+    /// `<Table>Detail` table linked by the entity's key column.
+    Split {
+        /// Index of the refactored table.
+        table: usize,
+        /// Number of data attributes moved to the new detail table.
+        moved: usize,
+    },
+    /// Rename the first `count` data attributes of `table` in the target
+    /// schema (a `_v2` suffix is appended).
+    RenameAttrs {
+        /// Index of the refactored table.
+        table: usize,
+        /// Number of attributes renamed.
+        count: usize,
+    },
+    /// Rename `table` itself in the target schema (a `V2` suffix).
+    RenameTable {
+        /// Index of the renamed table.
+        table: usize,
+    },
+    /// Add `count` new (unreferenced) attributes to `table` in the target.
+    AddAttrs {
+        /// Index of the extended table.
+        table: usize,
+        /// Number of attributes added.
+        count: usize,
+    },
+    /// Move the last `count` data attributes of the pair's first table to
+    /// its partner (tables `pair` and `pair + 1` are one-to-one linked and
+    /// share an insert function).
+    MoveAttrs {
+        /// Index of the first table of the linked pair.
+        pair: usize,
+        /// Number of attributes moved.
+        count: usize,
+    },
+    /// Merge table `pair + 1` into table `pair` (the pair is one-to-one
+    /// linked and shares an insert function).
+    Merge {
+        /// Index of the first table of the linked pair.
+        pair: usize,
+    },
+    /// Drop the last `count` data attributes of `table` in the target
+    /// schema; the generator keeps those attributes out of the source
+    /// program so an equivalent target program still exists.
+    DropAttrs {
+        /// Index of the refactored table.
+        table: usize,
+        /// Number of attributes dropped.
+        count: usize,
+    },
+}
+
+/// The specification of one generated real-world benchmark.
+#[derive(Debug, Clone)]
+pub struct RealWorldSpec {
+    /// Benchmark name (as in Table 1).
+    pub name: &'static str,
+    /// The paper's description of the refactoring.
+    pub description: &'static str,
+    /// Number of entity tables in the source schema.
+    pub tables: usize,
+    /// Total number of attributes in the source schema.
+    pub attrs: usize,
+    /// Number of functions to generate.
+    pub funcs: usize,
+    /// Tables that form one-to-one linked pairs `(i, i + 1)`; required by
+    /// [`Refactoring::MoveAttrs`] and [`Refactoring::Merge`].
+    pub pairs: Vec<usize>,
+    /// The refactoring steps applied to obtain the target schema.
+    pub refactoring: Vec<Refactoring>,
+    /// The paper's numbers for this benchmark.
+    pub paper: PaperNumbers,
+}
+
+/// Realistic entity names used for generated tables.
+const ENTITY_NAMES: &[&str] = &[
+    "User", "Post", "Comment", "Photo", "Album", "Order", "Product", "Cart", "Review", "Tag",
+    "Category", "Invoice", "Payment", "Shipment", "Address", "Profile", "Session", "Message",
+    "Thread", "Event", "Ticket", "Venue", "Lesson", "Course", "Problem", "Topic", "Group",
+    "Member", "Project", "Task",
+];
+
+/// Realistic column-name stems used for generated data attributes.
+const FIELD_NAMES: &[&str] = &[
+    "name", "title", "body", "email", "status", "price", "quantity", "rating", "notes", "code",
+    "label", "phone", "city", "street", "level", "count", "info", "detail", "summary", "kind",
+];
+
+fn entity_name(index: usize) -> String {
+    let base = ENTITY_NAMES[index % ENTITY_NAMES.len()];
+    if index < ENTITY_NAMES.len() {
+        base.to_string()
+    } else {
+        format!("{base}{}", index / ENTITY_NAMES.len() + 1)
+    }
+}
+
+fn key_column(entity: &str) -> String {
+    format!("{}_id", entity.to_ascii_lowercase())
+}
+
+fn field_name(entity: &str, index: usize) -> String {
+    let stem = FIELD_NAMES[index % FIELD_NAMES.len()];
+    if index < FIELD_NAMES.len() {
+        format!("{}_{stem}", entity.to_ascii_lowercase())
+    } else {
+        format!("{}_{stem}{}", entity.to_ascii_lowercase(), index / FIELD_NAMES.len())
+    }
+}
+
+fn field_type(index: usize) -> DataType {
+    // A deterministic mix: mostly strings with some integers.
+    if index % 3 == 2 {
+        DataType::Int
+    } else {
+        DataType::String
+    }
+}
+
+/// Builds the source schema: `tables` entity tables sharing `attrs`
+/// attributes in total (each table gets a key column plus its share of data
+/// columns). Paired tables share their partner's key column so they can be
+/// joined and inserted together.
+fn build_source_schema(spec: &RealWorldSpec) -> Schema {
+    let mut schema = Schema::new();
+    let data_attrs = spec.attrs.saturating_sub(spec.tables);
+    // Paired partner tables additionally carry the pair's key column, which
+    // counts toward the attribute budget.
+    let extra_link_columns = spec.pairs.len();
+    let data_attrs = data_attrs.saturating_sub(extra_link_columns);
+    let base = data_attrs / spec.tables;
+    let remainder = data_attrs % spec.tables;
+    // Partners of a pair merged away by the refactoring are keyed by the
+    // pair's link column (they are one-to-one extensions of the pair table);
+    // every other table is keyed by its own id.
+    let merge_partners: Vec<usize> = spec
+        .refactoring
+        .iter()
+        .filter_map(|step| match step {
+            Refactoring::Merge { pair } => Some(pair + 1),
+            _ => None,
+        })
+        .collect();
+    for index in 0..spec.tables {
+        let entity = entity_name(index);
+        let mut columns: Vec<(String, DataType)> = vec![(key_column(&entity), DataType::Int)];
+        let mut primary_key = key_column(&entity);
+        if spec.pairs.contains(&index.wrapping_sub(1)) {
+            // Partner of a pair: carries the pair's key column as a link.
+            let partner = entity_name(index - 1);
+            columns.push((key_column(&partner), DataType::Int));
+            if merge_partners.contains(&index) {
+                primary_key = key_column(&partner);
+            }
+        }
+        let count = base + usize::from(index < remainder);
+        for attr_index in 0..count {
+            columns.push((field_name(&entity, attr_index), field_type(attr_index)));
+        }
+        schema
+            .add_table(TableDef::new(entity, columns).with_primary_key(primary_key))
+            .expect("generated tables are unique");
+    }
+    schema
+}
+
+/// Applies the refactoring steps to the source schema to obtain the target
+/// schema.
+fn build_target_schema(spec: &RealWorldSpec, source: &Schema) -> Schema {
+    // Work on a mutable copy of the table definitions.
+    let mut tables: Vec<TableDef> = source.tables().to_vec();
+    for step in &spec.refactoring {
+        match step {
+            Refactoring::Split { table, moved } => {
+                let entity = tables[*table].name.clone();
+                let key = tables[*table].columns[0].clone();
+                let total = tables[*table].columns.len();
+                let moved = (*moved).min(total.saturating_sub(2));
+                let split_off: Vec<_> = tables[*table].columns.split_off(total - moved);
+                let mut detail_columns = vec![key.clone()];
+                detail_columns.extend(split_off);
+                tables.push(TableDef {
+                    name: TableName::new(format!("{entity}Detail")),
+                    columns: detail_columns,
+                    primary_key: Some(key.name),
+                });
+            }
+            Refactoring::RenameAttrs { table, count } => {
+                let columns = &mut tables[*table].columns;
+                for column in columns.iter_mut().skip(1).take(*count) {
+                    column.name = format!("{}_v2", column.name).into();
+                }
+            }
+            Refactoring::RenameTable { table } => {
+                let old = tables[*table].name.clone();
+                tables[*table].name = TableName::new(format!("{old}V2"));
+            }
+            Refactoring::AddAttrs { table, count } => {
+                let entity = tables[*table].name.clone();
+                for i in 0..*count {
+                    tables[*table].columns.push(dbir::schema::ColumnDef {
+                        name: format!("extra_{}_{i}", entity.as_str().to_ascii_lowercase()).into(),
+                        ty: DataType::String,
+                    });
+                }
+            }
+            Refactoring::MoveAttrs { pair, count } => {
+                let total = tables[*pair].columns.len();
+                let count = (*count).min(total.saturating_sub(2));
+                let moved: Vec<_> = tables[*pair].columns.split_off(total - count);
+                tables[*pair + 1].columns.extend(moved);
+            }
+            Refactoring::Merge { pair } => {
+                let absorbed = tables.remove(*pair + 1);
+                // Drop the redundant link column (the pair's key already
+                // lives in the surviving table); keep the absorbed table's
+                // own key and data columns.
+                let keep: Vec<_> = absorbed
+                    .columns
+                    .into_iter()
+                    .filter(|c| c.name.as_str() != key_column(tables[*pair].name.as_str()))
+                    .collect();
+                tables[*pair].columns.extend(keep);
+            }
+            Refactoring::DropAttrs { table, count } => {
+                let len = tables[*table].columns.len();
+                tables[*table].columns.truncate(len.saturating_sub(*count));
+            }
+        }
+    }
+    let mut schema = Schema::new();
+    for table in tables {
+        schema
+            .add_table(table)
+            .expect("refactored tables remain unique");
+    }
+    schema
+}
+
+/// The columns of `table` that the source program may reference: dropped
+/// attributes (from [`Refactoring::DropAttrs`]) are excluded so an
+/// equivalent target program exists.
+fn usable_data_columns(spec: &RealWorldSpec, schema: &Schema, table_index: usize) -> Vec<String> {
+    let table = &schema.tables()[table_index];
+    let dropped: usize = spec
+        .refactoring
+        .iter()
+        .filter_map(|step| match step {
+            Refactoring::DropAttrs { table, count } if *table == table_index => Some(*count),
+            _ => None,
+        })
+        .sum();
+    let keep = table.columns.len().saturating_sub(dropped);
+    table.columns[..keep]
+        .iter()
+        .skip(1)
+        .filter(|c| !c.name.as_str().ends_with("_id"))
+        .map(|c| c.name.as_str().to_string())
+        .collect()
+}
+
+/// Generates the CRUD-style source program with exactly `spec.funcs`
+/// functions.
+fn build_source_program(spec: &RealWorldSpec, schema: &Schema) -> Program {
+    let mut functions: Vec<Function> = Vec::new();
+    let paired_partner: Vec<usize> = spec.pairs.iter().map(|&p| p + 1).collect();
+    // Tables whose pair is merged away by the refactoring: their rows cannot
+    // be deleted independently in the target schema, so the source program
+    // deletes the linked pair together (the usual cascade-delete idiom).
+    let merge_pairs: Vec<usize> = spec
+        .refactoring
+        .iter()
+        .filter_map(|step| match step {
+            Refactoring::Merge { pair } => Some(*pair),
+            _ => None,
+        })
+        .collect();
+    let merge_involved = |table_index: usize| {
+        merge_pairs.contains(&table_index)
+            || (table_index > 0 && merge_pairs.contains(&(table_index - 1)))
+    };
+
+    // Menu rounds: each round adds one function per entity (where
+    // applicable) until the function budget is reached.
+    'outer: for round in 0..12 {
+        for table_index in 0..spec.tables {
+            if functions.len() >= spec.funcs {
+                break 'outer;
+            }
+            let table = &schema.tables()[table_index];
+            let entity = table.name.as_str().to_string();
+            let key = key_column(&entity);
+            let data = usable_data_columns(spec, schema, table_index);
+            let function: Option<Function> = match round {
+                // Round 0: insert. Pair-first tables get a combined insert;
+                // partner tables are inserted through their pair.
+                0 => {
+                    if spec.pairs.contains(&table_index) {
+                        let partner = entity_name(table_index + 1);
+                        let dropped: Vec<QualifiedAttr> = dropped_attrs(spec, schema);
+                        Some(join_insert_function(
+                            schema,
+                            &format!("add{entity}"),
+                            &[entity.as_str(), partner.as_str()],
+                            &dropped,
+                        ))
+                    } else if paired_partner.contains(&table_index) {
+                        None
+                    } else {
+                        let dropped: Vec<QualifiedAttr> = dropped_attrs(spec, schema);
+                        Some(join_insert_function(
+                            schema,
+                            &format!("add{entity}"),
+                            &[entity.as_str()],
+                            &dropped,
+                        ))
+                    }
+                }
+                // Round 1: primary getter.
+                1 => {
+                    let projected: Vec<&str> =
+                        data.iter().take(2).map(String::as_str).collect();
+                    if projected.is_empty() {
+                        None
+                    } else {
+                        single_function(schema, |b| {
+                            b.select_by(&format!("get{entity}"), &entity, &key, &projected)
+                                .map(|_| ())
+                        })
+                    }
+                }
+                // Round 2: delete by key. Tables merged away by the
+                // refactoring are deleted together with their pair.
+                2 => {
+                    if merge_involved(table_index) {
+                        let pair_first = if merge_pairs.contains(&table_index) {
+                            table_index
+                        } else {
+                            table_index - 1
+                        };
+                        Some(pair_delete_function(
+                            schema,
+                            &format!("delete{entity}"),
+                            pair_first,
+                            (&entity, &key),
+                        ))
+                    } else {
+                        single_function(schema, |b| {
+                            b.delete_by(&format!("delete{entity}"), &entity, &key)
+                                .map(|_| ())
+                        })
+                    }
+                }
+                // Round 3: update the first data attribute.
+                3 => data.first().and_then(|attr| {
+                    single_function(schema, |b| {
+                        b.update_by(&format!("update{entity}{}", camel(attr)), &entity, &key, attr)
+                            .map(|_| ())
+                    })
+                }),
+                // Round 4: secondary getter.
+                4 => {
+                    let projected: Vec<&str> =
+                        data.iter().skip(2).take(2).map(String::as_str).collect();
+                    if projected.is_empty() {
+                        None
+                    } else {
+                        single_function(schema, |b| {
+                            b.select_by(&format!("get{entity}Detail"), &entity, &key, &projected)
+                                .map(|_| ())
+                        })
+                    }
+                }
+                // Round 5: lookup by the first data attribute.
+                5 => data.first().and_then(|attr| {
+                    single_function(schema, |b| {
+                        b.select_by(&format!("find{entity}By{}", camel(attr)), &entity, attr, &[&key])
+                            .map(|_| ())
+                    })
+                }),
+                // Round 6: update the second data attribute.
+                6 => data.get(1).and_then(|attr| {
+                    single_function(schema, |b| {
+                        b.update_by(&format!("set{entity}{}", camel(attr)), &entity, &key, attr)
+                            .map(|_| ())
+                    })
+                }),
+                // Round 7: wide getter.
+                7 => {
+                    let projected: Vec<&str> =
+                        data.iter().take(4).map(String::as_str).collect();
+                    if projected.len() < 3 {
+                        None
+                    } else {
+                        single_function(schema, |b| {
+                            b.select_by(&format!("get{entity}Full"), &entity, &key, &projected)
+                                .map(|_| ())
+                        })
+                    }
+                }
+                // Round 8: delete by the first data attribute (skipped for
+                // merge-involved tables, whose rows are only deleted in
+                // pairs).
+                8 => {
+                    if merge_involved(table_index) {
+                        None
+                    } else {
+                        data.first().and_then(|attr| {
+                            single_function(schema, |b| {
+                                b.delete_by(
+                                    &format!("delete{entity}By{}", camel(attr)),
+                                    &entity,
+                                    attr,
+                                )
+                                .map(|_| ())
+                            })
+                        })
+                    }
+                }
+                // Round 9: getter over the last usable data attribute.
+                9 => data.last().and_then(|attr| {
+                    single_function(schema, |b| {
+                        b.select_by(&format!("get{entity}{}", camel(attr)), &entity, &key, &[attr])
+                            .map(|_| ())
+                    })
+                }),
+                // Round 10: third update.
+                10 => data.get(2).and_then(|attr| {
+                    single_function(schema, |b| {
+                        b.update_by(&format!("change{entity}{}", camel(attr)), &entity, &key, attr)
+                            .map(|_| ())
+                    })
+                }),
+                // Round 11: lookup of the second data attribute by the first.
+                _ => match (data.first(), data.get(1)) {
+                    (Some(by), Some(get)) => single_function(schema, |b| {
+                        b.select_by(&format!("lookup{entity}{}", camel(get)), &entity, by, &[get])
+                            .map(|_| ())
+                    }),
+                    _ => None,
+                },
+            };
+            if let Some(function) = function {
+                if functions.iter().all(|f| f.name != function.name) {
+                    functions.push(function);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        functions.len(),
+        spec.funcs,
+        "generator for {} produced {} functions instead of {}",
+        spec.name,
+        functions.len(),
+        spec.funcs
+    );
+    Program::new(functions)
+}
+
+/// Builds a delete function that removes the linked rows of a one-to-one
+/// pair together, filtered on the given key attribute.
+fn pair_delete_function(
+    schema: &Schema,
+    name: &str,
+    pair_first: usize,
+    key: (&str, &str),
+) -> Function {
+    let first = entity_name(pair_first);
+    let partner = entity_name(pair_first + 1);
+    let builder = ProgramBuilder::new(schema);
+    let chain = builder
+        .natural_chain(&[first.as_str(), partner.as_str()])
+        .expect("pair tables share the pair key column");
+    let key_attr = QualifiedAttr::new(key.0, key.1);
+    let key_ty = schema
+        .attr_type(&key_attr)
+        .expect("pair key exists in the schema");
+    Function::update(
+        name,
+        vec![dbir::ast::Param::new(key.1, key_ty)],
+        dbir::ast::Update::Delete {
+            tables: vec![TableName::new(first), TableName::new(partner)],
+            join: chain,
+            pred: dbir::ast::Pred::eq_value(key_attr, dbir::ast::Operand::param(key.1)),
+        },
+    )
+}
+
+/// Builds a single function with a fresh [`ProgramBuilder`], returning
+/// `None` if the requested helper is not applicable to the table.
+fn single_function(
+    schema: &Schema,
+    build: impl FnOnce(&mut ProgramBuilder) -> dbir::error::Result<()>,
+) -> Option<Function> {
+    let mut builder = ProgramBuilder::new(schema);
+    if build(&mut builder).is_err() {
+        return None;
+    }
+    let mut program = builder.build().ok()?;
+    if program.functions.is_empty() {
+        None
+    } else {
+        Some(program.functions.remove(0))
+    }
+}
+
+/// The qualified source attributes dropped by the refactoring (these are
+/// kept out of every generated insert).
+fn dropped_attrs(spec: &RealWorldSpec, schema: &Schema) -> Vec<QualifiedAttr> {
+    let mut result = Vec::new();
+    for step in &spec.refactoring {
+        if let Refactoring::DropAttrs { table, count } = step {
+            let def = &schema.tables()[*table];
+            let len = def.columns.len();
+            for column in &def.columns[len.saturating_sub(*count)..] {
+                result.push(QualifiedAttr {
+                    table: def.name.clone(),
+                    attr: column.name.clone(),
+                });
+            }
+        }
+    }
+    result
+}
+
+fn camel(attr: &str) -> String {
+    attr.split('_')
+        .map(|part| {
+            let mut chars = part.chars();
+            match chars.next() {
+                Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Builds the benchmark described by `spec`.
+pub fn build(spec: &RealWorldSpec) -> Benchmark {
+    let source_schema = build_source_schema(spec);
+    let target_schema = build_target_schema(spec, &source_schema);
+    let source_program = build_source_program(spec, &source_schema);
+    Benchmark {
+        name: spec.name.to_string(),
+        description: spec.description.to_string(),
+        category: Category::RealWorld,
+        source_schema,
+        target_schema,
+        source_program,
+        paper: spec.paper.clone(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn paper(
+    funcs: usize,
+    source_tables: usize,
+    source_attrs: usize,
+    target_tables: usize,
+    target_attrs: usize,
+    value_corr: usize,
+    iters: usize,
+    synth_time_secs: f64,
+    total_time_secs: f64,
+    enumerative_iters: Option<usize>,
+    enumerative_time_secs: Option<f64>,
+) -> PaperNumbers {
+    PaperNumbers {
+        funcs,
+        source_tables,
+        source_attrs,
+        target_tables,
+        target_attrs,
+        value_corr,
+        iters,
+        synth_time_secs,
+        total_time_secs,
+        // The Sketch tool timed out on every real-world benchmark (Table 2).
+        sketch_time_secs: None,
+        enumerative_iters,
+        enumerative_time_secs,
+    }
+}
+
+/// The specifications of the ten real-world benchmarks.
+pub fn specs() -> Vec<RealWorldSpec> {
+    vec![
+        RealWorldSpec {
+            name: "cdx",
+            description: "Rename attrs, split tables",
+            tables: 16,
+            attrs: 125,
+            funcs: 138,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::RenameAttrs { table: 1, count: 3 },
+                Refactoring::Split { table: 0, moved: 3 },
+                Refactoring::AddAttrs { table: 2, count: 5 },
+            ],
+            paper: paper(138, 16, 125, 17, 131, 1, 7, 11.9, 38.9, Some(5595), Some(6169.4)),
+        },
+        RealWorldSpec {
+            name: "coachup",
+            description: "Split tables",
+            tables: 4,
+            attrs: 51,
+            funcs: 45,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::Split { table: 0, moved: 4 },
+                Refactoring::AddAttrs { table: 1, count: 3 },
+            ],
+            paper: paper(45, 4, 51, 5, 55, 1, 10, 1.8, 6.7, Some(1303), Some(76.2)),
+        },
+        RealWorldSpec {
+            name: "2030Club",
+            description: "Split tables",
+            tables: 15,
+            attrs: 155,
+            funcs: 125,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::Split { table: 2, moved: 4 },
+                Refactoring::AddAttrs { table: 3, count: 3 },
+            ],
+            paper: paper(125, 15, 155, 16, 159, 1, 2, 5.2, 24.8, Some(2), Some(5.2)),
+        },
+        RealWorldSpec {
+            name: "rails-ecomm",
+            description: "Split tables, add new attrs",
+            tables: 8,
+            attrs: 69,
+            funcs: 65,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::Split { table: 1, moved: 3 },
+                Refactoring::AddAttrs { table: 0, count: 5 },
+            ],
+            paper: paper(65, 8, 69, 9, 75, 1, 6, 2.5, 10.3, Some(2779), Some(602.5)),
+        },
+        RealWorldSpec {
+            name: "royk",
+            description: "Add and move attrs",
+            tables: 19,
+            attrs: 152,
+            funcs: 151,
+            pairs: vec![0],
+            refactoring: vec![
+                Refactoring::MoveAttrs { pair: 0, count: 2 },
+                Refactoring::AddAttrs { table: 2, count: 3 },
+            ],
+            paper: paper(151, 19, 152, 19, 155, 1, 17, 46.1, 60.1, None, None),
+        },
+        RealWorldSpec {
+            name: "MathHotSpot",
+            description: "Rename tables, move attrs",
+            tables: 7,
+            attrs: 38,
+            funcs: 54,
+            pairs: vec![2],
+            refactoring: vec![
+                Refactoring::RenameTable { table: 0 },
+                Refactoring::MoveAttrs { pair: 2, count: 2 },
+                Refactoring::Split { table: 1, moved: 2 },
+                Refactoring::AddAttrs { table: 4, count: 3 },
+            ],
+            paper: paper(54, 7, 38, 8, 42, 6, 11, 1.2, 5.8, Some(115), Some(5.3)),
+        },
+        RealWorldSpec {
+            name: "gallery",
+            description: "Split tables",
+            tables: 7,
+            attrs: 52,
+            funcs: 58,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::Split { table: 3, moved: 3 },
+                Refactoring::AddAttrs { table: 0, count: 4 },
+            ],
+            paper: paper(58, 7, 52, 8, 57, 1, 11, 2.5, 9.4, Some(21_483), Some(32_266.2)),
+        },
+        RealWorldSpec {
+            name: "DeeJBase",
+            description: "Rename attrs, split tables",
+            tables: 10,
+            attrs: 92,
+            funcs: 70,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::RenameAttrs { table: 4, count: 2 },
+                Refactoring::Split { table: 1, moved: 3 },
+                Refactoring::AddAttrs { table: 5, count: 4 },
+            ],
+            paper: paper(70, 10, 92, 11, 97, 1, 8, 3.5, 9.3, Some(605), Some(142.8)),
+        },
+        RealWorldSpec {
+            name: "visible-closet",
+            description: "Split tables",
+            tables: 26,
+            attrs: 248,
+            funcs: 263,
+            pairs: vec![],
+            refactoring: vec![
+                Refactoring::Split { table: 0, moved: 4 },
+                Refactoring::AddAttrs { table: 1, count: 3 },
+            ],
+            paper: paper(263, 26, 248, 27, 252, 1, 108, 1304.7, 1370.8, None, None),
+        },
+        RealWorldSpec {
+            name: "probable-engine",
+            description: "Merge tables",
+            tables: 12,
+            attrs: 83,
+            funcs: 85,
+            pairs: vec![4],
+            refactoring: vec![
+                Refactoring::DropAttrs { table: 5, count: 4 },
+                Refactoring::Merge { pair: 4 },
+            ],
+            paper: paper(85, 12, 83, 11, 78, 1, 9, 4.6, 17.5, Some(1661), Some(540.3)),
+        },
+    ]
+}
+
+/// All ten real-world benchmarks, in the order of Table 1.
+pub fn all() -> Vec<Benchmark> {
+    specs().iter().map(build).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbir::equiv::{compare_programs, TestConfig};
+
+    #[test]
+    fn generated_schemas_have_expected_table_counts() {
+        for benchmark in all() {
+            assert_eq!(
+                benchmark.source_schema.table_count(),
+                benchmark.paper.source_tables,
+                "{}",
+                benchmark.name
+            );
+            assert_eq!(
+                benchmark.target_schema.table_count(),
+                benchmark.paper.target_tables,
+                "{}",
+                benchmark.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_programs_have_exact_function_counts() {
+        for benchmark in all() {
+            assert_eq!(
+                benchmark.source_program.functions.len(),
+                benchmark.paper.funcs,
+                "{}",
+                benchmark.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for benchmark in all() {
+            benchmark
+                .source_program
+                .validate(&benchmark.source_schema)
+                .unwrap_or_else(|e| panic!("{}: {e}", benchmark.name));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let first = build(&specs()[1]);
+        let second = build(&specs()[1]);
+        assert_eq!(first.source_schema, second.source_schema);
+        assert_eq!(first.target_schema, second.target_schema);
+        assert_eq!(first.source_program, second.source_program);
+    }
+
+    #[test]
+    fn source_programs_are_self_equivalent() {
+        // Smoke-test the generated programs by running them against
+        // themselves with a shallow bound (catches ill-typed CRUD helpers).
+        let benchmark = build(&specs()[1]);
+        let report = compare_programs(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &TestConfig {
+                max_updates: 1,
+                max_arg_combinations: Some(2),
+                ..TestConfig::default()
+            },
+        );
+        assert!(report.equivalent);
+    }
+
+    #[test]
+    fn camel_case_helper() {
+        assert_eq!(camel("user_email"), "UserEmail");
+        assert_eq!(camel("name"), "Name");
+    }
+}

@@ -1,0 +1,573 @@
+//! The ten textbook benchmarks (Oracle-1/2 and Ambler-1..8).
+//!
+//! Each scenario is re-created from its description in Table 1 of the
+//! paper: the refactoring kind, the number of functions and the source /
+//! target table and attribute counts all match the published metadata.
+//! Where the original programs are not available, the function bodies are
+//! natural CRUD-style operations for the schema in question.
+
+use crate::util::{join_insert_function, parse_program, parse_schema};
+use crate::{Benchmark, Category, PaperNumbers};
+use dbir::schema::QualifiedAttr;
+use dbir::Program;
+
+#[allow(clippy::too_many_arguments)]
+fn paper(
+    funcs: usize,
+    source_tables: usize,
+    source_attrs: usize,
+    target_tables: usize,
+    target_attrs: usize,
+    value_corr: usize,
+    iters: usize,
+    synth_time_secs: f64,
+    total_time_secs: f64,
+    sketch_time_secs: Option<f64>,
+    enumerative_iters: Option<usize>,
+    enumerative_time_secs: Option<f64>,
+) -> PaperNumbers {
+    PaperNumbers {
+        funcs,
+        source_tables,
+        source_attrs,
+        target_tables,
+        target_attrs,
+        value_corr,
+        iters,
+        synth_time_secs,
+        total_time_secs,
+        sketch_time_secs,
+        enumerative_iters,
+        enumerative_time_secs,
+    }
+}
+
+fn benchmark(
+    name: &str,
+    description: &str,
+    source_schema_text: &str,
+    target_schema_text: &str,
+    program: impl FnOnce(&dbir::Schema) -> Program,
+    numbers: PaperNumbers,
+) -> Benchmark {
+    let source_schema = parse_schema(name, source_schema_text);
+    let target_schema = parse_schema(name, target_schema_text);
+    let source_program = program(&source_schema);
+    Benchmark {
+        name: name.to_string(),
+        description: description.to_string(),
+        category: Category::Textbook,
+        source_schema,
+        target_schema,
+        source_program,
+        paper: numbers,
+    }
+}
+
+/// Oracle-1: merge a customer table and its address table into one table.
+///
+/// The `addCustomer` function is upsert-style (delete any existing row for
+/// the key, then insert): merge refactorings are only behaviour-preserving
+/// when the join key stays unique, and this is how the application
+/// maintains that invariant.
+pub fn oracle_1() -> Benchmark {
+    benchmark(
+        "Oracle-1",
+        "Merge tables",
+        "Customer(cid: int, name: string, email: string)\n\
+         CustomerAddress(cid: int, street: string, city: string, zip: string, country: string)",
+        "Customer(cid: int, name: string, email: string, street: string, city: string, zip: string)",
+        |schema| {
+            parse_program(
+                "Oracle-1",
+                r#"
+                update addCustomer(cid: int, name: string, email: string, street: string, city: string, zip: string)
+                    DELETE Customer, CustomerAddress FROM Customer JOIN CustomerAddress
+                        WHERE Customer.cid = cid;
+                    INSERT INTO Customer JOIN CustomerAddress VALUES (
+                        Customer.cid: cid, name: name, email: email,
+                        street: street, city: city, zip: zip);
+                update deleteCustomer(cid: int)
+                    DELETE Customer, CustomerAddress FROM Customer JOIN CustomerAddress
+                    WHERE Customer.cid = cid;
+                query getCustomerContact(cid: int)
+                    SELECT name, email FROM Customer WHERE cid = cid;
+                query getCustomerAddress(cid: int)
+                    SELECT street, city FROM Customer JOIN CustomerAddress
+                    WHERE Customer.cid = cid;
+                "#,
+                schema,
+            )
+        },
+        paper(4, 2, 8, 1, 6, 1, 1, 0.3, 2.7, Some(88.2), Some(1), Some(0.3)),
+    )
+}
+
+/// Oracle-2: split product, order and customer tables into seven tables.
+pub fn oracle_2() -> Benchmark {
+    benchmark(
+        "Oracle-2",
+        "Split tables",
+        "Product(pk pid: int, pname: string, price: int, descr: string, image: binary, weight: int)\n\
+         Orders(pk oid: int, pid: int, quantity: int, total: int, shipStreet: string, shipCity: string)\n\
+         Customer(pk cid: int, cname: string, email: string, phone: string, street: string)",
+        "Product(pk pid: int, pname: string, price: int, detailId: id)\n\
+         ProductDetail(pk detailId: id, descr: string, image: binary, weight: int)\n\
+         Orders(pk oid: int, pid: int, quantity: int, total: int, shipId: id)\n\
+         Shipment(pk shipId: id, shipStreet: string, shipCity: string)\n\
+         Customer(pk cid: int, cname: string, contactId: id, addrId: id)\n\
+         Contact(pk contactId: id, email: string, phone: string)\n\
+         CustAddr(pk addrId: id, street: string)",
+        |schema| {
+            parse_program(
+                "Oracle-2",
+                r#"
+                update addProduct(pid: int, pname: string, price: int, descr: string, image: binary, weight: int)
+                    INSERT INTO Product VALUES (pid: pid, pname: pname, price: price, descr: descr, image: image, weight: weight);
+                update deleteProduct(pid: int)
+                    DELETE Product FROM Product WHERE pid = pid;
+                query getProduct(pid: int)
+                    SELECT pname, price FROM Product WHERE pid = pid;
+                query getProductDetail(pid: int)
+                    SELECT descr, weight FROM Product WHERE pid = pid;
+                query getProductImage(pid: int)
+                    SELECT image FROM Product WHERE pid = pid;
+                update updatePrice(pid: int, newPrice: int)
+                    UPDATE Product SET price = newPrice WHERE pid = pid;
+                update addOrder(oid: int, pid: int, quantity: int, total: int, shipStreet: string, shipCity: string)
+                    INSERT INTO Orders VALUES (oid: oid, pid: pid, quantity: quantity, total: total, shipStreet: shipStreet, shipCity: shipCity);
+                update deleteOrder(oid: int)
+                    DELETE Orders FROM Orders WHERE oid = oid;
+                query getOrder(oid: int)
+                    SELECT quantity, total FROM Orders WHERE oid = oid;
+                query getShipment(oid: int)
+                    SELECT shipStreet, shipCity FROM Orders WHERE oid = oid;
+                update updateQuantity(oid: int, newQuantity: int)
+                    UPDATE Orders SET quantity = newQuantity WHERE oid = oid;
+                update addCustomer(cid: int, cname: string, email: string, phone: string, street: string)
+                    INSERT INTO Customer VALUES (cid: cid, cname: cname, email: email, phone: phone, street: street);
+                update deleteCustomer(cid: int)
+                    DELETE Customer FROM Customer WHERE cid = cid;
+                query getCustomerName(cid: int)
+                    SELECT cname FROM Customer WHERE cid = cid;
+                query getCustomerContact(cid: int)
+                    SELECT email, phone FROM Customer WHERE cid = cid;
+                query getCustomerStreet(cid: int)
+                    SELECT street FROM Customer WHERE cid = cid;
+                update updateEmail(cid: int, newEmail: string)
+                    UPDATE Customer SET email = newEmail WHERE cid = cid;
+                update updatePhone(cid: int, newPhone: string)
+                    UPDATE Customer SET phone = newPhone WHERE cid = cid;
+                query getCustomerFull(cid: int)
+                    SELECT cname, email, street FROM Customer WHERE cid = cid;
+                "#,
+                schema,
+            )
+        },
+        paper(19, 3, 17, 7, 25, 1, 5, 0.5, 11.3, None, Some(5), Some(0.5)),
+    )
+}
+
+/// Ambler-1: split an employee table into core data and rarely used details.
+pub fn ambler_1() -> Benchmark {
+    benchmark(
+        "Ambler-1",
+        "Split tables",
+        "Employee(pk eid: int, name: string, title: string, salary: int, photo: binary, bio: string)",
+        "Employee(pk eid: int, name: string, title: string, salary: int)\n\
+         EmployeeDetail(pk eid: int, photo: binary, bio: string)",
+        |schema| {
+            parse_program(
+                "Ambler-1",
+                r#"
+                update addEmployee(eid: int, name: string, title: string, salary: int, photo: binary, bio: string)
+                    INSERT INTO Employee VALUES (eid: eid, name: name, title: title, salary: salary, photo: photo, bio: bio);
+                update deleteEmployee(eid: int)
+                    DELETE Employee FROM Employee WHERE eid = eid;
+                query getProfile(eid: int)
+                    SELECT name, title FROM Employee WHERE eid = eid;
+                query getPhoto(eid: int)
+                    SELECT photo FROM Employee WHERE eid = eid;
+                query getBio(eid: int)
+                    SELECT bio FROM Employee WHERE eid = eid;
+                query getSalary(eid: int)
+                    SELECT salary FROM Employee WHERE eid = eid;
+                update updateSalary(eid: int, newSalary: int)
+                    UPDATE Employee SET salary = newSalary WHERE eid = eid;
+                update updateBio(eid: int, newBio: string)
+                    UPDATE Employee SET bio = newBio WHERE eid = eid;
+                query getFullRecord(eid: int)
+                    SELECT name, photo FROM Employee WHERE eid = eid;
+                update deleteByTitle(title: string)
+                    DELETE Employee FROM Employee WHERE title = title;
+                "#,
+                schema,
+            )
+        },
+        paper(10, 1, 6, 2, 7, 1, 2, 0.3, 2.9, Some(3136.5), Some(2), Some(0.3)),
+    )
+}
+
+/// Ambler-2: merge a person table with its contact table.
+pub fn ambler_2() -> Benchmark {
+    benchmark(
+        "Ambler-2",
+        "Merge tables",
+        "Person(pid: int, firstName: string, lastName: string)\n\
+         Contact(pid: int, email: string, phone: string, fax: string)",
+        "Person(pid: int, firstName: string, lastName: string, email: string, phone: string, fax: string)",
+        |schema| {
+            parse_program(
+                "Ambler-2",
+                r#"
+                update addPerson(pid: int, firstName: string, lastName: string, email: string, phone: string, fax: string)
+                    DELETE Person, Contact FROM Person JOIN Contact WHERE Person.pid = pid;
+                    INSERT INTO Person JOIN Contact VALUES (
+                        Person.pid: pid, firstName: firstName, lastName: lastName,
+                        email: email, phone: phone, fax: fax);
+                update deletePerson(pid: int)
+                    DELETE Person, Contact FROM Person JOIN Contact WHERE Person.pid = pid;
+                query getName(pid: int)
+                    SELECT firstName, lastName FROM Person WHERE pid = pid;
+                query getEmail(pid: int)
+                    SELECT email FROM Contact WHERE pid = pid;
+                query getPhone(pid: int)
+                    SELECT phone FROM Contact WHERE pid = pid;
+                query getFax(pid: int)
+                    SELECT fax FROM Contact WHERE pid = pid;
+                update updateEmail(pid: int, newEmail: string)
+                    UPDATE Contact SET email = newEmail WHERE pid = pid;
+                update updatePhone(pid: int, newPhone: string)
+                    UPDATE Contact SET phone = newPhone WHERE pid = pid;
+                query getContactCard(pid: int)
+                    SELECT firstName, email, phone FROM Person JOIN Contact WHERE Person.pid = pid;
+                update deleteByEmail(email: string)
+                    DELETE Person, Contact FROM Person JOIN Contact WHERE email = email;
+                "#,
+                schema,
+            )
+        },
+        paper(10, 2, 7, 1, 6, 1, 1, 0.3, 0.6, Some(71.5), Some(1), Some(0.3)),
+    )
+}
+
+/// Ambler-3: move the preferences attribute from the customer table to the
+/// account table.
+pub fn ambler_3() -> Benchmark {
+    benchmark(
+        "Ambler-3",
+        "Move attrs",
+        "Customer(cid: int, name: string, prefs: string)\n\
+         Account(aid: int, cid: int)",
+        "Customer(cid: int, name: string)\n\
+         Account(aid: int, cid: int, prefs: string)",
+        |schema| {
+            let mut functions = vec![join_insert_function(
+                schema,
+                "addCustomerAccount",
+                &["Customer", "Account"],
+                &[],
+            )];
+            functions.extend(
+                parse_program(
+                    "Ambler-3",
+                    r#"
+                    update deleteCustomer(cid: int)
+                        DELETE Customer, Account FROM Customer JOIN Account WHERE Customer.cid = cid;
+                    query getName(cid: int)
+                        SELECT name FROM Customer WHERE cid = cid;
+                    query getPrefs(cid: int)
+                        SELECT prefs FROM Customer WHERE cid = cid;
+                    update updatePrefs(cid: int, newPrefs: string)
+                        UPDATE Customer SET prefs = newPrefs WHERE cid = cid;
+                    query getAccountOf(cid: int)
+                        SELECT aid FROM Account WHERE cid = cid;
+                    query getCustomerOfAccount(aid: int)
+                        SELECT name FROM Customer JOIN Account WHERE aid = aid;
+                    "#,
+                    schema,
+                )
+                .functions,
+            );
+            Program::new(functions)
+        },
+        paper(7, 2, 5, 2, 5, 2, 5, 0.4, 30.6, Some(74.7), Some(6), Some(0.4)),
+    )
+}
+
+/// Ambler-4: rename an attribute.
+pub fn ambler_4() -> Benchmark {
+    benchmark(
+        "Ambler-4",
+        "Rename attrs",
+        "Member(mid: int, fname: string)",
+        "Member(mid: int, firstName: string)",
+        |schema| {
+            parse_program(
+                "Ambler-4",
+                r#"
+                update addMember(mid: int, fname: string)
+                    INSERT INTO Member VALUES (mid: mid, fname: fname);
+                update deleteMember(mid: int)
+                    DELETE Member FROM Member WHERE mid = mid;
+                query getMember(mid: int)
+                    SELECT fname FROM Member WHERE mid = mid;
+                update updateName(mid: int, newName: string)
+                    UPDATE Member SET fname = newName WHERE mid = mid;
+                query getByName(fname: string)
+                    SELECT mid FROM Member WHERE fname = fname;
+                "#,
+                schema,
+            )
+        },
+        paper(5, 1, 2, 1, 2, 1, 1, 0.3, 0.5, Some(1.6), Some(1), Some(0.3)),
+    )
+}
+
+/// Ambler-5: introduce an associative table for the advisor relationship.
+pub fn ambler_5() -> Benchmark {
+    benchmark(
+        "Ambler-5",
+        "Add associative tables",
+        "Student(pk sid: int, sname: string, advisorId: int)\n\
+         Professor(pk pid: int, pname: string)",
+        "Student(pk sid: int, sname: string)\n\
+         Professor(pk pid: int, pname: string)\n\
+         Advises(pk sid: int, pid: int)",
+        |schema| {
+            parse_program(
+                "Ambler-5",
+                r#"
+                update addStudent(sid: int, sname: string, advisorId: int)
+                    INSERT INTO Student VALUES (sid: sid, sname: sname, advisorId: advisorId);
+                update addProfessor(pid: int, pname: string)
+                    INSERT INTO Professor VALUES (pid: pid, pname: pname);
+                update deleteStudent(sid: int)
+                    DELETE Student FROM Student WHERE sid = sid;
+                update deleteProfessor(pid: int)
+                    DELETE Professor FROM Professor WHERE pid = pid;
+                query getStudentName(sid: int)
+                    SELECT sname FROM Student WHERE sid = sid;
+                query getProfessorName(pid: int)
+                    SELECT pname FROM Professor WHERE pid = pid;
+                query getAdvisorName(sid: int)
+                    SELECT pname FROM Student JOIN Professor ON Student.advisorId = Professor.pid
+                    WHERE sid = sid;
+                query getAdvisees(pid: int)
+                    SELECT sname FROM Student JOIN Professor ON Student.advisorId = Professor.pid
+                    WHERE Professor.pid = pid;
+                "#,
+                schema,
+            )
+        },
+        paper(8, 2, 5, 3, 6, 5, 7, 0.3, 3.1, Some(494.4), Some(11), Some(0.4)),
+    )
+}
+
+/// Ambler-6: replace the natural publisher key with a surrogate key.
+pub fn ambler_6() -> Benchmark {
+    benchmark(
+        "Ambler-6",
+        "Replace keys",
+        "Book(pk bid: int, title: string, author: string, year: int, pubCode: int)\n\
+         Publisher(pk pubCode: int, pname: string, country: string, city: string)",
+        "Book(pk bid: int, title: string, author: string, year: int, pubId: id)\n\
+         Publisher(pk pubId: id, pname: string, country: string)",
+        |schema| {
+            let mut functions = vec![join_insert_function(
+                schema,
+                "addBookWithPublisher",
+                &["Book", "Publisher"],
+                &[QualifiedAttr::new("Publisher", "city")],
+            )];
+            functions.extend(
+                parse_program(
+                    "Ambler-6",
+                    r#"
+                    update deleteBook(bid: int)
+                        DELETE Book FROM Book WHERE bid = bid;
+                    query getBook(bid: int)
+                        SELECT title, author FROM Book WHERE bid = bid;
+                    query getBookYear(bid: int)
+                        SELECT year FROM Book WHERE bid = bid;
+                    query getPublisherName(bid: int)
+                        SELECT pname FROM Book JOIN Publisher WHERE bid = bid;
+                    query getPublisherCountry(bid: int)
+                        SELECT country FROM Book JOIN Publisher WHERE bid = bid;
+                    update updateYear(bid: int, newYear: int)
+                        UPDATE Book SET year = newYear WHERE bid = bid;
+                    update updateCountry(bid: int, newCountry: string)
+                        UPDATE Book JOIN Publisher SET country = newCountry WHERE bid = bid;
+                    query getBooksByAuthor(author: string)
+                        SELECT title FROM Book WHERE author = author;
+                    update deleteBookAndPublisher(bid: int)
+                        DELETE Book, Publisher FROM Book JOIN Publisher WHERE bid = bid;
+                    "#,
+                    schema,
+                )
+                .functions,
+            );
+            Program::new(functions)
+        },
+        paper(10, 2, 9, 2, 8, 1, 1, 0.3, 0.7, Some(226.2), Some(1), Some(0.3)),
+    )
+}
+
+/// Ambler-7: add a new (unused) attribute to the player table.
+pub fn ambler_7() -> Benchmark {
+    benchmark(
+        "Ambler-7",
+        "Add attrs",
+        "Team(tid: int, tname: string, coach: string)\n\
+         Player(plid: int, tid: int, pname: string, position: string)",
+        "Team(tid: int, tname: string, coach: string)\n\
+         Player(plid: int, tid: int, pname: string, position: string, jersey: int)",
+        |schema| {
+            parse_program(
+                "Ambler-7",
+                r#"
+                update addTeam(tid: int, tname: string, coach: string)
+                    INSERT INTO Team VALUES (tid: tid, tname: tname, coach: coach);
+                update addPlayer(plid: int, tid: int, pname: string, position: string)
+                    INSERT INTO Player VALUES (plid: plid, tid: tid, pname: pname, position: position);
+                update deleteTeam(tid: int)
+                    DELETE Team FROM Team WHERE tid = tid;
+                update deletePlayer(plid: int)
+                    DELETE Player FROM Player WHERE plid = plid;
+                query getTeamName(tid: int)
+                    SELECT tname FROM Team WHERE tid = tid;
+                query getPlayerName(plid: int)
+                    SELECT pname FROM Player WHERE plid = plid;
+                query getPlayersOfTeam(tid: int)
+                    SELECT pname FROM Team JOIN Player WHERE Team.tid = tid;
+                query getPlayerPosition(plid: int)
+                    SELECT position FROM Player WHERE plid = plid;
+                "#,
+                schema,
+            )
+        },
+        paper(8, 2, 7, 2, 8, 1, 1, 0.3, 0.6, Some(814.8), Some(1), Some(0.3)),
+    )
+}
+
+/// Ambler-8: denormalize author and blog information into dependent tables.
+pub fn ambler_8() -> Benchmark {
+    benchmark(
+        "Ambler-8",
+        "Denormalization",
+        "Author(aid: int, aname: string, aemail: string)\n\
+         Blog(bid: int, aid: int, btitle: string)\n\
+         Post(postid: int, bid: int, ptitle: string, content: string)",
+        "Author(aid: int, aname: string, aemail: string)\n\
+         Blog(bid: int, aid: int, btitle: string, authorName: string)\n\
+         Post(postid: int, bid: int, ptitle: string, content: string, blogTitle: string, postAuthor: string)",
+        |schema| {
+            parse_program(
+                "Ambler-8",
+                r#"
+                update addAuthor(aid: int, aname: string, aemail: string)
+                    INSERT INTO Author VALUES (aid: aid, aname: aname, aemail: aemail);
+                update addBlog(bid: int, aid: int, btitle: string)
+                    INSERT INTO Blog VALUES (bid: bid, aid: aid, btitle: btitle);
+                update addPost(postid: int, bid: int, ptitle: string, content: string)
+                    INSERT INTO Post VALUES (postid: postid, bid: bid, ptitle: ptitle, content: content);
+                update deleteAuthor(aid: int)
+                    DELETE Author FROM Author WHERE aid = aid;
+                update deleteBlog(bid: int)
+                    DELETE Blog FROM Blog WHERE bid = bid;
+                update deletePost(postid: int)
+                    DELETE Post FROM Post WHERE postid = postid;
+                query getAuthorName(aid: int)
+                    SELECT aname FROM Author WHERE aid = aid;
+                query getAuthorEmail(aid: int)
+                    SELECT aemail FROM Author WHERE aid = aid;
+                query getBlogTitle(bid: int)
+                    SELECT btitle FROM Blog WHERE bid = bid;
+                query getPostTitle(postid: int)
+                    SELECT ptitle FROM Post WHERE postid = postid;
+                query getPostContent(postid: int)
+                    SELECT content FROM Post WHERE postid = postid;
+                query getBlogsOfAuthor(aid: int)
+                    SELECT btitle FROM Author JOIN Blog WHERE Author.aid = aid;
+                query getPostsOfBlog(bid: int)
+                    SELECT ptitle FROM Blog JOIN Post WHERE Blog.bid = bid;
+                query getPostAuthor(postid: int)
+                    SELECT aname FROM Author JOIN Blog JOIN Post WHERE postid = postid;
+                "#,
+                schema,
+            )
+        },
+        paper(
+            14,
+            3,
+            10,
+            3,
+            13,
+            1,
+            7,
+            0.5,
+            3.1,
+            None,
+            Some(67_996),
+            Some(54_367.6),
+        ),
+    )
+}
+
+/// All ten textbook benchmarks, in the order of Table 1.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        oracle_1(),
+        oracle_2(),
+        ambler_1(),
+        ambler_2(),
+        ambler_3(),
+        ambler_4(),
+        ambler_5(),
+        ambler_6(),
+        ambler_7(),
+        ambler_8(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_textbook_benchmarks_have_exact_paper_shape() {
+        for benchmark in all() {
+            let (funcs, st, sa, tt, ta) = benchmark.measured_shape();
+            assert_eq!(
+                (funcs, st, sa, tt, ta),
+                (
+                    benchmark.paper.funcs,
+                    benchmark.paper.source_tables,
+                    benchmark.paper.source_attrs,
+                    benchmark.paper.target_tables,
+                    benchmark.paper.target_attrs,
+                ),
+                "benchmark {} diverges from the paper's Table 1 metadata",
+                benchmark.name
+            );
+        }
+    }
+
+    #[test]
+    fn textbook_programs_validate_against_their_source_schemas() {
+        for benchmark in all() {
+            assert!(benchmark
+                .source_program
+                .validate(&benchmark.source_schema)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn descriptions_match_refactoring_kinds() {
+        let benchmarks = all();
+        assert_eq!(benchmarks[0].description, "Merge tables");
+        assert_eq!(benchmarks[2].description, "Split tables");
+        assert_eq!(benchmarks[9].description, "Denormalization");
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared helpers for constructing benchmark programs.
+
+use dbir::ast::{Function, JoinChain, Operand, Param, Program, Update};
+use dbir::builder::ProgramBuilder;
+use dbir::schema::{QualifiedAttr, Schema, TableName};
+
+/// Builds an update function that inserts one linked row into each of the
+/// given tables with a single statement over their natural join chain
+/// (the paper's `INSERT INTO T1 ⋈ T2 VALUES …` shorthand).
+///
+/// The function takes one parameter per distinct column name across the
+/// tables (shared join columns appear once); columns listed in `skip` are
+/// left unassigned.
+///
+/// # Panics
+///
+/// Panics if a table is unknown or consecutive tables cannot be naturally
+/// joined; benchmark definitions are static, so this indicates a bug in the
+/// benchmark itself.
+pub fn join_insert_function(
+    schema: &Schema,
+    name: &str,
+    tables: &[&str],
+    skip: &[QualifiedAttr],
+) -> Function {
+    let builder = ProgramBuilder::new(schema);
+    let chain: JoinChain = builder
+        .natural_chain(tables)
+        .unwrap_or_else(|e| panic!("benchmark bug: cannot join {tables:?}: {e}"));
+    let mut params: Vec<Param> = Vec::new();
+    let mut values: Vec<(QualifiedAttr, Operand)> = Vec::new();
+    for table_name in tables {
+        let table = schema
+            .table(&TableName::new(*table_name))
+            .unwrap_or_else(|| panic!("benchmark bug: unknown table {table_name}"));
+        for column in &table.columns {
+            let qattr = QualifiedAttr {
+                table: table.name.clone(),
+                attr: column.name.clone(),
+            };
+            if skip.contains(&qattr) {
+                continue;
+            }
+            let param_name = column.name.as_str().to_string();
+            if params.iter().all(|p| p.name != param_name) {
+                params.push(Param::new(param_name.clone(), column.ty));
+            }
+            // Shared join columns are assigned once (on their first table);
+            // the evaluator propagates the value along the join condition.
+            if values
+                .iter()
+                .all(|(attr, _)| attr.attr.as_str() != column.name.as_str())
+            {
+                values.push((qattr, Operand::param(param_name)));
+            }
+        }
+    }
+    Function::update(name, params, Update::Insert { join: chain, values })
+}
+
+/// Convenience wrapper: parse a schema, panicking with the benchmark name on
+/// failure (benchmark definitions are static data).
+pub fn parse_schema(benchmark: &str, text: &str) -> Schema {
+    Schema::parse(text)
+        .unwrap_or_else(|e| panic!("benchmark {benchmark}: invalid schema: {e}"))
+}
+
+/// Convenience wrapper: parse a program against a schema, panicking with the
+/// benchmark name on failure.
+pub fn parse_program(benchmark: &str, text: &str, schema: &Schema) -> Program {
+    dbir::parser::parse_program(text, schema)
+        .unwrap_or_else(|e| panic!("benchmark {benchmark}: invalid program: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbir::equiv::TestConfig;
+    use dbir::invocation::{run, Call, InvocationSequence};
+    use dbir::value::Value;
+
+    #[test]
+    fn join_insert_function_links_tables() {
+        let schema = parse_schema(
+            "test",
+            "Person(pid: int, name: string)\nContact(pid: int, email: string)",
+        );
+        let add = join_insert_function(&schema, "addPerson", &["Person", "Contact"], &[]);
+        assert_eq!(add.params.len(), 3); // pid shared between the tables
+        let program = Program::new(vec![
+            add,
+            parse_program(
+                "test",
+                "query getEmail(pid: int) SELECT email FROM Person JOIN Contact WHERE Person.pid = pid;",
+                &schema,
+            )
+            .functions
+            .remove(0),
+        ]);
+        assert!(program.validate(&schema).is_ok());
+        let seq = InvocationSequence::new(
+            vec![Call::new(
+                "addPerson",
+                vec![Value::Int(1), Value::str("ada"), Value::str("a@x")],
+            )],
+            Call::new("getEmail", vec![Value::Int(1)]),
+        );
+        let result = run(&program, &schema, &seq).unwrap();
+        assert_eq!(result.rows, vec![vec![Value::str("a@x")]]);
+        let _ = TestConfig::default();
+    }
+
+    #[test]
+    fn join_insert_function_skips_requested_columns() {
+        let schema = parse_schema(
+            "test",
+            "Person(pid: int, name: string, legacy: string)",
+        );
+        let add = join_insert_function(
+            &schema,
+            "addPerson",
+            &["Person"],
+            &[QualifiedAttr::new("Person", "legacy")],
+        );
+        assert_eq!(add.params.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot join")]
+    fn unjoinable_tables_panic() {
+        let schema = parse_schema("test", "A(x: int)\nB(y: int)");
+        let _ = join_insert_function(&schema, "add", &["A", "B"], &[]);
+    }
+}

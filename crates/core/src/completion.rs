@@ -1,0 +1,452 @@
+//! Sketch completion: symbolic search with conflict-driven learning from
+//! minimum failing inputs (Algorithm 2 of the paper).
+//!
+//! The space of completions is encoded as a SAT formula with one boolean
+//! variable per (hole, domain element) pair and one exactly-one constraint
+//! per hole. Models are enumerated lazily; each candidate program is checked
+//! against the source program by bounded testing. When a candidate fails,
+//! the minimum failing input tells us which *functions* witnessed the
+//! disequivalence — blocking only the assignment to the holes of those
+//! functions prunes every completion that would fail for the same reason
+//! (18,225 programs at once in the paper's running example).
+
+use dbir::equiv::TestConfig;
+use dbir::{Program, Schema};
+use satsolver::encoder::exactly_one;
+use satsolver::{Lit, Model, SolveResult, Solver, Var};
+
+use crate::sketch::{HoleAssignment, HoleId, Sketch};
+use crate::stats::SketchRunStats;
+use crate::verify::{check_candidate, CheckOutcome};
+
+/// The SAT encoding of a sketch: one variable per (hole, domain element).
+#[derive(Debug)]
+pub struct SketchEncoding {
+    /// `vars[h][j]` is true iff hole `h` takes its `j`-th domain element.
+    vars: Vec<Vec<Var>>,
+}
+
+impl SketchEncoding {
+    /// Encodes `sketch` into `solver`: allocates the selector variables and
+    /// adds one exactly-one constraint per hole (the paper's `⊕` formula).
+    pub fn encode(sketch: &Sketch, solver: &mut Solver) -> SketchEncoding {
+        let mut vars = Vec::with_capacity(sketch.holes.len());
+        for hole in &sketch.holes {
+            let hole_vars = solver.new_vars(hole.domain.size());
+            let lits: Vec<Lit> = hole_vars.iter().map(|&v| Lit::pos(v)).collect();
+            exactly_one(solver, &lits);
+            vars.push(hole_vars);
+        }
+        SketchEncoding { vars }
+    }
+
+    /// Decodes a SAT model into a hole assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not select exactly one element for some hole
+    /// (impossible for models of the encoding).
+    pub fn decode(&self, model: &Model) -> HoleAssignment {
+        self.vars
+            .iter()
+            .map(|hole_vars| {
+                hole_vars
+                    .iter()
+                    .position(|&v| model.value(v))
+                    .expect("exactly-one constraint guarantees a selection")
+            })
+            .collect()
+    }
+
+    /// The literal asserting that `hole` takes domain element `choice`.
+    pub fn selector(&self, hole: HoleId, choice: usize) -> Lit {
+        Lit::pos(self.vars[hole.0][choice])
+    }
+
+    /// Builds the blocking clause `¬(b₁ ∧ … ∧ bₙ)` for the given holes'
+    /// current assignment: at least one of them must change.
+    pub fn blocking_clause(&self, assignment: &HoleAssignment, holes: &[HoleId]) -> Vec<Lit> {
+        holes
+            .iter()
+            .map(|&hole| !self.selector(hole, assignment[hole.0]))
+            .collect()
+    }
+}
+
+/// How blocking clauses are derived from failing candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingStrategy {
+    /// Block only the holes of the functions appearing in the minimum
+    /// failing input (the paper's approach).
+    MinimumFailingInput,
+    /// Block the full model (the symbolic enumerative baseline of Table 3).
+    FullModel,
+}
+
+/// The outcome of completing one sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionOutcome {
+    /// The synthesized program, if one was found.
+    pub program: Option<Program>,
+    /// Statistics about the search.
+    pub stats: SketchRunStats,
+}
+
+/// Completes `sketch` against the source program: finds an instantiation
+/// that is equivalent to `source` (within the bounded-testing
+/// configuration), or reports failure when the space is exhausted.
+///
+/// `testing` is used to search for minimum failing inputs; `verification`
+/// is the deeper final check a candidate must pass before being returned.
+/// `max_iterations` bounds the number of candidates examined (0 = unlimited).
+#[allow(clippy::too_many_arguments)]
+pub fn complete_sketch(
+    sketch: &Sketch,
+    source: &Program,
+    source_schema: &Schema,
+    target_schema: &Schema,
+    testing: &TestConfig,
+    verification: &TestConfig,
+    strategy: BlockingStrategy,
+    max_iterations: usize,
+) -> CompletionOutcome {
+    let mut stats = SketchRunStats {
+        search_space: sketch.completion_count(),
+        ..SketchRunStats::default()
+    };
+    let mut solver = Solver::new();
+    let encoding = SketchEncoding::encode(sketch, &mut solver);
+    let all_holes: Vec<HoleId> = sketch.holes.iter().map(|h| h.id).collect();
+
+    loop {
+        if max_iterations > 0 && stats.iterations >= max_iterations {
+            return CompletionOutcome {
+                program: None,
+                stats,
+            };
+        }
+        let model = match solver.solve() {
+            SolveResult::Sat(model) => model,
+            SolveResult::Unsat => {
+                return CompletionOutcome {
+                    program: None,
+                    stats,
+                }
+            }
+        };
+        let assignment = encoding.decode(&model);
+
+        // Instantiate; structurally invalid assignments are blocked on just
+        // the conflicting holes and are not counted as iterations.
+        let candidate = match sketch.instantiate(&assignment) {
+            Ok(program) => program,
+            Err(conflicts) => {
+                stats.invalid_instantiations += 1;
+                for conflict in conflicts {
+                    let clause = encoding.blocking_clause(&assignment, &conflict.holes);
+                    solver.add_clause(&clause);
+                    stats.blocking_clauses += 1;
+                }
+                continue;
+            }
+        };
+        stats.iterations += 1;
+
+        // Reject candidates that are not even well-formed over the target
+        // schema (should not happen, but blocking the whole model is sound).
+        if candidate.validate(target_schema).is_err() {
+            let clause = encoding.blocking_clause(&assignment, &all_holes);
+            solver.add_clause(&clause);
+            stats.blocking_clauses += 1;
+            continue;
+        }
+
+        match check_candidate(source, source_schema, &candidate, target_schema, testing) {
+            CheckOutcome::Equivalent { sequences_tested } => {
+                stats.sequences_tested += sequences_tested;
+                // Deeper verification pass before accepting.
+                match check_candidate(
+                    source,
+                    source_schema,
+                    &candidate,
+                    target_schema,
+                    verification,
+                ) {
+                    CheckOutcome::Equivalent { sequences_tested } => {
+                        stats.sequences_tested += sequences_tested;
+                        return CompletionOutcome {
+                            program: Some(candidate),
+                            stats,
+                        };
+                    }
+                    CheckOutcome::NotEquivalent {
+                        minimum_failing_input,
+                        sequences_tested,
+                    } => {
+                        stats.sequences_tested += sequences_tested;
+                        let holes = holes_for_blocking(
+                            sketch,
+                            &minimum_failing_input,
+                            strategy,
+                            &all_holes,
+                        );
+                        let clause = encoding.blocking_clause(&assignment, &holes);
+                        solver.add_clause(&clause);
+                        stats.blocking_clauses += 1;
+                    }
+                }
+            }
+            CheckOutcome::NotEquivalent {
+                minimum_failing_input,
+                sequences_tested,
+            } => {
+                stats.sequences_tested += sequences_tested;
+                let holes =
+                    holes_for_blocking(sketch, &minimum_failing_input, strategy, &all_holes);
+                let clause = encoding.blocking_clause(&assignment, &holes);
+                solver.add_clause(&clause);
+                stats.blocking_clauses += 1;
+            }
+        }
+    }
+}
+
+/// The holes whose assignment should be blocked for a failing candidate:
+/// under [`BlockingStrategy::MinimumFailingInput`], the holes of the
+/// functions appearing in the failing input; under
+/// [`BlockingStrategy::FullModel`], every hole.
+fn holes_for_blocking(
+    sketch: &Sketch,
+    failing_input: &dbir::InvocationSequence,
+    strategy: BlockingStrategy,
+    all_holes: &[HoleId],
+) -> Vec<HoleId> {
+    match strategy {
+        BlockingStrategy::FullModel => all_holes.to_vec(),
+        BlockingStrategy::MinimumFailingInput => {
+            let mut function_names: Vec<&str> = failing_input
+                .updates
+                .iter()
+                .map(|c| c.function.as_str())
+                .collect();
+            function_names.push(failing_input.query.function.as_str());
+            let mut holes: Vec<HoleId> = function_names
+                .iter()
+                .flat_map(|name| sketch.holes_in_function(name).to_vec())
+                .collect();
+            holes.sort();
+            holes.dedup();
+            if holes.is_empty() {
+                // Defensive fallback: if the failing functions contain no
+                // holes the candidate cannot be fixed by changing holes in
+                // them, so block the full model to guarantee progress.
+                all_holes.to_vec()
+            } else {
+                holes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch_gen::{generate_sketch, SketchGenConfig};
+    use crate::value_corr::{VcConfig, VcEnumerator};
+    use dbir::parser::parse_program;
+
+    fn motivating() -> (Schema, Schema, Program) {
+        let source_schema = Schema::parse(
+            "Class(ClassId: int, InstId: int, TaId: int)\n\
+             Instructor(InstId: int, IName: string, IPic: binary)\n\
+             TA(TaId: int, TName: string, TPic: binary)",
+        )
+        .unwrap();
+        let target_schema = Schema::parse(
+            "Class(ClassId: int, InstId: int, TaId: int)\n\
+             Instructor(InstId: int, IName: string, PicId: id)\n\
+             TA(TaId: int, TName: string, PicId: id)\n\
+             Picture(PicId: id, Pic: binary)",
+        )
+        .unwrap();
+        let program = parse_program(
+            r#"
+            update addInstructor(id: int, name: string, pic: binary)
+                INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+            query getInstructorInfo(id: int)
+                SELECT IName, IPic FROM Instructor WHERE InstId = id;
+            update addTA(id: int, name: string, pic: binary)
+                INSERT INTO TA VALUES (TaId: id, TName: name, TPic: pic);
+            query getTAInfo(id: int)
+                SELECT TName, TPic FROM TA WHERE TaId = id;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        (source_schema, target_schema, program)
+    }
+
+    #[test]
+    fn completes_the_motivating_example_sketch() {
+        let (source_schema, target_schema, program) = motivating();
+        let mut vc = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        let phi = vc.next_correspondence().unwrap();
+        let sketch =
+            generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+        let outcome = complete_sketch(
+            &sketch,
+            &program,
+            &source_schema,
+            &target_schema,
+            &TestConfig::default(),
+            &TestConfig::default(),
+            BlockingStrategy::MinimumFailingInput,
+            0,
+        );
+        let synthesized = outcome.program.expect("an equivalent completion exists");
+        assert!(synthesized.validate(&target_schema).is_ok());
+        // Spot-check the synthesized program resembles Figure 4: the insert
+        // functions must write the Picture table.
+        for name in ["addInstructor", "addTA"] {
+            let function = synthesized.function(name).unwrap();
+            assert!(
+                function.tables().contains(&"Picture".into()),
+                "{name} should insert into Picture"
+            );
+        }
+        assert!(outcome.stats.iterations >= 1);
+        assert!(outcome.stats.search_space > 1);
+    }
+
+    #[test]
+    fn mfi_blocking_needs_no_more_iterations_than_full_model_blocking() {
+        let (source_schema, target_schema, program) = motivating();
+        let mut results = Vec::new();
+        for strategy in [
+            BlockingStrategy::MinimumFailingInput,
+            BlockingStrategy::FullModel,
+        ] {
+            let mut vc = VcEnumerator::new(
+                &program,
+                &source_schema,
+                &target_schema,
+                &VcConfig::default(),
+            );
+            let phi = vc.next_correspondence().unwrap();
+            let sketch =
+                generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
+                    .unwrap();
+            let outcome = complete_sketch(
+                &sketch,
+                &program,
+                &source_schema,
+                &target_schema,
+                &TestConfig::default(),
+                &TestConfig::default(),
+                strategy,
+                0,
+            );
+            assert!(outcome.program.is_some());
+            results.push(outcome.stats.iterations);
+        }
+        assert!(
+            results[0] <= results[1],
+            "MFI-guided search ({}) should not need more iterations than \
+             enumerative search ({})",
+            results[0],
+            results[1]
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_sketch_reports_failure() {
+        // A sketch whose only completions are wrong: source projects `b`,
+        // but the correspondence maps `b` to an unrelated column.
+        let source_schema = Schema::parse("T(a: int, b: string)").unwrap();
+        let target_schema = Schema::parse("T(a: int, c: string, d: string)").unwrap();
+        let source = parse_program(
+            r#"
+            update add(a: int, b: string)
+                INSERT INTO T VALUES (a: a, b: b);
+            query get(a: int)
+                SELECT b FROM T WHERE a = a;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        // Deliberately wrong correspondence: insert writes c but query reads d.
+        let mut phi = crate::value_corr::ValueCorrespondence::new();
+        phi.add(
+            dbir::schema::QualifiedAttr::new("T", "a"),
+            dbir::schema::QualifiedAttr::new("T", "a"),
+        );
+        phi.add(
+            dbir::schema::QualifiedAttr::new("T", "b"),
+            dbir::schema::QualifiedAttr::new("T", "c"),
+        );
+        let sketch =
+            generate_sketch(&source, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+        // The sketch admits only the correct completion (insert c / read c),
+        // so completion should succeed; to exercise the failure path we
+        // instead demand an impossible iteration budget of candidates by
+        // giving an empty-domain... simpler: max_iterations = 0 is unlimited,
+        // so use a correspondence that breaks the query instead.
+        let outcome = complete_sketch(
+            &sketch,
+            &source,
+            &source_schema,
+            &target_schema,
+            &TestConfig::default(),
+            &TestConfig::default(),
+            BlockingStrategy::MinimumFailingInput,
+            0,
+        );
+        // With this correspondence the completion is actually equivalent
+        // (both insert and query agree on column c), so it must succeed —
+        // which also demonstrates that renamings are handled end to end.
+        assert!(outcome.program.is_some());
+
+        // Now a correspondence that cannot work: query reads d but insert
+        // writes c.
+        let mut broken = crate::value_corr::ValueCorrespondence::new();
+        broken.add(
+            dbir::schema::QualifiedAttr::new("T", "a"),
+            dbir::schema::QualifiedAttr::new("T", "a"),
+        );
+        broken.add(
+            dbir::schema::QualifiedAttr::new("T", "b"),
+            dbir::schema::QualifiedAttr::new("T", "c"),
+        );
+        // Manually build a sketch where the query projects d instead of c.
+        let mut sketch = generate_sketch(&source, &broken, &target_schema, &SketchGenConfig::default())
+            .unwrap();
+        for function in &mut sketch.functions {
+            if let crate::sketch::BodySketch::Query(crate::sketch::QuerySketch::Project {
+                attrs,
+                ..
+            }) = &mut function.body
+            {
+                attrs[0] = crate::sketch::AttrSlot::Fixed(dbir::schema::QualifiedAttr::new(
+                    "T", "d",
+                ));
+            }
+        }
+        let outcome = complete_sketch(
+            &sketch,
+            &source,
+            &source_schema,
+            &target_schema,
+            &TestConfig::default(),
+            &TestConfig::default(),
+            BlockingStrategy::MinimumFailingInput,
+            0,
+        );
+        assert!(outcome.program.is_none());
+        assert!(outcome.stats.iterations >= 1);
+    }
+}

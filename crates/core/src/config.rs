@@ -1,0 +1,94 @@
+//! Configuration of the synthesizer.
+
+use dbir::equiv::TestConfig;
+
+use crate::sketch_gen::SketchGenConfig;
+use crate::value_corr::VcConfig;
+
+/// Which sketch-completion algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SketchSolverKind {
+    /// The paper's algorithm: SAT-based enumeration with blocking clauses
+    /// derived from minimum failing inputs (Algorithm 2).
+    #[default]
+    MfiGuided,
+    /// The Table 3 baseline: the same SAT encoding, but each failing
+    /// candidate blocks only its own full model.
+    Enumerative,
+}
+
+/// Configuration of a [`crate::Synthesizer`].
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Value-correspondence enumeration parameters.
+    pub vc: VcConfig,
+    /// Sketch-generation parameters.
+    pub sketch: SketchGenConfig,
+    /// Bounded-testing parameters used to find minimum failing inputs during
+    /// sketch completion.
+    pub testing: TestConfig,
+    /// Bounded-testing parameters used for the final verification pass
+    /// (the stand-in for the Mediator verifier; see DESIGN.md).
+    pub verification: TestConfig,
+    /// Which sketch solver to use.
+    pub solver: SketchSolverKind,
+    /// Give up after this many value correspondences (0 means unlimited).
+    pub max_value_correspondences: usize,
+    /// Give up on a single sketch after this many candidate programs
+    /// (0 means unlimited).
+    pub max_iterations_per_sketch: usize,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> SynthesisConfig {
+        SynthesisConfig::standard()
+    }
+}
+
+impl SynthesisConfig {
+    /// The default configuration used throughout the evaluation: MFI-guided
+    /// completion, testing depth 2, verification depth 3.
+    pub fn standard() -> SynthesisConfig {
+        SynthesisConfig {
+            vc: VcConfig::default(),
+            sketch: SketchGenConfig::default(),
+            testing: TestConfig::default(),
+            verification: TestConfig::thorough(),
+            solver: SketchSolverKind::MfiGuided,
+            max_value_correspondences: 64,
+            max_iterations_per_sketch: 500_000,
+        }
+    }
+
+    /// The Table 3 baseline configuration: identical to [`standard`], but
+    /// blocking one full model per failing candidate.
+    ///
+    /// [`standard`]: SynthesisConfig::standard
+    pub fn enumerative_baseline() -> SynthesisConfig {
+        SynthesisConfig {
+            solver: SketchSolverKind::Enumerative,
+            ..SynthesisConfig::standard()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_standard_solver_choice() {
+        let config = SynthesisConfig::standard();
+        assert_eq!(config.solver, SketchSolverKind::MfiGuided);
+        assert_eq!(SketchSolverKind::default(), SketchSolverKind::MfiGuided);
+        assert!(config.verification.max_updates >= config.testing.max_updates);
+    }
+
+    #[test]
+    fn enumerative_baseline_differs_only_in_solver() {
+        let standard = SynthesisConfig::standard();
+        let baseline = SynthesisConfig::enumerative_baseline();
+        assert_eq!(baseline.solver, SketchSolverKind::Enumerative);
+        assert_eq!(baseline.max_value_correspondences, standard.max_value_correspondences);
+    }
+}

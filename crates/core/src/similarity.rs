@@ -1,0 +1,90 @@
+//! Name-similarity heuristics used to rank value correspondences.
+//!
+//! The paper weights the soft clause for mapping attribute `a` to `a'` with
+//! `sim(a, a') = α − Levenshtein(a, a')` (footnote 3, Section 4.2). We use
+//! the same metric, computed case-insensitively and clamped to a minimum of
+//! one so every mapping keeps a positive weight.
+
+/// Computes the Levenshtein edit distance between two strings
+/// (case-insensitive).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.to_ascii_lowercase().chars().collect();
+    let b: Vec<char> = b.to_ascii_lowercase().chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current[j + 1] = substitution
+                .min(previous[j + 1] + 1)
+                .min(current[j] + 1);
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
+}
+
+/// The similarity weight `sim(a, a') = max(1, α − Levenshtein(a, a'))`.
+///
+/// Identical names (up to case) receive the full weight `α`; entirely
+/// unrelated names still receive weight one so that mapping them remains
+/// possible, just maximally de-prioritized.
+pub fn similarity(a: &str, b: &str, alpha: u64) -> u64 {
+    let distance = levenshtein(a, b) as u64;
+    alpha.saturating_sub(distance).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(levenshtein("IPic", "ipic"), 0);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("IPic", "Pic"), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        for (a, b) in [("InstId", "InstructorId"), ("TName", "Name"), ("x", "yz")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let words = ["InstId", "TaId", "PicId", "ClassId", "Name"];
+        for a in words {
+            for b in words {
+                for c in words {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_prefers_closer_names() {
+        let alpha = 16;
+        assert!(similarity("IPic", "Pic", alpha) > similarity("IPic", "TName", alpha));
+        assert_eq!(similarity("IPic", "IPic", alpha), alpha);
+        // Even hopeless matches keep a positive weight.
+        assert_eq!(similarity("a", "completely-unrelated-name", 4), 1);
+    }
+}

@@ -1,0 +1,691 @@
+//! Program sketches: database programs with holes (Figure 6 of the paper).
+//!
+//! A [`Sketch`] mirrors the structure of the source program, but attribute
+//! references, join chains and delete table lists may be *holes* — unknowns
+//! drawn from a finite domain recorded in the sketch's hole table. The
+//! number of completions of a sketch is the product of its hole domain
+//! sizes (164,025 for the paper's motivating example).
+//!
+//! Instantiating a sketch with an assignment of domain indices to holes
+//! yields a concrete [`Program`]; instantiation also performs structural
+//! validity checks (e.g. a chosen attribute must belong to the chosen join
+//! chain) and reports the holes responsible for any violation so the sketch
+//! solver can block just that combination.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbir::ast::{
+    CmpOp, Function, FunctionBody, JoinChain, Operand, Param, Pred, Program, Query, Update,
+};
+use dbir::schema::{QualifiedAttr, TableName};
+
+/// Identifies a hole within a [`Sketch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HoleId(pub usize);
+
+impl fmt::Display for HoleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "??{}", self.0)
+    }
+}
+
+/// The domain of a hole: the finite set of values it may take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HoleDomain {
+    /// An unknown attribute drawn from the given candidates.
+    Attr(Vec<QualifiedAttr>),
+    /// An unknown *insert target*: each candidate is a sequence of join
+    /// chains, inserted one after the other (usually a single chain).
+    InsertTarget(Vec<Vec<JoinChain>>),
+    /// An unknown join chain (for queries, deletes and updates).
+    Join(Vec<JoinChain>),
+    /// An unknown list of tables to delete from.
+    TableList(Vec<Vec<TableName>>),
+}
+
+impl HoleDomain {
+    /// The number of values in the domain.
+    pub fn size(&self) -> usize {
+        match self {
+            HoleDomain::Attr(v) => v.len(),
+            HoleDomain::InsertTarget(v) => v.len(),
+            HoleDomain::Join(v) => v.len(),
+            HoleDomain::TableList(v) => v.len(),
+        }
+    }
+}
+
+/// A hole together with its domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hole {
+    /// The hole's identifier (its index in the sketch's hole table).
+    pub id: HoleId,
+    /// The domain of values it ranges over.
+    pub domain: HoleDomain,
+}
+
+/// An attribute position: either already determined by the value
+/// correspondence or an attribute hole.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrSlot {
+    /// A fixed attribute.
+    Fixed(QualifiedAttr),
+    /// A hole over candidate attributes.
+    Hole(HoleId),
+}
+
+/// A predicate with attribute slots instead of concrete attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredSketch {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Attribute-to-attribute comparison.
+    CmpAttr {
+        /// Left attribute slot.
+        lhs: AttrSlot,
+        /// Operator.
+        op: CmpOp,
+        /// Right attribute slot.
+        rhs: AttrSlot,
+    },
+    /// Attribute-to-value comparison.
+    CmpValue {
+        /// Left attribute slot.
+        lhs: AttrSlot,
+        /// Operator.
+        op: CmpOp,
+        /// Constant or parameter.
+        rhs: Operand,
+    },
+    /// Membership in a sub-query.
+    In {
+        /// Attribute slot whose value is tested.
+        attr: AttrSlot,
+        /// The sub-query sketch.
+        query: Box<QuerySketch>,
+    },
+    /// Conjunction.
+    And(Box<PredSketch>, Box<PredSketch>),
+    /// Disjunction.
+    Or(Box<PredSketch>, Box<PredSketch>),
+    /// Negation.
+    Not(Box<PredSketch>),
+}
+
+/// A query with holes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySketch {
+    /// Projection onto attribute slots.
+    Project {
+        /// Projected attribute slots in output order.
+        attrs: Vec<AttrSlot>,
+        /// Input sketch.
+        input: Box<QuerySketch>,
+    },
+    /// Selection.
+    Filter {
+        /// Predicate sketch.
+        pred: PredSketch,
+        /// Input sketch.
+        input: Box<QuerySketch>,
+    },
+    /// A join-chain hole.
+    Join(HoleId),
+}
+
+/// An update statement with holes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateSketch {
+    /// Insert into an unknown target (an [`HoleDomain::InsertTarget`] hole).
+    Insert {
+        /// The insert-target hole.
+        target: HoleId,
+        /// Attribute slots and the values written to them.
+        values: Vec<(AttrSlot, Operand)>,
+    },
+    /// Delete from an unknown table list driven by an unknown join chain.
+    Delete {
+        /// The table-list hole.
+        tables: HoleId,
+        /// The join-chain hole.
+        join: HoleId,
+        /// Predicate sketch.
+        pred: PredSketch,
+    },
+    /// Update an unknown attribute driven by an unknown join chain.
+    UpdateAttr {
+        /// The join-chain hole.
+        join: HoleId,
+        /// Predicate sketch.
+        pred: PredSketch,
+        /// The attribute slot being written.
+        attr: AttrSlot,
+        /// The new value.
+        value: Operand,
+    },
+    /// Sequential composition.
+    Seq(Vec<UpdateSketch>),
+}
+
+/// The body of a function sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodySketch {
+    /// A query sketch.
+    Query(QuerySketch),
+    /// An update sketch.
+    Update(UpdateSketch),
+}
+
+/// A function whose body is a sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSketch {
+    /// Function name (same as in the source program).
+    pub name: String,
+    /// Parameters (same as in the source program).
+    pub params: Vec<Param>,
+    /// Body sketch.
+    pub body: BodySketch,
+}
+
+/// An assignment of a domain index to every hole.
+pub type HoleAssignment = Vec<usize>;
+
+/// The reason an instantiation is structurally invalid, together with the
+/// holes whose joint assignment caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantiationConflict {
+    /// Human-readable description of the conflict.
+    pub reason: String,
+    /// The holes that jointly cause the conflict.
+    pub holes: Vec<HoleId>,
+}
+
+/// A program sketch: function sketches plus the hole table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sketch {
+    /// The function sketches, in source order.
+    pub functions: Vec<FunctionSketch>,
+    /// The hole table, indexed by [`HoleId`].
+    pub holes: Vec<Hole>,
+    /// The holes appearing in each function, keyed by function name.
+    pub holes_by_function: BTreeMap<String, Vec<HoleId>>,
+}
+
+impl Sketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Sketch {
+        Sketch::default()
+    }
+
+    /// Allocates a new hole with the given domain.
+    pub fn add_hole(&mut self, domain: HoleDomain) -> HoleId {
+        let id = HoleId(self.holes.len());
+        self.holes.push(Hole { id, domain });
+        id
+    }
+
+    /// Records that `hole` appears inside `function`.
+    pub fn attach_hole(&mut self, function: &str, hole: HoleId) {
+        self.holes_by_function
+            .entry(function.to_string())
+            .or_default()
+            .push(hole);
+    }
+
+    /// The hole with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (hole ids are only created by
+    /// [`Sketch::add_hole`], so this indicates a bug).
+    pub fn hole(&self, id: HoleId) -> &Hole {
+        &self.holes[id.0]
+    }
+
+    /// The holes appearing in a function (empty if the function has none).
+    pub fn holes_in_function(&self, function: &str) -> &[HoleId] {
+        self.holes_by_function
+            .get(function)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The number of completions of this sketch: the product of all hole
+    /// domain sizes (the paper reports 164,025 for the motivating example).
+    pub fn completion_count(&self) -> u128 {
+        self.holes
+            .iter()
+            .map(|h| h.domain.size() as u128)
+            .fold(1u128, |acc, size| acc.saturating_mul(size.max(1)))
+    }
+
+    /// Returns `true` if some hole has an empty domain (the sketch has no
+    /// completions).
+    pub fn has_empty_hole(&self) -> bool {
+        self.holes.iter().any(|h| h.domain.size() == 0)
+    }
+
+    fn attr_of(&self, slot: &AttrSlot, assignment: &HoleAssignment) -> QualifiedAttr {
+        match slot {
+            AttrSlot::Fixed(attr) => attr.clone(),
+            AttrSlot::Hole(id) => match &self.hole(*id).domain {
+                HoleDomain::Attr(candidates) => candidates[assignment[id.0]].clone(),
+                other => panic!("hole {id} used as attribute but has domain {other:?}"),
+            },
+        }
+    }
+
+    fn slot_holes(slot: &AttrSlot) -> Vec<HoleId> {
+        match slot {
+            AttrSlot::Fixed(_) => Vec::new(),
+            AttrSlot::Hole(id) => vec![*id],
+        }
+    }
+
+    fn instantiate_pred(
+        &self,
+        pred: &PredSketch,
+        assignment: &HoleAssignment,
+        chain: &JoinChain,
+        conflicts: &mut Vec<InstantiationConflict>,
+        join_hole: HoleId,
+    ) -> Pred {
+        match pred {
+            PredSketch::True => Pred::True,
+            PredSketch::False => Pred::False,
+            PredSketch::CmpAttr { lhs, op, rhs } => {
+                let lhs_attr = self.attr_of(lhs, assignment);
+                let rhs_attr = self.attr_of(rhs, assignment);
+                for (slot, attr) in [(lhs, &lhs_attr), (rhs, &rhs_attr)] {
+                    self.check_attr_in_chain(slot, attr, chain, join_hole, conflicts);
+                }
+                Pred::CmpAttr {
+                    lhs: lhs_attr,
+                    op: *op,
+                    rhs: rhs_attr,
+                }
+            }
+            PredSketch::CmpValue { lhs, op, rhs } => {
+                let attr = self.attr_of(lhs, assignment);
+                self.check_attr_in_chain(lhs, &attr, chain, join_hole, conflicts);
+                Pred::CmpValue {
+                    lhs: attr,
+                    op: *op,
+                    rhs: rhs.clone(),
+                }
+            }
+            PredSketch::In { attr, query } => {
+                let attr_value = self.attr_of(attr, assignment);
+                self.check_attr_in_chain(attr, &attr_value, chain, join_hole, conflicts);
+                let query = self.instantiate_query(query, assignment, conflicts);
+                Pred::In {
+                    attr: attr_value,
+                    query: Box::new(query),
+                }
+            }
+            PredSketch::And(a, b) => Pred::And(
+                Box::new(self.instantiate_pred(a, assignment, chain, conflicts, join_hole)),
+                Box::new(self.instantiate_pred(b, assignment, chain, conflicts, join_hole)),
+            ),
+            PredSketch::Or(a, b) => Pred::Or(
+                Box::new(self.instantiate_pred(a, assignment, chain, conflicts, join_hole)),
+                Box::new(self.instantiate_pred(b, assignment, chain, conflicts, join_hole)),
+            ),
+            PredSketch::Not(p) => Pred::Not(Box::new(
+                self.instantiate_pred(p, assignment, chain, conflicts, join_hole),
+            )),
+        }
+    }
+
+    fn check_attr_in_chain(
+        &self,
+        slot: &AttrSlot,
+        attr: &QualifiedAttr,
+        chain: &JoinChain,
+        join_hole: HoleId,
+        conflicts: &mut Vec<InstantiationConflict>,
+    ) {
+        if !chain.contains_table(&attr.table) {
+            let mut holes = Self::slot_holes(slot);
+            holes.push(join_hole);
+            conflicts.push(InstantiationConflict {
+                reason: format!("attribute {attr} is not available in the chosen join chain"),
+                holes,
+            });
+        }
+    }
+
+    fn join_of(&self, id: HoleId, assignment: &HoleAssignment) -> JoinChain {
+        match &self.hole(id).domain {
+            HoleDomain::Join(chains) => chains[assignment[id.0]].clone(),
+            other => panic!("hole {id} used as join chain but has domain {other:?}"),
+        }
+    }
+
+    fn instantiate_query(
+        &self,
+        query: &QuerySketch,
+        assignment: &HoleAssignment,
+        conflicts: &mut Vec<InstantiationConflict>,
+    ) -> Query {
+        // Locate the join hole at the leaf to validate attribute choices.
+        fn leaf_join(query: &QuerySketch) -> HoleId {
+            match query {
+                QuerySketch::Project { input, .. } | QuerySketch::Filter { input, .. } => {
+                    leaf_join(input)
+                }
+                QuerySketch::Join(id) => *id,
+            }
+        }
+        let join_hole = leaf_join(query);
+        let chain = self.join_of(join_hole, assignment);
+        self.instantiate_query_inner(query, assignment, &chain, join_hole, conflicts)
+    }
+
+    fn instantiate_query_inner(
+        &self,
+        query: &QuerySketch,
+        assignment: &HoleAssignment,
+        chain: &JoinChain,
+        join_hole: HoleId,
+        conflicts: &mut Vec<InstantiationConflict>,
+    ) -> Query {
+        match query {
+            QuerySketch::Join(id) => Query::Join(self.join_of(*id, assignment)),
+            QuerySketch::Filter { pred, input } => Query::Filter {
+                pred: self.instantiate_pred(pred, assignment, chain, conflicts, join_hole),
+                input: Box::new(self.instantiate_query_inner(
+                    input, assignment, chain, join_hole, conflicts,
+                )),
+            },
+            QuerySketch::Project { attrs, input } => {
+                let attrs: Vec<QualifiedAttr> = attrs
+                    .iter()
+                    .map(|slot| {
+                        let attr = self.attr_of(slot, assignment);
+                        self.check_attr_in_chain(slot, &attr, chain, join_hole, conflicts);
+                        attr
+                    })
+                    .collect();
+                Query::Project {
+                    attrs,
+                    input: Box::new(self.instantiate_query_inner(
+                        input, assignment, chain, join_hole, conflicts,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn instantiate_update(
+        &self,
+        update: &UpdateSketch,
+        assignment: &HoleAssignment,
+        conflicts: &mut Vec<InstantiationConflict>,
+    ) -> Update {
+        match update {
+            UpdateSketch::Seq(list) => Update::Seq(
+                list.iter()
+                    .map(|u| self.instantiate_update(u, assignment, conflicts))
+                    .collect(),
+            ),
+            UpdateSketch::Insert { target, values } => {
+                let chains = match &self.hole(*target).domain {
+                    HoleDomain::InsertTarget(options) => options[assignment[target.0]].clone(),
+                    other => panic!("hole {target} used as insert target but has domain {other:?}"),
+                };
+                let resolved: Vec<(QualifiedAttr, Operand)> = values
+                    .iter()
+                    .map(|(slot, operand)| (self.attr_of(slot, assignment), operand.clone()))
+                    .collect();
+                // Each attribute must land in exactly one of the chains; a
+                // chain receives the attributes whose table it contains.
+                let mut inserts = Vec::new();
+                for chain in &chains {
+                    let chain_values: Vec<(QualifiedAttr, Operand)> = resolved
+                        .iter()
+                        .filter(|(attr, _)| chain.contains_table(&attr.table))
+                        .cloned()
+                        .collect();
+                    inserts.push(Update::Insert {
+                        join: chain.clone(),
+                        values: chain_values,
+                    });
+                }
+                // Attributes not covered by any chain are a structural
+                // conflict between the attribute hole and the target hole.
+                for ((slot, _), (attr, _)) in values.iter().zip(&resolved) {
+                    if !chains.iter().any(|c| c.contains_table(&attr.table)) {
+                        let mut holes = Self::slot_holes(slot);
+                        holes.push(*target);
+                        conflicts.push(InstantiationConflict {
+                            reason: format!(
+                                "inserted attribute {attr} is not covered by the chosen target"
+                            ),
+                            holes,
+                        });
+                    }
+                }
+                if inserts.len() == 1 {
+                    inserts.pop().expect("length checked")
+                } else {
+                    Update::Seq(inserts)
+                }
+            }
+            UpdateSketch::Delete { tables, join, pred } => {
+                let chain = self.join_of(*join, assignment);
+                let table_list = match &self.hole(*tables).domain {
+                    HoleDomain::TableList(options) => options[assignment[tables.0]].clone(),
+                    other => panic!("hole {tables} used as table list but has domain {other:?}"),
+                };
+                for table in &table_list {
+                    if !chain.contains_table(table) {
+                        conflicts.push(InstantiationConflict {
+                            reason: format!(
+                                "deleted table {table} is not part of the chosen join chain"
+                            ),
+                            holes: vec![*tables, *join],
+                        });
+                    }
+                }
+                Update::Delete {
+                    tables: table_list,
+                    join: chain.clone(),
+                    pred: self.instantiate_pred(pred, assignment, &chain, conflicts, *join),
+                }
+            }
+            UpdateSketch::UpdateAttr {
+                join,
+                pred,
+                attr,
+                value,
+            } => {
+                let chain = self.join_of(*join, assignment);
+                let attr_value = self.attr_of(attr, assignment);
+                self.check_attr_in_chain(attr, &attr_value, &chain, *join, conflicts);
+                Update::UpdateAttr {
+                    join: chain.clone(),
+                    pred: self.instantiate_pred(pred, assignment, &chain, conflicts, *join),
+                    attr: attr_value,
+                    value: value.clone(),
+                }
+            }
+        }
+    }
+
+    /// Instantiates the sketch under the given hole assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of structural conflicts (each naming the holes whose
+    /// joint assignment is invalid) if the assignment does not correspond to
+    /// a well-formed program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the hole table or an index is
+    /// out of its hole's domain; the sketch solver always supplies complete
+    /// in-range assignments.
+    pub fn instantiate(
+        &self,
+        assignment: &HoleAssignment,
+    ) -> Result<Program, Vec<InstantiationConflict>> {
+        assert_eq!(
+            assignment.len(),
+            self.holes.len(),
+            "assignment must cover every hole"
+        );
+        let mut conflicts = Vec::new();
+        let mut functions = Vec::new();
+        for sketch_fn in &self.functions {
+            let body = match &sketch_fn.body {
+                BodySketch::Query(query) => {
+                    FunctionBody::Query(self.instantiate_query(query, assignment, &mut conflicts))
+                }
+                BodySketch::Update(update) => FunctionBody::Update(self.instantiate_update(
+                    update,
+                    assignment,
+                    &mut conflicts,
+                )),
+            };
+            functions.push(Function {
+                name: sketch_fn.name.clone(),
+                params: sketch_fn.params.clone(),
+                body,
+            });
+        }
+        if conflicts.is_empty() {
+            Ok(Program::new(functions))
+        } else {
+            Err(conflicts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbir::value::DataType;
+
+    fn qa(t: &str, a: &str) -> QualifiedAttr {
+        QualifiedAttr::new(t, a)
+    }
+
+    /// A tiny hand-built sketch: one query over a join hole with an
+    /// attribute hole, one insert over an insert-target hole.
+    fn tiny_sketch() -> Sketch {
+        let mut sketch = Sketch::new();
+        let join = sketch.add_hole(HoleDomain::Join(vec![
+            JoinChain::table("A"),
+            JoinChain::table("A").join(JoinChain::table("B"), qa("A", "id"), qa("B", "id")),
+        ]));
+        let attr = sketch.add_hole(HoleDomain::Attr(vec![qa("A", "x"), qa("B", "y")]));
+        sketch.attach_hole("get", join);
+        sketch.attach_hole("get", attr);
+        sketch.functions.push(FunctionSketch {
+            name: "get".to_string(),
+            params: vec![Param::new("id", DataType::Int)],
+            body: BodySketch::Query(QuerySketch::Project {
+                attrs: vec![AttrSlot::Hole(attr)],
+                input: Box::new(QuerySketch::Filter {
+                    pred: PredSketch::CmpValue {
+                        lhs: AttrSlot::Fixed(qa("A", "id")),
+                        op: CmpOp::Eq,
+                        rhs: Operand::param("id"),
+                    },
+                    input: Box::new(QuerySketch::Join(join)),
+                }),
+            }),
+        });
+        let target = sketch.add_hole(HoleDomain::InsertTarget(vec![
+            vec![JoinChain::table("A")],
+            vec![JoinChain::table("A"), JoinChain::table("B")],
+        ]));
+        sketch.attach_hole("add", target);
+        sketch.functions.push(FunctionSketch {
+            name: "add".to_string(),
+            params: vec![
+                Param::new("id", DataType::Int),
+                Param::new("x", DataType::Int),
+            ],
+            body: BodySketch::Update(UpdateSketch::Insert {
+                target,
+                values: vec![
+                    (AttrSlot::Fixed(qa("A", "id")), Operand::param("id")),
+                    (AttrSlot::Fixed(qa("A", "x")), Operand::param("x")),
+                ],
+            }),
+        });
+        sketch
+    }
+
+    #[test]
+    fn completion_count_is_product_of_domains() {
+        let sketch = tiny_sketch();
+        assert_eq!(sketch.completion_count(), 2 * 2 * 2);
+        assert!(!sketch.has_empty_hole());
+    }
+
+    #[test]
+    fn holes_are_tracked_per_function() {
+        let sketch = tiny_sketch();
+        assert_eq!(sketch.holes_in_function("get").len(), 2);
+        assert_eq!(sketch.holes_in_function("add").len(), 1);
+        assert!(sketch.holes_in_function("missing").is_empty());
+    }
+
+    #[test]
+    fn valid_instantiation_produces_program() {
+        let sketch = tiny_sketch();
+        // join = A ⋈ B, attr = B.y, insert target = [A].
+        let program = sketch.instantiate(&vec![1, 1, 0]).unwrap();
+        assert_eq!(program.functions.len(), 2);
+        match &program.functions[0].body {
+            FunctionBody::Query(Query::Project { attrs, .. }) => {
+                assert_eq!(attrs[0], qa("B", "y"));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_attr_choice_reports_conflicting_holes() {
+        let sketch = tiny_sketch();
+        // join = A only, attr = B.y: B is not in the chain.
+        let err = sketch.instantiate(&vec![0, 1, 0]).unwrap_err();
+        assert!(!err.is_empty());
+        assert!(err[0].holes.contains(&HoleId(0)));
+        assert!(err[0].holes.contains(&HoleId(1)));
+    }
+
+    #[test]
+    fn multi_chain_insert_splits_values_per_chain() {
+        let sketch = tiny_sketch();
+        // insert target = [A, B] (two separate single-table inserts).
+        let program = sketch.instantiate(&vec![0, 0, 1]).unwrap();
+        match &program.functions[1].body {
+            FunctionBody::Update(Update::Seq(stmts)) => {
+                assert_eq!(stmts.len(), 2);
+                match &stmts[0] {
+                    Update::Insert { values, .. } => assert_eq!(values.len(), 2),
+                    other => panic!("expected insert, got {other:?}"),
+                }
+                match &stmts[1] {
+                    Update::Insert { values, .. } => assert!(values.is_empty()),
+                    other => panic!("expected insert, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover every hole")]
+    fn short_assignment_panics() {
+        let sketch = tiny_sketch();
+        let _ = sketch.instantiate(&vec![0]);
+    }
+}

@@ -1,0 +1,560 @@
+//! Sketch generation from a candidate value correspondence
+//! (Section 4.3 of the paper, Figures 7–10).
+//!
+//! Every statement of the source program is rewritten into a statement
+//! sketch over the target schema:
+//!
+//! * attribute references become [`AttrSlot`]s — fixed when the value
+//!   correspondence maps the source attribute to a single target attribute,
+//!   and attribute holes otherwise;
+//! * the statement's join chain becomes a join-chain hole whose domain
+//!   contains every target chain that covers the images of the attributes
+//!   the statement needs (computed with the Steiner-tree enumeration in
+//!   [`crate::join_graph`]);
+//! * delete statements additionally receive a table-list hole ranging over
+//!   the non-empty subsets of the candidate chains' tables;
+//! * insert statements receive an *insert-target* hole whose candidates may
+//!   consist of several chains when the required target tables are not
+//!   connected in the join graph (the phase-II sequential composition of the
+//!   paper, specialized to inserts).
+//!
+//! If some attribute the program needs is unmapped by the correspondence, or
+//! no covering chain exists, sketch generation fails and the synthesizer
+//! moves on to the next value correspondence.
+
+use std::collections::BTreeSet;
+
+use dbir::ast::{FunctionBody, Pred, Program, Query, Update};
+use dbir::schema::{QualifiedAttr, Schema, TableName};
+
+use crate::join_graph::JoinGraph;
+use crate::sketch::{
+    AttrSlot, BodySketch, FunctionSketch, HoleDomain, PredSketch, QuerySketch, Sketch,
+    UpdateSketch,
+};
+use crate::value_corr::ValueCorrespondence;
+
+/// Configuration of sketch generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchGenConfig {
+    /// Maximum number of non-terminal (Steiner) tables a candidate join
+    /// chain may use.
+    pub max_steiner_extra: usize,
+    /// Cap on the number of image combinations explored when a statement
+    /// references attributes with multiple images.
+    pub max_image_combinations: usize,
+    /// When the union of candidate-chain tables exceeds this size, the
+    /// delete table-list domain is restricted to small subsets plus each
+    /// candidate chain's full table set (instead of the full power set).
+    pub max_delete_powerset_tables: usize,
+}
+
+impl Default for SketchGenConfig {
+    fn default() -> SketchGenConfig {
+        SketchGenConfig {
+            max_steiner_extra: 2,
+            max_image_combinations: 32,
+            max_delete_powerset_tables: 4,
+        }
+    }
+}
+
+/// Generates the sketch for `program` under value correspondence `phi`, or
+/// `None` if the correspondence cannot express the program (an attribute is
+/// unmapped or a statement's attributes cannot be covered by any target join
+/// chain).
+pub fn generate_sketch(
+    program: &Program,
+    phi: &ValueCorrespondence,
+    target_schema: &Schema,
+    config: &SketchGenConfig,
+) -> Option<Sketch> {
+    let graph = JoinGraph::new(target_schema);
+    let mut builder = SketchBuilder {
+        phi,
+        graph: &graph,
+        config,
+        sketch: Sketch::new(),
+        current_function: String::new(),
+    };
+    for function in &program.functions {
+        builder.current_function = function.name.clone();
+        let body = match &function.body {
+            FunctionBody::Query(query) => BodySketch::Query(builder.rewrite_query(query)?),
+            FunctionBody::Update(update) => BodySketch::Update(builder.rewrite_update(update)?),
+        };
+        builder.sketch.functions.push(FunctionSketch {
+            name: function.name.clone(),
+            params: function.params.clone(),
+            body,
+        });
+    }
+    if builder.sketch.has_empty_hole() {
+        return None;
+    }
+    Some(builder.sketch)
+}
+
+struct SketchBuilder<'a> {
+    phi: &'a ValueCorrespondence,
+    graph: &'a JoinGraph<'a>,
+    config: &'a SketchGenConfig,
+    sketch: Sketch,
+    current_function: String,
+}
+
+impl SketchBuilder<'_> {
+    /// Rewrites a source attribute into a slot (the Attr rule of Figure 8).
+    fn attr_slot(&mut self, attr: &QualifiedAttr) -> Option<AttrSlot> {
+        let images = self.phi.images(attr);
+        match images.len() {
+            0 => None,
+            1 => Some(AttrSlot::Fixed(
+                images.into_iter().next().expect("length checked"),
+            )),
+            _ => {
+                let hole = self
+                    .sketch
+                    .add_hole(HoleDomain::Attr(images.into_iter().collect()));
+                self.sketch.attach_hole(&self.current_function.clone(), hole);
+                Some(AttrSlot::Hole(hole))
+            }
+        }
+    }
+
+    /// The candidate target chains covering the images of `needed` source
+    /// attributes (the join-correspondence computation of Section 5).
+    fn candidate_chains(&self, needed: &BTreeSet<QualifiedAttr>) -> Option<Vec<dbir::ast::JoinChain>> {
+        let terminal_sets = self.terminal_sets(needed)?;
+        let mut chains = Vec::new();
+        for terminals in terminal_sets {
+            for chain in self
+                .graph
+                .covering_chains(&terminals, self.config.max_steiner_extra)
+            {
+                if !chains.contains(&chain) {
+                    chains.push(chain);
+                }
+            }
+        }
+        chains.sort_by_key(dbir::ast::JoinChain::len);
+        if chains.is_empty() {
+            None
+        } else {
+            Some(chains)
+        }
+    }
+
+    /// The candidate insert targets (possibly multi-chain) covering the
+    /// images of `needed` source attributes.
+    fn candidate_insert_targets(
+        &self,
+        needed: &BTreeSet<QualifiedAttr>,
+    ) -> Option<Vec<Vec<dbir::ast::JoinChain>>> {
+        let terminal_sets = self.terminal_sets(needed)?;
+        let mut targets: Vec<Vec<dbir::ast::JoinChain>> = Vec::new();
+        for terminals in terminal_sets {
+            for target in self
+                .graph
+                .covering_chain_sets(&terminals, self.config.max_steiner_extra)
+            {
+                if !targets.contains(&target) {
+                    targets.push(target);
+                }
+            }
+        }
+        targets.sort_by_key(|chains| chains.iter().map(dbir::ast::JoinChain::len).sum::<usize>());
+        if targets.is_empty() {
+            None
+        } else {
+            Some(targets)
+        }
+    }
+
+    /// Enumerates terminal-table sets: one per combination of choosing an
+    /// image for each needed source attribute (capped).
+    fn terminal_sets(
+        &self,
+        needed: &BTreeSet<QualifiedAttr>,
+    ) -> Option<Vec<BTreeSet<TableName>>> {
+        let mut image_groups: Vec<Vec<QualifiedAttr>> = Vec::new();
+        for attr in needed {
+            let images: Vec<QualifiedAttr> = self.phi.images(attr).into_iter().collect();
+            if images.is_empty() {
+                return None;
+            }
+            image_groups.push(images);
+        }
+        if image_groups.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut combos: Vec<BTreeSet<TableName>> = vec![BTreeSet::new()];
+        for group in &image_groups {
+            let mut next = Vec::new();
+            for combo in &combos {
+                for image in group {
+                    let mut extended = combo.clone();
+                    extended.insert(image.table.clone());
+                    next.push(extended);
+                }
+                if next.len() > self.config.max_image_combinations {
+                    break;
+                }
+            }
+            next.sort();
+            next.dedup();
+            next.truncate(self.config.max_image_combinations);
+            combos = next;
+        }
+        Some(combos)
+    }
+
+    /// The source attributes a query needs mapped: projections plus
+    /// predicate attributes (join conditions of the *source* chain are not
+    /// included — the target chain supplies its own).
+    fn query_needed_attrs(query: &Query, out: &mut BTreeSet<QualifiedAttr>) {
+        match query {
+            Query::Project { attrs, input } => {
+                out.extend(attrs.iter().cloned());
+                Self::query_needed_attrs(input, out);
+            }
+            Query::Filter { pred, input } => {
+                Self::pred_needed_attrs(pred, out);
+                Self::query_needed_attrs(input, out);
+            }
+            Query::Join(_) => {}
+        }
+    }
+
+    fn pred_needed_attrs(pred: &Pred, out: &mut BTreeSet<QualifiedAttr>) {
+        match pred {
+            Pred::True | Pred::False => {}
+            Pred::CmpAttr { lhs, rhs, .. } => {
+                out.insert(lhs.clone());
+                out.insert(rhs.clone());
+            }
+            Pred::CmpValue { lhs, .. } => {
+                out.insert(lhs.clone());
+            }
+            Pred::In { attr, query } => {
+                out.insert(attr.clone());
+                Self::query_needed_attrs(query, out);
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                Self::pred_needed_attrs(a, out);
+                Self::pred_needed_attrs(b, out);
+            }
+            Pred::Not(p) => Self::pred_needed_attrs(p, out),
+        }
+    }
+
+    fn rewrite_pred(&mut self, pred: &Pred) -> Option<PredSketch> {
+        Some(match pred {
+            Pred::True => PredSketch::True,
+            Pred::False => PredSketch::False,
+            Pred::CmpAttr { lhs, op, rhs } => PredSketch::CmpAttr {
+                lhs: self.attr_slot(lhs)?,
+                op: *op,
+                rhs: self.attr_slot(rhs)?,
+            },
+            Pred::CmpValue { lhs, op, rhs } => PredSketch::CmpValue {
+                lhs: self.attr_slot(lhs)?,
+                op: *op,
+                rhs: rhs.clone(),
+            },
+            Pred::In { attr, query } => PredSketch::In {
+                attr: self.attr_slot(attr)?,
+                query: Box::new(self.rewrite_query(query)?),
+            },
+            Pred::And(a, b) => PredSketch::And(
+                Box::new(self.rewrite_pred(a)?),
+                Box::new(self.rewrite_pred(b)?),
+            ),
+            Pred::Or(a, b) => PredSketch::Or(
+                Box::new(self.rewrite_pred(a)?),
+                Box::new(self.rewrite_pred(b)?),
+            ),
+            Pred::Not(p) => PredSketch::Not(Box::new(self.rewrite_pred(p)?)),
+        })
+    }
+
+    /// Rewrites a query into a query sketch (the Proj/Filter/Join rules).
+    fn rewrite_query(&mut self, query: &Query) -> Option<QuerySketch> {
+        let mut needed = BTreeSet::new();
+        Self::query_needed_attrs(query, &mut needed);
+        let chains = self.candidate_chains(&needed)?;
+        let join_hole = self.sketch.add_hole(HoleDomain::Join(chains));
+        self.sketch
+            .attach_hole(&self.current_function.clone(), join_hole);
+        self.rewrite_query_structure(query, join_hole)
+    }
+
+    fn rewrite_query_structure(
+        &mut self,
+        query: &Query,
+        join_hole: crate::sketch::HoleId,
+    ) -> Option<QuerySketch> {
+        Some(match query {
+            Query::Join(_) => QuerySketch::Join(join_hole),
+            Query::Filter { pred, input } => QuerySketch::Filter {
+                pred: self.rewrite_pred(pred)?,
+                input: Box::new(self.rewrite_query_structure(input, join_hole)?),
+            },
+            Query::Project { attrs, input } => {
+                let attrs: Option<Vec<AttrSlot>> =
+                    attrs.iter().map(|a| self.attr_slot(a)).collect();
+                QuerySketch::Project {
+                    attrs: attrs?,
+                    input: Box::new(self.rewrite_query_structure(input, join_hole)?),
+                }
+            }
+        })
+    }
+
+    /// Rewrites an update statement (or sequence) into an update sketch
+    /// (the Insert/Delete/Update rules of Figure 8).
+    fn rewrite_update(&mut self, update: &Update) -> Option<UpdateSketch> {
+        match update {
+            Update::Seq(list) => {
+                let rewritten: Option<Vec<UpdateSketch>> =
+                    list.iter().map(|u| self.rewrite_update(u)).collect();
+                Some(UpdateSketch::Seq(rewritten?))
+            }
+            Update::Insert { values, .. } => {
+                let needed: BTreeSet<QualifiedAttr> =
+                    values.iter().map(|(a, _)| a.clone()).collect();
+                let targets = self.candidate_insert_targets(&needed)?;
+                let target_hole = self.sketch.add_hole(HoleDomain::InsertTarget(targets));
+                self.sketch
+                    .attach_hole(&self.current_function.clone(), target_hole);
+                let slots: Option<Vec<(AttrSlot, dbir::ast::Operand)>> = values
+                    .iter()
+                    .map(|(attr, operand)| Some((self.attr_slot(attr)?, operand.clone())))
+                    .collect();
+                Some(UpdateSketch::Insert {
+                    target: target_hole,
+                    values: slots?,
+                })
+            }
+            Update::Delete { tables, pred, .. } => {
+                // The chain must reach the images of the deleted tables'
+                // (mapped) columns plus the predicate's attributes.
+                let mut needed = BTreeSet::new();
+                Self::pred_needed_attrs(pred, &mut needed);
+                for attr in self.source_table_columns(tables) {
+                    if self.phi.is_mapped(&attr) {
+                        needed.insert(attr);
+                    }
+                }
+                let chains = self.candidate_chains(&needed)?;
+                let table_lists = self.delete_table_lists(&chains);
+                let join_hole = self.sketch.add_hole(HoleDomain::Join(chains));
+                let tables_hole = self.sketch.add_hole(HoleDomain::TableList(table_lists));
+                let function = self.current_function.clone();
+                self.sketch.attach_hole(&function, join_hole);
+                self.sketch.attach_hole(&function, tables_hole);
+                Some(UpdateSketch::Delete {
+                    tables: tables_hole,
+                    join: join_hole,
+                    pred: self.rewrite_pred(pred)?,
+                })
+            }
+            Update::UpdateAttr {
+                pred, attr, value, ..
+            } => {
+                let mut needed = BTreeSet::new();
+                Self::pred_needed_attrs(pred, &mut needed);
+                needed.insert(attr.clone());
+                let chains = self.candidate_chains(&needed)?;
+                let join_hole = self.sketch.add_hole(HoleDomain::Join(chains));
+                self.sketch
+                    .attach_hole(&self.current_function.clone(), join_hole);
+                Some(UpdateSketch::UpdateAttr {
+                    join: join_hole,
+                    pred: self.rewrite_pred(pred)?,
+                    attr: self.attr_slot(attr)?,
+                    value: value.clone(),
+                })
+            }
+        }
+    }
+
+    /// All source columns of the listed source tables. The value
+    /// correspondence is keyed by source attributes, so the columns are
+    /// recovered from the correspondence itself (the source schema is not
+    /// threaded through sketch generation).
+    fn source_table_columns(&self, tables: &[TableName]) -> Vec<QualifiedAttr> {
+        self.phi
+            .iter()
+            .filter(|(attr, _)| tables.contains(&attr.table))
+            .map(|(attr, _)| attr.clone())
+            .collect()
+    }
+
+    /// The domain of a delete statement's table-list hole: non-empty subsets
+    /// of the candidate chains' tables (the `TabLists` function of Figure 8,
+    /// applied to the union of candidate chains as in the paper's example).
+    fn delete_table_lists(&self, chains: &[dbir::ast::JoinChain]) -> Vec<Vec<TableName>> {
+        let mut union: BTreeSet<TableName> = BTreeSet::new();
+        for chain in chains {
+            union.extend(chain.tables());
+        }
+        let union: Vec<TableName> = union.into_iter().collect();
+        let mut lists: Vec<Vec<TableName>> = Vec::new();
+        if union.len() <= self.config.max_delete_powerset_tables {
+            // Full power set (minus the empty set).
+            for mask in 1u32..(1u32 << union.len()) {
+                let subset: Vec<TableName> = union
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                lists.push(subset);
+            }
+        } else {
+            // Singletons, pairs, and each candidate chain's full table set.
+            for (i, a) in union.iter().enumerate() {
+                lists.push(vec![a.clone()]);
+                for b in union.iter().skip(i + 1) {
+                    lists.push(vec![a.clone(), b.clone()]);
+                }
+            }
+            for chain in chains {
+                let mut tables = chain.tables();
+                tables.sort();
+                tables.dedup();
+                if !lists.contains(&tables) {
+                    lists.push(tables);
+                }
+            }
+        }
+        lists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value_corr::{VcConfig, VcEnumerator};
+    use dbir::parser::parse_program;
+    use dbir::Schema;
+
+    fn motivating() -> (Schema, Schema, Program) {
+        let source_schema = Schema::parse(
+            "Class(ClassId: int, InstId: int, TaId: int)\n\
+             Instructor(InstId: int, IName: string, IPic: binary)\n\
+             TA(TaId: int, TName: string, TPic: binary)",
+        )
+        .unwrap();
+        let target_schema = Schema::parse(
+            "Class(ClassId: int, InstId: int, TaId: int)\n\
+             Instructor(InstId: int, IName: string, PicId: id)\n\
+             TA(TaId: int, TName: string, PicId: id)\n\
+             Picture(PicId: id, Pic: binary)",
+        )
+        .unwrap();
+        let program = parse_program(
+            r#"
+            update addInstructor(id: int, name: string, pic: binary)
+                INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+            update deleteInstructor(id: int)
+                DELETE Instructor FROM Instructor WHERE InstId = id;
+            query getInstructorInfo(id: int)
+                SELECT IName, IPic FROM Instructor WHERE InstId = id;
+            update addTA(id: int, name: string, pic: binary)
+                INSERT INTO TA VALUES (TaId: id, TName: name, TPic: pic);
+            update deleteTA(id: int)
+                DELETE TA FROM TA WHERE TaId = id;
+            query getTAInfo(id: int)
+                SELECT TName, TPic FROM TA WHERE TaId = id;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        (source_schema, target_schema, program)
+    }
+
+    #[test]
+    fn motivating_example_sketch_has_expected_shape() {
+        let (source_schema, target_schema, program) = motivating();
+        let mut vc = VcEnumerator::new(&program, &source_schema, &target_schema, &VcConfig::default());
+        let phi = vc.next_correspondence().unwrap();
+        let sketch =
+            generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
+                .expect("sketch exists for the first correspondence");
+        // One hole per insert (2), two per delete (2x2), one per query (2).
+        assert_eq!(sketch.functions.len(), 6);
+        assert_eq!(sketch.holes.len(), 8);
+        // The search space is large (the paper reports 164,025 completions;
+        // our chain enumeration finds slightly more chains, so the count is
+        // at least that).
+        assert!(sketch.completion_count() >= 164_025);
+        // Every function has at least one hole.
+        for function in &program.functions {
+            assert!(
+                !sketch.holes_in_function(&function.name).is_empty(),
+                "function {} should contain holes",
+                function.name
+            );
+        }
+    }
+
+    #[test]
+    fn unmapped_projection_attr_fails_generation() {
+        let (source_schema, target_schema, program) = motivating();
+        let _ = source_schema;
+        // An empty correspondence cannot express the program.
+        let phi = ValueCorrespondence::new();
+        assert!(generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn identity_correspondence_yields_identity_capable_sketch() {
+        let schema = Schema::parse("User(uid: int, name: string)").unwrap();
+        let program = parse_program(
+            r#"
+            update addUser(uid: int, name: string)
+                INSERT INTO User VALUES (uid: uid, name: name);
+            query getUser(uid: int)
+                SELECT name FROM User WHERE uid = uid;
+            "#,
+            &schema,
+        )
+        .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        for attr in schema.all_attrs() {
+            phi.add(attr.clone(), attr);
+        }
+        let sketch =
+            generate_sketch(&program, &phi, &schema, &SketchGenConfig::default()).unwrap();
+        // Identity schema: single-table chains only, so exactly one
+        // completion, which must be the original program.
+        assert_eq!(sketch.completion_count(), 1);
+        let assignment = vec![0; sketch.holes.len()];
+        let instantiated = sketch.instantiate(&assignment).unwrap();
+        assert_eq!(instantiated.functions.len(), 2);
+        assert!(instantiated.validate(&schema).is_ok());
+    }
+
+    #[test]
+    fn delete_table_lists_cover_power_set_for_small_unions() {
+        let (source_schema, target_schema, program) = motivating();
+        let mut vc = VcEnumerator::new(&program, &source_schema, &target_schema, &VcConfig::default());
+        let phi = vc.next_correspondence().unwrap();
+        let sketch =
+            generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+        // The deleteInstructor table-list hole ranges over the non-empty
+        // subsets of the union of candidate-chain tables (4 tables -> 15).
+        let table_list_sizes: Vec<usize> = sketch
+            .holes
+            .iter()
+            .filter_map(|h| match &h.domain {
+                HoleDomain::TableList(lists) => Some(lists.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(table_list_sizes, vec![15, 15]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Statistics collected during synthesis, mirroring the columns of the
+//! paper's evaluation tables.
+
+use std::time::Duration;
+
+/// Statistics for one synthesis run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SynthesisStats {
+    /// Number of value correspondences considered (Table 1, "Value Corr").
+    pub value_correspondences: usize,
+    /// Number of candidate programs explored across all sketches
+    /// (Table 1 / Table 3, "Iters").
+    pub iterations: usize,
+    /// Number of candidate programs rejected because their hole assignment
+    /// was structurally invalid (not counted as iterations by the paper, but
+    /// useful for diagnostics).
+    pub invalid_instantiations: usize,
+    /// Number of sketches generated (one per value correspondence that
+    /// produced a sketch).
+    pub sketches_generated: usize,
+    /// The completion count of the largest sketch explored (the size of the
+    /// symbolic search space).
+    pub largest_search_space: u128,
+    /// Total number of invocation sequences executed while testing
+    /// candidates.
+    pub sequences_tested: usize,
+    /// Time spent in synthesis proper: value-correspondence enumeration,
+    /// sketch generation and sketch completion including MFI search
+    /// (Table 1, "Synth Time").
+    pub synthesis_time: Duration,
+    /// Time spent in the final verification pass (included in Table 1's
+    /// "Total Time" but not in "Synth Time").
+    pub verification_time: Duration,
+}
+
+impl SynthesisStats {
+    /// Total wall-clock time: synthesis plus verification
+    /// (Table 1, "Total Time").
+    pub fn total_time(&self) -> Duration {
+        self.synthesis_time + self.verification_time
+    }
+
+    /// Merges statistics from solving one sketch into the running totals.
+    pub fn absorb_sketch_run(&mut self, other: &SketchRunStats) {
+        self.iterations += other.iterations;
+        self.invalid_instantiations += other.invalid_instantiations;
+        self.sequences_tested += other.sequences_tested;
+        self.largest_search_space = self.largest_search_space.max(other.search_space);
+    }
+}
+
+/// Statistics for solving a single sketch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SketchRunStats {
+    /// Number of candidate programs whose equivalence was tested.
+    pub iterations: usize,
+    /// Number of structurally invalid hole assignments encountered.
+    pub invalid_instantiations: usize,
+    /// Number of invocation sequences executed.
+    pub sequences_tested: usize,
+    /// The sketch's completion count.
+    pub search_space: u128,
+    /// Number of blocking clauses added.
+    pub blocking_clauses: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_adds_synthesis_and_verification() {
+        let stats = SynthesisStats {
+            synthesis_time: Duration::from_millis(300),
+            verification_time: Duration::from_millis(200),
+            ..SynthesisStats::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn absorb_accumulates_and_maximizes() {
+        let mut stats = SynthesisStats::default();
+        stats.absorb_sketch_run(&SketchRunStats {
+            iterations: 3,
+            invalid_instantiations: 1,
+            sequences_tested: 40,
+            search_space: 100,
+            blocking_clauses: 2,
+        });
+        stats.absorb_sketch_run(&SketchRunStats {
+            iterations: 2,
+            invalid_instantiations: 0,
+            sequences_tested: 10,
+            search_space: 50,
+            blocking_clauses: 1,
+        });
+        assert_eq!(stats.iterations, 5);
+        assert_eq!(stats.invalid_instantiations, 1);
+        assert_eq!(stats.sequences_tested, 50);
+        assert_eq!(stats.largest_search_space, 100);
+    }
+}

@@ -1,0 +1,642 @@
+//! Value correspondences and their lazy enumeration
+//! (Section 4.2 of the paper).
+//!
+//! A *value correspondence* `Φ` maps each attribute of the source schema to
+//! a (possibly empty) set of attributes of the target schema; `T'.b ∈ Φ(T.a)`
+//! means the entries of column `T.a` are stored in column `T'.b` after the
+//! refactoring.
+//!
+//! The paper encodes the enumeration problem as partial weighted MaxSAT:
+//!
+//! * **hard** — type compatibility, and the *necessary condition for
+//!   equivalence*: every attribute queried by the source program must map to
+//!   at least one target attribute;
+//! * **soft** — a clause `x_{ij}` weighted by name similarity for every
+//!   candidate pair, and clauses `x_{ij} → ¬x_{ik}` (weight `α`) that
+//!   de-prioritize one-to-many mappings;
+//! * **blocking** — once a correspondence has been tried and rejected, its
+//!   assignment is excluded with a hard clause.
+//!
+//! Two enumerators are provided:
+//!
+//! * [`MaxSatVcEnumerator`] — the literal encoding above solved with the
+//!   [`satsolver`] MaxSAT solver; the reference implementation, practical
+//!   for small schemas.
+//! * [`VcEnumerator`] — the enumerator used by the synthesizer. It exploits
+//!   the fact that, apart from blocking clauses, the encoding decomposes per
+//!   source attribute (all soft and hard clauses are local to one source
+//!   attribute's candidate set), so the assignments in decreasing objective
+//!   order can be enumerated with a best-first search over per-attribute
+//!   option rankings — the same sequence the MaxSAT formulation defines,
+//!   without building pseudo-Boolean bounds over thousands of soft clauses.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+use dbir::schema::{QualifiedAttr, Schema};
+use dbir::Program;
+use satsolver::{Lit, MaxSatResult, MaxSatSolver, Var};
+
+use crate::similarity::similarity;
+
+/// A value correspondence from source attributes to sets of target
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValueCorrespondence {
+    map: BTreeMap<QualifiedAttr, BTreeSet<QualifiedAttr>>,
+}
+
+impl ValueCorrespondence {
+    /// Creates an empty correspondence (every attribute maps to ∅).
+    pub fn new() -> ValueCorrespondence {
+        ValueCorrespondence::default()
+    }
+
+    /// Records that `target ∈ Φ(source)`.
+    pub fn add(&mut self, source: QualifiedAttr, target: QualifiedAttr) {
+        self.map.entry(source).or_default().insert(target);
+    }
+
+    /// The image `Φ(source)` (empty if the attribute is unmapped).
+    pub fn images(&self, source: &QualifiedAttr) -> BTreeSet<QualifiedAttr> {
+        self.map.get(source).cloned().unwrap_or_default()
+    }
+
+    /// Returns `true` if `source` maps to at least one target attribute.
+    pub fn is_mapped(&self, source: &QualifiedAttr) -> bool {
+        self.map.get(source).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Iterates over `(source, images)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&QualifiedAttr, &BTreeSet<QualifiedAttr>)> {
+        self.map.iter()
+    }
+
+    /// The number of source attributes with a non-empty image.
+    pub fn mapped_count(&self) -> usize {
+        self.map.values().filter(|s| !s.is_empty()).count()
+    }
+}
+
+impl fmt::Display for ValueCorrespondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (source, images) in &self.map {
+            if images.is_empty() {
+                continue;
+            }
+            write!(f, "{source} -> {{")?;
+            for (i, image) in images.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{image}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the value-correspondence enumerators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcConfig {
+    /// The `α` constant: maximum similarity weight and the weight of the
+    /// one-to-one preference clauses.
+    pub alpha: u64,
+    /// Keep only the `k` most similar type-compatible target attributes as
+    /// candidates for each source attribute (keeps the search tractable for
+    /// wide schemas).
+    pub max_candidates_per_attr: usize,
+    /// Consider at most this many ranked local options (single images, the
+    /// empty image, pairs of images) per source attribute.
+    pub max_options_per_attr: usize,
+}
+
+impl Default for VcConfig {
+    fn default() -> VcConfig {
+        VcConfig {
+            alpha: 16,
+            max_candidates_per_attr: 8,
+            max_options_per_attr: 24,
+        }
+    }
+}
+
+impl VcConfig {
+    /// The weight of mapping `source` to `target`: dominated by attribute
+    /// name similarity, with table-name similarity as a tie-breaker so that
+    /// identically named attributes prefer the identically named table.
+    pub fn pair_weight(&self, source: &QualifiedAttr, target: &QualifiedAttr) -> u64 {
+        4 * similarity(source.attr.as_str(), target.attr.as_str(), self.alpha)
+            + similarity(source.table.as_str(), target.table.as_str(), 4)
+    }
+
+    /// The penalty (soft-clause weight) for mapping one source attribute to
+    /// more than one target attribute. Strictly larger than any single pair
+    /// weight, so one-to-one mappings are always preferred.
+    pub fn pair_penalty(&self) -> u64 {
+        4 * self.alpha + 8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared candidate computation
+// ---------------------------------------------------------------------------
+
+/// The ranked target candidates for one source attribute.
+#[derive(Debug, Clone)]
+struct AttrCandidates {
+    source: QualifiedAttr,
+    /// Candidates sorted by decreasing similarity weight.
+    targets: Vec<(QualifiedAttr, u64)>,
+    /// Whether the source attribute is queried (and therefore must be
+    /// mapped: the "necessary condition for equivalence").
+    must_map: bool,
+}
+
+fn collect_candidates(
+    program: &Program,
+    source_schema: &Schema,
+    target_schema: &Schema,
+    config: &VcConfig,
+) -> Vec<AttrCandidates> {
+    let queried = program.queried_attrs();
+    let referenced = program.referenced_attrs();
+    let mut result = Vec::new();
+    for source_attr in source_schema.all_attrs() {
+        let source_ty = source_schema
+            .attr_type(&source_attr)
+            .expect("attribute enumerated from schema");
+        let mut targets: Vec<(QualifiedAttr, u64)> = target_schema
+            .all_attrs()
+            .into_iter()
+            .filter(|target_attr| {
+                target_schema
+                    .attr_type(target_attr)
+                    .is_some_and(|t| source_ty.compatible_with(t))
+            })
+            .map(|target_attr| {
+                let weight = config.pair_weight(&source_attr, &target_attr);
+                (target_attr, weight)
+            })
+            .collect();
+        targets.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let keep = if referenced.contains(&source_attr) {
+            config.max_candidates_per_attr.max(1) * 2
+        } else {
+            config.max_candidates_per_attr.max(1)
+        };
+        targets.truncate(keep);
+        result.push(AttrCandidates {
+            must_map: queried.contains(&source_attr),
+            source: source_attr,
+            targets,
+        });
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Best-first (k-best) enumerator — the engine used by the synthesizer
+// ---------------------------------------------------------------------------
+
+/// One local option for a source attribute: a set of images and its local
+/// objective contribution under the MaxSAT encoding (satisfied similarity
+/// weights minus the one-to-one penalties it incurs).
+#[derive(Debug, Clone)]
+struct AttrOption {
+    images: Vec<QualifiedAttr>,
+    score: i64,
+}
+
+/// Lazily enumerates value correspondences in decreasing order of the
+/// MaxSAT objective, exploiting the per-attribute decomposability of the
+/// encoding. This is the enumerator the synthesizer uses
+/// (the paper's `NextValueCorr`).
+#[derive(Debug)]
+pub struct VcEnumerator {
+    /// Ranked options per source attribute.
+    options: Vec<Vec<AttrOption>>,
+    /// Source attribute of each option group (parallel to `options`).
+    sources: Vec<QualifiedAttr>,
+    /// Best-first frontier over option-index vectors.
+    frontier: BinaryHeap<(i64, Reverse<Vec<usize>>)>,
+    /// States already pushed (to avoid duplicates).
+    seen: BTreeSet<Vec<usize>>,
+    /// Number of correspondences returned so far.
+    produced: usize,
+    /// Set when the frontier is exhausted or the problem is infeasible.
+    exhausted: bool,
+}
+
+impl VcEnumerator {
+    /// Builds the enumerator for correspondences between `source_schema` and
+    /// `target_schema`, using `program` to determine which attributes must
+    /// be mapped.
+    pub fn new(
+        program: &Program,
+        source_schema: &Schema,
+        target_schema: &Schema,
+        config: &VcConfig,
+    ) -> VcEnumerator {
+        let candidates = collect_candidates(program, source_schema, target_schema, config);
+        let penalty = config.pair_penalty() as i64;
+        let mut options: Vec<Vec<AttrOption>> = Vec::with_capacity(candidates.len());
+        let mut sources = Vec::with_capacity(candidates.len());
+        let mut infeasible = false;
+        for group in &candidates {
+            let mut local: Vec<AttrOption> = Vec::new();
+            // Singleton images.
+            for (target, weight) in &group.targets {
+                local.push(AttrOption {
+                    images: vec![target.clone()],
+                    score: *weight as i64,
+                });
+            }
+            // The empty image (allowed only when the attribute is not
+            // queried by the program).
+            if !group.must_map {
+                local.push(AttrOption {
+                    images: Vec::new(),
+                    score: 0,
+                });
+            } else if group.targets.is_empty() {
+                infeasible = true;
+            }
+            // Pairs of images (one-to-many mappings), penalized by α.
+            for i in 0..group.targets.len() {
+                for j in (i + 1)..group.targets.len() {
+                    let (ref ti, wi) = group.targets[i];
+                    let (ref tj, wj) = group.targets[j];
+                    local.push(AttrOption {
+                        images: vec![ti.clone(), tj.clone()],
+                        score: wi as i64 + wj as i64 - penalty,
+                    });
+                }
+            }
+            local.sort_by(|a, b| b.score.cmp(&a.score));
+            local.truncate(config.max_options_per_attr.max(1));
+            sources.push(group.source.clone());
+            options.push(local);
+        }
+
+        let mut enumerator = VcEnumerator {
+            options,
+            sources,
+            frontier: BinaryHeap::new(),
+            seen: BTreeSet::new(),
+            produced: 0,
+            exhausted: infeasible,
+        };
+        if !enumerator.exhausted {
+            let initial = vec![0usize; enumerator.options.len()];
+            if enumerator.options.iter().all(|o| !o.is_empty()) {
+                let score = enumerator.score_of(&initial);
+                enumerator.seen.insert(initial.clone());
+                enumerator.frontier.push((score, Reverse(initial)));
+            } else {
+                enumerator.exhausted = true;
+            }
+        }
+        enumerator
+    }
+
+    fn score_of(&self, state: &[usize]) -> i64 {
+        state
+            .iter()
+            .zip(&self.options)
+            .map(|(&choice, group)| group[choice].score)
+            .sum()
+    }
+
+    /// The number of correspondences produced so far (the "Value Corr"
+    /// column of Table 1).
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Returns the next most likely value correspondence, or `None` when the
+    /// space has been exhausted.
+    pub fn next_correspondence(&mut self) -> Option<ValueCorrespondence> {
+        if self.exhausted {
+            return None;
+        }
+        let (_, Reverse(state)) = self.frontier.pop()?;
+        // Push the successors: bump one group to its next-ranked option.
+        for (group_index, &choice) in state.iter().enumerate() {
+            if choice + 1 < self.options[group_index].len() {
+                let mut successor = state.clone();
+                successor[group_index] = choice + 1;
+                if self.seen.insert(successor.clone()) {
+                    let score = self.score_of(&successor);
+                    self.frontier.push((score, Reverse(successor)));
+                }
+            }
+        }
+        // Materialize the correspondence.
+        let mut phi = ValueCorrespondence::new();
+        for (group_index, &choice) in state.iter().enumerate() {
+            for image in &self.options[group_index][choice].images {
+                phi.add(self.sources[group_index].clone(), image.clone());
+            }
+        }
+        self.produced += 1;
+        if self.frontier.is_empty() {
+            self.exhausted = true;
+        }
+        Some(phi)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxSAT-based enumerator — the paper's literal encoding
+// ---------------------------------------------------------------------------
+
+/// The paper's MaxSAT encoding of value-correspondence enumeration, solved
+/// with the [`satsolver`] partial weighted MaxSAT solver.
+///
+/// This is the reference implementation; it is practical for small schemas
+/// and is cross-checked against [`VcEnumerator`] in the test suite, but the
+/// synthesizer uses [`VcEnumerator`] so that very wide schemas (hundreds of
+/// attributes) do not require pseudo-Boolean bounds over thousands of soft
+/// clauses.
+#[derive(Debug)]
+pub struct MaxSatVcEnumerator {
+    maxsat: MaxSatSolver,
+    pairs: Vec<(QualifiedAttr, QualifiedAttr, Var)>,
+    produced: usize,
+    exhausted: bool,
+}
+
+impl MaxSatVcEnumerator {
+    /// Builds the MaxSAT encoding.
+    pub fn new(
+        program: &Program,
+        source_schema: &Schema,
+        target_schema: &Schema,
+        config: &VcConfig,
+    ) -> MaxSatVcEnumerator {
+        let candidates = collect_candidates(program, source_schema, target_schema, config);
+        let mut maxsat = MaxSatSolver::new();
+        let mut pairs = Vec::new();
+        for group in &candidates {
+            let mut vars = Vec::new();
+            for (target, weight) in &group.targets {
+                let var = maxsat.new_var();
+                maxsat.add_soft(&[Lit::pos(var)], *weight);
+                pairs.push((group.source.clone(), target.clone(), var));
+                vars.push(var);
+            }
+            for i in 0..vars.len() {
+                for j in (i + 1)..vars.len() {
+                    maxsat.add_soft(&[Lit::neg(vars[i]), Lit::neg(vars[j])], config.pair_penalty());
+                }
+            }
+            if group.must_map {
+                let clause: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+                maxsat.add_hard(&clause);
+            }
+        }
+        MaxSatVcEnumerator {
+            maxsat,
+            pairs,
+            produced: 0,
+            exhausted: false,
+        }
+    }
+
+    /// The number of correspondences produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Returns the next most likely value correspondence, or `None` when the
+    /// hard constraints become unsatisfiable.
+    pub fn next_correspondence(&mut self) -> Option<ValueCorrespondence> {
+        if self.exhausted {
+            return None;
+        }
+        match self.maxsat.solve() {
+            MaxSatResult::Unsat => {
+                self.exhausted = true;
+                None
+            }
+            MaxSatResult::Optimal { model, .. } => {
+                let mut phi = ValueCorrespondence::new();
+                let mut blocking = Vec::with_capacity(self.pairs.len());
+                for (source, target, var) in &self.pairs {
+                    if model.value(*var) {
+                        phi.add(source.clone(), target.clone());
+                        blocking.push(Lit::neg(*var));
+                    } else {
+                        blocking.push(Lit::pos(*var));
+                    }
+                }
+                self.maxsat.add_hard(&blocking);
+                self.produced += 1;
+                Some(phi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbir::parser::parse_program;
+
+    fn motivating_schemas() -> (Schema, Schema) {
+        let source = Schema::parse(
+            "Class(ClassId: int, InstId: int, TaId: int)\n\
+             Instructor(InstId: int, IName: string, IPic: binary)\n\
+             TA(TaId: int, TName: string, TPic: binary)",
+        )
+        .unwrap();
+        let target = Schema::parse(
+            "Class(ClassId: int, InstId: int, TaId: int)\n\
+             Instructor(InstId: int, IName: string, PicId: id)\n\
+             TA(TaId: int, TName: string, PicId: id)\n\
+             Picture(PicId: id, Pic: binary)",
+        )
+        .unwrap();
+        (source, target)
+    }
+
+    fn motivating_program(schema: &Schema) -> Program {
+        parse_program(
+            r#"
+            update addInstructor(id: int, name: string, pic: binary)
+                INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+            update deleteInstructor(id: int)
+                DELETE Instructor FROM Instructor WHERE InstId = id;
+            query getInstructorInfo(id: int)
+                SELECT IName, IPic FROM Instructor WHERE InstId = id;
+            update addTA(id: int, name: string, pic: binary)
+                INSERT INTO TA VALUES (TaId: id, TName: name, TPic: pic);
+            update deleteTA(id: int)
+                DELETE TA FROM TA WHERE TaId = id;
+            query getTAInfo(id: int)
+                SELECT TName, TPic FROM TA WHERE TaId = id;
+            "#,
+            schema,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn value_correspondence_container() {
+        let mut vc = ValueCorrespondence::new();
+        let a = QualifiedAttr::new("T", "a");
+        let b1 = QualifiedAttr::new("U", "b1");
+        let b2 = QualifiedAttr::new("U", "b2");
+        assert!(!vc.is_mapped(&a));
+        vc.add(a.clone(), b1.clone());
+        vc.add(a.clone(), b2.clone());
+        assert!(vc.is_mapped(&a));
+        assert_eq!(vc.images(&a).len(), 2);
+        assert_eq!(vc.mapped_count(), 1);
+        let display = vc.to_string();
+        assert!(display.contains("T.a"));
+        assert!(display.contains("U.b1"));
+    }
+
+    #[test]
+    fn first_correspondence_maps_pictures_correctly() {
+        let (source_schema, target_schema) = motivating_schemas();
+        let program = motivating_program(&source_schema);
+        let mut enumerator = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        let phi = enumerator.next_correspondence().expect("at least one VC");
+        // The paper's expected first correspondence: IPic -> Picture.Pic,
+        // TPic -> Picture.Pic, everything else maps to the same-named attr.
+        assert_eq!(
+            phi.images(&QualifiedAttr::new("Instructor", "IPic")),
+            [QualifiedAttr::new("Picture", "Pic")].into_iter().collect()
+        );
+        assert_eq!(
+            phi.images(&QualifiedAttr::new("TA", "TPic")),
+            [QualifiedAttr::new("Picture", "Pic")].into_iter().collect()
+        );
+        assert!(phi
+            .images(&QualifiedAttr::new("Instructor", "IName"))
+            .contains(&QualifiedAttr::new("Instructor", "IName")));
+        assert!(phi
+            .images(&QualifiedAttr::new("TA", "TaId"))
+            .contains(&QualifiedAttr::new("TA", "TaId")));
+        assert_eq!(enumerator.produced(), 1);
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_correspondences_in_decreasing_order() {
+        let (source_schema, target_schema) = motivating_schemas();
+        let program = motivating_program(&source_schema);
+        let mut enumerator = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        let mut seen = Vec::new();
+        let mut previous_score = i64::MAX;
+        for _ in 0..5 {
+            let state_score = enumerator
+                .frontier
+                .peek()
+                .map(|(score, _)| *score)
+                .unwrap_or(i64::MIN);
+            let phi = enumerator.next_correspondence().unwrap();
+            assert!(
+                state_score <= previous_score,
+                "correspondences must be produced in decreasing objective order"
+            );
+            previous_score = state_score;
+            assert!(!seen.contains(&phi), "correspondences must be distinct");
+            seen.push(phi);
+        }
+        assert_eq!(enumerator.produced(), 5);
+    }
+
+    #[test]
+    fn unsatisfiable_when_queried_attr_has_no_candidate() {
+        // The query projects a binary column but the target schema has no
+        // binary column at all, so the hard constraint is unsatisfiable.
+        let source_schema = Schema::parse("T(id: int, blob: binary)").unwrap();
+        let target_schema = Schema::parse("T(id: int, name: string)").unwrap();
+        let program = parse_program(
+            "query getBlob(id: int) SELECT blob FROM T WHERE id = id;",
+            &source_schema,
+        )
+        .unwrap();
+        let mut enumerator = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        assert!(enumerator.next_correspondence().is_none());
+        assert!(enumerator.next_correspondence().is_none());
+        let mut reference = MaxSatVcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        assert!(reference.next_correspondence().is_none());
+    }
+
+    #[test]
+    fn rename_is_found_despite_low_similarity() {
+        let source_schema = Schema::parse("T(key: int, zzz: string)").unwrap();
+        let target_schema = Schema::parse("T(key: int, description: string)").unwrap();
+        let program = parse_program(
+            "query get(key: int) SELECT zzz FROM T WHERE key = key;",
+            &source_schema,
+        )
+        .unwrap();
+        let mut enumerator = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        let phi = enumerator.next_correspondence().unwrap();
+        assert!(phi
+            .images(&QualifiedAttr::new("T", "zzz"))
+            .contains(&QualifiedAttr::new("T", "description")));
+    }
+
+    #[test]
+    fn maxsat_reference_agrees_with_best_first_enumerator_on_small_schema() {
+        // A small rename + split scenario: both enumerators must agree on
+        // the best correspondence.
+        let source_schema = Schema::parse("Emp(eid: int, photo: binary, bio: string)").unwrap();
+        let target_schema = Schema::parse(
+            "Emp(eid: int, detailId: id)\n\
+             EmpDetail(detailId: id, photo: binary, bio: string)",
+        )
+        .unwrap();
+        let program = parse_program(
+            r#"
+            update addEmp(eid: int, photo: binary, bio: string)
+                INSERT INTO Emp VALUES (eid: eid, photo: photo, bio: bio);
+            query getEmp(eid: int)
+                SELECT photo, bio FROM Emp WHERE eid = eid;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        let config = VcConfig::default();
+        let mut fast = VcEnumerator::new(&program, &source_schema, &target_schema, &config);
+        let mut reference =
+            MaxSatVcEnumerator::new(&program, &source_schema, &target_schema, &config);
+        let fast_first = fast.next_correspondence().unwrap();
+        let reference_first = reference.next_correspondence().unwrap();
+        assert_eq!(fast_first, reference_first);
+        assert_eq!(reference.produced(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Ergonomic builders for constructing programs directly in Rust.
+//!
+//! The benchmark suite generates many CRUD-style functions (add/delete/get/
+//! set per entity); these helpers remove the boilerplate of spelling out
+//! parameters and qualified attributes by hand.
+
+use crate::ast::{Function, JoinChain, Operand, Param, Pred, Program, Query, Update};
+use crate::error::{Error, Result};
+use crate::schema::{AttrName, QualifiedAttr, Schema, TableName};
+
+/// A builder for [`Program`]s over a fixed schema.
+#[derive(Debug)]
+pub struct ProgramBuilder<'a> {
+    schema: &'a Schema,
+    functions: Vec<Function>,
+}
+
+impl<'a> ProgramBuilder<'a> {
+    /// Creates a builder for programs over `schema`.
+    pub fn new(schema: &'a Schema) -> ProgramBuilder<'a> {
+        ProgramBuilder {
+            schema,
+            functions: Vec::new(),
+        }
+    }
+
+    /// Adds an arbitrary pre-built function.
+    pub fn push(&mut self, function: Function) -> &mut Self {
+        self.functions.push(function);
+        self
+    }
+
+    fn table(&self, table: &str) -> Result<&crate::schema::TableDef> {
+        self.schema
+            .table(&TableName::new(table))
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))
+    }
+
+    fn qattr(&self, table: &str, attr: &str) -> Result<QualifiedAttr> {
+        let qattr = QualifiedAttr::new(table, attr);
+        if self.schema.has_attr(&qattr) {
+            Ok(qattr)
+        } else {
+            Err(Error::UnknownAttribute(qattr.to_string()))
+        }
+    }
+
+    /// Adds an update function `name(c1, ..., cn)` inserting one row into
+    /// `table` with one parameter per column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table does not exist.
+    pub fn insert_all(&mut self, name: &str, table: &str) -> Result<&mut Self> {
+        let def = self.table(table)?;
+        let params: Vec<Param> = def
+            .columns
+            .iter()
+            .map(|c| Param::new(c.name.as_str(), c.ty))
+            .collect();
+        let values: Vec<(QualifiedAttr, Operand)> = def
+            .columns
+            .iter()
+            .map(|c| {
+                (
+                    QualifiedAttr {
+                        table: def.name.clone(),
+                        attr: c.name.clone(),
+                    },
+                    Operand::param(c.name.as_str()),
+                )
+            })
+            .collect();
+        let update = Update::Insert {
+            join: JoinChain::Table(def.name.clone()),
+            values,
+        };
+        self.functions.push(Function::update(name, params, update));
+        Ok(self)
+    }
+
+    /// Adds an update function `name(key)` deleting the rows of `table`
+    /// whose `key_attr` equals the parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or key attribute does not exist.
+    pub fn delete_by(&mut self, name: &str, table: &str, key_attr: &str) -> Result<&mut Self> {
+        let def = self.table(table)?;
+        let key = self.qattr(table, key_attr)?;
+        let key_ty = def
+            .column_type(&AttrName::new(key_attr))
+            .ok_or_else(|| Error::UnknownAttribute(key.to_string()))?;
+        let update = Update::Delete {
+            tables: vec![def.name.clone()],
+            join: JoinChain::Table(def.name.clone()),
+            pred: Pred::eq_value(key, Operand::param(key_attr)),
+        };
+        self.functions.push(Function::update(
+            name,
+            vec![Param::new(key_attr, key_ty)],
+            update,
+        ));
+        Ok(self)
+    }
+
+    /// Adds an update function `name(key, value)` setting `set_attr` on the
+    /// rows of `table` whose `key_attr` equals the first parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or either attribute does not exist.
+    pub fn update_by(
+        &mut self,
+        name: &str,
+        table: &str,
+        key_attr: &str,
+        set_attr: &str,
+    ) -> Result<&mut Self> {
+        let def = self.table(table)?;
+        let key = self.qattr(table, key_attr)?;
+        let target = self.qattr(table, set_attr)?;
+        let key_ty = def
+            .column_type(&AttrName::new(key_attr))
+            .ok_or_else(|| Error::UnknownAttribute(key.to_string()))?;
+        let set_ty = def
+            .column_type(&AttrName::new(set_attr))
+            .ok_or_else(|| Error::UnknownAttribute(target.to_string()))?;
+        let value_param = format!("new_{set_attr}");
+        let update = Update::UpdateAttr {
+            join: JoinChain::Table(def.name.clone()),
+            pred: Pred::eq_value(key, Operand::param(key_attr)),
+            attr: target,
+            value: Operand::param(value_param.clone()),
+        };
+        self.functions.push(Function::update(
+            name,
+            vec![
+                Param::new(key_attr, key_ty),
+                Param::new(value_param, set_ty),
+            ],
+            update,
+        ));
+        Ok(self)
+    }
+
+    /// Adds a query function `name(key)` projecting `projected` from the
+    /// rows of `table` whose `key_attr` equals the parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table or any attribute does not exist.
+    pub fn select_by(
+        &mut self,
+        name: &str,
+        table: &str,
+        key_attr: &str,
+        projected: &[&str],
+    ) -> Result<&mut Self> {
+        let def = self.table(table)?;
+        let key = self.qattr(table, key_attr)?;
+        let key_ty = def
+            .column_type(&AttrName::new(key_attr))
+            .ok_or_else(|| Error::UnknownAttribute(key.to_string()))?;
+        let attrs: Result<Vec<QualifiedAttr>> = projected
+            .iter()
+            .map(|attr| self.qattr(table, attr))
+            .collect();
+        let query = Query::select(
+            attrs?,
+            Pred::eq_value(key, Operand::param(key_attr)),
+            JoinChain::Table(def.name.clone()),
+        );
+        self.functions.push(Function::query(
+            name,
+            vec![Param::new(key_attr, key_ty)],
+            query,
+        ));
+        Ok(self)
+    }
+
+    /// Adds a query function `name(key)` that projects `projected` from a
+    /// join of `tables` (natural joins resolved through the schema in the
+    /// given order), filtering on `key_attr = key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tables are not pairwise joinable in the given
+    /// order or an attribute does not exist.
+    pub fn select_join_by(
+        &mut self,
+        name: &str,
+        tables: &[&str],
+        key_attr: (&str, &str),
+        projected: &[(&str, &str)],
+    ) -> Result<&mut Self> {
+        let chain = self.natural_chain(tables)?;
+        let key = self.qattr(key_attr.0, key_attr.1)?;
+        let key_ty = self
+            .schema
+            .attr_type(&key)
+            .ok_or_else(|| Error::UnknownAttribute(key.to_string()))?;
+        let attrs: Result<Vec<QualifiedAttr>> = projected
+            .iter()
+            .map(|(t, a)| self.qattr(t, a))
+            .collect();
+        let query = Query::select(
+            attrs?,
+            Pred::eq_value(key, Operand::param(key_attr.1)),
+            chain,
+        );
+        self.functions.push(Function::query(
+            name,
+            vec![Param::new(key_attr.1, key_ty)],
+            query,
+        ));
+        Ok(self)
+    }
+
+    /// Builds a natural join chain over the given tables in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if consecutive tables cannot be joined.
+    pub fn natural_chain(&self, tables: &[&str]) -> Result<JoinChain> {
+        let mut iter = tables.iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| Error::InvalidStatement("empty join chain".to_string()))?;
+        self.table(first)?;
+        let mut chain = JoinChain::table(*first);
+        for table in iter {
+            self.table(table)?;
+            let right = TableName::new(*table);
+            let mut found = None;
+            for left in chain.tables() {
+                if let Some(pair) = self.schema.join_attrs(&left, &right).into_iter().next() {
+                    found = Some(pair);
+                    break;
+                }
+            }
+            let (left_attr, right_attr) = found.ok_or_else(|| {
+                Error::InvalidStatement(format!("cannot naturally join `{table}` into the chain"))
+            })?;
+            chain = chain.join(JoinChain::table(*table), left_attr, right_attr);
+        }
+        Ok(chain)
+    }
+
+    /// Finishes the builder, validating the program against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first well-formedness violation found.
+    pub fn build(self) -> Result<Program> {
+        let program = Program::new(self.functions);
+        program.validate(self.schema)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::TestConfig;
+    use crate::invocation::{run, Call, InvocationSequence};
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::parse(
+            "User(uid: int, name: string, email: string)\n\
+             Post(pid: int, uid: int, title: string)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn crud_builder_produces_runnable_program() {
+        let schema = schema();
+        let mut builder = ProgramBuilder::new(&schema);
+        builder.insert_all("addUser", "User").unwrap();
+        builder.delete_by("deleteUser", "User", "uid").unwrap();
+        builder.update_by("renameUser", "User", "uid", "name").unwrap();
+        builder.select_by("getUser", "User", "uid", &["name", "email"]).unwrap();
+        let program = builder.build().unwrap();
+        assert_eq!(program.functions.len(), 4);
+
+        let seq = InvocationSequence::new(
+            vec![
+                Call::new(
+                    "addUser",
+                    vec![Value::Int(1), Value::str("ada"), Value::str("a@x")],
+                ),
+                Call::new("renameUser", vec![Value::Int(1), Value::str("grace")]),
+            ],
+            Call::new("getUser", vec![Value::Int(1)]),
+        );
+        let result = run(&program, &schema, &seq).unwrap();
+        assert_eq!(result.rows, vec![vec![Value::str("grace"), Value::str("a@x")]]);
+    }
+
+    #[test]
+    fn select_join_by_builds_two_table_query() {
+        let schema = schema();
+        let mut builder = ProgramBuilder::new(&schema);
+        builder.insert_all("addUser", "User").unwrap();
+        builder.insert_all("addPost", "Post").unwrap();
+        builder
+            .select_join_by(
+                "postsOf",
+                &["User", "Post"],
+                ("User", "uid"),
+                &[("Post", "title")],
+            )
+            .unwrap();
+        let program = builder.build().unwrap();
+
+        let seq = InvocationSequence::new(
+            vec![
+                Call::new(
+                    "addUser",
+                    vec![Value::Int(1), Value::str("ada"), Value::str("a@x")],
+                ),
+                Call::new(
+                    "addPost",
+                    vec![Value::Int(10), Value::Int(1), Value::str("hello")],
+                ),
+            ],
+            Call::new("postsOf", vec![Value::Int(1)]),
+        );
+        let result = run(&program, &schema, &seq).unwrap();
+        assert_eq!(result.rows, vec![vec![Value::str("hello")]]);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let schema = schema();
+        let mut builder = ProgramBuilder::new(&schema);
+        assert!(builder.insert_all("f", "Ghost").is_err());
+        assert!(builder.delete_by("f", "User", "ghost").is_err());
+        assert!(builder.select_by("f", "User", "uid", &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn natural_chain_requires_joinable_tables() {
+        let schema = Schema::parse("A(x: int)\nB(y: int)").unwrap();
+        let builder = ProgramBuilder::new(&schema);
+        assert!(builder.natural_chain(&["A", "B"]).is_err());
+        assert!(builder.natural_chain(&[]).is_err());
+    }
+
+    #[test]
+    fn builder_program_is_self_equivalent() {
+        let schema = schema();
+        let mut builder = ProgramBuilder::new(&schema);
+        builder.insert_all("addUser", "User").unwrap();
+        builder.select_by("getUser", "User", "uid", &["name"]).unwrap();
+        let program = builder.build().unwrap();
+        let report = crate::equiv::compare_programs(
+            &program,
+            &schema,
+            &program,
+            &schema,
+            &TestConfig::default(),
+        );
+        assert!(report.equivalent);
+    }
+}

@@ -1,0 +1,490 @@
+//! Bounded equivalence checking and minimum-failing-input search.
+//!
+//! The paper checks candidate programs against the original by *bounded
+//! exhaustive testing*: invocation sequences are generated from a small seed
+//! set of constants in increasing order of length, and the first sequence on
+//! which the two programs disagree is, by construction, a **minimum failing
+//! input** (Section 5, "Generating minimum failing inputs").
+//!
+//! This module implements that procedure, plus a *relevance-closure*
+//! optimization: when testing a particular query function, only update
+//! functions whose (transitive) table footprint can influence that query in
+//! either program are considered. Updates outside the closure cannot change
+//! the query's result in either program, so omitting them preserves both
+//! soundness and minimality of the search at a given bound.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Function, Program};
+use crate::invocation::{observe, Call, InvocationSequence, Outcome};
+use crate::schema::{Schema, TableName};
+use crate::value::{DataType, Value};
+
+/// Configuration of the bounded testing procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestConfig {
+    /// Maximum number of update calls preceding the final query.
+    pub max_updates: usize,
+    /// Seed constants used for integer parameters.
+    pub int_seeds: Vec<i64>,
+    /// Seed constants used for string parameters.
+    pub string_seeds: Vec<String>,
+    /// Seed constants used for binary parameters.
+    pub binary_seeds: Vec<Vec<u8>>,
+    /// Seed constants used for boolean parameters.
+    pub bool_seeds: Vec<bool>,
+    /// Seed constants used for identifier parameters.
+    pub id_seeds: Vec<i64>,
+    /// Maximum number of argument combinations explored per function
+    /// (`None` for no cap).  Combinations are enumerated deterministically,
+    /// so the cap keeps very wide functions tractable.
+    pub max_arg_combinations: Option<usize>,
+    /// If `true`, restrict the update functions considered for a given query
+    /// to the relevance closure described in the module documentation.
+    pub cluster_by_tables: bool,
+    /// Hard cap on the total number of invocation sequences executed
+    /// (`None` for no cap).
+    pub max_sequences: Option<usize>,
+}
+
+impl Default for TestConfig {
+    fn default() -> TestConfig {
+        TestConfig {
+            max_updates: 2,
+            int_seeds: vec![0, 1],
+            string_seeds: vec!["A".to_string(), "B".to_string()],
+            binary_seeds: vec![vec![0xaa], vec![0xbb]],
+            bool_seeds: vec![true, false],
+            id_seeds: vec![0, 1],
+            max_arg_combinations: Some(16),
+            cluster_by_tables: true,
+            max_sequences: None,
+        }
+    }
+}
+
+impl TestConfig {
+    /// A configuration with a deeper bound (three preceding updates), used
+    /// as the final verification pass. The argument-combination cap is kept
+    /// small because the sequence space grows cubically in it.
+    pub fn thorough() -> TestConfig {
+        TestConfig {
+            max_updates: 3,
+            int_seeds: vec![0, 1, 2],
+            max_arg_combinations: Some(8),
+            ..TestConfig::default()
+        }
+    }
+
+    /// A shallow configuration (a single preceding update) used for quick
+    /// screening of obviously wrong candidates.
+    pub fn quick() -> TestConfig {
+        TestConfig {
+            max_updates: 1,
+            ..TestConfig::default()
+        }
+    }
+
+    /// The seed values available for a parameter of type `ty`.
+    pub fn seeds(&self, ty: DataType) -> Vec<Value> {
+        match ty {
+            DataType::Int => self.int_seeds.iter().map(|&v| Value::Int(v)).collect(),
+            DataType::String => self
+                .string_seeds
+                .iter()
+                .map(|s| Value::Str(s.clone()))
+                .collect(),
+            DataType::Binary => self
+                .binary_seeds
+                .iter()
+                .map(|b| Value::Bytes(b.clone()))
+                .collect(),
+            DataType::Bool => self.bool_seeds.iter().map(|&b| Value::Bool(b)).collect(),
+            DataType::Id => self.id_seeds.iter().map(|&v| Value::Int(v)).collect(),
+        }
+    }
+
+    /// All argument combinations (Cartesian product of per-parameter seeds)
+    /// for `function`, capped at [`TestConfig::max_arg_combinations`].
+    pub fn arg_combinations(&self, function: &Function) -> Vec<Vec<Value>> {
+        let mut combos: Vec<Vec<Value>> = vec![Vec::new()];
+        for param in &function.params {
+            let seeds = self.seeds(param.ty);
+            let mut next = Vec::with_capacity(combos.len() * seeds.len().max(1));
+            for combo in &combos {
+                for seed in &seeds {
+                    let mut extended = combo.clone();
+                    extended.push(seed.clone());
+                    next.push(extended);
+                }
+            }
+            combos = next;
+            if let Some(cap) = self.max_arg_combinations {
+                if combos.len() > cap {
+                    combos.truncate(cap);
+                }
+            }
+        }
+        combos
+    }
+}
+
+/// The result of a bounded equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceReport {
+    /// `true` if no failing input was found within the bound.
+    pub equivalent: bool,
+    /// The minimum failing input, if one was found.
+    pub counterexample: Option<InvocationSequence>,
+    /// Number of invocation sequences executed.
+    pub sequences_tested: usize,
+}
+
+/// Computes the relevance closure for one query function: the set of update
+/// functions whose table footprint (in either program) can transitively
+/// influence the query's tables.
+fn relevant_updates<'p>(
+    query: &Function,
+    source: &'p Program,
+    target: &Program,
+) -> Vec<&'p Function> {
+    let target_query_tables: Vec<TableName> = target
+        .function(&query.name)
+        .map(|f| f.tables())
+        .unwrap_or_default();
+    let mut reachable: BTreeSet<TableName> = query.tables().into_iter().collect();
+    reachable.extend(target_query_tables);
+
+    let footprint = |name: &str| -> BTreeSet<TableName> {
+        let mut tables = BTreeSet::new();
+        if let Some(f) = source.function(name) {
+            tables.extend(f.tables());
+        }
+        if let Some(f) = target.function(name) {
+            tables.extend(f.tables());
+        }
+        tables
+    };
+
+    let update_names: Vec<String> = source.updates().map(|f| f.name.clone()).collect();
+    let mut selected: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for name in &update_names {
+            if selected.contains(name) {
+                continue;
+            }
+            let tables = footprint(name);
+            if tables.iter().any(|t| reachable.contains(t)) {
+                selected.insert(name.clone());
+                for table in tables {
+                    reachable.insert(table);
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    source
+        .updates()
+        .filter(|f| selected.contains(&f.name))
+        .collect()
+}
+
+/// Searches for a **minimum failing input** distinguishing `source` (over
+/// `source_schema`) from `target` (over `target_schema`).
+///
+/// Sequences are enumerated in increasing number of update calls, so the
+/// first counterexample returned has minimal length among all sequences
+/// expressible with the configured seed constants.
+///
+/// Returns `None` if the two programs agree on every sequence within the
+/// bound.
+pub fn find_failing_input(
+    source: &Program,
+    source_schema: &Schema,
+    target: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+) -> Option<InvocationSequence> {
+    compare_programs(source, source_schema, target, target_schema, config).counterexample
+}
+
+/// Runs the bounded equivalence check and reports the outcome together with
+/// the number of sequences executed.
+pub fn compare_programs(
+    source: &Program,
+    source_schema: &Schema,
+    target: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+) -> EquivalenceReport {
+    let mut sequences_tested = 0usize;
+
+    // Pre-compute per-query call lists.
+    struct QueryPlan {
+        query_calls: Vec<Call>,
+        update_calls: Vec<Call>,
+    }
+    let mut plans: Vec<QueryPlan> = Vec::new();
+    for query in source.queries() {
+        let query_calls: Vec<Call> = config
+            .arg_combinations(query)
+            .into_iter()
+            .map(|args| Call::new(query.name.clone(), args))
+            .collect();
+        let updates: Vec<&Function> = if config.cluster_by_tables {
+            relevant_updates(query, source, target)
+        } else {
+            source.updates().collect()
+        };
+        let update_calls: Vec<Call> = updates
+            .iter()
+            .flat_map(|u| {
+                config
+                    .arg_combinations(u)
+                    .into_iter()
+                    .map(|args| Call::new(u.name.clone(), args))
+            })
+            .collect();
+        plans.push(QueryPlan {
+            query_calls,
+            update_calls,
+        });
+    }
+
+    // Enumerate sequences in increasing number of preceding updates so the
+    // first difference found is a minimum failing input.
+    for length in 0..=config.max_updates {
+        for plan in &plans {
+            let mut prefix_indices = vec![0usize; length];
+            loop {
+                // Materialize the current prefix of update calls.
+                if length == 0 || !plan.update_calls.is_empty() {
+                    let updates: Vec<Call> = prefix_indices
+                        .iter()
+                        .map(|&i| plan.update_calls[i].clone())
+                        .collect();
+                    for query_call in &plan.query_calls {
+                        if let Some(cap) = config.max_sequences {
+                            if sequences_tested >= cap {
+                                return EquivalenceReport {
+                                    equivalent: true,
+                                    counterexample: None,
+                                    sequences_tested,
+                                };
+                            }
+                        }
+                        sequences_tested += 1;
+                        let sequence =
+                            InvocationSequence::new(updates.clone(), query_call.clone());
+                        let lhs = observe(source, source_schema, &sequence);
+                        let rhs = observe(target, target_schema, &sequence);
+                        if !outcomes_agree(&lhs, &rhs) {
+                            return EquivalenceReport {
+                                equivalent: false,
+                                counterexample: Some(sequence),
+                                sequences_tested,
+                            };
+                        }
+                    }
+                }
+                // Advance the prefix odometer.
+                if length == 0 || plan.update_calls.is_empty() {
+                    break;
+                }
+                let mut pos = length;
+                loop {
+                    if pos == 0 {
+                        break;
+                    }
+                    pos -= 1;
+                    prefix_indices[pos] += 1;
+                    if prefix_indices[pos] < plan.update_calls.len() {
+                        break;
+                    }
+                    prefix_indices[pos] = 0;
+                    if pos == 0 {
+                        pos = usize::MAX;
+                        break;
+                    }
+                }
+                if pos == usize::MAX {
+                    break;
+                }
+            }
+        }
+    }
+
+    EquivalenceReport {
+        equivalent: true,
+        counterexample: None,
+        sequences_tested,
+    }
+}
+
+/// Two outcomes agree when both succeed with the same canonical rows, or
+/// both fail. (The particular error does not matter for equivalence; what
+/// matters is that neither program produces an observable result the other
+/// cannot.)
+fn outcomes_agree(lhs: &Outcome, rhs: &Outcome) -> bool {
+    match (lhs, rhs) {
+        (Outcome::Rows(a), Outcome::Rows(b)) => a == b,
+        (Outcome::Failed(_), Outcome::Failed(_)) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Function, JoinChain, Operand, Param, Pred, Query, Update};
+    use crate::schema::QualifiedAttr;
+
+    fn schema() -> Schema {
+        Schema::parse("User(uid: int, name: string)").unwrap()
+    }
+
+    fn make_program(project_name: bool) -> Program {
+        let projected = if project_name {
+            QualifiedAttr::new("User", "name")
+        } else {
+            QualifiedAttr::new("User", "uid")
+        };
+        Program::new(vec![
+            Function::update(
+                "addUser",
+                vec![
+                    Param::new("uid", DataType::Int),
+                    Param::new("name", DataType::String),
+                ],
+                Update::Insert {
+                    join: JoinChain::table("User"),
+                    values: vec![
+                        (QualifiedAttr::new("User", "uid"), Operand::param("uid")),
+                        (QualifiedAttr::new("User", "name"), Operand::param("name")),
+                    ],
+                },
+            ),
+            Function::query(
+                "getUser",
+                vec![Param::new("uid", DataType::Int)],
+                Query::select(
+                    vec![projected],
+                    Pred::eq_value(QualifiedAttr::new("User", "uid"), Operand::param("uid")),
+                    JoinChain::table("User"),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let p = make_program(true);
+        let report =
+            compare_programs(&p, &schema(), &p.clone(), &schema(), &TestConfig::default());
+        assert!(report.equivalent);
+        assert!(report.counterexample.is_none());
+        assert!(report.sequences_tested > 0);
+    }
+
+    #[test]
+    fn differing_projection_is_detected_with_minimal_input() {
+        let p = make_program(true);
+        let q = make_program(false);
+        let cex = find_failing_input(&p, &schema(), &q, &schema(), &TestConfig::default())
+            .expect("programs differ");
+        // The minimal counterexample needs exactly one insert before the query.
+        assert_eq!(cex.updates.len(), 1);
+        assert_eq!(cex.updates[0].function, "addUser");
+        assert_eq!(cex.query.function, "getUser");
+    }
+
+    #[test]
+    fn empty_prefix_differences_are_found_first() {
+        // A program whose query returns a constant row even on the empty
+        // database differs with a zero-update counterexample.
+        let p = make_program(true);
+        let mut q = make_program(true);
+        // Replace the query with one that filters on nothing (returns all
+        // rows) — on the empty instance both are empty, so instead change the
+        // predicate to `True` and seed via the insert; the difference then
+        // still requires one insert. To exercise the zero-length case we make
+        // the target query reference a never-matching filter, which agrees on
+        // the empty database; so assert the search still starts at length 0.
+        if let crate::ast::FunctionBody::Query(query) = &mut q.functions[1].body {
+            *query = Query::select(
+                vec![QualifiedAttr::new("User", "name")],
+                Pred::False,
+                JoinChain::table("User"),
+            );
+        }
+        let cex = find_failing_input(&p, &schema(), &q, &schema(), &TestConfig::default())
+            .expect("programs differ");
+        assert_eq!(cex.updates.len(), 1, "smallest distinguishing input");
+    }
+
+    #[test]
+    fn clustering_does_not_miss_counterexamples() {
+        let p = make_program(true);
+        let q = make_program(false);
+        let mut config = TestConfig::default();
+        config.cluster_by_tables = false;
+        let unclustered = find_failing_input(&p, &schema(), &q, &schema(), &config);
+        config.cluster_by_tables = true;
+        let clustered = find_failing_input(&p, &schema(), &q, &schema(), &config);
+        assert_eq!(unclustered.is_some(), clustered.is_some());
+    }
+
+    #[test]
+    fn arg_combinations_respect_cap() {
+        let config = TestConfig {
+            max_arg_combinations: Some(3),
+            ..TestConfig::default()
+        };
+        let f = Function::update(
+            "wide",
+            vec![
+                Param::new("a", DataType::Int),
+                Param::new("b", DataType::Int),
+                Param::new("c", DataType::Int),
+            ],
+            Update::Seq(vec![]),
+        );
+        assert_eq!(config.arg_combinations(&f).len(), 3);
+    }
+
+    #[test]
+    fn seeds_cover_all_types() {
+        let config = TestConfig::default();
+        for ty in [
+            DataType::Int,
+            DataType::String,
+            DataType::Binary,
+            DataType::Bool,
+            DataType::Id,
+        ] {
+            assert!(!config.seeds(ty).is_empty());
+        }
+    }
+
+    #[test]
+    fn max_sequences_cap_short_circuits() {
+        let p = make_program(true);
+        let q = make_program(false);
+        let config = TestConfig {
+            max_sequences: Some(1),
+            ..TestConfig::default()
+        };
+        let report = compare_programs(&p, &schema(), &q, &schema(), &config);
+        assert!(report.sequences_tested <= 1);
+    }
+
+    #[test]
+    fn thorough_config_is_deeper_than_default() {
+        assert!(TestConfig::thorough().max_updates > TestConfig::default().max_updates);
+        assert!(TestConfig::quick().max_updates <= TestConfig::default().max_updates);
+    }
+}

@@ -1,0 +1,847 @@
+//! An interpreter for database programs implementing the semantics of
+//! Section 3.1 of the paper.
+//!
+//! The evaluator operates on in-memory [`Instance`]s and supports:
+//!
+//! * join-chain evaluation (nested-loop equi-joins),
+//! * selection and projection,
+//! * `ins` over a *join chain* — the paper's shorthand that inserts one tuple
+//!   into every participating table, linking them with fresh unique
+//!   identifiers (`UID0`, `UID1`, ... in Figure 4),
+//! * `del([T1..Tn], J, φ)` — multi-table deletion driven by a join, and
+//! * `upd(J, φ, a, v)` — attribute update driven by a join.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::ast::{CmpOp, Function, FunctionBody, JoinChain, Operand, Pred, Query, Update};
+use crate::error::{Error, Result};
+use crate::instance::{Instance, Relation, Tuple};
+use crate::schema::{QualifiedAttr, Schema, TableName};
+use crate::value::Value;
+
+/// Parameter bindings for one function invocation.
+pub type Env = BTreeMap<String, Value>;
+
+/// Binds positional arguments to a function's parameters.
+///
+/// # Errors
+///
+/// Returns [`Error::ArityMismatch`] if the argument count differs from the
+/// parameter count, or [`Error::TypeMismatch`] if an argument does not
+/// conform to the declared parameter type.
+pub fn bind_args(function: &Function, args: &[Value]) -> Result<Env> {
+    if args.len() != function.params.len() {
+        return Err(Error::ArityMismatch {
+            function: function.name.clone(),
+            expected: function.params.len(),
+            actual: args.len(),
+        });
+    }
+    let mut env = Env::new();
+    for (param, arg) in function.params.iter().zip(args) {
+        if !arg.conforms_to(param.ty) {
+            return Err(Error::TypeMismatch {
+                context: format!("argument `{}` of `{}`", param.name, function.name),
+                expected: param.ty.to_string(),
+                actual: arg
+                    .data_type()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+            });
+        }
+        env.insert(param.name.clone(), arg.clone());
+    }
+    Ok(env)
+}
+
+/// Evaluates queries and executes updates against database instances.
+///
+/// The evaluator owns the counter used to mint fresh unique identifiers for
+/// the insert-over-join shorthand, so a single evaluator should be used for
+/// the whole lifetime of one program execution.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    schema: &'a Schema,
+    next_uid: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for programs over `schema`.
+    pub fn new(schema: &'a Schema) -> Evaluator<'a> {
+        Evaluator {
+            schema,
+            next_uid: 0,
+        }
+    }
+
+    /// The schema this evaluator resolves table and column layouts against.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    fn fresh_uid(&mut self) -> Value {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        Value::Uid(uid)
+    }
+
+    /// Executes one function call (query or update).
+    ///
+    /// For update functions the instance is mutated and `None` is returned;
+    /// for query functions the result relation is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (unknown tables/attributes, arity or
+    /// type mismatches).
+    pub fn call(
+        &mut self,
+        function: &Function,
+        args: &[Value],
+        instance: &mut Instance,
+    ) -> Result<Option<Relation>> {
+        let env = bind_args(function, args)?;
+        match &function.body {
+            FunctionBody::Query(query) => {
+                let rel = self.eval_query(query, instance, &env)?;
+                Ok(Some(rel))
+            }
+            FunctionBody::Update(update) => {
+                self.exec_update(update, instance, &env)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Evaluates a query against an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query references unknown tables or attributes.
+    pub fn eval_query(
+        &mut self,
+        query: &Query,
+        instance: &Instance,
+        env: &Env,
+    ) -> Result<Relation> {
+        match query {
+            Query::Join(chain) => self.eval_join(chain, instance),
+            Query::Filter { pred, input } => {
+                let rel = self.eval_query(input, instance, env)?;
+                self.filter_relation(rel, pred, instance, env)
+            }
+            Query::Project { attrs, input } => {
+                let rel = self.eval_query(input, instance, env)?;
+                let mut indices = Vec::with_capacity(attrs.len());
+                for attr in attrs {
+                    let idx = rel
+                        .column_index(attr)
+                        .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))?;
+                    indices.push(idx);
+                }
+                let rows = rel
+                    .rows
+                    .iter()
+                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                Ok(Relation {
+                    columns: attrs.clone(),
+                    rows,
+                })
+            }
+        }
+    }
+
+    fn filter_relation(
+        &mut self,
+        rel: Relation,
+        pred: &Pred,
+        instance: &Instance,
+        env: &Env,
+    ) -> Result<Relation> {
+        let mut rows = Vec::new();
+        for row in &rel.rows {
+            if self.eval_pred(pred, &rel.columns, row, instance, env)? {
+                rows.push(row.clone());
+            }
+        }
+        Ok(Relation {
+            columns: rel.columns,
+            rows,
+        })
+    }
+
+    /// Evaluates a join chain into a relation whose header is the
+    /// concatenation of the participating tables' qualified columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a table or join attribute is unknown.
+    pub fn eval_join(&mut self, chain: &JoinChain, instance: &Instance) -> Result<Relation> {
+        match chain {
+            JoinChain::Table(name) => {
+                let table = self
+                    .schema
+                    .table(name)
+                    .ok_or_else(|| Error::UnknownTable(name.0.clone()))?;
+                Ok(Relation {
+                    columns: table.qualified_attrs(),
+                    rows: instance.rows(name).to_vec(),
+                })
+            }
+            JoinChain::Join {
+                left,
+                right,
+                left_attr,
+                right_attr,
+            } => {
+                let lrel = self.eval_join(left, instance)?;
+                let rrel = self.eval_join(right, instance)?;
+                let li = lrel
+                    .column_index(left_attr)
+                    .ok_or_else(|| Error::UnknownAttribute(left_attr.to_string()))?;
+                let ri = rrel
+                    .column_index(right_attr)
+                    .ok_or_else(|| Error::UnknownAttribute(right_attr.to_string()))?;
+                let mut columns = lrel.columns.clone();
+                columns.extend(rrel.columns.iter().cloned());
+                let mut rows = Vec::new();
+                for lrow in &lrel.rows {
+                    for rrow in &rrel.rows {
+                        if lrow[li] == rrow[ri] && !lrow[li].is_null() {
+                            let mut row = lrow.clone();
+                            row.extend(rrow.iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                }
+                Ok(Relation { columns, rows })
+            }
+        }
+    }
+
+    fn eval_operand(&self, operand: &Operand, env: &Env) -> Result<Value> {
+        match operand {
+            Operand::Value(v) => Ok(v.clone()),
+            Operand::Param(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Error::UnknownParameter(name.clone())),
+        }
+    }
+
+    fn eval_pred(
+        &mut self,
+        pred: &Pred,
+        columns: &[QualifiedAttr],
+        row: &[Value],
+        instance: &Instance,
+        env: &Env,
+    ) -> Result<bool> {
+        let lookup = |attr: &QualifiedAttr| -> Result<Value> {
+            columns
+                .iter()
+                .position(|c| c == attr)
+                .map(|i| row[i].clone())
+                .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))
+        };
+        match pred {
+            Pred::True => Ok(true),
+            Pred::False => Ok(false),
+            Pred::CmpAttr { lhs, op, rhs } => {
+                Ok(compare(&lookup(lhs)?, *op, &lookup(rhs)?))
+            }
+            Pred::CmpValue { lhs, op, rhs } => {
+                let rhs = self.eval_operand(rhs, env)?;
+                Ok(compare(&lookup(lhs)?, *op, &rhs))
+            }
+            Pred::In { attr, query } => {
+                let needle = lookup(attr)?;
+                let rel = self.eval_query(query, instance, env)?;
+                Ok(rel.rows.iter().any(|r| r.first() == Some(&needle)))
+            }
+            Pred::And(a, b) => Ok(self.eval_pred(a, columns, row, instance, env)?
+                && self.eval_pred(b, columns, row, instance, env)?),
+            Pred::Or(a, b) => Ok(self.eval_pred(a, columns, row, instance, env)?
+                || self.eval_pred(b, columns, row, instance, env)?),
+            Pred::Not(p) => Ok(!self.eval_pred(p, columns, row, instance, env)?),
+        }
+    }
+
+    /// Executes an update statement (or sequence) against an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the statement references unknown tables or
+    /// attributes, or if a delete targets a table outside its join chain.
+    pub fn exec_update(
+        &mut self,
+        update: &Update,
+        instance: &mut Instance,
+        env: &Env,
+    ) -> Result<()> {
+        match update {
+            Update::Seq(list) => {
+                for stmt in list {
+                    self.exec_update(stmt, instance, env)?;
+                }
+                Ok(())
+            }
+            Update::Insert { join, values } => self.exec_insert(join, values, instance, env),
+            Update::Delete { tables, join, pred } => {
+                self.exec_delete(tables, join, pred, instance, env)
+            }
+            Update::UpdateAttr {
+                join,
+                pred,
+                attr,
+                value,
+            } => self.exec_update_attr(join, pred, attr, value, instance, env),
+        }
+    }
+
+    fn exec_insert(
+        &mut self,
+        join: &JoinChain,
+        values: &[(QualifiedAttr, Operand)],
+        instance: &mut Instance,
+        env: &Env,
+    ) -> Result<()> {
+        let tables = join.tables();
+        // Resolve explicit assignments.
+        let mut assigned: BTreeMap<QualifiedAttr, Value> = BTreeMap::new();
+        for (attr, operand) in values {
+            if !join.contains_table(&attr.table) {
+                return Err(Error::InvalidStatement(format!(
+                    "insert assigns `{attr}` which is not in the target join chain"
+                )));
+            }
+            assigned.insert(attr.clone(), self.eval_operand(operand, env)?);
+        }
+        // Columns linked by the chain's join conditions must receive the same
+        // value: group them with a union-find over qualified attributes.
+        let mut groups = UnionFind::new();
+        for table_name in &tables {
+            let table = self
+                .schema
+                .table(table_name)
+                .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+            for attr in table.qualified_attrs() {
+                groups.add(attr);
+            }
+        }
+        for_each_join_condition(join, &mut |left, right| {
+            groups.union(left, right);
+        });
+        // Decide one value per group: an explicitly assigned value wins,
+        // otherwise the group shares a fresh unique identifier.
+        let mut group_values: BTreeMap<QualifiedAttr, Value> = BTreeMap::new();
+        for (attr, value) in &assigned {
+            let root = groups.find(attr);
+            group_values.insert(root, value.clone());
+        }
+        for table_name in &tables {
+            let table = self.schema.table(table_name).expect("validated above");
+            let mut tuple = Tuple::with_capacity(table.columns.len());
+            for column in &table.columns {
+                let qattr = QualifiedAttr {
+                    table: table_name.clone(),
+                    attr: column.name.clone(),
+                };
+                let root = groups.find(&qattr);
+                let value = match group_values.get(&root) {
+                    Some(v) => v.clone(),
+                    None => {
+                        let fresh = self.fresh_uid();
+                        group_values.insert(root, fresh.clone());
+                        fresh
+                    }
+                };
+                tuple.push(value);
+            }
+            // Declared primary keys give inserts upsert semantics: an
+            // existing row with the same key is replaced.
+            if let Some(key_index) = table.primary_key_index() {
+                let key_value = tuple[key_index].clone();
+                if !key_value.is_null() {
+                    instance
+                        .rows_mut(table_name)
+                        .retain(|row| row[key_index] != key_value);
+                }
+            }
+            instance.insert(table_name, tuple);
+        }
+        Ok(())
+    }
+
+    fn exec_delete(
+        &mut self,
+        tables: &[TableName],
+        join: &JoinChain,
+        pred: &Pred,
+        instance: &mut Instance,
+        env: &Env,
+    ) -> Result<()> {
+        for table in tables {
+            if !join.contains_table(table) {
+                return Err(Error::InvalidStatement(format!(
+                    "delete targets `{table}` which is not in its join chain"
+                )));
+            }
+        }
+        let joined = self.eval_join(join, instance)?;
+        let filtered = self.filter_relation(joined, pred, instance, env)?;
+        for table_name in tables {
+            let table = self
+                .schema
+                .table(table_name)
+                .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+            let attrs = table.qualified_attrs();
+            let doomed: BTreeSet<Tuple> = filtered
+                .project(&attrs)
+                .rows
+                .into_iter()
+                .collect();
+            instance
+                .rows_mut(table_name)
+                .retain(|row| !doomed.contains(row));
+        }
+        Ok(())
+    }
+
+    fn exec_update_attr(
+        &mut self,
+        join: &JoinChain,
+        pred: &Pred,
+        attr: &QualifiedAttr,
+        value: &Operand,
+        instance: &mut Instance,
+        env: &Env,
+    ) -> Result<()> {
+        if !join.contains_table(&attr.table) {
+            return Err(Error::InvalidStatement(format!(
+                "update writes `{attr}` which is not in its join chain"
+            )));
+        }
+        let table = self
+            .schema
+            .table(&attr.table)
+            .ok_or_else(|| Error::UnknownTable(attr.table.0.clone()))?;
+        let column_index = table
+            .column_index(&attr.attr)
+            .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))?;
+        let joined = self.eval_join(join, instance)?;
+        let filtered = self.filter_relation(joined, pred, instance, env)?;
+        let attrs = table.qualified_attrs();
+        let affected: BTreeSet<Tuple> = filtered
+            .project(&attrs)
+            .rows
+            .into_iter()
+            .collect();
+        let new_value = self.eval_operand(value, env)?;
+        for row in instance.rows_mut(&attr.table) {
+            if affected.contains(row) {
+                row[column_index] = new_value.clone();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compares two values under the given operator.
+///
+/// Ordering comparisons use the derived total order on [`Value`], which
+/// coincides with numeric order for integers (the only type the benchmarks
+/// order-compare).
+fn compare(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
+    match op {
+        CmpOp::Eq => lhs == rhs,
+        CmpOp::Ne => lhs != rhs,
+        CmpOp::Lt => lhs < rhs,
+        CmpOp::Le => lhs <= rhs,
+        CmpOp::Gt => lhs > rhs,
+        CmpOp::Ge => lhs >= rhs,
+    }
+}
+
+fn for_each_join_condition(
+    chain: &JoinChain,
+    f: &mut impl FnMut(&QualifiedAttr, &QualifiedAttr),
+) {
+    if let JoinChain::Join {
+        left,
+        right,
+        left_attr,
+        right_attr,
+    } = chain
+    {
+        for_each_join_condition(left, f);
+        for_each_join_condition(right, f);
+        f(left_attr, right_attr);
+    }
+}
+
+/// A small union-find over qualified attributes, used to propagate shared
+/// insert values along join conditions.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: BTreeMap<QualifiedAttr, QualifiedAttr>,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind::default()
+    }
+
+    fn add(&mut self, attr: QualifiedAttr) {
+        self.parent.entry(attr.clone()).or_insert(attr);
+    }
+
+    fn find(&mut self, attr: &QualifiedAttr) -> QualifiedAttr {
+        self.add(attr.clone());
+        let parent = self.parent[attr].clone();
+        if &parent == attr {
+            return parent;
+        }
+        let root = self.find(&parent);
+        self.parent.insert(attr.clone(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &QualifiedAttr, b: &QualifiedAttr) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Param;
+    use crate::value::DataType;
+
+    fn car_schema() -> Schema {
+        Schema::parse(
+            "Car(cid: int, model: string, year: int)\n\
+             Part(name: string, amount: int, cid: int)",
+        )
+        .unwrap()
+    }
+
+    fn example_instance(schema: &Schema) -> Instance {
+        let mut instance = Instance::empty(schema);
+        instance.insert(
+            &"Car".into(),
+            vec![Value::Int(1), Value::str("M1"), Value::Int(2016)],
+        );
+        instance.insert(
+            &"Car".into(),
+            vec![Value::Int(2), Value::str("M2"), Value::Int(2018)],
+        );
+        instance.insert(
+            &"Part".into(),
+            vec![Value::str("tire"), Value::Int(10), Value::Int(1)],
+        );
+        instance.insert(
+            &"Part".into(),
+            vec![Value::str("brake"), Value::Int(20), Value::Int(1)],
+        );
+        instance.insert(
+            &"Part".into(),
+            vec![Value::str("tire"), Value::Int(20), Value::Int(2)],
+        );
+        instance.insert(
+            &"Part".into(),
+            vec![Value::str("brake"), Value::Int(30), Value::Int(2)],
+        );
+        instance
+    }
+
+    fn car_part_join() -> JoinChain {
+        JoinChain::table("Car").join(
+            JoinChain::table("Part"),
+            QualifiedAttr::new("Car", "cid"),
+            QualifiedAttr::new("Part", "cid"),
+        )
+    }
+
+    #[test]
+    fn join_evaluation_matches_example_31() {
+        let schema = car_schema();
+        let instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let rel = eval.eval_join(&car_part_join(), &instance).unwrap();
+        assert_eq!(rel.columns.len(), 6);
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn delete_example_31() {
+        // del([Car, Part], Car ⋈ Part, model = M1) removes car 1 and its parts.
+        let schema = car_schema();
+        let mut instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let del = Update::Delete {
+            tables: vec!["Car".into(), "Part".into()],
+            join: car_part_join(),
+            pred: Pred::eq_value(QualifiedAttr::new("Car", "model"), Value::str("M1")),
+        };
+        eval.exec_update(&del, &mut instance, &Env::new()).unwrap();
+        assert_eq!(instance.rows(&"Car".into()).len(), 1);
+        assert_eq!(instance.rows(&"Part".into()).len(), 2);
+        assert_eq!(instance.rows(&"Car".into())[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn update_example_31() {
+        // upd(Car ⋈ Part, model = M2 ∧ name = tire, amount, 30)
+        let schema = car_schema();
+        let mut instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let upd = Update::UpdateAttr {
+            join: car_part_join(),
+            pred: Pred::eq_value(QualifiedAttr::new("Car", "model"), Value::str("M2")).and(
+                Pred::eq_value(QualifiedAttr::new("Part", "name"), Value::str("tire")),
+            ),
+            attr: QualifiedAttr::new("Part", "amount"),
+            value: Operand::Value(Value::Int(30)),
+        };
+        eval.exec_update(&upd, &mut instance, &Env::new()).unwrap();
+        let parts = instance.rows(&"Part".into());
+        let tire2 = parts
+            .iter()
+            .find(|r| r[0] == Value::str("tire") && r[2] == Value::Int(2))
+            .unwrap();
+        assert_eq!(tire2[1], Value::Int(30));
+        // Other rows untouched.
+        let tire1 = parts
+            .iter()
+            .find(|r| r[0] == Value::str("tire") && r[2] == Value::Int(1))
+            .unwrap();
+        assert_eq!(tire1[1], Value::Int(10));
+    }
+
+    #[test]
+    fn single_table_insert_uses_assigned_values() {
+        let schema = car_schema();
+        let mut instance = Instance::empty(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let ins = Update::Insert {
+            join: JoinChain::table("Car"),
+            values: vec![
+                (QualifiedAttr::new("Car", "cid"), Value::Int(7).into()),
+                (QualifiedAttr::new("Car", "model"), Value::str("M7").into()),
+                (QualifiedAttr::new("Car", "year"), Value::Int(2020).into()),
+            ],
+        };
+        eval.exec_update(&ins, &mut instance, &Env::new()).unwrap();
+        assert_eq!(
+            instance.rows(&"Car".into()),
+            &[vec![Value::Int(7), Value::str("M7"), Value::Int(2020)]]
+        );
+    }
+
+    #[test]
+    fn insert_over_join_links_tables_with_shared_uid() {
+        // The motivating example: inserting into Picture ⋈ Instructor must
+        // store the same fresh identifier in Instructor.PicId and
+        // Picture.PicId.
+        let schema = Schema::parse(
+            "Instructor(InstId: int, IName: string, PicId: id)\n\
+             Picture(PicId: id, Pic: binary)",
+        )
+        .unwrap();
+        let mut instance = Instance::empty(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let chain = JoinChain::table("Picture").join(
+            JoinChain::table("Instructor"),
+            QualifiedAttr::new("Picture", "PicId"),
+            QualifiedAttr::new("Instructor", "PicId"),
+        );
+        let ins = Update::Insert {
+            join: chain,
+            values: vec![
+                (QualifiedAttr::new("Instructor", "InstId"), Value::Int(1).into()),
+                (
+                    QualifiedAttr::new("Instructor", "IName"),
+                    Value::str("Ada").into(),
+                ),
+                (
+                    QualifiedAttr::new("Picture", "Pic"),
+                    Value::bytes(vec![1, 2, 3]).into(),
+                ),
+            ],
+        };
+        eval.exec_update(&ins, &mut instance, &Env::new()).unwrap();
+        let pics = instance.rows(&"Picture".into());
+        let insts = instance.rows(&"Instructor".into());
+        assert_eq!(pics.len(), 1);
+        assert_eq!(insts.len(), 1);
+        // Shared identifier between Picture.PicId and Instructor.PicId.
+        assert_eq!(pics[0][0], insts[0][2]);
+        assert!(matches!(pics[0][0], Value::Uid(_)));
+        assert_eq!(pics[0][1], Value::bytes(vec![1, 2, 3]));
+        assert_eq!(insts[0][1], Value::str("Ada"));
+    }
+
+    #[test]
+    fn primary_key_insert_replaces_existing_row() {
+        let schema = Schema::parse("User(pk uid: int, name: string)").unwrap();
+        let mut instance = Instance::empty(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let add = |name: &str| Update::Insert {
+            join: JoinChain::table("User"),
+            values: vec![
+                (QualifiedAttr::new("User", "uid"), Value::Int(1).into()),
+                (QualifiedAttr::new("User", "name"), Value::str(name).into()),
+            ],
+        };
+        eval.exec_update(&add("ada"), &mut instance, &Env::new()).unwrap();
+        eval.exec_update(&add("grace"), &mut instance, &Env::new()).unwrap();
+        assert_eq!(
+            instance.rows(&"User".into()),
+            &[vec![Value::Int(1), Value::str("grace")]]
+        );
+        // A different key inserts a second row.
+        let other = Update::Insert {
+            join: JoinChain::table("User"),
+            values: vec![
+                (QualifiedAttr::new("User", "uid"), Value::Int(2).into()),
+                (QualifiedAttr::new("User", "name"), Value::str("bob").into()),
+            ],
+        };
+        eval.exec_update(&other, &mut instance, &Env::new()).unwrap();
+        assert_eq!(instance.rows(&"User".into()).len(), 2);
+    }
+
+    #[test]
+    fn tables_without_keys_keep_multiset_semantics() {
+        let schema = Schema::parse("Log(code: int, message: string)").unwrap();
+        let mut instance = Instance::empty(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let add = Update::Insert {
+            join: JoinChain::table("Log"),
+            values: vec![
+                (QualifiedAttr::new("Log", "code"), Value::Int(1).into()),
+                (QualifiedAttr::new("Log", "message"), Value::str("x").into()),
+            ],
+        };
+        eval.exec_update(&add, &mut instance, &Env::new()).unwrap();
+        eval.exec_update(&add, &mut instance, &Env::new()).unwrap();
+        assert_eq!(instance.rows(&"Log".into()).len(), 2);
+    }
+
+    #[test]
+    fn insert_assigning_attr_outside_chain_is_rejected() {
+        let schema = car_schema();
+        let mut instance = Instance::empty(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let ins = Update::Insert {
+            join: JoinChain::table("Car"),
+            values: vec![(QualifiedAttr::new("Part", "name"), Value::str("x").into())],
+        };
+        let err = eval.exec_update(&ins, &mut instance, &Env::new());
+        assert!(matches!(err, Err(Error::InvalidStatement(_))));
+    }
+
+    #[test]
+    fn query_with_param_filter() {
+        let schema = car_schema();
+        let instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let query = Query::select(
+            vec![QualifiedAttr::new("Part", "name")],
+            Pred::eq_value(QualifiedAttr::new("Part", "cid"), Operand::param("c")),
+            JoinChain::table("Part"),
+        );
+        let mut env = Env::new();
+        env.insert("c".to_string(), Value::Int(1));
+        let rel = eval.eval_query(&query, &instance, &env).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn in_predicate_membership() {
+        let schema = car_schema();
+        let instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        // Parts whose cid appears among cars newer than 2017.
+        let sub = Query::select(
+            vec![QualifiedAttr::new("Car", "cid")],
+            Pred::CmpValue {
+                lhs: QualifiedAttr::new("Car", "year"),
+                op: CmpOp::Gt,
+                rhs: Value::Int(2017).into(),
+            },
+            JoinChain::table("Car"),
+        );
+        let query = Query::select(
+            vec![QualifiedAttr::new("Part", "name")],
+            Pred::In {
+                attr: QualifiedAttr::new("Part", "cid"),
+                query: Box::new(sub),
+            },
+            JoinChain::table("Part"),
+        );
+        let rel = eval.eval_query(&query, &instance, &Env::new()).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn call_binds_arguments_and_checks_types() {
+        let schema = car_schema();
+        let mut instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let f = Function::query(
+            "getParts",
+            vec![Param::new("c", DataType::Int)],
+            Query::select(
+                vec![QualifiedAttr::new("Part", "name")],
+                Pred::eq_value(QualifiedAttr::new("Part", "cid"), Operand::param("c")),
+                JoinChain::table("Part"),
+            ),
+        );
+        let result = eval.call(&f, &[Value::Int(2)], &mut instance).unwrap();
+        assert_eq!(result.unwrap().len(), 2);
+
+        let err = eval.call(&f, &[Value::str("oops")], &mut instance);
+        assert!(matches!(err, Err(Error::TypeMismatch { .. })));
+        let err = eval.call(&f, &[], &mut instance);
+        assert!(matches!(err, Err(Error::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match() {
+        let schema = car_schema();
+        let mut instance = Instance::empty(&schema);
+        instance.insert(
+            &"Car".into(),
+            vec![Value::Null, Value::str("M"), Value::Int(2000)],
+        );
+        instance.insert(
+            &"Part".into(),
+            vec![Value::str("tire"), Value::Int(1), Value::Null],
+        );
+        let mut eval = Evaluator::new(&schema);
+        let rel = eval.eval_join(&car_part_join(), &instance).unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn delete_on_empty_instance_is_noop() {
+        let schema = car_schema();
+        let mut instance = Instance::empty(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let del = Update::Delete {
+            tables: vec!["Car".into()],
+            join: JoinChain::table("Car"),
+            pred: Pred::True,
+        };
+        eval.exec_update(&del, &mut instance, &Env::new()).unwrap();
+        assert!(instance.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! In-memory database instances and intermediate relations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::schema::{QualifiedAttr, Schema, TableName};
+use crate::value::Value;
+
+/// A tuple: an ordered list of values matching a table's column order.
+pub type Tuple = Vec<Value>;
+
+/// A database instance: a mapping from table names to lists (multisets) of
+/// tuples, as in Definition A.4 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Instance {
+    tables: BTreeMap<TableName, Vec<Tuple>>,
+}
+
+impl Instance {
+    /// Creates the empty instance `ϵ` for the given schema: every table is
+    /// present with zero tuples.
+    pub fn empty(schema: &Schema) -> Instance {
+        let mut tables = BTreeMap::new();
+        for table in schema.tables() {
+            tables.insert(table.name.clone(), Vec::new());
+        }
+        Instance { tables }
+    }
+
+    /// The tuples currently stored in a table (empty if the table is absent).
+    pub fn rows(&self, table: &TableName) -> &[Tuple] {
+        self.tables.get(table).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mutable access to a table's tuples, creating the table if needed.
+    pub fn rows_mut(&mut self, table: &TableName) -> &mut Vec<Tuple> {
+        self.tables.entry(table.clone()).or_default()
+    }
+
+    /// Appends a tuple to a table.
+    pub fn insert(&mut self, table: &TableName, tuple: Tuple) {
+        self.rows_mut(table).push(tuple);
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no table holds any tuple.
+    pub fn is_empty(&self) -> bool {
+        self.total_rows() == 0
+    }
+
+    /// Iterates over `(table, rows)` pairs in table-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TableName, &Vec<Tuple>)> {
+        self.tables.iter()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (table, rows) in &self.tables {
+            writeln!(f, "{table}: {} row(s)", rows.len())?;
+            for row in rows {
+                f.write_str("  (")?;
+                for (i, value) in row.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{value}")?;
+                }
+                f.write_str(")\n")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An intermediate relation produced while evaluating a query: a header of
+/// qualified column names plus rows.
+///
+/// Join chains produce relations whose columns are the concatenation of the
+/// participating tables' columns, qualified by table name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Column header.
+    pub columns: Vec<QualifiedAttr>,
+    /// Rows, each with one value per column.
+    pub rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given header.
+    pub fn empty(columns: Vec<QualifiedAttr>) -> Relation {
+        Relation {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The index of a column in the header, if present.
+    pub fn column_index(&self, attr: &QualifiedAttr) -> Option<usize> {
+        self.columns.iter().position(|c| c == attr)
+    }
+
+    /// Projects the relation onto the given columns (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested column is not part of the header; callers are
+    /// expected to validate attribute references first.
+    pub fn project(&self, attrs: &[QualifiedAttr]) -> Relation {
+        let indices: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                self.column_index(a)
+                    .unwrap_or_else(|| panic!("column {a} not in relation header"))
+            })
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+            .collect();
+        Relation {
+            columns: attrs.to_vec(),
+            rows,
+        }
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns the rows sorted into a canonical order, for comparing query
+    /// results under multiset semantics.
+    pub fn canonical_rows(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    /// Returns `true` if the two relations hold the same multiset of rows
+    /// (column *names* are not compared — the paper's equivalence compares
+    /// query results positionally).
+    pub fn same_rows(&self, other: &Relation) -> bool {
+        self.canonical_rows() == other.canonical_rows()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{col}")?;
+        }
+        f.write_str("\n")?;
+        for row in &self.rows {
+            for (i, value) in row.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" | ")?;
+                }
+                write!(f, "{value}")?;
+            }
+            f.write_str("\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::parse("Car(cid: int, model: string)\nPart(name: string, cid: int)").unwrap()
+    }
+
+    #[test]
+    fn empty_instance_has_all_tables() {
+        let instance = Instance::empty(&schema());
+        assert!(instance.is_empty());
+        assert_eq!(instance.rows(&"Car".into()).len(), 0);
+        assert_eq!(instance.rows(&"Part".into()).len(), 0);
+        assert_eq!(instance.iter().count(), 2);
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut instance = Instance::empty(&schema());
+        instance.insert(&"Car".into(), vec![Value::Int(1), Value::str("M1")]);
+        instance.insert(&"Car".into(), vec![Value::Int(2), Value::str("M2")]);
+        assert_eq!(instance.total_rows(), 2);
+        assert_eq!(instance.rows(&"Car".into()).len(), 2);
+    }
+
+    #[test]
+    fn missing_table_yields_empty_rows() {
+        let instance = Instance::empty(&schema());
+        assert!(instance.rows(&"Ghost".into()).is_empty());
+    }
+
+    #[test]
+    fn relation_project_and_compare() {
+        let rel = Relation {
+            columns: vec![
+                QualifiedAttr::new("Car", "cid"),
+                QualifiedAttr::new("Car", "model"),
+            ],
+            rows: vec![
+                vec![Value::Int(2), Value::str("M2")],
+                vec![Value::Int(1), Value::str("M1")],
+            ],
+        };
+        let projected = rel.project(&[QualifiedAttr::new("Car", "model")]);
+        assert_eq!(projected.columns.len(), 1);
+        assert_eq!(projected.rows.len(), 2);
+
+        let same_different_order = Relation {
+            columns: rel.columns.clone(),
+            rows: vec![
+                vec![Value::Int(1), Value::str("M1")],
+                vec![Value::Int(2), Value::str("M2")],
+            ],
+        };
+        assert!(rel.same_rows(&same_different_order));
+
+        let different = Relation {
+            columns: rel.columns.clone(),
+            rows: vec![vec![Value::Int(3), Value::str("M3")]],
+        };
+        assert!(!rel.same_rows(&different));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in relation header")]
+    fn project_unknown_column_panics() {
+        let rel = Relation::empty(vec![QualifiedAttr::new("Car", "cid")]);
+        let _ = rel.project(&[QualifiedAttr::new("Car", "model")]);
+    }
+}

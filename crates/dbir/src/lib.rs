@@ -1,0 +1,66 @@
+//! # dbir — database-program intermediate representation and engine
+//!
+//! This crate provides every substrate the Migrator synthesizer (crate
+//! [`migrator`](https://example.org/migrator)) needs to reason about
+//! database programs:
+//!
+//! * [`schema`] — relational schemas (tables, typed attributes, foreign keys),
+//! * [`ast`] — the database-program language of the paper's Figure 5
+//!   (query functions built from projection/selection/join, update functions
+//!   built from insert/delete/update statements),
+//! * [`value`] — runtime values and data types,
+//! * [`instance`] — in-memory database instances (multisets of tuples),
+//! * [`eval`] — an interpreter implementing the paper's semantics, including
+//!   the insert-over-join shorthand with fresh unique identifiers,
+//!   multi-table deletion and join updates,
+//! * [`invocation`] — invocation sequences `(f1,σ1);…;(fk,σk)` and program
+//!   execution from the empty instance,
+//! * [`equiv`] — bounded equivalence checking and minimum-failing-input
+//!   search by exhaustive testing in increasing sequence length,
+//! * [`parser`] / [`pretty`] — a small concrete syntax mirroring the paper's
+//!   examples (Figure 2) so programs can be written as text,
+//! * [`builder`] — ergonomic Rust builders for schemas and programs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dbir::parser::parse_program;
+//! use dbir::schema::Schema;
+//!
+//! let schema = Schema::parse(
+//!     "Instructor(InstId: int, IName: string, IPic: binary)",
+//! ).unwrap();
+//! let program = parse_program(
+//!     r#"
+//!     update addInstructor(id: int, name: string, pic: binary)
+//!         INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+//!     query getInstructor(id: int)
+//!         SELECT IName, IPic FROM Instructor WHERE InstId = id;
+//!     "#,
+//!     &schema,
+//! ).unwrap();
+//! assert_eq!(program.functions.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod builder;
+pub mod equiv;
+pub mod error;
+pub mod eval;
+pub mod instance;
+pub mod invocation;
+pub mod parser;
+pub mod pretty;
+pub mod schema;
+pub mod value;
+
+pub use ast::{Function, FunctionBody, JoinChain, Param, Pred, Program, Query, Update};
+pub use error::{Error, Result};
+pub use instance::{Instance, Relation, Tuple};
+pub use invocation::{Call, InvocationSequence};
+pub use schema::{AttrName, ForeignKey, QualifiedAttr, Schema, TableDef, TableName};
+pub use value::{DataType, Value};

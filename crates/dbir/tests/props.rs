@@ -1,0 +1,173 @@
+//! Property-based tests for the database engine: evaluation invariants that
+//! must hold for arbitrary data.
+
+use dbir::ast::{JoinChain, Operand, Pred, Update};
+use dbir::eval::{Env, Evaluator};
+use dbir::instance::Instance;
+use dbir::schema::{QualifiedAttr, Schema};
+use dbir::value::Value;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::parse(
+        "Car(cid: int, model: string, year: int)\n\
+         Part(name: string, amount: int, cid: int)",
+    )
+    .unwrap()
+}
+
+fn car_strategy() -> impl Strategy<Value = Vec<Value>> {
+    (0i64..5, "[a-z]{1,4}", 1990i64..2030).prop_map(|(cid, model, year)| {
+        vec![Value::Int(cid), Value::Str(model), Value::Int(year)]
+    })
+}
+
+fn part_strategy() -> impl Strategy<Value = Vec<Value>> {
+    ("[a-z]{1,4}", 0i64..50, 0i64..5).prop_map(|(name, amount, cid)| {
+        vec![Value::Str(name), Value::Int(amount), Value::Int(cid)]
+    })
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(car_strategy(), 0..6),
+        proptest::collection::vec(part_strategy(), 0..8),
+    )
+        .prop_map(|(cars, parts)| {
+            let schema = schema();
+            let mut instance = Instance::empty(&schema);
+            for car in cars {
+                instance.insert(&"Car".into(), car);
+            }
+            for part in parts {
+                instance.insert(&"Part".into(), part);
+            }
+            instance
+        })
+}
+
+fn car_part_join() -> JoinChain {
+    JoinChain::table("Car").join(
+        JoinChain::table("Part"),
+        QualifiedAttr::new("Car", "cid"),
+        QualifiedAttr::new("Part", "cid"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The join of two tables never contains more rows than the product of
+    /// their sizes, and each row satisfies the join condition.
+    #[test]
+    fn join_is_a_subset_of_the_cross_product(instance in instance_strategy()) {
+        let schema = schema();
+        let mut eval = Evaluator::new(&schema);
+        let joined = eval.eval_join(&car_part_join(), &instance).unwrap();
+        let cars = instance.rows(&"Car".into()).len();
+        let parts = instance.rows(&"Part".into()).len();
+        prop_assert!(joined.len() <= cars * parts);
+        let cid_left = joined.column_index(&QualifiedAttr::new("Car", "cid")).unwrap();
+        let cid_right = joined.column_index(&QualifiedAttr::new("Part", "cid")).unwrap();
+        for row in &joined.rows {
+            prop_assert_eq!(&row[cid_left], &row[cid_right]);
+        }
+    }
+
+    /// Deleting with the always-true predicate empties every listed table
+    /// that participates in a matching join row, and never touches the
+    /// unlisted table.
+    #[test]
+    fn delete_true_removes_only_listed_tables(instance in instance_strategy()) {
+        let schema = schema();
+        let mut eval = Evaluator::new(&schema);
+        let mut mutated = instance.clone();
+        let delete = Update::Delete {
+            tables: vec!["Car".into()],
+            join: JoinChain::table("Car"),
+            pred: Pred::True,
+        };
+        eval.exec_update(&delete, &mut mutated, &Env::new()).unwrap();
+        prop_assert!(mutated.rows(&"Car".into()).is_empty());
+        prop_assert_eq!(mutated.rows(&"Part".into()).len(), instance.rows(&"Part".into()).len());
+    }
+
+    /// Inserting a single-table row increases exactly that table by one row
+    /// and leaves the rest of the instance untouched.
+    #[test]
+    fn insert_adds_exactly_one_row(instance in instance_strategy(), cid in 0i64..5) {
+        let schema = schema();
+        let mut eval = Evaluator::new(&schema);
+        let mut mutated = instance.clone();
+        let insert = Update::Insert {
+            join: JoinChain::table("Car"),
+            values: vec![
+                (QualifiedAttr::new("Car", "cid"), Operand::Value(Value::Int(cid))),
+                (QualifiedAttr::new("Car", "model"), Operand::Value(Value::str("m"))),
+                (QualifiedAttr::new("Car", "year"), Operand::Value(Value::Int(2024))),
+            ],
+        };
+        eval.exec_update(&insert, &mut mutated, &Env::new()).unwrap();
+        prop_assert_eq!(mutated.rows(&"Car".into()).len(), instance.rows(&"Car".into()).len() + 1);
+        prop_assert_eq!(mutated.rows(&"Part".into()).len(), instance.rows(&"Part".into()).len());
+    }
+
+    /// Updating an attribute never changes the number of rows, and every
+    /// updated row holds the new value afterwards.
+    #[test]
+    fn update_preserves_cardinality(instance in instance_strategy(), cid in 0i64..5) {
+        let schema = schema();
+        let mut eval = Evaluator::new(&schema);
+        let mut mutated = instance.clone();
+        let update = Update::UpdateAttr {
+            join: JoinChain::table("Part"),
+            pred: Pred::eq_value(QualifiedAttr::new("Part", "cid"), Value::Int(cid)),
+            attr: QualifiedAttr::new("Part", "amount"),
+            value: Operand::Value(Value::Int(999)),
+        };
+        eval.exec_update(&update, &mut mutated, &Env::new()).unwrap();
+        prop_assert_eq!(mutated.rows(&"Part".into()).len(), instance.rows(&"Part".into()).len());
+        for row in mutated.rows(&"Part".into()) {
+            if row[2] == Value::Int(cid) {
+                prop_assert_eq!(&row[1], &Value::Int(999));
+            }
+        }
+    }
+
+    /// Deleting and re-running the same delete is idempotent.
+    #[test]
+    fn delete_is_idempotent(instance in instance_strategy(), cid in 0i64..5) {
+        let schema = schema();
+        let mut eval = Evaluator::new(&schema);
+        let delete = Update::Delete {
+            tables: vec!["Car".into(), "Part".into()],
+            join: car_part_join(),
+            pred: Pred::eq_value(QualifiedAttr::new("Car", "cid"), Value::Int(cid)),
+        };
+        let mut once = instance.clone();
+        eval.exec_update(&delete, &mut once, &Env::new()).unwrap();
+        let mut twice = once.clone();
+        eval.exec_update(&delete, &mut twice, &Env::new()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The canonical form of a relation is stable under row reordering, so
+    /// query-result comparison is order-insensitive.
+    #[test]
+    fn canonical_rows_ignore_order(mut rows in proptest::collection::vec(car_strategy(), 0..6)) {
+        let relation = dbir::Relation {
+            columns: vec![
+                QualifiedAttr::new("Car", "cid"),
+                QualifiedAttr::new("Car", "model"),
+                QualifiedAttr::new("Car", "year"),
+            ],
+            rows: rows.clone(),
+        };
+        rows.reverse();
+        let reversed = dbir::Relation {
+            columns: relation.columns.clone(),
+            rows,
+        };
+        prop_assert!(relation.same_rows(&reversed));
+    }
+}

@@ -1,0 +1,283 @@
+//! Literals, clauses and CNF formulas.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2 * var + (negative ? 1 : 0)` so literals can be
+/// used directly as indices into watch lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense code of the literal (usable as a watch-list index).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its dense code.
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Clause {
+    /// The literals of the clause.
+    pub lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(lits: impl Into<Vec<Lit>>) -> Clause {
+        Clause { lits: lits.into() }
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` if the clause has no literals (i.e. is unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, lit) in self.lits.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A CNF formula: a variable count plus a conjunction of clauses.
+///
+/// `Cnf` is a passive container used for building and inspecting encodings;
+/// solving happens in [`crate::solver::Solver`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: u32,
+    /// The clauses of the formula.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Adds a clause.
+    pub fn add_clause(&mut self, lits: impl Into<Vec<Lit>>) {
+        self.clauses.push(Clause::new(lits));
+    }
+
+    /// Evaluates the formula under a full assignment (used by the
+    /// brute-force reference solver in tests).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.lits.iter().any(|lit| {
+                let value = assignment[lit.var().index()];
+                if lit.is_positive() {
+                    value
+                } else {
+                    !value
+                }
+            })
+        })
+    }
+}
+
+/// A satisfying assignment returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Creates a model from per-variable values.
+    pub fn new(values: Vec<bool>) -> Model {
+        Model { values }
+    }
+
+    /// The value of a variable.
+    pub fn value(&self, var: Var) -> bool {
+        self.values.get(var.index()).copied().unwrap_or(false)
+    }
+
+    /// The value of a literal.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        let v = self.value(lit.var());
+        if lit.is_positive() {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// The per-variable values, indexed by variable index.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// The literals that are true in this model, one per variable.
+    pub fn as_literals(&self) -> Vec<Lit> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Lit::new(Var(i as u32), v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+        assert_eq!(Lit::new(v, false), n);
+    }
+
+    #[test]
+    fn cnf_eval() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause(vec![Lit::neg(a)]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn model_lookup() {
+        let model = Model::new(vec![true, false]);
+        assert!(model.value(Var(0)));
+        assert!(!model.value(Var(1)));
+        assert!(model.lit_value(Lit::neg(Var(1))));
+        // Out-of-range variables default to false.
+        assert!(!model.value(Var(10)));
+        assert_eq!(model.as_literals().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let clause = Clause::new(vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        assert_eq!(clause.to_string(), "(x0 | !x1)");
+        assert_eq!(clause.len(), 2);
+        assert!(!clause.is_empty());
+    }
+
+    #[test]
+    fn new_vars_allocates_distinct_variables() {
+        let mut cnf = Cnf::new();
+        let vars = cnf.new_vars(5);
+        assert_eq!(vars.len(), 5);
+        assert_eq!(cnf.num_vars(), 5);
+        let set: std::collections::BTreeSet<_> = vars.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+}

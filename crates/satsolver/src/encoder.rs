@@ -1,0 +1,149 @@
+//! Cardinality helpers: exactly-one, at-most-one and implications.
+//!
+//! The sketch-completion encoding of the paper uses one *n-ary xor*
+//! (exactly-one) constraint per hole (Section 4.4); this module provides
+//! that encoding over any [`ClauseSink`].
+
+use crate::cnf::{Cnf, Lit, Var};
+use crate::solver::Solver;
+
+/// Anything clauses and fresh variables can be added to.
+///
+/// Implemented by both the passive [`Cnf`] container and the [`Solver`], so
+/// encodings can be built directly inside a solver or inspected as data.
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn fresh_var(&mut self) -> Var;
+    /// Adds a clause.
+    fn emit_clause(&mut self, lits: &[Lit]);
+}
+
+impl ClauseSink for Cnf {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+
+    fn emit_clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.to_vec());
+    }
+}
+
+impl ClauseSink for Solver {
+    fn fresh_var(&mut self) -> Var {
+        self.new_var()
+    }
+
+    fn emit_clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits);
+    }
+}
+
+/// Adds clauses requiring at least one of `lits` to be true.
+pub fn at_least_one(sink: &mut impl ClauseSink, lits: &[Lit]) {
+    sink.emit_clause(lits);
+}
+
+/// Adds clauses requiring at most one of `lits` to be true
+/// (pairwise encoding, adequate for the small per-hole domains of sketches).
+pub fn at_most_one(sink: &mut impl ClauseSink, lits: &[Lit]) {
+    for i in 0..lits.len() {
+        for j in (i + 1)..lits.len() {
+            sink.emit_clause(&[!lits[i], !lits[j]]);
+        }
+    }
+}
+
+/// Adds clauses requiring exactly one of `lits` to be true — the paper's
+/// n-ary xor `⊕(b¹, …, bⁿ)`.
+pub fn exactly_one(sink: &mut impl ClauseSink, lits: &[Lit]) {
+    at_least_one(sink, lits);
+    at_most_one(sink, lits);
+}
+
+/// Adds the implication `antecedent → consequent`.
+pub fn implies(sink: &mut impl ClauseSink, antecedent: Lit, consequent: Lit) {
+    sink.emit_clause(&[!antecedent, consequent]);
+}
+
+/// Adds clauses asserting `lit ↔ (a ∧ b)`.
+pub fn iff_and(sink: &mut impl ClauseSink, lit: Lit, a: Lit, b: Lit) {
+    sink.emit_clause(&[!lit, a]);
+    sink.emit_clause(&[!lit, b]);
+    sink.emit_clause(&[lit, !a, !b]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    fn count_models(build: impl Fn(&mut Solver, &[Var])) -> usize {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(4);
+        build(&mut solver, &vars);
+        let mut count = 0;
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    count += 1;
+                    let blocking: Vec<Lit> = vars
+                        .iter()
+                        .map(|&v| Lit::new(v, !model.value(v)))
+                        .collect();
+                    solver.add_clause(&blocking);
+                }
+                SolveResult::Unsat => return count,
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_has_n_models() {
+        let count = count_models(|solver, vars| {
+            let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+            exactly_one(solver, &lits);
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn at_most_one_has_n_plus_one_models() {
+        let count = count_models(|solver, vars| {
+            let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+            at_most_one(solver, &lits);
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn implication_and_iff_and() {
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        let c = solver.new_var();
+        iff_and(&mut solver, Lit::pos(c), Lit::pos(a), Lit::pos(b));
+        implies(&mut solver, Lit::pos(a), Lit::pos(b));
+        solver.add_clause(&[Lit::pos(a)]);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                assert!(model.value(a));
+                assert!(model.value(b));
+                assert!(model.value(c));
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn encodings_work_on_cnf_container_too() {
+        let mut cnf = Cnf::new();
+        let vars = cnf.new_vars(3);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(&mut cnf, &lits);
+        // 1 at-least-one clause + 3 pairwise at-most-one clauses.
+        assert_eq!(cnf.clauses.len(), 4);
+        assert!(cnf.eval(&[true, false, false]));
+        assert!(!cnf.eval(&[true, true, false]));
+        assert!(!cnf.eval(&[false, false, false]));
+    }
+}

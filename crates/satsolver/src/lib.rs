@@ -1,0 +1,47 @@
+//! # satsolver — a small CDCL SAT solver with MaxSAT support
+//!
+//! The Migrator synthesizer needs two solver capabilities (the paper uses
+//! Sat4J for both):
+//!
+//! 1. **SAT model enumeration with incremental blocking clauses** for sketch
+//!    completion (Algorithm 2 of the paper): the space of sketch completions
+//!    is encoded with one exactly-one constraint per hole, models are
+//!    enumerated lazily and blocking clauses learned from minimum failing
+//!    inputs are added between calls.
+//! 2. **Partial weighted MaxSAT** for ranking candidate value
+//!    correspondences (Section 4.2): hard constraints encode type
+//!    compatibility and the necessary condition for equivalence, soft
+//!    constraints encode name similarity and a preference for one-to-one
+//!    mappings.
+//!
+//! This crate provides both on top of a conflict-driven clause-learning
+//! (CDCL) solver with two-watched-literal propagation, first-UIP clause
+//! learning, activity-based branching and restarts.
+//!
+//! ```
+//! use satsolver::{Lit, Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause(&[Lit::neg(a)]);
+//! match solver.solve() {
+//!     SolveResult::Sat(model) => assert!(model.value(b)),
+//!     SolveResult::Unsat => unreachable!(),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cnf;
+pub mod encoder;
+pub mod maxsat;
+pub mod pb;
+pub mod solver;
+
+pub use cnf::{Clause, Cnf, Lit, Model, Var};
+pub use maxsat::{MaxSatResult, MaxSatSolver, SoftClause};
+pub use solver::{SolveResult, Solver};

@@ -1,0 +1,341 @@
+//! Partial weighted MaxSAT on top of the CDCL solver.
+//!
+//! A MaxSAT problem is a triple `(H, S, W)` of hard clauses, soft clauses
+//! and weights (Section 4.2 of the paper). The solver finds an assignment
+//! that satisfies all hard clauses and minimizes the total weight of
+//! falsified soft clauses.
+//!
+//! The algorithm is *model-improving linear search*: each soft clause is
+//! relaxed with a fresh variable, an initial model gives an upper bound on
+//! the cost, and the search repeatedly asks for a strictly cheaper model by
+//! adding a pseudo-Boolean bound over the relaxation variables
+//! ([`crate::pb::encode_leq`]) until the formula becomes unsatisfiable.
+
+use crate::cnf::{Lit, Model, Var};
+use crate::pb::encode_leq;
+use crate::solver::{SolveResult, Solver};
+
+/// A weighted soft clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftClause {
+    /// The clause literals.
+    pub lits: Vec<Lit>,
+    /// The weight gained by satisfying the clause (equivalently, the cost
+    /// paid for falsifying it). Must be positive.
+    pub weight: u64,
+}
+
+/// The result of a MaxSAT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaxSatResult {
+    /// The hard clauses are satisfiable; the best model found and its cost
+    /// (total weight of falsified soft clauses) are returned.
+    Optimal {
+        /// The optimal assignment.
+        model: Model,
+        /// Total weight of falsified soft clauses under `model`.
+        cost: u64,
+    },
+    /// The hard clauses alone are unsatisfiable.
+    Unsat,
+}
+
+impl MaxSatResult {
+    /// Returns the model if the problem was satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            MaxSatResult::Optimal { model, .. } => Some(model),
+            MaxSatResult::Unsat => None,
+        }
+    }
+}
+
+/// A partial weighted MaxSAT solver.
+///
+/// Hard and soft clauses are accumulated with [`MaxSatSolver::add_hard`] /
+/// [`MaxSatSolver::add_soft`]; [`MaxSatSolver::solve`] may be called
+/// repeatedly (e.g. after adding blocking clauses for already-explored value
+/// correspondences).
+#[derive(Debug, Default)]
+pub struct MaxSatSolver {
+    num_vars: u32,
+    hard: Vec<Vec<Lit>>,
+    soft: Vec<SoftClause>,
+}
+
+impl MaxSatSolver {
+    /// Creates an empty MaxSAT instance.
+    pub fn new() -> MaxSatSolver {
+        MaxSatSolver::default()
+    }
+
+    /// Allocates a fresh problem variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    /// The number of problem variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Adds a hard clause.
+    pub fn add_hard(&mut self, lits: &[Lit]) {
+        self.hard.push(lits.to_vec());
+    }
+
+    /// Adds a soft clause with the given positive weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero (a zero-weight soft clause is meaningless;
+    /// drop it instead).
+    pub fn add_soft(&mut self, lits: &[Lit], weight: u64) {
+        assert!(weight > 0, "soft clauses must have positive weight");
+        self.soft.push(SoftClause {
+            lits: lits.to_vec(),
+            weight,
+        });
+    }
+
+    /// The sum of all soft weights (an upper bound on any cost).
+    pub fn total_soft_weight(&self) -> u64 {
+        self.soft.iter().map(|s| s.weight).sum()
+    }
+
+    /// Builds a fresh CDCL solver containing the hard clauses, the relaxed
+    /// soft clauses and (optionally) a bound on the relaxation cost.
+    /// Returns the solver and the relaxation literals with their weights.
+    fn build(&self, cost_bound: Option<u64>) -> (Solver, Vec<(Lit, u64)>) {
+        let mut solver = Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.hard {
+            solver.add_clause(clause);
+        }
+        let mut relax_terms = Vec::with_capacity(self.soft.len());
+        for soft in &self.soft {
+            let relax = solver.new_var();
+            let mut clause = soft.lits.clone();
+            clause.push(Lit::pos(relax));
+            solver.add_clause(&clause);
+            relax_terms.push((Lit::pos(relax), soft.weight));
+        }
+        if let Some(bound) = cost_bound {
+            encode_leq(&mut solver, &relax_terms, bound);
+        }
+        (solver, relax_terms)
+    }
+
+    /// Computes the true cost of a model: the total weight of soft clauses
+    /// falsified by the assignment to the *problem* variables (ignoring the
+    /// relaxation variables, which may be set pessimistically).
+    fn model_cost(&self, model: &Model) -> u64 {
+        self.soft
+            .iter()
+            .filter(|soft| !soft.lits.iter().any(|&l| model.lit_value(l)))
+            .map(|soft| soft.weight)
+            .sum()
+    }
+
+    /// Solves the MaxSAT instance to optimality.
+    pub fn solve(&self) -> MaxSatResult {
+        // Initial feasibility check and upper bound.
+        let (mut solver, _) = self.build(None);
+        let mut best_model = match solver.solve() {
+            SolveResult::Sat(model) => model,
+            SolveResult::Unsat => return MaxSatResult::Unsat,
+        };
+        let mut best_cost = self.model_cost(&best_model);
+
+        // Model-improving descent: repeatedly demand a strictly lower cost.
+        while best_cost > 0 {
+            let (mut solver, _) = self.build(Some(best_cost - 1));
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    let cost = self.model_cost(&model);
+                    debug_assert!(cost < best_cost);
+                    best_cost = cost;
+                    best_model = model;
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+
+        // Truncate the model to the problem variables.
+        let values = best_model.values()[..self.num_vars as usize].to_vec();
+        MaxSatResult::Optimal {
+            model: Model::new(values),
+            cost: best_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_soft_prefers_heavier_clause() {
+        let mut maxsat = MaxSatSolver::new();
+        let a = maxsat.new_var();
+        // Conflicting soft preferences: a (weight 5) vs !a (weight 2).
+        maxsat.add_soft(&[Lit::pos(a)], 5);
+        maxsat.add_soft(&[Lit::neg(a)], 2);
+        match maxsat.solve() {
+            MaxSatResult::Optimal { model, cost } => {
+                assert!(model.value(a));
+                assert_eq!(cost, 2);
+            }
+            MaxSatResult::Unsat => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn hard_clauses_override_soft_preferences() {
+        let mut maxsat = MaxSatSolver::new();
+        let a = maxsat.new_var();
+        maxsat.add_hard(&[Lit::neg(a)]);
+        maxsat.add_soft(&[Lit::pos(a)], 100);
+        match maxsat.solve() {
+            MaxSatResult::Optimal { model, cost } => {
+                assert!(!model.value(a));
+                assert_eq!(cost, 100);
+            }
+            MaxSatResult::Unsat => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_hard_clauses() {
+        let mut maxsat = MaxSatSolver::new();
+        let a = maxsat.new_var();
+        maxsat.add_hard(&[Lit::pos(a)]);
+        maxsat.add_hard(&[Lit::neg(a)]);
+        maxsat.add_soft(&[Lit::pos(a)], 1);
+        assert_eq!(maxsat.solve(), MaxSatResult::Unsat);
+    }
+
+    #[test]
+    fn all_soft_satisfiable_gives_zero_cost() {
+        let mut maxsat = MaxSatSolver::new();
+        let a = maxsat.new_var();
+        let b = maxsat.new_var();
+        maxsat.add_soft(&[Lit::pos(a)], 3);
+        maxsat.add_soft(&[Lit::pos(b)], 4);
+        maxsat.add_soft(&[Lit::pos(a), Lit::pos(b)], 2);
+        match maxsat.solve() {
+            MaxSatResult::Optimal { model, cost } => {
+                assert_eq!(cost, 0);
+                assert!(model.value(a));
+                assert!(model.value(b));
+            }
+            MaxSatResult::Unsat => panic!("expected optimal"),
+        }
+        assert_eq!(maxsat.total_soft_weight(), 9);
+    }
+
+    #[test]
+    fn weighted_assignment_selection() {
+        // Choose exactly one of three options (hard); soft weights rank them.
+        let mut maxsat = MaxSatSolver::new();
+        let options = [maxsat.new_var(), maxsat.new_var(), maxsat.new_var()];
+        let lits: Vec<Lit> = options.iter().map(|&v| Lit::pos(v)).collect();
+        maxsat.add_hard(&lits);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                maxsat.add_hard(&[!lits[i], !lits[j]]);
+            }
+        }
+        maxsat.add_soft(&[lits[0]], 3);
+        maxsat.add_soft(&[lits[1]], 7);
+        maxsat.add_soft(&[lits[2]], 5);
+        match maxsat.solve() {
+            MaxSatResult::Optimal { model, cost } => {
+                assert!(model.value(options[1]));
+                assert_eq!(cost, 3 + 5);
+            }
+            MaxSatResult::Unsat => panic!("expected optimal"),
+        }
+    }
+
+    /// Reference check against brute force on small weighted instances.
+    #[test]
+    fn agrees_with_brute_force() {
+        let mut state = 0x9e3779b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..30 {
+            let num_vars = 3 + (next() % 3) as usize;
+            let mut maxsat = MaxSatSolver::new();
+            let vars = maxsat.new_vars_for_test(num_vars);
+            let num_hard = (next() % 3) as usize;
+            let num_soft = 2 + (next() % 4) as usize;
+            let mut hard = Vec::new();
+            let mut soft = Vec::new();
+            for _ in 0..num_hard {
+                let clause = random_clause(&mut next, &vars);
+                hard.push(clause.clone());
+                maxsat.add_hard(&clause);
+            }
+            for _ in 0..num_soft {
+                let clause = random_clause(&mut next, &vars);
+                let weight = 1 + next() % 5;
+                soft.push((clause.clone(), weight));
+                maxsat.add_soft(&clause, weight);
+            }
+            // Brute force optimum.
+            let mut best: Option<u64> = None;
+            for mask in 0..(1u32 << num_vars) {
+                let assign: Vec<bool> = (0..num_vars).map(|i| mask & (1 << i) != 0).collect();
+                let eval_lit = |l: Lit| {
+                    let v = assign[l.var().index()];
+                    if l.is_positive() {
+                        v
+                    } else {
+                        !v
+                    }
+                };
+                if !hard.iter().all(|c| c.iter().any(|&l| eval_lit(l))) {
+                    continue;
+                }
+                let cost: u64 = soft
+                    .iter()
+                    .filter(|(c, _)| !c.iter().any(|&l| eval_lit(l)))
+                    .map(|&(_, w)| w)
+                    .sum();
+                best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+            }
+            match (maxsat.solve(), best) {
+                (MaxSatResult::Optimal { cost, .. }, Some(expected)) => {
+                    assert_eq!(cost, expected, "maxsat cost disagrees with brute force");
+                }
+                (MaxSatResult::Unsat, None) => {}
+                (got, expected) => panic!("mismatch: got {got:?}, expected {expected:?}"),
+            }
+        }
+    }
+
+    impl MaxSatSolver {
+        fn new_vars_for_test(&mut self, n: usize) -> Vec<Var> {
+            (0..n).map(|_| self.new_var()).collect()
+        }
+    }
+
+    fn random_clause(next: &mut impl FnMut() -> u64, vars: &[Var]) -> Vec<Lit> {
+        let width = 1 + (next() % 3) as usize;
+        (0..width)
+            .map(|_| {
+                let var = vars[(next() % vars.len() as u64) as usize];
+                Lit::new(var, next() % 2 == 0)
+            })
+            .collect()
+    }
+}

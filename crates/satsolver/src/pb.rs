@@ -1,0 +1,172 @@
+//! Pseudo-Boolean constraints: `Σ wᵢ·xᵢ ≤ k` via the sequential weighted
+//! counter encoding.
+//!
+//! The MaxSAT solver uses this encoding to bound the total weight of
+//! falsified soft clauses during its linear descent to the optimum.
+
+use crate::cnf::{Lit, Var};
+use crate::encoder::ClauseSink;
+
+/// Encodes the constraint `Σ wᵢ·litᵢ ≤ bound` into `sink`.
+///
+/// Uses the sequential weighted counter: auxiliary variable `s[i][j]` means
+/// "the sum of the first `i + 1` terms is at least `j + 1`". The number of
+/// auxiliary variables is `O(n · bound)`, which is adequate for the small
+/// bounds arising from value-correspondence costs.
+///
+/// Terms with zero weight are ignored. A bound of zero forces every literal
+/// with positive weight to false.
+pub fn encode_leq(sink: &mut impl ClauseSink, terms: &[(Lit, u64)], bound: u64) {
+    let terms: Vec<(Lit, u64)> = terms.iter().copied().filter(|&(_, w)| w > 0).collect();
+    if terms.is_empty() {
+        return;
+    }
+    if bound == 0 {
+        for &(lit, _) in &terms {
+            sink.emit_clause(&[!lit]);
+        }
+        return;
+    }
+    let total: u64 = terms.iter().map(|&(_, w)| w).sum();
+    if total <= bound {
+        return; // trivially satisfied
+    }
+    let k = bound as usize;
+    let n = terms.len();
+    // s[i][j]: prefix sum of terms 0..=i is >= j+1, for j in 0..k.
+    let mut s: Vec<Vec<Var>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        s.push((0..k).map(|_| sink.fresh_var()).collect());
+    }
+    let (x0, w0) = terms[0];
+    // x0 -> s[0][j] for j < w0 (capped at k).
+    for j in 0..(w0.min(bound) as usize) {
+        sink.emit_clause(&[!x0, Lit::pos(s[0][j])]);
+    }
+    // s[0][j] is false for j >= w0 (the prefix sum cannot exceed w0).
+    for j in (w0 as usize).min(k)..k {
+        sink.emit_clause(&[Lit::neg(s[0][j])]);
+    }
+    if w0 > bound {
+        sink.emit_clause(&[!x0]);
+    }
+    for i in 1..n {
+        let (xi, wi) = terms[i];
+        // Carrying forward: s[i-1][j] -> s[i][j].
+        for j in 0..k {
+            sink.emit_clause(&[Lit::neg(s[i - 1][j]), Lit::pos(s[i][j])]);
+        }
+        // Setting: xi -> s[i][j] for j < wi.
+        for j in 0..(wi.min(bound) as usize) {
+            sink.emit_clause(&[!xi, Lit::pos(s[i][j])]);
+        }
+        // Adding: xi & s[i-1][j] -> s[i][j + wi].
+        for j in 0..k {
+            let target = j as u64 + wi;
+            if target < bound {
+                sink.emit_clause(&[
+                    !xi,
+                    Lit::neg(s[i - 1][j]),
+                    Lit::pos(s[i][target as usize]),
+                ]);
+            }
+        }
+        // Overflow: xi & s[i-1][bound - wi] -> conflict.
+        if wi > bound {
+            sink.emit_clause(&[!xi]);
+        } else if bound >= wi {
+            let j = (bound - wi) as usize;
+            if j < k {
+                sink.emit_clause(&[!xi, Lit::neg(s[i - 1][j])]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+    use crate::solver::{SolveResult, Solver};
+
+    /// Enumerates all models over the original variables and checks the
+    /// encoding admits exactly the assignments whose weighted sum is within
+    /// the bound.
+    fn check_exact(weights: &[u64], bound: u64) {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(weights.len());
+        let terms: Vec<(Lit, u64)> = vars
+            .iter()
+            .zip(weights)
+            .map(|(&v, &w)| (Lit::pos(v), w))
+            .collect();
+        encode_leq(&mut solver, &terms, bound);
+
+        let mut satisfying = std::collections::BTreeSet::new();
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
+                    satisfying.insert(bits.clone());
+                    let blocking: Vec<Lit> = vars
+                        .iter()
+                        .map(|&v| Lit::new(v, !model.value(v)))
+                        .collect();
+                    solver.add_clause(&blocking);
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        let mut expected = std::collections::BTreeSet::new();
+        for mask in 0..(1u32 << weights.len()) {
+            let bits: Vec<bool> = (0..weights.len()).map(|i| mask & (1 << i) != 0).collect();
+            let sum: u64 = bits
+                .iter()
+                .zip(weights)
+                .filter(|(&b, _)| b)
+                .map(|(_, &w)| w)
+                .sum();
+            if sum <= bound {
+                expected.insert(bits);
+            }
+        }
+        assert_eq!(
+            satisfying, expected,
+            "PB encoding mismatch for weights {weights:?} bound {bound}"
+        );
+    }
+
+    #[test]
+    fn unit_weights_behave_like_cardinality() {
+        check_exact(&[1, 1, 1], 0);
+        check_exact(&[1, 1, 1], 1);
+        check_exact(&[1, 1, 1], 2);
+        check_exact(&[1, 1, 1], 3);
+    }
+
+    #[test]
+    fn mixed_weights() {
+        check_exact(&[2, 3, 1], 3);
+        check_exact(&[5, 1, 1], 4);
+        check_exact(&[4, 4, 4], 8);
+        check_exact(&[7, 2, 3, 1], 6);
+    }
+
+    #[test]
+    fn zero_weights_are_ignored() {
+        check_exact(&[0, 2, 0, 1], 2);
+    }
+
+    #[test]
+    fn trivially_satisfied_bound_adds_nothing() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(2);
+        encode_leq(
+            &mut solver,
+            &[(Lit::pos(vars[0]), 1), (Lit::pos(vars[1]), 1)],
+            10,
+        );
+        assert_eq!(solver.num_clauses(), 0);
+        assert!(solver.solve().is_sat());
+    }
+}

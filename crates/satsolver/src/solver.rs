@@ -1,0 +1,620 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The implementation follows the classic MiniSat architecture:
+//! two-watched-literal propagation, first-UIP conflict analysis with clause
+//! learning, activity-based branching with phase saving, and geometric
+//! restarts. Clauses may be added incrementally between [`Solver::solve`]
+//! calls, which is how the synthesizer adds blocking clauses during model
+//! enumeration.
+
+use crate::cnf::{Lit, Model, Var};
+
+/// The outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; a model is provided.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Returns the model if the result is SAT.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SolveResult::Sat(model) => Some(model),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Returns `true` if the result is SAT.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Vec<Lit>,
+}
+
+const UNASSIGNED: i8 = 0;
+
+/// A CDCL SAT solver supporting incremental clause addition.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    /// `watches[lit.code()]` lists the clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    /// Per-variable assignment: `1` true, `-1` false, `0` unassigned.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    phase: Vec<bool>,
+    activity: Vec<f64>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    var_inc: f64,
+    unsat: bool,
+    /// Statistics: number of conflicts encountered so far.
+    conflicts: u64,
+    /// Statistics: number of decisions made so far.
+    decisions: u64,
+    /// Statistics: number of literals propagated so far.
+    propagations: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(None);
+        self.phase.push(false);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        var
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The number of clauses currently stored (including learnt clauses).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of branching decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Returns `true` if the formula has been determined unsatisfiable.
+    pub fn is_known_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    fn lit_value(&self, lit: Lit) -> i8 {
+        let v = self.assign[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause.
+    ///
+    /// Adding the empty clause (or a clause that is falsified at decision
+    /// level zero) makes the formula permanently unsatisfiable. Clauses may
+    /// be added between `solve` calls; the solver must not be mid-search.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        // Normalize: drop duplicate and false-at-level-0 literals; detect
+        // tautologies and satisfied clauses.
+        let mut normalized: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &lit in lits {
+            debug_assert!(lit.var().index() < self.num_vars(), "unknown variable");
+            if self.lit_value(lit) == 1 {
+                return; // already satisfied at level 0
+            }
+            if self.lit_value(lit) == -1 {
+                continue; // falsified at level 0: drop
+            }
+            if normalized.contains(&!lit) {
+                return; // tautology
+            }
+            if !normalized.contains(&lit) {
+                normalized.push(lit);
+            }
+        }
+        match normalized.len() {
+            0 => {
+                self.unsat = true;
+            }
+            1 => {
+                if !self.enqueue(normalized[0], None) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let index = self.clauses.len();
+                self.watches[normalized[0].code()].push(index);
+                self.watches[normalized[1].code()].push(index);
+                self.clauses.push(ClauseData { lits: normalized });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.lit_value(lit) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let var = lit.var().index();
+                self.assign[var] = if lit.is_positive() { 1 } else { -1 };
+                self.level[var] = self.decision_level();
+                self.reason[var] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.propagations += 1;
+            let falsified = !p;
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let clause_index = watch_list[i];
+                // Ensure the falsified literal is at position 1.
+                let (first, found_other) = {
+                    let clause = &mut self.clauses[clause_index];
+                    if clause.lits[0] == falsified {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], falsified);
+                    (clause.lits[0], ())
+                };
+                let _ = found_other;
+                if self.lit_value(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let replacement = {
+                    let clause = &self.clauses[clause_index];
+                    clause.lits[2..]
+                        .iter()
+                        .position(|&l| self.lit_value(l) != -1)
+                        .map(|offset| offset + 2)
+                };
+                if let Some(k) = replacement {
+                    let new_watch = {
+                        let clause = &mut self.clauses[clause_index];
+                        clause.lits.swap(1, k);
+                        clause.lits[1]
+                    };
+                    self.watches[new_watch.code()].push(clause_index);
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.lit_value(first) == -1 {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[falsified.code()].extend(watch_list.drain(..));
+                    self.prop_head = self.trail.len();
+                    return Some(clause_index);
+                }
+                let enqueued = self.enqueue(first, Some(clause_index));
+                debug_assert!(enqueued);
+                i += 1;
+            }
+            self.watches[falsified.code()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, var: Var) {
+        let a = &mut self.activity[var.index()];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for value in &mut self.activity {
+                *value *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder for the asserting literal
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut clause_index = conflict;
+        let mut trail_index = self.trail.len();
+
+        loop {
+            let lits = self.clauses[clause_index].lits.clone();
+            for q in lits {
+                if Some(q.var()) == p.map(Lit::var) {
+                    continue;
+                }
+                let var = q.var();
+                if !seen[var.index()] && self.level[var.index()] > 0 {
+                    seen[var.index()] = true;
+                    self.bump_activity(var);
+                    if self.level[var.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to expand from the trail.
+            loop {
+                trail_index -= 1;
+                if seen[self.trail[trail_index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[trail_index];
+            seen[lit.var().index()] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            clause_index = self.reason[lit.var().index()]
+                .expect("non-decision literal must have a reason");
+        }
+        learnt[0] = !p.expect("conflict analysis visits at least one literal");
+
+        // Compute the backtrack level and move the corresponding literal to
+        // position 1 so it becomes the second watch.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_index = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_index].var().index()]
+                {
+                    max_index = i;
+                }
+            }
+            learnt.swap(1, max_index);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack_level)
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        while self.decision_level() > target_level {
+            let limit = self.trail_lim.pop().expect("level > 0 implies a limit");
+            while self.trail.len() > limit {
+                let lit = self.trail.pop().expect("trail not empty");
+                let var = lit.var().index();
+                self.phase[var] = lit.is_positive();
+                self.assign[var] = UNASSIGNED;
+                self.reason[var] = None;
+            }
+        }
+        self.prop_head = self.trail.len().min(self.prop_head);
+        self.prop_head = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(usize, f64)> = None;
+        for (index, &value) in self.assign.iter().enumerate() {
+            if value == UNASSIGNED {
+                let activity = self.activity[index];
+                if best.map_or(true, |(_, a)| activity > a) {
+                    best = Some((index, activity));
+                }
+            }
+        }
+        best.map(|(index, _)| Var(index as u32))
+    }
+
+    /// Solves the current formula.
+    ///
+    /// The solver always resets to decision level zero before and after
+    /// solving, so clauses can be added freely between calls.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = 100u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.cancel_until(backtrack_level);
+                if learnt.len() == 1 {
+                    let ok = self.enqueue(learnt[0], None);
+                    if !ok {
+                        self.unsat = true;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let index = self.clauses.len();
+                    self.watches[learnt[0].code()].push(index);
+                    self.watches[learnt[1].code()].push(index);
+                    let asserting = learnt[0];
+                    self.clauses.push(ClauseData { lits: learnt });
+                    let ok = self.enqueue(asserting, Some(index));
+                    debug_assert!(ok);
+                }
+                self.decay_activities();
+            } else if conflicts_since_restart >= restart_limit {
+                conflicts_since_restart = 0;
+                restart_limit = restart_limit.saturating_add(restart_limit / 2);
+                self.cancel_until(0);
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        let model = Model::new(
+                            self.assign.iter().map(|&value| value == 1).collect(),
+                        );
+                        self.cancel_until(0);
+                        return SolveResult::Sat(model);
+                    }
+                    Some(var) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(var, self.phase[var.index()]);
+                        let ok = self.enqueue(lit, None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn lit(solver_vars: &[Var], index: isize) -> Lit {
+        if index > 0 {
+            Lit::pos(solver_vars[(index - 1) as usize])
+        } else {
+            Lit::neg(solver_vars[(-index - 1) as usize])
+        }
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        solver.add_clause(&[Lit::pos(a)]);
+        assert!(solver.solve().is_sat());
+        solver.add_clause(&[Lit::neg(a)]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert!(solver.is_known_unsat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut solver = Solver::new();
+        let _ = solver.new_var();
+        solver.add_clause(&[]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(4);
+        // x0 & (x0 -> x1) & (x1 -> x2) & (x2 -> x3)
+        solver.add_clause(&[Lit::pos(vars[0])]);
+        for window in vars.windows(2) {
+            solver.add_clause(&[Lit::neg(window[0]), Lit::pos(window[1])]);
+        }
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                for &v in &vars {
+                    assert!(model.value(v));
+                }
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Three pigeons, two holes: var p_{i,j} = pigeon i in hole j.
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(6);
+        let p = |i: usize, j: usize| vars[i * 2 + j];
+        for i in 0..3 {
+            solver.add_clause(&[Lit::pos(p(i, 0)), Lit::pos(p(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    solver.add_clause(&[Lit::neg(p(i1, j)), Lit::neg(p(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert!(solver.conflicts() > 0);
+    }
+
+    #[test]
+    fn model_enumeration_with_blocking_clauses() {
+        // x0 xor x1 has exactly two models; blocking each in turn exhausts them.
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        solver.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        let mut models = Vec::new();
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    let blocking: Vec<Lit> = model
+                        .as_literals()
+                        .iter()
+                        .map(|&l| !l)
+                        .collect();
+                    models.push((model.value(a), model.value(b)));
+                    solver.add_clause(&blocking);
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        models.sort();
+        assert_eq!(models, vec![(false, true), (true, false)]);
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_sat() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(3);
+        solver.add_clause(&[lit(&vars, 1), lit(&vars, 2), lit(&vars, 3)]);
+        assert!(solver.solve().is_sat());
+        solver.add_clause(&[lit(&vars, -1)]);
+        solver.add_clause(&[lit(&vars, -2)]);
+        match solver.solve() {
+            SolveResult::Sat(model) => assert!(model.value(vars[2])),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+        solver.add_clause(&[lit(&vars, -3)]);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_harmless() {
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(&[Lit::pos(a), Lit::pos(a), Lit::neg(b)]);
+        solver.add_clause(&[Lit::pos(b), Lit::neg(b)]); // tautology: ignored
+        solver.add_clause(&[Lit::pos(b)]);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                assert!(model.value(a));
+                assert!(model.value(b));
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    /// Brute-force reference check on a batch of structured formulas.
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        // Deterministic pseudo-random 3-CNF generator (no external RNG).
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for instance in 0..60 {
+            let num_vars = 4 + (instance % 6) as usize;
+            let num_clauses = 3 + (next() % 22) as usize;
+            let mut cnf = Cnf::new();
+            let vars = cnf.new_vars(num_vars);
+            let mut solver = Solver::new();
+            let solver_vars = solver.new_vars(num_vars);
+            for _ in 0..num_clauses {
+                let width = 1 + (next() % 3) as usize;
+                let mut clause = Vec::new();
+                for _ in 0..width {
+                    let var = (next() % num_vars as u64) as usize;
+                    let positive = next() % 2 == 0;
+                    clause.push(Lit::new(vars[var], positive));
+                }
+                cnf.add_clause(clause.clone());
+                let solver_clause: Vec<Lit> = clause
+                    .iter()
+                    .map(|l| Lit::new(solver_vars[l.var().index()], l.is_positive()))
+                    .collect();
+                solver.add_clause(&solver_clause);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            for bits in 0..(1u32 << num_vars) {
+                let assignment: Vec<bool> =
+                    (0..num_vars).map(|i| bits & (1 << i) != 0).collect();
+                if cnf.eval(&assignment) {
+                    brute_sat = true;
+                    break;
+                }
+            }
+            let result = solver.solve();
+            assert_eq!(
+                result.is_sat(),
+                brute_sat,
+                "solver disagrees with brute force on instance {instance}"
+            );
+            if let SolveResult::Sat(model) = result {
+                assert!(
+                    cnf.eval(&model.values()[..num_vars]),
+                    "model returned by solver does not satisfy the formula"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests: the CDCL solver and the MaxSAT solver agree with
+//! brute-force reference implementations on random small instances.
+
+use proptest::prelude::*;
+use satsolver::encoder::exactly_one;
+use satsolver::pb::encode_leq;
+use satsolver::{Cnf, Lit, MaxSatResult, MaxSatSolver, SolveResult, Solver, Var};
+
+/// A random clause over `num_vars` variables.
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    proptest::collection::vec((0..num_vars, any::<bool>()), 1..4)
+}
+
+fn formula_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
+    (3usize..7).prop_flat_map(|num_vars| {
+        proptest::collection::vec(clause_strategy(num_vars), 0..18)
+            .prop_map(move |clauses| (num_vars, clauses))
+    })
+}
+
+fn brute_force_sat(num_vars: usize, cnf: &Cnf) -> bool {
+    (0..(1u32 << num_vars)).any(|mask| {
+        let assignment: Vec<bool> = (0..num_vars).map(|i| mask & (1 << i) != 0).collect();
+        cnf.eval(&assignment)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CDCL agrees with brute force on satisfiability, and its models are
+    /// genuine models.
+    #[test]
+    fn solver_agrees_with_brute_force((num_vars, clauses) in formula_strategy()) {
+        let mut cnf = Cnf::new();
+        let cnf_vars = cnf.new_vars(num_vars);
+        let mut solver = Solver::new();
+        let solver_vars = solver.new_vars(num_vars);
+        for clause in &clauses {
+            let cnf_clause: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, positive)| Lit::new(cnf_vars[v], positive))
+                .collect();
+            cnf.add_clause(cnf_clause);
+            let solver_clause: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, positive)| Lit::new(solver_vars[v], positive))
+                .collect();
+            solver.add_clause(&solver_clause);
+        }
+        let expected = brute_force_sat(num_vars, &cnf);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected, "solver found a model for an unsatisfiable formula");
+                prop_assert!(cnf.eval(&model.values()[..num_vars]));
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "solver missed a model"),
+        }
+    }
+
+    /// Exactly-one encodings admit exactly `n` models over the constrained
+    /// variables.
+    #[test]
+    fn exactly_one_has_n_models(n in 1usize..6) {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(n);
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        exactly_one(&mut solver, &lits);
+        let mut count = 0;
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    count += 1;
+                    let blocking: Vec<Lit> = vars
+                        .iter()
+                        .map(|&v| Lit::new(v, !model.value(v)))
+                        .collect();
+                    solver.add_clause(&blocking);
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    /// The pseudo-Boolean `≤ bound` encoding accepts exactly the assignments
+    /// whose weighted sum is within the bound.
+    #[test]
+    fn pb_encoding_is_exact(
+        weights in proptest::collection::vec(0u64..6, 1..5),
+        bound in 0u64..10,
+    ) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..weights.len()).map(|_| solver.new_var()).collect();
+        let terms: Vec<(Lit, u64)> = vars
+            .iter()
+            .zip(&weights)
+            .map(|(&v, &w)| (Lit::pos(v), w))
+            .collect();
+        encode_leq(&mut solver, &terms, bound);
+        let mut reachable = std::collections::BTreeSet::new();
+        loop {
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
+                    reachable.insert(bits.clone());
+                    let blocking: Vec<Lit> = vars
+                        .iter()
+                        .map(|&v| Lit::new(v, !model.value(v)))
+                        .collect();
+                    solver.add_clause(&blocking);
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        for mask in 0..(1u32 << weights.len()) {
+            let bits: Vec<bool> = (0..weights.len()).map(|i| mask & (1 << i) != 0).collect();
+            let sum: u64 = bits
+                .iter()
+                .zip(&weights)
+                .filter(|(&b, _)| b)
+                .map(|(_, &w)| w)
+                .sum();
+            prop_assert_eq!(
+                reachable.contains(&bits),
+                sum <= bound,
+                "assignment {:?} (sum {}) mishandled for bound {}",
+                bits, sum, bound
+            );
+        }
+    }
+
+    /// MaxSAT finds the true optimum on random weighted instances.
+    #[test]
+    fn maxsat_is_optimal(
+        (num_vars, hard) in formula_strategy(),
+        soft in proptest::collection::vec((clause_strategy(6), 1u64..6), 1..5),
+    ) {
+        let mut maxsat = MaxSatSolver::new();
+        let vars: Vec<Var> = (0..num_vars.max(6)).map(|_| maxsat.new_var()).collect();
+        let mut hard_clauses = Vec::new();
+        for clause in &hard {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, positive)| Lit::new(vars[v % vars.len()], positive))
+                .collect();
+            hard_clauses.push(lits.clone());
+            maxsat.add_hard(&lits);
+        }
+        let mut soft_clauses = Vec::new();
+        for (clause, weight) in &soft {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, positive)| Lit::new(vars[v % vars.len()], positive))
+                .collect();
+            soft_clauses.push((lits.clone(), *weight));
+            maxsat.add_soft(&lits, *weight);
+        }
+        // Brute force reference.
+        let eval_lit = |assignment: &[bool], lit: Lit| {
+            let value = assignment[lit.var().index()];
+            if lit.is_positive() { value } else { !value }
+        };
+        let mut best: Option<u64> = None;
+        for mask in 0..(1u32 << vars.len()) {
+            let assignment: Vec<bool> = (0..vars.len()).map(|i| mask & (1 << i) != 0).collect();
+            if !hard_clauses.iter().all(|c| c.iter().any(|&l| eval_lit(&assignment, l))) {
+                continue;
+            }
+            let cost: u64 = soft_clauses
+                .iter()
+                .filter(|(c, _)| !c.iter().any(|&l| eval_lit(&assignment, l)))
+                .map(|&(_, w)| w)
+                .sum();
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+        match (maxsat.solve(), best) {
+            (MaxSatResult::Optimal { cost, .. }, Some(expected)) => {
+                prop_assert_eq!(cost, expected);
+            }
+            (MaxSatResult::Unsat, None) => {}
+            (got, expected) => {
+                prop_assert!(false, "solver returned {:?} but brute force found {:?}", got, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # migrator-suite — workspace umbrella
+//!
+//! This crate ties the workspace together for the examples and integration
+//! tests: it re-exports the database-program IR ([`dbir`]), the synthesizer
+//! ([`migrator`]) and the evaluation benchmarks ([`benchmarks`]).
+//!
+//! See the individual crates for the real functionality:
+//!
+//! * [`dbir`] — schemas, programs, the in-memory engine, bounded
+//!   equivalence checking;
+//! * [`migrator`] — value-correspondence enumeration, sketch generation and
+//!   MFI-guided sketch completion;
+//! * [`benchmarks`] — the 20 evaluation benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use benchmarks;
+pub use dbir;
+pub use migrator;
+
+/// Convenience re-export of the most commonly used entry points.
+pub mod prelude {
+    pub use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark};
+    pub use dbir::{parser::parse_program, Program, Schema};
+    pub use migrator::{SynthesisConfig, Synthesizer};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let schema = Schema::parse("T(a: int)").unwrap();
+        let program = parse_program("query q(a: int) SELECT a FROM T WHERE a = a;", &schema);
+        assert!(program.is_ok());
+        assert_eq!(all_benchmarks().len(), 20);
+        let _ = Synthesizer::new(SynthesisConfig::standard());
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-checks between the MFI-guided solver and the two baseline solvers
+//! (symbolic enumeration without MFIs, and the CEGIS-style enumerator that
+//! stands in for the Sketch tool).
+
+use benchmarks::benchmark_by_name;
+use dbir::equiv::{compare_programs, TestConfig};
+use migrator::baselines::{solve_cegis, solve_enumerative, CegisConfig};
+use migrator::completion::{complete_sketch, BlockingStrategy};
+use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
+use migrator::value_corr::{VcConfig, VcEnumerator};
+use migrator::{SynthesisConfig, Synthesizer};
+
+/// All three solvers must agree (and produce equivalent programs) on the
+/// small rename benchmark.
+#[test]
+fn all_solvers_agree_on_ambler_4() {
+    let benchmark = benchmark_by_name("Ambler-4").unwrap();
+    let mut enumerator = VcEnumerator::new(
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+        &VcConfig::default(),
+    );
+    let phi = enumerator.next_correspondence().unwrap();
+    let sketch = generate_sketch(
+        &benchmark.source_program,
+        &phi,
+        &benchmark.target_schema,
+        &SketchGenConfig::default(),
+    )
+    .unwrap();
+
+    let mfi = complete_sketch(
+        &sketch,
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+        &TestConfig::default(),
+        &TestConfig::default(),
+        BlockingStrategy::MinimumFailingInput,
+        0,
+    );
+    let enumerative = solve_enumerative(
+        &sketch,
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+        &TestConfig::default(),
+        &TestConfig::default(),
+        0,
+    );
+    let cegis = solve_cegis(
+        &sketch,
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+        &CegisConfig::default(),
+    );
+
+    for (label, program) in [
+        ("mfi", mfi.program),
+        ("enumerative", enumerative.program),
+        ("cegis", cegis.program),
+    ] {
+        let program = program.unwrap_or_else(|| panic!("{label} solver failed"));
+        let report = compare_programs(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &program,
+            &benchmark.target_schema,
+            &TestConfig::thorough(),
+        );
+        assert!(report.equivalent, "{label} produced a non-equivalent program");
+    }
+
+    // The MFI solver must not need more candidates than plain enumeration.
+    assert!(mfi.stats.iterations <= enumerative.stats.iterations);
+}
+
+/// The enumerative baseline explores at least as many candidates as the
+/// MFI-guided solver on a benchmark with a non-trivial search space.
+#[test]
+fn mfi_prunes_more_than_enumeration_on_ambler_1() {
+    let benchmark = benchmark_by_name("Ambler-1").unwrap();
+    let mut iterations = Vec::new();
+    for solver in [
+        migrator::SketchSolverKind::MfiGuided,
+        migrator::SketchSolverKind::Enumerative,
+    ] {
+        let config = SynthesisConfig {
+            solver,
+            ..SynthesisConfig::standard()
+        };
+        let result = Synthesizer::new(config).synthesize(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &benchmark.target_schema,
+        );
+        assert!(result.succeeded(), "{solver:?} failed to synthesize");
+        iterations.push(result.stats.iterations);
+    }
+    assert!(
+        iterations[0] <= iterations[1],
+        "MFI-guided search ({}) should need no more iterations than enumeration ({})",
+        iterations[0],
+        iterations[1]
+    );
+}
+
+/// The CEGIS baseline times out (hits its budget) on a benchmark with a
+/// large search space, reproducing the shape of Table 2.
+#[test]
+fn cegis_baseline_hits_its_budget_on_the_motivating_example() {
+    let source_schema = dbir::Schema::parse(
+        "Class(ClassId: int, InstId: int, TaId: int)\n\
+         Instructor(InstId: int, IName: string, IPic: binary)\n\
+         TA(TaId: int, TName: string, TPic: binary)",
+    )
+    .unwrap();
+    let target_schema = dbir::Schema::parse(
+        "Class(ClassId: int, InstId: int, TaId: int)\n\
+         Instructor(InstId: int, IName: string, PicId: id)\n\
+         TA(TaId: int, TName: string, PicId: id)\n\
+         Picture(PicId: id, Pic: binary)",
+    )
+    .unwrap();
+    let program = dbir::parser::parse_program(
+        r#"
+        update addInstructor(id: int, name: string, pic: binary)
+            INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+        update deleteInstructor(id: int)
+            DELETE Instructor FROM Instructor WHERE InstId = id;
+        query getInstructorInfo(id: int)
+            SELECT IName, IPic FROM Instructor WHERE InstId = id;
+        update addTA(id: int, name: string, pic: binary)
+            INSERT INTO TA VALUES (TaId: id, TName: name, TPic: pic);
+        update deleteTA(id: int)
+            DELETE TA FROM TA WHERE TaId = id;
+        query getTAInfo(id: int)
+            SELECT TName, TPic FROM TA WHERE TaId = id;
+        "#,
+        &source_schema,
+    )
+    .unwrap();
+    let mut enumerator = VcEnumerator::new(
+        &program,
+        &source_schema,
+        &target_schema,
+        &VcConfig::default(),
+    );
+    let phi = enumerator.next_correspondence().unwrap();
+    let sketch =
+        generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+    // A deliberately small budget: lexicographic enumeration cannot reach a
+    // correct completion of a ~10^5-program space in 50 candidates.
+    let outcome = solve_cegis(
+        &sketch,
+        &program,
+        &source_schema,
+        &target_schema,
+        &CegisConfig {
+            max_candidates: 50,
+            time_limit: std::time::Duration::from_secs(5),
+            testing: TestConfig::default(),
+        },
+    );
+    assert!(outcome.program.is_none());
+    assert!(outcome.timed_out);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests at the synthesizer level: for randomly generated
+//! rename refactorings, the synthesizer always produces an equivalent
+//! program, and sketch instantiation is total over its assignment space.
+
+use dbir::equiv::{compare_programs, TestConfig};
+use dbir::parser::parse_program;
+use dbir::Schema;
+use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
+use migrator::value_corr::{VcConfig, VcEnumerator};
+use migrator::{SynthesisConfig, Synthesizer};
+use proptest::prelude::*;
+
+/// A lowercase identifier usable as a column name.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z]{3,8}"
+}
+
+/// A random single-table rename scenario: source columns plus, for each, a
+/// possibly different target name.
+fn rename_scenario() -> impl Strategy<Value = (Vec<String>, Vec<String>)> {
+    proptest::collection::btree_set(ident(), 2..5).prop_flat_map(|names| {
+        let names: Vec<String> = names.into_iter().collect();
+        let renames = names
+            .iter()
+            .map(|n| {
+                prop_oneof![
+                    2 => Just(n.clone()),
+                    1 => Just(format!("{n}_v2")),
+                ]
+            })
+            .collect::<Vec<_>>();
+        (Just(names), renames)
+    })
+}
+
+fn build_schema(table: &str, key: &str, columns: &[String]) -> Schema {
+    let mut text = format!("{table}({key}: int");
+    for column in columns {
+        text.push_str(&format!(", {column}: string"));
+    }
+    text.push(')');
+    Schema::parse(&text).expect("generated schema is well-formed")
+}
+
+fn build_program(schema: &Schema, key: &str, columns: &[String]) -> dbir::Program {
+    let mut text = String::new();
+    // Insert function covering every column.
+    text.push_str(&format!("update addRow({key}: int"));
+    for column in columns {
+        text.push_str(&format!(", {column}: string"));
+    }
+    text.push_str(")\n    INSERT INTO Data VALUES (");
+    text.push_str(&format!("{key}: {key}"));
+    for column in columns {
+        text.push_str(&format!(", {column}: {column}"));
+    }
+    text.push_str(");\n");
+    // One query per column plus a delete.
+    for (i, column) in columns.iter().enumerate() {
+        text.push_str(&format!(
+            "query get{i}({key}: int) SELECT {column} FROM Data WHERE {key} = {key};\n"
+        ));
+    }
+    text.push_str(&format!(
+        "update deleteRow({key}: int) DELETE Data FROM Data WHERE {key} = {key};\n"
+    ));
+    parse_program(&text, schema).expect("generated program parses")
+}
+
+proptest! {
+    // End-to-end synthesis per case is relatively expensive; keep the number
+    // of cases modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Renaming any subset of a table's columns is always synthesized, and
+    /// the result is equivalent to the source program.
+    #[test]
+    fn random_renames_synthesize((columns, renamed) in rename_scenario()) {
+        let source_schema = build_schema("Data", "row_id", &columns);
+        let target_schema = build_schema("Data", "row_id", &renamed);
+        let program = build_program(&source_schema, "row_id", &columns);
+
+        let synthesizer = Synthesizer::new(SynthesisConfig::standard());
+        let result = synthesizer.synthesize(&program, &source_schema, &target_schema);
+        let migrated = result.program.expect("rename refactorings always synthesize");
+        let report = compare_programs(
+            &program,
+            &source_schema,
+            &migrated,
+            &target_schema,
+            &TestConfig::default(),
+        );
+        prop_assert!(report.equivalent);
+    }
+
+    /// Every assignment of the motivating-example sketch either instantiates
+    /// to a well-formed program or reports a structural conflict naming at
+    /// least one hole (instantiation never panics and never produces an
+    /// ill-formed program silently).
+    #[test]
+    fn sketch_instantiation_is_total(seed in proptest::collection::vec(0usize..1000, 8))
+    {
+        let source_schema = Schema::parse(
+            "Instructor(InstId: int, IName: string, IPic: binary)\n\
+             TA(TaId: int, TName: string, TPic: binary)",
+        ).unwrap();
+        let target_schema = Schema::parse(
+            "Instructor(InstId: int, IName: string, PicId: id)\n\
+             TA(TaId: int, TName: string, PicId: id)\n\
+             Picture(PicId: id, Pic: binary)",
+        ).unwrap();
+        let program = parse_program(
+            r#"
+            update addInstructor(id: int, name: string, pic: binary)
+                INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+            query getInstructorInfo(id: int)
+                SELECT IName, IPic FROM Instructor WHERE InstId = id;
+            update addTA(id: int, name: string, pic: binary)
+                INSERT INTO TA VALUES (TaId: id, TName: name, TPic: pic);
+            query getTAInfo(id: int)
+                SELECT TName, TPic FROM TA WHERE TaId = id;
+            "#,
+            &source_schema,
+        ).unwrap();
+        let mut enumerator = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
+        let phi = enumerator.next_correspondence().unwrap();
+        let sketch = generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
+            .unwrap();
+        let assignment: Vec<usize> = sketch
+            .holes
+            .iter()
+            .zip(&seed)
+            .map(|(hole, s)| s % hole.domain.size())
+            .collect();
+        // The seed vector must be at least as long as the hole table for the
+        // zip above to cover every hole.
+        prop_assume!(seed.len() >= sketch.holes.len());
+        match sketch.instantiate(&assignment) {
+            Ok(candidate) => prop_assert!(candidate.validate(&target_schema).is_ok()),
+            Err(conflicts) => {
+                prop_assert!(!conflicts.is_empty());
+                for conflict in conflicts {
+                    prop_assert!(!conflict.holes.is_empty());
+                }
+            }
+        }
+    }
+}

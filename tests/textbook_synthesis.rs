@@ -1,0 +1,70 @@
+//! End-to-end synthesis of the ten textbook benchmarks (Table 1, upper
+//! half): every benchmark must synthesize an equivalent program over its
+//! target schema with the standard configuration.
+
+use benchmarks::{benchmark_by_name, Benchmark};
+use dbir::equiv::{compare_programs, TestConfig};
+use migrator::{SynthesisConfig, Synthesizer};
+
+fn synthesize_and_check(benchmark: &Benchmark) {
+    let synthesizer = Synthesizer::new(SynthesisConfig::standard());
+    let result = synthesizer.synthesize(
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &benchmark.target_schema,
+    );
+    let program = result.program.unwrap_or_else(|| {
+        panic!(
+            "benchmark {} failed to synthesize (VCs: {}, iterations: {})",
+            benchmark.name, result.stats.value_correspondences, result.stats.iterations
+        )
+    });
+    assert!(
+        program.validate(&benchmark.target_schema).is_ok(),
+        "{}: synthesized program is ill-formed",
+        benchmark.name
+    );
+    assert_eq!(
+        program.functions.len(),
+        benchmark.source_program.functions.len(),
+        "{}: synthesized program must keep every function",
+        benchmark.name
+    );
+    // Independent equivalence check at a deeper bound than the synthesizer's
+    // in-loop testing.
+    let report = compare_programs(
+        &benchmark.source_program,
+        &benchmark.source_schema,
+        &program,
+        &benchmark.target_schema,
+        &TestConfig::thorough(),
+    );
+    assert!(
+        report.equivalent,
+        "{}: synthesized program is not equivalent (counterexample: {:?})",
+        benchmark.name, report.counterexample
+    );
+    assert!(result.stats.value_correspondences >= 1);
+    assert!(result.stats.iterations >= 1);
+}
+
+macro_rules! textbook_test {
+    ($test_name:ident, $benchmark:expr) => {
+        #[test]
+        fn $test_name() {
+            let benchmark = benchmark_by_name($benchmark).expect("benchmark exists");
+            synthesize_and_check(&benchmark);
+        }
+    };
+}
+
+textbook_test!(oracle_1_synthesizes, "Oracle-1");
+textbook_test!(oracle_2_synthesizes, "Oracle-2");
+textbook_test!(ambler_1_synthesizes, "Ambler-1");
+textbook_test!(ambler_2_synthesizes, "Ambler-2");
+textbook_test!(ambler_3_synthesizes, "Ambler-3");
+textbook_test!(ambler_4_synthesizes, "Ambler-4");
+textbook_test!(ambler_5_synthesizes, "Ambler-5");
+textbook_test!(ambler_6_synthesizes, "Ambler-6");
+textbook_test!(ambler_7_synthesizes, "Ambler-7");
+textbook_test!(ambler_8_synthesizes, "Ambler-8");
