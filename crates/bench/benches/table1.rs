@@ -39,7 +39,9 @@ fn bench_table1(c: &mut Criterion) {
                 &benchmark.target_schema,
                 &config.vc,
             );
-            enumerator.next_correspondence().expect("a correspondence exists")
+            enumerator
+                .next_correspondence()
+                .expect("a correspondence exists")
         })
     });
     stages.bench_function("sketch_generation", |b| {

@@ -1,19 +1,22 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! experiments table1 [--textbook-only] [--only <name>]
+//! experiments table1 [--textbook-only] [--only <name>] [--out <path>]
 //! experiments table2 [--textbook-only] [--budget-secs <n>]
 //! experiments table3 [--textbook-only] [--cap <iterations>]
-//! experiments all    [--textbook-only]
+//! experiments all    [--textbook-only] [--out <path>]
 //! ```
 //!
 //! Each command prints a Markdown table with the measured numbers next to
 //! the numbers the paper reports, so EXPERIMENTS.md can be updated by
-//! copying the output.
+//! copying the output. `table1` and `all` additionally write the measured
+//! rows (per-benchmark wall time plus the underlying search statistics) as
+//! machine-readable JSON to `--out` (default `BENCH_results.json`), so
+//! successive revisions leave a performance trajectory.
 
 use std::time::{Duration, Instant};
 
-use bench::{cegis_config_for, config_for, run_table1};
+use bench::{cegis_config_for, config_for, row_to_json, run_table1};
 use benchmarks::{all_benchmarks, textbook_benchmarks, Benchmark};
 use migrator::baselines::solve_cegis;
 use migrator::sketch_gen::generate_sketch;
@@ -27,6 +30,8 @@ struct Options {
     only: Option<String>,
     budget_secs: u64,
     cap: usize,
+    out: String,
+    out_explicit: bool,
 }
 
 fn parse_args() -> Options {
@@ -38,11 +43,19 @@ fn parse_args() -> Options {
         only: None,
         budget_secs: 20,
         cap: 100_000,
+        out: "BENCH_results.json".to_string(),
+        out_explicit: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--textbook-only" => options.textbook_only = true,
             "--only" => options.only = args.next(),
+            "--out" => {
+                if let Some(path) = args.next() {
+                    options.out = path;
+                    options.out_explicit = true;
+                }
+            }
             "--budget-secs" => {
                 options.budget_secs = args
                     .next()
@@ -82,8 +95,10 @@ fn table1(options: &Options) {
         "| Benchmark | Funcs | Value Corr (paper) | Iters (paper) | Synth s (paper) | Total s (paper) | OK |"
     );
     println!("|---|---|---|---|---|---|---|");
+    let mut results = Vec::new();
     for benchmark in selected_benchmarks(options) {
         let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        results.push(row_to_json(&benchmark, &row));
         println!(
             "| {} | {} | {} ({}) | {} ({}) | {:.1} ({:.1}) | {:.1} ({:.1}) | {} |",
             row.name,
@@ -100,6 +115,31 @@ fn table1(options: &Options) {
         );
     }
     println!();
+
+    // Only a full, unfiltered run may overwrite the default trajectory file;
+    // a filtered spot-check would silently replace 20 rows with one.
+    let filter = match (&options.only, options.textbook_only) {
+        (Some(name), _) => format!("only:{name}"),
+        (None, true) => "textbook-only".to_string(),
+        (None, false) => "all".to_string(),
+    };
+    if filter != "all" && !options.out_explicit {
+        eprintln!(
+            "filtered run ({filter}): not overwriting {}; pass --out to write anyway",
+            options.out
+        );
+        return;
+    }
+    let count = results.len();
+    let document = sqlbridge::Json::object()
+        .with("solver", sqlbridge::Json::str("MfiGuided"))
+        .with("filter", sqlbridge::Json::str(filter))
+        .with("benchmark_count", count.into())
+        .with("benchmarks", sqlbridge::Json::Array(results));
+    match std::fs::write(&options.out, document.to_pretty_string()) {
+        Ok(()) => eprintln!("wrote {}", options.out),
+        Err(e) => eprintln!("cannot write {}: {e}", options.out),
+    }
 }
 
 fn table2(options: &Options) {

@@ -43,7 +43,7 @@ pub fn cegis_config_for(benchmark: &Benchmark, time_limit: Duration) -> CegisCon
     }
 }
 
-/// One measured row of Table 1.
+/// One measured row of Table 1, plus the underlying search statistics.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark name.
@@ -58,6 +58,14 @@ pub struct Table1Row {
     pub synth_time: f64,
     /// Total time including verification (seconds).
     pub total_time: f64,
+    /// Sketches generated (one per productive value correspondence).
+    pub sketches_generated: usize,
+    /// Structurally invalid hole assignments encountered.
+    pub invalid_instantiations: usize,
+    /// Completion count of the largest sketch explored.
+    pub largest_search_space: u128,
+    /// Invocation sequences executed during testing.
+    pub sequences_tested: usize,
 }
 
 /// Runs the full synthesis pipeline on a benchmark and returns the measured
@@ -76,7 +84,43 @@ pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row 
         iters: result.stats.iterations,
         synth_time: result.stats.synthesis_time.as_secs_f64(),
         total_time: result.stats.total_time().as_secs_f64(),
+        sketches_generated: result.stats.sketches_generated,
+        invalid_instantiations: result.stats.invalid_instantiations,
+        largest_search_space: result.stats.largest_search_space,
+        sequences_tested: result.stats.sequences_tested,
     }
+}
+
+/// Renders a measured row (plus its benchmark's metadata) as one entry of
+/// the machine-readable `BENCH_results.json`.
+pub fn row_to_json(benchmark: &Benchmark, row: &Table1Row) -> sqlbridge::Json {
+    use sqlbridge::Json;
+    Json::object()
+        .with("name", Json::str(&row.name))
+        .with(
+            "category",
+            Json::str(match benchmark.category {
+                Category::Textbook => "textbook",
+                Category::RealWorld => "realworld",
+            }),
+        )
+        .with("succeeded", Json::Bool(row.succeeded))
+        .with("value_correspondences", row.value_corr.into())
+        .with("iterations", row.iters.into())
+        .with("sketches_generated", row.sketches_generated.into())
+        .with("invalid_instantiations", row.invalid_instantiations.into())
+        .with("largest_search_space", row.largest_search_space.into())
+        .with("sequences_tested", row.sequences_tested.into())
+        .with("synth_time_secs", row.synth_time.into())
+        .with("total_time_secs", row.total_time.into())
+        .with(
+            "paper",
+            Json::object()
+                .with("value_correspondences", benchmark.paper.value_corr.into())
+                .with("iterations", benchmark.paper.iters.into())
+                .with("synth_time_secs", benchmark.paper.synth_time_secs.into())
+                .with("total_time_secs", benchmark.paper.total_time_secs.into()),
+        )
 }
 
 #[cfg(test)]

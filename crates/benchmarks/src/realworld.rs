@@ -128,7 +128,11 @@ fn field_name(entity: &str, index: usize) -> String {
     if index < FIELD_NAMES.len() {
         format!("{}_{stem}", entity.to_ascii_lowercase())
     } else {
-        format!("{}_{stem}{}", entity.to_ascii_lowercase(), index / FIELD_NAMES.len())
+        format!(
+            "{}_{stem}{}",
+            entity.to_ascii_lowercase(),
+            index / FIELD_NAMES.len()
+        )
     }
 }
 
@@ -342,8 +346,7 @@ fn build_source_program(spec: &RealWorldSpec, schema: &Schema) -> Program {
                 }
                 // Round 1: primary getter.
                 1 => {
-                    let projected: Vec<&str> =
-                        data.iter().take(2).map(String::as_str).collect();
+                    let projected: Vec<&str> = data.iter().take(2).map(String::as_str).collect();
                     if projected.is_empty() {
                         None
                     } else {
@@ -378,8 +381,13 @@ fn build_source_program(spec: &RealWorldSpec, schema: &Schema) -> Program {
                 // Round 3: update the first data attribute.
                 3 => data.first().and_then(|attr| {
                     single_function(schema, |b| {
-                        b.update_by(&format!("update{entity}{}", camel(attr)), &entity, &key, attr)
-                            .map(|_| ())
+                        b.update_by(
+                            &format!("update{entity}{}", camel(attr)),
+                            &entity,
+                            &key,
+                            attr,
+                        )
+                        .map(|_| ())
                     })
                 }),
                 // Round 4: secondary getter.
@@ -398,8 +406,13 @@ fn build_source_program(spec: &RealWorldSpec, schema: &Schema) -> Program {
                 // Round 5: lookup by the first data attribute.
                 5 => data.first().and_then(|attr| {
                     single_function(schema, |b| {
-                        b.select_by(&format!("find{entity}By{}", camel(attr)), &entity, attr, &[&key])
-                            .map(|_| ())
+                        b.select_by(
+                            &format!("find{entity}By{}", camel(attr)),
+                            &entity,
+                            attr,
+                            &[&key],
+                        )
+                        .map(|_| ())
                     })
                 }),
                 // Round 6: update the second data attribute.
@@ -411,8 +424,7 @@ fn build_source_program(spec: &RealWorldSpec, schema: &Schema) -> Program {
                 }),
                 // Round 7: wide getter.
                 7 => {
-                    let projected: Vec<&str> =
-                        data.iter().take(4).map(String::as_str).collect();
+                    let projected: Vec<&str> = data.iter().take(4).map(String::as_str).collect();
                     if projected.len() < 3 {
                         None
                     } else {
@@ -444,22 +456,37 @@ fn build_source_program(spec: &RealWorldSpec, schema: &Schema) -> Program {
                 // Round 9: getter over the last usable data attribute.
                 9 => data.last().and_then(|attr| {
                     single_function(schema, |b| {
-                        b.select_by(&format!("get{entity}{}", camel(attr)), &entity, &key, &[attr])
-                            .map(|_| ())
+                        b.select_by(
+                            &format!("get{entity}{}", camel(attr)),
+                            &entity,
+                            &key,
+                            &[attr],
+                        )
+                        .map(|_| ())
                     })
                 }),
                 // Round 10: third update.
                 10 => data.get(2).and_then(|attr| {
                     single_function(schema, |b| {
-                        b.update_by(&format!("change{entity}{}", camel(attr)), &entity, &key, attr)
-                            .map(|_| ())
+                        b.update_by(
+                            &format!("change{entity}{}", camel(attr)),
+                            &entity,
+                            &key,
+                            attr,
+                        )
+                        .map(|_| ())
                     })
                 }),
                 // Round 11: lookup of the second data attribute by the first.
                 _ => match (data.first(), data.get(1)) {
                     (Some(by), Some(get)) => single_function(schema, |b| {
-                        b.select_by(&format!("lookup{entity}{}", camel(get)), &entity, by, &[get])
-                            .map(|_| ())
+                        b.select_by(
+                            &format!("lookup{entity}{}", camel(get)),
+                            &entity,
+                            by,
+                            &[get],
+                        )
+                        .map(|_| ())
                     }),
                     _ => None,
                 },
@@ -622,7 +649,19 @@ pub fn specs() -> Vec<RealWorldSpec> {
                 Refactoring::Split { table: 0, moved: 3 },
                 Refactoring::AddAttrs { table: 2, count: 5 },
             ],
-            paper: paper(138, 16, 125, 17, 131, 1, 7, 11.9, 38.9, Some(5595), Some(6169.4)),
+            paper: paper(
+                138,
+                16,
+                125,
+                17,
+                131,
+                1,
+                7,
+                11.9,
+                38.9,
+                Some(5595),
+                Some(6169.4),
+            ),
         },
         RealWorldSpec {
             name: "coachup",
@@ -702,7 +741,19 @@ pub fn specs() -> Vec<RealWorldSpec> {
                 Refactoring::Split { table: 3, moved: 3 },
                 Refactoring::AddAttrs { table: 0, count: 4 },
             ],
-            paper: paper(58, 7, 52, 8, 57, 1, 11, 2.5, 9.4, Some(21_483), Some(32_266.2)),
+            paper: paper(
+                58,
+                7,
+                52,
+                8,
+                57,
+                1,
+                11,
+                2.5,
+                9.4,
+                Some(21_483),
+                Some(32_266.2),
+            ),
         },
         RealWorldSpec {
             name: "DeeJBase",

@@ -291,7 +291,20 @@ pub fn ambler_3() -> Benchmark {
             );
             Program::new(functions)
         },
-        paper(7, 2, 5, 2, 5, 2, 5, 0.4, 30.6, Some(74.7), Some(6), Some(0.4)),
+        paper(
+            7,
+            2,
+            5,
+            2,
+            5,
+            2,
+            5,
+            0.4,
+            30.6,
+            Some(74.7),
+            Some(6),
+            Some(0.4),
+        ),
     )
 }
 
@@ -360,7 +373,20 @@ pub fn ambler_5() -> Benchmark {
                 schema,
             )
         },
-        paper(8, 2, 5, 3, 6, 5, 7, 0.3, 3.1, Some(494.4), Some(11), Some(0.4)),
+        paper(
+            8,
+            2,
+            5,
+            3,
+            6,
+            5,
+            7,
+            0.3,
+            3.1,
+            Some(494.4),
+            Some(11),
+            Some(0.4),
+        ),
     )
 }
 
@@ -409,7 +435,20 @@ pub fn ambler_6() -> Benchmark {
             );
             Program::new(functions)
         },
-        paper(10, 2, 9, 2, 8, 1, 1, 0.3, 0.7, Some(226.2), Some(1), Some(0.3)),
+        paper(
+            10,
+            2,
+            9,
+            2,
+            8,
+            1,
+            1,
+            0.3,
+            0.7,
+            Some(226.2),
+            Some(1),
+            Some(0.3),
+        ),
     )
 }
 
@@ -446,7 +485,20 @@ pub fn ambler_7() -> Benchmark {
                 schema,
             )
         },
-        paper(8, 2, 7, 2, 8, 1, 1, 0.3, 0.6, Some(814.8), Some(1), Some(0.3)),
+        paper(
+            8,
+            2,
+            7,
+            2,
+            8,
+            1,
+            1,
+            0.3,
+            0.6,
+            Some(814.8),
+            Some(1),
+            Some(0.3),
+        ),
     )
 }
 

@@ -55,14 +55,20 @@ pub fn join_insert_function(
             }
         }
     }
-    Function::update(name, params, Update::Insert { join: chain, values })
+    Function::update(
+        name,
+        params,
+        Update::Insert {
+            join: chain,
+            values,
+        },
+    )
 }
 
 /// Convenience wrapper: parse a schema, panicking with the benchmark name on
 /// failure (benchmark definitions are static data).
 pub fn parse_schema(benchmark: &str, text: &str) -> Schema {
-    Schema::parse(text)
-        .unwrap_or_else(|e| panic!("benchmark {benchmark}: invalid schema: {e}"))
+    Schema::parse(text).unwrap_or_else(|e| panic!("benchmark {benchmark}: invalid schema: {e}"))
 }
 
 /// Convenience wrapper: parse a program against a schema, panicking with the
@@ -112,10 +118,7 @@ mod tests {
 
     #[test]
     fn join_insert_function_skips_requested_columns() {
-        let schema = parse_schema(
-            "test",
-            "Person(pid: int, name: string, legacy: string)",
-        );
+        let schema = parse_schema("test", "Person(pid: int, name: string, legacy: string)");
         let add = join_insert_function(
             &schema,
             "addPerson",

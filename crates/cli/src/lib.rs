@@ -1,0 +1,280 @@
+//! Implementation of the `migrate` command-line tool.
+//!
+//! `migrate` wraps the whole pipeline in SQL: it reads the source schema and
+//! the target schema as DDL, the source program in the `dbir` concrete
+//! syntax, runs the synthesizer, and prints
+//!
+//! 1. the value correspondence the refactoring was derived from,
+//! 2. the migrated program (concrete syntax),
+//! 3. its rendering as parameterized SQL in the requested dialect,
+//! 4. a data-migration script for rows already stored under the source
+//!    schema, and
+//! 5. the synthesis statistics as JSON.
+//!
+//! The binary in `main.rs` is a thin wrapper around [`run`] so integration
+//! tests can drive the tool in-process as well as through the executable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use dbir::parser::parse_program;
+use dbir::pretty::program_to_string;
+use migrator::{SynthesisConfig, SynthesisStats, Synthesizer};
+use sqlbridge::emit::Dialect;
+use sqlbridge::json::Json;
+use sqlbridge::migration::{migration_script, render_migration_script};
+use sqlbridge::{dialect_by_name, parse_ddl, render_sql_program};
+
+/// Exit code for usage errors.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for parse/synthesis failures.
+pub const EXIT_FAILURE: i32 = 1;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Path to the source-schema DDL file.
+    pub source_ddl: PathBuf,
+    /// Path to the target-schema DDL file.
+    pub target_ddl: PathBuf,
+    /// Path to the source program (dbir concrete syntax).
+    pub program: PathBuf,
+    /// SQL dialect for emission (`ansi` or `sqlite`).
+    pub dialect: String,
+    /// Cap on value correspondences to try (0 = the standard budget).
+    pub max_value_correspondences: usize,
+}
+
+/// The usage string printed on `--help` and argument errors.
+pub const USAGE: &str = "\
+usage: migrate --source-ddl <file.sql> --target-ddl <file.sql> --program <file.dbp>
+               [--dialect ansi|sqlite] [--max-vcs <n>]
+
+Reads the source schema and target schema as SQL DDL and the source program
+in the dbir concrete syntax, synthesizes an equivalent program over the
+target schema, and prints the migrated program, its SQL rendering, a
+data-migration script and the synthesis statistics (JSON).";
+
+/// Parses command-line arguments (without the binary name).
+///
+/// # Errors
+///
+/// Returns a usage message when arguments are missing or unknown.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut source_ddl = None;
+    let mut target_ddl = None;
+    let mut program = None;
+    let mut dialect = "ansi".to_string();
+    let mut max_value_correspondences = 0usize;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for `{what}`"))
+        };
+        match arg.as_str() {
+            "--source-ddl" => source_ddl = Some(PathBuf::from(take("--source-ddl")?)),
+            "--target-ddl" => target_ddl = Some(PathBuf::from(take("--target-ddl")?)),
+            "--program" => program = Some(PathBuf::from(take("--program")?)),
+            "--dialect" => dialect = take("--dialect")?,
+            "--max-vcs" => {
+                let value = take("--max-vcs")?;
+                max_value_correspondences = value
+                    .parse()
+                    .map_err(|_| format!("`--max-vcs` expects a number, found `{value}`"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        source_ddl: source_ddl.ok_or_else(|| format!("`--source-ddl` is required\n\n{USAGE}"))?,
+        target_ddl: target_ddl.ok_or_else(|| format!("`--target-ddl` is required\n\n{USAGE}"))?,
+        program: program.ok_or_else(|| format!("`--program` is required\n\n{USAGE}"))?,
+        dialect,
+        max_value_correspondences,
+    })
+}
+
+/// Renders synthesis statistics as a JSON object.
+pub fn stats_to_json(stats: &SynthesisStats, succeeded: bool) -> Json {
+    Json::object()
+        .with("succeeded", Json::Bool(succeeded))
+        .with("value_correspondences", stats.value_correspondences.into())
+        .with("sketches_generated", stats.sketches_generated.into())
+        .with("iterations", stats.iterations.into())
+        .with(
+            "invalid_instantiations",
+            stats.invalid_instantiations.into(),
+        )
+        .with("largest_search_space", stats.largest_search_space.into())
+        .with("sequences_tested", stats.sequences_tested.into())
+        .with(
+            "synthesis_time_secs",
+            stats.synthesis_time.as_secs_f64().into(),
+        )
+        .with(
+            "verification_time_secs",
+            stats.verification_time.as_secs_f64().into(),
+        )
+        .with("total_time_secs", stats.total_time().as_secs_f64().into())
+}
+
+/// Runs the tool: returns the full stdout text on success, or
+/// `(exit code, stderr text)` on failure.
+pub fn run(options: &Options) -> Result<String, (i32, String)> {
+    let dialect = dialect_by_name(&options.dialect).ok_or_else(|| {
+        (
+            EXIT_USAGE,
+            format!(
+                "unknown dialect `{}` (expected `ansi` or `sqlite`)",
+                options.dialect
+            ),
+        )
+    })?;
+    let dialect: &dyn Dialect = dialect.as_ref();
+
+    let read = |path: &PathBuf| {
+        std::fs::read_to_string(path)
+            .map_err(|e| (EXIT_FAILURE, format!("cannot read {}: {e}", path.display())))
+    };
+    let source_sql = read(&options.source_ddl)?;
+    let target_sql = read(&options.target_ddl)?;
+    let program_text = read(&options.program)?;
+
+    let parse_schema = |sql: &str, path: &PathBuf| {
+        parse_ddl(sql).map_err(|e| (EXIT_FAILURE, format!("in {}:\n{e}", path.display())))
+    };
+    let source_schema = parse_schema(&source_sql, &options.source_ddl)?;
+    let target_schema = parse_schema(&target_sql, &options.target_ddl)?;
+    let source_program = parse_program(&program_text, &source_schema).map_err(|e| {
+        (
+            EXIT_FAILURE,
+            format!("in {}: {e}", options.program.display()),
+        )
+    })?;
+
+    let mut config = SynthesisConfig::standard();
+    if options.max_value_correspondences > 0 {
+        config.max_value_correspondences = options.max_value_correspondences;
+    }
+    let result =
+        Synthesizer::new(config).synthesize(&source_program, &source_schema, &target_schema);
+
+    let mut out = String::new();
+    match (&result.program, &result.correspondence) {
+        (Some(program), Some(phi)) => {
+            let _ = writeln!(out, "-- value correspondence --");
+            let _ = writeln!(out, "{phi}");
+            let _ = writeln!(out, "-- migrated program --");
+            let _ = writeln!(out, "{}", program_to_string(program));
+            let _ = writeln!(out, "-- SQL ({}) --", dialect.name());
+            let _ = writeln!(out, "{}", render_sql_program(program, dialect));
+            let _ = writeln!(out, "-- data migration --");
+            let script = migration_script(&source_schema, &target_schema, phi, dialect);
+            let _ = writeln!(out, "{}", render_migration_script(&script, dialect));
+            let _ = writeln!(out, "-- stats --");
+            let _ = write!(
+                out,
+                "{}",
+                stats_to_json(&result.stats, true).to_pretty_string()
+            );
+            Ok(out)
+        }
+        _ => {
+            let mut err =
+                String::from("no equivalent program found within the configured budget\n");
+            let _ = write!(
+                err,
+                "{}",
+                stats_to_json(&result.stats, false).to_pretty_string()
+            );
+            Err((EXIT_FAILURE, err))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_requires_the_three_inputs() {
+        let err = parse_args(&args(&["--source-ddl", "a.sql"])).unwrap_err();
+        assert!(err.contains("--target-ddl"), "{err}");
+        let ok = parse_args(&args(&[
+            "--source-ddl",
+            "a.sql",
+            "--target-ddl",
+            "b.sql",
+            "--program",
+            "p.dbp",
+            "--dialect",
+            "sqlite",
+            "--max-vcs",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(ok.dialect, "sqlite");
+        assert_eq!(ok.max_value_correspondences, 7);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags() {
+        let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_dialect_is_a_usage_error() {
+        let options = Options {
+            source_ddl: "a.sql".into(),
+            target_ddl: "b.sql".into(),
+            program: "p.dbp".into(),
+            dialect: "oracle".into(),
+            max_value_correspondences: 0,
+        };
+        let (code, message) = run(&options).unwrap_err();
+        assert_eq!(code, EXIT_USAGE);
+        assert!(message.contains("oracle"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let options = Options {
+            source_ddl: "/nonexistent/a.sql".into(),
+            target_ddl: "/nonexistent/b.sql".into(),
+            program: "/nonexistent/p.dbp".into(),
+            dialect: "ansi".into(),
+            max_value_correspondences: 0,
+        };
+        let (code, message) = run(&options).unwrap_err();
+        assert_eq!(code, EXIT_FAILURE);
+        assert!(message.contains("cannot read"));
+    }
+
+    #[test]
+    fn stats_json_has_the_expected_keys() {
+        let json = stats_to_json(&SynthesisStats::default(), true).to_compact_string();
+        for key in [
+            "succeeded",
+            "value_correspondences",
+            "iterations",
+            "largest_search_space",
+            "synthesis_time_secs",
+            "total_time_secs",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

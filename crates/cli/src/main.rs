@@ -1,0 +1,21 @@
+//! The `migrate` binary: end-to-end schema refactoring over SQL DDL.
+
+use migrator_cli::{parse_args, run, EXIT_USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    match run(&options) {
+        Ok(output) => print!("{output}"),
+        Err((code, message)) => {
+            eprintln!("{message}");
+            std::process::exit(code);
+        }
+    }
+}

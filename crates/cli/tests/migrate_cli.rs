@@ -1,0 +1,108 @@
+//! Drives the `migrate` executable end-to-end on the music-library example
+//! (a scenario that is not one of the 20 paper benchmarks).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn example_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/migrate")
+        .join(file)
+}
+
+fn migrate(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("--source-ddl")
+        .arg(example_path("source.sql"))
+        .arg("--target-ddl")
+        .arg(example_path("target.sql"))
+        .arg("--program")
+        .arg(example_path("program.dbp"))
+        .args(extra)
+        .output()
+        .expect("migrate binary runs")
+}
+
+#[test]
+fn migrates_the_music_library_end_to_end() {
+    let output = migrate(&[]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+
+    // The synthesized program routes artists through the new table.
+    assert!(stdout.contains("-- migrated program --"), "{stdout}");
+    assert!(
+        stdout.contains("Album JOIN Artist ON Album.artist_id = Artist.artist_id"),
+        "{stdout}"
+    );
+
+    // The SQL rendering is parameterized and uses a shared fresh id for the
+    // insert-over-join.
+    assert!(
+        stdout
+            .contains("INSERT INTO Artist (artist_name, artist_id) VALUES (:artist, :fresh_id_0);"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("SELECT Album.title, Artist.artist_name FROM Album JOIN Artist"),
+        "{stdout}"
+    );
+
+    // The data-migration script fills the referenced table first and links
+    // both sides with the same skolem key.
+    let artist_insert = stdout
+        .find("INSERT INTO Artist (artist_id, artist_name) SELECT")
+        .expect("artist migration insert");
+    let album_insert = stdout
+        .find("INSERT INTO Album (album_id, title, artist_id) SELECT")
+        .expect("album migration insert");
+    assert!(artist_insert < album_insert, "{stdout}");
+    let skolem_inserts = stdout
+        .lines()
+        .filter(|l| l.starts_with("INSERT INTO") && l.contains("Album.album_id * 1 + 0"))
+        .count();
+    assert_eq!(skolem_inserts, 2, "{stdout}");
+
+    // Stats come out as JSON.
+    assert!(stdout.contains("\"succeeded\": true"), "{stdout}");
+    assert!(stdout.contains("\"total_time_secs\""), "{stdout}");
+}
+
+#[test]
+fn sqlite_dialect_switches_placeholders() {
+    let output = migrate(&["--dialect", "sqlite"]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(stdout.contains("WHERE Album.album_id = ?1"), "{stdout}");
+    assert!(!stdout.contains(":id"), "{stdout}");
+}
+
+#[test]
+fn bad_ddl_yields_a_spanned_diagnostic_and_nonzero_exit() {
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("--source-ddl")
+        .arg(example_path("program.dbp")) // not DDL
+        .arg("--target-ddl")
+        .arg(example_path("target.sql"))
+        .arg("--program")
+        .arg(example_path("program.dbp"))
+        .output()
+        .expect("migrate binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("-->"), "{stderr}");
+}
+
+#[test]
+fn missing_arguments_print_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .output()
+        .expect("migrate binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}

@@ -5,11 +5,13 @@
 //!   only its own full model instead of an MFI-derived partial assignment.
 //! * [`solve_cegis`] — a CEGIS-style enumerator standing in for the Sketch
 //!   tool of Table 2 (see DESIGN.md for the substitution rationale): hole
-//!   assignments are enumerated in lexicographic order, candidates are first
-//!   screened against the accumulated counterexample set, and no structural
-//!   learning is performed. On large sketches this baseline typically hits
-//!   its candidate or time budget, which reproduces the timeout behaviour
-//!   the paper reports for Sketch.
+//!   assignments are enumerated in an order oblivious to the sketch's
+//!   likelihood ranking (a fixed pseudo-random permutation per hole domain,
+//!   mirroring a SAT backend's ranking-agnostic model order), candidates are
+//!   first screened against the accumulated counterexample set, and no
+//!   structural learning is performed. On large sketches this baseline
+//!   typically hits its candidate or time budget, which reproduces the
+//!   timeout behaviour the paper reports for Sketch.
 
 use std::time::{Duration, Instant};
 
@@ -82,8 +84,15 @@ pub struct CegisOutcome {
 }
 
 /// Solves a sketch with counterexample-guided *enumeration*: candidates are
-/// produced in lexicographic hole order, screened against the accumulated
+/// produced by a lexicographic odometer over a fixed pseudo-random
+/// permutation of each hole's domain, screened against the accumulated
 /// counterexamples, and fully tested only if they survive screening.
+///
+/// The permutation matters: MIGRATOR's sketch generator orders every hole
+/// domain by likelihood, so plain lexicographic enumeration would start at
+/// the synthesizer's best guess and inherit exactly the heuristic the
+/// baseline is meant to lack. Scrambling each domain deterministically keeps
+/// runs reproducible while modelling a solver with no ranking information.
 pub fn solve_cegis(
     sketch: &Sketch,
     source: &Program,
@@ -96,7 +105,7 @@ pub fn solve_cegis(
     let mut candidates = 0usize;
 
     let domain_sizes: Vec<usize> = sketch.holes.iter().map(|h| h.domain.size()).collect();
-    if domain_sizes.iter().any(|&s| s == 0) {
+    if domain_sizes.contains(&0) {
         return CegisOutcome {
             program: None,
             candidates: 0,
@@ -106,6 +115,24 @@ pub fn solve_cegis(
         };
     }
     let mut assignment = vec![0usize; domain_sizes.len()];
+    // One fixed Fisher-Yates permutation per hole (xorshift64, seeded by the
+    // hole index) decouples enumeration order from the domain ranking.
+    let permutations: Vec<Vec<usize>> = domain_sizes
+        .iter()
+        .enumerate()
+        .map(|(hole, &size)| {
+            let mut permutation: Vec<usize> = (0..size).collect();
+            let mut state =
+                0x9e37_79b9_7f4a_7c15u64 ^ (hole as u64 + 1).wrapping_mul(0x517c_c1b7_2722_0a95);
+            for j in (1..size).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                permutation.swap(j, (state % (j as u64 + 1)) as usize);
+            }
+            permutation
+        })
+        .collect();
 
     loop {
         if start.elapsed() > config.time_limit
@@ -120,7 +147,12 @@ pub fn solve_cegis(
             };
         }
 
-        if let Ok(candidate) = sketch.instantiate(&assignment) {
+        let scrambled: Vec<usize> = assignment
+            .iter()
+            .zip(&permutations)
+            .map(|(&position, permutation)| permutation[position])
+            .collect();
+        if let Ok(candidate) = sketch.instantiate(&scrambled) {
             candidates += 1;
             let screened_out = counterexamples.iter().any(|(sequence, expected)| {
                 &observe(&candidate, target_schema, sequence) != expected
@@ -198,11 +230,7 @@ mod tests {
         (source_schema, target_schema, source)
     }
 
-    fn sketch_for(
-        source: &Program,
-        source_schema: &Schema,
-        target_schema: &Schema,
-    ) -> Sketch {
+    fn sketch_for(source: &Program, source_schema: &Schema, target_schema: &Schema) -> Sketch {
         let mut vc = VcEnumerator::new(source, source_schema, target_schema, &VcConfig::default());
         let phi = vc.next_correspondence().unwrap();
         generate_sketch(source, &phi, target_schema, &SketchGenConfig::default()).unwrap()

@@ -423,17 +423,21 @@ mod tests {
             dbir::schema::QualifiedAttr::new("T", "c"),
         );
         // Manually build a sketch where the query projects d instead of c.
-        let mut sketch = generate_sketch(&source, &broken, &target_schema, &SketchGenConfig::default())
-            .unwrap();
+        let mut sketch = generate_sketch(
+            &source,
+            &broken,
+            &target_schema,
+            &SketchGenConfig::default(),
+        )
+        .unwrap();
         for function in &mut sketch.functions {
             if let crate::sketch::BodySketch::Query(crate::sketch::QuerySketch::Project {
                 attrs,
                 ..
             }) = &mut function.body
             {
-                attrs[0] = crate::sketch::AttrSlot::Fixed(dbir::schema::QualifiedAttr::new(
-                    "T", "d",
-                ));
+                attrs[0] =
+                    crate::sketch::AttrSlot::Fixed(dbir::schema::QualifiedAttr::new("T", "d"));
             }
         }
         let outcome = complete_sketch(

@@ -89,6 +89,9 @@ mod tests {
         let standard = SynthesisConfig::standard();
         let baseline = SynthesisConfig::enumerative_baseline();
         assert_eq!(baseline.solver, SketchSolverKind::Enumerative);
-        assert_eq!(baseline.max_value_correspondences, standard.max_value_correspondences);
+        assert_eq!(
+            baseline.max_value_correspondences,
+            standard.max_value_correspondences
+        );
     }
 }

@@ -209,22 +209,16 @@ impl<'a> JoinGraph<'a> {
         });
         let mut chain = JoinChain::Table(ordered[0].clone());
         let mut in_chain: BTreeSet<TableName> = [ordered[0].clone()].into_iter().collect();
-        let mut remaining: Vec<TableName> =
-            ordered.iter().skip(1).cloned().collect();
+        let mut remaining: Vec<TableName> = ordered.iter().skip(1).cloned().collect();
         while !remaining.is_empty() {
             // Find the next table adjacent to something already in the chain.
-            let position = remaining.iter().position(|candidate| {
-                in_chain.iter().any(|t| self.adjacent(t, candidate))
-            })?;
+            let position = remaining
+                .iter()
+                .position(|candidate| in_chain.iter().any(|t| self.adjacent(t, candidate)))?;
             let table = remaining.remove(position);
             let (left_attr, right_attr) = in_chain
                 .iter()
-                .find_map(|t| {
-                    self.schema
-                        .join_attrs(t, &table)
-                        .into_iter()
-                        .next()
-                })
+                .find_map(|t| self.schema.join_attrs(t, &table).into_iter().next())
                 .expect("adjacency implies a join attribute pair");
             chain = chain.join(JoinChain::Table(table.clone()), left_attr, right_attr);
             in_chain.insert(table);
@@ -351,10 +345,7 @@ mod tests {
 
     #[test]
     fn components_of_scattered_tables() {
-        let schema = Schema::parse(
-            "A(x: int)\nB(x: int)\nC(y: int)\nD(z: int)",
-        )
-        .unwrap();
+        let schema = Schema::parse("A(x: int)\nB(x: int)\nC(y: int)\nD(z: int)").unwrap();
         let graph = JoinGraph::new(&schema);
         let comps = graph.components(&names(&["A", "B", "C"]));
         assert_eq!(comps.len(), 2);

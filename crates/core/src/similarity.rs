@@ -22,9 +22,7 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         current[0] = i + 1;
         for (j, &cb) in b.iter().enumerate() {
             let substitution = previous[j] + usize::from(ca != cb);
-            current[j + 1] = substitution
-                .min(previous[j + 1] + 1)
-                .min(current[j] + 1);
+            current[j + 1] = substitution.min(previous[j + 1] + 1).min(current[j] + 1);
         }
         std::mem::swap(&mut previous, &mut current);
     }

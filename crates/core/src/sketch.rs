@@ -397,9 +397,9 @@ impl Sketch {
             QuerySketch::Join(id) => Query::Join(self.join_of(*id, assignment)),
             QuerySketch::Filter { pred, input } => Query::Filter {
                 pred: self.instantiate_pred(pred, assignment, chain, conflicts, join_hole),
-                input: Box::new(self.instantiate_query_inner(
-                    input, assignment, chain, join_hole, conflicts,
-                )),
+                input: Box::new(
+                    self.instantiate_query_inner(input, assignment, chain, join_hole, conflicts),
+                ),
             },
             QuerySketch::Project { attrs, input } => {
                 let attrs: Vec<QualifiedAttr> = attrs
@@ -412,9 +412,11 @@ impl Sketch {
                     .collect();
                 Query::Project {
                     attrs,
-                    input: Box::new(self.instantiate_query_inner(
-                        input, assignment, chain, join_hole, conflicts,
-                    )),
+                    input: Box::new(
+                        self.instantiate_query_inner(
+                            input, assignment, chain, join_hole, conflicts,
+                        ),
+                    ),
                 }
             }
         }

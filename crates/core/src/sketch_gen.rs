@@ -29,8 +29,7 @@ use dbir::schema::{QualifiedAttr, Schema, TableName};
 
 use crate::join_graph::JoinGraph;
 use crate::sketch::{
-    AttrSlot, BodySketch, FunctionSketch, HoleDomain, PredSketch, QuerySketch, Sketch,
-    UpdateSketch,
+    AttrSlot, BodySketch, FunctionSketch, HoleDomain, PredSketch, QuerySketch, Sketch, UpdateSketch,
 };
 use crate::value_corr::ValueCorrespondence;
 
@@ -116,7 +115,8 @@ impl SketchBuilder<'_> {
                 let hole = self
                     .sketch
                     .add_hole(HoleDomain::Attr(images.into_iter().collect()));
-                self.sketch.attach_hole(&self.current_function.clone(), hole);
+                self.sketch
+                    .attach_hole(&self.current_function.clone(), hole);
                 Some(AttrSlot::Hole(hole))
             }
         }
@@ -124,7 +124,10 @@ impl SketchBuilder<'_> {
 
     /// The candidate target chains covering the images of `needed` source
     /// attributes (the join-correspondence computation of Section 5).
-    fn candidate_chains(&self, needed: &BTreeSet<QualifiedAttr>) -> Option<Vec<dbir::ast::JoinChain>> {
+    fn candidate_chains(
+        &self,
+        needed: &BTreeSet<QualifiedAttr>,
+    ) -> Option<Vec<dbir::ast::JoinChain>> {
         let terminal_sets = self.terminal_sets(needed)?;
         let mut chains = Vec::new();
         for terminals in terminal_sets {
@@ -173,10 +176,7 @@ impl SketchBuilder<'_> {
 
     /// Enumerates terminal-table sets: one per combination of choosing an
     /// image for each needed source attribute (capped).
-    fn terminal_sets(
-        &self,
-        needed: &BTreeSet<QualifiedAttr>,
-    ) -> Option<Vec<BTreeSet<TableName>>> {
+    fn terminal_sets(&self, needed: &BTreeSet<QualifiedAttr>) -> Option<Vec<BTreeSet<TableName>>> {
         let mut image_groups: Vec<Vec<QualifiedAttr>> = Vec::new();
         for attr in needed {
             let images: Vec<QualifiedAttr> = self.phi.images(attr).into_iter().collect();
@@ -478,11 +478,15 @@ mod tests {
     #[test]
     fn motivating_example_sketch_has_expected_shape() {
         let (source_schema, target_schema, program) = motivating();
-        let mut vc = VcEnumerator::new(&program, &source_schema, &target_schema, &VcConfig::default());
+        let mut vc = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
         let phi = vc.next_correspondence().unwrap();
-        let sketch =
-            generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
-                .expect("sketch exists for the first correspondence");
+        let sketch = generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
+            .expect("sketch exists for the first correspondence");
         // One hole per insert (2), two per delete (2x2), one per query (2).
         assert_eq!(sketch.functions.len(), 6);
         assert_eq!(sketch.holes.len(), 8);
@@ -506,8 +510,9 @@ mod tests {
         let _ = source_schema;
         // An empty correspondence cannot express the program.
         let phi = ValueCorrespondence::new();
-        assert!(generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
-            .is_none());
+        assert!(
+            generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).is_none()
+        );
     }
 
     #[test]
@@ -527,8 +532,7 @@ mod tests {
         for attr in schema.all_attrs() {
             phi.add(attr.clone(), attr);
         }
-        let sketch =
-            generate_sketch(&program, &phi, &schema, &SketchGenConfig::default()).unwrap();
+        let sketch = generate_sketch(&program, &phi, &schema, &SketchGenConfig::default()).unwrap();
         // Identity schema: single-table chains only, so exactly one
         // completion, which must be the original program.
         assert_eq!(sketch.completion_count(), 1);
@@ -541,7 +545,12 @@ mod tests {
     #[test]
     fn delete_table_lists_cover_power_set_for_small_unions() {
         let (source_schema, target_schema, program) = motivating();
-        let mut vc = VcEnumerator::new(&program, &source_schema, &target_schema, &VcConfig::default());
+        let mut vc = VcEnumerator::new(
+            &program,
+            &source_schema,
+            &target_schema,
+            &VcConfig::default(),
+        );
         let phi = vc.next_correspondence().unwrap();
         let sketch =
             generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();

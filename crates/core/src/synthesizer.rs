@@ -14,7 +14,7 @@ use crate::completion::{complete_sketch, BlockingStrategy};
 use crate::config::{SketchSolverKind, SynthesisConfig};
 use crate::sketch_gen::generate_sketch;
 use crate::stats::SynthesisStats;
-use crate::value_corr::VcEnumerator;
+use crate::value_corr::{ValueCorrespondence, VcEnumerator};
 use crate::verify::{check_candidate, CheckOutcome};
 
 /// The result of a synthesis run: the migrated program (if one was found)
@@ -24,6 +24,10 @@ pub struct SynthesisResult {
     /// The synthesized program over the target schema, or `None` if no
     /// equivalent program was found within the configured budget.
     pub program: Option<Program>,
+    /// The value correspondence the synthesized program was derived from
+    /// (`None` when synthesis failed). Downstream tooling uses it to derive
+    /// a data-migration script alongside the migrated program.
+    pub correspondence: Option<ValueCorrespondence>,
     /// Statistics about the run.
     pub stats: SynthesisStats,
 }
@@ -81,8 +85,7 @@ impl Synthesizer {
             };
             stats.value_correspondences += 1;
 
-            let Some(sketch) =
-                generate_sketch(source, &phi, target_schema, &self.config.sketch)
+            let Some(sketch) = generate_sketch(source, &phi, target_schema, &self.config.sketch)
             else {
                 continue;
             };
@@ -118,6 +121,7 @@ impl Synthesizer {
                         stats.sequences_tested += sequences_tested;
                         return SynthesisResult {
                             program: Some(program),
+                            correspondence: Some(phi),
                             stats,
                         };
                     }
@@ -134,6 +138,7 @@ impl Synthesizer {
         stats.synthesis_time = synthesis_start.elapsed();
         SynthesisResult {
             program: None,
+            correspondence: None,
             stats,
         }
     }
@@ -166,6 +171,10 @@ mod tests {
         let result = synthesizer.synthesize(&source, &source_schema, &target_schema);
         let program = result.program.expect("rename should synthesize");
         assert!(program.validate(&target_schema).is_ok());
+        let phi = result
+            .correspondence
+            .expect("successful synthesis reports its correspondence");
+        assert!(phi.is_mapped(&dbir::schema::QualifiedAttr::new("Person", "pname")));
         assert!(result.stats.value_correspondences >= 1);
         assert!(result.stats.iterations >= 1);
         assert!(result.stats.total_time() >= result.stats.synthesis_time);
@@ -252,6 +261,7 @@ mod tests {
         let synthesizer = Synthesizer::new(SynthesisConfig::standard());
         let result = synthesizer.synthesize(&source, &source_schema, &target_schema);
         assert!(!result.succeeded());
+        assert!(result.correspondence.is_none());
     }
 
     #[test]

@@ -275,7 +275,7 @@ impl VcEnumerator {
                     });
                 }
             }
-            local.sort_by(|a, b| b.score.cmp(&a.score));
+            local.sort_by_key(|option| Reverse(option.score));
             local.truncate(config.max_options_per_attr.max(1));
             sources.push(group.source.clone());
             options.push(local);
@@ -390,7 +390,10 @@ impl MaxSatVcEnumerator {
             }
             for i in 0..vars.len() {
                 for j in (i + 1)..vars.len() {
-                    maxsat.add_soft(&[Lit::neg(vars[i]), Lit::neg(vars[j])], config.pair_penalty());
+                    maxsat.add_soft(
+                        &[Lit::neg(vars[i]), Lit::neg(vars[j])],
+                        config.pair_penalty(),
+                    );
                 }
             }
             if group.must_map {

@@ -117,7 +117,13 @@ mod tests {
             &schema,
         )
         .unwrap();
-        match check_candidate(&source, &schema, &candidate, &schema, &TestConfig::default()) {
+        match check_candidate(
+            &source,
+            &schema,
+            &candidate,
+            &schema,
+            &TestConfig::default(),
+        ) {
             CheckOutcome::NotEquivalent {
                 minimum_failing_input,
                 ..

@@ -1,0 +1,144 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) benchmark
+//! harness, exposing only the subset of the API the `bench` crate uses.
+//!
+//! The real criterion crate is not vendored in this repository, and builds
+//! must work without network access. This shim keeps the bench targets
+//! compiling and runnable: each `bench_function` call runs the closure for a
+//! small, fixed number of timed iterations and prints a median per-iteration
+//! time. The numbers are indicative only; the authoritative measurements come
+//! from the `experiments` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples; the shim caps it to keep runs short.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size.clamp(1, 20);
+        self
+    }
+
+    /// Times `f` for `sample_size` iterations and prints the median.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iterations: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort();
+        let median = samples
+            .get(samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "  {}/{id}: median {median:?} ({} samples)",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing helper handed to the benchmark closure, mirroring
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let output = routine();
+            self.samples.push(start.elapsed());
+            black_box(output);
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the benchmarked
+/// computation (mirrors `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -472,8 +472,7 @@ impl Update {
     pub fn attrs(&self) -> Vec<QualifiedAttr> {
         match self {
             Update::Insert { join, values } => {
-                let mut out: Vec<QualifiedAttr> =
-                    values.iter().map(|(a, _)| a.clone()).collect();
+                let mut out: Vec<QualifiedAttr> = values.iter().map(|(a, _)| a.clone()).collect();
                 out.extend(join.join_condition_attrs());
                 out
             }

@@ -200,10 +200,8 @@ impl<'a> ProgramBuilder<'a> {
             .schema
             .attr_type(&key)
             .ok_or_else(|| Error::UnknownAttribute(key.to_string()))?;
-        let attrs: Result<Vec<QualifiedAttr>> = projected
-            .iter()
-            .map(|(t, a)| self.qattr(t, a))
-            .collect();
+        let attrs: Result<Vec<QualifiedAttr>> =
+            projected.iter().map(|(t, a)| self.qattr(t, a)).collect();
         let query = Query::select(
             attrs?,
             Pred::eq_value(key, Operand::param(key_attr.1)),
@@ -280,8 +278,12 @@ mod tests {
         let mut builder = ProgramBuilder::new(&schema);
         builder.insert_all("addUser", "User").unwrap();
         builder.delete_by("deleteUser", "User", "uid").unwrap();
-        builder.update_by("renameUser", "User", "uid", "name").unwrap();
-        builder.select_by("getUser", "User", "uid", &["name", "email"]).unwrap();
+        builder
+            .update_by("renameUser", "User", "uid", "name")
+            .unwrap();
+        builder
+            .select_by("getUser", "User", "uid", &["name", "email"])
+            .unwrap();
         let program = builder.build().unwrap();
         assert_eq!(program.functions.len(), 4);
 
@@ -296,7 +298,10 @@ mod tests {
             Call::new("getUser", vec![Value::Int(1)]),
         );
         let result = run(&program, &schema, &seq).unwrap();
-        assert_eq!(result.rows, vec![vec![Value::str("grace"), Value::str("a@x")]]);
+        assert_eq!(
+            result.rows,
+            vec![vec![Value::str("grace"), Value::str("a@x")]]
+        );
     }
 
     #[test]
@@ -354,7 +359,9 @@ mod tests {
         let schema = schema();
         let mut builder = ProgramBuilder::new(&schema);
         builder.insert_all("addUser", "User").unwrap();
-        builder.select_by("getUser", "User", "uid", &["name"]).unwrap();
+        builder
+            .select_by("getUser", "User", "uid", &["name"])
+            .unwrap();
         let program = builder.build().unwrap();
         let report = crate::equiv::compare_programs(
             &program,

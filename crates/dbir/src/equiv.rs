@@ -278,8 +278,7 @@ pub fn compare_programs(
                             }
                         }
                         sequences_tested += 1;
-                        let sequence =
-                            InvocationSequence::new(updates.clone(), query_call.clone());
+                        let sequence = InvocationSequence::new(updates.clone(), query_call.clone());
                         let lhs = observe(source, source_schema, &sequence);
                         let rhs = observe(target, target_schema, &sequence);
                         if !outcomes_agree(&lhs, &rhs) {
@@ -383,8 +382,7 @@ mod tests {
     #[test]
     fn identical_programs_are_equivalent() {
         let p = make_program(true);
-        let report =
-            compare_programs(&p, &schema(), &p.clone(), &schema(), &TestConfig::default());
+        let report = compare_programs(&p, &schema(), &p.clone(), &schema(), &TestConfig::default());
         assert!(report.equivalent);
         assert!(report.counterexample.is_none());
         assert!(report.sequences_tested > 0);
@@ -430,8 +428,10 @@ mod tests {
     fn clustering_does_not_miss_counterexamples() {
         let p = make_program(true);
         let q = make_program(false);
-        let mut config = TestConfig::default();
-        config.cluster_by_tables = false;
+        let mut config = TestConfig {
+            cluster_by_tables: false,
+            ..TestConfig::default()
+        };
         let unclustered = find_failing_input(&p, &schema(), &q, &schema(), &config);
         config.cluster_by_tables = true;
         let clustered = find_failing_input(&p, &schema(), &q, &schema(), &config);

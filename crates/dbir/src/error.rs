@@ -73,7 +73,10 @@ impl fmt::Display for Error {
                 context,
                 expected,
                 actual,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {actual}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {actual}"
+            ),
             Error::InvalidStatement(msg) => write!(f, "invalid statement: {msg}"),
             Error::Parse {
                 line,

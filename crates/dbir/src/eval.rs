@@ -249,9 +249,7 @@ impl<'a> Evaluator<'a> {
         match pred {
             Pred::True => Ok(true),
             Pred::False => Ok(false),
-            Pred::CmpAttr { lhs, op, rhs } => {
-                Ok(compare(&lookup(lhs)?, *op, &lookup(rhs)?))
-            }
+            Pred::CmpAttr { lhs, op, rhs } => Ok(compare(&lookup(lhs)?, *op, &lookup(rhs)?)),
             Pred::CmpValue { lhs, op, rhs } => {
                 let rhs = self.eval_operand(rhs, env)?;
                 Ok(compare(&lookup(lhs)?, *op, &rhs))
@@ -398,11 +396,7 @@ impl<'a> Evaluator<'a> {
                 .table(table_name)
                 .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
             let attrs = table.qualified_attrs();
-            let doomed: BTreeSet<Tuple> = filtered
-                .project(&attrs)
-                .rows
-                .into_iter()
-                .collect();
+            let doomed: BTreeSet<Tuple> = filtered.project(&attrs).rows.into_iter().collect();
             instance
                 .rows_mut(table_name)
                 .retain(|row| !doomed.contains(row));
@@ -434,11 +428,7 @@ impl<'a> Evaluator<'a> {
         let joined = self.eval_join(join, instance)?;
         let filtered = self.filter_relation(joined, pred, instance, env)?;
         let attrs = table.qualified_attrs();
-        let affected: BTreeSet<Tuple> = filtered
-            .project(&attrs)
-            .rows
-            .into_iter()
-            .collect();
+        let affected: BTreeSet<Tuple> = filtered.project(&attrs).rows.into_iter().collect();
         let new_value = self.eval_operand(value, env)?;
         for row in instance.rows_mut(&attr.table) {
             if affected.contains(row) {
@@ -465,10 +455,7 @@ fn compare(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
     }
 }
 
-fn for_each_join_condition(
-    chain: &JoinChain,
-    f: &mut impl FnMut(&QualifiedAttr, &QualifiedAttr),
-) {
+fn for_each_join_condition(chain: &JoinChain, f: &mut impl FnMut(&QualifiedAttr, &QualifiedAttr)) {
     if let JoinChain::Join {
         left,
         right,
@@ -665,7 +652,10 @@ mod tests {
         let ins = Update::Insert {
             join: chain,
             values: vec![
-                (QualifiedAttr::new("Instructor", "InstId"), Value::Int(1).into()),
+                (
+                    QualifiedAttr::new("Instructor", "InstId"),
+                    Value::Int(1).into(),
+                ),
                 (
                     QualifiedAttr::new("Instructor", "IName"),
                     Value::str("Ada").into(),
@@ -700,8 +690,10 @@ mod tests {
                 (QualifiedAttr::new("User", "name"), Value::str(name).into()),
             ],
         };
-        eval.exec_update(&add("ada"), &mut instance, &Env::new()).unwrap();
-        eval.exec_update(&add("grace"), &mut instance, &Env::new()).unwrap();
+        eval.exec_update(&add("ada"), &mut instance, &Env::new())
+            .unwrap();
+        eval.exec_update(&add("grace"), &mut instance, &Env::new())
+            .unwrap();
         assert_eq!(
             instance.rows(&"User".into()),
             &[vec![Value::Int(1), Value::str("grace")]]
@@ -714,7 +706,8 @@ mod tests {
                 (QualifiedAttr::new("User", "name"), Value::str("bob").into()),
             ],
         };
-        eval.exec_update(&other, &mut instance, &Env::new()).unwrap();
+        eval.exec_update(&other, &mut instance, &Env::new())
+            .unwrap();
         assert_eq!(instance.rows(&"User".into()).len(), 2);
     }
 

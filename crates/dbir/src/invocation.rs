@@ -115,11 +115,7 @@ impl Outcome {
 ///
 /// Returns an error if a call names an unknown function, if the final call
 /// is not a query, or if evaluation fails.
-pub fn run(
-    program: &Program,
-    schema: &Schema,
-    sequence: &InvocationSequence,
-) -> Result<Relation> {
+pub fn run(program: &Program, schema: &Schema, sequence: &InvocationSequence) -> Result<Relation> {
     let mut instance = Instance::empty(schema);
     let mut evaluator = Evaluator::new(schema);
     for call in &sequence.updates {

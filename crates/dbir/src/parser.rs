@@ -222,7 +222,7 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                 column += 1;
                 let mut value = String::new();
                 let mut closed = false;
-                while let Some(c) = chars.next() {
+                for c in chars.by_ref() {
                     column += 1;
                     if c == '"' {
                         closed = true;
@@ -775,10 +775,14 @@ impl<'a> Parser<'a> {
             if !is_value_keyword && !is_parameter {
                 let qualified = matches!(self.peek_at(1).kind, TokenKind::Dot);
                 let raw_rhs = if qualified {
-                    format!("{}.{}", name, match &self.peek_at(2).kind {
-                        TokenKind::Ident(second) => second.clone(),
-                        _ => String::new(),
-                    })
+                    format!(
+                        "{}.{}",
+                        name,
+                        match &self.peek_at(2).kind {
+                            TokenKind::Ident(second) => second.clone(),
+                            _ => String::new(),
+                        }
+                    )
                 } else {
                     name.clone()
                 };
@@ -952,10 +956,7 @@ mod tests {
     #[test]
     fn reports_unknown_attribute() {
         let schema = course_schema();
-        let err = parse_program(
-            "query q(id: int) SELECT Nope FROM Instructor;",
-            &schema,
-        );
+        let err = parse_program("query q(id: int) SELECT Nope FROM Instructor;", &schema);
         assert!(matches!(err, Err(Error::UnknownAttribute(_))));
     }
 

@@ -67,7 +67,13 @@ pub fn query_to_string(query: &Query) -> String {
     out
 }
 
-fn decompose(query: &Query) -> (Option<&[crate::schema::QualifiedAttr]>, Option<&Pred>, &JoinChain) {
+fn decompose(
+    query: &Query,
+) -> (
+    Option<&[crate::schema::QualifiedAttr]>,
+    Option<&Pred>,
+    &JoinChain,
+) {
     match query {
         Query::Project { attrs, input } => {
             let (_, pred, join) = decompose(input);
@@ -117,11 +123,7 @@ pub fn update_to_string(update: &Update) -> String {
                 attr,
                 value,
             } => {
-                let _ = write!(
-                    out,
-                    "UPDATE {} SET {attr} = {value}",
-                    join_to_string(join)
-                );
+                let _ = write!(out, "UPDATE {} SET {attr} = {value}", join_to_string(join));
                 if pred != &Pred::True {
                     let _ = write!(out, " WHERE {}", pred_to_string(pred));
                 }
@@ -136,7 +138,11 @@ pub fn update_to_string(update: &Update) -> String {
 /// Renders a full function declaration.
 pub fn function_to_string(function: &Function) -> String {
     let mut out = String::new();
-    let kind = if function.is_query() { "query" } else { "update" };
+    let kind = if function.is_query() {
+        "query"
+    } else {
+        "update"
+    };
     let _ = write!(out, "{kind} {}(", function.name);
     for (i, param) in function.params.iter().enumerate() {
         if i > 0 {
@@ -147,11 +153,11 @@ pub fn function_to_string(function: &Function) -> String {
     out.push_str(")\n");
     match &function.body {
         FunctionBody::Query(query) => {
-            let _ = write!(out, "    {};\n", query_to_string(query));
+            let _ = writeln!(out, "    {};", query_to_string(query));
         }
         FunctionBody::Update(update) => {
             for line in update_to_string(update).lines() {
-                let _ = write!(out, "    {line}\n");
+                let _ = writeln!(out, "    {line}");
             }
         }
     }

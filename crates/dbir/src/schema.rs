@@ -183,10 +183,7 @@ impl TableDef {
 
     /// Returns the type of a column, if present.
     pub fn column_type(&self, attr: &AttrName) -> Option<DataType> {
-        self.columns
-            .iter()
-            .find(|c| &c.name == attr)
-            .map(|c| c.ty)
+        self.columns.iter().find(|c| &c.name == attr).map(|c| c.ty)
     }
 
     /// Returns all column names as qualified attributes.
@@ -206,7 +203,7 @@ impl TableDef {
 /// Foreign keys (together with identically named columns) determine which
 /// pairs of tables are considered joinable when the synthesizer builds the
 /// target join graph (Section 5 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ForeignKey {
     /// Referencing attribute.
     pub from: QualifiedAttr,
@@ -268,11 +265,7 @@ impl Schema {
     /// # Errors
     ///
     /// Returns an error if either endpoint does not exist in the schema.
-    pub fn add_foreign_key(
-        &mut self,
-        from: QualifiedAttr,
-        to: QualifiedAttr,
-    ) -> Result<()> {
+    pub fn add_foreign_key(&mut self, from: QualifiedAttr, to: QualifiedAttr) -> Result<()> {
         for endpoint in [&from, &to] {
             if self.attr_type(endpoint).is_none() {
                 return Err(Error::UnknownAttribute(endpoint.to_string()));
@@ -361,7 +354,9 @@ impl Schema {
         match matches.len() {
             1 => Ok(matches.pop().expect("length checked")),
             0 => Err(Error::UnknownAttribute(name.to_string())),
-            _ => Err(Error::UnknownAttribute(format!("ambiguous attribute `{name}`"))),
+            _ => Err(Error::UnknownAttribute(format!(
+                "ambiguous attribute `{name}`"
+            ))),
         }
     }
 

@@ -1,0 +1,329 @@
+//! Value-generation strategies, mirroring `proptest::strategy`.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type, mirroring
+/// `proptest::strategy::Strategy` (generation only — no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value from the random stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives from
+    /// it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Weighted choice between same-typed strategies; the `prop_oneof!` macro
+/// builds one of these.
+#[derive(Debug, Clone)]
+pub struct WeightedUnion<S> {
+    options: Vec<(u64, S)>,
+    total: u64,
+}
+
+impl<S: Strategy> WeightedUnion<S> {
+    /// Creates a union; weights must not all be zero.
+    pub fn new(options: Vec<(u64, S)>) -> WeightedUnion<S> {
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires a positive total weight");
+        WeightedUnion { options, total }
+    }
+}
+
+impl<S: Strategy> Strategy for WeightedUnion<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut ticket = rng.u64_below(self.total);
+        for (weight, option) in &self.options {
+            if ticket < *weight {
+                return option.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket below total weight")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty => $method:ident as $cast:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.$method(self.start as $cast..self.end as $cast) as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy! {
+    usize => usize_in as usize,
+    u64 => i64_in as i64,
+    u32 => i64_in as i64,
+    i64 => i64_in as i64,
+    i32 => i64_in as i64,
+}
+
+/// A pattern-string strategy (`"[a-z]{3,8}"`), supporting the regex subset
+/// the workspace tests use: literal characters, one character class per
+/// element, and `{n}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One element: a character class or a literal character...
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {self:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            assert!(!alphabet.is_empty(), "empty class in pattern {self:?}");
+            // ...followed by an optional repetition count.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repetition in pattern {self:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repetition lower bound"),
+                        n.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.usize_in(min..max + 1);
+            for _ in 0..count {
+                let pick = rng.usize_in(0..alphabet.len());
+                out.push(alphabet[pick]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $index:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$index.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+/// A fixed-length heterogeneous-source vector of strategies generates a
+/// vector of values, element by element.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = TestRng::deterministic("pattern");
+        for _ in 0..100 {
+            let s = "[a-z]{3,8}".generate(&mut rng);
+            assert!((3..=8).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literal_pattern_roundtrips() {
+        let mut rng = TestRng::deterministic("literal");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        let repeated = "x{4}".generate(&mut rng);
+        assert_eq!(repeated, "xxxx");
+    }
+
+    #[test]
+    fn oneof_respects_weights_loosely() {
+        let union = crate::prop_oneof![3 => Just(true), 1 => Just(false)];
+        let mut rng = TestRng::deterministic("oneof");
+        let trues = (0..400).filter(|_| union.generate(&mut rng)).count();
+        assert!(trues > 200, "weighted branch should dominate: {trues}");
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::deterministic("collections");
+        for _ in 0..50 {
+            let v = collection::vec(0usize..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = collection::btree_set("[a-z]{3,8}", 2..5).generate(&mut rng);
+            assert!(s.len() < 5);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let strat = (1usize..4).prop_flat_map(|n| collection::vec(Just(n), n..n + 1));
+        let mut rng = TestRng::deterministic("flat_map");
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty());
+            assert!(v.iter().all(|&x| x == v.len()));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic case generation, mirroring `proptest::test_runner`.
+
+use std::ops::Range;
+
+/// Configuration of a `proptest!` block, mirroring
+/// `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A deterministic xorshift64* random stream.
+///
+/// Unlike the real proptest there is no persisted failure seed: the stream is
+/// a pure function of the test name, so a failing case reproduces on every
+/// run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream seeded from `name` (typically the test function's
+    /// name).
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the name, folded into a non-zero seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash | 1 }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna); period 2^64 - 1.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A boolean with probability one half.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A value uniform in `[0, bound)`; `bound` must be positive.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-generation scale.
+        self.next_u64() % bound
+    }
+
+    /// A `usize` uniform in the (half-open) range; an empty range yields its
+    /// start.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.end <= range.start {
+            return range.start;
+        }
+        range.start + self.u64_below((range.end - range.start) as u64) as usize
+    }
+
+    /// An `i64` uniform in the (half-open) range; an empty range yields its
+    /// start.
+    pub fn i64_in(&mut self, range: Range<i64>) -> i64 {
+        if range.end <= range.start {
+            return range.start;
+        }
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(self.u64_below(span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let first_a: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let first_b: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let first_c: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(first_a, first_b);
+        assert_ne!(first_a, first_c);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let u = rng.usize_in(3..7);
+            assert!((3..7).contains(&u));
+            let i = rng.i64_in(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+        assert_eq!(rng.usize_in(4..4), 4);
+    }
+}

@@ -86,10 +86,8 @@ mod tests {
             match solver.solve() {
                 SolveResult::Sat(model) => {
                     count += 1;
-                    let blocking: Vec<Lit> = vars
-                        .iter()
-                        .map(|&v| Lit::new(v, !model.value(v)))
-                        .collect();
+                    let blocking: Vec<Lit> =
+                        vars.iter().map(|&v| Lit::new(v, !model.value(v))).collect();
                     solver.add_clause(&blocking);
                 }
                 SolveResult::Unsat => return count,

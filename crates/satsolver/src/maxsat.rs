@@ -334,7 +334,7 @@ mod tests {
         (0..width)
             .map(|_| {
                 let var = vars[(next() % vars.len() as u64) as usize];
-                Lit::new(var, next() % 2 == 0)
+                Lit::new(var, next().is_multiple_of(2))
             })
             .collect()
     }

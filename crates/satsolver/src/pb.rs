@@ -40,12 +40,12 @@ pub fn encode_leq(sink: &mut impl ClauseSink, terms: &[(Lit, u64)], bound: u64) 
     }
     let (x0, w0) = terms[0];
     // x0 -> s[0][j] for j < w0 (capped at k).
-    for j in 0..(w0.min(bound) as usize) {
-        sink.emit_clause(&[!x0, Lit::pos(s[0][j])]);
+    for &var in &s[0][..(w0.min(bound) as usize)] {
+        sink.emit_clause(&[!x0, Lit::pos(var)]);
     }
     // s[0][j] is false for j >= w0 (the prefix sum cannot exceed w0).
-    for j in (w0 as usize).min(k)..k {
-        sink.emit_clause(&[Lit::neg(s[0][j])]);
+    for &var in &s[0][(w0 as usize).min(k)..] {
+        sink.emit_clause(&[Lit::neg(var)]);
     }
     if w0 > bound {
         sink.emit_clause(&[!x0]);
@@ -53,22 +53,18 @@ pub fn encode_leq(sink: &mut impl ClauseSink, terms: &[(Lit, u64)], bound: u64) 
     for i in 1..n {
         let (xi, wi) = terms[i];
         // Carrying forward: s[i-1][j] -> s[i][j].
-        for j in 0..k {
-            sink.emit_clause(&[Lit::neg(s[i - 1][j]), Lit::pos(s[i][j])]);
+        for (&prev, &curr) in s[i - 1].iter().zip(&s[i]) {
+            sink.emit_clause(&[Lit::neg(prev), Lit::pos(curr)]);
         }
         // Setting: xi -> s[i][j] for j < wi.
-        for j in 0..(wi.min(bound) as usize) {
-            sink.emit_clause(&[!xi, Lit::pos(s[i][j])]);
+        for &var in &s[i][..(wi.min(bound) as usize)] {
+            sink.emit_clause(&[!xi, Lit::pos(var)]);
         }
         // Adding: xi & s[i-1][j] -> s[i][j + wi].
         for j in 0..k {
             let target = j as u64 + wi;
             if target < bound {
-                sink.emit_clause(&[
-                    !xi,
-                    Lit::neg(s[i - 1][j]),
-                    Lit::pos(s[i][target as usize]),
-                ]);
+                sink.emit_clause(&[!xi, Lit::neg(s[i - 1][j]), Lit::pos(s[i][target as usize])]);
             }
         }
         // Overflow: xi & s[i-1][bound - wi] -> conflict.
@@ -103,19 +99,11 @@ mod tests {
         encode_leq(&mut solver, &terms, bound);
 
         let mut satisfying = std::collections::BTreeSet::new();
-        loop {
-            match solver.solve() {
-                SolveResult::Sat(model) => {
-                    let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
-                    satisfying.insert(bits.clone());
-                    let blocking: Vec<Lit> = vars
-                        .iter()
-                        .map(|&v| Lit::new(v, !model.value(v)))
-                        .collect();
-                    solver.add_clause(&blocking);
-                }
-                SolveResult::Unsat => break,
-            }
+        while let SolveResult::Sat(model) = solver.solve() {
+            let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
+            satisfying.insert(bits.clone());
+            let blocking: Vec<Lit> = vars.iter().map(|&v| Lit::new(v, !model.value(v))).collect();
+            solver.add_clause(&blocking);
         }
         let mut expected = std::collections::BTreeSet::new();
         for mask in 0..(1u32 << weights.len()) {

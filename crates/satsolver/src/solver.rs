@@ -163,9 +163,7 @@ impl Solver {
                 self.unsat = true;
             }
             1 => {
-                if !self.enqueue(normalized[0], None) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(normalized[0], None) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -205,15 +203,14 @@ impl Solver {
             while i < watch_list.len() {
                 let clause_index = watch_list[i];
                 // Ensure the falsified literal is at position 1.
-                let (first, found_other) = {
+                let first = {
                     let clause = &mut self.clauses[clause_index];
                     if clause.lits[0] == falsified {
                         clause.lits.swap(0, 1);
                     }
                     debug_assert_eq!(clause.lits[1], falsified);
-                    (clause.lits[0], ())
+                    clause.lits[0]
                 };
-                let _ = found_other;
                 if self.lit_value(first) == 1 {
                     i += 1;
                     continue;
@@ -239,7 +236,7 @@ impl Solver {
                 // No replacement: clause is unit or conflicting.
                 if self.lit_value(first) == -1 {
                     // Conflict: restore remaining watches and report.
-                    self.watches[falsified.code()].extend(watch_list.drain(..));
+                    self.watches[falsified.code()].append(&mut watch_list);
                     self.prop_head = self.trail.len();
                     return Some(clause_index);
                 }
@@ -309,8 +306,8 @@ impl Solver {
             if counter == 0 {
                 break;
             }
-            clause_index = self.reason[lit.var().index()]
-                .expect("non-decision literal must have a reason");
+            clause_index =
+                self.reason[lit.var().index()].expect("non-decision literal must have a reason");
         }
         learnt[0] = !p.expect("conflict analysis visits at least one literal");
 
@@ -352,7 +349,7 @@ impl Solver {
         for (index, &value) in self.assign.iter().enumerate() {
             if value == UNASSIGNED {
                 let activity = self.activity[index];
-                if best.map_or(true, |(_, a)| activity > a) {
+                if best.is_none_or(|(_, a)| activity > a) {
                     best = Some((index, activity));
                 }
             }
@@ -410,9 +407,8 @@ impl Solver {
             } else {
                 match self.pick_branch_var() {
                     None => {
-                        let model = Model::new(
-                            self.assign.iter().map(|&value| value == 1).collect(),
-                        );
+                        let model =
+                            Model::new(self.assign.iter().map(|&value| value == 1).collect());
                         self.cancel_until(0);
                         return SolveResult::Sat(model);
                     }
@@ -509,19 +505,10 @@ mod tests {
         solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
         solver.add_clause(&[Lit::neg(a), Lit::neg(b)]);
         let mut models = Vec::new();
-        loop {
-            match solver.solve() {
-                SolveResult::Sat(model) => {
-                    let blocking: Vec<Lit> = model
-                        .as_literals()
-                        .iter()
-                        .map(|&l| !l)
-                        .collect();
-                    models.push((model.value(a), model.value(b)));
-                    solver.add_clause(&blocking);
-                }
-                SolveResult::Unsat => break,
-            }
+        while let SolveResult::Sat(model) = solver.solve() {
+            let blocking: Vec<Lit> = model.as_literals().iter().map(|&l| !l).collect();
+            models.push((model.value(a), model.value(b)));
+            solver.add_clause(&blocking);
         }
         models.sort();
         assert_eq!(models, vec![(false, true), (true, false)]);
@@ -596,8 +583,7 @@ mod tests {
             // Brute force.
             let mut brute_sat = false;
             for bits in 0..(1u32 << num_vars) {
-                let assignment: Vec<bool> =
-                    (0..num_vars).map(|i| bits & (1 << i) != 0).collect();
+                let assignment: Vec<bool> = (0..num_vars).map(|i| bits & (1 << i) != 0).collect();
                 if cnf.eval(&assignment) {
                     brute_sat = true;
                     break;

@@ -67,18 +67,13 @@ proptest! {
         let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
         exactly_one(&mut solver, &lits);
         let mut count = 0;
-        loop {
-            match solver.solve() {
-                SolveResult::Sat(model) => {
-                    count += 1;
-                    let blocking: Vec<Lit> = vars
-                        .iter()
-                        .map(|&v| Lit::new(v, !model.value(v)))
-                        .collect();
-                    solver.add_clause(&blocking);
-                }
-                SolveResult::Unsat => break,
-            }
+        while let SolveResult::Sat(model) = solver.solve() {
+            count += 1;
+            let blocking: Vec<Lit> = vars
+                .iter()
+                .map(|&v| Lit::new(v, !model.value(v)))
+                .collect();
+            solver.add_clause(&blocking);
         }
         prop_assert_eq!(count, n);
     }
@@ -99,19 +94,14 @@ proptest! {
             .collect();
         encode_leq(&mut solver, &terms, bound);
         let mut reachable = std::collections::BTreeSet::new();
-        loop {
-            match solver.solve() {
-                SolveResult::Sat(model) => {
-                    let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
-                    reachable.insert(bits.clone());
-                    let blocking: Vec<Lit> = vars
-                        .iter()
-                        .map(|&v| Lit::new(v, !model.value(v)))
-                        .collect();
-                    solver.add_clause(&blocking);
-                }
-                SolveResult::Unsat => break,
-            }
+        while let SolveResult::Sat(model) = solver.solve() {
+            let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
+            reachable.insert(bits.clone());
+            let blocking: Vec<Lit> = vars
+                .iter()
+                .map(|&v| Lit::new(v, !model.value(v)))
+                .collect();
+            solver.add_clause(&blocking);
         }
         for mask in 0..(1u32 << weights.len()) {
             let bits: Vec<bool> = (0..weights.len()).map(|i| mask & (1 << i) != 0).collect();

@@ -1,0 +1,801 @@
+//! SQL DDL ingestion: parsing a practical subset of `CREATE TABLE` into a
+//! [`dbir::Schema`].
+//!
+//! Supported per statement:
+//!
+//! * column definitions `name TYPE [(args)]` with the column constraints
+//!   `PRIMARY KEY`, `NOT NULL`, `UNIQUE`, `AUTOINCREMENT` / `AUTO_INCREMENT`,
+//!   `DEFAULT <literal>` and `REFERENCES table (column)`;
+//! * the table constraints `PRIMARY KEY (col)`, `UNIQUE (cols...)` and
+//!   `FOREIGN KEY (col) REFERENCES table (column)`, optionally prefixed with
+//!   `CONSTRAINT name`;
+//! * `--` line comments, `/* ... */` block comments, quoted identifiers
+//!   (`"t"`, `` `t` ``, `[t]`) and `IF NOT EXISTS`.
+//!
+//! Everything the synthesizer cannot represent (multi-column primary keys,
+//! `CHECK` constraints, unknown types, ...) is rejected with a diagnostic
+//! that carries the offending source span, rather than silently dropped.
+
+use std::fmt;
+
+use dbir::schema::{QualifiedAttr, Schema, TableDef};
+use dbir::DataType;
+
+/// A half-open region of the DDL source, in 1-based line/column coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line of the first character (1-based).
+    pub line: usize,
+    /// Column of the first character (1-based).
+    pub column: usize,
+    /// Length of the region in characters (at least 1).
+    pub len: usize,
+}
+
+impl Span {
+    fn point(line: usize, column: usize) -> Span {
+        Span {
+            line,
+            column,
+            len: 1,
+        }
+    }
+}
+
+/// A DDL parse or validation error with the source span it arose from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+    /// The full source line the span points into (for rendering).
+    pub source_line: String,
+}
+
+impl SqlError {
+    fn new(message: impl Into<String>, span: Span, source: &str) -> SqlError {
+        SqlError {
+            message: message.into(),
+            span,
+            source_line: source
+                .lines()
+                .nth(span.line.saturating_sub(1))
+                .unwrap_or("")
+                .to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        writeln!(f, " --> {}:{}", self.span.line, self.span.column)?;
+        writeln!(f, "  |")?;
+        writeln!(f, "  | {}", self.source_line)?;
+        write!(
+            f,
+            "  | {}{}",
+            " ".repeat(self.span.column.saturating_sub(1)),
+            "^".repeat(self.span.len.max(1))
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    Ident(String),
+    Number(String),
+    StringLit(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    kind: TokenKind,
+    span: Span,
+}
+
+impl Token {
+    /// The identifier text if this is an (unquoted or quoted) identifier.
+    fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the token is the given keyword, case-insensitively.
+    fn is_kw(&self, kw: &str) -> bool {
+        self.ident().is_some_and(|s| s.eq_ignore_ascii_case(kw))
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+fn tokenize(source: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let (mut line, mut column) = (1usize, 1usize);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let span_start = Span::point(line, column);
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '-' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump!();
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct('-'),
+                        span: span_start,
+                    });
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'*') {
+                    bump!();
+                    let mut closed = false;
+                    while let Some(c) = bump!() {
+                        if c == '*' && chars.peek() == Some(&'/') {
+                            bump!();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(SqlError::new(
+                            "unterminated block comment",
+                            span_start,
+                            source,
+                        ));
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct('/'),
+                        span: span_start,
+                    });
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut text = String::new();
+                loop {
+                    match bump!() {
+                        Some('\'') => {
+                            // '' is an escaped quote inside a string literal.
+                            if chars.peek() == Some(&'\'') {
+                                bump!();
+                                text.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(SqlError::new(
+                                "unterminated string literal",
+                                span_start,
+                                source,
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(text.clone()),
+                    span: Span {
+                        len: text.chars().count() + 2,
+                        ..span_start
+                    },
+                });
+            }
+            '"' | '`' | '[' => {
+                let close = match c {
+                    '[' => ']',
+                    c => c,
+                };
+                bump!();
+                let mut text = String::new();
+                loop {
+                    match bump!() {
+                        Some(c) if c == close => break,
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(SqlError::new(
+                                format!("unterminated quoted identifier (missing `{close}`)"),
+                                span_start,
+                                source,
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text.clone()),
+                    span: Span {
+                        len: text.chars().count() + 2,
+                        ..span_start
+                    },
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    text.push(bump!().expect("peeked"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text.clone()),
+                    span: Span {
+                        len: text.chars().count(),
+                        ..span_start
+                    },
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_digit() || c == '.')
+                {
+                    text.push(bump!().expect("peeked"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(text.clone()),
+                    span: Span {
+                        len: text.chars().count(),
+                        ..span_start
+                    },
+                });
+            }
+            '(' | ')' | ',' | ';' | '.' | '<' | '>' | '=' | '*' | '+' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    span: span_start,
+                });
+            }
+            other => {
+                return Err(SqlError::new(
+                    format!("unexpected character `{other}`"),
+                    span_start,
+                    source,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Maps a SQL type name (case-insensitive, arguments already stripped) to a
+/// [`DataType`].
+pub fn data_type_for(type_name: &str) -> Option<DataType> {
+    match type_name.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "MEDIUMINT" | "NUMERIC"
+        | "DECIMAL" => Some(DataType::Int),
+        "VARCHAR" | "CHAR" | "CHARACTER" | "TEXT" | "CLOB" | "STRING" | "NVARCHAR" => {
+            Some(DataType::String)
+        }
+        "BLOB" | "BINARY" | "VARBINARY" | "BYTEA" | "IMAGE" => Some(DataType::Binary),
+        "BOOLEAN" | "BOOL" | "BIT" => Some(DataType::Bool),
+        "UUID" | "SERIAL" | "BIGSERIAL" | "IDENTITY" => Some(DataType::Id),
+        _ => None,
+    }
+}
+
+struct Parser<'a> {
+    source: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eof_span(&self) -> Span {
+        self.tokens
+            .last()
+            .map(|t| t.span)
+            .unwrap_or(Span::point(1, 1))
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(message, span, self.source)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Token, SqlError> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(t),
+            Some(t) => Err(self.error(format!("expected `{kw}`"), t.span)),
+            None => Err(self.error(
+                format!("expected `{kw}`, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<Token, SqlError> {
+        match self.next() {
+            Some(t) if t.is_punct(c) => Ok(t),
+            Some(t) => Err(self.error(format!("expected `{c}`"), t.span)),
+            None => Err(self.error(
+                format!("expected `{c}`, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        match self.next() {
+            Some(t) => match t.ident() {
+                Some(name) => Ok((name.to_string(), t.span)),
+                None => Err(self.error(format!("expected {what}"), t.span)),
+            },
+            None => Err(self.error(
+                format!("expected {what}, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    /// Parses `( ident )` and returns the identifier.
+    fn parenthesized_ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        self.expect_punct('(')?;
+        let result = self.expect_ident(what)?;
+        if self.peek().is_some_and(|t| t.is_punct(',')) {
+            let span = self.peek().expect("peeked").span;
+            return Err(self.error(format!("multi-column {what} lists are not supported"), span));
+        }
+        self.expect_punct(')')?;
+        Ok(result)
+    }
+
+    /// Skips a literal (number, string, keyword like NULL/TRUE, or signed
+    /// number) after `DEFAULT`.
+    fn skip_literal(&mut self) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t.is_punct('-') => {
+                // A negative numeric default.
+                match self.next() {
+                    Some(t) if matches!(t.kind, TokenKind::Number(_)) => Ok(()),
+                    Some(t) => Err(self.error("expected number after `-`", t.span)),
+                    None => Err(self.error("expected number after `-`", self.eof_span())),
+                }
+            }
+            Some(t) if t.is_punct('(') => {
+                // A parenthesized default expression: skip to the matching `)`.
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.next() {
+                        Some(t) if t.is_punct('(') => depth += 1,
+                        Some(t) if t.is_punct(')') => depth -= 1,
+                        Some(_) => {}
+                        None => {
+                            return Err(
+                                self.error("unterminated default expression", self.eof_span())
+                            )
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Some(t) => match t.kind {
+                TokenKind::Number(_) | TokenKind::StringLit(_) | TokenKind::Ident(_) => Ok(()),
+                _ => Err(self.error("expected literal after `DEFAULT`", t.span)),
+            },
+            None => Err(self.error("expected literal after `DEFAULT`", self.eof_span())),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingForeignKey {
+    from_table: String,
+    from_column: String,
+    to_table: String,
+    to_column: String,
+    span: Span,
+}
+
+/// Parses a DDL script (a sequence of `CREATE TABLE` statements) into a
+/// [`Schema`].
+///
+/// # Errors
+///
+/// Returns a [`SqlError`] carrying the source span of the first offending
+/// construct.
+pub fn parse_ddl(source: &str) -> Result<Schema, SqlError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        source,
+        tokens,
+        pos: 0,
+    };
+    let mut schema = Schema::new();
+    let mut foreign_keys: Vec<PendingForeignKey> = Vec::new();
+
+    while parser.peek().is_some() {
+        // Allow stray semicolons between statements.
+        if parser.peek().is_some_and(|t| t.is_punct(';')) {
+            parser.next();
+            continue;
+        }
+        parser.expect_kw("CREATE")?;
+        parser.expect_kw("TABLE")?;
+        // Optional IF NOT EXISTS.
+        if parser.peek().is_some_and(|t| t.is_kw("IF")) {
+            parser.next();
+            parser.expect_kw("NOT")?;
+            parser.expect_kw("EXISTS")?;
+        }
+        let (table_name, table_span) = parser.expect_ident("table name")?;
+        parser.expect_punct('(')?;
+
+        let mut table = TableDef::new(table_name.clone(), Vec::<(String, DataType)>::new());
+        let mut primary_key: Option<(String, Span)> = None;
+
+        loop {
+            let Some(first) = parser.peek().cloned() else {
+                return Err(parser.error("unterminated table body", parser.eof_span()));
+            };
+            if first.is_punct(')') {
+                parser.next();
+                break;
+            }
+            if first.is_kw("PRIMARY") {
+                parser.next();
+                parser.expect_kw("KEY")?;
+                let (column, span) = parser.parenthesized_ident("primary key column")?;
+                if let Some((_, previous)) = &primary_key {
+                    let _ = previous;
+                    return Err(parser.error(
+                        format!("table `{table_name}` declares more than one primary key"),
+                        span,
+                    ));
+                }
+                primary_key = Some((column, span));
+            } else if first.is_kw("FOREIGN") {
+                parser.next();
+                parser.expect_kw("KEY")?;
+                let (from_column, span) = parser.parenthesized_ident("foreign key column")?;
+                parser.expect_kw("REFERENCES")?;
+                let (to_table, _) = parser.expect_ident("referenced table")?;
+                let (to_column, _) = parser.parenthesized_ident("referenced column")?;
+                foreign_keys.push(PendingForeignKey {
+                    from_table: table_name.clone(),
+                    from_column,
+                    to_table,
+                    to_column,
+                    span,
+                });
+            } else if first.is_kw("UNIQUE") {
+                parser.next();
+                // A UNIQUE table constraint carries no information the
+                // synthesizer uses; accept and discard the column list.
+                parser.expect_punct('(')?;
+                loop {
+                    parser.expect_ident("column name")?;
+                    match parser.next() {
+                        Some(t) if t.is_punct(',') => continue,
+                        Some(t) if t.is_punct(')') => break,
+                        Some(t) => return Err(parser.error("expected `,` or `)`", t.span)),
+                        None => {
+                            return Err(
+                                parser.error("unterminated UNIQUE constraint", parser.eof_span())
+                            )
+                        }
+                    }
+                }
+            } else if first.is_kw("CONSTRAINT") {
+                parser.next();
+                parser.expect_ident("constraint name")?;
+                continue; // The named constraint body follows.
+            } else if first.is_kw("CHECK") {
+                return Err(parser.error("CHECK constraints are not supported", first.span));
+            } else {
+                // A column definition.
+                let (column_name, column_span) = parser.expect_ident("column name")?;
+                let (type_name, type_span) = parser.expect_ident("column type")?;
+                // Optional type arguments: VARCHAR(255), DECIMAL(10, 2), ...
+                if parser.peek().is_some_and(|t| t.is_punct('(')) {
+                    parser.next();
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match parser.next() {
+                            Some(t) if t.is_punct('(') => depth += 1,
+                            Some(t) if t.is_punct(')') => depth -= 1,
+                            Some(_) => {}
+                            None => {
+                                return Err(
+                                    parser.error("unterminated type arguments", parser.eof_span())
+                                )
+                            }
+                        }
+                    }
+                }
+                let Some(ty) = data_type_for(&type_name) else {
+                    return Err(parser.error(
+                        format!(
+                            "unsupported column type `{type_name}` (supported: INTEGER, \
+                             VARCHAR/TEXT, BLOB, BOOLEAN, UUID/SERIAL and their aliases)"
+                        ),
+                        type_span,
+                    ));
+                };
+                if table.column_index(&column_name.as_str().into()).is_some() {
+                    return Err(parser.error(
+                        format!("duplicate column `{column_name}` in table `{table_name}`"),
+                        column_span,
+                    ));
+                }
+                // Column constraints.
+                loop {
+                    let Some(t) = parser.peek().cloned() else {
+                        return Err(parser.error("unterminated table body", parser.eof_span()));
+                    };
+                    if t.is_punct(',') || t.is_punct(')') {
+                        break;
+                    }
+                    if t.is_kw("PRIMARY") {
+                        parser.next();
+                        parser.expect_kw("KEY")?;
+                        if let Some((_, _)) = &primary_key {
+                            return Err(parser.error(
+                                format!("table `{table_name}` declares more than one primary key"),
+                                t.span,
+                            ));
+                        }
+                        primary_key = Some((column_name.clone(), t.span));
+                    } else if t.is_kw("NOT") {
+                        parser.next();
+                        parser.expect_kw("NULL")?;
+                    } else if t.is_kw("NULL")
+                        || t.is_kw("UNIQUE")
+                        || t.is_kw("AUTOINCREMENT")
+                        || t.is_kw("AUTO_INCREMENT")
+                    {
+                        parser.next();
+                    } else if t.is_kw("DEFAULT") {
+                        parser.next();
+                        parser.skip_literal()?;
+                    } else if t.is_kw("REFERENCES") {
+                        parser.next();
+                        let (to_table, _) = parser.expect_ident("referenced table")?;
+                        let (to_column, _) = parser.parenthesized_ident("referenced column")?;
+                        foreign_keys.push(PendingForeignKey {
+                            from_table: table_name.clone(),
+                            from_column: column_name.clone(),
+                            to_table,
+                            to_column,
+                            span: t.span,
+                        });
+                    } else {
+                        return Err(parser.error(
+                            format!(
+                                "unsupported column constraint starting at `{}`",
+                                t.ident().unwrap_or("?")
+                            ),
+                            t.span,
+                        ));
+                    }
+                }
+                table.columns.push(dbir::schema::ColumnDef {
+                    name: column_name.into(),
+                    ty,
+                });
+            }
+            // Between items: `,` continues, `)` ends.
+            match parser.peek() {
+                Some(t) if t.is_punct(',') => {
+                    parser.next();
+                }
+                Some(t) if t.is_punct(')') => {}
+                Some(t) => {
+                    let span = t.span;
+                    return Err(parser.error("expected `,` or `)`", span));
+                }
+                None => return Err(parser.error("unterminated table body", parser.eof_span())),
+            }
+        }
+
+        // Optional statement tail (`;`); anything else is an error.
+        match parser.peek() {
+            Some(t) if t.is_punct(';') => {
+                parser.next();
+            }
+            Some(t) if t.is_kw("CREATE") => {}
+            Some(t) => {
+                let span = t.span;
+                return Err(parser.error("expected `;` or next `CREATE TABLE`", span));
+            }
+            None => {}
+        }
+
+        if let Some((key, span)) = primary_key {
+            if table.column_index(&key.as_str().into()).is_none() {
+                return Err(parser.error(
+                    format!("primary key `{key}` is not a column of `{table_name}`"),
+                    span,
+                ));
+            }
+            table.primary_key = Some(key.into());
+        }
+        if table.columns.is_empty() {
+            return Err(parser.error(
+                format!("table `{table_name}` declares no columns"),
+                table_span,
+            ));
+        }
+        schema
+            .add_table(table)
+            .map_err(|e| parser.error(e.to_string(), table_span))?;
+    }
+
+    for fk in foreign_keys {
+        schema
+            .add_foreign_key(
+                QualifiedAttr::new(fk.from_table.as_str(), fk.from_column.as_str()),
+                QualifiedAttr::new(fk.to_table.as_str(), fk.to_column.as_str()),
+            )
+            .map_err(|e| SqlError::new(e.to_string(), fk.span, source))?;
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_motivating_target_schema() {
+        let schema = parse_ddl(
+            r#"
+            -- the refactored course-management schema
+            CREATE TABLE Class (
+                ClassId INTEGER PRIMARY KEY,
+                InstId INTEGER,
+                TaId INTEGER
+            );
+            CREATE TABLE Instructor (
+                InstId INTEGER,
+                IName VARCHAR(255) NOT NULL,
+                PicId UUID REFERENCES Picture(PicId)
+            );
+            CREATE TABLE Picture (PicId UUID, Pic BLOB);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(schema.table_count(), 3);
+        assert_eq!(
+            schema.attr_type(&QualifiedAttr::new("Picture", "Pic")),
+            Some(DataType::Binary)
+        );
+        assert_eq!(
+            schema.attr_type(&QualifiedAttr::new("Instructor", "PicId")),
+            Some(DataType::Id)
+        );
+        assert_eq!(schema.foreign_keys().len(), 1);
+        let class = schema.table(&"Class".into()).unwrap();
+        assert_eq!(class.primary_key, Some("ClassId".into()));
+    }
+
+    #[test]
+    fn accepts_table_level_constraints_and_quoting() {
+        let schema = parse_ddl(
+            r#"
+            CREATE TABLE IF NOT EXISTS "Order" (
+                id SERIAL,
+                `label` TEXT DEFAULT 'none',
+                [user_id] INT DEFAULT -1,
+                PRIMARY KEY (id),
+                CONSTRAINT fk_user FOREIGN KEY (user_id) REFERENCES Users (uid),
+                UNIQUE (label, user_id)
+            );
+            CREATE TABLE Users (uid INT, active BOOLEAN DEFAULT TRUE)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(schema.table_count(), 2);
+        let order = schema.table(&"Order".into()).unwrap();
+        assert_eq!(order.primary_key, Some("id".into()));
+        assert_eq!(schema.foreign_keys().len(), 1);
+        assert_eq!(
+            schema.attr_type(&QualifiedAttr::new("Users", "active")),
+            Some(DataType::Bool)
+        );
+    }
+
+    #[test]
+    fn unknown_type_reports_its_span() {
+        let err = parse_ddl("CREATE TABLE T (\n  a GEOGRAPHY\n);").unwrap_err();
+        assert!(err.message.contains("GEOGRAPHY"), "{}", err.message);
+        assert_eq!(err.span.line, 2);
+        assert_eq!(err.span.column, 5);
+        assert_eq!(err.source_line, "  a GEOGRAPHY");
+        let rendered = err.to_string();
+        assert!(rendered.contains("--> 2:5"), "{rendered}");
+        assert!(rendered.contains("^^^^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn multi_column_primary_key_is_rejected_with_span() {
+        let err = parse_ddl("CREATE TABLE T (a INT, b INT, PRIMARY KEY (a, b));").unwrap_err();
+        assert!(err.message.contains("multi-column"), "{}", err.message);
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn duplicate_primary_key_is_rejected() {
+        let err =
+            parse_ddl("CREATE TABLE T (a INT PRIMARY KEY, b INT, PRIMARY KEY (b));").unwrap_err();
+        assert!(err.message.contains("more than one primary key"));
+    }
+
+    #[test]
+    fn unknown_fk_endpoint_is_rejected_with_span() {
+        let err = parse_ddl("CREATE TABLE A (x INT REFERENCES B(nope));\nCREATE TABLE B (y INT);")
+            .unwrap_err();
+        assert!(err.message.contains("B.nope"), "{}", err.message);
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn forward_references_are_allowed() {
+        let schema =
+            parse_ddl("CREATE TABLE A (x INT REFERENCES B(y));\nCREATE TABLE B (y INT);").unwrap();
+        assert!(schema.joinable(&"A".into(), &"B".into()));
+    }
+
+    #[test]
+    fn block_comments_and_case_insensitivity() {
+        let schema =
+            parse_ddl("create /* inline */ table t (a integer not null, b text unique);").unwrap();
+        assert_eq!(schema.attr_count(), 2);
+    }
+
+    #[test]
+    fn check_constraints_are_rejected() {
+        let err = parse_ddl("CREATE TABLE T (a INT, CHECK (a > 0));").unwrap_err();
+        assert!(err.message.contains("CHECK"));
+    }
+
+    #[test]
+    fn garbage_after_statement_is_rejected() {
+        let err = parse_ddl("CREATE TABLE T (a INT) WITHOUT ROWID;").unwrap_err();
+        assert!(err.message.contains("expected `;`"));
+    }
+}

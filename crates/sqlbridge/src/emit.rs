@@ -1,0 +1,721 @@
+//! SQL emission: rendering [`dbir`] schemas and programs as executable SQL.
+//!
+//! Query functions become parameterized `SELECT` statements; update functions
+//! become sequences of `INSERT` / `DELETE` / `UPDATE` statements. Statements
+//! touching a join chain of several tables are lowered to per-table
+//! statements with correlated `EXISTS` subqueries, and the paper's
+//! insert-over-join shorthand becomes one `INSERT` per table with shared
+//! fresh-identifier parameters.
+//!
+//! Rendering is parameterized by a [`Dialect`]: [`Ansi`] uses named `:param`
+//! placeholders and `VARCHAR`; [`Sqlite`] uses numbered `?N` placeholders and
+//! `TEXT`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use dbir::ast::{Function, FunctionBody, JoinChain, Operand, Pred, Query, Update};
+use dbir::schema::QualifiedAttr;
+use dbir::{DataType, Program, Schema, TableName, Value};
+
+/// A SQL dialect: placeholder style, identifier quoting and type names.
+pub trait Dialect {
+    /// Dialect name as used on the CLI (`ansi`, `sqlite`).
+    fn name(&self) -> &'static str;
+
+    /// Renders the placeholder for a function parameter.
+    ///
+    /// `index` is the 1-based position of the parameter in the function
+    /// signature.
+    fn placeholder(&self, param: &str, index: usize) -> String;
+
+    /// The DDL type name for a [`DataType`].
+    ///
+    /// Every returned name must parse back to the same `DataType` via
+    /// [`crate::ddl::data_type_for`], so emitted DDL round-trips.
+    fn type_name(&self, ty: DataType) -> &'static str;
+
+    /// Renders a boolean literal.
+    fn bool_literal(&self, value: bool) -> &'static str {
+        if value {
+            "TRUE"
+        } else {
+            "FALSE"
+        }
+    }
+
+    /// Quotes an identifier if it needs quoting.
+    fn ident(&self, name: &str) -> String {
+        let plain = !name.is_empty()
+            && name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()));
+        if plain && !is_reserved(name) {
+            name.to_string()
+        } else {
+            format!("\"{}\"", name.replace('"', "\"\""))
+        }
+    }
+}
+
+fn is_reserved(name: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "ALL",
+        "AND",
+        "AS",
+        "BY",
+        "CASE",
+        "CHECK",
+        "CREATE",
+        "DEFAULT",
+        "DELETE",
+        "DISTINCT",
+        "DROP",
+        "ELSE",
+        "EXISTS",
+        "FROM",
+        "GROUP",
+        "IN",
+        "INDEX",
+        "INSERT",
+        "INTO",
+        "JOIN",
+        "KEY",
+        "LIMIT",
+        "NOT",
+        "NULL",
+        "ON",
+        "OR",
+        "ORDER",
+        "PRIMARY",
+        "REFERENCES",
+        "SELECT",
+        "SET",
+        "TABLE",
+        "THEN",
+        "TO",
+        "UNION",
+        "UNIQUE",
+        "UPDATE",
+        "USER",
+        "VALUES",
+        "WHEN",
+        "WHERE",
+    ];
+    RESERVED.iter().any(|r| name.eq_ignore_ascii_case(r))
+}
+
+/// Generic ANSI SQL: named `:param` placeholders, `VARCHAR(255)` strings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ansi;
+
+impl Dialect for Ansi {
+    fn name(&self) -> &'static str {
+        "ansi"
+    }
+
+    fn placeholder(&self, param: &str, _index: usize) -> String {
+        format!(":{param}")
+    }
+
+    fn type_name(&self, ty: DataType) -> &'static str {
+        match ty {
+            DataType::Int => "INTEGER",
+            DataType::String => "VARCHAR(255)",
+            DataType::Binary => "BLOB",
+            DataType::Bool => "BOOLEAN",
+            DataType::Id => "UUID",
+        }
+    }
+}
+
+/// SQLite: numbered `?N` placeholders, `TEXT` strings, `1`/`0` booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sqlite;
+
+impl Dialect for Sqlite {
+    fn name(&self) -> &'static str {
+        "sqlite"
+    }
+
+    fn placeholder(&self, _param: &str, index: usize) -> String {
+        format!("?{index}")
+    }
+
+    fn type_name(&self, ty: DataType) -> &'static str {
+        match ty {
+            DataType::Int => "INTEGER",
+            DataType::String => "TEXT",
+            DataType::Binary => "BLOB",
+            DataType::Bool => "BOOLEAN",
+            DataType::Id => "UUID",
+        }
+    }
+
+    fn bool_literal(&self, value: bool) -> &'static str {
+        if value {
+            "1"
+        } else {
+            "0"
+        }
+    }
+}
+
+/// Returns the dialect registered under `name`, if any.
+pub fn dialect_by_name(name: &str) -> Option<Box<dyn Dialect>> {
+    match name.to_ascii_lowercase().as_str() {
+        "ansi" | "generic" => Some(Box::new(Ansi)),
+        "sqlite" | "sqlite3" => Some(Box::new(Sqlite)),
+        _ => None,
+    }
+}
+
+/// One function rendered to SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlFunction {
+    /// Function name.
+    pub name: String,
+    /// `true` for query functions.
+    pub is_query: bool,
+    /// `(name, type)` of each parameter, in placeholder order.
+    pub params: Vec<(String, DataType)>,
+    /// Names of fresh-identifier parameters the caller must generate (one
+    /// per join link of an insert-over-join statement).
+    pub fresh_ids: Vec<String>,
+    /// The SQL statements, without trailing newlines.
+    pub statements: Vec<String>,
+}
+
+struct Emitter<'a> {
+    dialect: &'a dyn Dialect,
+    /// Parameter name → 1-based placeholder index.
+    param_index: BTreeMap<String, usize>,
+}
+
+impl Emitter<'_> {
+    fn attr(&self, attr: &QualifiedAttr) -> String {
+        format!(
+            "{}.{}",
+            self.dialect.ident(attr.table.as_str()),
+            self.dialect.ident(attr.attr.as_str())
+        )
+    }
+
+    fn operand(&self, operand: &Operand) -> String {
+        match operand {
+            Operand::Param(name) => {
+                let index = self.param_index.get(name).copied().unwrap_or(0);
+                self.dialect.placeholder(name, index)
+            }
+            Operand::Value(value) => self.literal(value),
+        }
+    }
+
+    fn literal(&self, value: &Value) -> String {
+        match value {
+            Value::Null => "NULL".to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Bytes(b) => {
+                let mut out = String::from("X'");
+                for byte in b {
+                    let _ = write!(out, "{byte:02x}");
+                }
+                out.push('\'');
+                out
+            }
+            Value::Bool(b) => self.dialect.bool_literal(*b).to_string(),
+            Value::Uid(u) => u.to_string(),
+        }
+    }
+
+    fn join_chain(&self, join: &JoinChain) -> String {
+        match join {
+            JoinChain::Table(t) => self.dialect.ident(t.as_str()),
+            JoinChain::Join {
+                left,
+                right,
+                left_attr,
+                right_attr,
+            } => {
+                let left_sql = self.join_chain(left);
+                let right_sql = match right.as_ref() {
+                    JoinChain::Table(_) => self.join_chain(right),
+                    nested => format!("({})", self.join_chain(nested)),
+                };
+                format!(
+                    "{left_sql} JOIN {right_sql} ON {} = {}",
+                    self.attr(left_attr),
+                    self.attr(right_attr)
+                )
+            }
+        }
+    }
+
+    fn pred(&self, pred: &Pred) -> String {
+        match pred {
+            Pred::True => "TRUE".to_string(),
+            Pred::False => "FALSE".to_string(),
+            Pred::CmpAttr { lhs, op, rhs } => {
+                format!("{} {} {}", self.attr(lhs), sql_op(*op), self.attr(rhs))
+            }
+            Pred::CmpValue { lhs, op, rhs } => {
+                format!("{} {} {}", self.attr(lhs), sql_op(*op), self.operand(rhs))
+            }
+            Pred::In { attr, query } => {
+                format!("{} IN ({})", self.attr(attr), self.query(query))
+            }
+            Pred::And(a, b) => format!("({} AND {})", self.pred(a), self.pred(b)),
+            Pred::Or(a, b) => format!("({} OR {})", self.pred(a), self.pred(b)),
+            Pred::Not(p) => format!("NOT ({})", self.pred(p)),
+        }
+    }
+
+    fn query(&self, query: &Query) -> String {
+        let (attrs, pred, join) = decompose(query);
+        let mut out = String::from("SELECT ");
+        match attrs {
+            Some(attrs) => {
+                for (i, attr) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&self.attr(attr));
+                }
+            }
+            None => out.push('*'),
+        }
+        let _ = write!(out, " FROM {}", self.join_chain(join));
+        if let Some(pred) = pred {
+            if pred != &Pred::True {
+                let _ = write!(out, " WHERE {}", self.pred(pred));
+            }
+        }
+        out
+    }
+
+    /// Renders the `WHERE` clause shared by the lowered multi-table delete
+    /// and update: a correlated `EXISTS` over the remaining tables of the
+    /// join chain.
+    fn correlated_exists(&self, target: &TableName, join: &JoinChain, pred: &Pred) -> String {
+        let mut others: Vec<TableName> = Vec::new();
+        let mut seen_target = false;
+        for table in join.tables() {
+            if &table == target && !seen_target {
+                // The first occurrence is the correlated outer table.
+                seen_target = true;
+            } else if !others.contains(&table) {
+                others.push(table);
+            }
+        }
+        let mut conditions: Vec<String> = join
+            .join_condition_attrs()
+            .chunks(2)
+            .map(|pair| format!("{} = {}", self.attr(&pair[0]), self.attr(&pair[1])))
+            .collect();
+        if pred != &Pred::True {
+            conditions.push(self.pred(pred));
+        }
+        if others.is_empty() {
+            return if conditions.is_empty() {
+                String::new()
+            } else {
+                format!(" WHERE {}", conditions.join(" AND "))
+            };
+        }
+        let from: Vec<String> = others
+            .iter()
+            .map(|t| self.dialect.ident(t.as_str()))
+            .collect();
+        let where_clause = if conditions.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", conditions.join(" AND "))
+        };
+        format!(
+            " WHERE EXISTS (SELECT 1 FROM {}{})",
+            from.join(", "),
+            where_clause
+        )
+    }
+
+    fn update(&self, update: &Update, fresh_ids: &mut Vec<String>) -> Vec<String> {
+        let mut statements = Vec::new();
+        for stmt in update.statements() {
+            match stmt {
+                Update::Insert { join, values } => {
+                    // Fresh identifiers link the tables of an
+                    // insert-over-join: one shared parameter per join
+                    // condition (paper §3.1).
+                    let mut link_values: BTreeMap<QualifiedAttr, String> = BTreeMap::new();
+                    if let JoinChain::Join { .. } = join {
+                        for pair in join.join_condition_attrs().chunks(2) {
+                            let name = format!("fresh_id_{}", fresh_ids.len());
+                            fresh_ids.push(name.clone());
+                            let placeholder = self
+                                .dialect
+                                .placeholder(&name, self.param_index.len() + fresh_ids.len());
+                            link_values.insert(pair[0].clone(), placeholder.clone());
+                            link_values.insert(pair[1].clone(), placeholder);
+                        }
+                    }
+                    for table in dedup(join.tables()) {
+                        let mut columns = Vec::new();
+                        let mut rendered = Vec::new();
+                        for (attr, operand) in values {
+                            if attr.table == table {
+                                columns.push(self.dialect.ident(attr.attr.as_str()));
+                                rendered.push(self.operand(operand));
+                            }
+                        }
+                        for (attr, placeholder) in &link_values {
+                            if attr.table == table {
+                                columns.push(self.dialect.ident(attr.attr.as_str()));
+                                rendered.push(placeholder.clone());
+                            }
+                        }
+                        statements.push(format!(
+                            "INSERT INTO {} ({}) VALUES ({});",
+                            self.dialect.ident(table.as_str()),
+                            columns.join(", "),
+                            rendered.join(", ")
+                        ));
+                    }
+                }
+                Update::Delete { tables, join, pred } => {
+                    for table in tables {
+                        statements.push(format!(
+                            "DELETE FROM {}{};",
+                            self.dialect.ident(table.as_str()),
+                            self.correlated_exists(table, join, pred)
+                        ));
+                    }
+                }
+                Update::UpdateAttr {
+                    join,
+                    pred,
+                    attr,
+                    value,
+                } => {
+                    statements.push(format!(
+                        "UPDATE {} SET {} = {}{};",
+                        self.dialect.ident(attr.table.as_str()),
+                        self.dialect.ident(attr.attr.as_str()),
+                        self.operand(value),
+                        self.correlated_exists(&attr.table, join, pred)
+                    ));
+                }
+                Update::Seq(_) => unreachable!("statements() flattens sequences"),
+            }
+        }
+        statements
+    }
+}
+
+fn sql_op(op: dbir::ast::CmpOp) -> &'static str {
+    use dbir::ast::CmpOp;
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn dedup(tables: Vec<TableName>) -> Vec<TableName> {
+    let mut out: Vec<TableName> = Vec::new();
+    for table in tables {
+        if !out.contains(&table) {
+            out.push(table);
+        }
+    }
+    out
+}
+
+fn decompose(query: &Query) -> (Option<&[QualifiedAttr]>, Option<&Pred>, &JoinChain) {
+    match query {
+        Query::Project { attrs, input } => {
+            let (_, pred, join) = decompose(input);
+            (Some(attrs), pred, join)
+        }
+        Query::Filter { pred, input } => {
+            let (attrs, _, join) = decompose(input);
+            (attrs, Some(pred), join)
+        }
+        Query::Join(join) => (None, None, join),
+    }
+}
+
+/// Renders one function as SQL.
+pub fn function_to_sql(function: &Function, dialect: &dyn Dialect) -> SqlFunction {
+    let param_index: BTreeMap<String, usize> = function
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), i + 1))
+        .collect();
+    let emitter = Emitter {
+        dialect,
+        param_index,
+    };
+    let mut fresh_ids = Vec::new();
+    let statements = match &function.body {
+        FunctionBody::Query(query) => vec![format!("{};", emitter.query(query))],
+        FunctionBody::Update(update) => emitter.update(update, &mut fresh_ids),
+    };
+    SqlFunction {
+        name: function.name.clone(),
+        is_query: function.is_query(),
+        params: function
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty))
+            .collect(),
+        fresh_ids,
+        statements,
+    }
+}
+
+/// Renders every function of a program as SQL.
+pub fn program_to_sql(program: &Program, dialect: &dyn Dialect) -> Vec<SqlFunction> {
+    program
+        .functions
+        .iter()
+        .map(|f| function_to_sql(f, dialect))
+        .collect()
+}
+
+/// Renders a program as one annotated SQL script.
+pub fn render_sql_program(program: &Program, dialect: &dyn Dialect) -> String {
+    let mut out = String::new();
+    for function in program_to_sql(program, dialect) {
+        let kind = if function.is_query { "query" } else { "update" };
+        let params: Vec<String> = function
+            .params
+            .iter()
+            .map(|(name, ty)| format!("{name} {}", dialect.type_name(*ty)))
+            .collect();
+        let _ = writeln!(out, "-- {kind} {}({})", function.name, params.join(", "));
+        for fresh in &function.fresh_ids {
+            let _ = writeln!(
+                out,
+                "--   {fresh}: fresh unique identifier, caller-generated"
+            );
+        }
+        for statement in &function.statements {
+            let _ = writeln!(out, "{statement}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a schema as `CREATE TABLE` DDL that parses back to the same
+/// schema via [`crate::ddl::parse_ddl`].
+pub fn schema_to_ddl(schema: &Schema, dialect: &dyn Dialect) -> String {
+    let mut out = String::new();
+    for table in schema.tables() {
+        let _ = writeln!(out, "CREATE TABLE {} (", dialect.ident(table.name.as_str()));
+        let fk_count = schema
+            .foreign_keys()
+            .iter()
+            .filter(|fk| fk.from.table == table.name)
+            .count();
+        for (i, column) in table.columns.iter().enumerate() {
+            let mut line = format!(
+                "    {} {}",
+                dialect.ident(column.name.as_str()),
+                dialect.type_name(column.ty)
+            );
+            if table.primary_key.as_ref() == Some(&column.name) {
+                line.push_str(" PRIMARY KEY");
+            }
+            if i + 1 < table.columns.len() || fk_count > 0 {
+                line.push(',');
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let mut emitted = 0;
+        for fk in schema.foreign_keys() {
+            if fk.from.table != table.name {
+                continue;
+            }
+            emitted += 1;
+            let _ = writeln!(
+                out,
+                "    FOREIGN KEY ({}) REFERENCES {} ({}){}",
+                dialect.ident(fk.from.attr.as_str()),
+                dialect.ident(fk.to.table.as_str()),
+                dialect.ident(fk.to.attr.as_str()),
+                if emitted < fk_count { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, ");");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbir::parser::parse_program;
+
+    fn motivating() -> (Schema, Program) {
+        let schema = Schema::parse(
+            "Instructor(InstId: int, IName: string, PicId: id)\n\
+             TA(TaId: int, TName: string, PicId: id)\n\
+             Picture(PicId: id, Pic: binary)",
+        )
+        .unwrap();
+        let program = parse_program(
+            r#"
+            update addInstructor(id: int, name: string, pic: binary)
+                INSERT INTO Instructor JOIN Picture ON Instructor.PicId = Picture.PicId
+                    VALUES (InstId: id, IName: name, Pic: pic);
+            query getInstructorInfo(id: int)
+                SELECT IName, Pic FROM Instructor JOIN Picture ON Instructor.PicId = Picture.PicId
+                    WHERE InstId = id;
+            update deleteInstructor(id: int)
+                DELETE Instructor, Picture FROM Instructor JOIN Picture ON Instructor.PicId = Picture.PicId
+                    WHERE InstId = id;
+            "#,
+            &schema,
+        )
+        .unwrap();
+        (schema, program)
+    }
+
+    #[test]
+    fn query_renders_as_parameterized_select() {
+        let (_, program) = motivating();
+        let sql = function_to_sql(program.function("getInstructorInfo").unwrap(), &Ansi);
+        assert!(sql.is_query);
+        assert_eq!(
+            sql.statements,
+            vec![
+                "SELECT Instructor.IName, Picture.Pic FROM Instructor JOIN Picture \
+                 ON Instructor.PicId = Picture.PicId WHERE Instructor.InstId = :id;"
+                    .to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn sqlite_uses_numbered_placeholders() {
+        let (_, program) = motivating();
+        let sql = function_to_sql(program.function("getInstructorInfo").unwrap(), &Sqlite);
+        assert!(sql.statements[0].contains("= ?1"));
+    }
+
+    #[test]
+    fn insert_over_join_gets_shared_fresh_ids() {
+        let (_, program) = motivating();
+        let sql = function_to_sql(program.function("addInstructor").unwrap(), &Ansi);
+        assert_eq!(sql.fresh_ids, vec!["fresh_id_0".to_string()]);
+        assert_eq!(sql.statements.len(), 2);
+        assert!(
+            sql.statements[0].contains(
+                "INSERT INTO Instructor (InstId, IName, PicId) VALUES (:id, :name, :fresh_id_0);"
+            ),
+            "{:?}",
+            sql.statements
+        );
+        assert!(
+            sql.statements[1]
+                .contains("INSERT INTO Picture (Pic, PicId) VALUES (:pic, :fresh_id_0);"),
+            "{:?}",
+            sql.statements
+        );
+    }
+
+    #[test]
+    fn multi_table_delete_lowers_to_correlated_exists() {
+        let (_, program) = motivating();
+        let sql = function_to_sql(program.function("deleteInstructor").unwrap(), &Ansi);
+        assert_eq!(sql.statements.len(), 2);
+        assert_eq!(
+            sql.statements[0],
+            "DELETE FROM Instructor WHERE EXISTS (SELECT 1 FROM Picture WHERE \
+             Instructor.PicId = Picture.PicId AND Instructor.InstId = :id);"
+        );
+        assert_eq!(
+            sql.statements[1],
+            "DELETE FROM Picture WHERE EXISTS (SELECT 1 FROM Instructor WHERE \
+             Instructor.PicId = Picture.PicId AND Instructor.InstId = :id);"
+        );
+    }
+
+    #[test]
+    fn single_table_statements_stay_simple() {
+        let schema = Schema::parse("User(uid: int, name: string)").unwrap();
+        let program = parse_program(
+            r#"
+            update addUser(uid: int, name: string)
+                INSERT INTO User VALUES (uid: uid, name: name);
+            update renameUser(uid: int, name: string)
+                UPDATE User SET name = name WHERE uid = uid;
+            update dropUser(uid: int)
+                DELETE User FROM User WHERE uid = uid;
+            "#,
+            &schema,
+        )
+        .unwrap();
+        let sql = program_to_sql(&program, &Ansi);
+        assert_eq!(
+            sql[0].statements,
+            vec![r#"INSERT INTO "User" (uid, name) VALUES (:uid, :name);"#.to_string()]
+        );
+        assert_eq!(
+            sql[1].statements,
+            vec![r#"UPDATE "User" SET name = :name WHERE "User".uid = :uid;"#.to_string()]
+        );
+        assert_eq!(
+            sql[2].statements,
+            vec![r#"DELETE FROM "User" WHERE "User".uid = :uid;"#.to_string()]
+        );
+    }
+
+    #[test]
+    fn literals_render_per_dialect() {
+        let emitter = Emitter {
+            dialect: &Ansi,
+            param_index: BTreeMap::new(),
+        };
+        assert_eq!(emitter.literal(&Value::str("o'hara")), "'o''hara'");
+        assert_eq!(emitter.literal(&Value::Bytes(vec![0xab, 0x01])), "X'ab01'");
+        assert_eq!(emitter.literal(&Value::Bool(true)), "TRUE");
+        assert_eq!(emitter.literal(&Value::Null), "NULL");
+        let sqlite = Emitter {
+            dialect: &Sqlite,
+            param_index: BTreeMap::new(),
+        };
+        assert_eq!(sqlite.literal(&Value::Bool(false)), "0");
+    }
+
+    #[test]
+    fn schema_ddl_roundtrips_through_the_parser() {
+        let (schema, _) = motivating();
+        for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+            let ddl = schema_to_ddl(&schema, dialect);
+            let reparsed = crate::ddl::parse_ddl(&ddl).unwrap();
+            assert_eq!(
+                schema,
+                reparsed,
+                "dialect {} does not round-trip",
+                dialect.name()
+            );
+        }
+    }
+
+    #[test]
+    fn render_program_includes_signatures() {
+        let (_, program) = motivating();
+        let script = render_sql_program(&program, &Ansi);
+        assert!(script.contains("-- query getInstructorInfo(id INTEGER)"));
+        assert!(script.contains("-- update addInstructor(id INTEGER, name VARCHAR(255), pic BLOB)"));
+        assert!(script.contains("fresh_id_0: fresh unique identifier"));
+    }
+}

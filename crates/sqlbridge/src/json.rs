@@ -1,0 +1,241 @@
+//! A minimal JSON document builder and serializer.
+//!
+//! The workspace builds without network access, so instead of depending on
+//! `serde_json` this module provides the small subset the `migrate` CLI and
+//! the experiment harness need: building a tree of JSON values and rendering
+//! it with correct string escaping, either compact or indented.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i128),
+    /// A floating-point number. Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Creates an empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds (or appends) a key to an object; panics on non-objects, which
+    /// indicates a bug at the construction site.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
+        match self {
+            Json::Object(entries) => entries.push((key.into(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: impl Into<String>, value: Json) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Serializes the value compactly (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes the value with two-space indentation and a trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_sequence(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Object(entries) => {
+                write_sequence(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (key, value) = &entries[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::str(s)
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as i128)
+    }
+}
+
+impl From<u128> for Json {
+    fn from(n: u128) -> Json {
+        // Saturate rather than wrap: a saturated search-space count must not
+        // come out negative in the serialized document.
+        Json::Int(i128::try_from(n).unwrap_or(i128::MAX))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_rendering() {
+        let doc = Json::object()
+            .with("name", Json::str("a\"b"))
+            .with("n", Json::Int(3))
+            .with("ok", Json::Bool(true))
+            .with("items", Json::Array(vec![Json::Null, Json::Float(1.5)]));
+        assert_eq!(
+            doc.to_compact_string(),
+            r#"{"name":"a\"b","n":3,"ok":true,"items":[null,1.5]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let doc = Json::object().with("xs", Json::Array(vec![Json::Int(1)]));
+        assert_eq!(doc.to_pretty_string(), "{\n  \"xs\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(
+            Json::str("a\nb\u{1}").to_compact_string(),
+            "\"a\\nb\\u0001\""
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        assert_eq!(Json::Array(vec![]).to_pretty_string(), "[]\n");
+        assert_eq!(Json::object().to_compact_string(), "{}");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_compact_string(), "null");
+    }
+
+    #[test]
+    fn huge_u128_saturates_instead_of_wrapping_negative() {
+        let rendered = Json::from(u128::MAX).to_compact_string();
+        assert!(!rendered.starts_with('-'), "{rendered}");
+        assert_eq!(rendered, i128::MAX.to_string());
+    }
+}

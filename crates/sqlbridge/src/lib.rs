@@ -1,0 +1,73 @@
+//! # sqlbridge — the SQL boundary of the Migrator pipeline
+//!
+//! The synthesizer (crate `migrator`) speaks its own intermediate
+//! representation ([`dbir`]). This crate connects it to the outside world:
+//!
+//! * [`ddl`] — parse a practical subset of SQL `CREATE TABLE` statements
+//!   into a [`dbir::Schema`], with span-carrying error diagnostics;
+//! * [`emit`] — render schemas back to DDL and synthesized programs as
+//!   parameterized SQL, behind a [`emit::Dialect`] hook (generic ANSI and
+//!   SQLite provided);
+//! * [`migration`] — generate `INSERT INTO target SELECT ... FROM source`
+//!   scripts that move existing data to the refactored schema, from the
+//!   winning value correspondence;
+//! * [`json`] — a dependency-free JSON builder used by the `migrate` CLI and
+//!   the experiment harness for machine-readable output.
+//!
+//! ## End to end
+//!
+//! ```
+//! use migrator::{SynthesisConfig, Synthesizer};
+//! use sqlbridge::emit::{render_sql_program, Ansi};
+//! use sqlbridge::migration::{migration_script, render_migration_script};
+//!
+//! let source_schema = sqlbridge::parse_ddl(
+//!     "CREATE TABLE Users (uid INTEGER PRIMARY KEY, nick TEXT);",
+//! )
+//! .unwrap();
+//! let target_schema = sqlbridge::parse_ddl(
+//!     "CREATE TABLE Users (uid INTEGER PRIMARY KEY, handle TEXT);",
+//! )
+//! .unwrap();
+//! let source = dbir::parser::parse_program(
+//!     r#"
+//!     update addUser(uid: int, nick: string)
+//!         INSERT INTO Users VALUES (uid: uid, nick: nick);
+//!     query getUser(uid: int)
+//!         SELECT nick FROM Users WHERE uid = uid;
+//!     "#,
+//!     &source_schema,
+//! )
+//! .unwrap();
+//!
+//! let result = Synthesizer::new(SynthesisConfig::standard())
+//!     .synthesize(&source, &source_schema, &target_schema);
+//! let program = result.program.expect("the rename synthesizes");
+//! let sql = render_sql_program(&program, &Ansi);
+//! assert!(sql.contains("SELECT Users.handle FROM Users WHERE Users.uid = :uid;"));
+//!
+//! let phi = result.correspondence.expect("success carries the correspondence");
+//! let script = migration_script(&source_schema, &target_schema, &phi, &Ansi);
+//! assert_eq!(
+//!     script.statements,
+//!     vec!["INSERT INTO Users (uid, handle) SELECT Users.uid, Users.nick FROM Users;".to_string()],
+//! );
+//! let _ = render_migration_script(&script, &Ansi);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ddl;
+pub mod emit;
+pub mod json;
+pub mod migration;
+
+pub use ddl::{parse_ddl, Span, SqlError};
+pub use emit::{
+    dialect_by_name, function_to_sql, program_to_sql, render_sql_program, schema_to_ddl, Ansi,
+    Dialect, SqlFunction, Sqlite,
+};
+pub use json::Json;
+pub use migration::{migration_script, render_migration_script, MigrationScript};

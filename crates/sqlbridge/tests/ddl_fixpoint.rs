@@ -1,0 +1,67 @@
+//! Fixpoint property for DDL ingestion and emission: `parse ∘ emit` is the
+//! identity on ingested schemas, for every benchmark schema and both
+//! provided dialects.
+
+use benchmarks::all_benchmarks;
+use sqlbridge::emit::{schema_to_ddl, Ansi, Dialect, Sqlite};
+use sqlbridge::parse_ddl;
+
+#[test]
+fn benchmark_schemas_reach_a_ddl_fixpoint() {
+    for benchmark in all_benchmarks() {
+        for schema in [&benchmark.source_schema, &benchmark.target_schema] {
+            for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+                // One round trip may normalize foreign-key order (keys are
+                // grouped under their owning table); after that the
+                // representation must be stable.
+                let once = parse_ddl(&schema_to_ddl(schema, dialect)).unwrap_or_else(|e| {
+                    panic!(
+                        "emitted DDL for {} ({}) does not parse:\n{e}",
+                        benchmark.name,
+                        dialect.name()
+                    )
+                });
+                let twice = parse_ddl(&schema_to_ddl(&once, dialect)).expect("fixpoint parses");
+                assert_eq!(
+                    once,
+                    twice,
+                    "benchmark {} ({}) does not reach a fixpoint",
+                    benchmark.name,
+                    dialect.name()
+                );
+                // The round trip must preserve the schema's content even
+                // when it normalizes declaration order.
+                assert_eq!(schema.table_count(), once.table_count());
+                assert_eq!(schema.attr_count(), once.attr_count());
+                assert_eq!(schema.tables(), once.tables());
+                let fks = |s: &dbir::Schema| {
+                    s.foreign_keys()
+                        .iter()
+                        .cloned()
+                        .collect::<std::collections::BTreeSet<_>>()
+                };
+                assert_eq!(fks(schema), fks(&once));
+            }
+        }
+    }
+}
+
+#[test]
+fn handwritten_ddl_reaches_a_fixpoint_immediately() {
+    let ddl = r#"
+        CREATE TABLE Customer (
+            id INTEGER PRIMARY KEY,
+            name VARCHAR(255),
+            vip BOOLEAN,
+            photo BLOB,
+            region_id UUID,
+            FOREIGN KEY (region_id) REFERENCES Region (region_id)
+        );
+        CREATE TABLE Region (region_id UUID, label TEXT);
+    "#;
+    let schema = parse_ddl(ddl).unwrap();
+    for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+        let reparsed = parse_ddl(&schema_to_ddl(&schema, dialect)).unwrap();
+        assert_eq!(schema, reparsed, "dialect {}", dialect.name());
+    }
+}

@@ -12,7 +12,7 @@
 //! cargo run --release --example ecommerce_migration
 //! ```
 
-use benchmarks::realworld::{build, Refactoring, RealWorldSpec};
+use benchmarks::realworld::{build, RealWorldSpec, Refactoring};
 use benchmarks::PaperNumbers;
 use dbir::equiv::TestConfig;
 use dbir::pretty::function_to_string;
@@ -93,10 +93,7 @@ fn main() {
                 result.stats.value_correspondences
             );
             println!("candidates explored:   {}", result.stats.iterations);
-            println!(
-                "sequences executed:    {}",
-                result.stats.sequences_tested
-            );
+            println!("sequences executed:    {}", result.stats.sequences_tested);
             println!(
                 "synthesis time:        {:.2}s",
                 result.stats.synthesis_time.as_secs_f64()

@@ -1,0 +1,7 @@
+-- Music library, before refactoring: the artist name is stored inline in
+-- every album row.
+CREATE TABLE Album (
+    album_id INTEGER PRIMARY KEY,
+    title VARCHAR(255),
+    artist_name VARCHAR(255)
+);

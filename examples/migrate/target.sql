@@ -1,0 +1,12 @@
+-- Music library, after refactoring: artists move to their own table and
+-- albums reference them by surrogate key.
+CREATE TABLE Album (
+    album_id INTEGER PRIMARY KEY,
+    title VARCHAR(255),
+    artist_id UUID REFERENCES Artist (artist_id)
+);
+
+CREATE TABLE Artist (
+    artist_id UUID,
+    artist_name VARCHAR(255)
+);

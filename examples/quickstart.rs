@@ -68,7 +68,10 @@ fn main() {
                 "value correspondences considered: {}",
                 result.stats.value_correspondences
             );
-            println!("candidate programs explored:      {}", result.stats.iterations);
+            println!(
+                "candidate programs explored:      {}",
+                result.stats.iterations
+            );
             println!(
                 "search space of largest sketch:   {} completions",
                 result.stats.largest_search_space

@@ -70,7 +70,10 @@ fn all_solvers_agree_on_ambler_4() {
             &benchmark.target_schema,
             &TestConfig::thorough(),
         );
-        assert!(report.equivalent, "{label} produced a non-equivalent program");
+        assert!(
+            report.equivalent,
+            "{label} produced a non-equivalent program"
+        );
     }
 
     // The MFI solver must not need more candidates than plain enumeration.

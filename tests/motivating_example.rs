@@ -54,7 +54,9 @@ fn first_value_correspondence_matches_the_paper() {
         &target_schema,
         &VcConfig::default(),
     );
-    let phi = enumerator.next_correspondence().expect("a correspondence exists");
+    let phi = enumerator
+        .next_correspondence()
+        .expect("a correspondence exists");
     // Section 2: IPic -> Picture.Pic, TPic -> Picture.Pic, all other
     // attributes map to the same-named attribute.
     assert_eq!(
@@ -110,8 +112,8 @@ fn mfi_guided_completion_finds_the_figure_4_program() {
         &VcConfig::default(),
     );
     let phi = enumerator.next_correspondence().unwrap();
-    let sketch = generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
-        .unwrap();
+    let sketch =
+        generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
     let outcome = complete_sketch(
         &sketch,
         &program,
@@ -125,12 +127,7 @@ fn mfi_guided_completion_finds_the_figure_4_program() {
     let synthesized = outcome.program.expect("completion succeeds");
     // Figure 4: every function routes pictures through the Picture table,
     // and the add functions insert into both the entity table and Picture.
-    for name in [
-        "addInstructor",
-        "getInstructorInfo",
-        "addTA",
-        "getTAInfo",
-    ] {
+    for name in ["addInstructor", "getInstructorInfo", "addTA", "getTAInfo"] {
         assert!(
             synthesized
                 .function(name)

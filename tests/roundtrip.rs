@@ -1,0 +1,44 @@
+//! Round-trip property: pretty-printing any benchmark program and parsing
+//! it back yields the same program, for all 20 evaluation benchmarks (both
+//! the source programs and freshly synthesized target programs for a few
+//! fast benchmarks).
+
+use benchmarks::all_benchmarks;
+use dbir::parser::parse_program;
+use dbir::pretty::program_to_string;
+use migrator::{SynthesisConfig, Synthesizer};
+
+#[test]
+fn benchmark_source_programs_roundtrip_through_the_printer() {
+    for benchmark in all_benchmarks() {
+        let text = program_to_string(&benchmark.source_program);
+        let reparsed = parse_program(&text, &benchmark.source_schema).unwrap_or_else(|e| {
+            panic!(
+                "pretty-printed {} does not parse: {e}\n{text}",
+                benchmark.name
+            )
+        });
+        assert_eq!(
+            benchmark.source_program, reparsed,
+            "benchmark {} does not round-trip",
+            benchmark.name
+        );
+    }
+}
+
+#[test]
+fn synthesized_programs_roundtrip_too() {
+    for name in ["Ambler-4", "Oracle-1"] {
+        let benchmark = benchmarks::benchmark_by_name(name).expect("benchmark exists");
+        let result = Synthesizer::new(SynthesisConfig::standard()).synthesize(
+            &benchmark.source_program,
+            &benchmark.source_schema,
+            &benchmark.target_schema,
+        );
+        let program = result.program.expect("fast benchmark synthesizes");
+        let text = program_to_string(&program);
+        let reparsed = parse_program(&text, &benchmark.target_schema)
+            .unwrap_or_else(|e| panic!("synthesized {name} does not parse: {e}\n{text}"));
+        assert_eq!(program, reparsed, "synthesized {name} does not round-trip");
+    }
+}
