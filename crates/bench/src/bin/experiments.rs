@@ -34,6 +34,21 @@ struct Options {
     out_explicit: bool,
 }
 
+fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn require_number<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let value = require_value(args, flag);
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a number, got `{value}`");
+        std::process::exit(2);
+    })
+}
+
 fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| "all".to_string());
@@ -49,25 +64,13 @@ fn parse_args() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--textbook-only" => options.textbook_only = true,
-            "--only" => options.only = args.next(),
+            "--only" => options.only = Some(require_value(&mut args, "--only")),
             "--out" => {
-                if let Some(path) = args.next() {
-                    options.out = path;
-                    options.out_explicit = true;
-                }
+                options.out = require_value(&mut args, "--out");
+                options.out_explicit = true;
             }
-            "--budget-secs" => {
-                options.budget_secs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(options.budget_secs)
-            }
-            "--cap" => {
-                options.cap = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(options.cap)
-            }
+            "--budget-secs" => options.budget_secs = require_number(&mut args, "--budget-secs"),
+            "--cap" => options.cap = require_number(&mut args, "--cap"),
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }

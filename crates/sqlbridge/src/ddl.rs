@@ -86,7 +86,7 @@ impl std::error::Error for SqlError {}
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum TokenKind {
-    Ident(String),
+    Ident { text: String, quoted: bool },
     Number(String),
     StringLit(String),
     Punct(char),
@@ -102,14 +102,23 @@ impl Token {
     /// The identifier text if this is an (unquoted or quoted) identifier.
     fn ident(&self) -> Option<&str> {
         match &self.kind {
-            TokenKind::Ident(s) => Some(s),
+            TokenKind::Ident { text, .. } => Some(text),
             _ => None,
         }
     }
 
-    /// True if the token is the given keyword, case-insensitively.
+    /// True if the token is the given keyword, case-insensitively. A quoted
+    /// identifier (`"unique"`) is never a keyword, so reserved names that
+    /// [`crate::emit::Dialect::ident`] quotes on emission re-parse as plain
+    /// identifiers.
     fn is_kw(&self, kw: &str) -> bool {
-        self.ident().is_some_and(|s| s.eq_ignore_ascii_case(kw))
+        match &self.kind {
+            TokenKind::Ident {
+                text,
+                quoted: false,
+            } => text.eq_ignore_ascii_case(kw),
+            _ => false,
+        }
     }
 
     fn is_punct(&self, c: char) -> bool {
@@ -233,11 +242,11 @@ fn tokenize(source: &str) -> Result<Vec<Token>, SqlError> {
                     }
                 }
                 tokens.push(Token {
-                    kind: TokenKind::Ident(text.clone()),
                     span: Span {
                         len: text.chars().count() + 2,
                         ..span_start
                     },
+                    kind: TokenKind::Ident { text, quoted: true },
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -249,10 +258,13 @@ fn tokenize(source: &str) -> Result<Vec<Token>, SqlError> {
                     text.push(bump!().expect("peeked"));
                 }
                 tokens.push(Token {
-                    kind: TokenKind::Ident(text.clone()),
                     span: Span {
                         len: text.chars().count(),
                         ..span_start
+                    },
+                    kind: TokenKind::Ident {
+                        text,
+                        quoted: false,
                     },
                 });
             }
@@ -414,7 +426,7 @@ impl<'a> Parser<'a> {
                 Ok(())
             }
             Some(t) => match t.kind {
-                TokenKind::Number(_) | TokenKind::StringLit(_) | TokenKind::Ident(_) => Ok(()),
+                TokenKind::Number(_) | TokenKind::StringLit(_) | TokenKind::Ident { .. } => Ok(()),
                 _ => Err(self.error("expected literal after `DEFAULT`", t.span)),
             },
             None => Err(self.error("expected literal after `DEFAULT`", self.eof_span())),
@@ -736,6 +748,20 @@ mod tests {
         assert_eq!(
             schema.attr_type(&QualifiedAttr::new("Users", "active")),
             Some(DataType::Bool)
+        );
+    }
+
+    #[test]
+    fn quoted_reserved_names_parse_as_identifiers() {
+        let schema =
+            parse_ddl(r#"CREATE TABLE T ("unique" INT, "primary" TEXT, PRIMARY KEY ("unique"));"#)
+                .unwrap();
+        let t = schema.table(&"T".into()).unwrap();
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.primary_key, Some("unique".into()));
+        assert_eq!(
+            schema.attr_type(&QualifiedAttr::new("T", "primary")),
+            Some(DataType::String)
         );
     }
 

@@ -1,9 +1,14 @@
 //! SQL emission: rendering [`dbir`] schemas and programs as executable SQL.
 //!
 //! Query functions become parameterized `SELECT` statements; update functions
-//! become sequences of `INSERT` / `DELETE` / `UPDATE` statements. Statements
-//! touching a join chain of several tables are lowered to per-table
-//! statements with correlated `EXISTS` subqueries, and the paper's
+//! become sequences of `INSERT` / `DELETE` / `UPDATE` statements. An `UPDATE`
+//! over a join chain of several tables is lowered to a single-table `UPDATE`
+//! with a correlated `EXISTS` subquery over the remaining chain tables. A
+//! `DELETE` spanning several tables first snapshots the matching key tuples
+//! into one temporary table while the join is still intact, then deletes
+//! each table against the snapshot — sequential correlated deletes would be
+//! wrong, because the first `DELETE` empties a table the later subqueries
+//! still need to read. The paper's
 //! insert-over-join shorthand becomes one `INSERT` per table with shared
 //! fresh-identifier parameters.
 //!
@@ -67,6 +72,7 @@ fn is_reserved(name: &str) -> bool {
         "BY",
         "CASE",
         "CHECK",
+        "CONSTRAINT",
         "CREATE",
         "DEFAULT",
         "DELETE",
@@ -74,6 +80,7 @@ fn is_reserved(name: &str) -> bool {
         "DROP",
         "ELSE",
         "EXISTS",
+        "FOREIGN",
         "FROM",
         "GROUP",
         "IN",
@@ -205,7 +212,9 @@ impl Emitter<'_> {
     fn operand(&self, operand: &Operand) -> String {
         match operand {
             Operand::Param(name) => {
-                let index = self.param_index.get(name).copied().unwrap_or(0);
+                let index = self.param_index.get(name).copied().unwrap_or_else(|| {
+                    panic!("parameter `{name}` is not declared by the function signature")
+                });
                 self.dialect.placeholder(name, index)
             }
             Operand::Value(value) => self.literal(value),
@@ -295,9 +304,9 @@ impl Emitter<'_> {
         out
     }
 
-    /// Renders the `WHERE` clause shared by the lowered multi-table delete
+    /// Renders the `WHERE` clause shared by the lowered single-table delete
     /// and update: a correlated `EXISTS` over the remaining tables of the
-    /// join chain.
+    /// join chain (which the statement itself leaves intact).
     fn correlated_exists(&self, target: &TableName, join: &JoinChain, pred: &Pred) -> String {
         let mut others: Vec<TableName> = Vec::new();
         let mut seen_target = false;
@@ -340,8 +349,122 @@ impl Emitter<'_> {
         )
     }
 
+    /// Lowers a `DELETE` that removes rows from several tables of one join
+    /// chain. The tables reference each other through the join, so no
+    /// sequential order of correlated deletes is sound; instead, snapshot
+    /// the matching tuples of every referenced attribute into one temporary
+    /// table with a single join scan, then delete each table against the
+    /// snapshot only. Deleting every row that agrees with a snapshot tuple
+    /// on its table's referenced attributes is exact, because rows
+    /// indistinguishable on those attributes are indistinguishable to the
+    /// join conditions and the predicate.
+    fn multi_table_delete(
+        &self,
+        tables: &[TableName],
+        join: &JoinChain,
+        pred: &Pred,
+        snapshot_count: &mut usize,
+    ) -> Vec<String> {
+        let mut referenced = join.join_condition_attrs();
+        referenced.extend(pred.attrs());
+        let per_table: Vec<(&TableName, Vec<&QualifiedAttr>)> = tables
+            .iter()
+            .map(|table| {
+                let mut attrs: Vec<&QualifiedAttr> = Vec::new();
+                for attr in &referenced {
+                    if &attr.table == table && !attrs.contains(&attr) {
+                        attrs.push(attr);
+                    }
+                }
+                (table, attrs)
+            })
+            .collect();
+        let columns: Vec<&QualifiedAttr> = per_table
+            .iter()
+            .flat_map(|(_, attrs)| attrs.iter().copied())
+            .collect();
+        // Snapshot column aliases: `Table_attr` unless that collides (e.g.
+        // table `A_B` attr `c` vs table `A` attr `B_c`), then positional.
+        let mut aliases: Vec<String> = columns
+            .iter()
+            .map(|a| format!("{}_{}", a.table.as_str(), a.attr.as_str()))
+            .collect();
+        if aliases
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            < aliases.len()
+        {
+            aliases = (0..columns.len()).map(|i| format!("c{i}")).collect();
+        }
+
+        let delete_index = *snapshot_count;
+        *snapshot_count += 1;
+        let snapshot = self.dialect.ident(&format!("tmp_delete_{delete_index}"));
+        let mut statements = Vec::new();
+        if !columns.is_empty() {
+            let where_clause = if pred == &Pred::True {
+                String::new()
+            } else {
+                format!(" WHERE {}", self.pred(pred))
+            };
+            let select_list: Vec<String> = columns
+                .iter()
+                .zip(&aliases)
+                .map(|(a, alias)| format!("{} AS {}", self.attr(a), self.dialect.ident(alias)))
+                .collect();
+            statements.push(format!(
+                "CREATE TEMPORARY TABLE {snapshot} AS SELECT DISTINCT {} FROM {}{where_clause};",
+                select_list.join(", "),
+                self.join_chain(join),
+            ));
+        }
+        // A table the join conditions and predicate never consult
+        // participates whenever the join result is non-empty at all; its
+        // correlated delete reads the other tables live, so it must run
+        // before the snapshot-based deletes empty them.
+        for (table, attrs) in &per_table {
+            if attrs.is_empty() {
+                statements.push(format!(
+                    "DELETE FROM {}{};",
+                    self.dialect.ident(table.as_str()),
+                    self.correlated_exists(table, join, pred)
+                ));
+            }
+        }
+        let mut offset = 0;
+        for (table, attrs) in &per_table {
+            let table_aliases = &aliases[offset..offset + attrs.len()];
+            offset += attrs.len();
+            if attrs.is_empty() {
+                continue;
+            }
+            let conditions: Vec<String> = attrs
+                .iter()
+                .zip(table_aliases)
+                .map(|(a, alias)| {
+                    format!(
+                        "{snapshot}.{} = {}",
+                        self.dialect.ident(alias),
+                        self.attr(a)
+                    )
+                })
+                .collect();
+            statements.push(format!(
+                "DELETE FROM {} WHERE EXISTS (SELECT 1 FROM {snapshot} WHERE {});",
+                self.dialect.ident(table.as_str()),
+                conditions.join(" AND ")
+            ));
+        }
+        if !columns.is_empty() {
+            statements.push(format!("DROP TABLE {snapshot};"));
+        }
+        statements
+    }
+
     fn update(&self, update: &Update, fresh_ids: &mut Vec<String>) -> Vec<String> {
         let mut statements = Vec::new();
+        let mut snapshot_count = 0usize;
         for stmt in update.statements() {
             match stmt {
                 Update::Insert { join, values } => {
@@ -384,11 +507,20 @@ impl Emitter<'_> {
                     }
                 }
                 Update::Delete { tables, join, pred } => {
-                    for table in tables {
-                        statements.push(format!(
-                            "DELETE FROM {}{};",
-                            self.dialect.ident(table.as_str()),
-                            self.correlated_exists(table, join, pred)
+                    if tables.len() <= 1 {
+                        for table in tables {
+                            statements.push(format!(
+                                "DELETE FROM {}{};",
+                                self.dialect.ident(table.as_str()),
+                                self.correlated_exists(table, join, pred)
+                            ));
+                        }
+                    } else {
+                        statements.extend(self.multi_table_delete(
+                            tables,
+                            join,
+                            pred,
+                            &mut snapshot_count,
                         ));
                     }
                 }
@@ -632,19 +764,30 @@ mod tests {
     }
 
     #[test]
-    fn multi_table_delete_lowers_to_correlated_exists() {
+    fn multi_table_delete_snapshots_keys_before_deleting() {
+        // Correlated per-table deletes would be wrong here: deleting the
+        // Instructor row first would make the Picture delete's subquery
+        // match nothing. The lowering must capture keys up front.
         let (_, program) = motivating();
         let sql = function_to_sql(program.function("deleteInstructor").unwrap(), &Ansi);
-        assert_eq!(sql.statements.len(), 2);
         assert_eq!(
-            sql.statements[0],
-            "DELETE FROM Instructor WHERE EXISTS (SELECT 1 FROM Picture WHERE \
-             Instructor.PicId = Picture.PicId AND Instructor.InstId = :id);"
-        );
-        assert_eq!(
-            sql.statements[1],
-            "DELETE FROM Picture WHERE EXISTS (SELECT 1 FROM Instructor WHERE \
-             Instructor.PicId = Picture.PicId AND Instructor.InstId = :id);"
+            sql.statements,
+            vec![
+                "CREATE TEMPORARY TABLE tmp_delete_0 AS SELECT DISTINCT \
+                 Instructor.PicId AS Instructor_PicId, Instructor.InstId AS Instructor_InstId, \
+                 Picture.PicId AS Picture_PicId \
+                 FROM Instructor JOIN Picture ON Instructor.PicId = Picture.PicId \
+                 WHERE Instructor.InstId = :id;"
+                    .to_string(),
+                "DELETE FROM Instructor WHERE EXISTS (SELECT 1 FROM tmp_delete_0 \
+                 WHERE tmp_delete_0.Instructor_PicId = Instructor.PicId \
+                 AND tmp_delete_0.Instructor_InstId = Instructor.InstId);"
+                    .to_string(),
+                "DELETE FROM Picture WHERE EXISTS (SELECT 1 FROM tmp_delete_0 \
+                 WHERE tmp_delete_0.Picture_PicId = Picture.PicId);"
+                    .to_string(),
+                "DROP TABLE tmp_delete_0;".to_string(),
+            ]
         );
     }
 
@@ -705,6 +848,33 @@ mod tests {
                 schema,
                 reparsed,
                 "dialect {} does not round-trip",
+                dialect.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reserved_column_names_roundtrip_through_ddl() {
+        let mut schema = Schema::new();
+        schema
+            .add_table(dbir::schema::TableDef::new(
+                "Order",
+                vec![
+                    ("unique", DataType::Int),
+                    ("primary", DataType::String),
+                    ("foreign", DataType::Int),
+                    ("constraint", DataType::Bool),
+                    ("check", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+            let ddl = schema_to_ddl(&schema, dialect);
+            let reparsed = crate::ddl::parse_ddl(&ddl).unwrap();
+            assert_eq!(
+                schema,
+                reparsed,
+                "dialect {} does not round-trip reserved names:\n{ddl}",
                 dialect.name()
             );
         }

@@ -14,8 +14,11 @@
 //!   `INSERT ... SELECT` per source — a union of row sets;
 //! * unmapped target identifier columns that link target tables (fresh
 //!   surrogate keys) are populated with a deterministic skolem expression
-//!   `key * N + i` derived from the feeding source table's key, so the same
-//!   source row yields the same surrogate key in every target table.
+//!   `key * N + i` derived from the feeding source table's *integer* key, so
+//!   the same source row yields the same surrogate key in every target
+//!   table. A source whose only key is an `id` column (emitted as UUID in
+//!   DDL) cannot seed the arithmetic; its link column is skipped with a
+//!   note instead of emitting invalid UUID arithmetic.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -61,10 +64,20 @@ impl Group {
 }
 
 /// The key column used to derive surrogate identifiers for rows of `table`:
-/// the declared primary key, else the first integer/identifier column.
+/// the declared primary key if integer-typed, else — only when no primary
+/// key is declared — the first integer column. Skolem expressions are
+/// arithmetic (`key * N + tag`), so a [`DataType::Id`] column — emitted as
+/// UUID in DDL — cannot seed them; and when a non-integer primary key is
+/// the declared row identity, substituting an arbitrary integer column
+/// would merge distinct rows onto one surrogate key, so the table yields
+/// no seed at all.
 fn skolem_key(table: &TableDef) -> Option<QualifiedAttr> {
     if let Some(pk) = &table.primary_key {
-        return Some(QualifiedAttr {
+        let pk_is_int = table
+            .columns
+            .iter()
+            .any(|c| &c.name == pk && c.ty == DataType::Int);
+        return pk_is_int.then(|| QualifiedAttr {
             table: table.name.clone(),
             attr: pk.clone(),
         });
@@ -72,7 +85,7 @@ fn skolem_key(table: &TableDef) -> Option<QualifiedAttr> {
     table
         .columns
         .iter()
-        .find(|c| matches!(c.ty, DataType::Int | DataType::Id))
+        .find(|c| c.ty == DataType::Int)
         .map(|c| QualifiedAttr {
             table: table.name.clone(),
             attr: c.name.clone(),
@@ -130,12 +143,8 @@ fn link_skolem(
             .position(|x| &x.name == t)
             .unwrap_or(usize::MAX)
     };
-    let int_key = |attr: &QualifiedAttr| {
-        matches!(
-            source_schema.attr_type(attr),
-            Some(DataType::Int | DataType::Id)
-        )
-    };
+    let int_key =
+        |attr: &QualifiedAttr| matches!(source_schema.attr_type(attr), Some(DataType::Int));
 
     for partner in link_partners(target_schema, column) {
         let Some((_, partner_groups)) = table_groups.iter().find(|(t, _)| t == &partner.table)
@@ -152,9 +161,7 @@ fn link_skolem(
             shared.sort_by_key(|t| source_index(t));
             if let Some(&shared) = shared.first() {
                 if let Some(key) = source_schema.table(shared).and_then(skolem_key) {
-                    if int_key(&key) {
-                        return Some((key, source_index(shared)));
-                    }
+                    return Some((key, source_index(shared)));
                 }
             }
             // Case 2: a source join pair between the groups is equal on
@@ -187,8 +194,9 @@ fn link_skolem(
         }
     }
     // Case 3: unrelated row sets; seed from this group's own anchor.
+    // `skolem_key` only yields integer columns, so no re-check is needed.
     let key = source_schema.table(&group.tables[0]).and_then(skolem_key)?;
-    int_key(&key).then(|| (key, source_index(&group.tables[0])))
+    Some((key, source_index(&group.tables[0])))
 }
 
 /// Orders target tables so that foreign-key referenced tables are emitted
@@ -583,6 +591,87 @@ mod tests {
             .unwrap();
         assert!(addr.contains("Address.pid * 2 + 0"), "{addr}");
         assert!(account.contains("Person.pid * 2 + 0"), "{account}");
+    }
+
+    /// Regression: a source keyed only by `id` (UUID) columns must not seed
+    /// the skolem arithmetic — `uuid * N + tag` is invalid SQL in most
+    /// engines. The link column is skipped and noted instead.
+    #[test]
+    fn uuid_only_keys_skip_skolem_arithmetic() {
+        let source = Schema::parse(
+            "Person(pid: id, name: string)\n\
+             Address(pid: id, city: string)",
+        )
+        .unwrap();
+        let mut target = Schema::parse(
+            "Account(name: string, addr_id: id)\n\
+             Addr(addr_id: id, city: string)",
+        )
+        .unwrap();
+        target
+            .add_foreign_key(qa("Account", "addr_id"), qa("Addr", "addr_id"))
+            .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("Person", "name"), qa("Account", "name"));
+        phi.add(qa("Address", "city"), qa("Addr", "city"));
+
+        let script = migration_script(&source, &target, &phi, &Ansi);
+        assert!(
+            script.statements.iter().all(|s| !s.contains('*')),
+            "{:#?}",
+            script.statements
+        );
+        assert!(
+            script
+                .notes
+                .iter()
+                .any(|n| n.contains("addr_id") && n.contains("not migrated")),
+            "{:#?}",
+            script.notes
+        );
+    }
+
+    /// Regression: a declared non-integer primary key is the row identity;
+    /// seeding the skolem expression from some other integer column (here
+    /// `age`, not unique) would merge distinct rows onto one surrogate key.
+    #[test]
+    fn non_integer_primary_key_does_not_seed_from_arbitrary_int_column() {
+        let mut source = Schema::new();
+        source
+            .add_table(
+                TableDef::new(
+                    "Person",
+                    vec![("name", DataType::String), ("age", DataType::Int)],
+                )
+                .with_primary_key("name"),
+            )
+            .unwrap();
+        let mut target = Schema::parse(
+            "Account(name: string, addr_id: id)\n\
+             Addr(addr_id: id, age: int)",
+        )
+        .unwrap();
+        target
+            .add_foreign_key(qa("Account", "addr_id"), qa("Addr", "addr_id"))
+            .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("Person", "name"), qa("Account", "name"));
+        phi.add(qa("Person", "age"), qa("Addr", "age"));
+
+        let script = migration_script(&source, &target, &phi, &Ansi);
+        assert!(
+            script.statements.iter().all(|s| !s.contains('*')),
+            "{:#?}",
+            script.statements
+        );
+        assert!(
+            script
+                .notes
+                .iter()
+                .any(|n| n.contains("addr_id") && n.contains("not migrated")),
+            "{:#?}",
+            script.notes
+        );
     }
 
     #[test]
