@@ -7,7 +7,7 @@
 
 use benchmarks::benchmark_by_name;
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbir::equiv::TestConfig;
+use dbir::equiv::{SourceOracle, TestConfig};
 use migrator::baselines::{solve_cegis, CegisConfig};
 use migrator::completion::{complete_sketch, BlockingStrategy};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
@@ -34,10 +34,10 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mfi_guided", |b| {
         b.iter(|| {
+            let mut oracle = SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
             let outcome = complete_sketch(
                 &sketch,
-                &benchmark.source_program,
-                &benchmark.source_schema,
+                &mut oracle,
                 &benchmark.target_schema,
                 &TestConfig::default(),
                 &TestConfig::default(),

@@ -5,7 +5,7 @@
 
 use benchmarks::benchmark_by_name;
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbir::equiv::TestConfig;
+use dbir::equiv::{SourceOracle, TestConfig};
 use migrator::completion::{complete_sketch, BlockingStrategy};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
 use migrator::value_corr::{VcConfig, VcEnumerator};
@@ -35,10 +35,11 @@ fn bench_table3(c: &mut Criterion) {
         ] {
             group.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
+                    let mut oracle =
+                        SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
                     complete_sketch(
                         &sketch,
-                        &benchmark.source_program,
-                        &benchmark.source_schema,
+                        &mut oracle,
                         &benchmark.target_schema,
                         &TestConfig::default(),
                         &TestConfig::default(),

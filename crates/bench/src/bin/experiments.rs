@@ -1,18 +1,26 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! experiments table1 [--textbook-only] [--only <name>] [--out <path>]
+//! experiments table1 [--textbook-only] [--only <name>]... [--out <path>]
 //! experiments table2 [--textbook-only] [--budget-secs <n>]
 //! experiments table3 [--textbook-only] [--cap <iterations>]
 //! experiments all    [--textbook-only] [--out <path>]
+//! experiments check  [--textbook-only] [--only <name>]... [--against <path>]
 //! ```
 //!
-//! Each command prints a Markdown table with the measured numbers next to
-//! the numbers the paper reports, so EXPERIMENTS.md can be updated by
+//! Each table command prints a Markdown table with the measured numbers next
+//! to the numbers the paper reports, so EXPERIMENTS.md can be updated by
 //! copying the output. `table1` and `all` additionally write the measured
 //! rows (per-benchmark wall time plus the underlying search statistics) as
 //! machine-readable JSON to `--out` (default `BENCH_results.json`), so
 //! successive revisions leave a performance trajectory.
+//!
+//! `check` is the deterministic-stats mode CI runs on a fast benchmark
+//! subset: it re-runs the selected benchmarks and asserts that the
+//! *deterministic* columns — `iterations`, `value_correspondences` and the
+//! success flag — match the committed trajectory file (wall time is
+//! machine-dependent and excluded). `--only` is repeatable. Exits non-zero
+//! on any mismatch, so a search-behaviour regression fails the build.
 
 use std::time::{Duration, Instant};
 
@@ -27,11 +35,12 @@ use migrator::{SketchSolverKind, Synthesizer};
 struct Options {
     command: String,
     textbook_only: bool,
-    only: Option<String>,
+    only: Vec<String>,
     budget_secs: u64,
     cap: usize,
     out: String,
     out_explicit: bool,
+    against: String,
 }
 
 fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -55,20 +64,22 @@ fn parse_args() -> Options {
     let mut options = Options {
         command,
         textbook_only: false,
-        only: None,
+        only: Vec::new(),
         budget_secs: 20,
         cap: 100_000,
         out: "BENCH_results.json".to_string(),
         out_explicit: false,
+        against: "BENCH_results.json".to_string(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--textbook-only" => options.textbook_only = true,
-            "--only" => options.only = Some(require_value(&mut args, "--only")),
+            "--only" => options.only.push(require_value(&mut args, "--only")),
             "--out" => {
                 options.out = require_value(&mut args, "--out");
                 options.out_explicit = true;
             }
+            "--against" => options.against = require_value(&mut args, "--against"),
             "--budget-secs" => options.budget_secs = require_number(&mut args, "--budget-secs"),
             "--cap" => options.cap = require_number(&mut args, "--cap"),
             other => eprintln!("ignoring unknown argument `{other}`"),
@@ -83,13 +94,17 @@ fn selected_benchmarks(options: &Options) -> Vec<Benchmark> {
     } else {
         all_benchmarks()
     };
-    match &options.only {
-        Some(name) => pool
-            .into_iter()
-            .filter(|b| b.name.eq_ignore_ascii_case(name))
-            .collect(),
-        None => pool,
+    if options.only.is_empty() {
+        return pool;
     }
+    pool.into_iter()
+        .filter(|b| {
+            options
+                .only
+                .iter()
+                .any(|name| b.name.eq_ignore_ascii_case(name))
+        })
+        .collect()
 }
 
 fn table1(options: &Options) {
@@ -121,10 +136,12 @@ fn table1(options: &Options) {
 
     // Only a full, unfiltered run may overwrite the default trajectory file;
     // a filtered spot-check would silently replace 20 rows with one.
-    let filter = match (&options.only, options.textbook_only) {
-        (Some(name), _) => format!("only:{name}"),
-        (None, true) => "textbook-only".to_string(),
-        (None, false) => "all".to_string(),
+    let filter = if !options.only.is_empty() {
+        format!("only:{}", options.only.join(","))
+    } else if options.textbook_only {
+        "textbook-only".to_string()
+    } else {
+        "all".to_string()
     };
     if filter != "all" && !options.out_explicit {
         eprintln!(
@@ -279,19 +296,119 @@ fn table3(options: &Options) {
     println!();
 }
 
+/// The deterministic-stats CI mode: re-runs the selected benchmarks and
+/// compares the machine-independent columns against the committed
+/// trajectory file. Wall time is excluded by design.
+fn check(options: &Options) {
+    let committed = match std::fs::read_to_string(&options.against) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", options.against);
+            std::process::exit(2);
+        }
+    };
+    let document = match sqlbridge::Json::parse(&committed) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", options.against);
+            std::process::exit(2);
+        }
+    };
+    let rows = document
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .unwrap_or_else(|| {
+            eprintln!("{} has no `benchmarks` array", options.against);
+            std::process::exit(2);
+        });
+    let committed_row = |name: &str| -> Option<&sqlbridge::Json> {
+        rows.iter()
+            .find(|row| row.get("name").and_then(|n| n.as_str()) == Some(name))
+    };
+
+    println!(
+        "## Deterministic-stats check against {} (wall time excluded)\n",
+        options.against
+    );
+    println!("| Benchmark | Value Corr | Iters | Succeeded | Verdict |");
+    println!("|---|---|---|---|---|");
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    for benchmark in selected_benchmarks(options) {
+        let Some(expected) = committed_row(&benchmark.name) else {
+            println!(
+                "| {} | - | - | - | MISSING from {} |",
+                benchmark.name, options.against
+            );
+            mismatches += 1;
+            continue;
+        };
+        let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        checked += 1;
+        let mut diffs: Vec<String> = Vec::new();
+        let mut field = |label: &str, measured: i128, key: &str| {
+            let committed = expected.get(key).and_then(|v| v.as_i128());
+            if committed != Some(measured) {
+                diffs.push(format!(
+                    "{label}: measured {measured}, committed {}",
+                    committed.map_or("absent".to_string(), |v| v.to_string())
+                ));
+            }
+        };
+        field(
+            "value_correspondences",
+            row.value_corr as i128,
+            "value_correspondences",
+        );
+        field("iterations", row.iters as i128, "iterations");
+        let committed_success = expected.get("succeeded").and_then(|v| v.as_bool());
+        if committed_success != Some(row.succeeded) {
+            diffs.push(format!(
+                "succeeded: measured {}, committed {}",
+                row.succeeded,
+                committed_success.map_or("absent".to_string(), |v| v.to_string())
+            ));
+        }
+        let verdict = if diffs.is_empty() {
+            "ok".to_string()
+        } else {
+            mismatches += 1;
+            format!("MISMATCH — {}", diffs.join("; "))
+        };
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            benchmark.name, row.value_corr, row.iters, row.succeeded, verdict
+        );
+    }
+    println!();
+    if checked == 0 {
+        eprintln!("no benchmarks selected — check the --only / --textbook-only filters");
+        std::process::exit(2);
+    }
+    if mismatches > 0 {
+        eprintln!(
+            "{mismatches} benchmark(s) diverged from {}",
+            options.against
+        );
+        std::process::exit(1);
+    }
+    eprintln!("{checked} benchmark(s) match {}", options.against);
+}
+
 fn main() {
     let options = parse_args();
     match options.command.as_str() {
         "table1" => table1(&options),
         "table2" => table2(&options),
         "table3" => table3(&options),
+        "check" => check(&options),
         "all" => {
             table1(&options);
             table2(&options);
             table3(&options);
         }
         other => {
-            eprintln!("unknown command `{other}`; expected table1, table2, table3 or all");
+            eprintln!("unknown command `{other}`; expected table1, table2, table3, check or all");
             std::process::exit(2);
         }
     }

@@ -66,6 +66,14 @@ pub struct Table1Row {
     pub largest_search_space: u128,
     /// Invocation sequences executed during testing.
     pub sequences_tested: usize,
+    /// Equivalence checks that accepted a candidate without enumerating
+    /// their whole bound (their verdicts are optimistic).
+    pub truncated_checks: usize,
+    /// `true` when every accepting equivalence check exhausted its bound
+    /// (i.e. `truncated_checks == 0`).
+    pub bound_exhausted: bool,
+    /// Source-side sequences served from the memoized source oracle.
+    pub oracle_hits: usize,
 }
 
 /// Runs the full synthesis pipeline on a benchmark and returns the measured
@@ -88,6 +96,9 @@ pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row 
         invalid_instantiations: result.stats.invalid_instantiations,
         largest_search_space: result.stats.largest_search_space,
         sequences_tested: result.stats.sequences_tested,
+        truncated_checks: result.stats.truncated_checks,
+        bound_exhausted: result.stats.truncated_checks == 0,
+        oracle_hits: result.stats.oracle_hits,
     }
 }
 
@@ -111,6 +122,9 @@ pub fn row_to_json(benchmark: &Benchmark, row: &Table1Row) -> sqlbridge::Json {
         .with("invalid_instantiations", row.invalid_instantiations.into())
         .with("largest_search_space", row.largest_search_space.into())
         .with("sequences_tested", row.sequences_tested.into())
+        .with("truncated_checks", row.truncated_checks.into())
+        .with("bound_exhausted", Json::Bool(row.bound_exhausted))
+        .with("oracle_hits", row.oracle_hits.into())
         .with("synth_time_secs", row.synth_time.into())
         .with("total_time_secs", row.total_time.into())
         .with(

@@ -15,13 +15,13 @@
 
 use std::time::{Duration, Instant};
 
-use dbir::equiv::TestConfig;
+use dbir::equiv::{SourceOracle, TestConfig};
 use dbir::invocation::{observe, InvocationSequence, Outcome};
 use dbir::{Program, Schema};
 
 use crate::completion::{complete_sketch, BlockingStrategy, CompletionOutcome};
 use crate::sketch::Sketch;
-use crate::verify::{check_candidate, CheckOutcome};
+use crate::verify::{check_candidate_with_oracle, CheckOutcome};
 
 /// Solves a sketch with full-model blocking (the Table 3 baseline).
 #[allow(clippy::too_many_arguments)]
@@ -34,10 +34,10 @@ pub fn solve_enumerative(
     verification: &TestConfig,
     max_iterations: usize,
 ) -> CompletionOutcome {
+    let mut oracle = SourceOracle::new(source, source_schema);
     complete_sketch(
         sketch,
-        source,
-        source_schema,
+        &mut oracle,
         target_schema,
         testing,
         verification,
@@ -103,6 +103,7 @@ pub fn solve_cegis(
     let start = Instant::now();
     let mut counterexamples: Vec<(InvocationSequence, Outcome)> = Vec::new();
     let mut candidates = 0usize;
+    let mut oracle = SourceOracle::new(source, source_schema);
 
     let domain_sizes: Vec<usize> = sketch.holes.iter().map(|h| h.domain.size()).collect();
     if domain_sizes.contains(&0) {
@@ -158,9 +159,8 @@ pub fn solve_cegis(
                 &observe(&candidate, target_schema, sequence) != expected
             });
             if !screened_out && candidate.validate(target_schema).is_ok() {
-                match check_candidate(
-                    source,
-                    source_schema,
+                match check_candidate_with_oracle(
+                    &mut oracle,
                     &candidate,
                     target_schema,
                     &config.testing,
@@ -178,7 +178,7 @@ pub fn solve_cegis(
                         minimum_failing_input,
                         ..
                     } => {
-                        let expected = observe(source, source_schema, &minimum_failing_input);
+                        let expected = oracle.observe(&minimum_failing_input);
                         counterexamples.push((minimum_failing_input, expected));
                     }
                 }

@@ -10,14 +10,14 @@
 //! functions prunes every completion that would fail for the same reason
 //! (18,225 programs at once in the paper's running example).
 
-use dbir::equiv::TestConfig;
+use dbir::equiv::{SourceOracle, TestConfig};
 use dbir::{Program, Schema};
 use satsolver::encoder::exactly_one;
 use satsolver::{Lit, Model, SolveResult, Solver, Var};
 
 use crate::sketch::{HoleAssignment, HoleId, Sketch};
 use crate::stats::SketchRunStats;
-use crate::verify::{check_candidate, CheckOutcome};
+use crate::verify::{check_candidate_with_oracle, CheckOutcome};
 
 /// The SAT encoding of a sketch: one variable per (hole, domain element).
 #[derive(Debug)]
@@ -96,14 +96,18 @@ pub struct CompletionOutcome {
 /// that is equivalent to `source` (within the bounded-testing
 /// configuration), or reports failure when the space is exhausted.
 ///
+/// The source program and schema travel inside `oracle`, which memoizes the
+/// source's outcome per invocation sequence — every candidate is checked
+/// against the same source, so across the completion loop each sequence is
+/// interpreted on the source at most once.
+///
 /// `testing` is used to search for minimum failing inputs; `verification`
 /// is the deeper final check a candidate must pass before being returned.
 /// `max_iterations` bounds the number of candidates examined (0 = unlimited).
 #[allow(clippy::too_many_arguments)]
 pub fn complete_sketch(
     sketch: &Sketch,
-    source: &Program,
-    source_schema: &Schema,
+    oracle: &mut SourceOracle<'_>,
     target_schema: &Schema,
     testing: &TestConfig,
     verification: &TestConfig,
@@ -161,19 +165,21 @@ pub fn complete_sketch(
             continue;
         }
 
-        match check_candidate(source, source_schema, &candidate, target_schema, testing) {
-            CheckOutcome::Equivalent { sequences_tested } => {
+        match check_candidate_with_oracle(oracle, &candidate, target_schema, testing) {
+            CheckOutcome::Equivalent {
+                sequences_tested,
+                bound_exhausted,
+            } => {
                 stats.sequences_tested += sequences_tested;
+                stats.truncated_checks += usize::from(!bound_exhausted);
                 // Deeper verification pass before accepting.
-                match check_candidate(
-                    source,
-                    source_schema,
-                    &candidate,
-                    target_schema,
-                    verification,
-                ) {
-                    CheckOutcome::Equivalent { sequences_tested } => {
+                match check_candidate_with_oracle(oracle, &candidate, target_schema, verification) {
+                    CheckOutcome::Equivalent {
+                        sequences_tested,
+                        bound_exhausted,
+                    } => {
                         stats.sequences_tested += sequences_tested;
+                        stats.truncated_checks += usize::from(!bound_exhausted);
                         return CompletionOutcome {
                             program: Some(candidate),
                             stats,
@@ -298,10 +304,10 @@ mod tests {
         let phi = vc.next_correspondence().unwrap();
         let sketch =
             generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+        let mut oracle = SourceOracle::new(&program, &source_schema);
         let outcome = complete_sketch(
             &sketch,
-            &program,
-            &source_schema,
+            &mut oracle,
             &target_schema,
             &TestConfig::default(),
             &TestConfig::default(),
@@ -341,10 +347,10 @@ mod tests {
             let sketch =
                 generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
                     .unwrap();
+            let mut oracle = SourceOracle::new(&program, &source_schema);
             let outcome = complete_sketch(
                 &sketch,
-                &program,
-                &source_schema,
+                &mut oracle,
                 &target_schema,
                 &TestConfig::default(),
                 &TestConfig::default(),
@@ -396,10 +402,10 @@ mod tests {
         // instead demand an impossible iteration budget of candidates by
         // giving an empty-domain... simpler: max_iterations = 0 is unlimited,
         // so use a correspondence that breaks the query instead.
+        let mut oracle = SourceOracle::new(&source, &source_schema);
         let outcome = complete_sketch(
             &sketch,
-            &source,
-            &source_schema,
+            &mut oracle,
             &target_schema,
             &TestConfig::default(),
             &TestConfig::default(),
@@ -440,10 +446,10 @@ mod tests {
                     crate::sketch::AttrSlot::Fixed(dbir::schema::QualifiedAttr::new("T", "d"));
             }
         }
+        let mut oracle = SourceOracle::new(&source, &source_schema);
         let outcome = complete_sketch(
             &sketch,
-            &source,
-            &source_schema,
+            &mut oracle,
             &target_schema,
             &TestConfig::default(),
             &TestConfig::default(),

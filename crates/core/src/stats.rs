@@ -24,6 +24,15 @@ pub struct SynthesisStats {
     /// Total number of invocation sequences executed while testing
     /// candidates.
     pub sequences_tested: usize,
+    /// Number of equivalence checks that accepted a candidate *without*
+    /// enumerating their whole bound (they stopped at
+    /// `TestConfig::max_sequences`). Zero means every accepting verdict in
+    /// the run genuinely exhausted its bound (`bound_exhausted` held for
+    /// all of them); a non-zero value flags optimistic acceptances.
+    pub truncated_checks: usize,
+    /// Number of source-side invocation sequences served from the memoized
+    /// source oracle instead of being re-interpreted.
+    pub oracle_hits: usize,
     /// Time spent in synthesis proper: value-correspondence enumeration,
     /// sketch generation and sketch completion including MFI search
     /// (Table 1, "Synth Time").
@@ -45,6 +54,7 @@ impl SynthesisStats {
         self.iterations += other.iterations;
         self.invalid_instantiations += other.invalid_instantiations;
         self.sequences_tested += other.sequences_tested;
+        self.truncated_checks += other.truncated_checks;
         self.largest_search_space = self.largest_search_space.max(other.search_space);
     }
 }
@@ -58,6 +68,10 @@ pub struct SketchRunStats {
     pub invalid_instantiations: usize,
     /// Number of invocation sequences executed.
     pub sequences_tested: usize,
+    /// Number of equivalence checks that accepted a candidate without
+    /// enumerating their whole bound (see
+    /// [`SynthesisStats::truncated_checks`]).
+    pub truncated_checks: usize,
     /// The sketch's completion count.
     pub search_space: u128,
     /// Number of blocking clauses added.
@@ -85,6 +99,7 @@ mod tests {
             iterations: 3,
             invalid_instantiations: 1,
             sequences_tested: 40,
+            truncated_checks: 1,
             search_space: 100,
             blocking_clauses: 2,
         });
@@ -92,12 +107,14 @@ mod tests {
             iterations: 2,
             invalid_instantiations: 0,
             sequences_tested: 10,
+            truncated_checks: 0,
             search_space: 50,
             blocking_clauses: 1,
         });
         assert_eq!(stats.iterations, 5);
         assert_eq!(stats.invalid_instantiations, 1);
         assert_eq!(stats.sequences_tested, 50);
+        assert_eq!(stats.truncated_checks, 1);
         assert_eq!(stats.largest_search_space, 100);
     }
 }

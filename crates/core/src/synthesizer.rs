@@ -10,12 +10,14 @@ use std::time::Instant;
 
 use dbir::{Program, Schema};
 
+use dbir::equiv::SourceOracle;
+
 use crate::completion::{complete_sketch, BlockingStrategy};
 use crate::config::{SketchSolverKind, SynthesisConfig};
 use crate::sketch_gen::generate_sketch;
 use crate::stats::SynthesisStats;
 use crate::value_corr::{ValueCorrespondence, VcEnumerator};
-use crate::verify::{check_candidate, CheckOutcome};
+use crate::verify::{check_candidate_with_oracle, CheckOutcome};
 
 /// The result of a synthesis run: the migrated program (if one was found)
 /// plus statistics matching the paper's evaluation columns.
@@ -74,6 +76,11 @@ impl Synthesizer {
         let mut enumerator =
             VcEnumerator::new(source, source_schema, target_schema, &self.config.vc);
 
+        // One memoized source oracle for the whole run: the source program's
+        // outcome per invocation sequence is identical across every candidate
+        // of every sketch, so it is interpreted at most once per sequence.
+        let mut oracle = SourceOracle::new(source, source_schema);
+
         loop {
             if self.config.max_value_correspondences > 0
                 && stats.value_correspondences >= self.config.max_value_correspondences
@@ -93,8 +100,7 @@ impl Synthesizer {
 
             let outcome = complete_sketch(
                 &sketch,
-                source,
-                source_schema,
+                &mut oracle,
                 target_schema,
                 &self.config.testing,
                 &self.config.verification,
@@ -108,17 +114,21 @@ impl Synthesizer {
                 // Final verification pass, timed separately (the stand-in
                 // for the Mediator equivalence proof; see DESIGN.md).
                 let verification_start = Instant::now();
-                let verified = check_candidate(
-                    source,
-                    source_schema,
+                let verified = check_candidate_with_oracle(
+                    &mut oracle,
                     &program,
                     target_schema,
                     &self.config.verification,
                 );
                 stats.verification_time = verification_start.elapsed();
                 match verified {
-                    CheckOutcome::Equivalent { sequences_tested } => {
+                    CheckOutcome::Equivalent {
+                        sequences_tested,
+                        bound_exhausted,
+                    } => {
                         stats.sequences_tested += sequences_tested;
+                        stats.truncated_checks += usize::from(!bound_exhausted);
+                        stats.oracle_hits = oracle.hits();
                         return SynthesisResult {
                             program: Some(program),
                             correspondence: Some(phi),
@@ -136,6 +146,7 @@ impl Synthesizer {
         }
 
         stats.synthesis_time = synthesis_start.elapsed();
+        stats.oracle_hits = oracle.hits();
         SynthesisResult {
             program: None,
             correspondence: None,

@@ -8,7 +8,7 @@
 //! the last, most expensive check, and its cost is reported separately from
 //! synthesis time.
 
-use dbir::equiv::{compare_programs, EquivalenceReport, TestConfig};
+use dbir::equiv::{compare_with_oracle, EquivalenceReport, SourceOracle, TestConfig};
 use dbir::{InvocationSequence, Program, Schema};
 
 /// The result of checking a candidate program against the source program.
@@ -18,6 +18,11 @@ pub enum CheckOutcome {
     Equivalent {
         /// Number of invocation sequences executed.
         sequences_tested: usize,
+        /// `true` if every sequence within the depth bound was enumerated.
+        /// `false` means the check stopped at
+        /// [`TestConfig::max_sequences`](dbir::equiv::TestConfig) and the
+        /// verdict is optimistic, not evidence of bounded equivalence.
+        bound_exhausted: bool,
     },
     /// A minimum failing input was found.
     NotEquivalent {
@@ -37,20 +42,51 @@ impl CheckOutcome {
     /// The number of invocation sequences executed.
     pub fn sequences_tested(&self) -> usize {
         match self {
-            CheckOutcome::Equivalent { sequences_tested }
+            CheckOutcome::Equivalent {
+                sequences_tested, ..
+            }
             | CheckOutcome::NotEquivalent {
                 sequences_tested, ..
             } => *sequences_tested,
         }
+    }
+
+    /// Returns `true` if the check accepted the candidate *without*
+    /// enumerating the whole bound (its verdict is optimistic).
+    pub fn is_truncated(&self) -> bool {
+        matches!(
+            self,
+            CheckOutcome::Equivalent {
+                bound_exhausted: false,
+                ..
+            }
+        )
     }
 }
 
 /// Checks a candidate target program against the source program using
 /// bounded testing with the given configuration, returning a minimum
 /// failing input when the programs disagree.
+///
+/// Builds a throwaway [`SourceOracle`] internally; callers checking many
+/// candidates against one source should use
+/// [`check_candidate_with_oracle`] so the source side is interpreted once
+/// per sequence across the whole run.
 pub fn check_candidate(
     source: &Program,
     source_schema: &Schema,
+    candidate: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+) -> CheckOutcome {
+    let mut oracle = SourceOracle::new(source, source_schema);
+    check_candidate_with_oracle(&mut oracle, candidate, target_schema, config)
+}
+
+/// Like [`check_candidate`], but reuses (and fills) a memoized source
+/// oracle shared across the candidates of a synthesis run.
+pub fn check_candidate_with_oracle(
+    oracle: &mut SourceOracle<'_>,
     candidate: &Program,
     target_schema: &Schema,
     config: &TestConfig,
@@ -59,9 +95,13 @@ pub fn check_candidate(
         equivalent,
         counterexample,
         sequences_tested,
-    } = compare_programs(source, source_schema, candidate, target_schema, config);
+        bound_exhausted,
+    } = compare_with_oracle(oracle, candidate, target_schema, config);
     if equivalent {
-        CheckOutcome::Equivalent { sequences_tested }
+        CheckOutcome::Equivalent {
+            sequences_tested,
+            bound_exhausted,
+        }
     } else {
         CheckOutcome::NotEquivalent {
             minimum_failing_input: counterexample
@@ -92,6 +132,38 @@ mod tests {
         let outcome = check_candidate(&program, &schema, &program, &schema, &TestConfig::default());
         assert!(outcome.is_equivalent());
         assert!(outcome.sequences_tested() > 0);
+        assert!(!outcome.is_truncated());
+    }
+
+    #[test]
+    fn capped_checks_report_truncation() {
+        let schema = Schema::parse("T(a: int, b: string)").unwrap();
+        let program = parse_program(
+            r#"
+            update add(a: int, b: string)
+                INSERT INTO T VALUES (a: a, b: b);
+            query get(a: int)
+                SELECT b FROM T WHERE a = a;
+            "#,
+            &schema,
+        )
+        .unwrap();
+        let capped = TestConfig {
+            max_sequences: Some(1),
+            ..TestConfig::default()
+        };
+        let outcome = check_candidate(&program, &schema, &program, &schema, &capped);
+        assert!(outcome.is_equivalent());
+        assert!(
+            outcome.is_truncated(),
+            "a capped pass must be flagged as optimistic"
+        );
+        match outcome {
+            CheckOutcome::Equivalent {
+                bound_exhausted, ..
+            } => assert!(!bound_exhausted),
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 
     #[test]

@@ -6,17 +6,45 @@
 //! which the two programs disagree is, by construction, a **minimum failing
 //! input** (Section 5, "Generating minimum failing inputs").
 //!
-//! This module implements that procedure, plus a *relevance-closure*
-//! optimization: when testing a particular query function, only update
-//! functions whose (transitive) table footprint can influence that query in
-//! either program are considered. Updates outside the closure cannot change
-//! the query's result in either program, so omitting them preserves both
-//! soundness and minimality of the search at a given bound.
+//! This module implements that procedure twice:
+//!
+//! * [`compare_programs`] — the production engine. It walks the tree of
+//!   update-call prefixes depth-first, snapshotting the [`Instance`] (plus
+//!   the evaluator's fresh-identifier counter) at every node, so each update
+//!   call in the tree is executed **once** instead of once per sequence that
+//!   extends it: `O(kᴸ)` update executions instead of the naive
+//!   `O(L·kᴸ·|Q|)`. Sequences are still enumerated depth-by-depth (iterative
+//!   deepening), so the first counterexample remains a minimum failing
+//!   input. Prefixes on which *both* programs have already failed are
+//!   counted arithmetically and never descended — every sequence through
+//!   them trivially agrees.
+//! * [`compare_programs_naive`] — the original odometer that materializes and
+//!   replays every sequence from scratch. It is retained as an executable
+//!   reference semantics: a differential property test asserts the two
+//!   engines produce identical [`EquivalenceReport`]s (same counterexample,
+//!   same minimality, same `sequences_tested`) on random programs.
+//!
+//! On top of prefix sharing, a [`SourceOracle`] memoizes the *source*
+//! program's outcome per invocation sequence. During synthesis the source is
+//! fixed while many candidates are checked against it, so across a synthesis
+//! run each sequence is interpreted on the source at most once.
+//!
+//! Both engines apply a *relevance-closure* optimization: when testing a
+//! particular query function, only update functions whose (transitive) table
+//! footprint can influence that query in either program are considered.
+//! Updates outside the closure cannot change the query's result in either
+//! program, so omitting them preserves both soundness and minimality of the
+//! search at a given bound.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
-use crate::ast::{Function, Program};
-use crate::invocation::{observe, Call, InvocationSequence, Outcome};
+use crate::ast::{Function, FunctionBody, Program, Update};
+use crate::error::Error;
+use crate::eval::{bind_args, exec_rows_plan, prepare_rows_plan, Env, Evaluator, RowsPlan};
+use crate::instance::Instance;
+use crate::invocation::{
+    observe, resolve_query, resolve_update, Call, InvocationSequence, Outcome,
+};
 use crate::schema::{Schema, TableName};
 use crate::value::{DataType, Value};
 
@@ -33,8 +61,12 @@ pub struct TestConfig {
     pub binary_seeds: Vec<Vec<u8>>,
     /// Seed constants used for boolean parameters.
     pub bool_seeds: Vec<bool>,
-    /// Seed constants used for identifier parameters.
-    pub id_seeds: Vec<i64>,
+    /// Seed constants used for identifier parameters. These are minted as
+    /// [`Value::Uid`] payloads (see [`TestConfig::seeds`]), so they should
+    /// cover the identifiers the evaluator generates for the first few
+    /// inserts: `0, 1, …`. Unsigned on purpose: the evaluator's uid counter
+    /// starts at zero, so a negative seed could never match anything.
+    pub id_seeds: Vec<u64>,
     /// Maximum number of argument combinations explored per function
     /// (`None` for no cap).  Combinations are enumerated deterministically,
     /// so the cap keeps very wide functions tractable.
@@ -86,6 +118,15 @@ impl TestConfig {
     }
 
     /// The seed values available for a parameter of type `ty`.
+    ///
+    /// Identifier parameters are seeded as [`Value::Uid`], **not**
+    /// [`Value::Int`]: the evaluator mints `Value::Uid(n)` for surrogate
+    /// keys, and equality across variants is strict
+    /// (`Value::Int(n) != Value::Uid(n)`). Seeding `Int` here would make
+    /// every Id-keyed lookup a guaranteed miss, so candidates disagreeing
+    /// only on Id-keyed queries would be indistinguishable — an unsound
+    /// acceptance. This method is the single place where the testing side
+    /// of the Uid/Int equality domain is decided.
     pub fn seeds(&self, ty: DataType) -> Vec<Value> {
         match ty {
             DataType::Int => self.int_seeds.iter().map(|&v| Value::Int(v)).collect(),
@@ -100,7 +141,7 @@ impl TestConfig {
                 .map(|b| Value::Bytes(b.clone()))
                 .collect(),
             DataType::Bool => self.bool_seeds.iter().map(|&b| Value::Bool(b)).collect(),
-            DataType::Id => self.id_seeds.iter().map(|&v| Value::Int(v)).collect(),
+            DataType::Id => self.id_seeds.iter().map(|&v| Value::Uid(v)).collect(),
         }
     }
 
@@ -138,6 +179,190 @@ pub struct EquivalenceReport {
     pub counterexample: Option<InvocationSequence>,
     /// Number of invocation sequences executed.
     pub sequences_tested: usize,
+    /// `true` if the search enumerated **every** sequence within the
+    /// configured depth bound. When `equivalent` is `true` but this is
+    /// `false`, the check stopped at [`TestConfig::max_sequences`] and the
+    /// verdict is *optimistic*, not evidence of equivalence up to the bound.
+    /// Always `false` when a counterexample was found (the search stops
+    /// early by design).
+    pub bound_exhausted: bool,
+}
+
+/// A minimal FNV-1a hasher for the oracle's interned-id keys.
+///
+/// The cache is probed once per tested sequence — millions of times per
+/// check — with keys that are a handful of `u32`s, exactly the shape FNV is
+/// good at. (DoS-resistant hashing is pointless here: keys are internal
+/// interned ids, not attacker-controlled input.)
+#[derive(Debug, Clone)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &byte in bytes {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// Memoizes the source program's observable outcome per invocation sequence.
+///
+/// During sketch completion the source program is fixed while many candidate
+/// programs are checked against it, and every check replays largely the same
+/// invocation sequences on the source side. Threading one oracle through all
+/// checks of a synthesis run means each sequence is interpreted on the
+/// source at most once; subsequent candidates only pay for their own (target)
+/// side.
+///
+/// Internally every distinct [`Call`] is interned to a `u32`, and the cache
+/// key is the sequence of interned ids. A sequence — the interpreter being
+/// deterministic — completely determines the outcome for a fixed program
+/// and schema, so it is sound to share one oracle across different
+/// [`TestConfig`]s (e.g. the testing and verification passes).
+#[derive(Debug)]
+pub struct SourceOracle<'p> {
+    program: &'p Program,
+    schema: &'p Schema,
+    /// Interning table: one id per distinct call ever seen.
+    call_ids: HashMap<Call, u32>,
+    /// Outcomes keyed by interned call-id sequences (updates ++ query).
+    cache: HashMap<Box<[u32]>, Outcome, FnvBuild>,
+    /// Holds the computed outcome when the cache is at capacity, so
+    /// [`SourceOracle::outcome_ref`] can still hand out a reference.
+    overflow: Option<Outcome>,
+    hits: usize,
+    capacity: usize,
+}
+
+impl<'p> SourceOracle<'p> {
+    /// Default cap on cached sequences; beyond it lookups still work but new
+    /// outcomes are recomputed instead of stored.
+    const DEFAULT_CAPACITY: usize = 4_000_000;
+
+    /// Creates an oracle for `program` over `schema` with an empty cache.
+    pub fn new(program: &'p Program, schema: &'p Schema) -> SourceOracle<'p> {
+        SourceOracle {
+            program,
+            schema,
+            call_ids: HashMap::new(),
+            cache: HashMap::default(),
+            overflow: None,
+            hits: 0,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// The source program the oracle answers for.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The schema the source program runs over.
+    pub fn schema(&self) -> &'p Schema {
+        self.schema
+    }
+
+    /// Number of cache hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct sequences currently cached.
+    pub fn cached_sequences(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The interned id of `call`, assigning a fresh one on first sight.
+    fn intern(&mut self, call: &Call) -> u32 {
+        if let Some(&id) = self.call_ids.get(call) {
+            return id;
+        }
+        let id = u32::try_from(self.call_ids.len()).expect("more than u32::MAX distinct calls");
+        self.call_ids.insert(call.clone(), id);
+        id
+    }
+
+    /// The source outcome for `sequence`, interpreting the source program at
+    /// most once per distinct sequence.
+    pub fn observe(&mut self, sequence: &InvocationSequence) -> Outcome {
+        let mut key = Vec::with_capacity(sequence.updates.len() + 1);
+        for call in &sequence.updates {
+            key.push(self.intern(call));
+        }
+        key.push(self.intern(&sequence.query));
+        self.outcome_ref(&key, || observe(self.program, self.schema, sequence))
+            .clone()
+    }
+
+    /// The cached outcome for the interned key, computing (and caching) it
+    /// with `compute` on a miss. Returns a reference so the hot comparison
+    /// path never clones row sets.
+    fn outcome_ref(&mut self, key: &[u32], compute: impl FnOnce() -> Outcome) -> &Outcome {
+        if self.cache.contains_key(key) {
+            self.hits += 1;
+            return self.cache.get(key).expect("checked above");
+        }
+        let outcome = compute();
+        if self.cache.len() < self.capacity {
+            self.cache.insert(key.to_vec().into_boxed_slice(), outcome);
+            self.cache.get(key).expect("just inserted")
+        } else {
+            self.overflow = Some(outcome);
+            self.overflow.as_ref().expect("just stored")
+        }
+    }
+}
+
+/// Per-query execution plan shared by both engines: the query calls to
+/// observe and the update calls eligible to precede them.
+struct QueryPlan {
+    query_calls: Vec<Call>,
+    update_calls: Vec<Call>,
+}
+
+/// Builds one [`QueryPlan`] per source query function.
+fn build_plans(source: &Program, target: &Program, config: &TestConfig) -> Vec<QueryPlan> {
+    let mut plans = Vec::new();
+    for query in source.queries() {
+        let query_calls: Vec<Call> = config
+            .arg_combinations(query)
+            .into_iter()
+            .map(|args| Call::new(query.name.clone(), args))
+            .collect();
+        let updates: Vec<&Function> = if config.cluster_by_tables {
+            relevant_updates(query, source, target)
+        } else {
+            source.updates().collect()
+        };
+        let update_calls: Vec<Call> = updates
+            .iter()
+            .flat_map(|u| {
+                config
+                    .arg_combinations(u)
+                    .into_iter()
+                    .map(|args| Call::new(u.name.clone(), args))
+            })
+            .collect();
+        plans.push(QueryPlan {
+            query_calls,
+            update_calls,
+        });
+    }
+    plans
 }
 
 /// Computes the relevance closure for one query function: the set of update
@@ -214,6 +439,9 @@ pub fn find_failing_input(
 
 /// Runs the bounded equivalence check and reports the outcome together with
 /// the number of sequences executed.
+///
+/// This is the prefix-shared engine (see the module documentation); it
+/// produces reports identical to [`compare_programs_naive`].
 pub fn compare_programs(
     source: &Program,
     source_schema: &Schema,
@@ -221,39 +449,347 @@ pub fn compare_programs(
     target_schema: &Schema,
     config: &TestConfig,
 ) -> EquivalenceReport {
+    let mut oracle = SourceOracle::new(source, source_schema);
+    compare_with_oracle(&mut oracle, target, target_schema, config)
+}
+
+/// The execution state of one program after some update prefix: either a
+/// live snapshot (instance plus the evaluator's fresh-identifier counter) or
+/// the error the prefix failed with. A failed prefix stays failed for every
+/// extension, mirroring how a straight-line replay stops at the first error.
+#[derive(Debug, Clone)]
+enum ExecState {
+    Live(Instance, u64),
+    Failed(Error),
+}
+
+/// Result of walking one (plan, depth) subtree.
+enum Search {
+    /// Every sequence in the subtree was covered and agreed.
+    Exhausted,
+    /// The programs disagreed on this sequence.
+    Counterexample(InvocationSequence),
+    /// The [`TestConfig::max_sequences`] budget ran out mid-subtree.
+    CapHit,
+}
+
+/// One plan's calls, pre-resolved and pre-bound against one program.
+///
+/// Function resolution, query/update kind checks and argument binding are
+/// deterministic per (program, call), so doing them once per check — instead
+/// of once per tested sequence — preserves behaviour exactly: a call that
+/// would fail to resolve or bind simply fails every sequence it appears in,
+/// with the identical error a straight-line replay would report.
+enum PreparedUpdate<'x> {
+    Ready(&'x Update, Env),
+    Failed(Error),
+}
+
+enum PreparedQuery {
+    /// A compiled rows-plan: structural resolution already done, execution
+    /// touches rows only (see [`RowsPlan`]).
+    Ready(RowsPlan),
+    Failed(Error),
+}
+
+struct PreparedPlan<'x> {
+    /// Interned oracle ids, parallel to `QueryPlan::update_calls`.
+    update_ids: Vec<u32>,
+    /// Interned oracle ids, parallel to `QueryPlan::query_calls`.
+    query_ids: Vec<u32>,
+    src_updates: Vec<PreparedUpdate<'x>>,
+    tgt_updates: Vec<PreparedUpdate<'x>>,
+    src_queries: Vec<PreparedQuery>,
+    tgt_queries: Vec<PreparedQuery>,
+}
+
+fn prepare_update<'x>(program: &'x Program, call: &Call) -> PreparedUpdate<'x> {
+    let function = match resolve_update(program, &call.function) {
+        Ok(function) => function,
+        Err(err) => return PreparedUpdate::Failed(err),
+    };
+    match bind_args(function, &call.args) {
+        Ok(env) => match &function.body {
+            FunctionBody::Update(update) => PreparedUpdate::Ready(update, env),
+            FunctionBody::Query(_) => unreachable!("resolve_update rejects queries"),
+        },
+        Err(err) => PreparedUpdate::Failed(err),
+    }
+}
+
+fn prepare_query(program: &Program, schema: &Schema, call: &Call) -> PreparedQuery {
+    let function = match resolve_query(program, &call.function) {
+        Ok(function) => function,
+        Err(err) => return PreparedQuery::Failed(err),
+    };
+    let env = match bind_args(function, &call.args) {
+        Ok(env) => env,
+        Err(err) => return PreparedQuery::Failed(err),
+    };
+    let query = match &function.body {
+        FunctionBody::Query(query) => query,
+        FunctionBody::Update(_) => unreachable!("resolve_query rejects updates"),
+    };
+    match prepare_rows_plan(schema, query, &env) {
+        Ok((plan, _header)) => PreparedQuery::Ready(plan),
+        Err(err) => PreparedQuery::Failed(err),
+    }
+}
+
+/// Like [`compare_programs`], but reads (and fills) `oracle` for the source
+/// side, so repeated checks against the same source — the shape of every
+/// synthesis run — interpret each sequence on the source at most once.
+pub fn compare_with_oracle(
+    oracle: &mut SourceOracle<'_>,
+    target: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+) -> EquivalenceReport {
+    let source = oracle.program();
+    let source_schema = oracle.schema();
+    let plans = build_plans(source, target, config);
+    let prepared: Vec<PreparedPlan<'_>> = plans
+        .iter()
+        .map(|plan| PreparedPlan {
+            update_ids: plan.update_calls.iter().map(|c| oracle.intern(c)).collect(),
+            query_ids: plan.query_calls.iter().map(|c| oracle.intern(c)).collect(),
+            src_updates: plan
+                .update_calls
+                .iter()
+                .map(|c| prepare_update(source, c))
+                .collect(),
+            tgt_updates: plan
+                .update_calls
+                .iter()
+                .map(|c| prepare_update(target, c))
+                .collect(),
+            src_queries: plan
+                .query_calls
+                .iter()
+                .map(|c| prepare_query(source, source_schema, c))
+                .collect(),
+            tgt_queries: plan
+                .query_calls
+                .iter()
+                .map(|c| prepare_query(target, target_schema, c))
+                .collect(),
+        })
+        .collect();
     let mut sequences_tested = 0usize;
 
-    // Pre-compute per-query call lists.
-    struct QueryPlan {
-        query_calls: Vec<Call>,
-        update_calls: Vec<Call>,
+    // Iterative deepening: depth ℓ re-runs the update prefixes of depths
+    // < ℓ, but the extra work is a geometric series dominated by the last
+    // level, and it keeps memory at O(L) snapshots while preserving the
+    // increasing-length enumeration that makes counterexamples minimal.
+    for length in 0..=config.max_updates {
+        for (plan, prep) in plans.iter().zip(&prepared) {
+            if length > 0 && plan.update_calls.is_empty() {
+                continue;
+            }
+            let mut dfs = Dfs {
+                oracle: &mut *oracle,
+                source_schema,
+                target_schema,
+                plan,
+                prep,
+                cap: config.max_sequences,
+                sequences_tested: &mut sequences_tested,
+                key: Vec::with_capacity(length + 1),
+                path: Vec::with_capacity(length),
+            };
+            let src_root = ExecState::Live(Instance::empty(source_schema), 0);
+            let tgt_root = ExecState::Live(Instance::empty(target_schema), 0);
+            match dfs.walk(length, &src_root, &tgt_root) {
+                Search::Exhausted => {}
+                Search::Counterexample(sequence) => {
+                    return EquivalenceReport {
+                        equivalent: false,
+                        counterexample: Some(sequence),
+                        sequences_tested,
+                        bound_exhausted: false,
+                    }
+                }
+                Search::CapHit => {
+                    return EquivalenceReport {
+                        equivalent: true,
+                        counterexample: None,
+                        sequences_tested,
+                        bound_exhausted: false,
+                    }
+                }
+            }
+        }
     }
-    let mut plans: Vec<QueryPlan> = Vec::new();
-    for query in source.queries() {
-        let query_calls: Vec<Call> = config
-            .arg_combinations(query)
-            .into_iter()
-            .map(|args| Call::new(query.name.clone(), args))
-            .collect();
-        let updates: Vec<&Function> = if config.cluster_by_tables {
-            relevant_updates(query, source, target)
-        } else {
-            source.updates().collect()
-        };
-        let update_calls: Vec<Call> = updates
-            .iter()
-            .flat_map(|u| {
-                config
-                    .arg_combinations(u)
-                    .into_iter()
-                    .map(|args| Call::new(u.name.clone(), args))
-            })
-            .collect();
-        plans.push(QueryPlan {
-            query_calls,
-            update_calls,
-        });
+
+    EquivalenceReport {
+        equivalent: true,
+        counterexample: None,
+        sequences_tested,
+        bound_exhausted: true,
     }
+}
+
+/// Depth-first walker over the update-call tree of one query plan.
+struct Dfs<'a, 'p> {
+    oracle: &'a mut SourceOracle<'p>,
+    source_schema: &'p Schema,
+    target_schema: &'a Schema,
+    plan: &'a QueryPlan,
+    prep: &'a PreparedPlan<'a>,
+    cap: Option<usize>,
+    sequences_tested: &'a mut usize,
+    /// Interned ids of the current update prefix (oracle cache key minus
+    /// the final query id).
+    key: Vec<u32>,
+    /// Indices into `plan.update_calls` for the current prefix, used to
+    /// materialize the [`InvocationSequence`] only when a counterexample is
+    /// actually found.
+    path: Vec<usize>,
+}
+
+impl Dfs<'_, '_> {
+    /// Visits every sequence with exactly `depth` more update calls below
+    /// the node whose states are `src`/`tgt`. Children are visited in
+    /// `update_calls` order and queries in `query_calls` order, which makes
+    /// the leaf enumeration order identical to the naive odometer's.
+    fn walk(&mut self, depth: usize, src: &ExecState, tgt: &ExecState) -> Search {
+        if depth == 0 {
+            return self.leaves(src, tgt);
+        }
+        if let (ExecState::Failed(_), ExecState::Failed(_)) = (src, tgt) {
+            // Every sequence through this node fails on both sides and
+            // therefore agrees: account for the subtree without walking it.
+            return self.skip_agreed_subtree(depth);
+        }
+        let prep = self.prep;
+        for i in 0..self.plan.update_calls.len() {
+            let src_child = apply_update(self.source_schema, &prep.src_updates[i], src);
+            let tgt_child = apply_update(self.target_schema, &prep.tgt_updates[i], tgt);
+            self.key.push(prep.update_ids[i]);
+            self.path.push(i);
+            let result = self.walk(depth - 1, &src_child, &tgt_child);
+            self.path.pop();
+            self.key.pop();
+            if !matches!(result, Search::Exhausted) {
+                return result;
+            }
+        }
+        Search::Exhausted
+    }
+
+    /// Runs (and counts) all query calls against the two leaf states.
+    fn leaves(&mut self, src: &ExecState, tgt: &ExecState) -> Search {
+        let prep = self.prep;
+        for (qi, &query_id) in prep.query_ids.iter().enumerate() {
+            if let Some(cap) = self.cap {
+                if *self.sequences_tested >= cap {
+                    return Search::CapHit;
+                }
+            }
+            *self.sequences_tested += 1;
+            if let (ExecState::Failed(_), ExecState::Failed(_)) = (src, tgt) {
+                // Both prefixes already failed: the outcomes agree whatever
+                // the query is, no need to even materialize the sequence.
+                continue;
+            }
+            let tgt_outcome = query_outcome(&prep.tgt_queries[qi], tgt);
+            self.key.push(query_id);
+            let src_outcome = self
+                .oracle
+                .outcome_ref(&self.key, || query_outcome(&prep.src_queries[qi], src));
+            let agree = outcomes_agree(src_outcome, &tgt_outcome);
+            self.key.pop();
+            if !agree {
+                // Materialize the failing sequence only now, on the cold
+                // path: the hot path never clones calls.
+                let updates: Vec<Call> = self
+                    .path
+                    .iter()
+                    .map(|&i| self.plan.update_calls[i].clone())
+                    .collect();
+                let sequence = InvocationSequence::new(updates, self.plan.query_calls[qi].clone());
+                return Search::Counterexample(sequence);
+            }
+        }
+        Search::Exhausted
+    }
+
+    /// Accounts for a subtree whose sequences all trivially agree, honoring
+    /// the sequence budget exactly as if they had been enumerated one by one.
+    fn skip_agreed_subtree(&mut self, depth: usize) -> Search {
+        let fanout = self.plan.update_calls.len() as u128;
+        let leaves = fanout.saturating_pow(depth as u32);
+        let sequences = leaves.saturating_mul(self.plan.query_calls.len() as u128);
+        if let Some(cap) = self.cap {
+            let remaining = cap.saturating_sub(*self.sequences_tested) as u128;
+            if sequences > remaining {
+                *self.sequences_tested = cap;
+                return Search::CapHit;
+            }
+        }
+        *self.sequences_tested += sequences as usize;
+        Search::Exhausted
+    }
+}
+
+/// Extends an execution state by one (pre-resolved, pre-bound) update call,
+/// cloning the instance so the parent snapshot survives for the node's
+/// siblings.
+fn apply_update(schema: &Schema, prepared: &PreparedUpdate<'_>, state: &ExecState) -> ExecState {
+    let (instance, uid) = match state {
+        ExecState::Failed(_) => return state.clone(),
+        ExecState::Live(instance, uid) => (instance, *uid),
+    };
+    let (update, env) = match prepared {
+        PreparedUpdate::Ready(update, env) => (update, env),
+        PreparedUpdate::Failed(err) => return ExecState::Failed(err.clone()),
+    };
+    let mut next = instance.clone();
+    let mut evaluator = Evaluator::with_uid_counter(schema, uid);
+    match evaluator.exec_update(update, &mut next, env) {
+        Ok(()) => ExecState::Live(next, evaluator.uid_counter()),
+        Err(err) => ExecState::Failed(err),
+    }
+}
+
+/// The observable outcome of running one compiled query call against a
+/// prefix state, matching what a full replay of the sequence would observe
+/// (queries never mint identifiers, so the snapshot's uid counter is moot).
+fn query_outcome(prepared: &PreparedQuery, state: &ExecState) -> Outcome {
+    let instance = match state {
+        ExecState::Failed(err) => return Outcome::Failed(err.clone()),
+        ExecState::Live(instance, _uid) => instance,
+    };
+    let plan = match prepared {
+        PreparedQuery::Ready(plan) => plan,
+        PreparedQuery::Failed(err) => return Outcome::Failed(err.clone()),
+    };
+    match exec_rows_plan(plan, instance) {
+        Ok(rows) => {
+            let mut rows = rows.into_owned();
+            rows.sort();
+            Outcome::Rows(rows)
+        }
+        Err(err) => Outcome::Failed(err),
+    }
+}
+
+/// The original straight-line engine: materializes every invocation sequence
+/// and replays it from the empty instance.
+///
+/// Retained as the executable reference semantics for the prefix-shared
+/// engine — `O(L·kᴸ·|Q|)` update executions, so use [`compare_programs`]
+/// anywhere performance matters. The differential property test in
+/// `tests/` asserts both engines return identical reports.
+pub fn compare_programs_naive(
+    source: &Program,
+    source_schema: &Schema,
+    target: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+) -> EquivalenceReport {
+    let plans = build_plans(source, target, config);
+    let mut sequences_tested = 0usize;
 
     // Enumerate sequences in increasing number of preceding updates so the
     // first difference found is a minimum failing input.
@@ -274,6 +810,7 @@ pub fn compare_programs(
                                     equivalent: true,
                                     counterexample: None,
                                     sequences_tested,
+                                    bound_exhausted: false,
                                 };
                             }
                         }
@@ -286,6 +823,7 @@ pub fn compare_programs(
                                 equivalent: false,
                                 counterexample: Some(sequence),
                                 sequences_tested,
+                                bound_exhausted: false,
                             };
                         }
                     }
@@ -321,6 +859,7 @@ pub fn compare_programs(
         equivalent: true,
         counterexample: None,
         sequences_tested,
+        bound_exhausted: true,
     }
 }
 
@@ -386,6 +925,7 @@ mod tests {
         assert!(report.equivalent);
         assert!(report.counterexample.is_none());
         assert!(report.sequences_tested > 0);
+        assert!(report.bound_exhausted);
     }
 
     #[test]
@@ -471,6 +1011,89 @@ mod tests {
     }
 
     #[test]
+    fn id_seeds_are_minted_as_uids() {
+        let config = TestConfig::default();
+        let seeds = config.seeds(DataType::Id);
+        assert!(seeds.iter().all(|s| matches!(s, Value::Uid(_))));
+        assert!(seeds.contains(&Value::Uid(0)), "{seeds:?}");
+    }
+
+    /// The Id-seed regression of the issue: two candidates that differ only
+    /// on an Id-keyed query. With `Int` seeds every lookup against the
+    /// evaluator-minted `Uid` misses, so both candidates answer every test
+    /// query with zero rows and the checker wrongly equates them. `Uid`
+    /// seeds hit the stored identifier and tell them apart.
+    #[test]
+    fn id_keyed_queries_distinguish_candidates() {
+        let schema = Schema::parse("Picture(PicId: id, Pic: binary)").unwrap();
+        let add = Function::update(
+            "addPic",
+            vec![Param::new("pic", DataType::Binary)],
+            Update::Insert {
+                join: JoinChain::table("Picture"),
+                values: vec![(QualifiedAttr::new("Picture", "Pic"), Operand::param("pic"))],
+            },
+        );
+        let honest_query = Function::query(
+            "getPic",
+            vec![Param::new("pid", DataType::Id)],
+            Query::select(
+                vec![QualifiedAttr::new("Picture", "Pic")],
+                Pred::eq_value(
+                    QualifiedAttr::new("Picture", "PicId"),
+                    Operand::param("pid"),
+                ),
+                JoinChain::table("Picture"),
+            ),
+        );
+        let blind_query = Function::query(
+            "getPic",
+            vec![Param::new("pid", DataType::Id)],
+            Query::select(
+                vec![QualifiedAttr::new("Picture", "Pic")],
+                Pred::False,
+                JoinChain::table("Picture"),
+            ),
+        );
+        let honest = Program::new(vec![add.clone(), honest_query]);
+        let blind = Program::new(vec![add, blind_query]);
+
+        // The broken seeding (Ints for Id parameters) cannot tell the two
+        // programs apart: no seeded argument ever equals a stored Uid.
+        let broken = |ty: DataType, config: &TestConfig| -> Vec<Value> {
+            match ty {
+                DataType::Id => config
+                    .id_seeds
+                    .iter()
+                    .map(|&v| Value::Int(v as i64))
+                    .collect(),
+                other => config.seeds(other),
+            }
+        };
+        let config = TestConfig::default();
+        for args in config.arg_combinations(honest.function("getPic").unwrap()) {
+            // Sanity: the fixed seeding produces Uids for the Id parameter...
+            assert!(matches!(args[0], Value::Uid(_)));
+        }
+        assert!(
+            broken(DataType::Id, &config)
+                .iter()
+                .all(|s| matches!(s, Value::Int(_))),
+            "the broken seeding this test guards against used Int seeds"
+        );
+
+        // ...and with them the checker distinguishes the candidates.
+        let report = compare_programs(&honest, &schema, &blind, &schema, &config);
+        assert!(
+            !report.equivalent,
+            "Uid seeds must expose the Id-keyed difference"
+        );
+        let cex = report.counterexample.unwrap();
+        assert_eq!(cex.updates.len(), 1, "one insert suffices");
+        assert_eq!(cex.query.function, "getPic");
+    }
+
+    #[test]
     fn max_sequences_cap_short_circuits() {
         let p = make_program(true);
         let q = make_program(false);
@@ -480,6 +1103,72 @@ mod tests {
         };
         let report = compare_programs(&p, &schema(), &q, &schema(), &config);
         assert!(report.sequences_tested <= 1);
+    }
+
+    #[test]
+    fn hitting_the_cap_is_not_reported_as_an_exhausted_bound() {
+        let p = make_program(true);
+        let config = TestConfig {
+            max_sequences: Some(1),
+            ..TestConfig::default()
+        };
+        let capped = compare_programs(&p, &schema(), &p.clone(), &schema(), &config);
+        assert!(capped.equivalent);
+        assert!(
+            !capped.bound_exhausted,
+            "a capped run must not masquerade as an exhausted bound"
+        );
+        let full = compare_programs(&p, &schema(), &p.clone(), &schema(), &TestConfig::default());
+        assert!(full.equivalent);
+        assert!(full.bound_exhausted);
+        // The naive reference agrees on both.
+        let naive_capped = compare_programs_naive(&p, &schema(), &p.clone(), &schema(), &config);
+        assert_eq!(capped, naive_capped);
+    }
+
+    #[test]
+    fn prefix_shared_engine_matches_naive_reference() {
+        for (lhs, rhs) in [(true, true), (true, false)] {
+            let p = make_program(lhs);
+            let q = make_program(rhs);
+            for config in [
+                TestConfig::default(),
+                TestConfig::quick(),
+                TestConfig {
+                    max_sequences: Some(7),
+                    ..TestConfig::default()
+                },
+                TestConfig {
+                    cluster_by_tables: false,
+                    ..TestConfig::default()
+                },
+            ] {
+                let fast = compare_programs(&p, &schema(), &q, &schema(), &config);
+                let slow = compare_programs_naive(&p, &schema(), &q, &schema(), &config);
+                assert_eq!(fast, slow, "engines diverged under {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_caches_source_outcomes_across_checks() {
+        let p = make_program(true);
+        let q = make_program(false);
+        let source_schema = schema();
+        let mut oracle = SourceOracle::new(&p, &source_schema);
+        let config = TestConfig::default();
+        let first = compare_with_oracle(&mut oracle, &q, &source_schema, &config);
+        assert_eq!(oracle.hits(), 0, "cold cache cannot hit");
+        assert!(oracle.cached_sequences() > 0);
+        let second = compare_with_oracle(&mut oracle, &q, &source_schema, &config);
+        assert_eq!(first, second, "memoization must not change the verdict");
+        assert!(
+            oracle.hits() > 0,
+            "the second identical check must be served from cache"
+        );
+        // The oracle's replay entry point agrees with the cache.
+        let cex = second.counterexample.unwrap();
+        assert_eq!(oracle.observe(&cex), observe(&p, &source_schema, &cex));
     }
 
     #[test]

@@ -41,6 +41,28 @@ pub enum Error {
     /// A statement is structurally invalid (e.g. deleting from a table that
     /// does not participate in the statement's join chain).
     InvalidStatement(String),
+    /// An `IN` subquery produced a relation that is not single-column, so
+    /// membership of a scalar in it is ill-typed.
+    NonSingleColumnSubquery {
+        /// Number of columns the subquery actually produced.
+        columns: usize,
+    },
+    /// An ordering comparison (`<`, `<=`, `>`, `>=`) was applied to values
+    /// of different runtime types, for which no order is defined.
+    MixedTypeOrdering {
+        /// Rendered type of the left operand (`null` for NULL).
+        lhs: String,
+        /// Rendered type of the right operand (`null` for NULL).
+        rhs: String,
+    },
+    /// A function declares the same parameter name twice, which would let
+    /// one binding silently shadow the other.
+    DuplicateParameter {
+        /// Function declaring the duplicate.
+        function: String,
+        /// The repeated parameter name.
+        parameter: String,
+    },
     /// A syntax error encountered by the parser.
     Parse {
         /// Line number (1-based) of the offending token.
@@ -78,6 +100,21 @@ impl fmt::Display for Error {
                 "type mismatch in {context}: expected {expected}, found {actual}"
             ),
             Error::InvalidStatement(msg) => write!(f, "invalid statement: {msg}"),
+            Error::NonSingleColumnSubquery { columns } => write!(
+                f,
+                "IN subquery must produce exactly one column, found {columns}"
+            ),
+            Error::MixedTypeOrdering { lhs, rhs } => write!(
+                f,
+                "ordering comparison between incompatible types {lhs} and {rhs}"
+            ),
+            Error::DuplicateParameter {
+                function,
+                parameter,
+            } => write!(
+                f,
+                "function `{function}` declares parameter `{parameter}` more than once"
+            ),
             Error::Parse {
                 line,
                 column,

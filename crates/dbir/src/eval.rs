@@ -11,8 +11,11 @@
 //! * `del([T1..Tn], J, φ)` — multi-table deletion driven by a join, and
 //! * `upd(J, φ, a, v)` — attribute update driven by a join.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::collections::HashSet;
 
 use crate::ast::{CmpOp, Function, FunctionBody, JoinChain, Operand, Pred, Query, Update};
 use crate::error::{Error, Result};
@@ -40,6 +43,12 @@ pub fn bind_args(function: &Function, args: &[Value]) -> Result<Env> {
     }
     let mut env = Env::new();
     for (param, arg) in function.params.iter().zip(args) {
+        if env.contains_key(&param.name) {
+            return Err(Error::DuplicateParameter {
+                function: function.name.clone(),
+                parameter: param.name.clone(),
+            });
+        }
         if !arg.conforms_to(param.ty) {
             return Err(Error::TypeMismatch {
                 context: format!("argument `{}` of `{}`", param.name, function.name),
@@ -73,6 +82,21 @@ impl<'a> Evaluator<'a> {
             schema,
             next_uid: 0,
         }
+    }
+
+    /// Creates an evaluator whose fresh-identifier counter resumes at
+    /// `next_uid`, as if the identifiers `UID0..UID(next_uid-1)` had already
+    /// been minted. The bounded-testing engine uses this to resume execution
+    /// from a snapshot taken mid-sequence.
+    pub fn with_uid_counter(schema: &'a Schema, next_uid: u64) -> Evaluator<'a> {
+        Evaluator { schema, next_uid }
+    }
+
+    /// The value the next minted unique identifier will carry. Together with
+    /// an [`Instance`] this fully captures the execution state between two
+    /// calls, so callers can snapshot and resume deterministically.
+    pub fn uid_counter(&self) -> u64 {
+        self.next_uid
     }
 
     /// The schema this evaluator resolves table and column layouts against.
@@ -153,6 +177,18 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Filters a relation through `pred`.
+    ///
+    /// The predicate is lowered through the same two-step pipeline the
+    /// compiled engine uses ([`prepare_pred_plan`] then
+    /// [`instantiate_pred_plan`]), so the AST interpreter and [`RowsPlan`]
+    /// execution cannot drift apart: indices are resolved and `IN`
+    /// subqueries are evaluated once per filter call, ahead of the row loop.
+    /// Note the deliberate semantics: because `IN` subqueries are hoisted,
+    /// they are evaluated even when a short-circuiting `And`/`Or` would have
+    /// skipped them for every row, so a failing subquery in a dead branch
+    /// fails the query (on non-empty inputs) instead of being silently
+    /// ignored.
     fn filter_relation(
         &mut self,
         rel: Relation,
@@ -160,15 +196,21 @@ impl<'a> Evaluator<'a> {
         instance: &Instance,
         env: &Env,
     ) -> Result<Relation> {
-        let mut rows = Vec::new();
-        for row in &rel.rows {
-            if self.eval_pred(pred, &rel.columns, row, instance, env)? {
-                rows.push(row.clone());
+        if rel.rows.is_empty() {
+            return Ok(rel);
+        }
+        let plan = prepare_pred_plan(self.schema, pred, &rel.columns, env)?;
+        let compiled = instantiate_pred_plan(&plan, instance)?;
+        let Relation { columns, rows } = rel;
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_compiled(&compiled, &row)? {
+                kept.push(row);
             }
         }
         Ok(Relation {
-            columns: rel.columns,
-            rows,
+            columns,
+            rows: kept,
         })
     }
 
@@ -206,11 +248,26 @@ impl<'a> Evaluator<'a> {
                     .ok_or_else(|| Error::UnknownAttribute(right_attr.to_string()))?;
                 let mut columns = lrel.columns.clone();
                 columns.extend(rrel.columns.iter().cloned());
+                // Hash join: index the build (right) side on the join key,
+                // probe with the left rows. Indices per key preserve right-row
+                // order, so the output row order matches the nested loop this
+                // replaces. NULL keys never match.
+                let mut build: HashMap<&Value, Vec<usize>> = HashMap::new();
+                for (i, rrow) in rrel.rows.iter().enumerate() {
+                    if !rrow[ri].is_null() {
+                        build.entry(&rrow[ri]).or_default().push(i);
+                    }
+                }
                 let mut rows = Vec::new();
                 for lrow in &lrel.rows {
-                    for rrow in &rrel.rows {
-                        if lrow[li] == rrow[ri] && !lrow[li].is_null() {
-                            let mut row = lrow.clone();
+                    if lrow[li].is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = build.get(&lrow[li]) {
+                        for &i in matches {
+                            let rrow = &rrel.rows[i];
+                            let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+                            row.extend(lrow.iter().cloned());
                             row.extend(rrow.iter().cloned());
                             rows.push(row);
                         }
@@ -228,42 +285,6 @@ impl<'a> Evaluator<'a> {
                 .get(name)
                 .cloned()
                 .ok_or_else(|| Error::UnknownParameter(name.clone())),
-        }
-    }
-
-    fn eval_pred(
-        &mut self,
-        pred: &Pred,
-        columns: &[QualifiedAttr],
-        row: &[Value],
-        instance: &Instance,
-        env: &Env,
-    ) -> Result<bool> {
-        let lookup = |attr: &QualifiedAttr| -> Result<Value> {
-            columns
-                .iter()
-                .position(|c| c == attr)
-                .map(|i| row[i].clone())
-                .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))
-        };
-        match pred {
-            Pred::True => Ok(true),
-            Pred::False => Ok(false),
-            Pred::CmpAttr { lhs, op, rhs } => Ok(compare(&lookup(lhs)?, *op, &lookup(rhs)?)),
-            Pred::CmpValue { lhs, op, rhs } => {
-                let rhs = self.eval_operand(rhs, env)?;
-                Ok(compare(&lookup(lhs)?, *op, &rhs))
-            }
-            Pred::In { attr, query } => {
-                let needle = lookup(attr)?;
-                let rel = self.eval_query(query, instance, env)?;
-                Ok(rel.rows.iter().any(|r| r.first() == Some(&needle)))
-            }
-            Pred::And(a, b) => Ok(self.eval_pred(a, columns, row, instance, env)?
-                && self.eval_pred(b, columns, row, instance, env)?),
-            Pred::Or(a, b) => Ok(self.eval_pred(a, columns, row, instance, env)?
-                || self.eval_pred(b, columns, row, instance, env)?),
-            Pred::Not(p) => Ok(!self.eval_pred(p, columns, row, instance, env)?),
         }
     }
 
@@ -439,19 +460,438 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// A query body compiled for repeated execution against changing instances.
+///
+/// The bounded-testing engine evaluates the *same* query calls millions of
+/// times against small, ever-changing snapshots. Interpreting the AST each
+/// time re-resolves tables, join keys and projection columns, and — worse —
+/// rebuilds every intermediate relation header (two `String` clones per
+/// column per call). A `RowsPlan` hoists all of that: structural resolution
+/// happens once, execution touches rows only and returns bare tuples.
+///
+/// Semantics match the AST interpreter *error-occurrence-wise*: a plan
+/// execution fails exactly when interpreting the query against the same
+/// instance would fail. (Bounded testing compares outcomes error-blind, so
+/// occurrence is the contract; the differential test in `tests/` holds the
+/// two engines to it.) In particular the interpreter's gating is preserved:
+/// filter-predicate errors — including `IN`-subquery errors — only fire when
+/// the filtered relation is non-empty.
+#[derive(Debug)]
+pub(crate) enum RowsPlan {
+    /// All rows of one table.
+    Scan {
+        /// The scanned table.
+        table: TableName,
+    },
+    /// Hash equi-join of two sub-plans on pre-resolved key columns.
+    Join {
+        left: Box<RowsPlan>,
+        right: Box<RowsPlan>,
+        li: usize,
+        ri: usize,
+    },
+    /// Selection; `pred` is `Err` when predicate compilation failed
+    /// structurally — the error fires iff the input is non-empty, exactly
+    /// like the interpreter's per-call predicate compilation.
+    Filter {
+        input: Box<RowsPlan>,
+        pred: std::result::Result<FilterPred, Error>,
+    },
+    /// Projection onto pre-resolved column indices.
+    Project {
+        input: Box<RowsPlan>,
+        indices: Vec<usize>,
+    },
+}
+
+/// A filter predicate, split by whether it depends on the instance.
+#[derive(Debug)]
+pub(crate) enum FilterPred {
+    /// No `IN` subquery anywhere: fully instantiated at preparation time,
+    /// executions reuse it as-is.
+    Static(CompiledPred),
+    /// Contains `IN` subqueries, whose membership sets depend on the
+    /// instance: re-instantiated (subqueries re-executed) per execution.
+    Dynamic(PredPlan),
+}
+
+/// A predicate compiled structurally, with `IN` subqueries kept as
+/// executable sub-plans (their row sets depend on the instance).
+#[derive(Debug)]
+pub(crate) enum PredPlan {
+    Const(bool),
+    CmpCols { lhs: usize, op: CmpOp, rhs: usize },
+    CmpConst { lhs: usize, op: CmpOp, rhs: Value },
+    In { attr: usize, sub: Box<RowsPlan> },
+    And(Box<PredPlan>, Box<PredPlan>),
+    Or(Box<PredPlan>, Box<PredPlan>),
+    Not(Box<PredPlan>),
+}
+
+impl PredPlan {
+    fn contains_in(&self) -> bool {
+        match self {
+            PredPlan::Const(_) | PredPlan::CmpCols { .. } | PredPlan::CmpConst { .. } => false,
+            PredPlan::In { .. } => true,
+            PredPlan::And(a, b) | PredPlan::Or(a, b) => a.contains_in() || b.contains_in(),
+            PredPlan::Not(p) => p.contains_in(),
+        }
+    }
+}
+
+/// Compiles `query` (with parameters already bound in `env`) against the
+/// schema, returning the plan and the query's output header.
+///
+/// # Errors
+///
+/// Returns the structural errors the interpreter would raise on *every*
+/// execution: unknown tables, unknown join keys, unknown projection columns.
+/// Filter-predicate errors are captured inside the plan instead (see
+/// [`RowsPlan::Filter`]).
+pub(crate) fn prepare_rows_plan(
+    schema: &Schema,
+    query: &Query,
+    env: &Env,
+) -> Result<(RowsPlan, Vec<QualifiedAttr>)> {
+    match query {
+        Query::Join(chain) => prepare_join_plan(schema, chain),
+        Query::Filter { pred, input } => {
+            let (input_plan, header) = prepare_rows_plan(schema, input, env)?;
+            let pred_plan = prepare_pred_plan(schema, pred, &header, env).map(|plan| {
+                if plan.contains_in() {
+                    FilterPred::Dynamic(plan)
+                } else {
+                    // Instance-independent: instantiate once here. The only
+                    // fallible instantiation step is `IN` execution, absent
+                    // by construction.
+                    FilterPred::Static(
+                        instantiate_pred_plan(&plan, &Instance::default())
+                            .expect("IN-free predicates instantiate infallibly"),
+                    )
+                }
+            });
+            Ok((
+                RowsPlan::Filter {
+                    input: Box::new(input_plan),
+                    pred: pred_plan,
+                },
+                header,
+            ))
+        }
+        Query::Project { attrs, input } => {
+            let (input_plan, header) = prepare_rows_plan(schema, input, env)?;
+            let mut indices = Vec::with_capacity(attrs.len());
+            for attr in attrs {
+                let idx = header
+                    .iter()
+                    .position(|c| c == attr)
+                    .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))?;
+                indices.push(idx);
+            }
+            Ok((
+                RowsPlan::Project {
+                    input: Box::new(input_plan),
+                    indices,
+                },
+                attrs.clone(),
+            ))
+        }
+    }
+}
+
+fn prepare_join_plan(schema: &Schema, chain: &JoinChain) -> Result<(RowsPlan, Vec<QualifiedAttr>)> {
+    match chain {
+        JoinChain::Table(name) => {
+            let table = schema
+                .table(name)
+                .ok_or_else(|| Error::UnknownTable(name.0.clone()))?;
+            Ok((
+                RowsPlan::Scan {
+                    table: name.clone(),
+                },
+                table.qualified_attrs(),
+            ))
+        }
+        JoinChain::Join {
+            left,
+            right,
+            left_attr,
+            right_attr,
+        } => {
+            let (lp, lh) = prepare_join_plan(schema, left)?;
+            let (rp, rh) = prepare_join_plan(schema, right)?;
+            let li = lh
+                .iter()
+                .position(|c| c == left_attr)
+                .ok_or_else(|| Error::UnknownAttribute(left_attr.to_string()))?;
+            let ri = rh
+                .iter()
+                .position(|c| c == right_attr)
+                .ok_or_else(|| Error::UnknownAttribute(right_attr.to_string()))?;
+            let mut header = lh;
+            header.extend(rh);
+            Ok((
+                RowsPlan::Join {
+                    left: Box::new(lp),
+                    right: Box::new(rp),
+                    li,
+                    ri,
+                },
+                header,
+            ))
+        }
+    }
+}
+
+fn prepare_pred_plan(
+    schema: &Schema,
+    pred: &Pred,
+    header: &[QualifiedAttr],
+    env: &Env,
+) -> std::result::Result<PredPlan, Error> {
+    let lookup = |attr: &QualifiedAttr| -> Result<usize> {
+        header
+            .iter()
+            .position(|c| c == attr)
+            .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))
+    };
+    Ok(match pred {
+        Pred::True => PredPlan::Const(true),
+        Pred::False => PredPlan::Const(false),
+        Pred::CmpAttr { lhs, op, rhs } => PredPlan::CmpCols {
+            lhs: lookup(lhs)?,
+            op: *op,
+            rhs: lookup(rhs)?,
+        },
+        Pred::CmpValue { lhs, op, rhs } => PredPlan::CmpConst {
+            lhs: lookup(lhs)?,
+            op: *op,
+            rhs: match rhs {
+                Operand::Value(v) => v.clone(),
+                Operand::Param(name) => env
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| Error::UnknownParameter(name.clone()))?,
+            },
+        },
+        Pred::In { attr, query } => {
+            let idx = lookup(attr)?;
+            let (sub, sub_header) = prepare_rows_plan(schema, query, env)?;
+            if sub_header.len() != 1 {
+                return Err(Error::NonSingleColumnSubquery {
+                    columns: sub_header.len(),
+                });
+            }
+            PredPlan::In {
+                attr: idx,
+                sub: Box::new(sub),
+            }
+        }
+        Pred::And(a, b) => PredPlan::And(
+            Box::new(prepare_pred_plan(schema, a, header, env)?),
+            Box::new(prepare_pred_plan(schema, b, header, env)?),
+        ),
+        Pred::Or(a, b) => PredPlan::Or(
+            Box::new(prepare_pred_plan(schema, a, header, env)?),
+            Box::new(prepare_pred_plan(schema, b, header, env)?),
+        ),
+        Pred::Not(p) => PredPlan::Not(Box::new(prepare_pred_plan(schema, p, header, env)?)),
+    })
+}
+
+/// Executes a compiled plan against an instance, returning bare rows.
+///
+/// Scans borrow the instance's rows directly (`Cow::Borrowed`), so a
+/// selective `Filter(Scan)` — the dominant query shape in bounded testing —
+/// clones only the surviving rows instead of the whole table.
+pub(crate) fn exec_rows_plan<'i>(
+    plan: &RowsPlan,
+    instance: &'i Instance,
+) -> Result<Cow<'i, [Tuple]>> {
+    match plan {
+        RowsPlan::Scan { table } => Ok(Cow::Borrowed(instance.rows(table))),
+        RowsPlan::Join {
+            left,
+            right,
+            li,
+            ri,
+        } => {
+            let lrows = exec_rows_plan(left, instance)?;
+            let rrows = exec_rows_plan(right, instance)?;
+            let mut build: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (i, rrow) in rrows.iter().enumerate() {
+                if !rrow[*ri].is_null() {
+                    build.entry(&rrow[*ri]).or_default().push(i);
+                }
+            }
+            let mut rows = Vec::new();
+            for lrow in lrows.iter() {
+                if lrow[*li].is_null() {
+                    continue;
+                }
+                if let Some(matches) = build.get(&lrow[*li]) {
+                    for &i in matches {
+                        let rrow = &rrows[i];
+                        let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+                        row.extend(lrow.iter().cloned());
+                        row.extend(rrow.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+            Ok(Cow::Owned(rows))
+        }
+        RowsPlan::Filter { input, pred } => {
+            let rows = exec_rows_plan(input, instance)?;
+            if rows.is_empty() {
+                return Ok(rows);
+            }
+            let pred = match pred {
+                Ok(plan) => plan,
+                Err(err) => return Err(err.clone()),
+            };
+            let instantiated;
+            let compiled = match pred {
+                FilterPred::Static(compiled) => compiled,
+                FilterPred::Dynamic(plan) => {
+                    instantiated = instantiate_pred_plan(plan, instance)?;
+                    &instantiated
+                }
+            };
+            let mut kept = Vec::new();
+            match rows {
+                // Owned input: move survivors, no clones.
+                Cow::Owned(rows) => {
+                    for row in rows {
+                        if eval_compiled(compiled, &row)? {
+                            kept.push(row);
+                        }
+                    }
+                }
+                // Borrowed input (a scan): clone only the survivors.
+                Cow::Borrowed(rows) => {
+                    for row in rows {
+                        if eval_compiled(compiled, row)? {
+                            kept.push(row.clone());
+                        }
+                    }
+                }
+            }
+            Ok(Cow::Owned(kept))
+        }
+        RowsPlan::Project { input, indices } => {
+            let rows = exec_rows_plan(input, instance)?;
+            Ok(Cow::Owned(
+                rows.iter()
+                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .collect(),
+            ))
+        }
+    }
+}
+
+/// Materializes a structural predicate plan into a row-evaluable
+/// [`CompiledPred`], executing `IN` subqueries against the instance once.
+fn instantiate_pred_plan(plan: &PredPlan, instance: &Instance) -> Result<CompiledPred> {
+    Ok(match plan {
+        PredPlan::Const(b) => CompiledPred::Const(*b),
+        PredPlan::CmpCols { lhs, op, rhs } => CompiledPred::CmpCols {
+            lhs: *lhs,
+            op: *op,
+            rhs: *rhs,
+        },
+        PredPlan::CmpConst { lhs, op, rhs } => CompiledPred::CmpConst {
+            lhs: *lhs,
+            op: *op,
+            rhs: rhs.clone(),
+        },
+        PredPlan::In { attr, sub } => {
+            let members: HashSet<Value> = exec_rows_plan(sub, instance)?
+                .iter()
+                .map(|row| row.last().cloned().expect("single-column subquery"))
+                .collect();
+            CompiledPred::In {
+                attr: *attr,
+                members,
+            }
+        }
+        PredPlan::And(a, b) => CompiledPred::And(
+            Box::new(instantiate_pred_plan(a, instance)?),
+            Box::new(instantiate_pred_plan(b, instance)?),
+        ),
+        PredPlan::Or(a, b) => CompiledPred::Or(
+            Box::new(instantiate_pred_plan(a, instance)?),
+            Box::new(instantiate_pred_plan(b, instance)?),
+        ),
+        PredPlan::Not(p) => CompiledPred::Not(Box::new(instantiate_pred_plan(p, instance)?)),
+    })
+}
+
+/// A predicate compiled against a fixed relation header: attribute references
+/// are column indices, operands are evaluated values and `IN` subqueries are
+/// materialized membership sets. Evaluating a compiled predicate touches no
+/// environment, instance or header — only the row.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledPred {
+    Const(bool),
+    CmpCols {
+        lhs: usize,
+        op: CmpOp,
+        rhs: usize,
+    },
+    CmpConst {
+        lhs: usize,
+        op: CmpOp,
+        rhs: Value,
+    },
+    In {
+        attr: usize,
+        members: HashSet<Value>,
+    },
+    And(Box<CompiledPred>, Box<CompiledPred>),
+    Or(Box<CompiledPred>, Box<CompiledPred>),
+    Not(Box<CompiledPred>),
+}
+
+fn eval_compiled(pred: &CompiledPred, row: &[Value]) -> Result<bool> {
+    match pred {
+        CompiledPred::Const(b) => Ok(*b),
+        CompiledPred::CmpCols { lhs, op, rhs } => compare(&row[*lhs], *op, &row[*rhs]),
+        CompiledPred::CmpConst { lhs, op, rhs } => compare(&row[*lhs], *op, rhs),
+        CompiledPred::In { attr, members } => Ok(members.contains(&row[*attr])),
+        CompiledPred::And(a, b) => Ok(eval_compiled(a, row)? && eval_compiled(b, row)?),
+        CompiledPred::Or(a, b) => Ok(eval_compiled(a, row)? || eval_compiled(b, row)?),
+        CompiledPred::Not(p) => Ok(!eval_compiled(p, row)?),
+    }
+}
+
 /// Compares two values under the given operator.
 ///
-/// Ordering comparisons use the derived total order on [`Value`], which
-/// coincides with numeric order for integers (the only type the benchmarks
-/// order-compare).
-fn compare(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
+/// Equality and disequality are defined across all value types (distinct
+/// variants simply compare unequal, so e.g. `Int(5) = Str("a")` is false).
+/// Ordering comparisons are only defined between values of the *same*
+/// runtime type — the derived order on [`Value`] would otherwise quietly
+/// rank variants by declaration order (`Int(5) < Str("a")`), which no
+/// database semantics sanctions — and raise
+/// [`Error::MixedTypeOrdering`] otherwise. `NULL` has no type and therefore
+/// orders against nothing, not even itself.
+fn compare(lhs: &Value, op: CmpOp, rhs: &Value) -> Result<bool> {
     match op {
-        CmpOp::Eq => lhs == rhs,
-        CmpOp::Ne => lhs != rhs,
-        CmpOp::Lt => lhs < rhs,
-        CmpOp::Le => lhs <= rhs,
-        CmpOp::Gt => lhs > rhs,
-        CmpOp::Ge => lhs >= rhs,
+        CmpOp::Eq => Ok(lhs == rhs),
+        CmpOp::Ne => Ok(lhs != rhs),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => match (lhs.data_type(), rhs.data_type()) {
+            (Some(a), Some(b)) if a == b => Ok(match op {
+                CmpOp::Lt => lhs < rhs,
+                CmpOp::Le => lhs <= rhs,
+                CmpOp::Gt => lhs > rhs,
+                CmpOp::Ge => lhs >= rhs,
+                CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+            }),
+            (a, b) => Err(Error::MixedTypeOrdering {
+                lhs: a.map(|t| t.to_string()).unwrap_or_else(|| "null".into()),
+                rhs: b.map(|t| t.to_string()).unwrap_or_else(|| "null".into()),
+            }),
+        },
     }
 }
 
@@ -822,6 +1262,142 @@ mod tests {
         let mut eval = Evaluator::new(&schema);
         let rel = eval.eval_join(&car_part_join(), &instance).unwrap();
         assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn in_subquery_with_multiple_columns_is_rejected() {
+        // The old evaluator compared the needle against `row.first()`,
+        // silently truncating a multi-column subquery to its first column.
+        let schema = car_schema();
+        let instance = example_instance(&schema);
+        let mut eval = Evaluator::new(&schema);
+        let wide_sub = Query::select(
+            vec![
+                QualifiedAttr::new("Car", "cid"),
+                QualifiedAttr::new("Car", "model"),
+            ],
+            Pred::True,
+            JoinChain::table("Car"),
+        );
+        let query = Query::select(
+            vec![QualifiedAttr::new("Part", "name")],
+            Pred::In {
+                attr: QualifiedAttr::new("Part", "cid"),
+                query: Box::new(wide_sub),
+            },
+            JoinChain::table("Part"),
+        );
+        let err = eval.eval_query(&query, &instance, &Env::new());
+        assert_eq!(err, Err(Error::NonSingleColumnSubquery { columns: 2 }));
+    }
+
+    #[test]
+    fn mixed_type_ordering_is_an_error() {
+        let schema = car_schema();
+        let mut instance = Instance::empty(&schema);
+        instance.insert(
+            &"Car".into(),
+            vec![Value::Int(1), Value::str("M1"), Value::Int(2016)],
+        );
+        let mut eval = Evaluator::new(&schema);
+        // `model < 5` compares a string column against an integer: under the
+        // derived Value order this was quietly `false` (Str sorts after Int);
+        // it must now be a typed evaluation error.
+        let query = Query::select(
+            vec![QualifiedAttr::new("Car", "cid")],
+            Pred::CmpValue {
+                lhs: QualifiedAttr::new("Car", "model"),
+                op: CmpOp::Lt,
+                rhs: Value::Int(5).into(),
+            },
+            JoinChain::table("Car"),
+        );
+        let err = eval.eval_query(&query, &instance, &Env::new());
+        assert!(
+            matches!(err, Err(Error::MixedTypeOrdering { .. })),
+            "{err:?}"
+        );
+        // Equality across types stays total (and false).
+        let eq_query = Query::select(
+            vec![QualifiedAttr::new("Car", "cid")],
+            Pred::eq_value(QualifiedAttr::new("Car", "model"), Value::Int(5)),
+            JoinChain::table("Car"),
+        );
+        let rel = eval.eval_query(&eq_query, &instance, &Env::new()).unwrap();
+        assert!(rel.is_empty());
+        // Same-type ordering still works.
+        let lt_query = Query::select(
+            vec![QualifiedAttr::new("Car", "cid")],
+            Pred::CmpValue {
+                lhs: QualifiedAttr::new("Car", "year"),
+                op: CmpOp::Lt,
+                rhs: Value::Int(2020).into(),
+            },
+            JoinChain::table("Car"),
+        );
+        let rel = eval.eval_query(&lt_query, &instance, &Env::new()).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_parameter_names_are_rejected() {
+        let f = Function::query(
+            "dup",
+            vec![
+                Param::new("x", DataType::Int),
+                Param::new("x", DataType::Int),
+            ],
+            Query::select(vec![QualifiedAttr::new("Car", "cid")], Pred::True, {
+                JoinChain::table("Car")
+            }),
+        );
+        let err = bind_args(&f, &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            err,
+            Err(Error::DuplicateParameter {
+                function: "dup".into(),
+                parameter: "x".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn hash_join_preserves_nested_loop_row_order() {
+        // Duplicate keys on both sides: the output must enumerate left rows
+        // in order, each matched with right rows in their original order.
+        let schema = car_schema();
+        let mut instance = Instance::empty(&schema);
+        for (cid, model) in [(1, "A1"), (2, "B"), (1, "A2")] {
+            instance.insert(
+                &"Car".into(),
+                vec![Value::Int(cid), Value::str(model), Value::Int(2020)],
+            );
+        }
+        for (name, cid) in [("p1", 1), ("p2", 1)] {
+            instance.insert(
+                &"Part".into(),
+                vec![Value::str(name), Value::Int(0), Value::Int(cid)],
+            );
+        }
+        let mut eval = Evaluator::new(&schema);
+        let rel = eval.eval_join(&car_part_join(), &instance).unwrap();
+        let pairs: Vec<(String, String)> = rel
+            .rows
+            .iter()
+            .map(|r| match (&r[1], &r[3]) {
+                (Value::Str(model), Value::Str(part)) => (model.clone(), part.clone()),
+                other => panic!("unexpected row {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("A1".into(), "p1".into()),
+                ("A1".into(), "p2".into()),
+                ("A2".into(), "p1".into()),
+                ("A2".into(), "p2".into()),
+            ]
+        );
     }
 
     #[test]

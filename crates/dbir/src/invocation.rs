@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use crate::ast::Program;
+use crate::ast::{Function, Program};
 use crate::error::{Error, Result};
 use crate::eval::Evaluator;
 use crate::instance::{Instance, Relation};
@@ -119,28 +119,41 @@ pub fn run(program: &Program, schema: &Schema, sequence: &InvocationSequence) ->
     let mut instance = Instance::empty(schema);
     let mut evaluator = Evaluator::new(schema);
     for call in &sequence.updates {
-        let function = program
-            .function(&call.function)
-            .ok_or_else(|| Error::UnknownFunction(call.function.clone()))?;
-        if function.is_query() {
-            return Err(Error::InvalidStatement(format!(
-                "`{}` is a query function but is used as an update in the sequence",
-                call.function
-            )));
-        }
+        let function = resolve_update(program, &call.function)?;
         evaluator.call(function, &call.args, &mut instance)?;
     }
-    let query = program
-        .function(&sequence.query.function)
-        .ok_or_else(|| Error::UnknownFunction(sequence.query.function.clone()))?;
-    if !query.is_query() {
-        return Err(Error::InvalidStatement(format!(
-            "`{}` is an update function but is used as the final query",
-            sequence.query.function
-        )));
-    }
+    let query = resolve_query(program, &sequence.query.function)?;
     let result = evaluator.call(query, &sequence.query.args, &mut instance)?;
     Ok(result.expect("query functions return a relation"))
+}
+
+/// Resolves a function used in update position, rejecting queries.
+///
+/// Shared between [`run`] and the prefix-shared engine in [`crate::equiv`]
+/// so both report byte-identical errors.
+pub(crate) fn resolve_update<'p>(program: &'p Program, name: &str) -> Result<&'p Function> {
+    let function = program
+        .function(name)
+        .ok_or_else(|| Error::UnknownFunction(name.to_string()))?;
+    if function.is_query() {
+        return Err(Error::InvalidStatement(format!(
+            "`{name}` is a query function but is used as an update in the sequence"
+        )));
+    }
+    Ok(function)
+}
+
+/// Resolves a function used in query position, rejecting updates.
+pub(crate) fn resolve_query<'p>(program: &'p Program, name: &str) -> Result<&'p Function> {
+    let function = program
+        .function(name)
+        .ok_or_else(|| Error::UnknownFunction(name.to_string()))?;
+    if !function.is_query() {
+        return Err(Error::InvalidStatement(format!(
+            "`{name}` is an update function but is used as the final query"
+        )));
+    }
+    Ok(function)
 }
 
 /// Executes `program` on `ω` and converts the result into an [`Outcome`]

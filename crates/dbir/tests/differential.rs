@@ -1,0 +1,201 @@
+//! Differential testing of the two bounded-equivalence engines.
+//!
+//! The prefix-shared DFS engine (`compare_programs`) must be observationally
+//! identical to the retained straight-line reference
+//! (`compare_programs_naive`): same verdict, same counterexample (including
+//! its minimality), same `sequences_tested`, same `bound_exhausted`. This
+//! property test throws randomly-built small programs and configurations at
+//! both engines and compares the full [`EquivalenceReport`]s.
+
+use dbir::ast::{CmpOp, Function, JoinChain, Operand, Param, Pred, Program, Query, Update};
+use dbir::equiv::{compare_programs, compare_programs_naive, SourceOracle, TestConfig};
+use dbir::equiv::{compare_with_oracle, EquivalenceReport};
+use dbir::schema::{QualifiedAttr, Schema};
+use dbir::value::DataType;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::parse(
+        "User(uid: int, name: string)\n\
+         Tag(label: string, owner: int)",
+    )
+    .unwrap()
+}
+
+/// A compact generator-friendly description of one program variant. Each
+/// knob changes observable behaviour, so two descriptions that differ give
+/// the engines real disagreements to find (wrong projections, swapped insert
+/// targets, dropped deletes, error-raising predicates, ...).
+#[derive(Debug, Clone)]
+struct ProgramShape {
+    /// Insert writes `name` into `User.name` (honest) or stores the `uid`
+    /// parameter there instead (type-confused but executable).
+    honest_insert: bool,
+    /// Include a `removeUser` delete function.
+    with_delete: bool,
+    /// Include a second table's update (exercises relevance clustering).
+    with_tag_update: bool,
+    /// Query projection: 0 → name, 1 → uid, 2 → both.
+    projection: u8,
+    /// Query predicate: 0 → uid = param, 1 → uid < param (ordering),
+    /// 2 → name = param-as-int (cross-type equality, always false),
+    /// 3 → uid IN (SELECT owner FROM Tag).
+    predicate: u8,
+}
+
+fn build_program(shape: &ProgramShape) -> Program {
+    let mut functions = vec![Function::update(
+        "addUser",
+        vec![
+            Param::new("uid", DataType::Int),
+            Param::new("name", DataType::String),
+        ],
+        Update::Insert {
+            join: JoinChain::table("User"),
+            values: vec![
+                (QualifiedAttr::new("User", "uid"), Operand::param("uid")),
+                (
+                    QualifiedAttr::new("User", "name"),
+                    Operand::param(if shape.honest_insert { "name" } else { "uid" }),
+                ),
+            ],
+        },
+    )];
+    if shape.with_delete {
+        functions.push(Function::update(
+            "removeUser",
+            vec![Param::new("uid", DataType::Int)],
+            Update::Delete {
+                tables: vec!["User".into()],
+                join: JoinChain::table("User"),
+                pred: Pred::eq_value(QualifiedAttr::new("User", "uid"), Operand::param("uid")),
+            },
+        ));
+    }
+    if shape.with_tag_update {
+        functions.push(Function::update(
+            "addTag",
+            vec![
+                Param::new("label", DataType::String),
+                Param::new("owner", DataType::Int),
+            ],
+            Update::Insert {
+                join: JoinChain::table("Tag"),
+                values: vec![
+                    (QualifiedAttr::new("Tag", "label"), Operand::param("label")),
+                    (QualifiedAttr::new("Tag", "owner"), Operand::param("owner")),
+                ],
+            },
+        ));
+    }
+    let projected = match shape.projection % 3 {
+        0 => vec![QualifiedAttr::new("User", "name")],
+        1 => vec![QualifiedAttr::new("User", "uid")],
+        _ => vec![
+            QualifiedAttr::new("User", "uid"),
+            QualifiedAttr::new("User", "name"),
+        ],
+    };
+    let pred = match shape.predicate % 4 {
+        0 => Pred::eq_value(QualifiedAttr::new("User", "uid"), Operand::param("uid")),
+        1 => Pred::CmpValue {
+            lhs: QualifiedAttr::new("User", "uid"),
+            op: CmpOp::Lt,
+            rhs: Operand::param("uid"),
+        },
+        2 => Pred::eq_value(QualifiedAttr::new("User", "name"), Operand::param("uid")),
+        _ => Pred::In {
+            attr: QualifiedAttr::new("User", "uid"),
+            query: Box::new(Query::select(
+                vec![QualifiedAttr::new("Tag", "owner")],
+                Pred::True,
+                JoinChain::table("Tag"),
+            )),
+        },
+    };
+    functions.push(Function::query(
+        "getUser",
+        vec![Param::new("uid", DataType::Int)],
+        Query::select(projected, pred, JoinChain::table("User")),
+    ));
+    Program::new(functions)
+}
+
+fn shape_strategy() -> impl Strategy<Value = ProgramShape> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 0u8..3, 0u8..4).prop_map(
+        |(honest_insert, with_delete, with_tag_update, projection, predicate)| ProgramShape {
+            honest_insert,
+            with_delete,
+            with_tag_update,
+            projection,
+            predicate,
+        },
+    )
+}
+
+fn config_strategy() -> impl Strategy<Value = TestConfig> {
+    (
+        0usize..3,     // max_updates
+        1usize..5,     // max_arg_combinations
+        any::<bool>(), // cluster_by_tables
+        0usize..3,     // cap selector: 0 → none, else a small cap
+        1usize..60,    // cap magnitude
+    )
+        .prop_map(|(max_updates, combos, cluster, cap_kind, cap)| TestConfig {
+            max_updates,
+            max_arg_combinations: Some(combos),
+            cluster_by_tables: cluster,
+            max_sequences: if cap_kind == 0 { None } else { Some(cap) },
+            ..TestConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The prefix-shared engine and the naive reference produce identical
+    /// reports: same verdict, same minimum failing input, same sequence
+    /// accounting, same bound-exhaustion flag.
+    #[test]
+    fn engines_agree_on_random_programs(
+        source_shape in shape_strategy(),
+        target_shape in shape_strategy(),
+        config in config_strategy(),
+    ) {
+        let schema = schema();
+        let source = build_program(&source_shape);
+        let target = build_program(&target_shape);
+        let fast = compare_programs(&source, &schema, &target, &schema, &config);
+        let slow = compare_programs_naive(&source, &schema, &target, &schema, &config);
+        prop_assert_eq!(
+            &fast, &slow,
+            "engines diverged\nsource: {:?}\ntarget: {:?}\nconfig: {:?}",
+            source_shape, target_shape, config
+        );
+        if let Some(cex) = &fast.counterexample {
+            prop_assert!(cex.updates.len() <= config.max_updates);
+        }
+    }
+
+    /// A warm oracle must not change any report: memoized source outcomes
+    /// are observationally identical to re-interpreting the source.
+    #[test]
+    fn warm_oracle_reports_match_cold_runs(
+        source_shape in shape_strategy(),
+        target_shape in shape_strategy(),
+        config in config_strategy(),
+    ) {
+        let schema = schema();
+        let source = build_program(&source_shape);
+        let target = build_program(&target_shape);
+        let mut oracle = SourceOracle::new(&source, &schema);
+        let cold: EquivalenceReport = compare_with_oracle(&mut oracle, &target, &schema, &config);
+        let warm = compare_with_oracle(&mut oracle, &target, &schema, &config);
+        prop_assert_eq!(&cold, &warm);
+        // And against a sibling candidate, the shared cache stays sound.
+        let sibling = build_program(&ProgramShape { projection: target_shape.projection.wrapping_add(1), ..target_shape.clone() });
+        let with_shared_cache = compare_with_oracle(&mut oracle, &sibling, &schema, &config);
+        let from_scratch = compare_programs(&source, &schema, &sibling, &schema, &config);
+        prop_assert_eq!(&with_shared_cache, &from_scratch);
+    }
+}

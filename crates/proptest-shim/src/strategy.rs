@@ -135,6 +135,7 @@ impl_range_strategy! {
     usize => usize_in as usize,
     u64 => i64_in as i64,
     u32 => i64_in as i64,
+    u8 => i64_in as i64,
     i64 => i64_in as i64,
     i32 => i64_in as i64,
 }
@@ -227,6 +228,8 @@ impl_tuple_strategy! {
     (A: 0, B: 1),
     (A: 0, B: 1, C: 2),
     (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
 }
 
 /// A fixed-length heterogeneous-source vector of strategies generates a

@@ -3,7 +3,7 @@
 //! stands in for the Sketch tool).
 
 use benchmarks::benchmark_by_name;
-use dbir::equiv::{compare_programs, TestConfig};
+use dbir::equiv::{compare_programs, SourceOracle, TestConfig};
 use migrator::baselines::{solve_cegis, solve_enumerative, CegisConfig};
 use migrator::completion::{complete_sketch, BlockingStrategy};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
@@ -30,10 +30,10 @@ fn all_solvers_agree_on_ambler_4() {
     )
     .unwrap();
 
+    let mut oracle = SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
     let mfi = complete_sketch(
         &sketch,
-        &benchmark.source_program,
-        &benchmark.source_schema,
+        &mut oracle,
         &benchmark.target_schema,
         &TestConfig::default(),
         &TestConfig::default(),

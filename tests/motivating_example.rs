@@ -2,7 +2,7 @@
 //! of the individual pipeline stages: value correspondence, sketch shape,
 //! search-space size and MFI-guided completion.
 
-use dbir::equiv::TestConfig;
+use dbir::equiv::{SourceOracle, TestConfig};
 use dbir::parser::parse_program;
 use dbir::schema::QualifiedAttr;
 use dbir::{Program, Schema};
@@ -114,10 +114,10 @@ fn mfi_guided_completion_finds_the_figure_4_program() {
     let phi = enumerator.next_correspondence().unwrap();
     let sketch =
         generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+    let mut oracle = SourceOracle::new(&program, &source_schema);
     let outcome = complete_sketch(
         &sketch,
-        &program,
-        &source_schema,
+        &mut oracle,
         &target_schema,
         &TestConfig::default(),
         &TestConfig::thorough(),
