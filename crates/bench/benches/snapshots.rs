@@ -1,0 +1,114 @@
+//! Microbenchmarks for the bounded-testing hot path's two dominant
+//! primitives: instance snapshot/restore and compiled-plan scans.
+//!
+//! End-to-end synthesis time moves for many reasons; these benches isolate
+//! the costs that value interning and plan compilation were built to shrink,
+//! so a regression in snapshot or scan cost is visible even when wall-time
+//! noise or search-trajectory changes mask it in `experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbir::ast::{JoinChain, Operand, Pred, Query};
+use dbir::eval::{CompiledQuery, Env, Evaluator};
+use dbir::schema::{QualifiedAttr, Schema};
+use dbir::{Instance, Value};
+
+fn schema() -> Schema {
+    Schema::parse(
+        "Product(pk pid: int, pname: string, price: int, descr: string, image: binary, weight: int)",
+    )
+    .unwrap()
+}
+
+/// A populated instance shaped like a bounded-testing snapshot at depth 2-3:
+/// a handful of rows, string- and blob-heavy.
+fn populated(rows: usize) -> (Schema, Instance) {
+    let schema = schema();
+    let mut instance = Instance::empty(&schema);
+    for i in 0..rows {
+        instance.insert(
+            &"Product".into(),
+            vec![
+                Value::Int(i as i64),
+                Value::str(format!("product-name-{}", i % 8)),
+                Value::Int(100 + i as i64),
+                Value::str(format!("a moderately long description string {}", i % 8)),
+                Value::bytes([0xab, i as u8, 0xcd]),
+                Value::Int(i as i64 % 50),
+            ],
+        );
+    }
+    (schema, instance)
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_snapshot");
+    group.sample_size(20);
+    for rows in [4usize, 64, 512] {
+        let (_, instance) = populated(rows);
+        // The DFS pattern: clone the parent snapshot, mutate the child,
+        // drop it when the subtree is done.
+        group.bench_function(format!("clone_mutate_drop/{rows}_rows"), |b| {
+            b.iter(|| {
+                let mut child = instance.clone();
+                child.insert(
+                    &"Product".into(),
+                    vec![
+                        Value::Int(-1),
+                        Value::str("fresh"),
+                        Value::Int(0),
+                        Value::str("fresh-descr"),
+                        Value::bytes([0u8]),
+                        Value::Int(0),
+                    ],
+                );
+                child
+            })
+        });
+        group.bench_function(format!("approx_heap_bytes/{rows}_rows"), |b| {
+            b.iter(|| instance.approx_heap_bytes())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_scan");
+    group.sample_size(20);
+    let (schema, instance) = populated(64);
+    let query = Query::select(
+        vec![
+            QualifiedAttr::new("Product", "pname"),
+            QualifiedAttr::new("Product", "price"),
+        ],
+        Pred::eq_value(
+            QualifiedAttr::new("Product", "pid"),
+            Operand::Value(Value::Int(7)),
+        ),
+        JoinChain::table("Product"),
+    );
+    let env = Env::new();
+    let compiled = CompiledQuery::compile(&schema, &query, &env).expect("query compiles");
+    group.bench_function("compiled_filter_scan", |b| {
+        b.iter(|| {
+            let rows = compiled.execute(&instance).expect("scan succeeds");
+            assert_eq!(rows.len(), 1);
+            rows
+        })
+    });
+    // The AST interpreter as a reference point: re-resolves and re-compiles
+    // the predicate per call.
+    group.bench_function("interpreted_filter_scan", |b| {
+        b.iter(|| {
+            let mut evaluator = Evaluator::new(&schema);
+            let rel = evaluator
+                .eval_query(&query, &instance, &env)
+                .expect("query evaluates");
+            assert_eq!(rel.rows.len(), 1);
+            rel
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshots, bench_scans);
+criterion_main!(benches);

@@ -34,15 +34,16 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mfi_guided", |b| {
         b.iter(|| {
-            let mut oracle = SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
+            let oracle = SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
             let outcome = complete_sketch(
                 &sketch,
-                &mut oracle,
+                &oracle,
                 &benchmark.target_schema,
                 &TestConfig::default(),
                 &TestConfig::default(),
                 BlockingStrategy::MinimumFailingInput,
                 0,
+                None,
             );
             assert!(outcome.program.is_some());
             outcome

@@ -35,16 +35,17 @@ fn bench_table3(c: &mut Criterion) {
         ] {
             group.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
-                    let mut oracle =
+                    let oracle =
                         SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
                     complete_sketch(
                         &sketch,
-                        &mut oracle,
+                        &oracle,
                         &benchmark.target_schema,
                         &TestConfig::default(),
                         &TestConfig::default(),
                         strategy,
                         0,
+                        None,
                     )
                 })
             });

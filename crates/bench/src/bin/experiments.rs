@@ -1,12 +1,17 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! experiments table1 [--textbook-only] [--only <name>]... [--out <path>]
-//! experiments table2 [--textbook-only] [--budget-secs <n>]
-//! experiments table3 [--textbook-only] [--cap <iterations>]
-//! experiments all    [--textbook-only] [--out <path>]
-//! experiments check  [--textbook-only] [--only <name>]... [--against <path>]
+//! experiments table1 [--textbook-only] [--only <name>]... [--out <path>] [--threads <n>]
+//! experiments table2 [--textbook-only] [--budget-secs <n>] [--threads <n>]
+//! experiments table3 [--textbook-only] [--cap <iterations>] [--threads <n>]
+//! experiments all    [--textbook-only] [--out <path>] [--threads <n>]
+//! experiments check  [--textbook-only] [--only <name>]... [--against <path>] [--threads <n>]
 //! ```
+//!
+//! `--threads N` caps the synthesizer's global thread budget (default: the
+//! machine's available parallelism). The search is deterministic by
+//! construction at any thread count — `check` runs under `--threads 1` and
+//! `--threads 4` in CI must (and do) produce identical statistics.
 //!
 //! Each table command prints a Markdown table with the measured numbers next
 //! to the numbers the paper reports, so EXPERIMENTS.md can be updated by
@@ -17,10 +22,12 @@
 //!
 //! `check` is the deterministic-stats mode CI runs on a fast benchmark
 //! subset: it re-runs the selected benchmarks and asserts that the
-//! *deterministic* columns — `iterations`, `value_correspondences` and the
-//! success flag — match the committed trajectory file (wall time is
-//! machine-dependent and excluded). `--only` is repeatable. Exits non-zero
-//! on any mismatch, so a search-behaviour regression fails the build.
+//! *deterministic* columns — `iterations`, `value_correspondences`,
+//! `sequences_tested` and the success flag — match the committed trajectory
+//! file (wall time, thread count and cache-hit/allocation counters are
+//! machine- or scheduling-dependent and excluded). `--only` is repeatable.
+//! Exits non-zero on any mismatch, so a search-behaviour regression fails
+//! the build.
 
 use std::time::{Duration, Instant};
 
@@ -41,6 +48,7 @@ struct Options {
     out: String,
     out_explicit: bool,
     against: String,
+    threads: usize,
 }
 
 fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -70,6 +78,7 @@ fn parse_args() -> Options {
         out: "BENCH_results.json".to_string(),
         out_explicit: false,
         against: "BENCH_results.json".to_string(),
+        threads: 0,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -81,6 +90,7 @@ fn parse_args() -> Options {
             }
             "--against" => options.against = require_value(&mut args, "--against"),
             "--budget-secs" => options.budget_secs = require_number(&mut args, "--budget-secs"),
+            "--threads" => options.threads = require_number(&mut args, "--threads"),
             "--cap" => options.cap = require_number(&mut args, "--cap"),
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
@@ -154,6 +164,7 @@ fn table1(options: &Options) {
     let document = sqlbridge::Json::object()
         .with("solver", sqlbridge::Json::str("MfiGuided"))
         .with("filter", sqlbridge::Json::str(filter))
+        .with("threads", parpool::thread_limit().into())
         .with("benchmark_count", count.into())
         .with("benchmarks", sqlbridge::Json::Array(results));
     match std::fs::write(&options.out, document.to_pretty_string()) {
@@ -361,6 +372,11 @@ fn check(options: &Options) {
             "value_correspondences",
         );
         field("iterations", row.iters as i128, "iterations");
+        field(
+            "sequences_tested",
+            row.sequences_tested as i128,
+            "sequences_tested",
+        );
         let committed_success = expected.get("succeeded").and_then(|v| v.as_bool());
         if committed_success != Some(row.succeeded) {
             diffs.push(format!(
@@ -397,6 +413,8 @@ fn check(options: &Options) {
 
 fn main() {
     let options = parse_args();
+    // 0 means "use the machine's available parallelism" (parpool's default).
+    parpool::set_thread_limit(options.threads);
     match options.command.as_str() {
         "table1" => table1(&options),
         "table2" => table2(&options),

@@ -74,12 +74,21 @@ pub struct Table1Row {
     pub bound_exhausted: bool,
     /// Source-side sequences served from the memoized source oracle.
     pub oracle_hits: usize,
+    /// Largest single instance snapshot (approximate heap bytes) taken by
+    /// the bounded-testing engine during this run — an allocation proxy
+    /// that makes snapshot-cost regressions visible independent of wall
+    /// time.
+    pub peak_snapshot_bytes: usize,
+    /// Total payload bytes held by the process-wide value interner after
+    /// this run (cumulative across runs in one process).
+    pub interned_bytes: usize,
 }
 
 /// Runs the full synthesis pipeline on a benchmark and returns the measured
 /// Table 1 row.
 pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row {
     let synthesizer = Synthesizer::new(config_for(benchmark, solver));
+    dbir::equiv::reset_snapshot_peak();
     let result = synthesizer.synthesize(
         &benchmark.source_program,
         &benchmark.source_schema,
@@ -99,6 +108,8 @@ pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row 
         truncated_checks: result.stats.truncated_checks,
         bound_exhausted: result.stats.truncated_checks == 0,
         oracle_hits: result.stats.oracle_hits,
+        peak_snapshot_bytes: dbir::equiv::snapshot_peak_bytes(),
+        interned_bytes: dbir::intern::stats().total_bytes(),
     }
 }
 
@@ -125,6 +136,8 @@ pub fn row_to_json(benchmark: &Benchmark, row: &Table1Row) -> sqlbridge::Json {
         .with("truncated_checks", row.truncated_checks.into())
         .with("bound_exhausted", Json::Bool(row.bound_exhausted))
         .with("oracle_hits", row.oracle_hits.into())
+        .with("peak_snapshot_bytes", row.peak_snapshot_bytes.into())
+        .with("interned_bytes", row.interned_bytes.into())
         .with("synth_time_secs", row.synth_time.into())
         .with("total_time_secs", row.total_time.into())
         .with(

@@ -98,6 +98,63 @@ fn bad_ddl_yields_a_spanned_diagnostic_and_nonzero_exit() {
     assert!(stderr.contains("-->"), "{stderr}");
 }
 
+/// Interned-value display audit: programs carrying string and binary
+/// *literals* must come back out of the CLI as human-readable text —
+/// resolved payloads in the migrated program and SQL literals in the
+/// emitted statements — never as raw interner symbols like `Sym(17)`.
+#[test]
+fn interned_literals_print_resolved_not_as_symbols() {
+    let dir = std::env::temp_dir().join("migrate-cli-literals");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let source_ddl = dir.join("source.sql");
+    let target_ddl = dir.join("target.sql");
+    let program = dir.join("program.dbp");
+    std::fs::write(
+        &source_ddl,
+        "CREATE TABLE Track (track_id INTEGER PRIMARY KEY, title VARCHAR(255), genre VARCHAR(255));\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &target_ddl,
+        "CREATE TABLE Track (track_id INTEGER PRIMARY KEY, title VARCHAR(255), style VARCHAR(255));\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &program,
+        r#"update addTrack(id: int, title: string)
+    INSERT INTO Track VALUES (track_id: id, title: title, genre: "rock & roll");
+
+query getTrack(id: int)
+    SELECT title, genre FROM Track WHERE track_id = id;
+"#,
+    )
+    .unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("--source-ddl")
+        .arg(&source_ddl)
+        .arg("--target-ddl")
+        .arg(&target_ddl)
+        .arg("--program")
+        .arg(&program)
+        .output()
+        .expect("migrate binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+
+    // The migrated program prints the literal in concrete syntax...
+    assert!(stdout.contains("\"rock & roll\""), "{stdout}");
+    // ...the emitted SQL renders it as a SQL string literal...
+    assert!(stdout.contains("'rock & roll'"), "{stdout}");
+    // ...and no interner symbol ever leaks into user-facing output.
+    assert!(!stdout.contains("Sym("), "{stdout}");
+    assert!(!stdout.contains("Blob("), "{stdout}");
+}
+
 #[test]
 fn missing_arguments_print_usage() {
     let output = Command::new(env!("CARGO_BIN_EXE_migrate"))

@@ -34,15 +34,16 @@ pub fn solve_enumerative(
     verification: &TestConfig,
     max_iterations: usize,
 ) -> CompletionOutcome {
-    let mut oracle = SourceOracle::new(source, source_schema);
+    let oracle = SourceOracle::new(source, source_schema);
     complete_sketch(
         sketch,
-        &mut oracle,
+        &oracle,
         target_schema,
         testing,
         verification,
         BlockingStrategy::FullModel,
         max_iterations,
+        None,
     )
 }
 
@@ -103,7 +104,7 @@ pub fn solve_cegis(
     let start = Instant::now();
     let mut counterexamples: Vec<(InvocationSequence, Outcome)> = Vec::new();
     let mut candidates = 0usize;
-    let mut oracle = SourceOracle::new(source, source_schema);
+    let oracle = SourceOracle::new(source, source_schema);
 
     let domain_sizes: Vec<usize> = sketch.holes.iter().map(|h| h.domain.size()).collect();
     if domain_sizes.contains(&0) {
@@ -160,7 +161,7 @@ pub fn solve_cegis(
             });
             if !screened_out && candidate.validate(target_schema).is_ok() {
                 match check_candidate_with_oracle(
-                    &mut oracle,
+                    &oracle,
                     &candidate,
                     target_schema,
                     &config.testing,

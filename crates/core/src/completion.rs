@@ -90,6 +90,11 @@ pub struct CompletionOutcome {
     pub program: Option<Program>,
     /// Statistics about the search.
     pub stats: SketchRunStats,
+    /// `true` if the search was abandoned because the caller's cancellation
+    /// signal fired (a speculative completion whose result can no longer be
+    /// selected). A cancelled outcome carries partial statistics and must
+    /// not be absorbed into a deterministic trajectory.
+    pub cancelled: bool,
 }
 
 /// Completes `sketch` against the source program: finds an instantiation
@@ -104,15 +109,21 @@ pub struct CompletionOutcome {
 /// `testing` is used to search for minimum failing inputs; `verification`
 /// is the deeper final check a candidate must pass before being returned.
 /// `max_iterations` bounds the number of candidates examined (0 = unlimited).
+///
+/// `cancel` is polled between candidates: when it returns `true` the search
+/// stops and the outcome is flagged [`CompletionOutcome::cancelled`]. The
+/// parallel synthesizer uses this to reclaim workers whose speculative
+/// correspondence lost to a lower-index success.
 #[allow(clippy::too_many_arguments)]
 pub fn complete_sketch(
     sketch: &Sketch,
-    oracle: &mut SourceOracle<'_>,
+    oracle: &SourceOracle<'_>,
     target_schema: &Schema,
     testing: &TestConfig,
     verification: &TestConfig,
     strategy: BlockingStrategy,
     max_iterations: usize,
+    cancel: Option<&(dyn Fn() -> bool + Sync)>,
 ) -> CompletionOutcome {
     let mut stats = SketchRunStats {
         search_space: sketch.completion_count(),
@@ -123,10 +134,18 @@ pub fn complete_sketch(
     let all_holes: Vec<HoleId> = sketch.holes.iter().map(|h| h.id).collect();
 
     loop {
+        if cancel.is_some_and(|cancelled| cancelled()) {
+            return CompletionOutcome {
+                program: None,
+                stats,
+                cancelled: true,
+            };
+        }
         if max_iterations > 0 && stats.iterations >= max_iterations {
             return CompletionOutcome {
                 program: None,
                 stats,
+                cancelled: false,
             };
         }
         let model = match solver.solve() {
@@ -135,6 +154,7 @@ pub fn complete_sketch(
                 return CompletionOutcome {
                     program: None,
                     stats,
+                    cancelled: false,
                 }
             }
         };
@@ -183,6 +203,7 @@ pub fn complete_sketch(
                         return CompletionOutcome {
                             program: Some(candidate),
                             stats,
+                            cancelled: false,
                         };
                     }
                     CheckOutcome::NotEquivalent {
@@ -304,15 +325,16 @@ mod tests {
         let phi = vc.next_correspondence().unwrap();
         let sketch =
             generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
-        let mut oracle = SourceOracle::new(&program, &source_schema);
+        let oracle = SourceOracle::new(&program, &source_schema);
         let outcome = complete_sketch(
             &sketch,
-            &mut oracle,
+            &oracle,
             &target_schema,
             &TestConfig::default(),
             &TestConfig::default(),
             BlockingStrategy::MinimumFailingInput,
             0,
+            None,
         );
         let synthesized = outcome.program.expect("an equivalent completion exists");
         assert!(synthesized.validate(&target_schema).is_ok());
@@ -347,15 +369,16 @@ mod tests {
             let sketch =
                 generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default())
                     .unwrap();
-            let mut oracle = SourceOracle::new(&program, &source_schema);
+            let oracle = SourceOracle::new(&program, &source_schema);
             let outcome = complete_sketch(
                 &sketch,
-                &mut oracle,
+                &oracle,
                 &target_schema,
                 &TestConfig::default(),
                 &TestConfig::default(),
                 strategy,
                 0,
+                None,
             );
             assert!(outcome.program.is_some());
             results.push(outcome.stats.iterations);
@@ -402,15 +425,16 @@ mod tests {
         // instead demand an impossible iteration budget of candidates by
         // giving an empty-domain... simpler: max_iterations = 0 is unlimited,
         // so use a correspondence that breaks the query instead.
-        let mut oracle = SourceOracle::new(&source, &source_schema);
+        let oracle = SourceOracle::new(&source, &source_schema);
         let outcome = complete_sketch(
             &sketch,
-            &mut oracle,
+            &oracle,
             &target_schema,
             &TestConfig::default(),
             &TestConfig::default(),
             BlockingStrategy::MinimumFailingInput,
             0,
+            None,
         );
         // With this correspondence the completion is actually equivalent
         // (both insert and query agree on column c), so it must succeed —
@@ -446,15 +470,16 @@ mod tests {
                     crate::sketch::AttrSlot::Fixed(dbir::schema::QualifiedAttr::new("T", "d"));
             }
         }
-        let mut oracle = SourceOracle::new(&source, &source_schema);
+        let oracle = SourceOracle::new(&source, &source_schema);
         let outcome = complete_sketch(
             &sketch,
-            &mut oracle,
+            &oracle,
             &target_schema,
             &TestConfig::default(),
             &TestConfig::default(),
             BlockingStrategy::MinimumFailingInput,
             0,
+            None,
         );
         assert!(outcome.program.is_none());
         assert!(outcome.stats.iterations >= 1);

@@ -60,6 +60,19 @@ impl Synthesizer {
 
     /// Synthesizes a program over `target_schema` equivalent to `source`
     /// (over `source_schema`), following the paper's three-stage pipeline.
+    ///
+    /// Value correspondences are explored **speculatively in parallel**:
+    /// they are pulled from the enumerator in batches (ramping up from one —
+    /// so a run whose very first correspondence succeeds, the common case,
+    /// leaves the whole thread budget to that completion's bounded checks —
+    /// towards twice the thread budget once early correspondences keep
+    /// failing), each batch's sketches are generated and completed on worker
+    /// threads, and the results are merged **in enumeration order** with the
+    /// lowest-index success winning. Correspondences after the winner are
+    /// cancelled and their partial statistics discarded, so
+    /// `value_correspondences`, `iterations` and `sequences_tested` are
+    /// byte-identical to the sequential one-at-a-time trajectory at any
+    /// thread count.
     pub fn synthesize(
         &self,
         source: &Program,
@@ -78,71 +91,132 @@ impl Synthesizer {
 
         // One memoized source oracle for the whole run: the source program's
         // outcome per invocation sequence is identical across every candidate
-        // of every sketch, so it is interpreted at most once per sequence.
-        let mut oracle = SourceOracle::new(source, source_schema);
+        // of every sketch — and every worker thread — so it is interpreted at
+        // most once per sequence across the entire run.
+        let oracle = SourceOracle::new(source, source_schema);
 
-        loop {
-            if self.config.max_value_correspondences > 0
-                && stats.value_correspondences >= self.config.max_value_correspondences
-            {
-                break;
-            }
-            let Some(phi) = enumerator.next_correspondence() else {
-                break;
-            };
-            stats.value_correspondences += 1;
-
-            let Some(sketch) = generate_sketch(source, &phi, target_schema, &self.config.sketch)
-            else {
-                continue;
-            };
-            stats.sketches_generated += 1;
-
-            let outcome = complete_sketch(
+        // Generates the sketch for one correspondence and completes it.
+        // Self-contained per correspondence (own SAT solver, own blocking
+        // clauses), so running it on a worker thread yields the same outcome
+        // and statistics as running it inline.
+        let attempt = |phi: &ValueCorrespondence,
+                       cancel: Option<&(dyn Fn() -> bool + Sync)>|
+         -> Option<crate::completion::CompletionOutcome> {
+            let sketch = generate_sketch(source, phi, target_schema, &self.config.sketch)?;
+            Some(complete_sketch(
                 &sketch,
-                &mut oracle,
+                &oracle,
                 target_schema,
                 &self.config.testing,
                 &self.config.verification,
                 strategy,
                 self.config.max_iterations_per_sketch,
-            );
-            stats.absorb_sketch_run(&outcome.stats);
+                cancel,
+            ))
+        };
 
-            if let Some(program) = outcome.program {
-                stats.synthesis_time = synthesis_start.elapsed();
-                // Final verification pass, timed separately (the stand-in
-                // for the Mediator equivalence proof; see DESIGN.md).
-                let verification_start = Instant::now();
-                let verified = check_candidate_with_oracle(
-                    &mut oracle,
-                    &program,
-                    target_schema,
-                    &self.config.verification,
-                );
-                stats.verification_time = verification_start.elapsed();
-                match verified {
-                    CheckOutcome::Equivalent {
-                        sequences_tested,
-                        bound_exhausted,
-                    } => {
-                        stats.sequences_tested += sequences_tested;
-                        stats.truncated_checks += usize::from(!bound_exhausted);
-                        stats.oracle_hits = oracle.hits();
-                        return SynthesisResult {
-                            program: Some(program),
-                            correspondence: Some(phi),
-                            stats,
-                        };
+        let speculation_cap = parpool::thread_limit().max(1).saturating_mul(2);
+        let mut batch_size = 1usize;
+        loop {
+            let remaining = if self.config.max_value_correspondences > 0 {
+                self.config
+                    .max_value_correspondences
+                    .saturating_sub(stats.value_correspondences)
+            } else {
+                usize::MAX
+            };
+            if remaining == 0 {
+                break;
+            }
+            let mut phis = Vec::new();
+            while phis.len() < batch_size.min(remaining) {
+                match enumerator.next_correspondence() {
+                    Some(phi) => phis.push(phi),
+                    None => break,
+                }
+            }
+            if phis.is_empty() {
+                break;
+            }
+
+            let results = parpool::par_map_stop(
+                &phis,
+                |index, phi, ctx| {
+                    let cancel = || ctx.cancelled(index);
+                    attempt(phi, Some(&cancel))
+                },
+                |outcome| outcome.as_ref().is_some_and(|o| o.program.is_some()),
+            );
+
+            // Index-ordered merge: absorb each correspondence exactly as the
+            // sequential loop would have, stopping at the first success.
+            let mut results = results.into_iter();
+            let mut defensive_replay = false;
+            for phi in &phis {
+                let outcome = if defensive_replay {
+                    // A verified-then-rejected winner (see below) invalidated
+                    // the speculative results; recompute this correspondence
+                    // inline. Deterministic, so the trajectory is preserved.
+                    attempt(phi, None)
+                } else {
+                    match results.next() {
+                        Some(Some(outcome)) => outcome,
+                        Some(None) | None => break, // skipped: after the winner
                     }
-                    CheckOutcome::NotEquivalent { .. } => {
-                        // The completion already checked this configuration,
-                        // so this cannot happen; treat it as a failed
-                        // correspondence and continue defensively.
-                        continue;
+                };
+                debug_assert!(
+                    !outcome.as_ref().is_some_and(|o| o.cancelled),
+                    "merge reached a cancelled speculative completion"
+                );
+                stats.value_correspondences += 1;
+                let Some(outcome) = outcome else {
+                    continue; // no sketch for this correspondence
+                };
+                stats.sketches_generated += 1;
+                stats.absorb_sketch_run(&outcome.stats);
+
+                if let Some(program) = outcome.program {
+                    stats.synthesis_time = synthesis_start.elapsed();
+                    // Final verification pass, timed separately (the stand-in
+                    // for the Mediator equivalence proof; see DESIGN.md).
+                    let verification_start = Instant::now();
+                    let verified = check_candidate_with_oracle(
+                        &oracle,
+                        &program,
+                        target_schema,
+                        &self.config.verification,
+                    );
+                    stats.verification_time = verification_start.elapsed();
+                    match verified {
+                        CheckOutcome::Equivalent {
+                            sequences_tested,
+                            bound_exhausted,
+                        } => {
+                            stats.sequences_tested += sequences_tested;
+                            stats.truncated_checks += usize::from(!bound_exhausted);
+                            stats.oracle_hits = oracle.hits();
+                            return SynthesisResult {
+                                program: Some(program),
+                                correspondence: Some(phi.clone()),
+                                stats,
+                            };
+                        }
+                        CheckOutcome::NotEquivalent { .. } => {
+                            // The completion already checked this exact
+                            // configuration, so this cannot happen; continue
+                            // defensively, replaying the rest of the batch
+                            // inline because the speculative results beyond
+                            // this index were cancelled when it "won".
+                            defensive_replay = true;
+                            continue;
+                        }
                     }
                 }
             }
+
+            // Keep speculation proportional to observed failure: every fully
+            // failed batch doubles the next one, up to the cap.
+            batch_size = batch_size.saturating_mul(2).min(speculation_cap);
         }
 
         stats.synthesis_time = synthesis_start.elapsed();
@@ -251,6 +325,50 @@ mod tests {
             .contains(&"Picture".into()));
         // Stats should reflect a non-trivial search.
         assert!(result.stats.largest_search_space >= 164_025);
+    }
+
+    /// The speculative correspondence fan-out must leave the deterministic
+    /// statistics byte-identical at any thread budget. This scenario fails
+    /// synthesis, so every correspondence in the budget is explored — the
+    /// worst case for speculation to get ordering wrong.
+    #[test]
+    fn thread_budget_does_not_change_the_trajectory() {
+        let source_schema = Schema::parse("T(a: int, b: string)").unwrap();
+        let target_schema = Schema::parse("T(a: int)").unwrap();
+        let source = parse_program(
+            r#"
+            update add(a: int, b: string)
+                INSERT INTO T VALUES (a: a, b: b);
+            query get(a: int)
+                SELECT b FROM T WHERE a = a;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        let synthesizer = Synthesizer::new(SynthesisConfig::standard());
+        let run = |threads: usize| {
+            parpool::set_thread_limit(threads);
+            let result = synthesizer.synthesize(&source, &source_schema, &target_schema);
+            parpool::set_thread_limit(0);
+            result
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert!(!single.succeeded());
+        assert_eq!(
+            single.stats.value_correspondences,
+            multi.stats.value_correspondences
+        );
+        assert_eq!(single.stats.iterations, multi.stats.iterations);
+        assert_eq!(single.stats.sequences_tested, multi.stats.sequences_tested);
+        assert_eq!(
+            single.stats.sketches_generated,
+            multi.stats.sketches_generated
+        );
+        assert_eq!(
+            single.stats.invalid_instantiations,
+            multi.stats.invalid_instantiations
+        );
     }
 
     #[test]

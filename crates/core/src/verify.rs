@@ -79,14 +79,15 @@ pub fn check_candidate(
     target_schema: &Schema,
     config: &TestConfig,
 ) -> CheckOutcome {
-    let mut oracle = SourceOracle::new(source, source_schema);
-    check_candidate_with_oracle(&mut oracle, candidate, target_schema, config)
+    let oracle = SourceOracle::new(source, source_schema);
+    check_candidate_with_oracle(&oracle, candidate, target_schema, config)
 }
 
 /// Like [`check_candidate`], but reuses (and fills) a memoized source
-/// oracle shared across the candidates of a synthesis run.
+/// oracle shared across the candidates — and worker threads — of a
+/// synthesis run.
 pub fn check_candidate_with_oracle(
-    oracle: &mut SourceOracle<'_>,
+    oracle: &SourceOracle<'_>,
     candidate: &Program,
     target_schema: &Schema,
     config: &TestConfig,

@@ -27,7 +27,21 @@
 //! On top of prefix sharing, a [`SourceOracle`] memoizes the *source*
 //! program's outcome per invocation sequence. During synthesis the source is
 //! fixed while many candidates are checked against it, so across a synthesis
-//! run each sequence is interpreted on the source at most once.
+//! run each sequence is interpreted on the source at most once. The oracle
+//! is `Sync` (lock-striped outcome cache, `RwLock`-guarded call interning),
+//! so that single at-most-once guarantee spans *all* worker threads.
+//!
+//! The prefix-shared walk itself is parallel: within one (query plan, depth)
+//! subtree, the tree is partitioned into update-call *stub prefixes* whose
+//! subtrees are searched by worker threads (budgeted by the in-tree
+//! [`parpool`] shim). Determinism is preserved by construction — stub
+//! subtrees are merged in enumeration order and the **lowest-index**
+//! counterexample wins, so the reported counterexample and the
+//! `sequences_tested` count are byte-identical to the single-threaded
+//! trajectory at any thread count. When [`TestConfig::max_sequences`] is set
+//! the engine stays sequential (the cap is a global budget that cannot be
+//! split without changing what it measures), and tiny subtrees are searched
+//! inline because fork-join overhead would dominate.
 //!
 //! Both engines apply a *relevance-closure* optimization: when testing a
 //! particular query function, only update functions whose (transitive) table
@@ -37,10 +51,17 @@
 //! search at a given bound.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-use crate::ast::{Function, FunctionBody, Program, Update};
+use parpool::StopCtx;
+
+use crate::ast::{Function, FunctionBody, Program};
 use crate::error::Error;
-use crate::eval::{bind_args, exec_rows_plan, prepare_rows_plan, Env, Evaluator, RowsPlan};
+use crate::eval::{
+    bind_args, exec_rows_plan, exec_update_plan, prepare_rows_plan, prepare_update_plan, RowsPlan,
+    UpdatePlan,
+};
 use crate::instance::Instance;
 use crate::invocation::{
     observe, resolve_query, resolve_update, Call, InvocationSequence, Outcome,
@@ -130,16 +151,8 @@ impl TestConfig {
     pub fn seeds(&self, ty: DataType) -> Vec<Value> {
         match ty {
             DataType::Int => self.int_seeds.iter().map(|&v| Value::Int(v)).collect(),
-            DataType::String => self
-                .string_seeds
-                .iter()
-                .map(|s| Value::Str(s.clone()))
-                .collect(),
-            DataType::Binary => self
-                .binary_seeds
-                .iter()
-                .map(|b| Value::Bytes(b.clone()))
-                .collect(),
+            DataType::String => self.string_seeds.iter().map(Value::str).collect(),
+            DataType::Binary => self.binary_seeds.iter().map(Value::bytes).collect(),
             DataType::Bool => self.bool_seeds.iter().map(|&b| Value::Bool(b)).collect(),
             DataType::Id => self.id_seeds.iter().map(|&v| Value::Uid(v)).collect(),
         }
@@ -155,7 +168,7 @@ impl TestConfig {
             for combo in &combos {
                 for seed in &seeds {
                     let mut extended = combo.clone();
-                    extended.push(seed.clone());
+                    extended.push(*seed);
                     next.push(extended);
                 }
             }
@@ -219,6 +232,10 @@ impl std::hash::Hasher for FnvHasher {
 
 type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
 
+/// One stripe of the oracle's outcome cache: interned call-id sequence →
+/// shared outcome.
+type OutcomeShard = Mutex<HashMap<Box<[u32]>, Arc<Outcome>, FnvBuild>>;
+
 /// Memoizes the source program's observable outcome per invocation sequence.
 ///
 /// During sketch completion the source program is fixed while many candidate
@@ -233,18 +250,26 @@ type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
 /// deterministic — completely determines the outcome for a fixed program
 /// and schema, so it is sound to share one oracle across different
 /// [`TestConfig`]s (e.g. the testing and verification passes).
+///
+/// The oracle is `Sync`: the outcome cache is striped across
+/// [`SourceOracle::SHARDS`] mutexes keyed by an FNV hash of the interned
+/// sequence, call interning sits behind a read-mostly `RwLock`, and cached
+/// outcomes are handed out as `Arc`s so the hot comparison path never clones
+/// row sets. Workers racing on the same uncached sequence may compute it
+/// twice (the computation happens outside the shard lock on purpose — it
+/// interprets a program); both arrive at the same deterministic outcome, so
+/// the duplicate work is bounded waste, never unsoundness.
 #[derive(Debug)]
 pub struct SourceOracle<'p> {
     program: &'p Program,
     schema: &'p Schema,
     /// Interning table: one id per distinct call ever seen.
-    call_ids: HashMap<Call, u32>,
-    /// Outcomes keyed by interned call-id sequences (updates ++ query).
-    cache: HashMap<Box<[u32]>, Outcome, FnvBuild>,
-    /// Holds the computed outcome when the cache is at capacity, so
-    /// [`SourceOracle::outcome_ref`] can still hand out a reference.
-    overflow: Option<Outcome>,
-    hits: usize,
+    call_ids: RwLock<HashMap<Call, u32>>,
+    /// Outcomes keyed by interned call-id sequences (updates ++ query),
+    /// striped to keep shard-lock hold times at hash-probe length.
+    shards: Vec<OutcomeShard>,
+    hits: AtomicUsize,
+    entries: AtomicUsize,
     capacity: usize,
 }
 
@@ -253,15 +278,21 @@ impl<'p> SourceOracle<'p> {
     /// outcomes are recomputed instead of stored.
     const DEFAULT_CAPACITY: usize = 4_000_000;
 
+    /// Number of cache stripes. Comfortably above any realistic worker
+    /// count, so two workers rarely contend on one shard lock.
+    const SHARDS: usize = 32;
+
     /// Creates an oracle for `program` over `schema` with an empty cache.
     pub fn new(program: &'p Program, schema: &'p Schema) -> SourceOracle<'p> {
         SourceOracle {
             program,
             schema,
-            call_ids: HashMap::new(),
-            cache: HashMap::default(),
-            overflow: None,
-            hits: 0,
+            call_ids: RwLock::new(HashMap::new()),
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+            hits: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
             capacity: Self::DEFAULT_CAPACITY,
         }
     }
@@ -278,51 +309,77 @@ impl<'p> SourceOracle<'p> {
 
     /// Number of cache hits served so far.
     pub fn hits(&self) -> usize {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of distinct sequences currently cached.
     pub fn cached_sequences(&self) -> usize {
-        self.cache.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("oracle shard poisoned").len())
+            .sum()
     }
 
     /// The interned id of `call`, assigning a fresh one on first sight.
-    fn intern(&mut self, call: &Call) -> u32 {
-        if let Some(&id) = self.call_ids.get(call) {
+    fn intern(&self, call: &Call) -> u32 {
+        if let Some(&id) = self
+            .call_ids
+            .read()
+            .expect("oracle intern table poisoned")
+            .get(call)
+        {
             return id;
         }
-        let id = u32::try_from(self.call_ids.len()).expect("more than u32::MAX distinct calls");
-        self.call_ids.insert(call.clone(), id);
-        id
+        let mut map = self.call_ids.write().expect("oracle intern table poisoned");
+        let next = map.len();
+        *map.entry(call.clone())
+            .or_insert_with(|| u32::try_from(next).expect("more than u32::MAX distinct calls"))
+    }
+
+    /// The shard index for an interned key.
+    fn shard_of(key: &[u32]) -> usize {
+        use std::hash::Hasher as _;
+        let mut hasher = FnvHasher::default();
+        for &id in key {
+            hasher.write(&id.to_le_bytes());
+        }
+        (hasher.finish() as usize) % Self::SHARDS
     }
 
     /// The source outcome for `sequence`, interpreting the source program at
     /// most once per distinct sequence.
-    pub fn observe(&mut self, sequence: &InvocationSequence) -> Outcome {
+    pub fn observe(&self, sequence: &InvocationSequence) -> Outcome {
         let mut key = Vec::with_capacity(sequence.updates.len() + 1);
         for call in &sequence.updates {
             key.push(self.intern(call));
         }
         key.push(self.intern(&sequence.query));
-        self.outcome_ref(&key, || observe(self.program, self.schema, sequence))
-            .clone()
+        (*self.outcome(&key, || observe(self.program, self.schema, sequence))).clone()
     }
 
     /// The cached outcome for the interned key, computing (and caching) it
-    /// with `compute` on a miss. Returns a reference so the hot comparison
-    /// path never clones row sets.
-    fn outcome_ref(&mut self, key: &[u32], compute: impl FnOnce() -> Outcome) -> &Outcome {
-        if self.cache.contains_key(key) {
-            self.hits += 1;
-            return self.cache.get(key).expect("checked above");
+    /// with `compute` on a miss.
+    fn outcome(&self, key: &[u32], compute: impl FnOnce() -> Outcome) -> Arc<Outcome> {
+        let shard = &self.shards[Self::shard_of(key)];
+        if let Some(hit) = shard.lock().expect("oracle shard poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
         }
-        let outcome = compute();
-        if self.cache.len() < self.capacity {
-            self.cache.insert(key.to_vec().into_boxed_slice(), outcome);
-            self.cache.get(key).expect("just inserted")
-        } else {
-            self.overflow = Some(outcome);
-            self.overflow.as_ref().expect("just stored")
+        // Interpret outside the lock: this is the expensive part, and
+        // holding the shard across it would serialize unrelated misses.
+        let outcome = Arc::new(compute());
+        let mut guard = shard.lock().expect("oracle shard poisoned");
+        match guard.get(key) {
+            // A racing worker finished the same sequence first; adopt its
+            // entry so every caller shares one allocation.
+            Some(existing) => Arc::clone(existing),
+            None => {
+                if self.entries.load(Ordering::Relaxed) < self.capacity {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    guard.insert(key.to_vec().into_boxed_slice(), Arc::clone(&outcome));
+                }
+                outcome
+            }
         }
     }
 }
@@ -449,8 +506,26 @@ pub fn compare_programs(
     target_schema: &Schema,
     config: &TestConfig,
 ) -> EquivalenceReport {
-    let mut oracle = SourceOracle::new(source, source_schema);
-    compare_with_oracle(&mut oracle, target, target_schema, config)
+    let oracle = SourceOracle::new(source, source_schema);
+    compare_with_oracle(&oracle, target, target_schema, config)
+}
+
+/// High-water mark (bytes) of the largest instance snapshot taken by
+/// [`apply_update`], process-wide. A cheap allocation proxy the benchmark
+/// harness records next to wall times: interning shrinks exactly this
+/// number, so regressions in snapshot cost show up even when wall time is
+/// noisy.
+static SNAPSHOT_PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// The largest single instance snapshot (approximate heap bytes) taken since
+/// the last [`reset_snapshot_peak`].
+pub fn snapshot_peak_bytes() -> usize {
+    SNAPSHOT_PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the snapshot high-water mark (call between benchmark runs).
+pub fn reset_snapshot_peak() {
+    SNAPSHOT_PEAK_BYTES.store(0, Ordering::Relaxed);
 }
 
 /// The execution state of one program after some update prefix: either a
@@ -471,17 +546,25 @@ enum Search {
     Counterexample(InvocationSequence),
     /// The [`TestConfig::max_sequences`] budget ran out mid-subtree.
     CapHit,
+    /// A parallel stub task bailed out because a lower-index stub already
+    /// holds a counterexample. Never observed by the index-ordered merge:
+    /// cancellation implies a stopping result at a strictly lower index, so
+    /// the merge returns before reaching an aborted slot.
+    Aborted,
 }
 
 /// One plan's calls, pre-resolved and pre-bound against one program.
 ///
-/// Function resolution, query/update kind checks and argument binding are
-/// deterministic per (program, call), so doing them once per check — instead
-/// of once per tested sequence — preserves behaviour exactly: a call that
-/// would fail to resolve or bind simply fails every sequence it appears in,
-/// with the identical error a straight-line replay would report.
-enum PreparedUpdate<'x> {
-    Ready(&'x Update, Env),
+/// Function resolution, query/update kind checks, argument binding and
+/// update-plan compilation are deterministic per (program, call), so doing
+/// them once per check — instead of once per tested sequence — preserves
+/// behaviour exactly: a call that would fail to resolve, bind or compile
+/// simply fails every sequence it appears in, with an error a straight-line
+/// replay would also report on every one of those sequences.
+enum PreparedUpdate {
+    /// A compiled update plan: structural resolution and operand evaluation
+    /// already done, execution touches rows only (see [`UpdatePlan`]).
+    Ready(UpdatePlan),
     Failed(Error),
 }
 
@@ -492,27 +575,32 @@ enum PreparedQuery {
     Failed(Error),
 }
 
-struct PreparedPlan<'x> {
+struct PreparedPlan {
     /// Interned oracle ids, parallel to `QueryPlan::update_calls`.
     update_ids: Vec<u32>,
     /// Interned oracle ids, parallel to `QueryPlan::query_calls`.
     query_ids: Vec<u32>,
-    src_updates: Vec<PreparedUpdate<'x>>,
-    tgt_updates: Vec<PreparedUpdate<'x>>,
+    src_updates: Vec<PreparedUpdate>,
+    tgt_updates: Vec<PreparedUpdate>,
     src_queries: Vec<PreparedQuery>,
     tgt_queries: Vec<PreparedQuery>,
 }
 
-fn prepare_update<'x>(program: &'x Program, call: &Call) -> PreparedUpdate<'x> {
+fn prepare_update(program: &Program, schema: &Schema, call: &Call) -> PreparedUpdate {
     let function = match resolve_update(program, &call.function) {
         Ok(function) => function,
         Err(err) => return PreparedUpdate::Failed(err),
     };
-    match bind_args(function, &call.args) {
-        Ok(env) => match &function.body {
-            FunctionBody::Update(update) => PreparedUpdate::Ready(update, env),
-            FunctionBody::Query(_) => unreachable!("resolve_update rejects queries"),
-        },
+    let env = match bind_args(function, &call.args) {
+        Ok(env) => env,
+        Err(err) => return PreparedUpdate::Failed(err),
+    };
+    let update = match &function.body {
+        FunctionBody::Update(update) => update,
+        FunctionBody::Query(_) => unreachable!("resolve_update rejects queries"),
+    };
+    match prepare_update_plan(schema, update, &env) {
+        Ok(plan) => PreparedUpdate::Ready(plan),
         Err(err) => PreparedUpdate::Failed(err),
     }
 }
@@ -540,7 +628,7 @@ fn prepare_query(program: &Program, schema: &Schema, call: &Call) -> PreparedQue
 /// side, so repeated checks against the same source — the shape of every
 /// synthesis run — interpret each sequence on the source at most once.
 pub fn compare_with_oracle(
-    oracle: &mut SourceOracle<'_>,
+    oracle: &SourceOracle<'_>,
     target: &Program,
     target_schema: &Schema,
     config: &TestConfig,
@@ -548,7 +636,7 @@ pub fn compare_with_oracle(
     let source = oracle.program();
     let source_schema = oracle.schema();
     let plans = build_plans(source, target, config);
-    let prepared: Vec<PreparedPlan<'_>> = plans
+    let prepared: Vec<PreparedPlan> = plans
         .iter()
         .map(|plan| PreparedPlan {
             update_ids: plan.update_calls.iter().map(|c| oracle.intern(c)).collect(),
@@ -556,12 +644,12 @@ pub fn compare_with_oracle(
             src_updates: plan
                 .update_calls
                 .iter()
-                .map(|c| prepare_update(source, c))
+                .map(|c| prepare_update(source, source_schema, c))
                 .collect(),
             tgt_updates: plan
                 .update_calls
                 .iter()
-                .map(|c| prepare_update(target, c))
+                .map(|c| prepare_update(target, target_schema, c))
                 .collect(),
             src_queries: plan
                 .query_calls
@@ -581,25 +669,24 @@ pub fn compare_with_oracle(
     // < ℓ, but the extra work is a geometric series dominated by the last
     // level, and it keeps memory at O(L) snapshots while preserving the
     // increasing-length enumeration that makes counterexamples minimal.
+    // (Plan, length) pairs are searched in order with a barrier between
+    // them — parallelism lives *inside* each pair — so a counterexample in
+    // an earlier pair is found before a later pair is ever entered, exactly
+    // as in the sequential enumeration.
     for length in 0..=config.max_updates {
         for (plan, prep) in plans.iter().zip(&prepared) {
             if length > 0 && plan.update_calls.is_empty() {
                 continue;
             }
-            let mut dfs = Dfs {
-                oracle: &mut *oracle,
-                source_schema,
+            match search_plan(
+                oracle,
                 target_schema,
                 plan,
                 prep,
-                cap: config.max_sequences,
-                sequences_tested: &mut sequences_tested,
-                key: Vec::with_capacity(length + 1),
-                path: Vec::with_capacity(length),
-            };
-            let src_root = ExecState::Live(Instance::empty(source_schema), 0);
-            let tgt_root = ExecState::Live(Instance::empty(target_schema), 0);
-            match dfs.walk(length, &src_root, &tgt_root) {
+                config,
+                length,
+                &mut sequences_tested,
+            ) {
                 Search::Exhausted => {}
                 Search::Counterexample(sequence) => {
                     return EquivalenceReport {
@@ -617,6 +704,7 @@ pub fn compare_with_oracle(
                         bound_exhausted: false,
                     }
                 }
+                Search::Aborted => unreachable!("merge stops before aborted stubs"),
             }
         }
     }
@@ -629,13 +717,145 @@ pub fn compare_with_oracle(
     }
 }
 
+/// Smallest estimated leaf count for which a (plan, length) subtree is
+/// worth fork-join overhead; below it the subtree is searched inline.
+const PARALLEL_LEAF_THRESHOLD: u128 = 4096;
+
+/// Searches one (plan, length) subtree, in parallel when profitable.
+///
+/// The parallel split partitions the subtree by update-call *stubs* — the
+/// first `d` levels of the prefix, enumerated in lexicographic order, which
+/// is exactly the order the sequential DFS visits them. Each stub task
+/// replays its stub from the empty roots (re-executing at most `d` updates
+/// that the sequential walk would have shared — bounded waste, chosen so
+/// there are enough tasks to load the thread budget) and then runs the
+/// ordinary prefix-shared walk below it with a private sequence counter.
+/// Merging task results in stub order and stopping at the first
+/// counterexample reproduces the sequential outcome *and* count exactly:
+/// stubs before the winner contribute their full subtree counts, the winner
+/// contributes its count up to the counterexample, and later stubs — which
+/// the sequential walk never reached — are discarded unread.
+#[allow(clippy::too_many_arguments)]
+fn search_plan(
+    oracle: &SourceOracle<'_>,
+    target_schema: &Schema,
+    plan: &QueryPlan,
+    prep: &PreparedPlan,
+    config: &TestConfig,
+    length: usize,
+    sequences_tested: &mut usize,
+) -> Search {
+    let source_schema = oracle.schema();
+    let fanout = plan.update_calls.len();
+    let workers = parpool::thread_limit();
+    let leaves_estimate = (fanout as u128)
+        .saturating_pow(length as u32)
+        .saturating_mul(plan.query_calls.len() as u128);
+    // The sequence cap is a single global budget: splitting it across
+    // workers would change which sequence exhausts it, so capped checks run
+    // sequentially (they are bounded by construction anyway).
+    let parallel = config.max_sequences.is_none()
+        && length >= 1
+        && fanout >= 2
+        && workers > 1
+        && leaves_estimate >= PARALLEL_LEAF_THRESHOLD;
+
+    if !parallel {
+        let mut dfs = Dfs {
+            oracle,
+            plan,
+            prep,
+            cap: config.max_sequences,
+            sequences_tested,
+            key: Vec::with_capacity(length + 1),
+            path: Vec::with_capacity(length),
+            cancel: None,
+            snapshot_peak: 0,
+        };
+        let src_root = ExecState::Live(Instance::empty(source_schema), 0);
+        let tgt_root = ExecState::Live(Instance::empty(target_schema), 0);
+        let result = dfs.walk(length, &src_root, &tgt_root);
+        fold_snapshot_peak(dfs.snapshot_peak);
+        return result;
+    }
+
+    // Deepen the stub until there are enough tasks to load the budget (or
+    // we run out of levels), but never so many that per-stub replay
+    // overhead dominates.
+    let mut stub_depth = 1usize;
+    while stub_depth < length
+        && (fanout as u128).saturating_pow(stub_depth as u32) < 4 * workers as u128
+    {
+        stub_depth += 1;
+    }
+    while stub_depth > 1 && (fanout as u128).saturating_pow(stub_depth as u32) > 4096 {
+        stub_depth -= 1;
+    }
+    let stub_count = fanout.pow(stub_depth as u32);
+    let stubs: Vec<usize> = (0..stub_count).collect();
+
+    let results = parpool::par_map_stop(
+        &stubs,
+        |task_index, &stub, ctx| {
+            // Decode the stub number into update-call indices, most
+            // significant digit first, so numeric stub order is the
+            // lexicographic (sequential DFS) order.
+            let mut digits = vec![0usize; stub_depth];
+            let mut rem = stub;
+            for slot in digits.iter_mut().rev() {
+                *slot = rem % fanout;
+                rem /= fanout;
+            }
+            let mut src = ExecState::Live(Instance::empty(source_schema), 0);
+            let mut tgt = ExecState::Live(Instance::empty(target_schema), 0);
+            let mut key = Vec::with_capacity(length + 1);
+            let mut path = Vec::with_capacity(length);
+            let mut peak = 0usize;
+            for &i in &digits {
+                src = apply_update(&prep.src_updates[i], &src, &mut peak);
+                tgt = apply_update(&prep.tgt_updates[i], &tgt, &mut peak);
+                key.push(prep.update_ids[i]);
+                path.push(i);
+            }
+            let mut count = 0usize;
+            let mut dfs = Dfs {
+                oracle,
+                plan,
+                prep,
+                cap: None,
+                sequences_tested: &mut count,
+                key,
+                path,
+                cancel: Some((ctx, task_index)),
+                snapshot_peak: peak,
+            };
+            let search = dfs.walk(length - stub_depth, &src, &tgt);
+            fold_snapshot_peak(dfs.snapshot_peak);
+            (search, count)
+        },
+        |(search, _)| matches!(search, Search::Counterexample(_)),
+    );
+
+    // Index-ordered merge: byte-identical to the sequential left-to-right
+    // walk with early exit (see the parpool stop contract).
+    for result in results {
+        let Some((search, count)) = result else { break };
+        *sequences_tested += count;
+        match search {
+            Search::Exhausted => {}
+            Search::Counterexample(sequence) => return Search::Counterexample(sequence),
+            Search::CapHit => unreachable!("stub tasks run uncapped"),
+            Search::Aborted => unreachable!("merge stops before aborted stubs"),
+        }
+    }
+    Search::Exhausted
+}
+
 /// Depth-first walker over the update-call tree of one query plan.
 struct Dfs<'a, 'p> {
-    oracle: &'a mut SourceOracle<'p>,
-    source_schema: &'p Schema,
-    target_schema: &'a Schema,
+    oracle: &'a SourceOracle<'p>,
     plan: &'a QueryPlan,
-    prep: &'a PreparedPlan<'a>,
+    prep: &'a PreparedPlan,
     cap: Option<usize>,
     sequences_tested: &'a mut usize,
     /// Interned ids of the current update prefix (oracle cache key minus
@@ -645,14 +865,32 @@ struct Dfs<'a, 'p> {
     /// materialize the [`InvocationSequence`] only when a counterexample is
     /// actually found.
     path: Vec<usize>,
+    /// Set for parallel stub tasks: polled so a task whose result can no
+    /// longer win the index-ordered merge stops burning its subtree.
+    cancel: Option<(&'a StopCtx, usize)>,
+    /// Local snapshot high-water mark, folded into the global metric by the
+    /// walk's caller.
+    snapshot_peak: usize,
 }
 
 impl Dfs<'_, '_> {
+    /// Returns `true` if this walker belongs to a parallel stub task that a
+    /// lower-index counterexample has made irrelevant.
+    fn cancelled(&self) -> bool {
+        match self.cancel {
+            Some((ctx, index)) => ctx.cancelled(index),
+            None => false,
+        }
+    }
+
     /// Visits every sequence with exactly `depth` more update calls below
     /// the node whose states are `src`/`tgt`. Children are visited in
     /// `update_calls` order and queries in `query_calls` order, which makes
     /// the leaf enumeration order identical to the naive odometer's.
     fn walk(&mut self, depth: usize, src: &ExecState, tgt: &ExecState) -> Search {
+        if self.cancelled() {
+            return Search::Aborted;
+        }
         if depth == 0 {
             return self.leaves(src, tgt);
         }
@@ -663,8 +901,10 @@ impl Dfs<'_, '_> {
         }
         let prep = self.prep;
         for i in 0..self.plan.update_calls.len() {
-            let src_child = apply_update(self.source_schema, &prep.src_updates[i], src);
-            let tgt_child = apply_update(self.target_schema, &prep.tgt_updates[i], tgt);
+            let mut peak = self.snapshot_peak;
+            let src_child = apply_update(&prep.src_updates[i], src, &mut peak);
+            let tgt_child = apply_update(&prep.tgt_updates[i], tgt, &mut peak);
+            self.snapshot_peak = peak;
             self.key.push(prep.update_ids[i]);
             self.path.push(i);
             let result = self.walk(depth - 1, &src_child, &tgt_child);
@@ -696,8 +936,8 @@ impl Dfs<'_, '_> {
             self.key.push(query_id);
             let src_outcome = self
                 .oracle
-                .outcome_ref(&self.key, || query_outcome(&prep.src_queries[qi], src));
-            let agree = outcomes_agree(src_outcome, &tgt_outcome);
+                .outcome(&self.key, || query_outcome(&prep.src_queries[qi], src));
+            let agree = outcomes_agree(&src_outcome, &tgt_outcome);
             self.key.pop();
             if !agree {
                 // Materialize the failing sequence only now, on the cold
@@ -735,20 +975,32 @@ impl Dfs<'_, '_> {
 /// Extends an execution state by one (pre-resolved, pre-bound) update call,
 /// cloning the instance so the parent snapshot survives for the node's
 /// siblings.
-fn apply_update(schema: &Schema, prepared: &PreparedUpdate<'_>, state: &ExecState) -> ExecState {
+/// `peak` is the caller's *local* snapshot high-water mark: sampling the
+/// global atomic here would put a shared read-modify-write on every node of
+/// every worker's walk, so callers accumulate locally and fold into
+/// [`SNAPSHOT_PEAK_BYTES`] once per subtree (see [`fold_snapshot_peak`]).
+fn apply_update(prepared: &PreparedUpdate, state: &ExecState, peak: &mut usize) -> ExecState {
     let (instance, uid) = match state {
         ExecState::Failed(_) => return state.clone(),
         ExecState::Live(instance, uid) => (instance, *uid),
     };
-    let (update, env) = match prepared {
-        PreparedUpdate::Ready(update, env) => (update, env),
+    let plan = match prepared {
+        PreparedUpdate::Ready(plan) => plan,
         PreparedUpdate::Failed(err) => return ExecState::Failed(err.clone()),
     };
     let mut next = instance.clone();
-    let mut evaluator = Evaluator::with_uid_counter(schema, uid);
-    match evaluator.exec_update(update, &mut next, env) {
-        Ok(()) => ExecState::Live(next, evaluator.uid_counter()),
+    *peak = (*peak).max(next.approx_heap_bytes());
+    match exec_update_plan(plan, &mut next, uid) {
+        Ok(next_uid) => ExecState::Live(next, next_uid),
         Err(err) => ExecState::Failed(err),
+    }
+}
+
+/// Folds a locally accumulated snapshot high-water mark into the
+/// process-wide metric (one atomic RMW per subtree instead of per node).
+fn fold_snapshot_peak(local: usize) {
+    if local > 0 {
+        SNAPSHOT_PEAK_BYTES.fetch_max(local, Ordering::Relaxed);
     }
 }
 
@@ -1155,12 +1407,12 @@ mod tests {
         let p = make_program(true);
         let q = make_program(false);
         let source_schema = schema();
-        let mut oracle = SourceOracle::new(&p, &source_schema);
+        let oracle = SourceOracle::new(&p, &source_schema);
         let config = TestConfig::default();
-        let first = compare_with_oracle(&mut oracle, &q, &source_schema, &config);
+        let first = compare_with_oracle(&oracle, &q, &source_schema, &config);
         assert_eq!(oracle.hits(), 0, "cold cache cannot hit");
         assert!(oracle.cached_sequences() > 0);
-        let second = compare_with_oracle(&mut oracle, &q, &source_schema, &config);
+        let second = compare_with_oracle(&oracle, &q, &source_schema, &config);
         assert_eq!(first, second, "memoization must not change the verdict");
         assert!(
             oracle.hits() > 0,

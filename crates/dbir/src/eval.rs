@@ -59,7 +59,7 @@ pub fn bind_args(function: &Function, args: &[Value]) -> Result<Env> {
                     .unwrap_or_else(|| "null".to_string()),
             });
         }
-        env.insert(param.name.clone(), arg.clone());
+        env.insert(param.name.clone(), *arg);
     }
     Ok(env)
 }
@@ -167,7 +167,7 @@ impl<'a> Evaluator<'a> {
                 let rows = rel
                     .rows
                     .iter()
-                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .map(|row| indices.iter().map(|&i| row[i]).collect())
                     .collect();
                 Ok(Relation {
                     columns: attrs.clone(),
@@ -279,13 +279,7 @@ impl<'a> Evaluator<'a> {
     }
 
     fn eval_operand(&self, operand: &Operand, env: &Env) -> Result<Value> {
-        match operand {
-            Operand::Value(v) => Ok(v.clone()),
-            Operand::Param(name) => env
-                .get(name)
-                .cloned()
-                .ok_or_else(|| Error::UnknownParameter(name.clone())),
-        }
+        eval_operand_env(operand, env)
     }
 
     /// Executes an update statement (or sequence) against an instance.
@@ -358,7 +352,7 @@ impl<'a> Evaluator<'a> {
         let mut group_values: BTreeMap<QualifiedAttr, Value> = BTreeMap::new();
         for (attr, value) in &assigned {
             let root = groups.find(attr);
-            group_values.insert(root, value.clone());
+            group_values.insert(root, *value);
         }
         for table_name in &tables {
             let table = self.schema.table(table_name).expect("validated above");
@@ -370,10 +364,10 @@ impl<'a> Evaluator<'a> {
                 };
                 let root = groups.find(&qattr);
                 let value = match group_values.get(&root) {
-                    Some(v) => v.clone(),
+                    Some(v) => *v,
                     None => {
                         let fresh = self.fresh_uid();
-                        group_values.insert(root, fresh.clone());
+                        group_values.insert(root, fresh);
                         fresh
                     }
                 };
@@ -382,7 +376,7 @@ impl<'a> Evaluator<'a> {
             // Declared primary keys give inserts upsert semantics: an
             // existing row with the same key is replaced.
             if let Some(key_index) = table.primary_key_index() {
-                let key_value = tuple[key_index].clone();
+                let key_value = tuple[key_index];
                 if !key_value.is_null() {
                     instance
                         .rows_mut(table_name)
@@ -453,7 +447,7 @@ impl<'a> Evaluator<'a> {
         let new_value = self.eval_operand(value, env)?;
         for row in instance.rows_mut(&attr.table) {
             if affected.contains(row) {
-                row[column_index] = new_value.clone();
+                row[column_index] = new_value;
             }
         }
         Ok(())
@@ -667,7 +661,7 @@ fn prepare_pred_plan(
             lhs: lookup(lhs)?,
             op: *op,
             rhs: match rhs {
-                Operand::Value(v) => v.clone(),
+                Operand::Value(v) => *v,
                 Operand::Param(name) => env
                     .get(name)
                     .cloned()
@@ -783,7 +777,7 @@ pub(crate) fn exec_rows_plan<'i>(
             let rows = exec_rows_plan(input, instance)?;
             Ok(Cow::Owned(
                 rows.iter()
-                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .map(|row| indices.iter().map(|&i| row[i]).collect())
                     .collect(),
             ))
         }
@@ -803,7 +797,7 @@ fn instantiate_pred_plan(plan: &PredPlan, instance: &Instance) -> Result<Compile
         PredPlan::CmpConst { lhs, op, rhs } => CompiledPred::CmpConst {
             lhs: *lhs,
             op: *op,
-            rhs: rhs.clone(),
+            rhs: *rhs,
         },
         PredPlan::In { attr, sub } => {
             let members: HashSet<Value> = exec_rows_plan(sub, instance)?
@@ -851,6 +845,459 @@ pub(crate) enum CompiledPred {
     And(Box<CompiledPred>, Box<CompiledPred>),
     Or(Box<CompiledPred>, Box<CompiledPred>),
     Not(Box<CompiledPred>),
+}
+
+/// A query compiled against a schema and bound arguments, for repeated
+/// execution against changing instances.
+///
+/// This is the public face of [`RowsPlan`]: the bounded-equivalence engine
+/// uses the plan machinery internally, and benchmarks (plus future live
+/// backends) can compile once and execute per instance without paying
+/// name-resolution or header-building costs per call.
+#[derive(Debug)]
+pub struct CompiledQuery {
+    plan: RowsPlan,
+    header: Vec<QualifiedAttr>,
+}
+
+impl CompiledQuery {
+    /// Compiles `query` (with parameters already bound in `env`) against
+    /// `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural errors interpretation would raise on every
+    /// execution (unknown tables, join keys or projection columns).
+    pub fn compile(schema: &Schema, query: &Query, env: &Env) -> Result<CompiledQuery> {
+        let (plan, header) = prepare_rows_plan(schema, query, env)?;
+        Ok(CompiledQuery { plan, header })
+    }
+
+    /// The query's output header.
+    pub fn header(&self) -> &[QualifiedAttr] {
+        &self.header
+    }
+
+    /// Executes the compiled query, returning bare rows (in plan order, not
+    /// canonicalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns instance-dependent evaluation errors (filter-predicate and
+    /// `IN`-subquery errors), matching the interpreter occurrence-wise.
+    pub fn execute(&self, instance: &Instance) -> Result<Vec<Tuple>> {
+        Ok(exec_rows_plan(&self.plan, instance)?.into_owned())
+    }
+}
+
+/// Evaluates an operand against parameter bindings.
+fn eval_operand_env(operand: &Operand, env: &Env) -> Result<Value> {
+    match operand {
+        Operand::Value(v) => Ok(*v),
+        Operand::Param(name) => env
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownParameter(name.clone())),
+    }
+}
+
+/// An update statement compiled for repeated execution against changing
+/// instances — the update-side counterpart of [`RowsPlan`].
+///
+/// The bounded-testing engine executes the *same* (update, bound arguments)
+/// pairs at every node of its prefix tree. Interpreting the AST each time
+/// re-resolves tables, rebuilds the insert-over-join union-find (one
+/// `BTreeMap` of cloned qualified attributes per execution) and re-evaluates
+/// operands. An `UpdatePlan` hoists all of that to preparation time:
+/// execution mints identifiers, builds tuples from pre-evaluated slots and
+/// scans rows — no name resolution, no string clones, no per-execution
+/// maps beyond the matched-row sets deletes and updates inherently need.
+///
+/// Semantics match [`Evaluator::exec_update`] **error-occurrence-wise** (the
+/// bounded-testing contract, see [`RowsPlan`]): a plan execution fails
+/// exactly when interpreting the statement against the same instance would
+/// fail, and on success the instance mutation and the number (and order) of
+/// minted fresh identifiers are identical. Structural errors — unknown
+/// tables or columns, assignments outside the join chain, unbound operand
+/// parameters — are raised at preparation time; the interpreter raises them
+/// on every execution, so callers replay the prepared error on each use
+/// (exactly what the engine's `PreparedUpdate::Failed` does).
+/// Filter-predicate errors keep their instance-dependent gating: they fire
+/// iff the joined input is non-empty, via the same [`FilterPred`] machinery
+/// queries use.
+#[derive(Debug)]
+pub(crate) enum UpdatePlan {
+    /// A sequence, executed in order, failing at the first failing statement.
+    Seq(Vec<UpdatePlan>),
+    /// An insert-over-join: one pre-resolved tuple template per chain table.
+    Insert(InsertPlan),
+    /// A join-driven multi-table delete.
+    Delete(DeletePlan),
+    /// A join-driven attribute update.
+    UpdateAttr(UpdateAttrPlan),
+}
+
+/// Compiled form of [`Update::Insert`].
+#[derive(Debug)]
+pub(crate) struct InsertPlan {
+    /// One target per chain table, in join-chain order (the interpreter's
+    /// insertion — and identifier-minting — order).
+    targets: Vec<InsertTarget>,
+    /// How many distinct fresh identifiers one execution mints.
+    fresh_uids: u64,
+}
+
+#[derive(Debug)]
+struct InsertTarget {
+    table: TableName,
+    /// Declared primary key column (upsert semantics), if any.
+    key_index: Option<usize>,
+    /// One slot per column, in table layout order.
+    slots: Vec<InsertSlot>,
+}
+
+/// Where one inserted column value comes from.
+#[derive(Debug, Clone, Copy)]
+enum InsertSlot {
+    /// Fixed by the statement and its (already bound) arguments.
+    Const(Value),
+    /// The `g`-th fresh identifier minted by this statement. Group numbers
+    /// follow the interpreter's lazy minting order — first encounter while
+    /// walking tables and columns — so `Uid(base + g)` reproduces its
+    /// payloads exactly.
+    Fresh(u64),
+}
+
+/// Compiled form of [`Update::Delete`].
+#[derive(Debug)]
+pub(crate) struct DeletePlan {
+    join: RowsPlan,
+    pred: std::result::Result<FilterPred, Error>,
+    /// Per deleted table: name plus the join-header indices of its columns,
+    /// used to project matched join rows back onto table tuples.
+    targets: Vec<(TableName, Vec<usize>)>,
+}
+
+/// Compiled form of [`Update::UpdateAttr`].
+#[derive(Debug)]
+pub(crate) struct UpdateAttrPlan {
+    join: RowsPlan,
+    pred: std::result::Result<FilterPred, Error>,
+    table: TableName,
+    /// Join-header indices of the table's columns.
+    projection: Vec<usize>,
+    /// The written column's index in the table layout.
+    column: usize,
+    /// The (pre-evaluated) value to write.
+    value: Value,
+}
+
+/// Compiles `update` (with parameters already bound in `env`) against the
+/// schema.
+///
+/// # Errors
+///
+/// Returns the structural errors the interpreter would raise on *every*
+/// execution (see [`UpdatePlan`]). Filter-predicate errors are captured
+/// inside the plan instead.
+pub(crate) fn prepare_update_plan(
+    schema: &Schema,
+    update: &Update,
+    env: &Env,
+) -> Result<UpdatePlan> {
+    match update {
+        Update::Seq(list) => Ok(UpdatePlan::Seq(
+            list.iter()
+                .map(|stmt| prepare_update_plan(schema, stmt, env))
+                .collect::<Result<_>>()?,
+        )),
+        Update::Insert { join, values } => prepare_insert_plan(schema, join, values, env),
+        Update::Delete { tables, join, pred } => {
+            for table in tables {
+                if !join.contains_table(table) {
+                    return Err(Error::InvalidStatement(format!(
+                        "delete targets `{table}` which is not in its join chain"
+                    )));
+                }
+            }
+            let (join_plan, header) = prepare_join_plan(schema, join)?;
+            let pred = prepare_filter(schema, pred, &header, env);
+            let mut targets = Vec::with_capacity(tables.len());
+            for table_name in tables {
+                let table = schema
+                    .table(table_name)
+                    .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+                targets.push((
+                    table_name.clone(),
+                    header_indices(&table.qualified_attrs(), &header),
+                ));
+            }
+            Ok(UpdatePlan::Delete(DeletePlan {
+                join: join_plan,
+                pred,
+                targets,
+            }))
+        }
+        Update::UpdateAttr {
+            join,
+            pred,
+            attr,
+            value,
+        } => {
+            if !join.contains_table(&attr.table) {
+                return Err(Error::InvalidStatement(format!(
+                    "update writes `{attr}` which is not in its join chain"
+                )));
+            }
+            let table = schema
+                .table(&attr.table)
+                .ok_or_else(|| Error::UnknownTable(attr.table.0.clone()))?;
+            let column = table
+                .column_index(&attr.attr)
+                .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))?;
+            let (join_plan, header) = prepare_join_plan(schema, join)?;
+            let pred = prepare_filter(schema, pred, &header, env);
+            let projection = header_indices(&table.qualified_attrs(), &header);
+            let value = eval_operand_env(value, env)?;
+            Ok(UpdatePlan::UpdateAttr(UpdateAttrPlan {
+                join: join_plan,
+                pred,
+                table: attr.table.clone(),
+                projection,
+                column,
+                value,
+            }))
+        }
+    }
+}
+
+/// Compiles a filter predicate with the standard static/dynamic split.
+fn prepare_filter(
+    schema: &Schema,
+    pred: &Pred,
+    header: &[QualifiedAttr],
+    env: &Env,
+) -> std::result::Result<FilterPred, Error> {
+    prepare_pred_plan(schema, pred, header, env).map(|plan| {
+        if plan.contains_in() {
+            FilterPred::Dynamic(plan)
+        } else {
+            FilterPred::Static(
+                instantiate_pred_plan(&plan, &Instance::default())
+                    .expect("IN-free predicates instantiate infallibly"),
+            )
+        }
+    })
+}
+
+/// The positions of a table's qualified columns in a join header.
+///
+/// Every requested column is present because the table was validated to be
+/// part of the join chain (mirrors [`Relation::project`]'s first-position
+/// lookup for duplicated headers).
+fn header_indices(attrs: &[QualifiedAttr], header: &[QualifiedAttr]) -> Vec<usize> {
+    attrs
+        .iter()
+        .map(|a| {
+            header
+                .iter()
+                .position(|c| c == a)
+                .expect("chain tables project onto the join header")
+        })
+        .collect()
+}
+
+fn prepare_insert_plan(
+    schema: &Schema,
+    join: &JoinChain,
+    values: &[(QualifiedAttr, Operand)],
+    env: &Env,
+) -> Result<UpdatePlan> {
+    // This mirrors `Evaluator::exec_insert` step for step; only the final
+    // tuple materialization is deferred to execution time.
+    let tables = join.tables();
+    let mut assigned: BTreeMap<QualifiedAttr, Value> = BTreeMap::new();
+    for (attr, operand) in values {
+        if !join.contains_table(&attr.table) {
+            return Err(Error::InvalidStatement(format!(
+                "insert assigns `{attr}` which is not in the target join chain"
+            )));
+        }
+        assigned.insert(attr.clone(), eval_operand_env(operand, env)?);
+    }
+    let mut groups = UnionFind::new();
+    for table_name in &tables {
+        let table = schema
+            .table(table_name)
+            .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+        for attr in table.qualified_attrs() {
+            groups.add(attr);
+        }
+    }
+    for_each_join_condition(join, &mut |left, right| {
+        groups.union(left, right);
+    });
+    let mut group_values: BTreeMap<QualifiedAttr, Value> = BTreeMap::new();
+    for (attr, value) in &assigned {
+        let root = groups.find(attr);
+        group_values.insert(root, *value);
+    }
+    let mut fresh_groups: BTreeMap<QualifiedAttr, u64> = BTreeMap::new();
+    let mut fresh_uids = 0u64;
+    let mut targets = Vec::with_capacity(tables.len());
+    for table_name in &tables {
+        let table = schema.table(table_name).expect("validated above");
+        let mut slots = Vec::with_capacity(table.columns.len());
+        for column in &table.columns {
+            let qattr = QualifiedAttr {
+                table: table_name.clone(),
+                attr: column.name.clone(),
+            };
+            let root = groups.find(&qattr);
+            let slot = match group_values.get(&root) {
+                Some(value) => InsertSlot::Const(*value),
+                None => InsertSlot::Fresh(*fresh_groups.entry(root).or_insert_with(|| {
+                    let group = fresh_uids;
+                    fresh_uids += 1;
+                    group
+                })),
+            };
+            slots.push(slot);
+        }
+        targets.push(InsertTarget {
+            table: table_name.clone(),
+            key_index: table.primary_key_index(),
+            slots,
+        });
+    }
+    Ok(UpdatePlan::Insert(InsertPlan {
+        targets,
+        fresh_uids,
+    }))
+}
+
+/// Executes a compiled update plan. `next_uid` is the evaluator's
+/// fresh-identifier counter going in; the returned value is the counter
+/// after execution, exactly as [`Evaluator::exec_update`] would have left
+/// it.
+pub(crate) fn exec_update_plan(
+    plan: &UpdatePlan,
+    instance: &mut Instance,
+    next_uid: u64,
+) -> Result<u64> {
+    match plan {
+        UpdatePlan::Seq(list) => {
+            let mut uid = next_uid;
+            for stmt in list {
+                uid = exec_update_plan(stmt, instance, uid)?;
+            }
+            Ok(uid)
+        }
+        UpdatePlan::Insert(insert) => {
+            for target in &insert.targets {
+                let mut tuple = Tuple::with_capacity(target.slots.len());
+                for slot in &target.slots {
+                    tuple.push(match slot {
+                        InsertSlot::Const(value) => *value,
+                        InsertSlot::Fresh(group) => Value::Uid(next_uid + group),
+                    });
+                }
+                if let Some(key_index) = target.key_index {
+                    let key_value = tuple[key_index];
+                    if !key_value.is_null() {
+                        instance
+                            .rows_mut(&target.table)
+                            .retain(|row| row[key_index] != key_value);
+                    }
+                }
+                instance.insert(&target.table, tuple);
+            }
+            Ok(next_uid + insert.fresh_uids)
+        }
+        UpdatePlan::Delete(delete) => {
+            let doomed_sets = {
+                let matched = matched_rows(&delete.join, &delete.pred, instance)?;
+                delete
+                    .targets
+                    .iter()
+                    .map(|(_, indices)| project_rows(&matched, indices))
+                    .collect::<Vec<_>>()
+            };
+            for ((table, _), doomed) in delete.targets.iter().zip(doomed_sets) {
+                if !doomed.is_empty() {
+                    instance.rows_mut(table).retain(|row| !doomed.contains(row));
+                }
+            }
+            Ok(next_uid)
+        }
+        UpdatePlan::UpdateAttr(update) => {
+            let affected = {
+                let matched = matched_rows(&update.join, &update.pred, instance)?;
+                project_rows(&matched, &update.projection)
+            };
+            if !affected.is_empty() {
+                for row in instance.rows_mut(&update.table) {
+                    if affected.contains(row) {
+                        row[update.column] = update.value;
+                    }
+                }
+            }
+            Ok(next_uid)
+        }
+    }
+}
+
+/// Runs a compiled join and filter, returning the matching join rows. The
+/// interpreter's gating is preserved: predicate errors (including `IN`
+/// subquery errors) fire iff the joined input is non-empty.
+fn matched_rows<'i>(
+    join: &RowsPlan,
+    pred: &std::result::Result<FilterPred, Error>,
+    instance: &'i Instance,
+) -> Result<Vec<Cow<'i, [Value]>>> {
+    let rows = exec_rows_plan(join, instance)?;
+    if rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let pred = match pred {
+        Ok(pred) => pred,
+        Err(err) => return Err(err.clone()),
+    };
+    let instantiated;
+    let compiled = match pred {
+        FilterPred::Static(compiled) => compiled,
+        FilterPred::Dynamic(plan) => {
+            instantiated = instantiate_pred_plan(plan, instance)?;
+            &instantiated
+        }
+    };
+    let mut matched = Vec::new();
+    match rows {
+        Cow::Owned(rows) => {
+            for row in rows {
+                if eval_compiled(compiled, &row)? {
+                    matched.push(Cow::Owned(row));
+                }
+            }
+        }
+        Cow::Borrowed(rows) => {
+            for row in rows {
+                if eval_compiled(compiled, row)? {
+                    matched.push(Cow::Borrowed(row.as_slice()));
+                }
+            }
+        }
+    }
+    Ok(matched)
+}
+
+/// Projects matched join rows onto a table's columns, deduplicating into the
+/// set the interpreter's `BTreeSet<Tuple>` membership tests use.
+fn project_rows(matched: &[Cow<'_, [Value]>], indices: &[usize]) -> BTreeSet<Tuple> {
+    matched
+        .iter()
+        .map(|row| indices.iter().map(|&i| row[i]).collect())
+        .collect()
 }
 
 fn eval_compiled(pred: &CompiledPred, row: &[Value]) -> Result<bool> {
@@ -1385,7 +1832,9 @@ mod tests {
             .rows
             .iter()
             .map(|r| match (&r[1], &r[3]) {
-                (Value::Str(model), Value::Str(part)) => (model.clone(), part.clone()),
+                (Value::Str(model), Value::Str(part)) => {
+                    (model.as_str().to_string(), part.as_str().to_string())
+                }
                 other => panic!("unexpected row {other:?}"),
             })
             .collect();

@@ -56,6 +56,22 @@ impl Instance {
     pub fn iter(&self) -> impl Iterator<Item = (&TableName, &Vec<Tuple>)> {
         self.tables.iter()
     }
+
+    /// Approximate heap footprint of the instance in bytes, exploiting that
+    /// every row of a table has the same arity. `O(tables)`, so it is cheap
+    /// enough for the snapshot path to sample on every clone; used as an
+    /// allocation proxy by the benchmark harness. With interned values this
+    /// is also (approximately) the cost of one snapshot, since tuples hold
+    /// `Copy` values and no payload heap blocks.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Instance>();
+        for rows in self.tables.values() {
+            let width = rows.first().map(Vec::len).unwrap_or(0);
+            bytes +=
+                rows.len() * (std::mem::size_of::<Tuple>() + width * std::mem::size_of::<Value>());
+        }
+        bytes
+    }
 }
 
 impl fmt::Display for Instance {
@@ -121,7 +137,7 @@ impl Relation {
         let rows = self
             .rows
             .iter()
-            .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+            .map(|row| indices.iter().map(|&i| row[i]).collect())
             .collect();
         Relation {
             columns: attrs.to_vec(),

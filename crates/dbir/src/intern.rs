@@ -1,0 +1,300 @@
+//! Process-wide interning of strings and binary blobs.
+//!
+//! Bounded testing snapshots an [`Instance`](crate::Instance) at every node
+//! of the update-call tree — millions of clones per synthesis run. With
+//! `Value::Str(String)` every snapshot re-heap-allocates every string in the
+//! database; the profile of PR 2's prefix-shared engine was dominated by
+//! exactly those clones. Interning replaces the owned payloads with `u32`
+//! symbols into two append-only pools, which makes
+//! [`Value`](crate::value::Value) a `Copy` type: snapshotting a tuple is a
+//! `memcpy`, equality and hashing are integer operations, and only ordering
+//! comparisons and display ever look at the characters again.
+//!
+//! The pools are **process-global and append-only**: entries are leaked into
+//! `&'static` storage on first sight and never freed, so resolution hands
+//! out `&'static` references without holding any lock for the caller's
+//! lifetime. This is the right trade-off for a synthesizer — the universe of
+//! distinct strings is the program text plus a handful of seed constants,
+//! not attacker-controlled input — and it is what lets one interner be
+//! shared by every worker thread of the parallel engine without
+//! synchronizing on the hot (already-interned) path beyond one `RwLock`
+//! read acquisition.
+//!
+//! [`stats`] reports how much the pools hold, which the benchmark harness
+//! records as an allocation proxy alongside wall times.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a `u32` index into the process-wide string pool.
+///
+/// Two `Sym`s are equal iff the strings they denote are equal (interning is
+/// canonical). Symbols deliberately implement no ordering — symbol numbers
+/// reflect interning insertion order, which is meaningless and
+/// nondeterministic under parallel interning; order strings via
+/// [`Sym::as_str`] (as [`Value`]'s manual `Ord` does).
+///
+/// [`Value`]: crate::value::Value
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        strings().resolve(self.0)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Resolve in Debug output too: `Sym(3)` would be useless in test
+        // failures and must never leak into anything user-visible.
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An interned binary blob: a `u32` index into the process-wide blob pool.
+///
+/// Same contract as [`Sym`], for `&[u8]` payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Blob(u32);
+
+impl Blob {
+    /// The interned bytes.
+    pub fn as_bytes(self) -> &'static [u8] {
+        blobs().resolve(self.0)
+    }
+}
+
+impl fmt::Debug for Blob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Blob(0x")?;
+        for byte in self.as_bytes() {
+            write!(f, "{byte:02x}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Interns a string, returning its canonical symbol.
+pub fn intern_str(s: &str) -> Sym {
+    Sym(strings().intern(s))
+}
+
+/// Interns a byte blob, returning its canonical symbol.
+pub fn intern_bytes(b: &[u8]) -> Blob {
+    Blob(blobs().intern(b))
+}
+
+/// A snapshot of the interner's footprint, used by the benchmark harness as
+/// an allocation proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InternStats {
+    /// Number of distinct interned strings.
+    pub strings: usize,
+    /// Total bytes of interned string payloads.
+    pub string_bytes: usize,
+    /// Number of distinct interned blobs.
+    pub blobs: usize,
+    /// Total bytes of interned blob payloads.
+    pub blob_bytes: usize,
+}
+
+impl InternStats {
+    /// Total payload bytes across both pools.
+    pub fn total_bytes(&self) -> usize {
+        self.string_bytes + self.blob_bytes
+    }
+}
+
+/// Current footprint of both pools.
+pub fn stats() -> InternStats {
+    let (strings, string_bytes) = strings().footprint();
+    let (blobs, blob_bytes) = blobs().footprint();
+    InternStats {
+        strings,
+        string_bytes,
+        blobs,
+        blob_bytes,
+    }
+}
+
+/// One append-only, leak-backed pool. `T` is the unsized payload
+/// (`str` or `[u8]`).
+struct Pool<T: ?Sized + 'static> {
+    inner: RwLock<PoolInner<T>>,
+}
+
+struct PoolInner<T: ?Sized + 'static> {
+    /// id → payload, in insertion order.
+    list: Vec<&'static T>,
+    /// payload → id, for canonicalization.
+    map: HashMap<&'static T, u32>,
+    /// Total payload bytes held.
+    bytes: usize,
+}
+
+impl<T> Pool<T>
+where
+    T: ?Sized + std::hash::Hash + Eq + PayloadLen + 'static,
+{
+    fn new() -> Pool<T> {
+        Pool {
+            inner: RwLock::new(PoolInner {
+                list: Vec::new(),
+                map: HashMap::new(),
+                bytes: 0,
+            }),
+        }
+    }
+
+    fn intern(&self, payload: &T) -> u32
+    where
+        for<'a> &'a T: Leak<T>,
+    {
+        if let Some(&id) = self
+            .inner
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(payload)
+        {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        // Re-check under the write lock: another thread may have interned the
+        // same payload between our read probe and here.
+        if let Some(&id) = inner.map.get(payload) {
+            return id;
+        }
+        let leaked: &'static T = payload.leak();
+        let id = u32::try_from(inner.list.len()).expect("more than u32::MAX interned values");
+        inner.list.push(leaked);
+        inner.map.insert(leaked, id);
+        inner.bytes += leaked.payload_len();
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &'static T {
+        self.inner.read().expect("interner poisoned").list[id as usize]
+    }
+
+    fn footprint(&self) -> (usize, usize) {
+        let inner = self.inner.read().expect("interner poisoned");
+        (inner.list.len(), inner.bytes)
+    }
+}
+
+/// Payload size in bytes (for the allocation-proxy stats).
+trait PayloadLen {
+    fn payload_len(&self) -> usize;
+}
+
+impl PayloadLen for str {
+    fn payload_len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl PayloadLen for [u8] {
+    fn payload_len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Leaks a borrowed payload into `&'static` storage.
+trait Leak<T: ?Sized> {
+    fn leak(self) -> &'static T;
+}
+
+impl Leak<str> for &str {
+    fn leak(self) -> &'static str {
+        Box::leak(self.to_owned().into_boxed_str())
+    }
+}
+
+impl Leak<[u8]> for &[u8] {
+    fn leak(self) -> &'static [u8] {
+        Box::leak(self.to_owned().into_boxed_slice())
+    }
+}
+
+fn strings() -> &'static Pool<str> {
+    static POOL: OnceLock<Pool<str>> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+fn blobs() -> &'static Pool<[u8]> {
+    static POOL: OnceLock<Pool<[u8]>> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let a = intern_str("hello");
+        let b = intern_str("hello");
+        let c = intern_str("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn blobs_are_canonical() {
+        let a = intern_bytes(&[1, 2, 3]);
+        let b = intern_bytes(&[1, 2, 3]);
+        let c = intern_bytes(&[]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_bytes(), &[1, 2, 3]);
+        assert_eq!(c.as_bytes(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn debug_resolves_payloads() {
+        let sym = intern_str("x\"y");
+        assert_eq!(format!("{sym:?}"), "Sym(\"x\\\"y\")");
+        let blob = intern_bytes(&[0xab, 0x01]);
+        assert_eq!(format!("{blob:?}"), "Blob(0xab01)");
+    }
+
+    #[test]
+    fn stats_grow_monotonically() {
+        let before = stats();
+        // A string that no other test interns.
+        intern_str("stats_grow_monotonically probe");
+        let after = stats();
+        assert!(after.strings > before.strings);
+        assert!(after.string_bytes > before.string_bytes);
+        assert_eq!(after.total_bytes(), after.string_bytes + after.blob_bytes);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let words: Vec<String> = (0..64).map(|i| format!("concurrent-{}", i % 8)).collect();
+        let symbols: Vec<Vec<Sym>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| words.iter().map(|w| intern_str(w)).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &symbols[1..] {
+            assert_eq!(&symbols[0], other);
+        }
+        for (word, sym) in words.iter().zip(&symbols[0]) {
+            assert_eq!(sym.as_str(), word);
+        }
+    }
+}

@@ -8,7 +8,9 @@
 //! * [`ast`] — the database-program language of the paper's Figure 5
 //!   (query functions built from projection/selection/join, update functions
 //!   built from insert/delete/update statements),
-//! * [`value`] — runtime values and data types,
+//! * [`value`] — runtime values and data types (string/binary payloads are
+//!   interned, see [`intern`], so values are `Copy` and instance snapshots
+//!   are allocation-light),
 //! * [`instance`] — in-memory database instances (multisets of tuples),
 //! * [`eval`] — an interpreter implementing the paper's semantics, including
 //!   the insert-over-join shorthand with fresh unique identifiers,
@@ -52,6 +54,7 @@ pub mod equiv;
 pub mod error;
 pub mod eval;
 pub mod instance;
+pub mod intern;
 pub mod invocation;
 pub mod parser;
 pub mod pretty;
@@ -61,6 +64,7 @@ pub mod value;
 pub use ast::{Function, FunctionBody, JoinChain, Param, Pred, Program, Query, Update};
 pub use error::{Error, Result};
 pub use instance::{Instance, Relation, Tuple};
+pub use intern::{Blob, Sym};
 pub use invocation::{Call, InvocationSequence};
 pub use schema::{AttrName, ForeignKey, QualifiedAttr, Schema, TableDef, TableName};
 pub use value::{DataType, Value};

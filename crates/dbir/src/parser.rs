@@ -677,11 +677,11 @@ impl<'a> Parser<'a> {
             }
             TokenKind::Str(s) => {
                 self.advance();
-                Ok(Operand::Value(Value::Str(s)))
+                Ok(Operand::Value(Value::str(s)))
             }
             TokenKind::Bytes(b) => {
                 self.advance();
-                Ok(Operand::Value(Value::Bytes(b)))
+                Ok(Operand::Value(Value::bytes(b)))
             }
             TokenKind::Ident(name) => {
                 self.advance();

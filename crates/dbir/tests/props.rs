@@ -18,12 +18,12 @@ fn schema() -> Schema {
 
 fn car_strategy() -> impl Strategy<Value = Vec<Value>> {
     (0i64..5, "[a-z]{1,4}", 1990i64..2030)
-        .prop_map(|(cid, model, year)| vec![Value::Int(cid), Value::Str(model), Value::Int(year)])
+        .prop_map(|(cid, model, year)| vec![Value::Int(cid), Value::str(model), Value::Int(year)])
 }
 
 fn part_strategy() -> impl Strategy<Value = Vec<Value>> {
     ("[a-z]{1,4}", 0i64..50, 0i64..5)
-        .prop_map(|(name, amount, cid)| vec![Value::Str(name), Value::Int(amount), Value::Int(cid)])
+        .prop_map(|(name, amount, cid)| vec![Value::str(name), Value::Int(amount), Value::Int(cid)])
 }
 
 fn instance_strategy() -> impl Strategy<Value = Instance> {

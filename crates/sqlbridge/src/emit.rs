@@ -225,10 +225,10 @@ impl Emitter<'_> {
         match value {
             Value::Null => "NULL".to_string(),
             Value::Int(n) => n.to_string(),
-            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Str(s) => format!("'{}'", s.as_str().replace('\'', "''")),
             Value::Bytes(b) => {
                 let mut out = String::from("X'");
-                for byte in b {
+                for byte in b.as_bytes() {
                     let _ = write!(out, "{byte:02x}");
                 }
                 out.push('\'');
@@ -828,7 +828,7 @@ mod tests {
             param_index: BTreeMap::new(),
         };
         assert_eq!(emitter.literal(&Value::str("o'hara")), "'o''hara'");
-        assert_eq!(emitter.literal(&Value::Bytes(vec![0xab, 0x01])), "X'ab01'");
+        assert_eq!(emitter.literal(&Value::bytes(vec![0xab, 0x01])), "X'ab01'");
         assert_eq!(emitter.literal(&Value::Bool(true)), "TRUE");
         assert_eq!(emitter.literal(&Value::Null), "NULL");
         let sqlite = Emitter {

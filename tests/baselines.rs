@@ -30,15 +30,16 @@ fn all_solvers_agree_on_ambler_4() {
     )
     .unwrap();
 
-    let mut oracle = SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
+    let oracle = SourceOracle::new(&benchmark.source_program, &benchmark.source_schema);
     let mfi = complete_sketch(
         &sketch,
-        &mut oracle,
+        &oracle,
         &benchmark.target_schema,
         &TestConfig::default(),
         &TestConfig::default(),
         BlockingStrategy::MinimumFailingInput,
         0,
+        None,
     );
     let enumerative = solve_enumerative(
         &sketch,

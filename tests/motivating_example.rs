@@ -114,15 +114,16 @@ fn mfi_guided_completion_finds_the_figure_4_program() {
     let phi = enumerator.next_correspondence().unwrap();
     let sketch =
         generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
-    let mut oracle = SourceOracle::new(&program, &source_schema);
+    let oracle = SourceOracle::new(&program, &source_schema);
     let outcome = complete_sketch(
         &sketch,
-        &mut oracle,
+        &oracle,
         &target_schema,
         &TestConfig::default(),
         &TestConfig::thorough(),
         BlockingStrategy::MinimumFailingInput,
         0,
+        None,
     );
     let synthesized = outcome.program.expect("completion succeeds");
     // Figure 4: every function routes pictures through the Picture table,
