@@ -120,15 +120,15 @@ fn selected_benchmarks(options: &Options) -> Vec<Benchmark> {
 fn table1(options: &Options) {
     println!("## Table 1 — main results (measured vs. paper)\n");
     println!(
-        "| Benchmark | Funcs | Value Corr (paper) | Iters (paper) | Synth s (paper) | Total s (paper) | OK |"
+        "| Benchmark | Funcs | Value Corr (paper) | Iters (paper) | Synth s (paper) | Total s (paper) | OK | Migration validated |"
     );
-    println!("|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|");
     let mut results = Vec::new();
     for benchmark in selected_benchmarks(options) {
         let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
         results.push(row_to_json(&benchmark, &row));
         println!(
-            "| {} | {} | {} ({}) | {} ({}) | {:.1} ({:.1}) | {:.1} ({:.1}) | {} |",
+            "| {} | {} | {} ({}) | {} ({}) | {:.1} ({:.1}) | {:.1} ({:.1}) | {} | {} |",
             row.name,
             benchmark.paper.funcs,
             row.value_corr,
@@ -140,6 +140,11 @@ fn table1(options: &Options) {
             row.total_time,
             benchmark.paper.total_time_secs,
             if row.succeeded { "yes" } else { "NO" },
+            match row.validated {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            },
         );
     }
     println!();
@@ -341,14 +346,14 @@ fn check(options: &Options) {
         "## Deterministic-stats check against {} (wall time excluded)\n",
         options.against
     );
-    println!("| Benchmark | Value Corr | Iters | Succeeded | Verdict |");
-    println!("|---|---|---|---|---|");
+    println!("| Benchmark | Value Corr | Iters | Succeeded | Validated | Verdict |");
+    println!("|---|---|---|---|---|---|");
     let mut mismatches = 0usize;
     let mut checked = 0usize;
     for benchmark in selected_benchmarks(options) {
         let Some(expected) = committed_row(&benchmark.name) else {
             println!(
-                "| {} | - | - | - | MISSING from {} |",
+                "| {} | - | - | - | - | MISSING from {} |",
                 benchmark.name, options.against
             );
             mismatches += 1;
@@ -385,6 +390,17 @@ fn check(options: &Options) {
                 committed_success.map_or("absent".to_string(), |v| v.to_string())
             ));
         }
+        // End-to-end migration validation is deterministic (seeded source
+        // instance, memory backend), so it is part of the trajectory
+        // contract: an emitter regression fails the build here.
+        let committed_validated = expected.get("validated").and_then(|v| v.as_bool());
+        if committed_validated != row.validated {
+            diffs.push(format!(
+                "validated: measured {}, committed {}",
+                row.validated.map_or("null".to_string(), |v| v.to_string()),
+                committed_validated.map_or("null".to_string(), |v| v.to_string())
+            ));
+        }
         let verdict = if diffs.is_empty() {
             "ok".to_string()
         } else {
@@ -392,8 +408,13 @@ fn check(options: &Options) {
             format!("MISMATCH — {}", diffs.join("; "))
         };
         println!(
-            "| {} | {} | {} | {} | {} |",
-            benchmark.name, row.value_corr, row.iters, row.succeeded, verdict
+            "| {} | {} | {} | {} | {} | {} |",
+            benchmark.name,
+            row.value_corr,
+            row.iters,
+            row.succeeded,
+            row.validated.map_or("null".to_string(), |v| v.to_string()),
+            verdict
         );
     }
     println!();

@@ -82,6 +82,11 @@ pub struct Table1Row {
     /// Total payload bytes held by the process-wide value interner after
     /// this run (cumulative across runs in one process).
     pub interned_bytes: usize,
+    /// Whether the emitted data-migration script, executed end-to-end on
+    /// the in-memory SQL backend over a seeded source instance, produced
+    /// exactly the dbir-predicted target instance (`None` when synthesis
+    /// failed, so there is no migration to validate).
+    pub validated: Option<bool>,
 }
 
 /// Runs the full synthesis pipeline on a benchmark and returns the measured
@@ -94,6 +99,21 @@ pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row 
         &benchmark.source_schema,
         &benchmark.target_schema,
     );
+    // Every successful synthesis also validates its emitted migration
+    // end-to-end through the in-memory SQL backend, so a benchmark row is
+    // an emitter test, not just a synthesizer test. This is deterministic
+    // (seeded instance, no wall time), so `experiments check` compares it.
+    let validated = result.correspondence.as_ref().map(|phi| {
+        sqlexec::validate_migration(
+            &benchmark.source_schema,
+            &benchmark.target_schema,
+            phi,
+            &mut sqlexec::MemoryBackend::new(),
+            VALIDATION_ROWS_PER_TABLE,
+        )
+        .map(|outcome| outcome.ok)
+        .unwrap_or(false)
+    });
     Table1Row {
         name: benchmark.name.clone(),
         succeeded: result.succeeded(),
@@ -110,8 +130,14 @@ pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row 
         oracle_hits: result.stats.oracle_hits,
         peak_snapshot_bytes: dbir::equiv::snapshot_peak_bytes(),
         interned_bytes: dbir::intern::stats().total_bytes(),
+        validated,
     }
 }
+
+/// Rows seeded per source table when validating an emitted migration
+/// (shared with the `migrate` CLI via `sqlexec`, so CI validates the same
+/// instance a user's `--validate` run does).
+pub use sqlexec::DEFAULT_ROWS_PER_TABLE as VALIDATION_ROWS_PER_TABLE;
 
 /// Renders a measured row (plus its benchmark's metadata) as one entry of
 /// the machine-readable `BENCH_results.json`.
@@ -138,6 +164,13 @@ pub fn row_to_json(benchmark: &Benchmark, row: &Table1Row) -> sqlbridge::Json {
         .with("oracle_hits", row.oracle_hits.into())
         .with("peak_snapshot_bytes", row.peak_snapshot_bytes.into())
         .with("interned_bytes", row.interned_bytes.into())
+        .with(
+            "validated",
+            match row.validated {
+                Some(ok) => Json::Bool(ok),
+                None => Json::Null,
+            },
+        )
         .with("synth_time_secs", row.synth_time.into())
         .with("total_time_secs", row.total_time.into())
         .with(

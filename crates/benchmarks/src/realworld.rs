@@ -200,7 +200,7 @@ fn build_target_schema(spec: &RealWorldSpec, source: &Schema) -> Schema {
     for step in &spec.refactoring {
         match step {
             Refactoring::Split { table, moved } => {
-                let entity = tables[*table].name.clone();
+                let entity = tables[*table].name;
                 let key = tables[*table].columns[0].clone();
                 let total = tables[*table].columns.len();
                 let moved = (*moved).min(total.saturating_sub(2));
@@ -220,11 +220,11 @@ fn build_target_schema(spec: &RealWorldSpec, source: &Schema) -> Schema {
                 }
             }
             Refactoring::RenameTable { table } => {
-                let old = tables[*table].name.clone();
+                let old = tables[*table].name;
                 tables[*table].name = TableName::new(format!("{old}V2"));
             }
             Refactoring::AddAttrs { table, count } => {
-                let entity = tables[*table].name.clone();
+                let entity = tables[*table].name;
                 for i in 0..*count {
                     tables[*table].columns.push(dbir::schema::ColumnDef {
                         name: format!("extra_{}_{i}", entity.as_str().to_ascii_lowercase()).into(),
@@ -566,7 +566,7 @@ fn dropped_attrs(spec: &RealWorldSpec, schema: &Schema) -> Vec<QualifiedAttr> {
             let len = def.columns.len();
             for column in &def.columns[len.saturating_sub(*count)..] {
                 result.push(QualifiedAttr {
-                    table: def.name.clone(),
+                    table: def.name,
                     attr: column.name.clone(),
                 });
             }

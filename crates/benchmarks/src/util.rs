@@ -35,7 +35,7 @@ pub fn join_insert_function(
             .unwrap_or_else(|| panic!("benchmark bug: unknown table {table_name}"));
         for column in &table.columns {
             let qattr = QualifiedAttr {
-                table: table.name.clone(),
+                table: table.name,
                 attr: column.name.clone(),
             };
             if skip.contains(&qattr) {

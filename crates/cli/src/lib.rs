@@ -42,21 +42,32 @@ pub struct Options {
     pub target_ddl: PathBuf,
     /// Path to the source program (dbir concrete syntax).
     pub program: PathBuf,
-    /// SQL dialect for emission (`ansi` or `sqlite`).
+    /// SQL dialect for emission (`ansi`, `sqlite` or `postgres`).
     pub dialect: String,
     /// Cap on value correspondences to try (0 = the standard budget).
     pub max_value_correspondences: usize,
+    /// Execute the emitted migration against a backend and verify the
+    /// resulting instance against the dbir prediction.
+    pub validate: bool,
+    /// Backend for `--validate` (`memory` or `sqlite3`).
+    pub backend: String,
 }
 
 /// The usage string printed on `--help` and argument errors.
 pub const USAGE: &str = "\
 usage: migrate --source-ddl <file.sql> --target-ddl <file.sql> --program <file.dbp>
-               [--dialect ansi|sqlite] [--max-vcs <n>]
+               [--dialect ansi|sqlite|postgres] [--max-vcs <n>]
+               [--validate [--backend memory|sqlite3]]
 
 Reads the source schema and target schema as SQL DDL and the source program
 in the dbir concrete syntax, synthesizes an equivalent program over the
 target schema, and prints the migrated program, its SQL rendering, a
-data-migration script and the synthesis statistics (JSON).";
+data-migration script and the synthesis statistics (JSON).
+
+With --validate, additionally executes the emitted migration end-to-end on
+the selected backend (a seeded source instance, the DDL and the data-move
+script) and verifies the resulting target instance against the dbir-level
+prediction; a mismatch exits non-zero.";
 
 /// Parses command-line arguments (without the binary name).
 ///
@@ -69,6 +80,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut program = None;
     let mut dialect = "ansi".to_string();
     let mut max_value_correspondences = 0usize;
+    let mut validate = false;
+    let mut backend = "memory".to_string();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -88,6 +101,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("`--max-vcs` expects a number, found `{value}`"))?;
             }
+            "--validate" => validate = true,
+            "--backend" => backend = take("--backend")?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
@@ -98,6 +113,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         program: program.ok_or_else(|| format!("`--program` is required\n\n{USAGE}"))?,
         dialect,
         max_value_correspondences,
+        validate,
+        backend,
     })
 }
 
@@ -125,6 +142,36 @@ pub fn stats_to_json(stats: &SynthesisStats, succeeded: bool) -> Json {
         .with("total_time_secs", stats.total_time().as_secs_f64().into())
 }
 
+/// Builds the backend selected by `--backend`.
+fn make_backend(name: &str) -> Result<Box<dyn sqlexec::Backend>, (i32, String)> {
+    match name.to_ascii_lowercase().as_str() {
+        "memory" => Ok(Box::new(sqlexec::MemoryBackend::new())),
+        "sqlite3" | "sqlite" => sqlexec::Sqlite3Backend::create()
+            .map(|b| Box::new(b) as Box<dyn sqlexec::Backend>)
+            .map_err(|e| (EXIT_FAILURE, e.to_string())),
+        other => Err((
+            EXIT_USAGE,
+            format!("unknown backend `{other}` (expected `memory` or `sqlite3`)"),
+        )),
+    }
+}
+
+/// Renders a validation outcome as a JSON object.
+pub fn validation_to_json(outcome: &sqlexec::ValidationOutcome) -> Json {
+    let diffs = outcome
+        .diffs
+        .iter()
+        .map(|d| Json::str(d.to_string()))
+        .collect();
+    Json::object()
+        .with("validated", Json::Bool(outcome.ok))
+        .with("backend", Json::str(&outcome.backend))
+        .with("dialect", Json::str(&outcome.dialect))
+        .with("seeded_rows", outcome.seeded_rows.into())
+        .with("migrated_rows", outcome.migrated_rows.into())
+        .with("diffs", Json::Array(diffs))
+}
+
 /// Runs the tool: returns the full stdout text on success, or
 /// `(exit code, stderr text)` on failure.
 pub fn run(options: &Options) -> Result<String, (i32, String)> {
@@ -132,7 +179,7 @@ pub fn run(options: &Options) -> Result<String, (i32, String)> {
         (
             EXIT_USAGE,
             format!(
-                "unknown dialect `{}` (expected `ansi` or `sqlite`)",
+                "unknown dialect `{}` (expected `ansi`, `sqlite` or `postgres`)",
                 options.dialect
             ),
         )
@@ -178,6 +225,37 @@ pub fn run(options: &Options) -> Result<String, (i32, String)> {
             let _ = writeln!(out, "-- data migration --");
             let script = migration_script(&source_schema, &target_schema, phi, dialect);
             let _ = writeln!(out, "{}", render_migration_script(&script, dialect));
+            if options.validate {
+                let mut backend = make_backend(&options.backend)?;
+                // Validate the dialect we printed — except on a real
+                // sqlite3, which can only execute the SQLite rendering (the
+                // in-memory engine accepts all provided dialects).
+                let validation_dialect: Box<dyn Dialect> = if backend.name() == "sqlite3" {
+                    Box::new(sqlbridge::Sqlite)
+                } else {
+                    dialect_by_name(&options.dialect).expect("checked above")
+                };
+                let outcome = sqlexec::validate_migration_dialect(
+                    &source_schema,
+                    &target_schema,
+                    phi,
+                    backend.as_mut(),
+                    sqlexec::DEFAULT_ROWS_PER_TABLE,
+                    validation_dialect.as_ref(),
+                )
+                .map_err(|e| (EXIT_FAILURE, format!("validation could not run: {e}")))?;
+                let _ = writeln!(out, "-- validation ({} backend) --", outcome.backend);
+                let _ = writeln!(out, "{}", validation_to_json(&outcome).to_pretty_string());
+                let _ = writeln!(out);
+                if !outcome.ok {
+                    let mut err = format!("validation FAILED on backend `{}`:\n", outcome.backend);
+                    for diff in &outcome.diffs {
+                        let _ = writeln!(err, "  {diff}");
+                    }
+                    let _ = write!(err, "{out}");
+                    return Err((EXIT_FAILURE, err));
+                }
+            }
             let _ = writeln!(out, "-- stats --");
             let _ = write!(
                 out,
@@ -243,6 +321,8 @@ mod tests {
             program: "p.dbp".into(),
             dialect: "oracle".into(),
             max_value_correspondences: 0,
+            validate: false,
+            backend: "memory".into(),
         };
         let (code, message) = run(&options).unwrap_err();
         assert_eq!(code, EXIT_USAGE);
@@ -257,6 +337,8 @@ mod tests {
             program: "/nonexistent/p.dbp".into(),
             dialect: "ansi".into(),
             max_value_correspondences: 0,
+            validate: false,
+            backend: "memory".into(),
         };
         let (code, message) = run(&options).unwrap_err();
         assert_eq!(code, EXIT_FAILURE);

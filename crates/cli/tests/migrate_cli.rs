@@ -163,3 +163,64 @@ fn missing_arguments_print_usage() {
     assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
 }
+
+/// `--validate` executes the emitted migration on the in-memory backend
+/// and reports the comparison against the dbir prediction.
+#[test]
+fn validate_flag_executes_the_migration_on_the_memory_backend() {
+    let output = migrate(&["--validate"]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(
+        stdout.contains("-- validation (memory backend) --"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"validated\": true"), "{stdout}");
+    assert!(stdout.contains("\"backend\": \"memory\""), "{stdout}");
+}
+
+/// `--validate --backend sqlite3` runs the same script through a real
+/// sqlite3 when one is installed (skips cleanly otherwise).
+#[test]
+fn validate_flag_supports_the_sqlite3_backend_when_present() {
+    let probe = Command::new("sqlite3").arg("--version").output();
+    if !probe.map(|o| o.status.success()).unwrap_or(false) {
+        eprintln!("sqlite3 binary not found; skipping");
+        return;
+    }
+    let output = migrate(&["--validate", "--backend", "sqlite3"]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(stdout.contains("\"backend\": \"sqlite3\""), "{stdout}");
+    assert!(stdout.contains("\"validated\": true"), "{stdout}");
+}
+
+#[test]
+fn unknown_backend_is_a_usage_error() {
+    let output = migrate(&["--validate", "--backend", "oracle"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown backend"));
+}
+
+/// The postgres dialect renders identity surrogate keys and $N parameters.
+#[test]
+fn postgres_dialect_end_to_end() {
+    let output = migrate(&["--dialect", "postgres"]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(stdout.contains("= $1"), "{stdout}");
+    assert!(stdout.contains("GENERATED ALWAYS AS IDENTITY"), "{stdout}");
+    assert!(stdout.contains("OVERRIDING SYSTEM VALUE"), "{stdout}");
+}

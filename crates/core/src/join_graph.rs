@@ -31,7 +31,7 @@ impl<'a> JoinGraph<'a> {
     pub fn new(schema: &'a Schema) -> JoinGraph<'a> {
         JoinGraph {
             schema,
-            tables: schema.tables().iter().map(|t| t.name.clone()).collect(),
+            tables: schema.tables().iter().map(|t| t.name).collect(),
         }
     }
 
@@ -75,14 +75,14 @@ impl<'a> JoinGraph<'a> {
         while let Some(seed) = remaining.iter().next().cloned() {
             // Flood fill over the whole graph starting from `seed`.
             let mut reachable: BTreeSet<TableName> = BTreeSet::new();
-            let mut stack = vec![seed.clone()];
+            let mut stack = vec![seed];
             while let Some(table) = stack.pop() {
-                if !reachable.insert(table.clone()) {
+                if !reachable.insert(table) {
                     continue;
                 }
                 for other in &self.tables {
                     if !reachable.contains(other) && self.adjacent(&table, other) {
-                        stack.push(other.clone());
+                        stack.push(*other);
                     }
                 }
             }
@@ -207,8 +207,8 @@ impl<'a> JoinGraph<'a> {
                     .count(),
             )
         });
-        let mut chain = JoinChain::Table(ordered[0].clone());
-        let mut in_chain: BTreeSet<TableName> = [ordered[0].clone()].into_iter().collect();
+        let mut chain = JoinChain::Table(ordered[0]);
+        let mut in_chain: BTreeSet<TableName> = [ordered[0]].into_iter().collect();
         let mut remaining: Vec<TableName> = ordered.iter().skip(1).cloned().collect();
         while !remaining.is_empty() {
             // Find the next table adjacent to something already in the chain.
@@ -220,7 +220,7 @@ impl<'a> JoinGraph<'a> {
                 .iter()
                 .find_map(|t| self.schema.join_attrs(t, &table).into_iter().next())
                 .expect("adjacency implies a join attribute pair");
-            chain = chain.join(JoinChain::Table(table.clone()), left_attr, right_attr);
+            chain = chain.join(JoinChain::Table(table), left_attr, right_attr);
             in_chain.insert(table);
         }
         Some(chain)
@@ -228,7 +228,7 @@ impl<'a> JoinGraph<'a> {
 
     /// The terminal tables for a set of target attributes.
     pub fn tables_of(attrs: &BTreeSet<QualifiedAttr>) -> BTreeSet<TableName> {
-        attrs.iter().map(|a| a.table.clone()).collect()
+        attrs.iter().map(|a| a.table).collect()
     }
 }
 

@@ -194,7 +194,7 @@ impl SketchBuilder<'_> {
             for combo in &combos {
                 for image in group {
                     let mut extended = combo.clone();
-                    extended.insert(image.table.clone());
+                    extended.insert(image.table);
                     next.push(extended);
                 }
                 if next.len() > self.config.max_image_combinations {
@@ -408,16 +408,16 @@ impl SketchBuilder<'_> {
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| mask & (1 << i) != 0)
-                    .map(|(_, t)| t.clone())
+                    .map(|(_, t)| *t)
                     .collect();
                 lists.push(subset);
             }
         } else {
             // Singletons, pairs, and each candidate chain's full table set.
             for (i, a) in union.iter().enumerate() {
-                lists.push(vec![a.clone()]);
+                lists.push(vec![*a]);
                 for b in union.iter().skip(i + 1) {
-                    lists.push(vec![a.clone(), b.clone()]);
+                    lists.push(vec![*a, *b]);
                 }
             }
             for chain in chains {

@@ -149,7 +149,7 @@ impl JoinChain {
 
     fn collect_tables(&self, out: &mut Vec<TableName>) {
         match self {
-            JoinChain::Table(t) => out.push(t.clone()),
+            JoinChain::Table(t) => out.push(*t),
             JoinChain::Join { left, right, .. } => {
                 left.collect_tables(out);
                 right.collect_tables(out);
@@ -526,7 +526,7 @@ impl Update {
             }
             Update::UpdateAttr { join, attr, .. } => {
                 let mut out = join.tables();
-                out.push(attr.table.clone());
+                out.push(attr.table);
                 out
             }
             Update::Seq(list) => list.iter().flat_map(|u| u.tables()).collect(),
@@ -667,7 +667,7 @@ impl Program {
             }
             for table in function.tables() {
                 if schema.table(&table).is_none() {
-                    return Err(Error::UnknownTable(table.0));
+                    return Err(Error::UnknownTable(table.to_string()));
                 }
             }
             for attr in function.attrs() {

@@ -64,7 +64,7 @@ impl<'a> ProgramBuilder<'a> {
             .map(|c| {
                 (
                     QualifiedAttr {
-                        table: def.name.clone(),
+                        table: def.name,
                         attr: c.name.clone(),
                     },
                     Operand::param(c.name.as_str()),
@@ -72,7 +72,7 @@ impl<'a> ProgramBuilder<'a> {
             })
             .collect();
         let update = Update::Insert {
-            join: JoinChain::Table(def.name.clone()),
+            join: JoinChain::Table(def.name),
             values,
         };
         self.functions.push(Function::update(name, params, update));
@@ -92,8 +92,8 @@ impl<'a> ProgramBuilder<'a> {
             .column_type(&AttrName::new(key_attr))
             .ok_or_else(|| Error::UnknownAttribute(key.to_string()))?;
         let update = Update::Delete {
-            tables: vec![def.name.clone()],
-            join: JoinChain::Table(def.name.clone()),
+            tables: vec![def.name],
+            join: JoinChain::Table(def.name),
             pred: Pred::eq_value(key, Operand::param(key_attr)),
         };
         self.functions.push(Function::update(
@@ -128,7 +128,7 @@ impl<'a> ProgramBuilder<'a> {
             .ok_or_else(|| Error::UnknownAttribute(target.to_string()))?;
         let value_param = format!("new_{set_attr}");
         let update = Update::UpdateAttr {
-            join: JoinChain::Table(def.name.clone()),
+            join: JoinChain::Table(def.name),
             pred: Pred::eq_value(key, Operand::param(key_attr)),
             attr: target,
             value: Operand::param(value_param.clone()),
@@ -169,7 +169,7 @@ impl<'a> ProgramBuilder<'a> {
         let query = Query::select(
             attrs?,
             Pred::eq_value(key, Operand::param(key_attr)),
-            JoinChain::Table(def.name.clone()),
+            JoinChain::Table(def.name),
         );
         self.functions.push(Function::query(
             name,

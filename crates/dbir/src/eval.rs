@@ -226,7 +226,7 @@ impl<'a> Evaluator<'a> {
                 let table = self
                     .schema
                     .table(name)
-                    .ok_or_else(|| Error::UnknownTable(name.0.clone()))?;
+                    .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
                 Ok(Relation {
                     columns: table.qualified_attrs(),
                     rows: instance.rows(name).to_vec(),
@@ -339,7 +339,7 @@ impl<'a> Evaluator<'a> {
             let table = self
                 .schema
                 .table(table_name)
-                .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+                .ok_or_else(|| Error::UnknownTable(table_name.to_string()))?;
             for attr in table.qualified_attrs() {
                 groups.add(attr);
             }
@@ -359,7 +359,7 @@ impl<'a> Evaluator<'a> {
             let mut tuple = Tuple::with_capacity(table.columns.len());
             for column in &table.columns {
                 let qattr = QualifiedAttr {
-                    table: table_name.clone(),
+                    table: *table_name,
                     attr: column.name.clone(),
                 };
                 let root = groups.find(&qattr);
@@ -409,7 +409,7 @@ impl<'a> Evaluator<'a> {
             let table = self
                 .schema
                 .table(table_name)
-                .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+                .ok_or_else(|| Error::UnknownTable(table_name.to_string()))?;
             let attrs = table.qualified_attrs();
             let doomed: BTreeSet<Tuple> = filtered.project(&attrs).rows.into_iter().collect();
             instance
@@ -436,7 +436,7 @@ impl<'a> Evaluator<'a> {
         let table = self
             .schema
             .table(&attr.table)
-            .ok_or_else(|| Error::UnknownTable(attr.table.0.clone()))?;
+            .ok_or_else(|| Error::UnknownTable(attr.table.to_string()))?;
         let column_index = table
             .column_index(&attr.attr)
             .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))?;
@@ -598,13 +598,8 @@ fn prepare_join_plan(schema: &Schema, chain: &JoinChain) -> Result<(RowsPlan, Ve
         JoinChain::Table(name) => {
             let table = schema
                 .table(name)
-                .ok_or_else(|| Error::UnknownTable(name.0.clone()))?;
-            Ok((
-                RowsPlan::Scan {
-                    table: name.clone(),
-                },
-                table.qualified_attrs(),
-            ))
+                .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+            Ok((RowsPlan::Scan { table: *name }, table.qualified_attrs()))
         }
         JoinChain::Join {
             left,
@@ -1026,9 +1021,9 @@ pub(crate) fn prepare_update_plan(
             for table_name in tables {
                 let table = schema
                     .table(table_name)
-                    .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+                    .ok_or_else(|| Error::UnknownTable(table_name.to_string()))?;
                 targets.push((
-                    table_name.clone(),
+                    *table_name,
                     header_indices(&table.qualified_attrs(), &header),
                 ));
             }
@@ -1051,7 +1046,7 @@ pub(crate) fn prepare_update_plan(
             }
             let table = schema
                 .table(&attr.table)
-                .ok_or_else(|| Error::UnknownTable(attr.table.0.clone()))?;
+                .ok_or_else(|| Error::UnknownTable(attr.table.to_string()))?;
             let column = table
                 .column_index(&attr.attr)
                 .ok_or_else(|| Error::UnknownAttribute(attr.to_string()))?;
@@ -1062,7 +1057,7 @@ pub(crate) fn prepare_update_plan(
             Ok(UpdatePlan::UpdateAttr(UpdateAttrPlan {
                 join: join_plan,
                 pred,
-                table: attr.table.clone(),
+                table: attr.table,
                 projection,
                 column,
                 value,
@@ -1129,7 +1124,7 @@ fn prepare_insert_plan(
     for table_name in &tables {
         let table = schema
             .table(table_name)
-            .ok_or_else(|| Error::UnknownTable(table_name.0.clone()))?;
+            .ok_or_else(|| Error::UnknownTable(table_name.to_string()))?;
         for attr in table.qualified_attrs() {
             groups.add(attr);
         }
@@ -1150,7 +1145,7 @@ fn prepare_insert_plan(
         let mut slots = Vec::with_capacity(table.columns.len());
         for column in &table.columns {
             let qattr = QualifiedAttr {
-                table: table_name.clone(),
+                table: *table_name,
                 attr: column.name.clone(),
             };
             let root = groups.find(&qattr);
@@ -1165,7 +1160,7 @@ fn prepare_insert_plan(
             slots.push(slot);
         }
         targets.push(InsertTarget {
-            table: table_name.clone(),
+            table: *table_name,
             key_index: table.primary_key_index(),
             slots,
         });

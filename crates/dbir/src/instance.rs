@@ -22,7 +22,7 @@ impl Instance {
     pub fn empty(schema: &Schema) -> Instance {
         let mut tables = BTreeMap::new();
         for table in schema.tables() {
-            tables.insert(table.name.clone(), Vec::new());
+            tables.insert(table.name, Vec::new());
         }
         Instance { tables }
     }
@@ -34,7 +34,7 @@ impl Instance {
 
     /// Mutable access to a table's tuples, creating the table if needed.
     pub fn rows_mut(&mut self, table: &TableName) -> &mut Vec<Tuple> {
-        self.tables.entry(table.clone()).or_default()
+        self.tables.entry(*table).or_default()
     }
 
     /// Appends a tuple to a table.

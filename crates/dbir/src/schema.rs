@@ -1,33 +1,68 @@
 //! Relational schemas: tables, typed attributes and foreign keys.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::{Error, Result};
+use crate::intern::{intern_str, Sym};
 use crate::value::DataType;
 
 /// The name of a table.
 ///
-/// A lightweight newtype around `String` so table and attribute names cannot
-/// be confused with each other or with arbitrary strings.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TableName(pub String);
+/// A lightweight newtype so table and attribute names cannot be confused
+/// with each other or with arbitrary strings. The payload is interned (see
+/// [`crate::intern`]), which makes `TableName` a `Copy` type: instance
+/// snapshots copy their `BTreeMap<TableName, _>` keys at every node of the
+/// bounded-testing search tree, and with an interned name that copy is a
+/// `u32` instead of a heap-allocated `String` clone.
+///
+/// Like [`Value`](crate::value::Value), ordering is implemented manually so
+/// names compare by *content*, not by interner symbol number — `Instance`
+/// iteration order, canonical row order and `Display` output must not
+/// depend on interning insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableName(Sym);
 
 impl TableName {
-    /// Creates a table name.
-    pub fn new(name: impl Into<String>) -> TableName {
-        TableName(name.into())
+    /// Creates a table name (interning the payload).
+    pub fn new(name: impl AsRef<str>) -> TableName {
+        TableName(intern_str(name.as_ref()))
     }
 
     /// Returns the name as a string slice.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Debug for TableName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Resolve the payload: `TableName(Sym(3))` would be useless in test
+        // failures and must never leak into anything user-visible.
+        write!(f, "TableName({:?})", self.as_str())
+    }
+}
+
+impl Ord for TableName {
+    fn cmp(&self, other: &TableName) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for TableName {
+    fn partial_cmp(&self, other: &TableName) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
 impl fmt::Display for TableName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -39,7 +74,7 @@ impl From<&str> for TableName {
 
 impl From<String> for TableName {
     fn from(s: String) -> TableName {
-        TableName(s)
+        TableName::new(s)
     }
 }
 
@@ -191,7 +226,7 @@ impl TableDef {
         self.columns
             .iter()
             .map(|c| QualifiedAttr {
-                table: self.name.clone(),
+                table: self.name,
                 attr: c.name.clone(),
             })
             .collect()
@@ -345,7 +380,7 @@ impl Schema {
             if let Some(table) = self.table(table_name) {
                 if table.column_index(&attr).is_some() {
                     matches.push(QualifiedAttr {
-                        table: table_name.clone(),
+                        table: *table_name,
                         attr: attr.clone(),
                     });
                 }
@@ -378,11 +413,11 @@ impl Schema {
                 if lc.name == rc.name && lc.ty.compatible_with(rc.ty) {
                     result.push((
                         QualifiedAttr {
-                            table: left.clone(),
+                            table: *left,
                             attr: lc.name.clone(),
                         },
                         QualifiedAttr {
-                            table: right.clone(),
+                            table: *right,
                             attr: rc.name.clone(),
                         },
                     ));
@@ -694,6 +729,19 @@ mod tests {
     #[should_panic(expected = "is not a column")]
     fn with_primary_key_requires_existing_column() {
         let _ = TableDef::new("T", [("a", DataType::Int)]).with_primary_key("missing");
+    }
+
+    #[test]
+    fn table_names_are_copy_and_order_by_content() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TableName>();
+        // Intern in an order that differs from lexicographic order, so a
+        // symbol-number comparison would give the wrong answer.
+        let z = TableName::new("zz-tablename-probe");
+        let a = TableName::new("aa-tablename-probe");
+        assert!(a < z);
+        assert_eq!(a, TableName::new("aa-tablename-probe"));
+        assert_eq!(format!("{a:?}"), "TableName(\"aa-tablename-probe\")");
     }
 
     #[test]

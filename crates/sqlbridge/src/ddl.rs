@@ -16,292 +16,11 @@
 //! `CHECK` constraints, unknown types, ...) is rejected with a diagnostic
 //! that carries the offending source span, rather than silently dropped.
 
-use std::fmt;
-
 use dbir::schema::{QualifiedAttr, Schema, TableDef};
 use dbir::DataType;
 
-/// A half-open region of the DDL source, in 1-based line/column coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Span {
-    /// Line of the first character (1-based).
-    pub line: usize,
-    /// Column of the first character (1-based).
-    pub column: usize,
-    /// Length of the region in characters (at least 1).
-    pub len: usize,
-}
-
-impl Span {
-    fn point(line: usize, column: usize) -> Span {
-        Span {
-            line,
-            column,
-            len: 1,
-        }
-    }
-}
-
-/// A DDL parse or validation error with the source span it arose from.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SqlError {
-    /// What went wrong.
-    pub message: String,
-    /// Where it went wrong.
-    pub span: Span,
-    /// The full source line the span points into (for rendering).
-    pub source_line: String,
-}
-
-impl SqlError {
-    fn new(message: impl Into<String>, span: Span, source: &str) -> SqlError {
-        SqlError {
-            message: message.into(),
-            span,
-            source_line: source
-                .lines()
-                .nth(span.line.saturating_sub(1))
-                .unwrap_or("")
-                .to_string(),
-        }
-    }
-}
-
-impl fmt::Display for SqlError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "error: {}", self.message)?;
-        writeln!(f, " --> {}:{}", self.span.line, self.span.column)?;
-        writeln!(f, "  |")?;
-        writeln!(f, "  | {}", self.source_line)?;
-        write!(
-            f,
-            "  | {}{}",
-            " ".repeat(self.span.column.saturating_sub(1)),
-            "^".repeat(self.span.len.max(1))
-        )
-    }
-}
-
-impl std::error::Error for SqlError {}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum TokenKind {
-    Ident { text: String, quoted: bool },
-    Number(String),
-    StringLit(String),
-    Punct(char),
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Token {
-    kind: TokenKind,
-    span: Span,
-}
-
-impl Token {
-    /// The identifier text if this is an (unquoted or quoted) identifier.
-    fn ident(&self) -> Option<&str> {
-        match &self.kind {
-            TokenKind::Ident { text, .. } => Some(text),
-            _ => None,
-        }
-    }
-
-    /// True if the token is the given keyword, case-insensitively. A quoted
-    /// identifier (`"unique"`) is never a keyword, so reserved names that
-    /// [`crate::emit::Dialect::ident`] quotes on emission re-parse as plain
-    /// identifiers.
-    fn is_kw(&self, kw: &str) -> bool {
-        match &self.kind {
-            TokenKind::Ident {
-                text,
-                quoted: false,
-            } => text.eq_ignore_ascii_case(kw),
-            _ => false,
-        }
-    }
-
-    fn is_punct(&self, c: char) -> bool {
-        self.kind == TokenKind::Punct(c)
-    }
-}
-
-fn tokenize(source: &str) -> Result<Vec<Token>, SqlError> {
-    let mut tokens = Vec::new();
-    let mut chars = source.chars().peekable();
-    let (mut line, mut column) = (1usize, 1usize);
-
-    macro_rules! bump {
-        () => {{
-            let c = chars.next();
-            if c == Some('\n') {
-                line += 1;
-                column = 1;
-            } else if c.is_some() {
-                column += 1;
-            }
-            c
-        }};
-    }
-
-    while let Some(&c) = chars.peek() {
-        let span_start = Span::point(line, column);
-        match c {
-            c if c.is_whitespace() => {
-                bump!();
-            }
-            '-' => {
-                bump!();
-                if chars.peek() == Some(&'-') {
-                    while chars.peek().is_some_and(|&c| c != '\n') {
-                        bump!();
-                    }
-                } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Punct('-'),
-                        span: span_start,
-                    });
-                }
-            }
-            '/' => {
-                bump!();
-                if chars.peek() == Some(&'*') {
-                    bump!();
-                    let mut closed = false;
-                    while let Some(c) = bump!() {
-                        if c == '*' && chars.peek() == Some(&'/') {
-                            bump!();
-                            closed = true;
-                            break;
-                        }
-                    }
-                    if !closed {
-                        return Err(SqlError::new(
-                            "unterminated block comment",
-                            span_start,
-                            source,
-                        ));
-                    }
-                } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Punct('/'),
-                        span: span_start,
-                    });
-                }
-            }
-            '\'' => {
-                bump!();
-                let mut text = String::new();
-                loop {
-                    match bump!() {
-                        Some('\'') => {
-                            // '' is an escaped quote inside a string literal.
-                            if chars.peek() == Some(&'\'') {
-                                bump!();
-                                text.push('\'');
-                            } else {
-                                break;
-                            }
-                        }
-                        Some(c) => text.push(c),
-                        None => {
-                            return Err(SqlError::new(
-                                "unterminated string literal",
-                                span_start,
-                                source,
-                            ))
-                        }
-                    }
-                }
-                tokens.push(Token {
-                    kind: TokenKind::StringLit(text.clone()),
-                    span: Span {
-                        len: text.chars().count() + 2,
-                        ..span_start
-                    },
-                });
-            }
-            '"' | '`' | '[' => {
-                let close = match c {
-                    '[' => ']',
-                    c => c,
-                };
-                bump!();
-                let mut text = String::new();
-                loop {
-                    match bump!() {
-                        Some(c) if c == close => break,
-                        Some(c) => text.push(c),
-                        None => {
-                            return Err(SqlError::new(
-                                format!("unterminated quoted identifier (missing `{close}`)"),
-                                span_start,
-                                source,
-                            ))
-                        }
-                    }
-                }
-                tokens.push(Token {
-                    span: Span {
-                        len: text.chars().count() + 2,
-                        ..span_start
-                    },
-                    kind: TokenKind::Ident { text, quoted: true },
-                });
-            }
-            c if c.is_ascii_alphabetic() || c == '_' => {
-                let mut text = String::new();
-                while chars
-                    .peek()
-                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
-                {
-                    text.push(bump!().expect("peeked"));
-                }
-                tokens.push(Token {
-                    span: Span {
-                        len: text.chars().count(),
-                        ..span_start
-                    },
-                    kind: TokenKind::Ident {
-                        text,
-                        quoted: false,
-                    },
-                });
-            }
-            c if c.is_ascii_digit() => {
-                let mut text = String::new();
-                while chars
-                    .peek()
-                    .is_some_and(|&c| c.is_ascii_digit() || c == '.')
-                {
-                    text.push(bump!().expect("peeked"));
-                }
-                tokens.push(Token {
-                    kind: TokenKind::Number(text.clone()),
-                    span: Span {
-                        len: text.chars().count(),
-                        ..span_start
-                    },
-                });
-            }
-            '(' | ')' | ',' | ';' | '.' | '<' | '>' | '=' | '*' | '+' => {
-                bump!();
-                tokens.push(Token {
-                    kind: TokenKind::Punct(c),
-                    span: span_start,
-                });
-            }
-            other => {
-                return Err(SqlError::new(
-                    format!("unexpected character `{other}`"),
-                    span_start,
-                    source,
-                ));
-            }
-        }
-    }
-    Ok(tokens)
-}
+use crate::token::{tokenize, Token, TokenKind};
+pub use crate::token::{Span, SqlError};
 
 /// Maps a SQL type name (case-insensitive, arguments already stripped) to a
 /// [`DataType`].
@@ -559,7 +278,7 @@ pub fn parse_ddl(source: &str) -> Result<Schema, SqlError> {
                         }
                     }
                 }
-                let Some(ty) = data_type_for(&type_name) else {
+                let Some(mut ty) = data_type_for(&type_name) else {
                     return Err(parser.error(
                         format!(
                             "unsupported column type `{type_name}` (supported: INTEGER, \
@@ -604,6 +323,42 @@ pub fn parse_ddl(source: &str) -> Result<Schema, SqlError> {
                     } else if t.is_kw("DEFAULT") {
                         parser.next();
                         parser.skip_literal()?;
+                    } else if t.is_kw("GENERATED") {
+                        // Postgres identity columns: `GENERATED {ALWAYS | BY
+                        // DEFAULT} AS IDENTITY [( options )]`. The column is
+                        // a system-generated surrogate key, i.e. `Id`.
+                        parser.next();
+                        if parser.peek().is_some_and(|t| t.is_kw("ALWAYS")) {
+                            parser.next();
+                        } else if parser.peek().is_some_and(|t| t.is_kw("BY")) {
+                            parser.next();
+                            parser.expect_kw("DEFAULT")?;
+                        } else {
+                            return Err(parser.error(
+                                "expected `ALWAYS` or `BY DEFAULT` after `GENERATED`",
+                                t.span,
+                            ));
+                        }
+                        parser.expect_kw("AS")?;
+                        parser.expect_kw("IDENTITY")?;
+                        if parser.peek().is_some_and(|t| t.is_punct('(')) {
+                            parser.next();
+                            let mut depth = 1;
+                            while depth > 0 {
+                                match parser.next() {
+                                    Some(t) if t.is_punct('(') => depth += 1,
+                                    Some(t) if t.is_punct(')') => depth -= 1,
+                                    Some(_) => {}
+                                    None => {
+                                        return Err(parser.error(
+                                            "unterminated identity options",
+                                            parser.eof_span(),
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        ty = DataType::Id;
                     } else if t.is_kw("REFERENCES") {
                         parser.next();
                         let (to_table, _) = parser.expect_ident("referenced table")?;

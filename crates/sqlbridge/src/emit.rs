@@ -36,8 +36,10 @@ pub trait Dialect {
 
     /// The DDL type name for a [`DataType`].
     ///
-    /// Every returned name must parse back to the same `DataType` via
-    /// [`crate::ddl::data_type_for`], so emitted DDL round-trips.
+    /// The name together with [`Dialect::ddl_column_suffix`] must parse back
+    /// to the same `DataType` via [`crate::ddl::parse_ddl`], so emitted DDL
+    /// round-trips (the suffix matters for dialects like [`Postgres`] whose
+    /// identity columns are an integer type plus a constraint).
     fn type_name(&self, ty: DataType) -> &'static str;
 
     /// Renders a boolean literal.
@@ -47,6 +49,21 @@ pub trait Dialect {
         } else {
             "FALSE"
         }
+    }
+
+    /// Extra column-constraint text emitted after the type name in DDL
+    /// (e.g. Postgres identity columns). Whatever is returned must re-parse
+    /// via [`crate::ddl::parse_ddl`] to the same column the DDL was emitted
+    /// from, so emitted DDL round-trips.
+    fn ddl_column_suffix(&self, _ty: DataType) -> &'static str {
+        ""
+    }
+
+    /// Clause inserted between the column list and `SELECT`/`VALUES` of an
+    /// `INSERT` that writes explicit values into system-generated identity
+    /// columns (Postgres `OVERRIDING SYSTEM VALUE`; empty elsewhere).
+    fn insert_overriding_clause(&self) -> &'static str {
+        ""
     }
 
     /// Quotes an identifier if it needs quoting.
@@ -169,11 +186,70 @@ impl Dialect for Sqlite {
     }
 }
 
+/// PostgreSQL: numbered `$N` placeholders, `TEXT` strings, `BYTEA` blobs,
+/// identity columns for surrogate keys.
+///
+/// Two deliberate differences from [`Ansi`]:
+///
+/// * unquoted identifiers fold to lowercase in Postgres, so any identifier
+///   containing an uppercase character is quoted to round-trip;
+/// * [`DataType::Id`] columns are emitted as
+///   `BIGINT GENERATED ALWAYS AS IDENTITY` — the migration scripts fill them
+///   with integer skolem expressions, so the type must be integral, and
+///   explicit inserts carry `OVERRIDING SYSTEM VALUE`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Postgres;
+
+impl Dialect for Postgres {
+    fn name(&self) -> &'static str {
+        "postgres"
+    }
+
+    fn placeholder(&self, _param: &str, index: usize) -> String {
+        format!("${index}")
+    }
+
+    fn type_name(&self, ty: DataType) -> &'static str {
+        match ty {
+            DataType::Int => "BIGINT",
+            DataType::String => "TEXT",
+            DataType::Binary => "BYTEA",
+            DataType::Bool => "BOOLEAN",
+            DataType::Id => "BIGINT",
+        }
+    }
+
+    fn ddl_column_suffix(&self, ty: DataType) -> &'static str {
+        match ty {
+            DataType::Id => " GENERATED ALWAYS AS IDENTITY",
+            _ => "",
+        }
+    }
+
+    fn insert_overriding_clause(&self) -> &'static str {
+        "OVERRIDING SYSTEM VALUE "
+    }
+
+    fn ident(&self, name: &str) -> String {
+        let plain = !name.is_empty()
+            && name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_lowercase() || (i > 0 && c.is_ascii_digit()));
+        if plain && !is_reserved(name) {
+            name.to_string()
+        } else {
+            format!("\"{}\"", name.replace('"', "\"\""))
+        }
+    }
+}
+
 /// Returns the dialect registered under `name`, if any.
 pub fn dialect_by_name(name: &str) -> Option<Box<dyn Dialect>> {
     match name.to_ascii_lowercase().as_str() {
         "ansi" | "generic" => Some(Box::new(Ansi)),
         "sqlite" | "sqlite3" => Some(Box::new(Sqlite)),
+        "postgres" | "postgresql" | "pg" => Some(Box::new(Postgres)),
         _ => None,
     }
 }
@@ -222,21 +298,7 @@ impl Emitter<'_> {
     }
 
     fn literal(&self, value: &Value) -> String {
-        match value {
-            Value::Null => "NULL".to_string(),
-            Value::Int(n) => n.to_string(),
-            Value::Str(s) => format!("'{}'", s.as_str().replace('\'', "''")),
-            Value::Bytes(b) => {
-                let mut out = String::from("X'");
-                for byte in b.as_bytes() {
-                    let _ = write!(out, "{byte:02x}");
-                }
-                out.push('\'');
-                out
-            }
-            Value::Bool(b) => self.dialect.bool_literal(*b).to_string(),
-            Value::Uid(u) => u.to_string(),
-        }
+        value_literal(value, self.dialect)
     }
 
     fn join_chain(&self, join: &JoinChain) -> String {
@@ -581,6 +643,63 @@ fn decompose(query: &Query) -> (Option<&[QualifiedAttr]>, Option<&Pred>, &JoinCh
     }
 }
 
+/// Renders a single value as a SQL literal in the given dialect.
+pub fn value_literal(value: &Value, dialect: &dyn Dialect) -> String {
+    match value {
+        Value::Null => "NULL".to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Str(s) => format!("'{}'", s.as_str().replace('\'', "''")),
+        Value::Bytes(b) => {
+            let mut out = String::from("X'");
+            for byte in b.as_bytes() {
+                let _ = write!(out, "{byte:02x}");
+            }
+            out.push('\'');
+            out
+        }
+        Value::Bool(b) => dialect.bool_literal(*b).to_string(),
+        Value::Uid(u) => u.to_string(),
+    }
+}
+
+/// Renders every row of an instance as dialect-correct `INSERT` statements,
+/// one per row, in schema table order.
+///
+/// Only tables present in `schema` are emitted; each statement names its
+/// columns explicitly so it stays valid if the table gains columns later.
+/// Used by the migration validator (crate `sqlexec`) to seed a backend with
+/// a concrete source instance.
+pub fn instance_inserts(
+    schema: &Schema,
+    instance: &dbir::Instance,
+    dialect: &dyn Dialect,
+) -> Vec<String> {
+    let mut statements = Vec::new();
+    for table in schema.tables() {
+        let columns: Vec<String> = table
+            .columns
+            .iter()
+            .map(|c| dialect.ident(c.name.as_str()))
+            .collect();
+        let overriding = if table.columns.iter().any(|c| c.ty == DataType::Id) {
+            dialect.insert_overriding_clause()
+        } else {
+            ""
+        };
+        for row in instance.rows(&table.name) {
+            let values: Vec<String> = row.iter().map(|v| value_literal(v, dialect)).collect();
+            statements.push(format!(
+                "INSERT INTO {} ({}) {}VALUES ({});",
+                dialect.ident(table.name.as_str()),
+                columns.join(", "),
+                overriding,
+                values.join(", ")
+            ));
+        }
+    }
+    statements
+}
+
 /// Renders one function as SQL.
 pub fn function_to_sql(function: &Function, dialect: &dyn Dialect) -> SqlFunction {
     let param_index: BTreeMap<String, usize> = function
@@ -658,9 +777,10 @@ pub fn schema_to_ddl(schema: &Schema, dialect: &dyn Dialect) -> String {
             .count();
         for (i, column) in table.columns.iter().enumerate() {
             let mut line = format!(
-                "    {} {}",
+                "    {} {}{}",
                 dialect.ident(column.name.as_str()),
-                dialect.type_name(column.ty)
+                dialect.type_name(column.ty),
+                dialect.ddl_column_suffix(column.ty)
             );
             if table.primary_key.as_ref() == Some(&column.name) {
                 line.push_str(" PRIMARY KEY");
@@ -841,7 +961,7 @@ mod tests {
     #[test]
     fn schema_ddl_roundtrips_through_the_parser() {
         let (schema, _) = motivating();
-        for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+        for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
             let ddl = schema_to_ddl(&schema, dialect);
             let reparsed = crate::ddl::parse_ddl(&ddl).unwrap();
             assert_eq!(
@@ -868,7 +988,7 @@ mod tests {
                 ],
             ))
             .unwrap();
-        for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+        for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
             let ddl = schema_to_ddl(&schema, dialect);
             let reparsed = crate::ddl::parse_ddl(&ddl).unwrap();
             assert_eq!(
@@ -877,6 +997,31 @@ mod tests {
                 "dialect {} does not round-trip reserved names:\n{ddl}",
                 dialect.name()
             );
+        }
+    }
+
+    #[test]
+    fn postgres_emits_identity_surrogate_keys_and_quotes_uppercase() {
+        let (schema, _) = motivating();
+        let ddl = schema_to_ddl(&schema, &Postgres);
+        // Id columns become integer identity columns (the migration fills
+        // them with integer skolem expressions), and mixed-case identifiers
+        // are quoted because unquoted Postgres identifiers fold to
+        // lowercase.
+        assert!(
+            ddl.contains(r#""PicId" BIGINT GENERATED ALWAYS AS IDENTITY"#),
+            "{ddl}"
+        );
+        assert!(ddl.contains(r#"CREATE TABLE "Instructor""#), "{ddl}");
+        assert_eq!(Postgres.ident("lower_case9"), "lower_case9");
+        assert_eq!(Postgres.ident("MixedCase"), "\"MixedCase\"");
+        assert_eq!(Postgres.placeholder("id", 2), "$2");
+    }
+
+    #[test]
+    fn postgres_dialect_is_registered() {
+        for name in ["postgres", "PostgreSQL", "pg"] {
+            assert_eq!(dialect_by_name(name).unwrap().name(), "postgres");
         }
     }
 

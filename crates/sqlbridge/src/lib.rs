@@ -8,9 +8,12 @@
 //! * [`emit`] — render schemas back to DDL and synthesized programs as
 //!   parameterized SQL, behind a [`emit::Dialect`] hook (generic ANSI and
 //!   SQLite provided);
-//! * [`migration`] — generate `INSERT INTO target SELECT ... FROM source`
-//!   scripts that move existing data to the refactored schema, from the
-//!   winning value correspondence;
+//! * [`migration`] — plan and generate executable data-migration scripts
+//!   (staging renames, target DDL, `INSERT INTO target SELECT ... FROM
+//!   source` data moves, cleanup drops) that move existing data to the
+//!   refactored schema, from the winning value correspondence;
+//! * [`token`] — the SQL tokenizer shared by the DDL parser and the
+//!   `sqlexec` in-memory execution engine;
 //! * [`json`] — a dependency-free JSON builder used by the `migrate` CLI and
 //!   the experiment harness for machine-readable output.
 //!
@@ -47,11 +50,23 @@
 //! assert!(sql.contains("SELECT Users.handle FROM Users WHERE Users.uid = :uid;"));
 //!
 //! let phi = result.correspondence.expect("success carries the correspondence");
+//! // `Users` exists in both schemas, so the migration stages the source
+//! // table under `legacy_Users`, recreates `Users` with the target columns,
+//! // moves the data and drops the staged table — a script a DBA can run.
 //! let script = migration_script(&source_schema, &target_schema, &phi, &Ansi);
 //! assert_eq!(
-//!     script.statements,
-//!     vec!["INSERT INTO Users (uid, handle) SELECT Users.uid, Users.nick FROM Users;".to_string()],
+//!     script.preamble[0],
+//!     "ALTER TABLE Users RENAME TO legacy_Users;".to_string(),
 //! );
+//! assert_eq!(
+//!     script.statements,
+//!     vec![
+//!         "INSERT INTO Users (uid, handle) SELECT legacy_Users.uid, legacy_Users.nick \
+//!          FROM legacy_Users;"
+//!             .to_string()
+//!     ],
+//! );
+//! assert_eq!(script.cleanup, vec!["DROP TABLE legacy_Users;".to_string()]);
 //! let _ = render_migration_script(&script, &Ansi);
 //! ```
 
@@ -63,11 +78,16 @@ pub mod ddl;
 pub mod emit;
 pub mod json;
 pub mod migration;
+pub mod token;
 
-pub use ddl::{parse_ddl, Span, SqlError};
+pub use ddl::parse_ddl;
 pub use emit::{
-    dialect_by_name, function_to_sql, program_to_sql, render_sql_program, schema_to_ddl, Ansi,
-    Dialect, SqlFunction, Sqlite,
+    dialect_by_name, function_to_sql, instance_inserts, program_to_sql, render_sql_program,
+    schema_to_ddl, value_literal, Ansi, Dialect, Postgres, SqlFunction, Sqlite,
 };
 pub use json::Json;
-pub use migration::{migration_script, render_migration_script, MigrationScript};
+pub use migration::{
+    migration_plan, migration_script, render_migration_plan, render_migration_script, ColumnFill,
+    MigrationPlan, MigrationScript, PlannedInsert,
+};
+pub use token::{Span, SqlError};

@@ -1,17 +1,19 @@
-//! Data-migration script generation: `INSERT INTO target SELECT ... FROM
-//! source` statements that move existing rows into the refactored schema.
+//! Data-migration planning and script generation: `INSERT INTO target
+//! SELECT ... FROM source` statements that move existing rows into the
+//! refactored schema.
 //!
-//! The synthesized program migrates the *application*; the script generated
-//! here migrates the *data already stored* under the source schema, in the
+//! The synthesized program migrates the *application*; the plan built here
+//! migrates the *data already stored* under the source schema, in the
 //! spirit of the follow-up work on Datalog-based data migration (Wang et
 //! al., 2020). The winning [`ValueCorrespondence`] says which target column
-//! each source column feeds; this module turns it into SQL:
+//! each source column feeds; [`migration_plan`] turns it into an explicit
+//! [`MigrationPlan`]:
 //!
 //! * target columns fed by the same source table (or by source tables
-//!   joinable in the source schema) are filled by one `INSERT ... SELECT`;
+//!   joinable in the source schema) are filled by one [`PlannedInsert`];
 //! * a target column fed by several unrelated source tables (e.g. a shared
 //!   `Picture.Pic` collecting instructor *and* TA pictures) produces one
-//!   `INSERT ... SELECT` per source — a union of row sets;
+//!   insert per source — a union of row sets;
 //! * unmapped target identifier columns that link target tables (fresh
 //!   surrogate keys) are populated with a deterministic skolem expression
 //!   `key * N + i` derived from the feeding source table's *integer* key, so
@@ -19,6 +21,21 @@
 //!   table. A source whose only key is an `id` column (emitted as UUID in
 //!   DDL) cannot seed the arithmetic; its link column is skipped with a
 //!   note instead of emitting invalid UUID arithmetic.
+//!
+//! The plan has two independent consumers, which is what makes the emitted
+//! SQL testable end-to-end: [`migration_script`] renders it as executable
+//! SQL, and the `sqlexec` crate evaluates the same plan directly over a
+//! [`dbir::Instance`] to predict the target instance the SQL must produce.
+//!
+//! [`migration_script`] produces a script a DBA can actually run against a
+//! database holding the source schema and its data: source tables whose
+//! name collides with a target table are first renamed to a staging name
+//! (`legacy_<name>`), the target tables are created, the `INSERT ..
+//! SELECT`s move the data (reading staged names where applicable), and a
+//! cleanup phase drops the staged and source-only tables **whose rows the
+//! migration moved**. A source table no insert reads is never dropped —
+//! the migration copied none of its rows, so dropping it would destroy
+//! data — and a note tells the DBA to deal with it manually.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -27,22 +44,116 @@ use dbir::schema::{QualifiedAttr, Schema, TableDef};
 use dbir::{DataType, TableName};
 use migrator::ValueCorrespondence;
 
-use crate::emit::Dialect;
+use crate::emit::{schema_to_ddl, Dialect};
+
+/// How one target column of a [`PlannedInsert`] is filled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnFill {
+    /// Copied from a source attribute readable in the insert's FROM clause.
+    Source(QualifiedAttr),
+    /// Fresh surrogate key: the skolem expression `key * factor + tag`,
+    /// where `key` is an integer attribute readable in the FROM clause.
+    Skolem {
+        /// The integer source attribute seeding the expression.
+        key: QualifiedAttr,
+        /// The multiplier (the number of source tables), keeping tags from
+        /// different source tables disjoint.
+        factor: usize,
+        /// The tag identifying which source table seeded the key.
+        tag: usize,
+    },
+}
+
+/// One planned `INSERT INTO target SELECT ... FROM sources` of a migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedInsert {
+    /// The target table receiving rows.
+    pub target: TableName,
+    /// Source tables in join order; the first is the anchor.
+    pub tables: Vec<TableName>,
+    /// For each table after the anchor, the equi-join condition linking it
+    /// to an earlier table of the chain (`None` degrades to a cross join;
+    /// unreachable in practice because grouping only admits joinable
+    /// tables).
+    pub joins: Vec<Option<(QualifiedAttr, QualifiedAttr)>>,
+    /// `(target column, fill)` pairs in target column order. Target columns
+    /// with no fill (unmapped, un-skolemizable) are simply absent.
+    pub columns: Vec<(QualifiedAttr, ColumnFill)>,
+}
+
+/// A source table staged under a fresh name because a target table takes
+/// its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedRename {
+    /// The source table being renamed.
+    pub table: TableName,
+    /// The staging name the migration reads it under.
+    pub staged: String,
+    /// Whether cleanup drops the staged table. Only tables whose rows the
+    /// migration actually moved are dropped; a staged table the migration
+    /// never read keeps the data nothing else holds.
+    pub drop_after: bool,
+}
+
+/// A complete data-migration plan for one refactoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The planned inserts, ordered so foreign-key referenced target tables
+    /// are filled before their referrers.
+    pub inserts: Vec<PlannedInsert>,
+    /// Source tables whose name collides with a target table, staged under
+    /// fresh names while the migration runs.
+    pub renames: Vec<StagedRename>,
+    /// Source tables absent from the target schema whose rows the
+    /// migration moved, dropped after the data moves. Source tables the
+    /// migration never reads are kept (see [`MigrationPlan::notes`]).
+    pub dropped_sources: Vec<TableName>,
+    /// Human-readable caveats (skipped columns, manual steps).
+    pub notes: Vec<String>,
+}
+
+impl MigrationPlan {
+    /// The staging name a source table is read under while the migration
+    /// runs (its own name unless it collides with a target table).
+    pub fn effective_name(&self, table: &TableName) -> &str {
+        self.renames
+            .iter()
+            .find(|r| &r.table == table)
+            .map(|r| r.staged.as_str())
+            .unwrap_or_else(|| table.as_str())
+    }
+}
 
 /// A generated data-migration script.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationScript {
+    /// Statements preparing the schemas: staging renames of colliding
+    /// source tables, then `CREATE TABLE` DDL for every target table.
+    pub preamble: Vec<String>,
     /// `INSERT INTO ... SELECT ...` statements, in an order that respects
     /// target foreign keys where possible.
     pub statements: Vec<String>,
+    /// Statements dropping staged and source-only tables once the data has
+    /// moved, leaving exactly the target schema.
+    pub cleanup: Vec<String>,
     /// Human-readable caveats (skipped columns, manual steps).
     pub notes: Vec<String>,
 }
 
 impl MigrationScript {
-    /// True if the script moves no data at all.
+    /// True if the script does nothing at all — no data moves and (by
+    /// construction, see [`render_migration_plan`]) no schema changes.
     pub fn is_empty(&self) -> bool {
-        self.statements.is_empty()
+        self.statements.is_empty() && self.preamble.is_empty() && self.cleanup.is_empty()
+    }
+
+    /// Every statement of the script in execution order (preamble, data
+    /// moves, cleanup).
+    pub fn all_statements(&self) -> impl Iterator<Item = &String> {
+        self.preamble
+            .iter()
+            .chain(self.statements.iter())
+            .chain(self.cleanup.iter())
     }
 }
 
@@ -78,7 +189,7 @@ fn skolem_key(table: &TableDef) -> Option<QualifiedAttr> {
             .iter()
             .any(|c| &c.name == pk && c.ty == DataType::Int);
         return pk_is_int.then(|| QualifiedAttr {
-            table: table.name.clone(),
+            table: table.name,
             attr: pk.clone(),
         });
     }
@@ -87,7 +198,7 @@ fn skolem_key(table: &TableDef) -> Option<QualifiedAttr> {
         .iter()
         .find(|c| c.ty == DataType::Int)
         .map(|c| QualifiedAttr {
-            table: table.name.clone(),
+            table: table.name,
             attr: c.name.clone(),
         })
 }
@@ -203,11 +314,7 @@ fn link_skolem(
 /// before their referrers (Kahn's algorithm; cycles fall back to declaration
 /// order).
 fn fk_order(target_schema: &Schema) -> Vec<TableName> {
-    let tables: Vec<TableName> = target_schema
-        .tables()
-        .iter()
-        .map(|t| t.name.clone())
-        .collect();
+    let tables: Vec<TableName> = target_schema.tables().iter().map(|t| t.name).collect();
     let mut emitted: Vec<TableName> = Vec::new();
     let mut remaining = tables.clone();
     while !remaining.is_empty() {
@@ -233,19 +340,17 @@ fn fk_order(target_schema: &Schema) -> Vec<TableName> {
     emitted
 }
 
-/// Generates the data-migration script for a refactoring described by `phi`.
-pub fn migration_script(
+/// Builds the data-migration plan for a refactoring described by `phi`.
+pub fn migration_plan(
     source_schema: &Schema,
     target_schema: &Schema,
     phi: &ValueCorrespondence,
-    dialect: &dyn Dialect,
-) -> MigrationScript {
-    let mut statements = Vec::new();
+) -> MigrationPlan {
     let mut notes = Vec::new();
     let source_table_count = source_schema.table_count().max(1);
 
     // Pass 1: plan the INSERT groups of every target table, so link columns
-    // can consult their partner table's groups during emission.
+    // can consult their partner table's groups during fill selection.
     let mut table_groups: Vec<(TableName, Vec<Group>)> = Vec::new();
     for target_name in fk_order(target_schema) {
         let target_table = target_schema
@@ -260,7 +365,7 @@ pub fn migration_script(
             .map(|c| {
                 (
                     QualifiedAttr {
-                        table: target_name.clone(),
+                        table: target_name,
                         attr: c.name.clone(),
                     },
                     Vec::new(),
@@ -289,12 +394,12 @@ pub fn migration_script(
                 match placed {
                     Some(group) => {
                         if !group.tables.contains(&source.table) {
-                            group.tables.push(source.table.clone());
+                            group.tables.push(source.table);
                         }
                         group.assignments.push((column.clone(), source.clone()));
                     }
                     None => groups.push(Group {
-                        tables: vec![source.table.clone()],
+                        tables: vec![source.table],
                         assignments: vec![(column.clone(), source.clone())],
                     }),
                 }
@@ -308,7 +413,8 @@ pub fn migration_script(
         table_groups.push((target_name, groups));
     }
 
-    // Pass 2: emit one INSERT ... SELECT per group.
+    // Pass 2: decide the column fills and join chains of every group.
+    let mut inserts = Vec::new();
     for (target_name, groups) in &table_groups {
         let target_table = target_schema
             .table(target_name)
@@ -318,37 +424,31 @@ pub fn migration_script(
             // Columns: the group's assignments plus skolem-filled link
             // columns, in target column order.
             let mut columns = Vec::new();
-            let mut exprs = Vec::new();
             let mut skipped = Vec::new();
             for column_def in &target_table.columns {
                 let column = QualifiedAttr {
-                    table: target_name.clone(),
+                    table: *target_name,
                     attr: column_def.name.clone(),
                 };
                 if let Some((_, source)) = group.assignments.iter().find(|(c, _)| c == &column) {
-                    columns.push(dialect.ident(column.attr.as_str()));
-                    exprs.push(format!(
-                        "{}.{}",
-                        dialect.ident(source.table.as_str()),
-                        dialect.ident(source.attr.as_str())
-                    ));
+                    columns.push((column, ColumnFill::Source(source.clone())));
                 } else if column_def.ty == DataType::Id
                     && !link_partners(target_schema, &column).is_empty()
                 {
                     match link_skolem(source_schema, target_schema, &table_groups, group, &column) {
                         Some((key, tag)) => {
-                            columns.push(dialect.ident(column.attr.as_str()));
-                            exprs.push(format!(
-                                "{}.{} * {} + {}",
-                                dialect.ident(key.table.as_str()),
-                                dialect.ident(key.attr.as_str()),
-                                source_table_count,
-                                tag
-                            ));
                             notes.push(format!(
                                 "{column} is a fresh surrogate key: filled with the skolem \
                                  expression {key} * {source_table_count} + {tag} so linked \
                                  rows agree across target tables"
+                            ));
+                            columns.push((
+                                column,
+                                ColumnFill::Skolem {
+                                    key,
+                                    factor: source_table_count,
+                                    tag,
+                                },
                             ));
                         }
                         None => {
@@ -366,79 +466,258 @@ pub fn migration_script(
                 ));
             }
 
-            // FROM clause: anchor joined to the remaining group tables.
-            let mut from = dialect.ident(group.tables[0].as_str());
+            // Join chain: anchor joined to the remaining group tables.
+            let mut joins = Vec::new();
             let mut joined: BTreeSet<TableName> = BTreeSet::new();
-            joined.insert(group.tables[0].clone());
+            joined.insert(group.tables[0]);
             for table in &group.tables[1..] {
                 let partner = joined
                     .iter()
                     .find(|t| source_schema.joinable(t, table))
-                    .cloned();
-                match partner {
-                    Some(partner) => {
-                        let (a, b) = source_schema.join_attrs(&partner, table)[0].clone();
-                        let _ = write!(
-                            from,
-                            " JOIN {} ON {}.{} = {}.{}",
-                            dialect.ident(table.as_str()),
-                            dialect.ident(a.table.as_str()),
-                            dialect.ident(a.attr.as_str()),
-                            dialect.ident(b.table.as_str()),
-                            dialect.ident(b.attr.as_str())
-                        );
-                    }
-                    None => {
-                        // Grouping only admits joinable tables, so this is
-                        // unreachable; degrade to a cross join defensively.
-                        let _ = write!(from, ", {}", dialect.ident(table.as_str()));
-                    }
-                }
-                joined.insert(table.clone());
+                    .copied();
+                joins.push(
+                    partner.map(|partner| source_schema.join_attrs(&partner, table)[0].clone()),
+                );
+                joined.insert(*table);
             }
 
-            statements.push(format!(
-                "INSERT INTO {} ({}) SELECT {} FROM {};",
-                dialect.ident(target_name.as_str()),
-                columns.join(", "),
-                exprs.join(", "),
-                from
+            inserts.push(PlannedInsert {
+                target: *target_name,
+                tables: group.tables.clone(),
+                joins,
+                columns,
+            });
+        }
+    }
+
+    // Staging renames for source tables colliding with a target table, and
+    // drops for source tables whose rows actually moved. A table no insert
+    // reads holds data the migration never copied anywhere — dropping it
+    // would destroy that data, so it is left in place (under its staging
+    // name when it collides) with a note telling the DBA to deal with it.
+    let read_tables: BTreeSet<TableName> = inserts
+        .iter()
+        .flat_map(|insert| insert.tables.iter().copied())
+        .collect();
+    let mut taken: BTreeSet<String> = source_schema
+        .tables()
+        .iter()
+        .chain(target_schema.tables())
+        .map(|t| t.name.as_str().to_string())
+        .collect();
+    let mut renames = Vec::new();
+    let mut dropped_sources = Vec::new();
+    for source_table in source_schema.tables() {
+        let read = read_tables.contains(&source_table.name);
+        if target_schema.table(&source_table.name).is_some() {
+            let mut staged = format!("legacy_{}", source_table.name);
+            while taken.contains(&staged) {
+                staged.insert(0, '_');
+            }
+            taken.insert(staged.clone());
+            if !read {
+                notes.push(format!(
+                    "source table {} is staged as {staged} but NOT dropped: the migration \
+                     moves none of its rows, so dropping it would destroy data",
+                    source_table.name
+                ));
+            }
+            renames.push(StagedRename {
+                table: source_table.name,
+                staged,
+                drop_after: read,
+            });
+        } else if read {
+            dropped_sources.push(source_table.name);
+            notes.push(format!(
+                "source table {} is dropped after migration (absent from the target schema)",
+                source_table.name
+            ));
+        } else {
+            notes.push(format!(
+                "source table {} is NOT dropped: the migration moves none of its rows; \
+                 drop it manually once its data is dealt with",
+                source_table.name
             ));
         }
     }
 
-    MigrationScript { statements, notes }
+    MigrationPlan {
+        inserts,
+        renames,
+        dropped_sources,
+        notes,
+    }
 }
 
-/// Renders a migration script as one SQL document wrapped in a transaction.
+/// Generates the executable data-migration script for a refactoring
+/// described by `phi`: staging renames and target DDL, the data moves, and
+/// the cleanup drops (see [`MigrationScript`]).
+pub fn migration_script(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    phi: &ValueCorrespondence,
+    dialect: &dyn Dialect,
+) -> MigrationScript {
+    let plan = migration_plan(source_schema, target_schema, phi);
+    render_migration_plan(&plan, target_schema, dialect)
+}
+
+/// Renders a [`MigrationPlan`] as SQL statements in the given dialect.
+pub fn render_migration_plan(
+    plan: &MigrationPlan,
+    target_schema: &Schema,
+    dialect: &dyn Dialect,
+) -> MigrationScript {
+    // A plan with no data moves renders as a genuinely empty script: a
+    // document announcing "nothing to migrate" must not smuggle in schema
+    // mutations (renaming production tables, creating empty targets).
+    if plan.inserts.is_empty() {
+        let mut notes = plan.notes.clone();
+        notes.push(
+            "no data moves were planned; schema changes are not emitted — apply the \
+             target DDL manually once the correspondence is resolved"
+                .to_string(),
+        );
+        return MigrationScript {
+            preamble: Vec::new(),
+            statements: Vec::new(),
+            cleanup: Vec::new(),
+            notes,
+        };
+    }
+
+    // A source attribute rendered against the staging name of its table.
+    let attr = |a: &QualifiedAttr| {
+        format!(
+            "{}.{}",
+            dialect.ident(plan.effective_name(&a.table)),
+            dialect.ident(a.attr.as_str())
+        )
+    };
+
+    let mut preamble = Vec::new();
+    for rename in &plan.renames {
+        preamble.push(format!(
+            "ALTER TABLE {} RENAME TO {};",
+            dialect.ident(rename.table.as_str()),
+            dialect.ident(&rename.staged)
+        ));
+    }
+    for statement in schema_to_ddl(target_schema, dialect).split_inclusive(");\n") {
+        let statement = statement.trim();
+        if !statement.is_empty() {
+            preamble.push(statement.to_string());
+        }
+    }
+
+    let mut statements = Vec::new();
+    for insert in &plan.inserts {
+        let mut columns = Vec::new();
+        let mut exprs = Vec::new();
+        let mut writes_id_column = false;
+        for (column, fill) in &insert.columns {
+            columns.push(dialect.ident(column.attr.as_str()));
+            writes_id_column |= target_schema.attr_type(column) == Some(DataType::Id);
+            exprs.push(match fill {
+                ColumnFill::Source(source) => attr(source),
+                ColumnFill::Skolem { key, factor, tag } => {
+                    format!("{} * {factor} + {tag}", attr(key))
+                }
+            });
+        }
+
+        // FROM clause: anchor joined to the remaining insert tables.
+        let mut from = dialect.ident(plan.effective_name(&insert.tables[0]));
+        for (table, join) in insert.tables[1..].iter().zip(&insert.joins) {
+            match join {
+                Some((a, b)) => {
+                    let _ = write!(
+                        from,
+                        " JOIN {} ON {} = {}",
+                        dialect.ident(plan.effective_name(table)),
+                        attr(a),
+                        attr(b)
+                    );
+                }
+                None => {
+                    // Grouping only admits joinable tables, so this is
+                    // unreachable; degrade to a cross join defensively.
+                    let _ = write!(from, ", {}", dialect.ident(plan.effective_name(table)));
+                }
+            }
+        }
+
+        let overriding = if writes_id_column {
+            dialect.insert_overriding_clause()
+        } else {
+            ""
+        };
+        statements.push(format!(
+            "INSERT INTO {} ({}) {overriding}SELECT {} FROM {};",
+            dialect.ident(insert.target.as_str()),
+            columns.join(", "),
+            exprs.join(", "),
+            from
+        ));
+    }
+
+    let mut cleanup = Vec::new();
+    for rename in &plan.renames {
+        if rename.drop_after {
+            cleanup.push(format!("DROP TABLE {};", dialect.ident(&rename.staged)));
+        }
+    }
+    for table in &plan.dropped_sources {
+        cleanup.push(format!("DROP TABLE {};", dialect.ident(table.as_str())));
+    }
+
+    MigrationScript {
+        preamble,
+        statements,
+        cleanup,
+        notes: plan.notes.clone(),
+    }
+}
+
+/// Renders a migration script as one SQL document: schema preparation, the
+/// data moves wrapped in a transaction, then cleanup.
 pub fn render_migration_script(script: &MigrationScript, dialect: &dyn Dialect) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "-- data migration script ({} dialect)", dialect.name());
     for note in &script.notes {
         let _ = writeln!(out, "-- note: {note}");
     }
-    if script.is_empty() {
-        let _ = writeln!(out, "-- nothing to migrate");
-        return out;
-    }
-    let _ = writeln!(out, "BEGIN;");
-    for statement in &script.statements {
+    for statement in &script.preamble {
         let _ = writeln!(out, "{statement}");
     }
-    let _ = writeln!(out, "COMMIT;");
+    if script.is_empty() {
+        let _ = writeln!(out, "-- nothing to migrate");
+    } else {
+        let _ = writeln!(out, "BEGIN;");
+        for statement in &script.statements {
+            let _ = writeln!(out, "{statement}");
+        }
+        let _ = writeln!(out, "COMMIT;");
+    }
+    for statement in &script.cleanup {
+        let _ = writeln!(out, "{statement}");
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::emit::Ansi;
+    use crate::emit::{Ansi, Postgres};
 
     fn qa(t: &str, a: &str) -> QualifiedAttr {
         QualifiedAttr::new(t, a)
     }
 
     /// The paper's motivating example: pictures move into a shared table.
+    /// All three source tables collide with target tables, so the data
+    /// moves read the staged `legacy_*` names.
     #[test]
     fn motivating_example_unions_pictures_and_links_them() {
         let source = Schema::parse(
@@ -483,23 +762,56 @@ mod tests {
         // the link survives migration (source table count 3, Instructor is
         // source table index 1, TA index 2).
         assert!(
-            picture[0].contains("Instructor.InstId * 3 + 1"),
+            picture[0].contains("legacy_Instructor.InstId * 3 + 1"),
             "{}",
             picture[0]
         );
-        assert!(picture[1].contains("TA.TaId * 3 + 2"), "{}", picture[1]);
+        assert!(
+            picture[1].contains("legacy_TA.TaId * 3 + 2"),
+            "{}",
+            picture[1]
+        );
         let instructor = script
             .statements
             .iter()
             .find(|s| s.starts_with("INSERT INTO Instructor"))
             .unwrap();
         assert!(
-            instructor.contains("Instructor.InstId * 3 + 1"),
+            instructor.contains("legacy_Instructor.InstId * 3 + 1"),
             "{instructor}"
         );
         assert!(
             instructor.contains("(InstId, IName, PicId)"),
             "{instructor}"
+        );
+        assert!(
+            instructor.contains("FROM legacy_Instructor;"),
+            "{instructor}"
+        );
+        // All three colliding source tables are staged first and dropped at
+        // the end; the target tables are created in between.
+        assert!(
+            script
+                .preamble
+                .contains(&"ALTER TABLE Instructor RENAME TO legacy_Instructor;".to_string()),
+            "{:#?}",
+            script.preamble
+        );
+        assert!(
+            script
+                .preamble
+                .iter()
+                .any(|s| s.starts_with("CREATE TABLE Picture")),
+            "{:#?}",
+            script.preamble
+        );
+        assert_eq!(
+            script.cleanup,
+            vec![
+                "DROP TABLE legacy_Class;".to_string(),
+                "DROP TABLE legacy_Instructor;".to_string(),
+                "DROP TABLE legacy_TA;".to_string(),
+            ]
         );
     }
 
@@ -522,6 +834,16 @@ mod tests {
             script.statements[0],
             "INSERT INTO Contact (pid, name, city) SELECT Person.pid, Person.name, \
              Address.city FROM Person JOIN Address ON Person.pid = Address.pid;"
+        );
+        // No collisions: nothing is staged, and the source tables are
+        // dropped once their data has moved.
+        assert!(script.preamble.iter().all(|s| !s.starts_with("ALTER")));
+        assert_eq!(
+            script.cleanup,
+            vec![
+                "DROP TABLE Person;".to_string(),
+                "DROP TABLE Address;".to_string(),
+            ]
         );
     }
 
@@ -691,6 +1013,8 @@ mod tests {
         assert!(rendered.contains("BEGIN;"));
         assert!(rendered.contains("COMMIT;"));
         assert!(rendered.contains("-- note:"));
+        assert!(rendered.contains("CREATE TABLE B"), "{rendered}");
+        assert!(rendered.contains("DROP TABLE A;"), "{rendered}");
     }
 
     #[test]
@@ -699,7 +1023,111 @@ mod tests {
         let target = Schema::parse("B(y: int)").unwrap();
         let script = migration_script(&source, &target, &ValueCorrespondence::new(), &Ansi);
         assert!(script.is_empty());
+        assert!(script.preamble.is_empty(), "{:#?}", script.preamble);
+        assert!(script.cleanup.is_empty(), "{:#?}", script.cleanup);
         let rendered = render_migration_script(&script, &Ansi);
         assert!(rendered.contains("nothing to migrate"));
+        // The "nothing to migrate" document must not smuggle in schema
+        // mutations.
+        assert!(!rendered.contains("CREATE TABLE"), "{rendered}");
+        assert!(!rendered.contains("ALTER TABLE"), "{rendered}");
+    }
+
+    /// A staging name that is already taken gains underscores until it is
+    /// fresh.
+    #[test]
+    fn staging_names_avoid_existing_tables() {
+        let source = Schema::parse("T(x: int)\nlegacy_T(y: int)").unwrap();
+        let target = Schema::parse("T(x: int)").unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("T", "x"), qa("T", "x"));
+        let plan = migration_plan(&source, &target, &phi);
+        assert_eq!(plan.renames.len(), 1);
+        assert_eq!(plan.renames[0].staged, "_legacy_T");
+        assert!(plan.renames[0].drop_after);
+        assert_eq!(plan.effective_name(&"T".into()), "_legacy_T");
+    }
+
+    /// Regression (review finding): a source table the migration never
+    /// reads must not be dropped — its rows were copied nowhere, so the
+    /// "executable as printed" script would destroy data.
+    #[test]
+    fn unread_source_tables_are_never_dropped() {
+        // `Orphan` feeds nothing; `T` collides with the target but is also
+        // unread (empty phi for it would be odd, so map A only).
+        let source = Schema::parse("A(x: int)\nOrphan(secret: string)\nT(y: int)").unwrap();
+        let target = Schema::parse("B(x: int)\nT(z: int)").unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("A", "x"), qa("B", "x"));
+
+        let script = migration_script(&source, &target, &phi, &Ansi);
+        // A moved rows -> dropped. Orphan and the staged legacy_T did not
+        // -> kept, with notes.
+        assert_eq!(script.cleanup, vec!["DROP TABLE A;".to_string()]);
+        assert!(
+            script
+                .preamble
+                .contains(&"ALTER TABLE T RENAME TO legacy_T;".to_string()),
+            "{:#?}",
+            script.preamble
+        );
+        assert!(
+            script
+                .notes
+                .iter()
+                .any(|n| n.contains("Orphan") && n.contains("NOT dropped")),
+            "{:#?}",
+            script.notes
+        );
+        assert!(
+            script
+                .notes
+                .iter()
+                .any(|n| n.contains("legacy_T") && n.contains("NOT dropped")),
+            "{:#?}",
+            script.notes
+        );
+
+        // The fully-empty correspondence moves nothing and drops nothing.
+        let empty = migration_script(&source, &target, &ValueCorrespondence::new(), &Ansi);
+        assert!(empty.is_empty());
+        assert!(empty.cleanup.is_empty(), "{:#?}", empty.cleanup);
+    }
+
+    /// Postgres inserts into identity columns carry `OVERRIDING SYSTEM
+    /// VALUE`, because the emitted DDL declares them `GENERATED ALWAYS`.
+    #[test]
+    fn postgres_identity_inserts_override_system_values() {
+        let source = Schema::parse("U(uid: int, uname: string, grp: string)").unwrap();
+        let mut target = Schema::parse(
+            "Account(uid: int, grp_id: id, uname: string)\n\
+             Grp(grp_id: id, gname: string)",
+        )
+        .unwrap();
+        target
+            .add_foreign_key(qa("Account", "grp_id"), qa("Grp", "grp_id"))
+            .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("U", "uid"), qa("Account", "uid"));
+        phi.add(qa("U", "uname"), qa("Account", "uname"));
+        phi.add(qa("U", "grp"), qa("Grp", "gname"));
+
+        let script = migration_script(&source, &target, &phi, &Postgres);
+        assert!(
+            script
+                .statements
+                .iter()
+                .all(|s| s.contains("OVERRIDING SYSTEM VALUE SELECT")),
+            "{:#?}",
+            script.statements
+        );
+        assert!(
+            script
+                .preamble
+                .iter()
+                .any(|s| s.contains("GENERATED ALWAYS AS IDENTITY")),
+            "{:#?}",
+            script.preamble
+        );
     }
 }

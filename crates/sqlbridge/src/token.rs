@@ -1,0 +1,354 @@
+//! The SQL tokenizer shared by the DDL parser ([`crate::ddl`]) and the
+//! in-memory SQL execution engine (crate `sqlexec`).
+//!
+//! Tokens carry the half-open source [`Span`] they were read from, so every
+//! consumer can produce [`SqlError`] diagnostics that point into the
+//! offending SQL text.
+
+use std::fmt;
+
+/// A half-open region of the SQL source, in 1-based line/column coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line of the first character (1-based).
+    pub line: usize,
+    /// Column of the first character (1-based).
+    pub column: usize,
+    /// Length of the region in characters (at least 1).
+    pub len: usize,
+}
+
+impl Span {
+    /// A one-character span at the given position.
+    pub fn point(line: usize, column: usize) -> Span {
+        Span {
+            line,
+            column,
+            len: 1,
+        }
+    }
+}
+
+/// A SQL parse, validation or execution error with the source span it arose
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+    /// The full source line the span points into (for rendering).
+    pub source_line: String,
+}
+
+impl SqlError {
+    /// Creates an error pointing at `span` of `source`.
+    pub fn new(message: impl Into<String>, span: Span, source: &str) -> SqlError {
+        SqlError {
+            message: message.into(),
+            span,
+            source_line: source
+                .lines()
+                .nth(span.line.saturating_sub(1))
+                .unwrap_or("")
+                .to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        writeln!(f, " --> {}:{}", self.span.line, self.span.column)?;
+        writeln!(f, "  |")?;
+        writeln!(f, "  | {}", self.source_line)?;
+        write!(
+            f,
+            "  | {}{}",
+            " ".repeat(self.span.column.saturating_sub(1)),
+            "^".repeat(self.span.len.max(1))
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// What kind of token was read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword. `quoted` distinguishes `"unique"` (always a
+    /// plain identifier) from `unique` (a keyword in keyword position).
+    Ident {
+        /// The identifier text (quotes stripped).
+        text: String,
+        /// `true` if the identifier was quoted in the source.
+        quoted: bool,
+    },
+    /// An unsigned numeric literal (digits and dots, as written).
+    Number(String),
+    /// A string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token plus the source span it was read from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// Where it was read from.
+    pub span: Span,
+}
+
+impl Token {
+    /// The identifier text if this is an (unquoted or quoted) identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// True if the token is the given keyword, case-insensitively. A quoted
+    /// identifier (`"unique"`) is never a keyword, so reserved names that
+    /// [`crate::emit::Dialect::ident`] quotes on emission re-parse as plain
+    /// identifiers.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        match &self.kind {
+            TokenKind::Ident {
+                text,
+                quoted: false,
+            } => text.eq_ignore_ascii_case(kw),
+            _ => false,
+        }
+    }
+
+    /// True if the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenizes a SQL script.
+///
+/// Handles `--` line comments, `/* ... */` block comments, `'...'` string
+/// literals with `''` escapes and the quoted-identifier styles `"t"`,
+/// `` `t` `` and `[t]`.
+///
+/// # Errors
+///
+/// Returns a [`SqlError`] on unterminated comments, literals or quoted
+/// identifiers, and on characters outside the SQL subset.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let (mut line, mut column) = (1usize, 1usize);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let span_start = Span::point(line, column);
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '-' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump!();
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct('-'),
+                        span: span_start,
+                    });
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'*') {
+                    bump!();
+                    let mut closed = false;
+                    while let Some(c) = bump!() {
+                        if c == '*' && chars.peek() == Some(&'/') {
+                            bump!();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(SqlError::new(
+                            "unterminated block comment",
+                            span_start,
+                            source,
+                        ));
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct('/'),
+                        span: span_start,
+                    });
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut text = String::new();
+                loop {
+                    match bump!() {
+                        Some('\'') => {
+                            // '' is an escaped quote inside a string literal.
+                            if chars.peek() == Some(&'\'') {
+                                bump!();
+                                text.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(SqlError::new(
+                                "unterminated string literal",
+                                span_start,
+                                source,
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(text.clone()),
+                    span: Span {
+                        len: text.chars().count() + 2,
+                        ..span_start
+                    },
+                });
+            }
+            '"' | '`' | '[' => {
+                let close = match c {
+                    '[' => ']',
+                    c => c,
+                };
+                bump!();
+                let mut text = String::new();
+                loop {
+                    match bump!() {
+                        Some(c) if c == close => break,
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(SqlError::new(
+                                format!("unterminated quoted identifier (missing `{close}`)"),
+                                span_start,
+                                source,
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    span: Span {
+                        len: text.chars().count() + 2,
+                        ..span_start
+                    },
+                    kind: TokenKind::Ident { text, quoted: true },
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    text.push(bump!().expect("peeked"));
+                }
+                tokens.push(Token {
+                    span: Span {
+                        len: text.chars().count(),
+                        ..span_start
+                    },
+                    kind: TokenKind::Ident {
+                        text,
+                        quoted: false,
+                    },
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_digit() || c == '.')
+                {
+                    text.push(bump!().expect("peeked"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(text.clone()),
+                    span: Span {
+                        len: text.chars().count(),
+                        ..span_start
+                    },
+                });
+            }
+            '(' | ')' | ',' | ';' | '.' | '<' | '>' | '=' | '*' | '+' | '?' | ':' | '$' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    span: span_start,
+                });
+            }
+            other => {
+                return Err(SqlError::new(
+                    format!("unexpected character `{other}`"),
+                    span_start,
+                    source,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_placeholders_and_operators() {
+        let tokens = tokenize("SELECT a FROM t WHERE x <= ?1 AND y = :name AND z = $2").unwrap();
+        assert!(tokens.iter().any(|t| t.is_punct('?')));
+        assert!(tokens.iter().any(|t| t.is_punct(':')));
+        assert!(tokens.iter().any(|t| t.is_punct('$')));
+        assert!(tokens.iter().any(|t| t.is_punct('<')));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_but_quoted_idents_are_not_keywords() {
+        let tokens = tokenize(r#"select "SELECT""#).unwrap();
+        assert!(tokens[0].is_kw("SELECT"));
+        assert!(!tokens[1].is_kw("SELECT"));
+        assert_eq!(tokens[1].ident(), Some("SELECT"));
+    }
+
+    #[test]
+    fn string_literal_escapes_unfold() {
+        let tokens = tokenize("'o''hara'").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::StringLit("o'hara".to_string()));
+    }
+
+    #[test]
+    fn spans_point_at_the_source() {
+        let err = tokenize("a\n  @").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert_eq!(err.span.column, 3);
+        assert!(err.to_string().contains("^"));
+    }
+}

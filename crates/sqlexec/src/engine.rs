@@ -1,0 +1,2233 @@
+//! The in-memory SQL engine: a [`Database`] of typed tables plus a parser
+//! and executor for the SQL statement subset the Migrator pipeline emits.
+//!
+//! The engine exists to *execute what we emit*, so its surface is exactly
+//! the emitted subset and nothing more:
+//!
+//! * `CREATE [TEMPORARY] TABLE` — column definitions with `PRIMARY KEY`,
+//!   `NOT NULL`, `UNIQUE`, `DEFAULT`, `REFERENCES` and `GENERATED ... AS
+//!   IDENTITY` constraints (constraints other than the primary key are
+//!   accepted and ignored: the engine checks data movement, not integrity),
+//!   and `CREATE TEMPORARY TABLE ... AS SELECT` for the snapshot tables the
+//!   multi-table `DELETE` lowering produces;
+//! * `DROP TABLE`, `ALTER TABLE ... RENAME TO` (migration staging);
+//! * `INSERT` from `VALUES` tuples or from a `SELECT` (the data moves);
+//! * `UPDATE ... SET ... WHERE` and `DELETE FROM ... WHERE`, including the
+//!   correlated `EXISTS` subqueries the update/delete lowerings emit;
+//! * `SELECT` with inner `JOIN ... ON` chains, comma cross joins, `WHERE`
+//!   predicates with `AND`/`OR`/`NOT`, comparisons, arithmetic (`*`, `+`,
+//!   `-`, `/`), `IN (SELECT ...)` and `[NOT] EXISTS (SELECT ...)`
+//!   subqueries (correlated subqueries see the enclosing row), `DISTINCT`,
+//!   and `IS [NOT] NULL`;
+//! * `BEGIN` / `COMMIT` (accepted as no-ops: a script is applied to the
+//!   in-memory database as a whole) and the named (`:p`), numbered (`?N`)
+//!   and dollar (`$N`) placeholder styles via [`Params`].
+//!
+//! Semantics deliberately mirror [`dbir::eval`] where SQL leaves latitude:
+//! inserting a row whose declared primary key equals an existing row's
+//! *replaces* that row (the upsert semantics of [`dbir::TableDef`]), and
+//! integer literals coerce into `BOOLEAN` columns (the SQLite dialect
+//! renders booleans as `1`/`0`). Everything else is textbook SQL inner-join
+//! semantics over multisets; `NULL` compares as unknown (filtered out) and
+//! propagates through arithmetic.
+//!
+//! A [`Database`] converts losslessly to and from [`dbir::Instance`] via
+//! [`Database::from_instance`] / [`Database::to_instance`], which is what
+//! lets the migration validator compare executed SQL against dbir-predicted
+//! instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dbir::{DataType, Instance, Schema, Value};
+use sqlbridge::token::{tokenize, Span, SqlError, Token, TokenKind};
+
+/// One column of an engine table: its name and, when the table was created
+/// from DDL, its declared type (`CREATE TABLE ... AS SELECT` columns are
+/// untyped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name as written in the DDL.
+    pub name: String,
+    /// Declared type, if any.
+    pub ty: Option<DataType>,
+}
+
+/// One table of the in-memory database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<Column>,
+    /// Index of the declared primary-key column, if any (upsert semantics,
+    /// matching [`dbir::TableDef`]).
+    pub primary_key: Option<usize>,
+    /// `true` for `CREATE TEMPORARY TABLE` tables.
+    pub temporary: bool,
+    /// The rows (a multiset; order is insertion order).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Inserts a row, honouring primary-key upsert semantics.
+    fn push_row(&mut self, row: Vec<Value>) {
+        if let Some(pk) = self.primary_key {
+            if let Some(existing) = self
+                .rows
+                .iter_mut()
+                .find(|r| values_eq(&r[pk], &row[pk]) == Some(true))
+            {
+                *existing = row;
+                return;
+            }
+        }
+        self.rows.push(row);
+    }
+}
+
+/// The result of a top-level `SELECT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Output column names (aliases where given).
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Parameter bindings for placeholder-carrying SQL.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    named: BTreeMap<String, Value>,
+    positional: Vec<Value>,
+}
+
+impl Params {
+    /// No bindings (scripts without placeholders).
+    pub fn none() -> Params {
+        Params::default()
+    }
+
+    /// Positional bindings for `?N` / `$N` placeholders (1-based in SQL).
+    pub fn positional(values: Vec<Value>) -> Params {
+        Params {
+            named: BTreeMap::new(),
+            positional: values,
+        }
+    }
+
+    /// Adds a named binding for `:name` placeholders.
+    pub fn with_named(mut self, name: impl Into<String>, value: Value) -> Params {
+        self.named.insert(name.into(), value);
+        self
+    }
+}
+
+/// An in-memory SQL database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    tables: Vec<Table>,
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for table in &self.tables {
+            writeln!(f, "{}: {} row(s)", table.name, table.rows.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The tables currently present, in creation order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
+    /// Builds a database holding `instance` under `schema` (every schema
+    /// table becomes a typed engine table).
+    pub fn from_instance(schema: &Schema, instance: &Instance) -> Database {
+        let mut db = Database::new();
+        for table in schema.tables() {
+            db.tables.push(Table {
+                name: table.name.as_str().to_string(),
+                columns: table
+                    .columns
+                    .iter()
+                    .map(|c| Column {
+                        name: c.name.as_str().to_string(),
+                        ty: Some(c.ty),
+                    })
+                    .collect(),
+                primary_key: table.primary_key_index(),
+                temporary: false,
+                rows: instance.rows(&table.name).to_vec(),
+            });
+        }
+        db
+    }
+
+    /// Reads the tables of `schema` back out as a [`dbir::Instance`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a schema table is missing from the database or its columns
+    /// do not match the schema (name or arity) — after a migration script
+    /// ran, the database must hold exactly the target schema's shape.
+    pub fn to_instance(&self, schema: &Schema) -> Result<Instance, String> {
+        let mut instance = Instance::empty(schema);
+        for table_def in schema.tables() {
+            let Some(table) = self.table(table_def.name.as_str()) else {
+                return Err(format!("table `{}` does not exist", table_def.name));
+            };
+            let expected: Vec<&str> = table_def.columns.iter().map(|c| c.name.as_str()).collect();
+            let actual: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+            if expected != actual {
+                return Err(format!(
+                    "table `{}` has columns {actual:?}, schema expects {expected:?}",
+                    table_def.name
+                ));
+            }
+            for row in &table.rows {
+                instance.insert(&table_def.name, row.clone());
+            }
+        }
+        Ok(instance)
+    }
+
+    /// Parses and executes a SQL script (any number of `;`-separated
+    /// statements), returning the result of every top-level `SELECT`.
+    ///
+    /// The whole script is parsed before anything executes, so a syntax
+    /// error never leaves the database half-updated. Execution stops at the
+    /// first runtime error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SqlError`] carrying the source span of the offending
+    /// construct, for both parse and execution errors.
+    pub fn execute_script(
+        &mut self,
+        sql: &str,
+        params: &Params,
+    ) -> Result<Vec<QueryResult>, SqlError> {
+        let statements = parse_script(sql)?;
+        let mut results = Vec::new();
+        for statement in &statements {
+            if let Some(result) = self.execute(statement, sql, params)? {
+                results.push(result);
+            }
+        }
+        Ok(results)
+    }
+
+    fn execute(
+        &mut self,
+        statement: &Stmt,
+        source: &str,
+        params: &Params,
+    ) -> Result<Option<QueryResult>, SqlError> {
+        let err = |message: String, span: Span| SqlError::new(message, span, source);
+        match statement {
+            Stmt::TxnNoop => Ok(None),
+            Stmt::CreateTable {
+                table,
+                columns,
+                primary_key,
+                temporary,
+            } => {
+                if self.table(&table.name).is_some() {
+                    return Err(err(
+                        format!("table `{}` already exists", table.name),
+                        table.span,
+                    ));
+                }
+                let primary_key = match primary_key {
+                    Some((name, span)) => Some(
+                        columns
+                            .iter()
+                            .position(|c| &c.name == name)
+                            .ok_or_else(|| {
+                                err(
+                                    format!(
+                                        "primary key `{name}` is not a column of `{}`",
+                                        table.name
+                                    ),
+                                    *span,
+                                )
+                            })?,
+                    ),
+                    None => None,
+                };
+                self.tables.push(Table {
+                    name: table.name.clone(),
+                    columns: columns.clone(),
+                    primary_key,
+                    temporary: *temporary,
+                    rows: Vec::new(),
+                });
+                Ok(None)
+            }
+            Stmt::CreateTableAs {
+                table,
+                temporary,
+                select,
+            } => {
+                if self.table(&table.name).is_some() {
+                    return Err(err(
+                        format!("table `{}` already exists", table.name),
+                        table.span,
+                    ));
+                }
+                let result = self.eval_select(select, &Env::default(), source, params)?;
+                let mut seen = BTreeMap::new();
+                for name in &result.columns {
+                    if seen.insert(name.clone(), ()).is_some() {
+                        return Err(err(
+                            format!("duplicate column `{name}` in CREATE TABLE AS SELECT"),
+                            table.span,
+                        ));
+                    }
+                }
+                self.tables.push(Table {
+                    name: table.name.clone(),
+                    columns: result
+                        .columns
+                        .into_iter()
+                        .map(|name| Column { name, ty: None })
+                        .collect(),
+                    primary_key: None,
+                    temporary: *temporary,
+                    rows: result.rows,
+                });
+                Ok(None)
+            }
+            Stmt::DropTable(table) => {
+                let Some(position) = self.tables.iter().position(|t| t.name == table.name) else {
+                    return Err(err(
+                        format!("table `{}` does not exist", table.name),
+                        table.span,
+                    ));
+                };
+                self.tables.remove(position);
+                Ok(None)
+            }
+            Stmt::AlterRename { table, to } => {
+                if self.table(to).is_some() {
+                    return Err(err(format!("table `{to}` already exists"), table.span));
+                }
+                let Some(t) = self.table_mut(&table.name) else {
+                    return Err(err(
+                        format!("table `{}` does not exist", table.name),
+                        table.span,
+                    ));
+                };
+                t.name = to.clone();
+                Ok(None)
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                source: insert_source,
+            } => {
+                // Materialize the incoming rows first: `INSERT INTO t
+                // SELECT ... FROM t` must read the pre-insert state.
+                let incoming: Vec<Vec<Value>> = match insert_source {
+                    InsertSource::Values(tuples) => {
+                        let mut rows = Vec::new();
+                        for tuple in tuples {
+                            let mut row = Vec::new();
+                            for expr in tuple {
+                                row.push(self.eval_expr(expr, &Env::default(), source, params)?);
+                            }
+                            rows.push(row);
+                        }
+                        rows
+                    }
+                    InsertSource::Select(select) => {
+                        self.eval_select(select, &Env::default(), source, params)?
+                            .rows
+                    }
+                };
+                let Some(t) = self.table(&table.name) else {
+                    return Err(err(
+                        format!("table `{}` does not exist", table.name),
+                        table.span,
+                    ));
+                };
+                let mut indices = Vec::new();
+                for column in columns {
+                    let Some(i) = t.column_index(column) else {
+                        return Err(err(
+                            format!("column `{column}` is not a column of `{}`", table.name),
+                            table.span,
+                        ));
+                    };
+                    indices.push(i);
+                }
+                let width = t.columns.len();
+                let types: Vec<Option<DataType>> = t.columns.iter().map(|c| c.ty).collect();
+                let mut staged = Vec::new();
+                for incoming_row in incoming {
+                    if incoming_row.len() != indices.len() {
+                        return Err(err(
+                            format!(
+                                "INSERT provides {} value(s) for {} column(s)",
+                                incoming_row.len(),
+                                indices.len()
+                            ),
+                            table.span,
+                        ));
+                    }
+                    let mut row = vec![Value::Null; width];
+                    for (&i, value) in indices.iter().zip(incoming_row) {
+                        row[i] = coerce(value, types[i]);
+                    }
+                    staged.push(row);
+                }
+                let t = self.table_mut(&table.name).expect("checked above");
+                for row in staged {
+                    t.push_row(row);
+                }
+                Ok(None)
+            }
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                let Some(t) = self.table(&table.name) else {
+                    return Err(err(
+                        format!("table `{}` does not exist", table.name),
+                        table.span,
+                    ));
+                };
+                let labels = table_labels(t, &table.name);
+                let mut set_indices = Vec::new();
+                for (column, _) in sets {
+                    let Some(i) = t.column_index(column) else {
+                        return Err(err(
+                            format!("column `{column}` is not a column of `{}`", table.name),
+                            table.span,
+                        ));
+                    };
+                    set_indices.push(i);
+                }
+                let types: Vec<Option<DataType>> = t.columns.iter().map(|c| c.ty).collect();
+                // Decide matches and compute replacement values against the
+                // pre-update state, then apply.
+                let mut updates: Vec<(usize, Vec<Value>)> = Vec::new();
+                for (row_index, row) in t.rows.iter().enumerate() {
+                    let env = Env::default().with(&labels, row);
+                    if !self.filter_accepts(filter, &env, source, params)? {
+                        continue;
+                    }
+                    let mut new_values = Vec::new();
+                    for (set_index, (_, expr)) in set_indices.iter().zip(sets) {
+                        let value = self.eval_expr(expr, &env, source, params)?;
+                        new_values.push(coerce(value, types[*set_index]));
+                    }
+                    updates.push((row_index, new_values));
+                }
+                let t = self.table_mut(&table.name).expect("checked above");
+                for (row_index, new_values) in updates {
+                    for (&set_index, value) in set_indices.iter().zip(new_values) {
+                        t.rows[row_index][set_index] = value;
+                    }
+                }
+                Ok(None)
+            }
+            Stmt::Delete { table, filter } => {
+                let Some(t) = self.table(&table.name) else {
+                    return Err(err(
+                        format!("table `{}` does not exist", table.name),
+                        table.span,
+                    ));
+                };
+                let labels = table_labels(t, &table.name);
+                let mut keep = Vec::new();
+                for row in &t.rows {
+                    let env = Env::default().with(&labels, row);
+                    keep.push(!self.filter_accepts(filter, &env, source, params)?);
+                }
+                let t = self.table_mut(&table.name).expect("checked above");
+                let mut keep = keep.into_iter();
+                t.rows.retain(|_| keep.next().expect("one flag per row"));
+                Ok(None)
+            }
+            Stmt::Select(select) => Ok(Some(self.eval_select(
+                select,
+                &Env::default(),
+                source,
+                params,
+            )?)),
+        }
+    }
+
+    fn filter_accepts(
+        &self,
+        filter: &Option<Expr>,
+        env: &Env<'_>,
+        source: &str,
+        params: &Params,
+    ) -> Result<bool, SqlError> {
+        match filter {
+            None => Ok(true),
+            Some(expr) => {
+                let value = self.eval_expr(expr, env, source, params)?;
+                Ok(truthy(&value))
+            }
+        }
+    }
+
+    fn eval_select(
+        &self,
+        select: &Select,
+        outer: &Env<'_>,
+        source: &str,
+        params: &Params,
+    ) -> Result<QueryResult, SqlError> {
+        // Build the FROM relation: start at the first table, then extend by
+        // each joined table, applying its ON condition as soon as its
+        // columns are bound (inner-join semantics).
+        let mut labels: Vec<ColLabel> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+        for item in &select.from {
+            let Some(table) = self.table(&item.table.name) else {
+                return Err(SqlError::new(
+                    format!("table `{}` does not exist", item.table.name),
+                    item.table.span,
+                    source,
+                ));
+            };
+            labels.extend(table_labels(table, &item.table.name));
+            let mut extended = Vec::new();
+            for row in &rows {
+                for table_row in &table.rows {
+                    let mut combined = row.clone();
+                    combined.extend(table_row.iter().copied());
+                    if let Some(on) = &item.on {
+                        let env = outer.with(&labels, &combined);
+                        let value = self.eval_expr(on, &env, source, params)?;
+                        if !truthy(&value) {
+                            continue;
+                        }
+                    }
+                    extended.push(combined);
+                }
+            }
+            rows = extended;
+        }
+
+        // Static column check: resolve every column reference of this
+        // select (not descending into subqueries, which check themselves
+        // when they run) against the FROM labels and the enclosing scopes,
+        // so an unknown column errors even when no row survives to
+        // evaluate it.
+        {
+            let empty: Vec<Value> = vec![Value::Null; labels.len()];
+            let env = outer.with(&labels, &empty);
+            let mut refs = Vec::new();
+            for item in &select.from {
+                if let Some(on) = &item.on {
+                    collect_column_refs(on, &mut refs);
+                }
+            }
+            if let Some(filter) = &select.filter {
+                collect_column_refs(filter, &mut refs);
+            }
+            for item in &select.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_column_refs(expr, &mut refs);
+                }
+            }
+            for (qualifier, name, span) in refs {
+                if !env.resolvable(qualifier.as_deref(), &name) {
+                    let shown = match &qualifier {
+                        Some(q) => format!("{q}.{name}"),
+                        None => name.clone(),
+                    };
+                    return Err(SqlError::new(
+                        format!("unknown column `{shown}`"),
+                        span,
+                        source,
+                    ));
+                }
+            }
+        }
+
+        // WHERE.
+        let mut filtered = Vec::new();
+        for row in rows {
+            let env = outer.with(&labels, &row);
+            if self.filter_accepts(&select.filter, &env, source, params)? {
+                filtered.push(row);
+            }
+        }
+
+        // Projection.
+        let mut columns = Vec::new();
+        for (i, item) in select.items.iter().enumerate() {
+            match item {
+                SelectItem::Star => {
+                    columns.extend(labels.iter().map(|l| l.name.clone()));
+                }
+                SelectItem::Expr { expr, alias } => columns.push(match alias {
+                    Some(alias) => alias.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        _ => format!("c{i}"),
+                    },
+                }),
+            }
+        }
+        let mut projected = Vec::new();
+        for row in &filtered {
+            let env = outer.with(&labels, row);
+            let mut out = Vec::new();
+            for item in &select.items {
+                match item {
+                    SelectItem::Star => out.extend(row.iter().copied()),
+                    SelectItem::Expr { expr, .. } => {
+                        out.push(self.eval_expr(expr, &env, source, params)?)
+                    }
+                }
+            }
+            projected.push(out);
+        }
+
+        if select.distinct {
+            let mut seen: Vec<Vec<Value>> = Vec::new();
+            for row in projected {
+                if !seen.contains(&row) {
+                    seen.push(row);
+                }
+            }
+            projected = seen;
+        }
+
+        Ok(QueryResult {
+            columns,
+            rows: projected,
+        })
+    }
+
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        env: &Env<'_>,
+        source: &str,
+        params: &Params,
+    ) -> Result<Value, SqlError> {
+        match expr {
+            Expr::Literal(value) => Ok(*value),
+            Expr::Column {
+                qualifier,
+                name,
+                span,
+            } => env
+                .resolve(qualifier.as_deref(), name)
+                .map_err(|message| SqlError::new(message, *span, source)),
+            Expr::Param { key, span } => match key {
+                ParamKey::Named(name) => params.named.get(name).copied().ok_or_else(|| {
+                    SqlError::new(format!("unbound parameter `:{name}`"), *span, source)
+                }),
+                ParamKey::Indexed(index) => params
+                    .positional
+                    .get(index.wrapping_sub(1))
+                    .copied()
+                    .ok_or_else(|| {
+                        SqlError::new(format!("unbound parameter `?{index}`"), *span, source)
+                    }),
+            },
+            Expr::Unary { op, expr, span } => {
+                let value = self.eval_expr(expr, env, source, params)?;
+                match op {
+                    UnOp::Neg => match numeric(&value) {
+                        Some(n) => Ok(Value::Int(-n)),
+                        None if value.is_null() => Ok(Value::Null),
+                        None => Err(SqlError::new(
+                            format!("cannot negate {value}"),
+                            *span,
+                            source,
+                        )),
+                    },
+                    // SQL 3-valued logic: NOT NULL is NULL (unknown stays
+                    // unknown), matching real SQLite — a row excluded by
+                    // `x = 5` must also be excluded by `NOT (x = 5)` when
+                    // `x` is NULL.
+                    UnOp::Not => Ok(match truth(&value) {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    }),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                // Short-circuit the logical operators, with Kleene 3-valued
+                // semantics: FALSE dominates AND, TRUE dominates OR, and
+                // unknown (NULL) propagates otherwise.
+                match op {
+                    BinOp::And => {
+                        let l = truth(&self.eval_expr(lhs, env, source, params)?);
+                        if l == Some(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let r = truth(&self.eval_expr(rhs, env, source, params)?);
+                        return Ok(match (l, r) {
+                            (_, Some(false)) => Value::Bool(false),
+                            (Some(true), Some(true)) => Value::Bool(true),
+                            _ => Value::Null,
+                        });
+                    }
+                    BinOp::Or => {
+                        let l = truth(&self.eval_expr(lhs, env, source, params)?);
+                        if l == Some(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let r = truth(&self.eval_expr(rhs, env, source, params)?);
+                        return Ok(match (l, r) {
+                            (_, Some(true)) => Value::Bool(true),
+                            (Some(false), Some(false)) => Value::Bool(false),
+                            _ => Value::Null,
+                        });
+                    }
+                    _ => {}
+                }
+                let l = self.eval_expr(lhs, env, source, params)?;
+                let r = self.eval_expr(rhs, env, source, params)?;
+                match op {
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        if l.is_null() || r.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        let (Some(a), Some(b)) = (numeric(&l), numeric(&r)) else {
+                            return Err(SqlError::new(
+                                format!("arithmetic on non-numeric values {l} and {r}"),
+                                *span,
+                                source,
+                            ));
+                        };
+                        let result = match op {
+                            BinOp::Add => a.checked_add(b),
+                            BinOp::Sub => a.checked_sub(b),
+                            BinOp::Mul => a.checked_mul(b),
+                            BinOp::Div => {
+                                if b == 0 {
+                                    return Ok(Value::Null);
+                                }
+                                a.checked_div(b)
+                            }
+                            _ => unreachable!(),
+                        };
+                        match result {
+                            Some(n) => Ok(Value::Int(n)),
+                            None => Err(SqlError::new(
+                                "integer overflow in arithmetic".to_string(),
+                                *span,
+                                source,
+                            )),
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => match values_eq(&l, &r) {
+                        Some(eq) => Ok(Value::Bool(if *op == BinOp::Eq { eq } else { !eq })),
+                        None => Ok(Value::Null),
+                    },
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match values_cmp(&l, &r) {
+                        ValueOrder::Unknown => Ok(Value::Null),
+                        ValueOrder::Incomparable => Err(SqlError::new(
+                            format!("cannot order {l} against {r}"),
+                            *span,
+                            source,
+                        )),
+                        ValueOrder::Ordering(ordering) => Ok(Value::Bool(match op {
+                            BinOp::Lt => ordering.is_lt(),
+                            BinOp::Le => ordering.is_le(),
+                            BinOp::Gt => ordering.is_gt(),
+                            BinOp::Ge => ordering.is_ge(),
+                            _ => unreachable!(),
+                        })),
+                    },
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let value = self.eval_expr(expr, env, source, params)?;
+                Ok(Value::Bool(value.is_null() != *negated))
+            }
+            Expr::In {
+                needle,
+                select,
+                negated,
+                span,
+            } => {
+                let needle = self.eval_expr(needle, env, source, params)?;
+                let result = self.eval_select(select, env, source, params)?;
+                if result.columns.len() != 1 {
+                    return Err(SqlError::new(
+                        format!(
+                            "IN subquery must produce one column, produced {}",
+                            result.columns.len()
+                        ),
+                        *span,
+                        source,
+                    ));
+                }
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let found = result
+                    .rows
+                    .iter()
+                    .any(|row| values_eq(&needle, &row[0]) == Some(true));
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::Exists { select, negated } => {
+                let result = self.eval_select(select, env, source, params)?;
+                Ok(Value::Bool(result.rows.is_empty() == *negated))
+            }
+        }
+    }
+}
+
+/// How two values relate under `<`/`<=`/`>`/`>=`.
+enum ValueOrder {
+    /// One side is `NULL` — SQL "unknown".
+    Unknown,
+    /// Different, unordered types (an emitter bug worth surfacing).
+    Incomparable,
+    /// A definite ordering.
+    Ordering(std::cmp::Ordering),
+}
+
+/// Numeric view of a value: integers, and surrogate keys (which are plain
+/// integers at the SQL level — the migration's skolem expressions do
+/// arithmetic on them).
+fn numeric(value: &Value) -> Option<i64> {
+    match value {
+        Value::Int(n) => Some(*n),
+        Value::Uid(u) => i64::try_from(*u).ok(),
+        _ => None,
+    }
+}
+
+/// SQL equality: `NULL` yields unknown (`None`); surrogate keys compare
+/// numerically against integers; the SQLite dialect's `1`/`0` boolean
+/// literals compare against booleans.
+fn values_eq(a: &Value, b: &Value) -> Option<bool> {
+    if a.is_null() || b.is_null() {
+        return None;
+    }
+    if a == b {
+        return Some(true);
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Int(n)) | (Value::Int(n), Value::Bool(x)) => {
+            Some(i64::from(*x) == *n)
+        }
+        _ => match (numeric(a), numeric(b)) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => Some(false),
+        },
+    }
+}
+
+fn values_cmp(a: &Value, b: &Value) -> ValueOrder {
+    if a.is_null() || b.is_null() {
+        return ValueOrder::Unknown;
+    }
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        return ValueOrder::Ordering(x.cmp(&y));
+    }
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => ValueOrder::Ordering(x.as_str().cmp(y.as_str())),
+        (Value::Bytes(x), Value::Bytes(y)) => ValueOrder::Ordering(x.as_bytes().cmp(y.as_bytes())),
+        (Value::Bool(x), Value::Bool(y)) => ValueOrder::Ordering(x.cmp(y)),
+        _ => ValueOrder::Incomparable,
+    }
+}
+
+/// Three-valued truth of a value: `TRUE`/`FALSE`, nonzero/zero integers
+/// (SQLite boolean rendering), and `None` for `NULL` (unknown).
+fn truth(value: &Value) -> Option<bool> {
+    match value {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        Value::Int(n) => Some(*n != 0),
+        _ => Some(false),
+    }
+}
+
+/// `WHERE` truthiness: unknown (`NULL`) filters the row out.
+fn truthy(value: &Value) -> bool {
+    truth(value) == Some(true)
+}
+
+/// Coerces an inserted value into a declared column type: integer `1`/`0`
+/// become booleans in `BOOLEAN` columns (the SQLite dialect renders boolean
+/// literals numerically). Everything else is stored as computed.
+fn coerce(value: Value, ty: Option<DataType>) -> Value {
+    match (value, ty) {
+        (Value::Int(n), Some(DataType::Bool)) if n == 0 || n == 1 => Value::Bool(n == 1),
+        _ => value,
+    }
+}
+
+/// One resolvable column of a FROM relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ColLabel {
+    /// The table name the column is reachable under.
+    qualifier: String,
+    /// The column name.
+    name: String,
+}
+
+fn table_labels(table: &Table, qualifier: &str) -> Vec<ColLabel> {
+    table
+        .columns
+        .iter()
+        .map(|c| ColLabel {
+            qualifier: qualifier.to_string(),
+            name: c.name.clone(),
+        })
+        .collect()
+}
+
+/// The column environment of an expression: a stack of row frames,
+/// outermost first. Correlated subqueries resolve against their own FROM
+/// frame first, then the enclosing rows.
+#[derive(Debug, Clone, Default)]
+struct Env<'a> {
+    frames: Vec<(&'a [ColLabel], &'a [Value])>,
+}
+
+impl<'a> Env<'a> {
+    /// A new environment with one additional (innermost) frame. The result
+    /// lives no longer than the pushed row.
+    fn with<'b>(&self, labels: &'b [ColLabel], row: &'b [Value]) -> Env<'b>
+    where
+        'a: 'b,
+    {
+        let mut frames: Vec<(&'b [ColLabel], &'b [Value])> =
+            self.frames.iter().map(|&(l, r)| (l as _, r as _)).collect();
+        frames.push((labels, row));
+        Env { frames }
+    }
+
+    /// Whether a column reference can resolve in some frame (used for the
+    /// static column check — ambiguity is still reported at evaluation).
+    fn resolvable(&self, qualifier: Option<&str>, name: &str) -> bool {
+        self.frames.iter().any(|(labels, _)| {
+            labels
+                .iter()
+                .any(|l| l.name == name && qualifier.map(|q| l.qualifier == q).unwrap_or(true))
+        })
+    }
+
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Value, String> {
+        // Innermost frame first.
+        for (labels, row) in self.frames.iter().rev() {
+            let mut matches = labels.iter().enumerate().filter(|(_, l)| {
+                l.name == name && qualifier.map(|q| l.qualifier == q).unwrap_or(true)
+            });
+            if let Some((index, _)) = matches.next() {
+                if matches.next().is_some() {
+                    return Err(format!("ambiguous column `{name}`"));
+                }
+                return Ok(row[index]);
+            }
+        }
+        match qualifier {
+            Some(q) => Err(format!("unknown column `{q}.{name}`")),
+            None => Err(format!("unknown column `{name}`")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TableRef {
+    name: String,
+    span: Span,
+}
+
+#[derive(Debug, Clone)]
+enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Select),
+}
+
+#[derive(Debug, Clone)]
+enum SelectItem {
+    Star,
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone)]
+struct FromItem {
+    table: TableRef,
+    /// The ON condition for joined tables; `None` for the first table and
+    /// comma-separated cross joins.
+    on: Option<Expr>,
+}
+
+#[derive(Debug, Clone)]
+struct Select {
+    distinct: bool,
+    items: Vec<SelectItem>,
+    from: Vec<FromItem>,
+    filter: Option<Expr>,
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    CreateTable {
+        table: TableRef,
+        columns: Vec<Column>,
+        primary_key: Option<(String, Span)>,
+        temporary: bool,
+    },
+    CreateTableAs {
+        table: TableRef,
+        temporary: bool,
+        select: Select,
+    },
+    DropTable(TableRef),
+    AlterRename {
+        table: TableRef,
+        to: String,
+    },
+    Insert {
+        table: TableRef,
+        columns: Vec<String>,
+        source: InsertSource,
+    },
+    Update {
+        table: TableRef,
+        sets: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    Delete {
+        table: TableRef,
+        filter: Option<Expr>,
+    },
+    Select(Select),
+    TxnNoop,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParamKey {
+    Named(String),
+    Indexed(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Literal(Value),
+    Column {
+        qualifier: Option<String>,
+        name: String,
+        span: Span,
+    },
+    Param {
+        key: ParamKey,
+        span: Span,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+        span: Span,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    In {
+        needle: Box<Expr>,
+        select: Box<Select>,
+        negated: bool,
+        span: Span,
+    },
+    Exists {
+        select: Box<Select>,
+        negated: bool,
+    },
+}
+
+struct Parser<'a> {
+    source: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+fn parse_script(sql: &str) -> Result<Vec<Stmt>, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser {
+        source: sql,
+        tokens,
+        pos: 0,
+    };
+    let mut statements = Vec::new();
+    while parser.peek().is_some() {
+        if parser.eat_punct(';') {
+            continue;
+        }
+        statements.push(parser.statement()?);
+        if parser.peek().is_some() {
+            parser.expect_punct(';')?;
+        }
+    }
+    Ok(statements)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eof_span(&self) -> Span {
+        self.tokens
+            .last()
+            .map(|t| t.span)
+            .unwrap_or(Span::point(1, 1))
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(message, span, self.source)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Token, SqlError> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(t),
+            Some(t) => Err(self.error(format!("expected `{kw}`"), t.span)),
+            None => Err(self.error(
+                format!("expected `{kw}`, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<Token, SqlError> {
+        match self.next() {
+            Some(t) if t.is_punct(c) => Ok(t),
+            Some(t) => Err(self.error(format!("expected `{c}`"), t.span)),
+            None => Err(self.error(
+                format!("expected `{c}`, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        match self.next() {
+            Some(t) => match t.ident() {
+                Some(name) => Ok((name.to_string(), t.span)),
+                None => Err(self.error(format!("expected {what}"), t.span)),
+            },
+            None => Err(self.error(
+                format!("expected {what}, found end of input"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let (name, span) = self.expect_ident("table name")?;
+        Ok(TableRef { name, span })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, SqlError> {
+        let Some(first) = self.peek().cloned() else {
+            return Err(self.error("expected a statement", self.eof_span()));
+        };
+        if first.is_kw("BEGIN") || first.is_kw("COMMIT") {
+            self.next();
+            // Accept an optional TRANSACTION keyword.
+            self.eat_kw("TRANSACTION");
+            return Ok(Stmt::TxnNoop);
+        }
+        if first.is_kw("CREATE") {
+            return self.create_table();
+        }
+        if first.is_kw("DROP") {
+            self.next();
+            self.expect_kw("TABLE")?;
+            return Ok(Stmt::DropTable(self.table_ref()?));
+        }
+        if first.is_kw("ALTER") {
+            self.next();
+            self.expect_kw("TABLE")?;
+            let table = self.table_ref()?;
+            self.expect_kw("RENAME")?;
+            self.expect_kw("TO")?;
+            let (to, _) = self.expect_ident("new table name")?;
+            return Ok(Stmt::AlterRename { table, to });
+        }
+        if first.is_kw("INSERT") {
+            return self.insert();
+        }
+        if first.is_kw("UPDATE") {
+            return self.update();
+        }
+        if first.is_kw("DELETE") {
+            self.next();
+            self.expect_kw("FROM")?;
+            let table = self.table_ref()?;
+            let filter = self.optional_where()?;
+            return Ok(Stmt::Delete { table, filter });
+        }
+        if first.is_kw("SELECT") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        Err(self.error(
+            "expected CREATE, DROP, ALTER, INSERT, UPDATE, DELETE, SELECT, BEGIN or COMMIT",
+            first.span,
+        ))
+    }
+
+    fn create_table(&mut self) -> Result<Stmt, SqlError> {
+        self.expect_kw("CREATE")?;
+        let temporary = self.eat_kw("TEMPORARY") || self.eat_kw("TEMP");
+        self.expect_kw("TABLE")?;
+        if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+        }
+        let table = self.table_ref()?;
+        if self.eat_kw("AS") {
+            let select = self.select()?;
+            return Ok(Stmt::CreateTableAs {
+                table,
+                temporary,
+                select,
+            });
+        }
+        self.expect_punct('(')?;
+        let mut columns: Vec<Column> = Vec::new();
+        let mut primary_key: Option<(String, Span)> = None;
+        loop {
+            let Some(first) = self.peek().cloned() else {
+                return Err(self.error("unterminated table body", self.eof_span()));
+            };
+            if first.is_punct(')') {
+                self.next();
+                break;
+            }
+            if first.is_kw("PRIMARY") {
+                self.next();
+                self.expect_kw("KEY")?;
+                self.expect_punct('(')?;
+                let (column, span) = self.expect_ident("primary key column")?;
+                self.expect_punct(')')?;
+                if primary_key.is_some() {
+                    return Err(self.error(
+                        format!("table `{}` declares two primary keys", table.name),
+                        span,
+                    ));
+                }
+                primary_key = Some((column, span));
+            } else if first.is_kw("FOREIGN") {
+                // Referential integrity is not checked by the engine; skip
+                // the declaration.
+                self.next();
+                self.expect_kw("KEY")?;
+                self.expect_punct('(')?;
+                self.expect_ident("foreign key column")?;
+                self.expect_punct(')')?;
+                self.expect_kw("REFERENCES")?;
+                self.expect_ident("referenced table")?;
+                self.expect_punct('(')?;
+                self.expect_ident("referenced column")?;
+                self.expect_punct(')')?;
+            } else if first.is_kw("UNIQUE") {
+                self.next();
+                self.expect_punct('(')?;
+                loop {
+                    self.expect_ident("column name")?;
+                    if self.eat_punct(')') {
+                        break;
+                    }
+                    self.expect_punct(',')?;
+                }
+            } else if first.is_kw("CONSTRAINT") {
+                self.next();
+                self.expect_ident("constraint name")?;
+                continue; // The named constraint body follows.
+            } else {
+                let (name, name_span) = self.expect_ident("column name")?;
+                let (type_name, type_span) = self.expect_ident("column type")?;
+                if self.eat_punct('(') {
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.next() {
+                            Some(t) if t.is_punct('(') => depth += 1,
+                            Some(t) if t.is_punct(')') => depth -= 1,
+                            Some(_) => {}
+                            None => {
+                                return Err(
+                                    self.error("unterminated type arguments", self.eof_span())
+                                )
+                            }
+                        }
+                    }
+                }
+                let Some(mut ty) = sqlbridge::ddl::data_type_for(&type_name) else {
+                    return Err(
+                        self.error(format!("unsupported column type `{type_name}`"), type_span)
+                    );
+                };
+                // Column constraints.
+                loop {
+                    let Some(t) = self.peek().cloned() else {
+                        return Err(self.error("unterminated table body", self.eof_span()));
+                    };
+                    if t.is_punct(',') || t.is_punct(')') {
+                        break;
+                    }
+                    if t.is_kw("PRIMARY") {
+                        self.next();
+                        self.expect_kw("KEY")?;
+                        if primary_key.is_some() {
+                            return Err(self.error(
+                                format!("table `{}` declares two primary keys", table.name),
+                                t.span,
+                            ));
+                        }
+                        primary_key = Some((name.clone(), t.span));
+                    } else if t.is_kw("NOT") {
+                        self.next();
+                        self.expect_kw("NULL")?;
+                    } else if t.is_kw("NULL")
+                        || t.is_kw("UNIQUE")
+                        || t.is_kw("AUTOINCREMENT")
+                        || t.is_kw("AUTO_INCREMENT")
+                    {
+                        self.next();
+                    } else if t.is_kw("DEFAULT") {
+                        self.next();
+                        // A literal (possibly signed).
+                        self.eat_punct('-');
+                        self.next();
+                    } else if t.is_kw("REFERENCES") {
+                        self.next();
+                        self.expect_ident("referenced table")?;
+                        self.expect_punct('(')?;
+                        self.expect_ident("referenced column")?;
+                        self.expect_punct(')')?;
+                    } else if t.is_kw("GENERATED") {
+                        self.next();
+                        if !self.eat_kw("ALWAYS") {
+                            self.expect_kw("BY")?;
+                            self.expect_kw("DEFAULT")?;
+                        }
+                        self.expect_kw("AS")?;
+                        self.expect_kw("IDENTITY")?;
+                        ty = DataType::Id;
+                    } else {
+                        return Err(self.error("unsupported column constraint", t.span));
+                    }
+                }
+                if columns.iter().any(|c| c.name == name) {
+                    return Err(self.error(
+                        format!("duplicate column `{name}` in table `{}`", table.name),
+                        name_span,
+                    ));
+                }
+                columns.push(Column { name, ty: Some(ty) });
+            }
+            if self.eat_punct(',') {
+                continue;
+            }
+            match self.peek() {
+                Some(t) if t.is_punct(')') => {}
+                Some(t) => {
+                    let span = t.span;
+                    return Err(self.error("expected `,` or `)`", span));
+                }
+                None => return Err(self.error("unterminated table body", self.eof_span())),
+            }
+        }
+        Ok(Stmt::CreateTable {
+            table,
+            columns,
+            primary_key,
+            temporary,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Stmt, SqlError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.table_ref()?;
+        self.expect_punct('(')?;
+        let mut columns = Vec::new();
+        loop {
+            let (column, _) = self.expect_ident("column name")?;
+            columns.push(column);
+            if self.eat_punct(')') {
+                break;
+            }
+            self.expect_punct(',')?;
+        }
+        // Postgres identity override: accepted and ignored (the engine has
+        // no system-generated values to override).
+        if self.eat_kw("OVERRIDING") {
+            if !self.eat_kw("SYSTEM") {
+                self.expect_kw("USER")?;
+            }
+            self.expect_kw("VALUE")?;
+        }
+        let source = if self.eat_kw("VALUES") {
+            let mut tuples = Vec::new();
+            loop {
+                self.expect_punct('(')?;
+                let mut tuple = Vec::new();
+                loop {
+                    tuple.push(self.expr()?);
+                    if self.eat_punct(')') {
+                        break;
+                    }
+                    self.expect_punct(',')?;
+                }
+                tuples.push(tuple);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            InsertSource::Values(tuples)
+        } else if self.peek_kw("SELECT") {
+            InsertSource::Select(self.select()?)
+        } else {
+            let span = self.peek().map(|t| t.span).unwrap_or(self.eof_span());
+            return Err(self.error("expected `VALUES` or `SELECT`", span));
+        };
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            source,
+        })
+    }
+
+    fn update(&mut self) -> Result<Stmt, SqlError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.table_ref()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let (column, _) = self.expect_ident("column name")?;
+            self.expect_punct('=')?;
+            sets.push((column, self.expr()?));
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        let filter = self.optional_where()?;
+        Ok(Stmt::Update {
+            table,
+            sets,
+            filter,
+        })
+    }
+
+    fn optional_where(&mut self) -> Result<Option<Expr>, SqlError> {
+        if self.eat_kw("WHERE") {
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_punct('*') {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.expect_ident("column alias")?.0)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        from.push(FromItem {
+            table: self.table_ref()?,
+            on: None,
+        });
+        loop {
+            if self.eat_kw("JOIN") {
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                from.push(FromItem {
+                    table,
+                    on: Some(on),
+                });
+            } else if self.eat_punct(',') {
+                from.push(FromItem {
+                    table: self.table_ref()?,
+                    on: None,
+                });
+            } else {
+                break;
+            }
+        }
+        let filter = self.optional_where()?;
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            filter,
+        })
+    }
+
+    // Expression parsing, loosest binding first: OR, AND, NOT, comparison /
+    // IN / IS / EXISTS, additive, multiplicative, unary, primary.
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek_kw("OR") {
+            let span = self.next().expect("peeked").span;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek_kw("AND") {
+            let span = self.next().expect("peeked").span;
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.peek_kw("NOT") && !self.peek_at(1).is_some_and(|t| t.is_kw("EXISTS")) {
+            let span = self.next().expect("peeked").span;
+            let expr = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        if self.peek_kw("EXISTS")
+            || (self.peek_kw("NOT") && self.peek_at(1).is_some_and(|t| t.is_kw("EXISTS")))
+        {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("EXISTS")?;
+            self.expect_punct('(')?;
+            let select = self.select()?;
+            self.expect_punct(')')?;
+            return Ok(Expr::Exists {
+                select: Box::new(select),
+                negated,
+            });
+        }
+        let lhs = self.additive()?;
+        // IS [NOT] NULL.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        // [NOT] IN (SELECT ...).
+        let negated_in = self.peek_kw("NOT") && self.peek_at(1).is_some_and(|t| t.is_kw("IN"));
+        if negated_in {
+            self.next();
+        }
+        if self.peek_kw("IN") {
+            let span = self.next().expect("peeked").span;
+            self.expect_punct('(')?;
+            let select = self.select()?;
+            self.expect_punct(')')?;
+            return Ok(Expr::In {
+                needle: Box::new(lhs),
+                select: Box::new(select),
+                negated: negated_in,
+                span,
+            });
+        }
+        // Binary comparisons; `<=`, `>=` and `<>` arrive as two tokens.
+        let op = if self.eat_punct('=') {
+            Some(BinOp::Eq)
+        } else if self.peek().is_some_and(|t| t.is_punct('<')) {
+            self.next();
+            if self.eat_punct('=') {
+                Some(BinOp::Le)
+            } else if self.eat_punct('>') {
+                Some(BinOp::Ne)
+            } else {
+                Some(BinOp::Lt)
+            }
+        } else if self.peek().is_some_and(|t| t.is_punct('>')) {
+            self.next();
+            if self.eat_punct('=') {
+                Some(BinOp::Ge)
+            } else {
+                Some(BinOp::Gt)
+            }
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let span = self.peek().map(|t| t.span).unwrap_or(self.eof_span());
+                let rhs = self.additive()?;
+                Ok(Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    span,
+                })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.peek().is_some_and(|t| t.is_punct('+')) {
+                BinOp::Add
+            } else if self.peek().is_some_and(|t| t.is_punct('-')) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let span = self.next().expect("peeked").span;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.peek().is_some_and(|t| t.is_punct('*')) {
+                BinOp::Mul
+            } else if self.peek().is_some_and(|t| t.is_punct('/')) {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let span = self.next().expect("peeked").span;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.peek().is_some_and(|t| t.is_punct('-')) {
+            let span = self.next().expect("peeked").span;
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        let Some(token) = self.peek().cloned() else {
+            return Err(self.error("expected an expression", self.eof_span()));
+        };
+        // Placeholders.
+        if token.is_punct('?') || token.is_punct('$') {
+            self.next();
+            let style = if token.is_punct('?') { '?' } else { '$' };
+            let Some(t) = self.next() else {
+                return Err(self.error(format!("expected a number after `{style}`"), token.span));
+            };
+            let TokenKind::Number(text) = &t.kind else {
+                return Err(self.error(format!("expected a number after `{style}`"), t.span));
+            };
+            let index: usize = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid placeholder `{style}{text}`"), t.span))?;
+            return Ok(Expr::Param {
+                key: ParamKey::Indexed(index),
+                span: token.span,
+            });
+        }
+        if token.is_punct(':') {
+            self.next();
+            let (name, span) = self.expect_ident("parameter name")?;
+            return Ok(Expr::Param {
+                key: ParamKey::Named(name),
+                span,
+            });
+        }
+        // Parenthesized expression.
+        if token.is_punct('(') {
+            self.next();
+            let expr = self.expr()?;
+            self.expect_punct(')')?;
+            return Ok(expr);
+        }
+        match &token.kind {
+            TokenKind::Number(text) => {
+                self.next();
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid number `{text}`"), token.span))?;
+                Ok(Expr::Literal(Value::Int(value)))
+            }
+            TokenKind::StringLit(text) => {
+                self.next();
+                Ok(Expr::Literal(Value::str(text)))
+            }
+            TokenKind::Ident { text, quoted } => {
+                if !quoted {
+                    if text.eq_ignore_ascii_case("NULL") {
+                        self.next();
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    if text.eq_ignore_ascii_case("TRUE") {
+                        self.next();
+                        return Ok(Expr::Literal(Value::Bool(true)));
+                    }
+                    if text.eq_ignore_ascii_case("FALSE") {
+                        self.next();
+                        return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    // Blob literal: X'ab01'.
+                    if text.eq_ignore_ascii_case("X") {
+                        if let Some(TokenKind::StringLit(hex)) =
+                            self.peek_at(1).map(|t| t.kind.clone())
+                        {
+                            self.next();
+                            let hex_token = self.next().expect("peeked");
+                            let bytes = decode_hex(&hex).ok_or_else(|| {
+                                self.error("invalid blob literal", hex_token.span)
+                            })?;
+                            return Ok(Expr::Literal(Value::bytes(bytes)));
+                        }
+                    }
+                }
+                // Column reference: `name` or `qualifier.name`.
+                self.next();
+                if self.eat_punct('.') {
+                    let (name, span) = self.expect_ident("column name")?;
+                    Ok(Expr::Column {
+                        qualifier: Some(text.clone()),
+                        name,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: text.clone(),
+                        span: token.span,
+                    })
+                }
+            }
+            _ => Err(self.error("expected an expression", token.span)),
+        }
+    }
+}
+
+/// Collects the column references of an expression that belong to the
+/// *current* select scope — subquery bodies are skipped (they validate
+/// themselves against their own FROM when they run).
+fn collect_column_refs(expr: &Expr, out: &mut Vec<(Option<String>, String, Span)>) {
+    match expr {
+        Expr::Literal(_) | Expr::Param { .. } | Expr::Exists { .. } => {}
+        Expr::Column {
+            qualifier,
+            name,
+            span,
+        } => out.push((qualifier.clone(), name.clone(), *span)),
+        Expr::Unary { expr, .. } => collect_column_refs(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_column_refs(lhs, out);
+            collect_column_refs(rhs, out);
+        }
+        Expr::IsNull { expr, .. } => collect_column_refs(expr, out),
+        Expr::In { needle, .. } => collect_column_refs(needle, out),
+    }
+}
+
+fn decode_hex(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+impl Database {
+    /// Convenience: executes a single `SELECT` and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the script is not exactly one `SELECT`, or on any parse or
+    /// execution error.
+    pub fn query(&mut self, sql: &str, params: &Params) -> Result<QueryResult, SqlError> {
+        let mut results = self.execute_script(sql, params)?;
+        if results.len() != 1 {
+            return Err(SqlError::new(
+                format!("expected exactly one SELECT, found {}", results.len()),
+                Span::point(1, 1),
+                sql,
+            ));
+        }
+        Ok(results.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(script: &str) -> Database {
+        let mut db = Database::new();
+        db.execute_script(script, &Params::none()).unwrap();
+        db
+    }
+
+    fn sorted_rows(db: &mut Database, sql: &str) -> Vec<Vec<Value>> {
+        let mut rows = db.query(sql, &Params::none()).unwrap().rows;
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn create_insert_select_with_join_and_where() {
+        let mut db = db("CREATE TABLE Person (pid INTEGER, name TEXT);\n\
+             CREATE TABLE Address (pid INTEGER, city TEXT);\n\
+             INSERT INTO Person (pid, name) VALUES (1, 'ada');\n\
+             INSERT INTO Person (pid, name) VALUES (2, 'bob');\n\
+             INSERT INTO Address (pid, city) VALUES (1, 'paris');\n\
+             INSERT INTO Address (pid, city) VALUES (2, 'oslo');");
+        let result = db
+            .query(
+                "SELECT Person.name, Address.city FROM Person JOIN Address \
+                 ON Person.pid = Address.pid WHERE Person.pid = 2;",
+                &Params::none(),
+            )
+            .unwrap();
+        assert_eq!(result.columns, vec!["name", "city"]);
+        assert_eq!(
+            result.rows,
+            vec![vec![Value::str("bob"), Value::str("oslo")]]
+        );
+    }
+
+    #[test]
+    fn insert_select_reads_pre_insert_state() {
+        let mut db = db("CREATE TABLE T (a INTEGER);\n\
+             INSERT INTO T (a) VALUES (1);\n\
+             INSERT INTO T (a) SELECT T.a + 10 FROM T;");
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT T.a FROM T;"),
+            vec![vec![Value::Int(1)], vec![Value::Int(11)]]
+        );
+    }
+
+    #[test]
+    fn primary_key_insert_upserts() {
+        let mut db = db("CREATE TABLE U (uid INTEGER PRIMARY KEY, name TEXT);\n\
+             INSERT INTO U (uid, name) VALUES (1, 'old');\n\
+             INSERT INTO U (uid, name) VALUES (1, 'new');\n\
+             INSERT INTO U (uid, name) VALUES (2, 'other');");
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT U.uid, U.name FROM U;"),
+            vec![
+                vec![Value::Int(1), Value::str("new")],
+                vec![Value::Int(2), Value::str("other")],
+            ]
+        );
+    }
+
+    #[test]
+    fn update_with_correlated_exists() {
+        let mut db = db("CREATE TABLE A (x INTEGER, y INTEGER);\n\
+             CREATE TABLE B (x INTEGER);\n\
+             INSERT INTO A (x, y) VALUES (1, 10);\n\
+             INSERT INTO A (x, y) VALUES (2, 20);\n\
+             INSERT INTO B (x) VALUES (2);\n\
+             UPDATE A SET y = 99 WHERE EXISTS (SELECT 1 FROM B WHERE B.x = A.x);");
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT A.x, A.y FROM A;"),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(99)],
+            ]
+        );
+    }
+
+    #[test]
+    fn delete_with_in_subquery_and_not() {
+        let mut db = db("CREATE TABLE A (x INTEGER);\n\
+             CREATE TABLE B (x INTEGER);\n\
+             INSERT INTO A (x) VALUES (1);\n\
+             INSERT INTO A (x) VALUES (2);\n\
+             INSERT INTO A (x) VALUES (3);\n\
+             INSERT INTO B (x) VALUES (2);\n\
+             DELETE FROM A WHERE A.x IN (SELECT B.x FROM B);");
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT A.x FROM A;"),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
+        db.execute_script(
+            "DELETE FROM A WHERE A.x NOT IN (SELECT B.x FROM B);",
+            &Params::none(),
+        )
+        .unwrap();
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT A.x FROM A;"),
+            Vec::<Vec<Value>>::new()
+        );
+    }
+
+    #[test]
+    fn temporary_snapshot_table_lifecycle() {
+        let mut db = db("CREATE TABLE T (a INTEGER, b INTEGER);\n\
+             INSERT INTO T (a, b) VALUES (1, 1);\n\
+             INSERT INTO T (a, b) VALUES (1, 2);\n\
+             CREATE TEMPORARY TABLE snap AS SELECT DISTINCT T.a AS a FROM T;\n\
+             DELETE FROM T WHERE EXISTS (SELECT 1 FROM snap WHERE snap.a = T.a);\n\
+             DROP TABLE snap;");
+        assert!(db.table("snap").is_none());
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT T.a FROM T;"),
+            Vec::<Vec<Value>>::new()
+        );
+    }
+
+    #[test]
+    fn alter_table_rename_stages_a_table() {
+        let db = db("CREATE TABLE T (a INTEGER);\n\
+             INSERT INTO T (a) VALUES (7);\n\
+             ALTER TABLE T RENAME TO legacy_T;\n\
+             CREATE TABLE T (a INTEGER, b TEXT);");
+        assert_eq!(db.table("legacy_T").unwrap().rows.len(), 1);
+        assert_eq!(db.table("T").unwrap().rows.len(), 0);
+    }
+
+    #[test]
+    fn placeholders_bind_named_and_positional() {
+        let mut db = db("CREATE TABLE T (a INTEGER, b TEXT);");
+        db.execute_script(
+            "INSERT INTO T (a, b) VALUES (?1, ?2);",
+            &Params::positional(vec![Value::Int(5), Value::str("five")]),
+        )
+        .unwrap();
+        db.execute_script(
+            "INSERT INTO T (a, b) VALUES (:a, :b);",
+            &Params::none()
+                .with_named("a", Value::Int(6))
+                .with_named("b", Value::str("six")),
+        )
+        .unwrap();
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT T.a, T.b FROM T;"),
+            vec![
+                vec![Value::Int(5), Value::str("five")],
+                vec![Value::Int(6), Value::str("six")],
+            ]
+        );
+        let err = db
+            .execute_script("INSERT INTO T (a, b) VALUES (?1, ?2);", &Params::none())
+            .unwrap_err();
+        assert!(err.message.contains("unbound parameter"), "{err}");
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons() {
+        let mut db = db("CREATE TABLE T (a INTEGER);\n\
+             INSERT INTO T (a) VALUES (3);\n\
+             INSERT INTO T (a) VALUES (4);");
+        let result = db
+            .query(
+                "SELECT T.a * 10 + 1 FROM T WHERE T.a <= 3;",
+                &Params::none(),
+            )
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::Int(31)]]);
+        let result = db
+            .query(
+                "SELECT T.a FROM T WHERE T.a <> 3 AND T.a >= 4;",
+                &Params::none(),
+            )
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn booleans_coerce_into_bool_columns() {
+        let mut db = db("CREATE TABLE T (flag BOOLEAN);\n\
+             INSERT INTO T (flag) VALUES (1);\n\
+             INSERT INTO T (flag) VALUES (FALSE);");
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT T.flag FROM T;"),
+            vec![vec![Value::Bool(false)], vec![Value::Bool(true)]]
+        );
+        let result = db
+            .query("SELECT T.flag FROM T WHERE T.flag = 1;", &Params::none())
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::Bool(true)]]);
+    }
+
+    #[test]
+    fn blob_and_null_literals() {
+        let mut db = db("CREATE TABLE T (b BLOB, n INTEGER);\n\
+             INSERT INTO T (b, n) VALUES (X'ab01', NULL);");
+        let result = db
+            .query("SELECT T.b FROM T WHERE T.n IS NULL;", &Params::none())
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::bytes([0xab, 0x01])]]);
+        let empty = db
+            .query("SELECT T.b FROM T WHERE T.n = 0;", &Params::none())
+            .unwrap();
+        assert!(empty.rows.is_empty(), "NULL compares as unknown");
+    }
+
+    /// Review regression: SQL three-valued logic. `NOT (NULL = 5)` is
+    /// NULL (row filtered), matching real SQLite — not TRUE.
+    #[test]
+    fn null_propagates_through_not_and_logic() {
+        let mut db = db("CREATE TABLE T (x INTEGER, tag TEXT);\n\
+             INSERT INTO T (x, tag) VALUES (NULL, 'null');\n\
+             INSERT INTO T (x, tag) VALUES (5, 'five');\n\
+             INSERT INTO T (x, tag) VALUES (6, 'six');");
+        // NOT over an unknown comparison keeps the NULL row out, exactly
+        // like the positive form does.
+        let result = db
+            .query("SELECT T.tag FROM T WHERE NOT (T.x = 5);", &Params::none())
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::str("six")]]);
+        // Kleene AND/OR: FALSE dominates AND, TRUE dominates OR, NULL
+        // propagates otherwise.
+        let result = db
+            .query(
+                "SELECT T.tag FROM T WHERE NOT (T.x = 5 OR T.x = 6);",
+                &Params::none(),
+            )
+            .unwrap();
+        assert!(result.rows.is_empty(), "{:?}", result.rows);
+        let result = db
+            .query(
+                "SELECT T.tag FROM T WHERE T.x = 5 OR NOT (T.x = 5);",
+                &Params::none(),
+            )
+            .unwrap();
+        assert_eq!(result.rows.len(), 2, "NULL row stays excluded");
+        // DELETE with NOT keeps the NULL row, as sqlite3 does.
+        db.execute_script("DELETE FROM T WHERE NOT (T.x = 5);", &Params::none())
+            .unwrap();
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT T.tag FROM T;"),
+            vec![vec![Value::str("five")], vec![Value::str("null")]]
+        );
+    }
+
+    #[test]
+    fn missing_insert_columns_default_to_null() {
+        let mut db = db("CREATE TABLE T (a INTEGER, b TEXT);\n\
+             INSERT INTO T (a) VALUES (1);");
+        assert_eq!(
+            sorted_rows(&mut db, "SELECT T.a, T.b FROM T;"),
+            vec![vec![Value::Int(1), Value::Null]]
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let mut empty_db = Database::new();
+        let err = empty_db
+            .execute_script("SELECT Missing.a FROM Missing;", &Params::none())
+            .unwrap_err();
+        assert!(err.message.contains("does not exist"), "{err}");
+        assert!(err.to_string().contains("^"), "{err}");
+
+        let mut db = db("CREATE TABLE T (a INTEGER);");
+        let err = db
+            .query("SELECT T.nope FROM T;", &Params::none())
+            .unwrap_err();
+        assert!(err.message.contains("unknown column"), "{err}");
+
+        let err = db
+            .execute_script("FROBNICATE;", &Params::none())
+            .unwrap_err();
+        assert!(err.message.contains("expected CREATE"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_do_not_mutate() {
+        let mut db = db("CREATE TABLE T (a INTEGER);");
+        let err = db
+            .execute_script("INSERT INTO T (a) VALUES (1); SELEKT;", &Params::none())
+            .unwrap_err();
+        assert!(err.message.contains("expected"), "{err}");
+        assert_eq!(
+            db.table("T").unwrap().rows.len(),
+            0,
+            "script parsed before executing"
+        );
+    }
+
+    #[test]
+    fn instance_roundtrip_is_lossless() {
+        let schema = Schema::parse("T(pk a: int, b: string, c: binary, d: bool, e: id)").unwrap();
+        let mut instance = Instance::empty(&schema);
+        instance.insert(
+            &"T".into(),
+            vec![
+                Value::Int(1),
+                Value::str("x"),
+                Value::bytes([9]),
+                Value::Bool(true),
+                Value::Uid(7),
+            ],
+        );
+        let db = Database::from_instance(&schema, &instance);
+        assert_eq!(db.table("T").unwrap().primary_key, Some(0));
+        let back = db.to_instance(&schema).unwrap();
+        assert_eq!(instance, back);
+    }
+
+    #[test]
+    fn comma_join_is_a_cross_product() {
+        let mut db = db("CREATE TABLE A (x INTEGER);\n\
+             CREATE TABLE B (y INTEGER);\n\
+             INSERT INTO A (x) VALUES (1);\n\
+             INSERT INTO A (x) VALUES (2);\n\
+             INSERT INTO B (y) VALUES (3);");
+        let result = db
+            .query("SELECT A.x, B.y FROM A, B;", &Params::none())
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+    }
+}

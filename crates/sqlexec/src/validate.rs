@@ -1,0 +1,732 @@
+//! The migration validator: execute the emitted migration against a
+//! [`Backend`] and compare the result with a `dbir`-level prediction.
+//!
+//! The pipeline is deliberately split so the two sides share as little code
+//! as possible:
+//!
+//! * the *executed* side renders everything to SQL text — source DDL
+//!   ([`sqlbridge::schema_to_ddl`]), seed rows
+//!   ([`sqlbridge::instance_inserts`]) and the executable migration script
+//!   ([`sqlbridge::migration_script`]) — and runs it through a backend;
+//! * the *predicted* side evaluates the same [`sqlbridge::MigrationPlan`]
+//!   directly over the seeded [`dbir::Instance`] with plain nested-loop
+//!   joins ([`predicted_target`]), never touching SQL text.
+//!
+//! Row-multiset equality of the two target instances therefore exercises
+//! the SQL renderer, the tokenizer, the engine (or a real `sqlite3`) and
+//! the snapshot path end-to-end. Surrogate-key columns ([`DataType::Id`])
+//! are compared up to a bijection: both sides compute the same skolem
+//! integers today, but a backend that mints its own keys (e.g. Postgres
+//! identity columns) only has to produce *consistently linked* rows, not
+//! identical numbers.
+//!
+//! Seeding is deterministic and join-aware: source columns that can
+//! equi-join (same name and compatible type, or linked by a foreign key)
+//! are seeded from the same value sequence, so the migration's joins
+//! actually match rows and a join against the wrong column shows up as a
+//! wrong result instead of an accidentally empty one.
+
+use std::collections::BTreeMap;
+
+use dbir::schema::QualifiedAttr;
+use dbir::{DataType, Instance, Schema, TableName, Value};
+use migrator::ValueCorrespondence;
+use sqlbridge::{
+    instance_inserts, migration_plan, migration_script, render_migration_script, schema_to_ddl,
+    ColumnFill, Dialect, MigrationPlan,
+};
+
+use crate::backend::{Backend, BackendError};
+
+/// One per-table discrepancy between the predicted and the executed target
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDiff {
+    /// The table that differs.
+    pub table: String,
+    /// What differs.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InstanceDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.table, self.detail)
+    }
+}
+
+/// Rows seeded per source table when a caller has no reason to pick a
+/// different bound (shared by the CLI and the experiments harness so both
+/// validate the same instance).
+pub const DEFAULT_ROWS_PER_TABLE: usize = 3;
+
+/// The outcome of validating one migration against one backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationOutcome {
+    /// `true` when the executed target instance matches the prediction.
+    pub ok: bool,
+    /// The backend the migration ran on.
+    pub backend: String,
+    /// The SQL dialect the validated script was rendered in.
+    pub dialect: String,
+    /// Rows seeded into the source instance.
+    pub seeded_rows: usize,
+    /// Rows found in the target instance after the migration ran.
+    pub migrated_rows: usize,
+    /// Per-table discrepancies (empty when `ok`).
+    pub diffs: Vec<InstanceDiff>,
+    /// Human-readable notes (skipped columns, prediction caveats).
+    pub details: Vec<String>,
+}
+
+/// Seeds a deterministic source instance with `rows_per_table` rows per
+/// table.
+///
+/// Values are derived from the *join class* of each column (columns that
+/// can equi-join share a class, see the module docs) and the row number, so
+/// joins match rows and distinct columns receive distinct values. `Id`
+/// columns are seeded with integers — that is how surrogate keys exist at
+/// the SQL level.
+pub fn seed_instance(schema: &Schema, rows_per_table: usize) -> Instance {
+    let classes = column_classes(schema);
+    let mut instance = Instance::empty(schema);
+    for table in schema.tables() {
+        for row_index in 0..rows_per_table {
+            let mut row = Vec::new();
+            for column in &table.columns {
+                let attr = QualifiedAttr {
+                    table: table.name,
+                    attr: column.name.clone(),
+                };
+                let class = classes.get(&attr).copied().unwrap_or(0);
+                row.push(seed_value(column.ty, class, row_index));
+            }
+            instance.insert(&table.name, row);
+        }
+    }
+    instance
+}
+
+fn seed_value(ty: DataType, class: usize, row: usize) -> Value {
+    match ty {
+        DataType::Int | DataType::Id => Value::Int(((class + 1) * 100 + row + 1) as i64),
+        DataType::String => Value::str(format!("s{class}_{row}")),
+        DataType::Binary => Value::bytes([(class % 251) as u8 + 1, (row % 251) as u8 + 1]),
+        DataType::Bool => Value::Bool(row.is_multiple_of(2)),
+    }
+}
+
+/// Join classes of the source columns: a union-find over all columns,
+/// merging same-named compatible columns and foreign-key endpoints.
+fn column_classes(schema: &Schema) -> BTreeMap<QualifiedAttr, usize> {
+    let attrs = schema.all_attrs();
+    let index: BTreeMap<&QualifiedAttr, usize> =
+        attrs.iter().enumerate().map(|(i, a)| (a, i)).collect();
+    let mut parent: Vec<usize> = (0..attrs.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+        }
+    };
+    for (i, a) in attrs.iter().enumerate() {
+        for (j, b) in attrs.iter().enumerate().skip(i + 1) {
+            if a.attr == b.attr {
+                let (Some(ta), Some(tb)) = (schema.attr_type(a), schema.attr_type(b)) else {
+                    continue;
+                };
+                if ta.compatible_with(tb) {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+    }
+    for fk in schema.foreign_keys() {
+        if let (Some(&i), Some(&j)) = (index.get(&fk.from), index.get(&fk.to)) {
+            union(&mut parent, i, j);
+        }
+    }
+    // Rank classes by their root's first occurrence, for stable small ids.
+    let mut rank: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut classes = BTreeMap::new();
+    for (i, attr) in attrs.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let next = rank.len();
+        let class = *rank.entry(root).or_insert(next);
+        classes.insert(attr.clone(), class);
+    }
+    classes
+}
+
+/// Evaluates a [`MigrationPlan`] directly over a source instance with
+/// nested-loop joins, predicting the target instance the emitted SQL must
+/// produce.
+///
+/// # Errors
+///
+/// Fails when the plan references attributes absent from the schemas or a
+/// skolem key holds a non-integer value — both indicate a planner bug.
+pub fn predicted_target(
+    plan: &MigrationPlan,
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source: &Instance,
+) -> Result<Instance, String> {
+    let mut instance = Instance::empty(target_schema);
+    for insert in &plan.inserts {
+        let target_table = target_schema
+            .table(&insert.target)
+            .ok_or_else(|| format!("plan inserts into unknown table `{}`", insert.target))?;
+
+        // Build the joined relation: labels are source qualified attrs.
+        let mut labels: Vec<QualifiedAttr> = table_attrs(source_schema, &insert.tables[0])?;
+        let mut rows: Vec<Vec<Value>> = source.rows(&insert.tables[0]).to_vec();
+        for (table, join) in insert.tables[1..].iter().zip(&insert.joins) {
+            let new_labels = table_attrs(source_schema, table)?;
+            let condition = match join {
+                Some((a, b)) => {
+                    // One end is bound in the relation so far, the other in
+                    // the incoming table.
+                    let (rel_attr, new_attr) = if labels.contains(a) { (a, b) } else { (b, a) };
+                    let rel_index = labels
+                        .iter()
+                        .position(|l| l == rel_attr)
+                        .ok_or_else(|| format!("join attribute {rel_attr} not in relation"))?;
+                    let new_index = new_labels
+                        .iter()
+                        .position(|l| l == new_attr)
+                        .ok_or_else(|| format!("join attribute {new_attr} not in {table}"))?;
+                    Some((rel_index, new_index))
+                }
+                None => None,
+            };
+            let table_rows = source.rows(table);
+            let mut extended = Vec::new();
+            for row in &rows {
+                for table_row in table_rows {
+                    let matches = match condition {
+                        Some((ri, ni)) => sql_eq(&row[ri], &table_row[ni]),
+                        None => true,
+                    };
+                    if matches {
+                        let mut combined = row.clone();
+                        combined.extend(table_row.iter().copied());
+                        extended.push(combined);
+                    }
+                }
+            }
+            labels.extend(new_labels);
+            rows = extended;
+        }
+
+        // Project each joined row into a full-width target tuple.
+        let column_count = target_table.columns.len();
+        for row in &rows {
+            let mut tuple = vec![Value::Null; column_count];
+            for (column, fill) in &insert.columns {
+                let target_index = target_table
+                    .column_index(&column.attr)
+                    .ok_or_else(|| format!("plan fills unknown column {column}"))?;
+                tuple[target_index] = match fill {
+                    ColumnFill::Source(attr) => {
+                        let i = labels
+                            .iter()
+                            .position(|l| l == attr)
+                            .ok_or_else(|| format!("plan reads {attr} outside the join"))?;
+                        row[i]
+                    }
+                    ColumnFill::Skolem { key, factor, tag } => {
+                        let i = labels
+                            .iter()
+                            .position(|l| l == key)
+                            .ok_or_else(|| format!("skolem key {key} outside the join"))?;
+                        let k = match row[i] {
+                            Value::Int(n) => n,
+                            Value::Uid(u) => i64::try_from(u)
+                                .map_err(|_| format!("skolem key {key} overflows"))?,
+                            other => {
+                                return Err(format!(
+                                    "skolem key {key} holds non-integer value {other}"
+                                ))
+                            }
+                        };
+                        Value::Int(k * (*factor as i64) + *tag as i64)
+                    }
+                };
+            }
+            // Primary-key upsert, matching the engine and dbir semantics.
+            push_with_upsert(&mut instance, target_table, tuple);
+        }
+    }
+    Ok(instance)
+}
+
+fn push_with_upsert(instance: &mut Instance, table: &dbir::TableDef, tuple: Vec<Value>) {
+    if let Some(pk) = table.primary_key_index() {
+        let rows = instance.rows_mut(&table.name);
+        if let Some(existing) = rows.iter_mut().find(|r| sql_eq(&r[pk], &tuple[pk])) {
+            *existing = tuple;
+            return;
+        }
+        rows.push(tuple);
+        return;
+    }
+    instance.insert(&table.name, tuple);
+}
+
+fn table_attrs(schema: &Schema, table: &TableName) -> Result<Vec<QualifiedAttr>, String> {
+    schema
+        .table(table)
+        .map(|t| t.qualified_attrs())
+        .ok_or_else(|| format!("plan reads unknown table `{table}`"))
+}
+
+/// SQL-level equality: surrogate keys are integers, so `Uid` and `Int`
+/// compare numerically; `NULL` equals nothing.
+fn sql_eq(a: &Value, b: &Value) -> bool {
+    if a.is_null() || b.is_null() {
+        return false;
+    }
+    if a == b {
+        return true;
+    }
+    match (a, b) {
+        (Value::Uid(u), Value::Int(n)) | (Value::Int(n), Value::Uid(u)) => {
+            i64::try_from(*u).map(|u| u == *n).unwrap_or(false)
+        }
+        _ => false,
+    }
+}
+
+/// Compares two target instances for row-multiset equality, with
+/// [`DataType::Id`] columns compared up to a bijection.
+///
+/// Both instances are canonicalized: surrogate values are renumbered in the
+/// order they are first encountered when traversing tables in schema order
+/// and rows in a surrogate-masked sort order, so two instances whose
+/// surrogate keys differ only by a consistent renaming canonicalize
+/// identically. (Rows that are identical except for their surrogate keys
+/// can tie in the masked order and defeat the renumbering; the seeded
+/// instances keep rows distinct.) Returns one [`InstanceDiff`] per
+/// differing table.
+pub fn compare_instances(
+    expected: &Instance,
+    actual: &Instance,
+    schema: &Schema,
+) -> Vec<InstanceDiff> {
+    // Fast path: literal row-multiset equality (today's backends execute
+    // the same skolem arithmetic the predictor computes, so keys usually
+    // match exactly). This also sidesteps the canonicalization tie caveat
+    // below whenever the instances are simply equal.
+    let exactly_equal = schema.tables().iter().all(|table| {
+        let mut expected_rows = expected.rows(&table.name).to_vec();
+        let mut actual_rows = actual.rows(&table.name).to_vec();
+        expected_rows.sort();
+        actual_rows.sort();
+        expected_rows == actual_rows
+    });
+    if exactly_equal {
+        return Vec::new();
+    }
+    let expected = canonicalize_surrogates(expected, schema);
+    let actual = canonicalize_surrogates(actual, schema);
+    let mut diffs = Vec::new();
+    for table in schema.tables() {
+        let mut expected_rows = expected.rows(&table.name).to_vec();
+        let mut actual_rows = actual.rows(&table.name).to_vec();
+        expected_rows.sort();
+        actual_rows.sort();
+        if expected_rows == actual_rows {
+            continue;
+        }
+        let missing: Vec<&Vec<Value>> = expected_rows
+            .iter()
+            .filter(|r| !actual_rows.contains(r))
+            .collect();
+        let unexpected: Vec<&Vec<Value>> = actual_rows
+            .iter()
+            .filter(|r| !expected_rows.contains(r))
+            .collect();
+        let mut detail = format!(
+            "predicted {} row(s), executed migration produced {}",
+            expected_rows.len(),
+            actual_rows.len()
+        );
+        for row in missing.iter().take(3) {
+            detail.push_str(&format!("; missing {}", render_row(row)));
+        }
+        for row in unexpected.iter().take(3) {
+            detail.push_str(&format!("; unexpected {}", render_row(row)));
+        }
+        diffs.push(InstanceDiff {
+            table: table.name.as_str().to_string(),
+            detail,
+        });
+    }
+    diffs
+}
+
+fn render_row(row: &[Value]) -> String {
+    let fields: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+    format!("({})", fields.join(", "))
+}
+
+/// Replaces every value stored in a surrogate-key column with a canonical
+/// integer assigned by first encounter (see [`compare_instances`]).
+fn canonicalize_surrogates(instance: &Instance, schema: &Schema) -> Instance {
+    let mut canonical: BTreeMap<Value, i64> = BTreeMap::new();
+    let mut result = Instance::empty(schema);
+    for table in schema.tables() {
+        let id_columns: Vec<usize> = table
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ty == DataType::Id)
+            .map(|(i, _)| i)
+            .collect();
+        let mut rows = instance.rows(&table.name).to_vec();
+        if !id_columns.is_empty() {
+            // Sort by the surrogate-masked projection first so the
+            // encounter order does not depend on the surrogate values
+            // themselves, then renumber.
+            rows.sort_by_key(|row| {
+                let masked: Vec<Value> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        if id_columns.contains(&i) {
+                            Value::Null
+                        } else {
+                            *v
+                        }
+                    })
+                    .collect();
+                masked
+            });
+            for row in &mut rows {
+                for &i in &id_columns {
+                    if row[i].is_null() {
+                        continue;
+                    }
+                    let next = canonical.len() as i64;
+                    let id = *canonical.entry(row[i]).or_insert(next);
+                    row[i] = Value::Int(id);
+                }
+            }
+        }
+        for row in rows {
+            result.insert(&table.name, row);
+        }
+    }
+    result
+}
+
+/// Validates one migration end-to-end against a backend: seed, execute the
+/// emitted DDL + seed inserts + migration script — all rendered in the
+/// SQLite dialect, which every provided backend executes — snapshot the
+/// target tables and compare with the plan's `dbir`-level prediction.
+///
+/// To validate the script of a *specific* dialect (what the `migrate` CLI
+/// printed), use [`validate_migration_dialect`]; the chosen dialect must be
+/// one the backend can execute (the in-memory engine accepts all three
+/// provided dialects, a real `sqlite3` only the SQLite one).
+///
+/// # Errors
+///
+/// Fails when the backend rejects the script or cannot be read back; a
+/// *semantic* mismatch is not an error but an outcome with `ok == false`.
+pub fn validate_migration(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    phi: &ValueCorrespondence,
+    backend: &mut dyn Backend,
+    rows_per_table: usize,
+) -> Result<ValidationOutcome, BackendError> {
+    validate_migration_dialect(
+        source_schema,
+        target_schema,
+        phi,
+        backend,
+        rows_per_table,
+        &sqlbridge::Sqlite,
+    )
+}
+
+/// [`validate_migration`] with an explicit rendering dialect, so the
+/// validated script is the same text the caller emits to the user.
+///
+/// # Errors
+///
+/// Fails when the backend rejects the script or cannot be read back; a
+/// *semantic* mismatch is not an error but an outcome with `ok == false`.
+pub fn validate_migration_dialect(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    phi: &ValueCorrespondence,
+    backend: &mut dyn Backend,
+    rows_per_table: usize,
+    dialect: &dyn Dialect,
+) -> Result<ValidationOutcome, BackendError> {
+    let seed = seed_instance(source_schema, rows_per_table);
+
+    let mut script = String::new();
+    script.push_str(&schema_to_ddl(source_schema, dialect));
+    for statement in instance_inserts(source_schema, &seed, dialect) {
+        script.push_str(&statement);
+        script.push('\n');
+    }
+    let migration = migration_script(source_schema, target_schema, phi, dialect);
+    script.push_str(&render_migration_script(&migration, dialect));
+
+    backend.execute_script(&script)?;
+    let actual = backend.snapshot(target_schema)?;
+
+    let plan = migration_plan(source_schema, target_schema, phi);
+    let mut details = plan.notes.clone();
+    let expected = match predicted_target(&plan, source_schema, target_schema, &seed) {
+        Ok(expected) => expected,
+        Err(message) => {
+            return Ok(ValidationOutcome {
+                ok: false,
+                backend: backend.name().to_string(),
+                dialect: dialect.name().to_string(),
+                seeded_rows: seed.total_rows(),
+                migrated_rows: actual.total_rows(),
+                diffs: Vec::new(),
+                details: vec![format!("prediction failed: {message}")],
+            })
+        }
+    };
+    let diffs = compare_instances(&expected, &actual, target_schema);
+    let ok = diffs.is_empty();
+    if ok {
+        details.push(format!(
+            "{} target row(s) match the dbir prediction on backend `{}`",
+            actual.total_rows(),
+            backend.name()
+        ));
+    }
+    Ok(ValidationOutcome {
+        ok,
+        backend: backend.name().to_string(),
+        dialect: dialect.name().to_string(),
+        seeded_rows: seed.total_rows(),
+        migrated_rows: actual.total_rows(),
+        diffs,
+        details,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+
+    fn qa(t: &str, a: &str) -> QualifiedAttr {
+        QualifiedAttr::new(t, a)
+    }
+
+    #[test]
+    fn seeds_share_values_across_join_classes() {
+        let mut schema = Schema::parse(
+            "Person(pid: int, name: string)\n\
+             Address(pid: int, city: string)\n\
+             Photo(ref: int, blob: binary)",
+        )
+        .unwrap();
+        schema
+            .add_foreign_key(qa("Photo", "ref"), qa("Person", "pid"))
+            .unwrap();
+        let instance = seed_instance(&schema, 2);
+        let person = instance.rows(&"Person".into());
+        let address = instance.rows(&"Address".into());
+        let photo = instance.rows(&"Photo".into());
+        // Same-named `pid` columns and the fk-linked `ref` column share the
+        // same value sequence, so joins match row-for-row.
+        assert_eq!(person[0][0], address[0][0]);
+        assert_eq!(person[1][0], address[1][0]);
+        assert_eq!(person[0][0], photo[0][0]);
+        // Unrelated columns draw from distinct sequences.
+        assert_ne!(person[0][1], address[0][1]);
+    }
+
+    #[test]
+    fn surrogate_bijection_accepts_renamed_keys_and_rejects_broken_links() {
+        let schema = Schema::parse(
+            "Account(name: string, addr: id)\n\
+             Addr(addr: id, city: string)",
+        )
+        .unwrap();
+        let mut expected = Instance::empty(&schema);
+        expected.insert(&"Account".into(), vec![Value::str("a"), Value::Int(10)]);
+        expected.insert(&"Account".into(), vec![Value::str("b"), Value::Int(20)]);
+        expected.insert(&"Addr".into(), vec![Value::Int(10), Value::str("x")]);
+        expected.insert(&"Addr".into(), vec![Value::Int(20), Value::str("y")]);
+
+        // Same structure, consistently renamed surrogates: accepted.
+        let mut renamed = Instance::empty(&schema);
+        renamed.insert(&"Account".into(), vec![Value::str("a"), Value::Int(777)]);
+        renamed.insert(&"Account".into(), vec![Value::str("b"), Value::Int(888)]);
+        renamed.insert(&"Addr".into(), vec![Value::Int(777), Value::str("x")]);
+        renamed.insert(&"Addr".into(), vec![Value::Int(888), Value::str("y")]);
+        assert!(compare_instances(&expected, &renamed, &schema).is_empty());
+
+        // Crossed links: `a` now points at `y` — rejected.
+        let mut crossed = Instance::empty(&schema);
+        crossed.insert(&"Account".into(), vec![Value::str("a"), Value::Int(888)]);
+        crossed.insert(&"Account".into(), vec![Value::str("b"), Value::Int(777)]);
+        crossed.insert(&"Addr".into(), vec![Value::Int(777), Value::str("x")]);
+        crossed.insert(&"Addr".into(), vec![Value::Int(888), Value::str("y")]);
+        assert!(!compare_instances(&expected, &crossed, &schema).is_empty());
+    }
+
+    #[test]
+    fn validates_a_surrogate_key_split_on_the_memory_backend() {
+        let source = Schema::parse("U(uid: int, uname: string, grp: string)").unwrap();
+        let mut target = Schema::parse(
+            "Account(uid: int, grp_id: id, uname: string)\n\
+             Grp(grp_id: id, gname: string)",
+        )
+        .unwrap();
+        target
+            .add_foreign_key(qa("Account", "grp_id"), qa("Grp", "grp_id"))
+            .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("U", "uid"), qa("Account", "uid"));
+        phi.add(qa("U", "uname"), qa("Account", "uname"));
+        phi.add(qa("U", "grp"), qa("Grp", "gname"));
+
+        let outcome =
+            validate_migration(&source, &target, &phi, &mut MemoryBackend::new(), 3).unwrap();
+        assert!(outcome.ok, "{:#?}", outcome);
+        assert_eq!(outcome.seeded_rows, 3);
+        assert_eq!(outcome.migrated_rows, 6);
+    }
+
+    #[test]
+    fn validates_colliding_table_names_through_staging() {
+        // Source and target both have `Users`; the script must stage the
+        // source under `legacy_Users` and still validate.
+        let source = Schema::parse("Users(uid: int, nick: string)").unwrap();
+        let target = Schema::parse("Users(uid: int, handle: string)").unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("Users", "uid"), qa("Users", "uid"));
+        phi.add(qa("Users", "nick"), qa("Users", "handle"));
+
+        let mut backend = MemoryBackend::new();
+        let outcome = validate_migration(&source, &target, &phi, &mut backend, 4).unwrap();
+        assert!(outcome.ok, "{:#?}", outcome);
+        // Cleanup dropped the staged table; only the target table remains.
+        assert!(backend.database().table("legacy_Users").is_none());
+        assert_eq!(backend.database().tables().len(), 1);
+    }
+
+    /// Review regression: `--dialect X --validate` must validate the
+    /// dialect-X script. The memory engine executes all three provided
+    /// dialect renderings.
+    #[test]
+    fn every_dialect_validates_on_the_memory_backend() {
+        let source =
+            Schema::parse("U(uid: int, uname: string, pic: binary, active: bool, grp: string)")
+                .unwrap();
+        let mut target = Schema::parse(
+            "Account(uid: int, grp_id: id, uname: string, pic: binary, active: bool)\n\
+             Grp(grp_id: id, gname: string)",
+        )
+        .unwrap();
+        target
+            .add_foreign_key(qa("Account", "grp_id"), qa("Grp", "grp_id"))
+            .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("U", "uid"), qa("Account", "uid"));
+        phi.add(qa("U", "uname"), qa("Account", "uname"));
+        phi.add(qa("U", "pic"), qa("Account", "pic"));
+        phi.add(qa("U", "active"), qa("Account", "active"));
+        phi.add(qa("U", "grp"), qa("Grp", "gname"));
+
+        for dialect in [
+            &sqlbridge::Ansi as &dyn Dialect,
+            &sqlbridge::Sqlite,
+            &sqlbridge::Postgres,
+        ] {
+            let outcome = validate_migration_dialect(
+                &source,
+                &target,
+                &phi,
+                &mut MemoryBackend::new(),
+                3,
+                dialect,
+            )
+            .unwrap_or_else(|e| panic!("{} dialect failed to execute: {e}", dialect.name()));
+            assert!(outcome.ok, "{} dialect: {:#?}", dialect.name(), outcome);
+            assert_eq!(outcome.dialect, dialect.name());
+        }
+    }
+
+    #[test]
+    fn a_tampered_migration_fails_validation() {
+        // Render the migration script but sabotage the data move the way
+        // the pre-PR1 emitter would have (reading the wrong column), and
+        // check the validator notices.
+        let source = Schema::parse("A(x: int, y: int)").unwrap();
+        let target = Schema::parse("B(x: int, y: int)").unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("A", "x"), qa("B", "x"));
+        phi.add(qa("A", "y"), qa("B", "y"));
+
+        let dialect = sqlbridge::Sqlite;
+        let seed = seed_instance(&source, 3);
+        let mut script = String::new();
+        script.push_str(&schema_to_ddl(&source, &dialect));
+        for statement in instance_inserts(&source, &seed, &dialect) {
+            script.push_str(&statement);
+            script.push('\n');
+        }
+        let migration = migration_script(&source, &target, &phi, &dialect);
+        let sabotaged = render_migration_script(&migration, &dialect)
+            .replace("SELECT A.x, A.y", "SELECT A.y, A.x");
+
+        let mut backend = MemoryBackend::new();
+        backend.execute_script(&script).unwrap();
+        backend.execute_script(&sabotaged).unwrap();
+        let actual = backend.snapshot(&target).unwrap();
+        let plan = migration_plan(&source, &target, &phi);
+        let expected = predicted_target(&plan, &source, &target, &seed).unwrap();
+        let diffs = compare_instances(&expected, &actual, &target);
+        assert!(!diffs.is_empty(), "swapped columns must not validate");
+        assert!(diffs[0].detail.contains("missing"), "{}", diffs[0].detail);
+    }
+
+    #[test]
+    fn sqlite3_backend_agrees_with_memory_when_available() {
+        if crate::backend::Sqlite3Backend::detect().is_none() {
+            eprintln!("sqlite3 binary not found; skipping");
+            return;
+        }
+        let source = Schema::parse("U(uid: int, uname: string, grp: string)").unwrap();
+        let mut target = Schema::parse(
+            "Account(uid: int, grp_id: id, uname: string)\n\
+             Grp(grp_id: id, gname: string)",
+        )
+        .unwrap();
+        target
+            .add_foreign_key(qa("Account", "grp_id"), qa("Grp", "grp_id"))
+            .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(qa("U", "uid"), qa("Account", "uid"));
+        phi.add(qa("U", "uname"), qa("Account", "uname"));
+        phi.add(qa("U", "grp"), qa("Grp", "gname"));
+
+        let mut backend = crate::backend::Sqlite3Backend::create().unwrap();
+        let outcome = validate_migration(&source, &target, &phi, &mut backend, 3).unwrap();
+        assert!(outcome.ok, "{:#?}", outcome);
+        assert_eq!(outcome.backend, "sqlite3");
+    }
+}

@@ -1,0 +1,236 @@
+//! Differential test: the emitted *program* SQL (update functions rendered
+//! by `sqlbridge::emit`) executed on the in-memory engine must leave the
+//! database in the same state as `dbir` evaluation of the same update on
+//! the same instance.
+//!
+//! This is precisely the test that would have caught PR 1's multi-table
+//! `DELETE` ordering bug, which was only found by hand against a real
+//! sqlite3: the lowering's temporary snapshot table, correlated `EXISTS`
+//! deletes and their ordering all execute here.
+
+use dbir::eval::Evaluator;
+use dbir::parser::parse_program;
+use dbir::{Instance, Program, Schema, Value};
+use sqlbridge::{function_to_sql, Sqlite};
+use sqlexec::{Database, Params};
+
+fn motivating() -> (Schema, Program) {
+    let schema = Schema::parse(
+        "Instructor(InstId: int, IName: string, PicId: id)\n\
+         TA(TaId: int, TName: string, PicId: id)\n\
+         Picture(PicId: id, Pic: binary)",
+    )
+    .unwrap();
+    let program = parse_program(
+        r#"
+        update addInstructor(id: int, name: string, pic: binary)
+            INSERT INTO Instructor JOIN Picture ON Instructor.PicId = Picture.PicId
+                VALUES (InstId: id, IName: name, Pic: pic);
+        query getInstructorInfo(id: int)
+            SELECT IName, Pic FROM Instructor JOIN Picture ON Instructor.PicId = Picture.PicId
+                WHERE InstId = id;
+        update deleteInstructor(id: int)
+            DELETE Instructor, Picture FROM Instructor JOIN Picture ON Instructor.PicId = Picture.PicId
+                WHERE InstId = id;
+        "#,
+        &schema,
+    )
+    .unwrap();
+    (schema, program)
+}
+
+fn sorted(instance: &Instance, schema: &Schema) -> Vec<(String, Vec<Vec<Value>>)> {
+    schema
+        .tables()
+        .iter()
+        .map(|t| {
+            let mut rows = instance.rows(&t.name).to_vec();
+            rows.sort();
+            (t.name.as_str().to_string(), rows)
+        })
+        .collect()
+}
+
+/// Runs one update both ways — dbir evaluation and emitted SQL on the
+/// engine — from the same starting instance, and asserts the resulting
+/// instances hold the same row multisets.
+fn check_update(
+    schema: &Schema,
+    program: &Program,
+    start: &Instance,
+    function: &str,
+    args: Vec<Value>,
+    fresh_uid_base: u64,
+) {
+    // dbir side.
+    let mut expected = start.clone();
+    let mut evaluator = Evaluator::with_uid_counter(schema, fresh_uid_base);
+    let f = program.function(function).unwrap();
+    evaluator.call(f, &args, &mut expected).unwrap();
+
+    // SQL side: emitted statements with positional `?N` parameters; fresh
+    // identifiers become extra trailing parameters, bound to the same UIDs
+    // the dbir evaluator mints.
+    let sql = function_to_sql(f, &Sqlite);
+    let mut params: Vec<Value> = args.clone();
+    for (i, _) in sql.fresh_ids.iter().enumerate() {
+        params.push(Value::Uid(fresh_uid_base + i as u64));
+    }
+    let mut db = Database::from_instance(schema, start);
+    for statement in &sql.statements {
+        db.execute_script(statement, &Params::positional(params.clone()))
+            .unwrap_or_else(|e| panic!("{function}: {e}\nstatement: {statement}"));
+    }
+    let actual = db.to_instance(schema).unwrap();
+
+    assert_eq!(
+        sorted(&expected, schema),
+        sorted(&actual, schema),
+        "{function} diverges between dbir evaluation and the engine"
+    );
+}
+
+#[test]
+fn insert_over_join_matches_dbir() {
+    let (schema, program) = motivating();
+    let start = Instance::empty(&schema);
+    check_update(
+        &schema,
+        &program,
+        &start,
+        "addInstructor",
+        vec![Value::Int(1), Value::str("ada"), Value::bytes([1, 2])],
+        100,
+    );
+}
+
+/// The PR 1 regression: deleting an instructor and the picture it
+/// references must remove both rows even though the two deletes read each
+/// other's tables. Sequential correlated deletes would orphan the picture.
+#[test]
+fn multi_table_delete_matches_dbir() {
+    let (schema, program) = motivating();
+    let mut start = Instance::empty(&schema);
+    for i in 0..3i64 {
+        start.insert(
+            &"Instructor".into(),
+            vec![
+                Value::Int(i),
+                Value::str(format!("inst{i}")),
+                Value::Uid(500 + i as u64),
+            ],
+        );
+        start.insert(
+            &"Picture".into(),
+            vec![Value::Uid(500 + i as u64), Value::bytes([i as u8])],
+        );
+    }
+    // An unrelated TA keeps its picture-less row.
+    start.insert(
+        &"TA".into(),
+        vec![Value::Int(9), Value::str("ta"), Value::Uid(900)],
+    );
+    check_update(
+        &schema,
+        &program,
+        &start,
+        "deleteInstructor",
+        vec![Value::Int(1)],
+        1000,
+    );
+    // And explicitly: the engine run must delete exactly one instructor and
+    // one picture.
+    let mut db = Database::from_instance(&schema, &start);
+    let f = program.function("deleteInstructor").unwrap();
+    let sql = function_to_sql(f, &Sqlite);
+    for statement in &sql.statements {
+        db.execute_script(statement, &Params::positional(vec![Value::Int(1)]))
+            .unwrap();
+    }
+    assert_eq!(db.table("Instructor").unwrap().rows.len(), 2);
+    assert_eq!(db.table("Picture").unwrap().rows.len(), 2);
+}
+
+#[test]
+fn emitted_queries_match_dbir_evaluation() {
+    let (schema, program) = motivating();
+    let mut instance = Instance::empty(&schema);
+    for i in 0..2i64 {
+        instance.insert(
+            &"Instructor".into(),
+            vec![
+                Value::Int(i),
+                Value::str(format!("inst{i}")),
+                Value::Uid(700 + i as u64),
+            ],
+        );
+        instance.insert(
+            &"Picture".into(),
+            vec![Value::Uid(700 + i as u64), Value::bytes([7, i as u8])],
+        );
+    }
+
+    let f = program.function("getInstructorInfo").unwrap();
+    let mut evaluator = Evaluator::new(&schema);
+    let expected = evaluator
+        .call(f, &[Value::Int(1)], &mut instance.clone())
+        .unwrap()
+        .expect("query returns a relation");
+
+    let sql = function_to_sql(f, &Sqlite);
+    let mut db = Database::from_instance(&schema, &instance);
+    let result = db
+        .query(&sql.statements[0], &Params::positional(vec![Value::Int(1)]))
+        .unwrap();
+
+    let mut expected_rows = expected.canonical_rows();
+    let mut actual_rows = result.rows;
+    expected_rows.sort();
+    actual_rows.sort();
+    assert_eq!(expected_rows, actual_rows);
+}
+
+/// A multi-statement sequence (insert then delete then reinsert) keeps the
+/// engine and dbir in lockstep across intermediate states.
+#[test]
+fn update_sequences_stay_in_lockstep() {
+    let (schema, program) = motivating();
+    let mut dbir_instance = Instance::empty(&schema);
+    let mut evaluator = Evaluator::with_uid_counter(&schema, 0);
+    let mut db = Database::from_instance(&schema, &dbir_instance);
+
+    let steps: Vec<(&str, Vec<Value>)> = vec![
+        (
+            "addInstructor",
+            vec![Value::Int(1), Value::str("a"), Value::bytes([1])],
+        ),
+        (
+            "addInstructor",
+            vec![Value::Int(2), Value::str("b"), Value::bytes([2])],
+        ),
+        ("deleteInstructor", vec![Value::Int(1)]),
+        (
+            "addInstructor",
+            vec![Value::Int(3), Value::str("c"), Value::bytes([3])],
+        ),
+    ];
+    for (name, args) in steps {
+        let f = program.function(name).unwrap();
+        let uid_base = evaluator.uid_counter();
+        evaluator.call(f, &args, &mut dbir_instance).unwrap();
+        let sql = function_to_sql(f, &Sqlite);
+        let mut params = args.clone();
+        for (i, _) in sql.fresh_ids.iter().enumerate() {
+            params.push(Value::Uid(uid_base + i as u64));
+        }
+        for statement in &sql.statements {
+            db.execute_script(statement, &Params::positional(params.clone()))
+                .unwrap_or_else(|e| panic!("{name}: {e}\nstatement: {statement}"));
+        }
+        assert_eq!(
+            sorted(&dbir_instance, &schema),
+            sorted(&db.to_instance(&schema).unwrap(), &schema),
+            "diverged after {name}"
+        );
+    }
+}

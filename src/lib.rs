@@ -10,6 +10,8 @@
 //!   equivalence checking;
 //! * [`migrator`] — value-correspondence enumeration, sketch generation and
 //!   MFI-guided sketch completion;
+//! * [`sqlexec`] — the in-memory SQL execution backend and the end-to-end
+//!   migration validator;
 //! * [`benchmarks`] — the 20 evaluation benchmarks.
 
 #![forbid(unsafe_code)]
@@ -18,6 +20,7 @@
 pub use benchmarks;
 pub use dbir;
 pub use migrator;
+pub use sqlexec;
 
 /// Convenience re-export of the most commonly used entry points.
 pub mod prelude {

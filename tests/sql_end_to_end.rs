@@ -5,9 +5,10 @@
 use dbir::equiv::{compare_programs, TestConfig};
 use dbir::parser::parse_program;
 use migrator::{SynthesisConfig, Synthesizer};
-use sqlbridge::emit::{render_sql_program, schema_to_ddl, Ansi, Dialect, Sqlite};
+use sqlbridge::emit::{render_sql_program, schema_to_ddl, Ansi, Dialect, Postgres, Sqlite};
 use sqlbridge::migration::{migration_script, render_migration_script};
 use sqlbridge::parse_ddl;
+use sqlexec::{validate_migration, MemoryBackend};
 
 const SOURCE_DDL: &str = include_str!("../examples/migrate/source.sql");
 const TARGET_DDL: &str = include_str!("../examples/migrate/target.sql");
@@ -40,18 +41,21 @@ fn music_library_migrates_end_to_end() {
     );
     assert!(report.equivalent);
 
-    // Both provided dialects render the program and the migration script.
-    for dialect in [&Ansi as &dyn Dialect, &Sqlite] {
+    // All provided dialects render the program and the migration script.
+    for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
         let sql = render_sql_program(&program, dialect);
+        let artist_insert = format!("INSERT INTO {}", dialect.ident("Artist"));
         assert!(
-            sql.contains("INSERT INTO Artist"),
+            sql.contains(&artist_insert),
             "{} dialect misses the Artist insert:\n{sql}",
             dialect.name()
         );
         let script = migration_script(&source_schema, &target_schema, &phi, dialect);
         assert_eq!(script.statements.len(), 2, "{:#?}", script.statements);
-        assert!(script.statements[0].starts_with("INSERT INTO Artist"));
-        assert!(script.statements[1].starts_with("INSERT INTO Album"));
+        assert!(script.statements[0].starts_with(&artist_insert));
+        assert!(
+            script.statements[1].starts_with(&format!("INSERT INTO {}", dialect.ident("Album")))
+        );
         let rendered = render_migration_script(&script, dialect);
         assert!(rendered.contains("BEGIN;") && rendered.contains("COMMIT;"));
     }
@@ -61,4 +65,17 @@ fn music_library_migrates_end_to_end() {
         let reparsed = parse_ddl(&schema_to_ddl(schema, &Ansi)).expect("emitted DDL parses");
         assert_eq!(schema, &reparsed);
     }
+
+    // And the emitted migration *executes*: seeded source instance, DDL +
+    // data moves through the in-memory SQL backend, result row-multiset
+    // equal to the dbir-level prediction.
+    let outcome = validate_migration(
+        &source_schema,
+        &target_schema,
+        &phi,
+        &mut MemoryBackend::new(),
+        3,
+    )
+    .expect("memory backend runs");
+    assert!(outcome.ok, "{:#?}", outcome);
 }
