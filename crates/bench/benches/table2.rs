@@ -9,7 +9,7 @@ use benchmarks::benchmark_by_name;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbir::equiv::{SourceOracle, TestConfig};
 use migrator::baselines::{solve_cegis, CegisConfig};
-use migrator::completion::{complete_sketch, BlockingStrategy};
+use migrator::completion::{complete_sketch, BlockingStrategy, CompletionControls};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
 use migrator::value_corr::{VcConfig, VcEnumerator};
 
@@ -43,7 +43,7 @@ fn bench_table2(c: &mut Criterion) {
                 &TestConfig::default(),
                 BlockingStrategy::MinimumFailingInput,
                 0,
-                None,
+                CompletionControls::none(),
             );
             assert!(outcome.program.is_some());
             outcome

@@ -6,7 +6,7 @@
 use benchmarks::benchmark_by_name;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbir::equiv::{SourceOracle, TestConfig};
-use migrator::completion::{complete_sketch, BlockingStrategy};
+use migrator::completion::{complete_sketch, BlockingStrategy, CompletionControls};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
 use migrator::value_corr::{VcConfig, VcEnumerator};
 
@@ -45,7 +45,7 @@ fn bench_table3(c: &mut Criterion) {
                         &TestConfig::default(),
                         strategy,
                         0,
-                        None,
+                        CompletionControls::none(),
                     )
                 })
             });

@@ -31,12 +31,13 @@
 
 use std::time::{Duration, Instant};
 
-use bench::{cegis_config_for, config_for, row_to_json, run_table1};
+use bench::{cegis_config_for, config_for, row_to_json, run_table1, session_for};
 use benchmarks::{all_benchmarks, textbook_benchmarks, Benchmark};
 use migrator::baselines::solve_cegis;
 use migrator::sketch_gen::generate_sketch;
 use migrator::value_corr::VcEnumerator;
-use migrator::{SketchSolverKind, Synthesizer};
+use migrator::SketchSolverKind;
+use pipeline::RefactorError;
 
 #[derive(Debug)]
 struct Options {
@@ -190,6 +191,9 @@ fn table2(options: &Options) {
         let migrator_row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
         // Run the CEGIS baseline on the sketches produced by the same
         // correspondence enumeration (the space the Sketch encoding covers).
+        // This is deliberately *not* a facade client: it swaps the paper's
+        // completion algorithm for a baseline solver, which the pipeline —
+        // by design — does not expose.
         let config = config_for(&benchmark, SketchSolverKind::MfiGuided);
         let mut enumerator = VcEnumerator::new(
             &benchmark.source_program,
@@ -266,27 +270,26 @@ fn table3(options: &Options) {
     for benchmark in selected_benchmarks(options) {
         let mfi_row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
 
-        // Enumerative baseline: same pipeline with full-model blocking and a
-        // candidate cap standing in for the paper's 24-hour timeout.
+        // Enumerative baseline: the same facade pipeline with full-model
+        // blocking and a candidate cap standing in for the paper's 24-hour
+        // timeout.
         let mut config = config_for(&benchmark, SketchSolverKind::Enumerative);
         config.max_iterations_per_sketch = options.cap;
+        let session = session_for(&benchmark, SketchSolverKind::Enumerative).config(config);
         let start = Instant::now();
-        let result = Synthesizer::new(config).synthesize(
-            &benchmark.source_program,
-            &benchmark.source_schema,
-            &benchmark.target_schema,
-        );
+        let (succeeded, iterations) = match session.synthesize() {
+            Ok(synthesized) => (true, synthesized.stats.iterations),
+            Err(RefactorError::Unsolved { stats, .. }) => (false, stats.iterations),
+            Err(error) => {
+                eprintln!("benchmark {} failed to run: {error}", benchmark.name);
+                std::process::exit(2);
+            }
+        };
         let enum_time = start.elapsed().as_secs_f64();
-        let (enum_iters, enum_time_text) = if result.succeeded() {
-            (
-                format!("{}", result.stats.iterations),
-                format!("{enum_time:.1}"),
-            )
+        let (enum_iters, enum_time_text) = if succeeded {
+            (format!("{iterations}"), format!("{enum_time:.1}"))
         } else {
-            (
-                format!(">{}", result.stats.iterations),
-                format!(">{enum_time:.1}"),
-            )
+            (format!(">{iterations}"), format!(">{enum_time:.1}"))
         };
         let paper_iters = benchmark
             .paper

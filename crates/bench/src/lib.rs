@@ -9,7 +9,8 @@ use std::time::Duration;
 use benchmarks::{Benchmark, Category};
 use dbir::equiv::TestConfig;
 use migrator::baselines::CegisConfig;
-use migrator::{SketchSolverKind, SynthesisConfig, Synthesizer};
+use migrator::{SketchSolverKind, SynthesisConfig, SynthesisOutcome, SynthesisStats};
+use pipeline::{RefactorError, Refactoring};
 
 /// The synthesis configuration used for a benchmark in the experiments:
 /// textbook benchmarks use the standard configuration; application-scale
@@ -87,50 +88,72 @@ pub struct Table1Row {
     /// exactly the dbir-predicted target instance (`None` when synthesis
     /// failed, so there is no migration to validate).
     pub validated: Option<bool>,
+    /// How the run ended (`solved`, `no_solution`, `timeout`, `cancelled`).
+    pub outcome: &'static str,
 }
 
-/// Runs the full synthesis pipeline on a benchmark and returns the measured
-/// Table 1 row.
+/// Builds the facade session the harness runs a benchmark through — the
+/// same `Refactoring` pipeline every other client uses.
+pub fn session_for(benchmark: &Benchmark, solver: SketchSolverKind) -> Refactoring {
+    Refactoring::new(
+        benchmark.source_schema.clone(),
+        benchmark.target_schema.clone(),
+    )
+    .program(benchmark.source_program.clone())
+    .config(config_for(benchmark, solver))
+}
+
+/// Runs the full synthesis pipeline on a benchmark — through the
+/// [`Refactoring`] facade — and returns the measured Table 1 row.
 pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row {
-    let synthesizer = Synthesizer::new(config_for(benchmark, solver));
     dbir::equiv::reset_snapshot_peak();
-    let result = synthesizer.synthesize(
-        &benchmark.source_program,
-        &benchmark.source_schema,
-        &benchmark.target_schema,
-    );
-    // Every successful synthesis also validates its emitted migration
-    // end-to-end through the in-memory SQL backend, so a benchmark row is
-    // an emitter test, not just a synthesizer test. This is deterministic
-    // (seeded instance, no wall time), so `experiments check` compares it.
-    let validated = result.correspondence.as_ref().map(|phi| {
-        sqlexec::validate_migration(
-            &benchmark.source_schema,
-            &benchmark.target_schema,
-            phi,
-            &mut sqlexec::MemoryBackend::new(),
-            VALIDATION_ROWS_PER_TABLE,
-        )
-        .map(|outcome| outcome.ok)
-        .unwrap_or(false)
-    });
+    let (outcome, stats, validated) = match session_for(benchmark, solver).synthesize() {
+        Ok(synthesized) => {
+            // Every successful synthesis also validates its emitted
+            // migration end-to-end through the in-memory SQL backend, so a
+            // benchmark row is an emitter test, not just a synthesizer
+            // test. This is deterministic (seeded instance, no wall time),
+            // so `experiments check` compares it.
+            let validated = synthesized
+                .emit(Box::new(sqlbridge::Sqlite))
+                .validate(
+                    &mut sqlexec::MemoryBackend::new(),
+                    VALIDATION_ROWS_PER_TABLE,
+                )
+                .map(|validated| validated.ok())
+                .unwrap_or(false);
+            (synthesized.outcome, synthesized.stats, Some(validated))
+        }
+        Err(RefactorError::Unsolved { outcome, stats }) => (outcome, *stats, None),
+        Err(error) => unreachable!("benchmark inputs are pre-parsed: {error}"),
+    };
+    row_from_stats(benchmark, outcome, &stats, validated)
+}
+
+fn row_from_stats(
+    benchmark: &Benchmark,
+    outcome: SynthesisOutcome,
+    stats: &SynthesisStats,
+    validated: Option<bool>,
+) -> Table1Row {
     Table1Row {
         name: benchmark.name.clone(),
-        succeeded: result.succeeded(),
-        value_corr: result.stats.value_correspondences,
-        iters: result.stats.iterations,
-        synth_time: result.stats.synthesis_time.as_secs_f64(),
-        total_time: result.stats.total_time().as_secs_f64(),
-        sketches_generated: result.stats.sketches_generated,
-        invalid_instantiations: result.stats.invalid_instantiations,
-        largest_search_space: result.stats.largest_search_space,
-        sequences_tested: result.stats.sequences_tested,
-        truncated_checks: result.stats.truncated_checks,
-        bound_exhausted: result.stats.truncated_checks == 0,
-        oracle_hits: result.stats.oracle_hits,
+        succeeded: outcome == SynthesisOutcome::Solved,
+        value_corr: stats.value_correspondences,
+        iters: stats.iterations,
+        synth_time: stats.synthesis_time.as_secs_f64(),
+        total_time: stats.total_time().as_secs_f64(),
+        sketches_generated: stats.sketches_generated,
+        invalid_instantiations: stats.invalid_instantiations,
+        largest_search_space: stats.largest_search_space,
+        sequences_tested: stats.sequences_tested,
+        truncated_checks: stats.truncated_checks,
+        bound_exhausted: stats.truncated_checks == 0,
+        oracle_hits: stats.oracle_hits,
         peak_snapshot_bytes: dbir::equiv::snapshot_peak_bytes(),
         interned_bytes: dbir::intern::stats().total_bytes(),
         validated,
+        outcome: outcome.as_str(),
     }
 }
 
@@ -171,6 +194,7 @@ pub fn row_to_json(benchmark: &Benchmark, row: &Table1Row) -> sqlbridge::Json {
                 None => Json::Null,
             },
         )
+        .with("outcome", Json::str(row.outcome))
         .with("synth_time_secs", row.synth_time.into())
         .with("total_time_secs", row.total_time.into())
         .with(

@@ -1,15 +1,10 @@
 //! Implementation of the `migrate` command-line tool.
 //!
-//! `migrate` wraps the whole pipeline in SQL: it reads the source schema and
-//! the target schema as DDL, the source program in the `dbir` concrete
-//! syntax, runs the synthesizer, and prints
-//!
-//! 1. the value correspondence the refactoring was derived from,
-//! 2. the migrated program (concrete syntax),
-//! 3. its rendering as parameterized SQL in the requested dialect,
-//! 4. a data-migration script for rows already stored under the source
-//!    schema, and
-//! 5. the synthesis statistics as JSON.
+//! `migrate` is a thin client of the [`pipeline::Refactoring`] facade: it
+//! parses arguments, builds a session (inputs, dialect, budget), runs the
+//! typed stages — synthesize → emit → validate — and renders the stage
+//! outputs, either as the human-readable section format or (`--json`) as
+//! one machine-readable JSON document.
 //!
 //! The binary in `main.rs` is a thin wrapper around [`run`] so integration
 //! tests can drive the tool in-process as well as through the executable.
@@ -19,14 +14,10 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
-use dbir::parser::parse_program;
-use dbir::pretty::program_to_string;
-use migrator::{SynthesisConfig, SynthesisStats, Synthesizer};
-use sqlbridge::emit::Dialect;
-use sqlbridge::json::Json;
-use sqlbridge::migration::{migration_script, render_migration_script};
-use sqlbridge::{dialect_by_name, parse_ddl, render_sql_program};
+use migrator::SynthesisConfig;
+use pipeline::{backend_by_name, dialect_by_name, report, RefactorError, Refactoring, Validated};
 
 /// Exit code for usage errors.
 pub const EXIT_USAGE: i32 = 2;
@@ -42,10 +33,17 @@ pub struct Options {
     pub target_ddl: PathBuf,
     /// Path to the source program (dbir concrete syntax).
     pub program: PathBuf,
-    /// SQL dialect for emission (`ansi`, `sqlite` or `postgres`).
+    /// SQL dialect for emission (`ansi`, `sqlite`, `postgres` or `mysql`).
     pub dialect: String,
-    /// Cap on value correspondences to try (0 = the standard budget).
+    /// Cap on value correspondences to try (0 = the standard budget; the
+    /// flag itself rejects 0, see [`parse_args`]).
     pub max_value_correspondences: usize,
+    /// Wall-clock budget in seconds (0 = unbounded). Past it the run stops
+    /// and reports a `timeout` outcome.
+    pub budget_secs: u64,
+    /// Emit the whole result as one JSON document instead of the
+    /// section-formatted text.
+    pub json: bool,
     /// Execute the emitted migration against a backend and verify the
     /// resulting instance against the dbir prediction.
     pub validate: bool,
@@ -56,13 +54,25 @@ pub struct Options {
 /// The usage string printed on `--help` and argument errors.
 pub const USAGE: &str = "\
 usage: migrate --source-ddl <file.sql> --target-ddl <file.sql> --program <file.dbp>
-               [--dialect ansi|sqlite|postgres] [--max-vcs <n>]
+               [--dialect ansi|sqlite|postgres|mysql] [--max-vcs <n>]
+               [--budget-secs <n>] [--json]
                [--validate [--backend memory|sqlite3]]
 
 Reads the source schema and target schema as SQL DDL and the source program
 in the dbir concrete syntax, synthesizes an equivalent program over the
 target schema, and prints the migrated program, its SQL rendering, a
 data-migration script and the synthesis statistics (JSON).
+
+--max-vcs caps how many value correspondences the search may try; it must
+be at least 1 (omit the flag for the standard budget).
+
+--budget-secs bounds the run by wall-clock time; a run that exceeds it is
+reported with outcome `timeout` — distinctly from `no_solution`, which
+means the search space was genuinely exhausted.
+
+--json replaces the section-formatted text with one machine-readable JSON
+document holding the correspondence, program, SQL, migration script,
+validation outcome (when --validate ran), statistics and the outcome kind.
 
 With --validate, additionally executes the emitted migration end-to-end on
 the selected backend (a seeded source instance, the DDL and the data-move
@@ -73,13 +83,17 @@ prediction; a mismatch exits non-zero.";
 ///
 /// # Errors
 ///
-/// Returns a usage message when arguments are missing or unknown.
+/// Returns a usage message when arguments are missing, unknown or out of
+/// range (`--max-vcs 0` is rejected rather than silently falling back to
+/// the default budget).
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut source_ddl = None;
     let mut target_ddl = None;
     let mut program = None;
     let mut dialect = "ansi".to_string();
     let mut max_value_correspondences = 0usize;
+    let mut budget_secs = 0u64;
+    let mut json = false;
     let mut validate = false;
     let mut backend = "memory".to_string();
 
@@ -100,7 +114,20 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 max_value_correspondences = value
                     .parse()
                     .map_err(|_| format!("`--max-vcs` expects a number, found `{value}`"))?;
+                if max_value_correspondences == 0 {
+                    return Err(
+                        "`--max-vcs` must be at least 1 (omit the flag for the standard budget)"
+                            .to_string(),
+                    );
+                }
             }
+            "--budget-secs" => {
+                let value = take("--budget-secs")?;
+                budget_secs = value
+                    .parse()
+                    .map_err(|_| format!("`--budget-secs` expects a number, found `{value}`"))?;
+            }
+            "--json" => json = true,
             "--validate" => validate = true,
             "--backend" => backend = take("--backend")?,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -113,168 +140,211 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         program: program.ok_or_else(|| format!("`--program` is required\n\n{USAGE}"))?,
         dialect,
         max_value_correspondences,
+        budget_secs,
+        json,
         validate,
         backend,
     })
 }
 
-/// Renders synthesis statistics as a JSON object.
-pub fn stats_to_json(stats: &SynthesisStats, succeeded: bool) -> Json {
-    Json::object()
-        .with("succeeded", Json::Bool(succeeded))
-        .with("value_correspondences", stats.value_correspondences.into())
-        .with("sketches_generated", stats.sketches_generated.into())
-        .with("iterations", stats.iterations.into())
-        .with(
-            "invalid_instantiations",
-            stats.invalid_instantiations.into(),
-        )
-        .with("largest_search_space", stats.largest_search_space.into())
-        .with("sequences_tested", stats.sequences_tested.into())
-        .with(
-            "synthesis_time_secs",
-            stats.synthesis_time.as_secs_f64().into(),
-        )
-        .with(
-            "verification_time_secs",
-            stats.verification_time.as_secs_f64().into(),
-        )
-        .with("total_time_secs", stats.total_time().as_secs_f64().into())
+/// Maps a facade error to the tool's `(exit code, stderr text)` shape.
+fn to_exit(error: RefactorError) -> (i32, String) {
+    let code = if error.is_usage() {
+        EXIT_USAGE
+    } else {
+        EXIT_FAILURE
+    };
+    (code, error.to_string())
 }
 
-/// Builds the backend selected by `--backend`.
-fn make_backend(name: &str) -> Result<Box<dyn sqlexec::Backend>, (i32, String)> {
-    match name.to_ascii_lowercase().as_str() {
-        "memory" => Ok(Box::new(sqlexec::MemoryBackend::new())),
-        "sqlite3" | "sqlite" => sqlexec::Sqlite3Backend::create()
-            .map(|b| Box::new(b) as Box<dyn sqlexec::Backend>)
-            .map_err(|e| (EXIT_FAILURE, e.to_string())),
-        other => Err((
-            EXIT_USAGE,
-            format!("unknown backend `{other}` (expected `memory` or `sqlite3`)"),
-        )),
+/// What one tool invocation produced: the text for each stream plus the
+/// exit code. In `--json` mode the machine-readable document always lands
+/// on `stdout` — even for failed runs — so `migrate --json | jq` works on
+/// exactly the runs where the diagnostic document matters; `stderr` then
+/// carries only a one-line summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// Process exit code (0 = success).
+    pub code: i32,
+    /// Text for standard output.
+    pub stdout: String,
+    /// Text for standard error (empty on success).
+    pub stderr: String,
+}
+
+impl RunOutput {
+    fn ok(stdout: String) -> RunOutput {
+        RunOutput {
+            code: 0,
+            stdout,
+            stderr: String::new(),
+        }
+    }
+
+    fn fail(code: i32, stderr: String) -> RunOutput {
+        RunOutput {
+            code,
+            stdout: String::new(),
+            stderr,
+        }
     }
 }
 
-/// Renders a validation outcome as a JSON object.
-pub fn validation_to_json(outcome: &sqlexec::ValidationOutcome) -> Json {
-    let diffs = outcome
-        .diffs
-        .iter()
-        .map(|d| Json::str(d.to_string()))
-        .collect();
-    Json::object()
-        .with("validated", Json::Bool(outcome.ok))
-        .with("backend", Json::str(&outcome.backend))
-        .with("dialect", Json::str(&outcome.dialect))
-        .with("seeded_rows", outcome.seeded_rows.into())
-        .with("migrated_rows", outcome.migrated_rows.into())
-        .with("diffs", Json::Array(diffs))
+/// Runs the tool.
+pub fn run(options: &Options) -> RunOutput {
+    match run_inner(options) {
+        Ok(output) => output,
+        Err((code, stderr)) if options.json => {
+            // Keep the one-document contract for every failure class:
+            // input, configuration and backend errors become a minimal
+            // `{"outcome": "error", ...}` document on stdout.
+            let document = pipeline::Json::object()
+                .with("outcome", pipeline::Json::str("error"))
+                .with("error", pipeline::Json::str(stderr.as_str()));
+            RunOutput {
+                code,
+                stdout: document.to_pretty_string(),
+                stderr,
+            }
+        }
+        Err((code, stderr)) => RunOutput::fail(code, stderr),
+    }
 }
 
-/// Runs the tool: returns the full stdout text on success, or
-/// `(exit code, stderr text)` on failure.
-pub fn run(options: &Options) -> Result<String, (i32, String)> {
+fn run_inner(options: &Options) -> Result<RunOutput, (i32, String)> {
     let dialect = dialect_by_name(&options.dialect).ok_or_else(|| {
         (
             EXIT_USAGE,
             format!(
-                "unknown dialect `{}` (expected `ansi`, `sqlite` or `postgres`)",
+                "unknown dialect `{}` (expected `ansi`, `sqlite`, `postgres` or `mysql`)",
                 options.dialect
             ),
         )
     })?;
-    let dialect: &dyn Dialect = dialect.as_ref();
 
-    let read = |path: &PathBuf| {
-        std::fs::read_to_string(path)
-            .map_err(|e| (EXIT_FAILURE, format!("cannot read {}: {e}", path.display())))
-    };
-    let source_sql = read(&options.source_ddl)?;
-    let target_sql = read(&options.target_ddl)?;
-    let program_text = read(&options.program)?;
-
-    let parse_schema = |sql: &str, path: &PathBuf| {
-        parse_ddl(sql).map_err(|e| (EXIT_FAILURE, format!("in {}:\n{e}", path.display())))
-    };
-    let source_schema = parse_schema(&source_sql, &options.source_ddl)?;
-    let target_schema = parse_schema(&target_sql, &options.target_ddl)?;
-    let source_program = parse_program(&program_text, &source_schema).map_err(|e| {
-        (
-            EXIT_FAILURE,
-            format!("in {}: {e}", options.program.display()),
-        )
-    })?;
-
+    // Assemble the session: inputs, budget, configuration.
     let mut config = SynthesisConfig::standard();
     if options.max_value_correspondences > 0 {
         config.max_value_correspondences = options.max_value_correspondences;
     }
-    let result =
-        Synthesizer::new(config).synthesize(&source_program, &source_schema, &target_schema);
+    let mut session = Refactoring::from_ddl_files(&options.source_ddl, &options.target_ddl)
+        .map_err(to_exit)?
+        .program_file(&options.program)
+        .map_err(to_exit)?
+        .config(config);
+    if options.budget_secs > 0 {
+        session = session.deadline(Duration::from_secs(options.budget_secs));
+    }
+
+    // Stage 1: synthesize.
+    let synthesized = match session.synthesize() {
+        Ok(synthesized) => synthesized,
+        Err(error @ RefactorError::Unsolved { .. }) => {
+            let summary = error.to_string();
+            let RefactorError::Unsolved { outcome, stats } = error else {
+                unreachable!("matched Unsolved above");
+            };
+            return Ok(if options.json {
+                RunOutput {
+                    code: EXIT_FAILURE,
+                    stdout: report::failure_json(outcome, &stats).to_pretty_string(),
+                    stderr: summary,
+                }
+            } else {
+                let mut err = format!("{summary}\n");
+                let _ = write!(
+                    err,
+                    "{}",
+                    report::stats_json(&stats, outcome).to_pretty_string()
+                );
+                RunOutput::fail(EXIT_FAILURE, err)
+            });
+        }
+        Err(error) => return Err(to_exit(error)),
+    };
+
+    // Stage 2: emit.
+    let emitted = synthesized.emit(dialect);
+
+    // Stage 3 (optional): validate.
+    let validation: Option<Validated> = if options.validate {
+        let mut backend = backend_by_name(&options.backend).map_err(to_exit)?;
+        Some(
+            emitted
+                .validate(backend.as_mut(), sqlexec::DEFAULT_ROWS_PER_TABLE)
+                .map_err(to_exit)?,
+        )
+    } else {
+        None
+    };
+
+    // Render.
+    if options.json {
+        let document = report::result_json(
+            &synthesized,
+            &emitted,
+            validation.as_ref().map(|v| &v.outcome),
+        );
+        let text = document.to_pretty_string();
+        // The document (which carries "validated": false and the diffs)
+        // stays on stdout even on a mismatch; only the summary goes to
+        // stderr.
+        return Ok(
+            if let Some(failed) = validation.as_ref().filter(|v| !v.ok()) {
+                RunOutput {
+                    code: EXIT_FAILURE,
+                    stdout: text,
+                    stderr: format!(
+                        "validation FAILED on backend `{}` (see the JSON document on stdout)",
+                        failed.outcome.backend
+                    ),
+                }
+            } else {
+                RunOutput::ok(text)
+            },
+        );
+    }
 
     let mut out = String::new();
-    match (&result.program, &result.correspondence) {
-        (Some(program), Some(phi)) => {
-            let _ = writeln!(out, "-- value correspondence --");
-            let _ = writeln!(out, "{phi}");
-            let _ = writeln!(out, "-- migrated program --");
-            let _ = writeln!(out, "{}", program_to_string(program));
-            let _ = writeln!(out, "-- SQL ({}) --", dialect.name());
-            let _ = writeln!(out, "{}", render_sql_program(program, dialect));
-            let _ = writeln!(out, "-- data migration --");
-            let script = migration_script(&source_schema, &target_schema, phi, dialect);
-            let _ = writeln!(out, "{}", render_migration_script(&script, dialect));
-            if options.validate {
-                let mut backend = make_backend(&options.backend)?;
-                // Validate the dialect we printed — except on a real
-                // sqlite3, which can only execute the SQLite rendering (the
-                // in-memory engine accepts all provided dialects).
-                let validation_dialect: Box<dyn Dialect> = if backend.name() == "sqlite3" {
-                    Box::new(sqlbridge::Sqlite)
-                } else {
-                    dialect_by_name(&options.dialect).expect("checked above")
-                };
-                let outcome = sqlexec::validate_migration_dialect(
-                    &source_schema,
-                    &target_schema,
-                    phi,
-                    backend.as_mut(),
-                    sqlexec::DEFAULT_ROWS_PER_TABLE,
-                    validation_dialect.as_ref(),
-                )
-                .map_err(|e| (EXIT_FAILURE, format!("validation could not run: {e}")))?;
-                let _ = writeln!(out, "-- validation ({} backend) --", outcome.backend);
-                let _ = writeln!(out, "{}", validation_to_json(&outcome).to_pretty_string());
-                let _ = writeln!(out);
-                if !outcome.ok {
-                    let mut err = format!("validation FAILED on backend `{}`:\n", outcome.backend);
-                    for diff in &outcome.diffs {
-                        let _ = writeln!(err, "  {diff}");
-                    }
-                    let _ = write!(err, "{out}");
-                    return Err((EXIT_FAILURE, err));
-                }
+    let _ = writeln!(out, "-- value correspondence --");
+    let _ = writeln!(out, "{}", synthesized.correspondence);
+    let _ = writeln!(out, "-- migrated program --");
+    let _ = writeln!(out, "{}", synthesized.program_text());
+    let _ = writeln!(out, "-- SQL ({}) --", emitted.dialect.name());
+    let _ = writeln!(out, "{}", emitted.program_sql);
+    let _ = writeln!(out, "-- data migration --");
+    let _ = writeln!(out, "{}", emitted.migration_sql);
+    if let Some(validated) = &validation {
+        let _ = writeln!(
+            out,
+            "-- validation ({} backend) --",
+            validated.outcome.backend
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            report::validation_json(&validated.outcome).to_pretty_string()
+        );
+        let _ = writeln!(out);
+        if !validated.ok() {
+            let mut err = format!(
+                "validation FAILED on backend `{}`:\n",
+                validated.outcome.backend
+            );
+            for diff in &validated.outcome.diffs {
+                let _ = writeln!(err, "  {diff}");
             }
-            let _ = writeln!(out, "-- stats --");
-            let _ = write!(
-                out,
-                "{}",
-                stats_to_json(&result.stats, true).to_pretty_string()
-            );
-            Ok(out)
-        }
-        _ => {
-            let mut err =
-                String::from("no equivalent program found within the configured budget\n");
-            let _ = write!(
-                err,
-                "{}",
-                stats_to_json(&result.stats, false).to_pretty_string()
-            );
-            Err((EXIT_FAILURE, err))
+            let _ = write!(err, "{out}");
+            return Err((EXIT_FAILURE, err));
         }
     }
+    let _ = writeln!(out, "-- stats --");
+    let _ = write!(
+        out,
+        "{}",
+        report::stats_json(&synthesized.stats, synthesized.outcome).to_pretty_string()
+    );
+    Ok(RunOutput::ok(out))
 }
 
 #[cfg(test)]
@@ -300,10 +370,15 @@ mod tests {
             "sqlite",
             "--max-vcs",
             "7",
+            "--budget-secs",
+            "30",
+            "--json",
         ]))
         .unwrap();
         assert_eq!(ok.dialect, "sqlite");
         assert_eq!(ok.max_value_correspondences, 7);
+        assert_eq!(ok.budget_secs, 30);
+        assert!(ok.json);
     }
 
     #[test]
@@ -314,41 +389,64 @@ mod tests {
     }
 
     #[test]
-    fn unknown_dialect_is_a_usage_error() {
-        let options = Options {
+    fn max_vcs_zero_is_a_usage_error() {
+        let err = parse_args(&args(&[
+            "--source-ddl",
+            "a.sql",
+            "--target-ddl",
+            "b.sql",
+            "--program",
+            "p.dbp",
+            "--max-vcs",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    fn options(dialect: &str) -> Options {
+        Options {
             source_ddl: "a.sql".into(),
             target_ddl: "b.sql".into(),
             program: "p.dbp".into(),
-            dialect: "oracle".into(),
+            dialect: dialect.into(),
             max_value_correspondences: 0,
+            budget_secs: 0,
+            json: false,
             validate: false,
             backend: "memory".into(),
-        };
-        let (code, message) = run(&options).unwrap_err();
-        assert_eq!(code, EXIT_USAGE);
-        assert!(message.contains("oracle"));
+        }
+    }
+
+    #[test]
+    fn unknown_dialect_is_a_usage_error() {
+        let output = run(&options("oracle"));
+        assert_eq!(output.code, EXIT_USAGE);
+        assert!(output.stdout.is_empty());
+        assert!(output.stderr.contains("oracle"));
+        assert!(output.stderr.contains("mysql"), "{}", output.stderr);
     }
 
     #[test]
     fn missing_file_is_reported() {
-        let options = Options {
-            source_ddl: "/nonexistent/a.sql".into(),
-            target_ddl: "/nonexistent/b.sql".into(),
-            program: "/nonexistent/p.dbp".into(),
-            dialect: "ansi".into(),
-            max_value_correspondences: 0,
-            validate: false,
-            backend: "memory".into(),
-        };
-        let (code, message) = run(&options).unwrap_err();
-        assert_eq!(code, EXIT_FAILURE);
-        assert!(message.contains("cannot read"));
+        let mut options = options("ansi");
+        options.source_ddl = "/nonexistent/a.sql".into();
+        options.target_ddl = "/nonexistent/b.sql".into();
+        options.program = "/nonexistent/p.dbp".into();
+        let output = run(&options);
+        assert_eq!(output.code, EXIT_FAILURE);
+        assert!(output.stderr.contains("cannot read"));
     }
 
     #[test]
     fn stats_json_has_the_expected_keys() {
-        let json = stats_to_json(&SynthesisStats::default(), true).to_compact_string();
+        let json = report::stats_json(
+            &migrator::SynthesisStats::default(),
+            migrator::SynthesisOutcome::Solved,
+        )
+        .to_compact_string();
         for key in [
+            "outcome",
             "succeeded",
             "value_correspondences",
             "iterations",

@@ -11,11 +11,10 @@ fn main() {
             std::process::exit(EXIT_USAGE);
         }
     };
-    match run(&options) {
-        Ok(output) => print!("{output}"),
-        Err((code, message)) => {
-            eprintln!("{message}");
-            std::process::exit(code);
-        }
+    let output = run(&options);
+    print!("{}", output.stdout);
+    if !output.stderr.is_empty() {
+        eprintln!("{}", output.stderr);
     }
+    std::process::exit(output.code);
 }

@@ -19,7 +19,7 @@ use dbir::equiv::{SourceOracle, TestConfig};
 use dbir::invocation::{observe, InvocationSequence, Outcome};
 use dbir::{Program, Schema};
 
-use crate::completion::{complete_sketch, BlockingStrategy, CompletionOutcome};
+use crate::completion::{complete_sketch, BlockingStrategy, CompletionControls, CompletionOutcome};
 use crate::sketch::Sketch;
 use crate::verify::{check_candidate_with_oracle, CheckOutcome};
 
@@ -43,7 +43,7 @@ pub fn solve_enumerative(
         verification,
         BlockingStrategy::FullModel,
         max_iterations,
-        None,
+        CompletionControls::none(),
     )
 }
 
@@ -181,6 +181,9 @@ pub fn solve_cegis(
                     } => {
                         let expected = oracle.observe(&minimum_failing_input);
                         counterexamples.push((minimum_failing_input, expected));
+                    }
+                    CheckOutcome::Cancelled { .. } => {
+                        unreachable!("the baseline check runs without a cancel token")
                     }
                 }
             }

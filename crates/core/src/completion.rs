@@ -12,12 +12,14 @@
 
 use dbir::equiv::{SourceOracle, TestConfig};
 use dbir::{Program, Schema};
+use parpool::CancelToken;
 use satsolver::encoder::exactly_one;
 use satsolver::{Lit, Model, SolveResult, Solver, Var};
 
+use crate::observe::SynthesisEvent;
 use crate::sketch::{HoleAssignment, HoleId, Sketch};
 use crate::stats::SketchRunStats;
-use crate::verify::{check_candidate_with_oracle, CheckOutcome};
+use crate::verify::{check_candidate_cancel, CheckOutcome};
 
 /// The SAT encoding of a sketch: one variable per (hole, domain element).
 #[derive(Debug)]
@@ -95,6 +97,59 @@ pub struct CompletionOutcome {
     /// selected). A cancelled outcome carries partial statistics and must
     /// not be absorbed into a deterministic trajectory.
     pub cancelled: bool,
+    /// `true` if the search was abandoned because the run's
+    /// [`CancelToken`] fired (wall-clock deadline or user cancellation).
+    /// Unlike [`CompletionOutcome::cancelled`], an interrupted outcome's
+    /// partial statistics *are* reported — they describe work the run
+    /// genuinely performed before timing out.
+    pub interrupted: bool,
+}
+
+/// Cross-cutting controls threaded into one sketch completion: the two
+/// cancellation signals and the event buffer. [`CompletionControls::none`]
+/// is the plain blocking run with no observability.
+#[derive(Default)]
+pub struct CompletionControls<'a> {
+    /// Speculation-cancellation poll from the parallel correspondence
+    /// fan-out (lowest-index-wins; see [`parpool::StopCtx`]). A completion
+    /// stopped by this signal is discarded wholesale.
+    pub cancel: Option<&'a (dyn Fn() -> bool + Sync)>,
+    /// The run's deadline / user-cancellation token, polled between
+    /// candidates and inside each bounded check.
+    pub token: Option<&'a CancelToken>,
+    /// Enumeration index of the correspondence this sketch was generated
+    /// from; used to label events.
+    pub index: usize,
+    /// Buffer receiving this completion's [`SynthesisEvent`]s in order.
+    /// Buffered (rather than delivered directly) so parallel completions
+    /// stay deterministic: the synthesizer replays winning buffers in
+    /// enumeration order and discards losing ones.
+    pub events: Option<&'a mut Vec<SynthesisEvent>>,
+}
+
+impl std::fmt::Debug for CompletionControls<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionControls")
+            .field("cancel", &self.cancel.is_some())
+            .field("token", &self.token.is_some())
+            .field("index", &self.index)
+            .field("events", &self.events.is_some())
+            .finish()
+    }
+}
+
+impl<'a> CompletionControls<'a> {
+    /// No cancellation, no deadline, no events: the plain blocking run.
+    pub fn none() -> CompletionControls<'a> {
+        CompletionControls::default()
+    }
+
+    /// Records an event into the buffer, if one is attached.
+    fn record(&mut self, event: SynthesisEvent) {
+        if let Some(events) = self.events.as_deref_mut() {
+            events.push(event);
+        }
+    }
 }
 
 /// Completes `sketch` against the source program: finds an instantiation
@@ -110,10 +165,11 @@ pub struct CompletionOutcome {
 /// is the deeper final check a candidate must pass before being returned.
 /// `max_iterations` bounds the number of candidates examined (0 = unlimited).
 ///
-/// `cancel` is polled between candidates: when it returns `true` the search
-/// stops and the outcome is flagged [`CompletionOutcome::cancelled`]. The
-/// parallel synthesizer uses this to reclaim workers whose speculative
-/// correspondence lost to a lower-index success.
+/// `controls` bundles the cross-cutting concerns: the speculation
+/// cancellation poll (checked between candidates; a stop is flagged
+/// [`CompletionOutcome::cancelled`]), the run's [`CancelToken`] (checked
+/// between candidates *and* inside each bounded check; a stop is flagged
+/// [`CompletionOutcome::interrupted`]) and the [`SynthesisEvent`] buffer.
 #[allow(clippy::too_many_arguments)]
 pub fn complete_sketch(
     sketch: &Sketch,
@@ -123,7 +179,7 @@ pub fn complete_sketch(
     verification: &TestConfig,
     strategy: BlockingStrategy,
     max_iterations: usize,
-    cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    mut controls: CompletionControls<'_>,
 ) -> CompletionOutcome {
     let mut stats = SketchRunStats {
         search_space: sketch.completion_count(),
@@ -132,30 +188,39 @@ pub fn complete_sketch(
     let mut solver = Solver::new();
     let encoding = SketchEncoding::encode(sketch, &mut solver);
     let all_holes: Vec<HoleId> = sketch.holes.iter().map(|h| h.id).collect();
+    let index = controls.index;
+    let done = |program: Option<Program>,
+                stats: SketchRunStats,
+                cancelled: bool,
+                interrupted: bool| CompletionOutcome {
+        program,
+        stats,
+        cancelled,
+        interrupted,
+    };
 
     loop {
-        if cancel.is_some_and(|cancelled| cancelled()) {
-            return CompletionOutcome {
-                program: None,
-                stats,
-                cancelled: true,
-            };
+        if controls.token.is_some_and(CancelToken::is_cancelled) {
+            return done(None, stats, false, true);
+        }
+        if controls.cancel.is_some_and(|cancelled| cancelled()) {
+            return done(None, stats, true, false);
         }
         if max_iterations > 0 && stats.iterations >= max_iterations {
-            return CompletionOutcome {
-                program: None,
-                stats,
-                cancelled: false,
-            };
+            controls.record(SynthesisEvent::BoundExhausted {
+                index,
+                iterations: stats.iterations,
+            });
+            return done(None, stats, false, false);
         }
         let model = match solver.solve() {
             SolveResult::Sat(model) => model,
             SolveResult::Unsat => {
-                return CompletionOutcome {
-                    program: None,
-                    stats,
-                    cancelled: false,
-                }
+                controls.record(SynthesisEvent::BoundExhausted {
+                    index,
+                    iterations: stats.iterations,
+                });
+                return done(None, stats, false, false);
             }
         };
         let assignment = encoding.decode(&model);
@@ -185,41 +250,76 @@ pub fn complete_sketch(
             continue;
         }
 
-        match check_candidate_with_oracle(oracle, &candidate, target_schema, testing) {
+        // Blocks the failing candidate's holes and records the MFI event.
+        let learn = |failing_input: &dbir::InvocationSequence,
+                     solver: &mut Solver,
+                     stats: &mut SketchRunStats,
+                     controls: &mut CompletionControls<'_>| {
+            let holes = holes_for_blocking(sketch, failing_input, strategy, &all_holes);
+            controls.record(SynthesisEvent::MfiFound {
+                index,
+                iteration: stats.iterations,
+                updates: failing_input.updates.len(),
+                query: failing_input.query.function.clone(),
+                blocked_holes: holes.len(),
+            });
+            let clause = encoding.blocking_clause(&assignment, &holes);
+            solver.add_clause(&clause);
+            stats.blocking_clauses += 1;
+        };
+
+        match check_candidate_cancel(oracle, &candidate, target_schema, testing, controls.token) {
+            CheckOutcome::Cancelled { sequences_tested } => {
+                stats.sequences_tested += sequences_tested;
+                return done(None, stats, false, true);
+            }
             CheckOutcome::Equivalent {
                 sequences_tested,
                 bound_exhausted,
             } => {
                 stats.sequences_tested += sequences_tested;
                 stats.truncated_checks += usize::from(!bound_exhausted);
+                controls.record(SynthesisEvent::CandidateChecked {
+                    index,
+                    iteration: stats.iterations,
+                    accepted: true,
+                    sequences_tested,
+                });
                 // Deeper verification pass before accepting.
-                match check_candidate_with_oracle(oracle, &candidate, target_schema, verification) {
+                match check_candidate_cancel(
+                    oracle,
+                    &candidate,
+                    target_schema,
+                    verification,
+                    controls.token,
+                ) {
+                    CheckOutcome::Cancelled { sequences_tested } => {
+                        stats.sequences_tested += sequences_tested;
+                        return done(None, stats, false, true);
+                    }
                     CheckOutcome::Equivalent {
                         sequences_tested,
                         bound_exhausted,
                     } => {
                         stats.sequences_tested += sequences_tested;
                         stats.truncated_checks += usize::from(!bound_exhausted);
-                        return CompletionOutcome {
-                            program: Some(candidate),
-                            stats,
-                            cancelled: false,
-                        };
+                        controls.record(SynthesisEvent::Solved {
+                            index,
+                            iterations: stats.iterations,
+                        });
+                        return done(Some(candidate), stats, false, false);
                     }
                     CheckOutcome::NotEquivalent {
                         minimum_failing_input,
                         sequences_tested,
                     } => {
                         stats.sequences_tested += sequences_tested;
-                        let holes = holes_for_blocking(
-                            sketch,
+                        learn(
                             &minimum_failing_input,
-                            strategy,
-                            &all_holes,
+                            &mut solver,
+                            &mut stats,
+                            &mut controls,
                         );
-                        let clause = encoding.blocking_clause(&assignment, &holes);
-                        solver.add_clause(&clause);
-                        stats.blocking_clauses += 1;
                     }
                 }
             }
@@ -228,11 +328,18 @@ pub fn complete_sketch(
                 sequences_tested,
             } => {
                 stats.sequences_tested += sequences_tested;
-                let holes =
-                    holes_for_blocking(sketch, &minimum_failing_input, strategy, &all_holes);
-                let clause = encoding.blocking_clause(&assignment, &holes);
-                solver.add_clause(&clause);
-                stats.blocking_clauses += 1;
+                controls.record(SynthesisEvent::CandidateChecked {
+                    index,
+                    iteration: stats.iterations,
+                    accepted: false,
+                    sequences_tested,
+                });
+                learn(
+                    &minimum_failing_input,
+                    &mut solver,
+                    &mut stats,
+                    &mut controls,
+                );
             }
         }
     }
@@ -334,7 +441,7 @@ mod tests {
             &TestConfig::default(),
             BlockingStrategy::MinimumFailingInput,
             0,
-            None,
+            CompletionControls::none(),
         );
         let synthesized = outcome.program.expect("an equivalent completion exists");
         assert!(synthesized.validate(&target_schema).is_ok());
@@ -378,7 +485,7 @@ mod tests {
                 &TestConfig::default(),
                 strategy,
                 0,
-                None,
+                CompletionControls::none(),
             );
             assert!(outcome.program.is_some());
             results.push(outcome.stats.iterations);
@@ -434,7 +541,7 @@ mod tests {
             &TestConfig::default(),
             BlockingStrategy::MinimumFailingInput,
             0,
-            None,
+            CompletionControls::none(),
         );
         // With this correspondence the completion is actually equivalent
         // (both insert and query agree on column c), so it must succeed —
@@ -479,7 +586,7 @@ mod tests {
             &TestConfig::default(),
             BlockingStrategy::MinimumFailingInput,
             0,
-            None,
+            CompletionControls::none(),
         );
         assert!(outcome.program.is_none());
         assert!(outcome.stats.iterations >= 1);

@@ -27,11 +27,29 @@
 //! CEGIS-style enumerator standing in for the Sketch tool) live in
 //! [`baselines`].
 //!
-//! ## Quick example
+//! Two cross-cutting capabilities thread through the driver:
+//!
+//! * [`observe`] — a [`SynthesisObserver`] receives typed progress events
+//!   (correspondence enumerated, sketch generated, candidate checked, MFI
+//!   found, bound exhausted) in deterministic enumeration order, even under
+//!   parallel CEGIS;
+//! * cancellation — a [`CancelToken`] (optionally deadline-carrying) is
+//!   polled throughout the pipeline, and a run that stops early reports
+//!   [`SynthesisOutcome::Timeout`] or [`SynthesisOutcome::Cancelled`],
+//!   distinctly from [`SynthesisOutcome::NoSolution`].
+//!
+//! For the full pipeline — SQL DDL in, SQL + migration script + validation
+//! out — use the `Refactoring` facade in the `pipeline` crate, which wraps
+//! this one.
+//!
+//! ## Quick example — with an observer and a deadline
 //!
 //! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
 //! use dbir::{parser::parse_program, Schema};
-//! use migrator::{SynthesisConfig, Synthesizer};
+//! use migrator::{EventLog, SynthesisConfig, SynthesisOutcome, Synthesizer};
 //!
 //! let source_schema = Schema::parse("User(uid: int, uname: string)").unwrap();
 //! let target_schema = Schema::parse("Person(uid: int, fullname: string)").unwrap();
@@ -46,10 +64,19 @@
 //! )
 //! .unwrap();
 //!
-//! let synthesizer = Synthesizer::new(SynthesisConfig::default());
+//! let log = Arc::new(EventLog::new()); // any SynthesisObserver works
+//! let synthesizer = Synthesizer::new(SynthesisConfig::default())
+//!     .with_observer(log.clone())
+//!     // Each run gets a fresh 60s budget, measured from synthesize().
+//!     // (For cancellation from another thread, install a CancelToken via
+//!     // .with_cancel and keep a clone to .cancel() it.)
+//!     .with_deadline(Duration::from_secs(60));
 //! let result = synthesizer.synthesize(&source, &source_schema, &target_schema);
+//!
+//! assert_eq!(result.outcome, SynthesisOutcome::Solved);
 //! let migrated = result.program.expect("an equivalent program exists");
 //! assert_eq!(migrated.functions.len(), 2);
+//! assert!(!log.events().is_empty(), "the observer saw the search happen");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,6 +87,7 @@ pub mod baselines;
 pub mod completion;
 pub mod config;
 pub mod join_graph;
+pub mod observe;
 pub mod similarity;
 pub mod sketch;
 pub mod sketch_gen;
@@ -69,7 +97,12 @@ pub mod value_corr;
 pub mod verify;
 
 pub use config::{SketchSolverKind, SynthesisConfig};
+pub use observe::{EventLog, SynthesisEvent, SynthesisObserver};
 pub use sketch::Sketch;
 pub use stats::SynthesisStats;
-pub use synthesizer::{SynthesisResult, Synthesizer};
+pub use synthesizer::{SynthesisOutcome, SynthesisResult, Synthesizer};
 pub use value_corr::{ValueCorrespondence, VcEnumerator};
+
+// Cancellation is part of the public synthesis API; re-export the token so
+// library users do not need a direct `parpool` dependency.
+pub use parpool::{CancelReason, CancelToken};

@@ -1,0 +1,300 @@
+//! Observability for synthesis runs: typed progress events and the
+//! [`SynthesisObserver`] trait.
+//!
+//! A [`crate::Synthesizer`] (and the `Refactoring` pipeline facade built on
+//! top of it) can be given an observer that receives a [`SynthesisEvent`]
+//! for every step of the paper's pipeline — correspondence enumerated,
+//! sketch generated, candidate checked, minimum failing input found, search
+//! space exhausted — where previously only aggregate statistics came out.
+//!
+//! ## Determinism contract
+//!
+//! The main stream ([`SynthesisObserver::event`]) is delivered **in
+//! enumeration order**, even under parallel CEGIS: worker threads record
+//! their completion's events into private buffers, and the synthesizer's
+//! index-ordered merge replays the buffers of exactly the correspondences
+//! the sequential search would have explored, in exactly that order.
+//! Buffers of losing speculations are discarded with their statistics. The
+//! event sequence for a fixed input is therefore byte-identical at any
+//! thread count — a property the test-suite asserts by comparing rendered
+//! streams at one and four threads.
+//!
+//! Scheduling-dependent facts — which correspondences were speculatively
+//! dispatched ahead of their turn, and which of those were cancelled when a
+//! lower-index correspondence won — are *real* and worth watching (they are
+//! the parallel speedup), but they cannot be deterministic. They arrive on
+//! the separate [`SynthesisObserver::speculation`] side channel, which
+//! defaults to a no-op.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use parpool::CancelReason;
+
+/// One step of a synthesis run.
+///
+/// Events carry `index`, the position of the owning value correspondence in
+/// enumeration order (0-based) — the same order [`crate::VcEnumerator`]
+/// produces and the same order statistics are absorbed in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisEvent {
+    /// The enumerator produced the `index`-th candidate value
+    /// correspondence and the search committed to exploring it.
+    CorrespondenceEnumerated {
+        /// Enumeration position (0-based).
+        index: usize,
+        /// Number of source attributes the correspondence maps.
+        mapped_attrs: usize,
+    },
+    /// The `index`-th correspondence was *submitted* to the speculative
+    /// fan-out ahead of its enumeration turn. Side channel only — batch
+    /// composition depends on the thread budget, and whether a worker
+    /// actually started the work before the batch resolved is
+    /// scheduling-dependent (under a thread budget of one the submission
+    /// may never run at all).
+    CorrespondenceSpeculated {
+        /// Enumeration position (0-based).
+        index: usize,
+    },
+    /// A speculative submission was discarded because a lower-index
+    /// correspondence produced the winning program — its results (whether
+    /// computed, in flight, or never started) can no longer be selected.
+    /// Side channel only — which submissions lose is scheduling-dependent.
+    CorrespondenceCancelled {
+        /// Enumeration position (0-based).
+        index: usize,
+    },
+    /// A program sketch was generated from the `index`-th correspondence.
+    SketchGenerated {
+        /// Enumeration position of the owning correspondence.
+        index: usize,
+        /// Number of holes in the sketch.
+        holes: usize,
+        /// Size of the completion space (product of hole domains).
+        completions: u128,
+    },
+    /// One candidate instantiation of the sketch was checked against the
+    /// source program by bounded testing.
+    CandidateChecked {
+        /// Enumeration position of the owning correspondence.
+        index: usize,
+        /// 1-based candidate number within this sketch.
+        iteration: usize,
+        /// Whether the candidate passed the testing pass.
+        accepted: bool,
+        /// Invocation sequences executed by the testing pass.
+        sequences_tested: usize,
+    },
+    /// A failing candidate produced a minimum failing input, from which a
+    /// blocking clause was learned.
+    MfiFound {
+        /// Enumeration position of the owning correspondence.
+        index: usize,
+        /// 1-based candidate number the input distinguishes.
+        iteration: usize,
+        /// Number of update calls preceding the distinguishing query.
+        updates: usize,
+        /// Name of the distinguishing query function.
+        query: String,
+        /// Number of holes blocked by the learned clause.
+        blocked_holes: usize,
+    },
+    /// The sketch's completion space was exhausted (or its iteration budget
+    /// ran out) without finding an equivalent program; the search moves on
+    /// to the next correspondence.
+    BoundExhausted {
+        /// Enumeration position of the owning correspondence.
+        index: usize,
+        /// Candidates examined before giving up.
+        iterations: usize,
+    },
+    /// The winning candidate of the `index`-th correspondence passed the
+    /// completion's checks; the run will finish after final verification.
+    Solved {
+        /// Enumeration position of the winning correspondence.
+        index: usize,
+        /// Candidates examined in the winning sketch.
+        iterations: usize,
+    },
+    /// The run stopped early because its [`parpool::CancelToken`] fired.
+    /// This is the only main-stream event whose position is *not*
+    /// deterministic: a wall-clock deadline interrupts wherever the search
+    /// happens to be.
+    RunInterrupted {
+        /// Whether the token fired by deadline or by explicit cancellation.
+        reason: CancelReason,
+    },
+}
+
+impl fmt::Display for SynthesisEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisEvent::CorrespondenceEnumerated {
+                index,
+                mapped_attrs,
+            } => {
+                write!(
+                    f,
+                    "correspondence[{index}] enumerated ({mapped_attrs} attrs mapped)"
+                )
+            }
+            SynthesisEvent::CorrespondenceSpeculated { index } => {
+                write!(f, "correspondence[{index}] speculated")
+            }
+            SynthesisEvent::CorrespondenceCancelled { index } => {
+                write!(f, "correspondence[{index}] cancelled")
+            }
+            SynthesisEvent::SketchGenerated {
+                index,
+                holes,
+                completions,
+            } => {
+                write!(
+                    f,
+                    "correspondence[{index}] sketch: {holes} holes, {completions} completions"
+                )
+            }
+            SynthesisEvent::CandidateChecked {
+                index,
+                iteration,
+                accepted,
+                sequences_tested,
+            } => write!(
+                f,
+                "correspondence[{index}] candidate {iteration}: {} ({sequences_tested} sequences)",
+                if *accepted { "accepted" } else { "rejected" }
+            ),
+            SynthesisEvent::MfiFound {
+                index,
+                iteration,
+                updates,
+                query,
+                blocked_holes,
+            } => write!(
+                f,
+                "correspondence[{index}] candidate {iteration}: MFI {updates} updates + {query}, \
+                 blocking {blocked_holes} holes"
+            ),
+            SynthesisEvent::BoundExhausted { index, iterations } => {
+                write!(
+                    f,
+                    "correspondence[{index}] exhausted after {iterations} candidates"
+                )
+            }
+            SynthesisEvent::Solved { index, iterations } => {
+                write!(
+                    f,
+                    "correspondence[{index}] solved after {iterations} candidates"
+                )
+            }
+            SynthesisEvent::RunInterrupted { reason } => write!(
+                f,
+                "run interrupted ({})",
+                match reason {
+                    CancelReason::Cancelled => "cancelled",
+                    CancelReason::DeadlineExceeded => "deadline exceeded",
+                }
+            ),
+        }
+    }
+}
+
+/// Receives [`SynthesisEvent`]s from a running synthesis.
+///
+/// Implementations must be cheap and non-blocking: events fire from the
+/// synthesizer's merge loop, so a slow observer slows the search down.
+/// `Send + Sync` is required so one observer can be shared across runs (and
+/// so the facade can hold it in an `Arc`); the synthesizer itself only
+/// calls it from the thread that owns the run.
+pub trait SynthesisObserver: Send + Sync {
+    /// The deterministic main stream: called in enumeration order (see the
+    /// module documentation for the exact contract).
+    fn event(&self, event: &SynthesisEvent);
+
+    /// The scheduling-dependent side channel:
+    /// [`SynthesisEvent::CorrespondenceSpeculated`] and
+    /// [`SynthesisEvent::CorrespondenceCancelled`] notices from the
+    /// parallel fan-out. Defaults to a no-op; override to watch the
+    /// speculation machinery at work.
+    fn speculation(&self, event: &SynthesisEvent) {
+        let _ = event;
+    }
+}
+
+/// A ready-made observer that records the main event stream in memory.
+///
+/// Useful for tests (the determinism suite compares rendered logs across
+/// thread counts) and for tools that want the full trace after the fact.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<SynthesisEvent>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// The events recorded so far, in delivery order.
+    pub fn events(&self) -> Vec<SynthesisEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Renders the recorded stream as one line per event — a stable textual
+    /// form for byte-for-byte comparisons.
+    pub fn render(&self) -> String {
+        let events = self.events.lock().expect("event log poisoned");
+        let mut out = String::new();
+        for event in events.iter() {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SynthesisObserver for EventLog {
+    fn event(&self, event: &SynthesisEvent) {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_one_line_each() {
+        let log = EventLog::new();
+        log.event(&SynthesisEvent::CorrespondenceEnumerated {
+            index: 0,
+            mapped_attrs: 3,
+        });
+        log.event(&SynthesisEvent::Solved {
+            index: 0,
+            iterations: 2,
+        });
+        let rendered = log.render();
+        assert_eq!(rendered.lines().count(), 2);
+        assert!(rendered.contains("correspondence[0] enumerated (3 attrs mapped)"));
+        assert!(rendered.contains("solved after 2 candidates"));
+        assert_eq!(log.events().len(), 2);
+    }
+
+    #[test]
+    fn speculation_side_channel_defaults_to_noop() {
+        struct CountOnly(std::sync::atomic::AtomicUsize);
+        impl SynthesisObserver for CountOnly {
+            fn event(&self, _event: &SynthesisEvent) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let observer = CountOnly(std::sync::atomic::AtomicUsize::new(0));
+        observer.speculation(&SynthesisEvent::CorrespondenceSpeculated { index: 1 });
+        assert_eq!(observer.0.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+}

@@ -6,18 +6,54 @@
 //! space is exhausted (or the configured budget runs out) the result carries
 //! no program, mirroring the paper's `⊥`.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dbir::{Program, Schema};
 
 use dbir::equiv::SourceOracle;
+use parpool::{CancelReason, CancelToken};
 
-use crate::completion::{complete_sketch, BlockingStrategy};
+use crate::completion::{complete_sketch, BlockingStrategy, CompletionControls};
 use crate::config::{SketchSolverKind, SynthesisConfig};
+use crate::observe::{SynthesisEvent, SynthesisObserver};
 use crate::sketch_gen::generate_sketch;
 use crate::stats::SynthesisStats;
 use crate::value_corr::{ValueCorrespondence, VcEnumerator};
-use crate::verify::{check_candidate_with_oracle, CheckOutcome};
+use crate::verify::{check_candidate_cancel, CheckOutcome};
+
+/// How a synthesis run ended.
+///
+/// Distinguishing [`SynthesisOutcome::Timeout`] and
+/// [`SynthesisOutcome::Cancelled`] from [`SynthesisOutcome::NoSolution`]
+/// matters: a budget overrun says nothing about whether an equivalent
+/// program exists, while `NoSolution` means the configured correspondence
+/// space was genuinely exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthesisOutcome {
+    /// An equivalent program was found and verified.
+    Solved,
+    /// The configured search space was exhausted without finding an
+    /// equivalent program.
+    NoSolution,
+    /// The run's wall-clock deadline passed before the search finished.
+    Timeout,
+    /// The run's [`CancelToken`] was cancelled explicitly.
+    Cancelled,
+}
+
+impl SynthesisOutcome {
+    /// A stable lowercase name (`solved`, `no_solution`, `timeout`,
+    /// `cancelled`) for machine-readable output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SynthesisOutcome::Solved => "solved",
+            SynthesisOutcome::NoSolution => "no_solution",
+            SynthesisOutcome::Timeout => "timeout",
+            SynthesisOutcome::Cancelled => "cancelled",
+        }
+    }
+}
 
 /// The result of a synthesis run: the migrated program (if one was found)
 /// plus statistics matching the paper's evaluation columns.
@@ -30,6 +66,10 @@ pub struct SynthesisResult {
     /// (`None` when synthesis failed). Downstream tooling uses it to derive
     /// a data-migration script alongside the migrated program.
     pub correspondence: Option<ValueCorrespondence>,
+    /// How the run ended. [`SynthesisOutcome::Timeout`] and
+    /// [`SynthesisOutcome::Cancelled`] results carry the partial statistics
+    /// accumulated before the interruption.
+    pub outcome: SynthesisOutcome,
     /// Statistics about the run.
     pub stats: SynthesisStats,
 }
@@ -42,20 +82,87 @@ impl SynthesisResult {
 }
 
 /// Synthesizes database programs for schema refactoring.
-#[derive(Debug, Clone, Default)]
+///
+/// Beyond the configuration, a synthesizer can carry two optional
+/// cross-cutting hooks, installed builder-style:
+///
+/// * [`Synthesizer::with_observer`] — a [`SynthesisObserver`] receiving
+///   typed progress events in deterministic enumeration order;
+/// * [`Synthesizer::with_cancel`] / [`Synthesizer::with_deadline`] — a
+///   [`CancelToken`] polled throughout the pipeline (correspondence
+///   fan-out, completion loop, bounded-testing walk), turning the blocking
+///   [`Synthesizer::synthesize`] call into one that can be interrupted from
+///   another thread or bounded by wall-clock time.
+#[derive(Clone, Default)]
 pub struct Synthesizer {
     config: SynthesisConfig,
+    observer: Option<Arc<dyn SynthesisObserver>>,
+    cancel: CancelToken,
+    budget: Option<Duration>,
+}
+
+impl std::fmt::Debug for Synthesizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Synthesizer")
+            .field("config", &self.config)
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel)
+            .field("budget", &self.budget)
+            .finish()
+    }
 }
 
 impl Synthesizer {
     /// Creates a synthesizer with the given configuration.
     pub fn new(config: SynthesisConfig) -> Synthesizer {
-        Synthesizer { config }
+        Synthesizer {
+            config,
+            observer: None,
+            cancel: CancelToken::new(),
+            budget: None,
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &SynthesisConfig {
         &self.config
+    }
+
+    /// Installs an observer receiving [`SynthesisEvent`]s (see
+    /// [`crate::observe`] for the determinism contract).
+    pub fn with_observer(mut self, observer: Arc<dyn SynthesisObserver>) -> Synthesizer {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Installs a cancellation token. Clone the token before passing it in
+    /// to keep a handle for cancelling the run from another thread.
+    pub fn with_cancel(mut self, token: CancelToken) -> Synthesizer {
+        self.cancel = token;
+        self
+    }
+
+    /// Bounds each run by wall-clock time: a run exceeding `budget` stops
+    /// at the next cancellation point and reports
+    /// [`SynthesisOutcome::Timeout`].
+    ///
+    /// The clock starts when [`Synthesizer::synthesize`] is called — not
+    /// when the builder is configured — and every run gets a fresh budget,
+    /// so a synthesizer (or a clone of one) can be reused after a timeout.
+    /// A budget composes with [`Synthesizer::with_cancel`]: each run polls
+    /// a per-run deadline token *linked* to the installed one, so explicit
+    /// cancellation still fires. To share one *absolute* deadline across
+    /// runs, install [`CancelToken::with_deadline`] explicitly instead.
+    pub fn with_deadline(mut self, budget: Duration) -> Synthesizer {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The installed cancellation token: cancel it (from any thread) to
+    /// stop an in-flight [`Synthesizer::synthesize`] at its next polling
+    /// point — with or without a [`Synthesizer::with_deadline`] budget.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Synthesizes a program over `target_schema` equivalent to `source`
@@ -85,6 +192,26 @@ impl Synthesizer {
             SketchSolverKind::MfiGuided => BlockingStrategy::MinimumFailingInput,
             SketchSolverKind::Enumerative => BlockingStrategy::FullModel,
         };
+        // A wall-clock budget mints a fresh deadline token per run (the
+        // clock starts now), *linked* to the installed token so explicit
+        // cross-thread cancellation still fires under a budget.
+        let run_token = match self.budget {
+            Some(budget) => self.cancel.linked_with_timeout(budget),
+            None => self.cancel.clone(),
+        };
+        let token = &run_token;
+        // Deterministic main stream (enumeration order, merge loop only).
+        let emit = |event: &SynthesisEvent| {
+            if let Some(observer) = &self.observer {
+                observer.event(event);
+            }
+        };
+        // Scheduling-dependent side channel (speculation notices).
+        let speculate = |event: &SynthesisEvent| {
+            if let Some(observer) = &self.observer {
+                observer.speculation(event);
+            }
+        };
 
         let mut enumerator =
             VcEnumerator::new(source, source_schema, target_schema, &self.config.vc);
@@ -95,15 +222,29 @@ impl Synthesizer {
         // most once per sequence across the entire run.
         let oracle = SourceOracle::new(source, source_schema);
 
-        // Generates the sketch for one correspondence and completes it.
-        // Self-contained per correspondence (own SAT solver, own blocking
-        // clauses), so running it on a worker thread yields the same outcome
-        // and statistics as running it inline.
-        let attempt = |phi: &ValueCorrespondence,
+        // Generates the sketch for one correspondence and completes it,
+        // buffering the completion's events. Self-contained per
+        // correspondence (own SAT solver, own blocking clauses, own event
+        // buffer), so running it on a worker thread yields the same outcome,
+        // statistics and events as running it inline.
+        let attempt = |index: usize,
+                       phi: &ValueCorrespondence,
                        cancel: Option<&(dyn Fn() -> bool + Sync)>|
-         -> Option<crate::completion::CompletionOutcome> {
-            let sketch = generate_sketch(source, phi, target_schema, &self.config.sketch)?;
-            Some(complete_sketch(
+         -> (
+            Option<crate::completion::CompletionOutcome>,
+            Vec<SynthesisEvent>,
+        ) {
+            let mut events = Vec::new();
+            let Some(sketch) = generate_sketch(source, phi, target_schema, &self.config.sketch)
+            else {
+                return (None, events);
+            };
+            events.push(SynthesisEvent::SketchGenerated {
+                index,
+                holes: sketch.holes.len(),
+                completions: sketch.completion_count(),
+            });
+            let outcome = complete_sketch(
                 &sketch,
                 &oracle,
                 target_schema,
@@ -111,13 +252,26 @@ impl Synthesizer {
                 &self.config.verification,
                 strategy,
                 self.config.max_iterations_per_sketch,
-                cancel,
-            ))
+                CompletionControls {
+                    cancel,
+                    token: Some(token),
+                    index,
+                    events: Some(&mut events),
+                },
+            );
+            (Some(outcome), events)
         };
 
         let speculation_cap = parpool::thread_limit().max(1).saturating_mul(2);
         let mut batch_size = 1usize;
-        loop {
+        // Absolute enumeration position of the next correspondence pulled.
+        let mut next_index = 0usize;
+        let mut interrupted = false;
+        'batches: loop {
+            if token.is_cancelled() {
+                interrupted = true;
+                break;
+            }
             let remaining = if self.config.max_value_correspondences > 0 {
                 self.config
                     .max_value_correspondences
@@ -138,29 +292,44 @@ impl Synthesizer {
             if phis.is_empty() {
                 break;
             }
+            let base = next_index;
+            next_index += phis.len();
+            // Everything past the first batch item runs ahead of its
+            // enumeration turn — a speculation notice per item, on the
+            // scheduling-dependent side channel.
+            for i in 1..phis.len() {
+                speculate(&SynthesisEvent::CorrespondenceSpeculated { index: base + i });
+            }
 
             let results = parpool::par_map_stop(
                 &phis,
-                |index, phi, ctx| {
-                    let cancel = || ctx.cancelled(index);
-                    attempt(phi, Some(&cancel))
+                |i, phi, ctx| {
+                    let cancel = || ctx.cancelled(i);
+                    attempt(base + i, phi, Some(&cancel))
                 },
-                |outcome| outcome.as_ref().is_some_and(|o| o.program.is_some()),
+                // A success stops the fan-out; so does a token interruption
+                // (everything after it is moot).
+                |(outcome, _)| {
+                    outcome
+                        .as_ref()
+                        .is_some_and(|o| o.program.is_some() || o.interrupted)
+                },
             );
 
             // Index-ordered merge: absorb each correspondence exactly as the
             // sequential loop would have, stopping at the first success.
             let mut results = results.into_iter();
             let mut defensive_replay = false;
-            for phi in &phis {
-                let outcome = if defensive_replay {
+            for (i, phi) in phis.iter().enumerate() {
+                let index = base + i;
+                let (outcome, events) = if defensive_replay {
                     // A verified-then-rejected winner (see below) invalidated
                     // the speculative results; recompute this correspondence
                     // inline. Deterministic, so the trajectory is preserved.
-                    attempt(phi, None)
+                    attempt(index, phi, None)
                 } else {
                     match results.next() {
-                        Some(Some(outcome)) => outcome,
+                        Some(Some(pair)) => pair,
                         Some(None) | None => break, // skipped: after the winner
                     }
                 };
@@ -169,22 +338,42 @@ impl Synthesizer {
                     "merge reached a cancelled speculative completion"
                 );
                 stats.value_correspondences += 1;
+                emit(&SynthesisEvent::CorrespondenceEnumerated {
+                    index,
+                    mapped_attrs: phi.mapped_count(),
+                });
+                for event in &events {
+                    emit(event);
+                }
                 let Some(outcome) = outcome else {
                     continue; // no sketch for this correspondence
                 };
                 stats.sketches_generated += 1;
                 stats.absorb_sketch_run(&outcome.stats);
+                if outcome.interrupted {
+                    // Deadline or user cancellation mid-completion: the
+                    // partial statistics above are kept (they describe real
+                    // work), the rest of the batch is discarded.
+                    interrupted = true;
+                    break 'batches;
+                }
 
                 if let Some(program) = outcome.program {
+                    // This correspondence won; later batch items lost their
+                    // speculation.
+                    for j in (i + 1)..phis.len() {
+                        speculate(&SynthesisEvent::CorrespondenceCancelled { index: base + j });
+                    }
                     stats.synthesis_time = synthesis_start.elapsed();
                     // Final verification pass, timed separately (the stand-in
                     // for the Mediator equivalence proof; see DESIGN.md).
                     let verification_start = Instant::now();
-                    let verified = check_candidate_with_oracle(
+                    let verified = check_candidate_cancel(
                         &oracle,
                         &program,
                         target_schema,
                         &self.config.verification,
+                        Some(token),
                     );
                     stats.verification_time = verification_start.elapsed();
                     match verified {
@@ -198,6 +387,23 @@ impl Synthesizer {
                             return SynthesisResult {
                                 program: Some(program),
                                 correspondence: Some(phi.clone()),
+                                outcome: SynthesisOutcome::Solved,
+                                stats,
+                            };
+                        }
+                        CheckOutcome::Cancelled { sequences_tested } => {
+                            // The token fired during this *redundant* final
+                            // pass. The completion already verified the
+                            // exact same candidate against the same oracle
+                            // and configuration, so the program is kept: a
+                            // verified program in hand beats reporting
+                            // `Timeout` with nothing.
+                            stats.sequences_tested += sequences_tested;
+                            stats.oracle_hits = oracle.hits();
+                            return SynthesisResult {
+                                program: Some(program),
+                                correspondence: Some(phi.clone()),
+                                outcome: SynthesisOutcome::Solved,
                                 stats,
                             };
                         }
@@ -221,9 +427,20 @@ impl Synthesizer {
 
         stats.synthesis_time = synthesis_start.elapsed();
         stats.oracle_hits = oracle.hits();
+        let outcome = if interrupted {
+            let reason = token.reason().unwrap_or(CancelReason::Cancelled);
+            emit(&SynthesisEvent::RunInterrupted { reason });
+            match reason {
+                CancelReason::DeadlineExceeded => SynthesisOutcome::Timeout,
+                CancelReason::Cancelled => SynthesisOutcome::Cancelled,
+            }
+        } else {
+            SynthesisOutcome::NoSolution
+        };
         SynthesisResult {
             program: None,
             correspondence: None,
+            outcome,
             stats,
         }
     }

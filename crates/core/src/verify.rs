@@ -8,8 +8,9 @@
 //! the last, most expensive check, and its cost is reported separately from
 //! synthesis time.
 
-use dbir::equiv::{compare_with_oracle, EquivalenceReport, SourceOracle, TestConfig};
+use dbir::equiv::{compare_with_oracle_cancel, EquivalenceReport, SourceOracle, TestConfig};
 use dbir::{InvocationSequence, Program, Schema};
+use parpool::CancelToken;
 
 /// The result of checking a candidate program against the source program.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +32,12 @@ pub enum CheckOutcome {
         /// Number of invocation sequences executed before finding it.
         sequences_tested: usize,
     },
+    /// The check was interrupted by the caller's [`CancelToken`] before
+    /// reaching a verdict. Carries no evidence either way.
+    Cancelled {
+        /// Number of invocation sequences executed before the interruption.
+        sequences_tested: usize,
+    },
 }
 
 impl CheckOutcome {
@@ -47,7 +54,8 @@ impl CheckOutcome {
             }
             | CheckOutcome::NotEquivalent {
                 sequences_tested, ..
-            } => *sequences_tested,
+            }
+            | CheckOutcome::Cancelled { sequences_tested } => *sequences_tested,
         }
     }
 
@@ -92,13 +100,29 @@ pub fn check_candidate_with_oracle(
     target_schema: &Schema,
     config: &TestConfig,
 ) -> CheckOutcome {
+    check_candidate_cancel(oracle, candidate, target_schema, config, None)
+}
+
+/// Like [`check_candidate_with_oracle`], but polls `cancel` inside the
+/// bounded-testing walk and returns [`CheckOutcome::Cancelled`] when the
+/// token fires mid-check. With `cancel` absent the behaviour is identical.
+pub fn check_candidate_cancel(
+    oracle: &SourceOracle<'_>,
+    candidate: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+    cancel: Option<&CancelToken>,
+) -> CheckOutcome {
     let EquivalenceReport {
         equivalent,
         counterexample,
         sequences_tested,
         bound_exhausted,
-    } = compare_with_oracle(oracle, candidate, target_schema, config);
-    if equivalent {
+        cancelled,
+    } = compare_with_oracle_cancel(oracle, candidate, target_schema, config, cancel);
+    if cancelled {
+        CheckOutcome::Cancelled { sequences_tested }
+    } else if equivalent {
         CheckOutcome::Equivalent {
             sequences_tested,
             bound_exhausted,
@@ -204,7 +228,7 @@ mod tests {
                 assert_eq!(minimum_failing_input.updates.len(), 1);
                 assert_eq!(minimum_failing_input.query.function, "get");
             }
-            CheckOutcome::Equivalent { .. } => panic!("programs differ"),
+            other => panic!("programs differ, got {other:?}"),
         }
     }
 }

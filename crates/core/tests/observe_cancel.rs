@@ -1,0 +1,210 @@
+//! Integration tests for the two capabilities the pipeline API rides on:
+//! deterministic observer event streams and first-class cancellation.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use dbir::parser::parse_program;
+use dbir::Schema;
+use migrator::{
+    CancelToken, EventLog, SynthesisConfig, SynthesisEvent, SynthesisOutcome, Synthesizer,
+};
+
+/// Serializes tests that mutate the global thread limit.
+fn limit_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A scenario that fails synthesis *after* exploring several
+/// correspondences (two source strings must share one target column, so
+/// every candidate correspondence produces a sketch that cannot complete) —
+/// the worst case for parallel event delivery to get ordering wrong.
+fn failing_scenario() -> (Schema, Schema, dbir::Program) {
+    let source_schema = Schema::parse("T(a: int, b: string, c: string)").unwrap();
+    let target_schema = Schema::parse("T(a: int, d: string)").unwrap();
+    let source = parse_program(
+        r#"
+        update add(a: int, b: string, c: string)
+            INSERT INTO T VALUES (a: a, b: b, c: c);
+        query get(a: int)
+            SELECT b, c FROM T WHERE a = a;
+        "#,
+        &source_schema,
+    )
+    .unwrap();
+    (source_schema, target_schema, source)
+}
+
+/// The motivating example: synthesizes, with a non-trivial search.
+fn motivating_scenario() -> (Schema, Schema, dbir::Program) {
+    let source_schema = Schema::parse(
+        "Class(ClassId: int, InstId: int, TaId: int)\n\
+         Instructor(InstId: int, IName: string, IPic: binary)\n\
+         TA(TaId: int, TName: string, TPic: binary)",
+    )
+    .unwrap();
+    let target_schema = Schema::parse(
+        "Class(ClassId: int, InstId: int, TaId: int)\n\
+         Instructor(InstId: int, IName: string, PicId: id)\n\
+         TA(TaId: int, TName: string, PicId: id)\n\
+         Picture(PicId: id, Pic: binary)",
+    )
+    .unwrap();
+    let source = parse_program(
+        r#"
+        update addInstructor(id: int, name: string, pic: binary)
+            INSERT INTO Instructor VALUES (InstId: id, IName: name, IPic: pic);
+        update deleteInstructor(id: int)
+            DELETE Instructor FROM Instructor WHERE InstId = id;
+        query getInstructorInfo(id: int)
+            SELECT IName, IPic FROM Instructor WHERE InstId = id;
+        update addTA(id: int, name: string, pic: binary)
+            INSERT INTO TA VALUES (TaId: id, TName: name, TPic: pic);
+        update deleteTA(id: int)
+            DELETE TA FROM TA WHERE TaId = id;
+        query getTAInfo(id: int)
+            SELECT TName, TPic FROM TA WHERE TaId = id;
+        "#,
+        &source_schema,
+    )
+    .unwrap();
+    (source_schema, target_schema, source)
+}
+
+fn event_stream_at(threads: usize, scenario: &(Schema, Schema, dbir::Program)) -> String {
+    let (source_schema, target_schema, source) = scenario;
+    let log = Arc::new(EventLog::new());
+    parpool::set_thread_limit(threads);
+    let result = Synthesizer::new(SynthesisConfig::standard())
+        .with_observer(log.clone())
+        .synthesize(source, source_schema, target_schema);
+    parpool::set_thread_limit(0);
+    // The stream must agree with the statistics it narrates.
+    let enumerated = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e, SynthesisEvent::CorrespondenceEnumerated { .. }))
+        .count();
+    assert_eq!(enumerated, result.stats.value_correspondences);
+    log.render()
+}
+
+/// The observer's main stream is byte-identical at one and four threads,
+/// for both a failing search (explores the whole budget) and a succeeding
+/// one (stops at the winning correspondence).
+#[test]
+fn event_stream_is_byte_identical_across_thread_budgets() {
+    let _guard = limit_lock();
+    for scenario in [failing_scenario(), motivating_scenario()] {
+        let single = event_stream_at(1, &scenario);
+        let multi = event_stream_at(4, &scenario);
+        assert!(!single.is_empty());
+        assert_eq!(
+            single, multi,
+            "observer stream diverged between 1 and 4 threads"
+        );
+    }
+}
+
+#[test]
+fn successful_run_narrates_through_to_solved() {
+    let _guard = limit_lock();
+    let (source_schema, target_schema, source) = motivating_scenario();
+    let log = Arc::new(EventLog::new());
+    let result = Synthesizer::new(SynthesisConfig::standard())
+        .with_observer(log.clone())
+        .synthesize(&source, &source_schema, &target_schema);
+    assert!(result.succeeded());
+    assert_eq!(result.outcome, SynthesisOutcome::Solved);
+    let events = log.events();
+    assert!(matches!(
+        events.first(),
+        Some(SynthesisEvent::CorrespondenceEnumerated { index: 0, .. })
+    ));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SynthesisEvent::SketchGenerated { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SynthesisEvent::CandidateChecked { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SynthesisEvent::MfiFound { .. })));
+    assert!(matches!(events.last(), Some(SynthesisEvent::Solved { .. })));
+}
+
+#[test]
+fn exhausted_budget_is_no_solution_not_timeout() {
+    let _guard = limit_lock();
+    let (source_schema, target_schema, source) = failing_scenario();
+    let result = Synthesizer::new(SynthesisConfig::standard()).synthesize(
+        &source,
+        &source_schema,
+        &target_schema,
+    );
+    assert!(!result.succeeded());
+    assert_eq!(result.outcome, SynthesisOutcome::NoSolution);
+}
+
+/// A tiny wall-clock budget must be reported as `Timeout` — distinctly from
+/// unsatisfiability — with whatever statistics the run accumulated.
+#[test]
+fn expired_deadline_reports_timeout_with_partial_stats() {
+    let _guard = limit_lock();
+    let (source_schema, target_schema, source) = motivating_scenario();
+    let log = Arc::new(EventLog::new());
+    let result = Synthesizer::new(SynthesisConfig::standard())
+        .with_observer(log.clone())
+        .with_deadline(Duration::ZERO)
+        .synthesize(&source, &source_schema, &target_schema);
+    assert!(!result.succeeded());
+    assert_eq!(result.outcome, SynthesisOutcome::Timeout);
+    // Partial statistics: the run stopped before exhausting the budget the
+    // unbounded run needs (the motivating example requires > 1 candidate).
+    assert!(result.stats.value_correspondences <= 1);
+    assert!(matches!(
+        log.events().last(),
+        Some(SynthesisEvent::RunInterrupted {
+            reason: migrator::CancelReason::DeadlineExceeded
+        })
+    ));
+}
+
+#[test]
+fn explicit_cancellation_reports_cancelled() {
+    let _guard = limit_lock();
+    let (source_schema, target_schema, source) = motivating_scenario();
+    let token = CancelToken::new();
+    token.cancel();
+    let result = Synthesizer::new(SynthesisConfig::standard())
+        .with_cancel(token)
+        .synthesize(&source, &source_schema, &target_schema);
+    assert!(!result.succeeded());
+    assert_eq!(result.outcome, SynthesisOutcome::Cancelled);
+}
+
+/// A deadline generous enough for the whole run changes nothing: same
+/// program, same statistics, `Solved`.
+#[test]
+fn unexpired_deadline_does_not_perturb_the_run() {
+    let _guard = limit_lock();
+    let (source_schema, target_schema, source) = motivating_scenario();
+    let plain = Synthesizer::new(SynthesisConfig::standard()).synthesize(
+        &source,
+        &source_schema,
+        &target_schema,
+    );
+    let bounded = Synthesizer::new(SynthesisConfig::standard())
+        .with_deadline(Duration::from_secs(3600))
+        .synthesize(&source, &source_schema, &target_schema);
+    assert_eq!(plain.outcome, SynthesisOutcome::Solved);
+    assert_eq!(bounded.outcome, SynthesisOutcome::Solved);
+    assert_eq!(plain.program, bounded.program);
+    assert_eq!(
+        plain.stats.value_correspondences,
+        bounded.stats.value_correspondences
+    );
+    assert_eq!(plain.stats.iterations, bounded.stats.iterations);
+    assert_eq!(plain.stats.sequences_tested, bounded.stats.sequences_tested);
+}

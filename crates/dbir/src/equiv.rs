@@ -54,7 +54,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use parpool::StopCtx;
+use parpool::{CancelToken, StopCtx};
 
 use crate::ast::{Function, FunctionBody, Program};
 use crate::error::Error;
@@ -199,6 +199,13 @@ pub struct EquivalenceReport {
     /// Always `false` when a counterexample was found (the search stops
     /// early by design).
     pub bound_exhausted: bool,
+    /// `true` if the check was abandoned because the caller's
+    /// [`CancelToken`] fired (see [`compare_with_oracle_cancel`]). A
+    /// cancelled report carries **no verdict**: `equivalent` is `false` and
+    /// `counterexample` is `None`, and `sequences_tested` reflects only the
+    /// work done before the interruption. Always `false` for the
+    /// non-cancellable entry points.
+    pub cancelled: bool,
 }
 
 /// A minimal FNV-1a hasher for the oracle's interned-id keys.
@@ -252,7 +259,7 @@ type OutcomeShard = Mutex<HashMap<Box<[u32]>, Arc<Outcome>, FnvBuild>>;
 /// [`TestConfig`]s (e.g. the testing and verification passes).
 ///
 /// The oracle is `Sync`: the outcome cache is striped across
-/// [`SourceOracle::SHARDS`] mutexes keyed by an FNV hash of the interned
+/// `SourceOracle::SHARDS` mutexes keyed by an FNV hash of the interned
 /// sequence, call interning sits behind a read-mostly `RwLock`, and cached
 /// outcomes are handed out as `Arc`s so the hot comparison path never clones
 /// row sets. Workers racing on the same uncached sequence may compute it
@@ -546,10 +553,14 @@ enum Search {
     Counterexample(InvocationSequence),
     /// The [`TestConfig::max_sequences`] budget ran out mid-subtree.
     CapHit,
+    /// The caller's [`CancelToken`] fired mid-subtree; the walk unwound
+    /// without a verdict.
+    Cancelled,
     /// A parallel stub task bailed out because a lower-index stub already
-    /// holds a counterexample. Never observed by the index-ordered merge:
-    /// cancellation implies a stopping result at a strictly lower index, so
-    /// the merge returns before reaching an aborted slot.
+    /// holds a stopping result (a counterexample or a token cancellation).
+    /// Never observed by the index-ordered merge: an abort implies a
+    /// stopping result at a strictly lower index, so the merge returns
+    /// before reaching an aborted slot.
     Aborted,
 }
 
@@ -633,6 +644,22 @@ pub fn compare_with_oracle(
     target_schema: &Schema,
     config: &TestConfig,
 ) -> EquivalenceReport {
+    compare_with_oracle_cancel(oracle, target, target_schema, config, None)
+}
+
+/// Like [`compare_with_oracle`], but polls `cancel` at safe points of the
+/// walk (between subtrees and every few hundred sequences inside one) and
+/// returns a report with [`EquivalenceReport::cancelled`] set when the token
+/// fires. With `cancel` absent (or a token that never fires) the behaviour —
+/// including every reported count — is identical to
+/// [`compare_with_oracle`].
+pub fn compare_with_oracle_cancel(
+    oracle: &SourceOracle<'_>,
+    target: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+    cancel: Option<&CancelToken>,
+) -> EquivalenceReport {
     let source = oracle.program();
     let source_schema = oracle.schema();
     let plans = build_plans(source, target, config);
@@ -673,10 +700,20 @@ pub fn compare_with_oracle(
     // them — parallelism lives *inside* each pair — so a counterexample in
     // an earlier pair is found before a later pair is ever entered, exactly
     // as in the sequential enumeration.
+    let cancelled_report = |sequences_tested: usize| EquivalenceReport {
+        equivalent: false,
+        counterexample: None,
+        sequences_tested,
+        bound_exhausted: false,
+        cancelled: true,
+    };
     for length in 0..=config.max_updates {
         for (plan, prep) in plans.iter().zip(&prepared) {
             if length > 0 && plan.update_calls.is_empty() {
                 continue;
+            }
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return cancelled_report(sequences_tested);
             }
             match search_plan(
                 oracle,
@@ -686,6 +723,7 @@ pub fn compare_with_oracle(
                 config,
                 length,
                 &mut sequences_tested,
+                cancel,
             ) {
                 Search::Exhausted => {}
                 Search::Counterexample(sequence) => {
@@ -694,6 +732,7 @@ pub fn compare_with_oracle(
                         counterexample: Some(sequence),
                         sequences_tested,
                         bound_exhausted: false,
+                        cancelled: false,
                     }
                 }
                 Search::CapHit => {
@@ -702,8 +741,10 @@ pub fn compare_with_oracle(
                         counterexample: None,
                         sequences_tested,
                         bound_exhausted: false,
+                        cancelled: false,
                     }
                 }
+                Search::Cancelled => return cancelled_report(sequences_tested),
                 Search::Aborted => unreachable!("merge stops before aborted stubs"),
             }
         }
@@ -714,6 +755,7 @@ pub fn compare_with_oracle(
         counterexample: None,
         sequences_tested,
         bound_exhausted: true,
+        cancelled: false,
     }
 }
 
@@ -744,6 +786,7 @@ fn search_plan(
     config: &TestConfig,
     length: usize,
     sequences_tested: &mut usize,
+    token: Option<&CancelToken>,
 ) -> Search {
     let source_schema = oracle.schema();
     let fanout = plan.update_calls.len();
@@ -770,6 +813,8 @@ fn search_plan(
             key: Vec::with_capacity(length + 1),
             path: Vec::with_capacity(length),
             cancel: None,
+            token,
+            polls: 0,
             snapshot_peak: 0,
         };
         let src_root = ExecState::Live(Instance::empty(source_schema), 0);
@@ -827,13 +872,17 @@ fn search_plan(
                 key,
                 path,
                 cancel: Some((ctx, task_index)),
+                token,
+                polls: 0,
                 snapshot_peak: peak,
             };
             let search = dfs.walk(length - stub_depth, &src, &tgt);
             fold_snapshot_peak(dfs.snapshot_peak);
             (search, count)
         },
-        |(search, _)| matches!(search, Search::Counterexample(_)),
+        // A token cancellation is a stopping result too: it makes the whole
+        // check moot, so still-queued stubs are skipped instead of started.
+        |(search, _)| matches!(search, Search::Counterexample(_) | Search::Cancelled),
     );
 
     // Index-ordered merge: byte-identical to the sequential left-to-right
@@ -845,6 +894,7 @@ fn search_plan(
             Search::Exhausted => {}
             Search::Counterexample(sequence) => return Search::Counterexample(sequence),
             Search::CapHit => unreachable!("stub tasks run uncapped"),
+            Search::Cancelled => return Search::Cancelled,
             Search::Aborted => unreachable!("merge stops before aborted stubs"),
         }
     }
@@ -868,10 +918,22 @@ struct Dfs<'a, 'p> {
     /// Set for parallel stub tasks: polled so a task whose result can no
     /// longer win the index-ordered merge stops burning its subtree.
     cancel: Option<(&'a StopCtx, usize)>,
+    /// The caller's cancellation/deadline token, polled every
+    /// [`TOKEN_POLL_INTERVAL`] visited nodes.
+    token: Option<&'a CancelToken>,
+    /// Nodes visited since the walk started, for token-poll pacing.
+    polls: usize,
     /// Local snapshot high-water mark, folded into the global metric by the
     /// walk's caller.
     snapshot_peak: usize,
 }
+
+/// How many tree nodes a walker visits between two polls of the caller's
+/// [`CancelToken`]. Each poll with a deadline set costs a clock read, so the
+/// interval trades responsiveness (a few hundred nodes ≪ 1ms of work)
+/// against per-node overhead. The first node always polls, so even a tiny
+/// walk notices an already-expired deadline.
+const TOKEN_POLL_INTERVAL: usize = 256;
 
 impl Dfs<'_, '_> {
     /// Returns `true` if this walker belongs to a parallel stub task that a
@@ -883,6 +945,17 @@ impl Dfs<'_, '_> {
         }
     }
 
+    /// Paced poll of the caller's [`CancelToken`]: checks the token on the
+    /// first call and every [`TOKEN_POLL_INTERVAL`] calls after that.
+    fn interrupted(&mut self) -> bool {
+        let Some(token) = self.token else {
+            return false;
+        };
+        let poll_now = self.polls.is_multiple_of(TOKEN_POLL_INTERVAL);
+        self.polls += 1;
+        poll_now && token.is_cancelled()
+    }
+
     /// Visits every sequence with exactly `depth` more update calls below
     /// the node whose states are `src`/`tgt`. Children are visited in
     /// `update_calls` order and queries in `query_calls` order, which makes
@@ -890,6 +963,9 @@ impl Dfs<'_, '_> {
     fn walk(&mut self, depth: usize, src: &ExecState, tgt: &ExecState) -> Search {
         if self.cancelled() {
             return Search::Aborted;
+        }
+        if self.interrupted() {
+            return Search::Cancelled;
         }
         if depth == 0 {
             return self.leaves(src, tgt);
@@ -1063,6 +1139,7 @@ pub fn compare_programs_naive(
                                     counterexample: None,
                                     sequences_tested,
                                     bound_exhausted: false,
+                                    cancelled: false,
                                 };
                             }
                         }
@@ -1076,6 +1153,7 @@ pub fn compare_programs_naive(
                                 counterexample: Some(sequence),
                                 sequences_tested,
                                 bound_exhausted: false,
+                                cancelled: false,
                             };
                         }
                     }
@@ -1112,6 +1190,7 @@ pub fn compare_programs_naive(
         counterexample: None,
         sequences_tested,
         bound_exhausted: true,
+        cancelled: false,
     }
 }
 
@@ -1421,6 +1500,49 @@ mod tests {
         // The oracle's replay entry point agrees with the cache.
         let cex = second.counterexample.unwrap();
         assert_eq!(oracle.observe(&cex), observe(&p, &source_schema, &cex));
+    }
+
+    #[test]
+    fn expired_token_cancels_the_check_without_a_verdict() {
+        let p = make_program(true);
+        let q = make_program(false);
+        let source_schema = schema();
+        let oracle = SourceOracle::new(&p, &source_schema);
+        let token = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let report = compare_with_oracle_cancel(
+            &oracle,
+            &q,
+            &source_schema,
+            &TestConfig::default(),
+            Some(&token),
+        );
+        assert!(report.cancelled);
+        assert!(!report.equivalent);
+        assert!(report.counterexample.is_none());
+        assert!(!report.bound_exhausted);
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let p = make_program(true);
+        let q = make_program(false);
+        let source_schema = schema();
+        let token = CancelToken::new();
+        for candidate in [&p, &q] {
+            let oracle = SourceOracle::new(&p, &source_schema);
+            let plain =
+                compare_with_oracle(&oracle, candidate, &source_schema, &TestConfig::default());
+            let oracle = SourceOracle::new(&p, &source_schema);
+            let with_token = compare_with_oracle_cancel(
+                &oracle,
+                candidate,
+                &source_schema,
+                &TestConfig::default(),
+                Some(&token),
+            );
+            assert_eq!(plain, with_token);
+            assert!(!with_token.cancelled);
+        }
     }
 
     #[test]

@@ -845,7 +845,8 @@ pub(crate) enum CompiledPred {
 /// A query compiled against a schema and bound arguments, for repeated
 /// execution against changing instances.
 ///
-/// This is the public face of [`RowsPlan`]: the bounded-equivalence engine
+/// This is the public face of the internal `RowsPlan`: the
+/// bounded-equivalence engine
 /// uses the plan machinery internally, and benchmarks (plus future live
 /// backends) can compile once and execute per instance without paying
 /// name-resolution or header-building costs per call.

@@ -30,8 +30,174 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+/// Shared state of a [`CancelToken`] and all its clones.
+#[derive(Debug)]
+struct CancelState {
+    /// 0 = live, 1 = explicitly cancelled, 2 = deadline exceeded. Latched:
+    /// the first cause to fire wins and is never overwritten, so a run that
+    /// times out reports `DeadlineExceeded` even if someone also calls
+    /// `cancel()` during teardown.
+    reason: AtomicU8,
+    deadline: Option<Instant>,
+    /// A parent token this one mirrors: when the parent fires, this token
+    /// fires too (latching the parent's cause). Lets a per-run deadline
+    /// token compose with a long-lived user-cancellation token.
+    parent: Option<CancelToken>,
+}
+
+/// A cooperative cancellation signal with an optional wall-clock deadline.
+///
+/// This is the public face of the cancellation machinery the parallel
+/// search already uses internally ([`StopCtx`]): long-running work —
+/// correspondence fan-out, sketch completion, the bounded-testing DFS walk —
+/// polls [`CancelToken::is_cancelled`] at safe points and unwinds cleanly
+/// with partial statistics when it returns `true`.
+///
+/// Tokens are cheap to clone (an `Arc`); all clones observe the same state,
+/// so one token can be handed to a synthesis run and cancelled from another
+/// thread. The *cause* is latched: [`CancelToken::reason`] reports whether
+/// the token fired by explicit [`CancelToken::cancel`] or by its deadline,
+/// which lets callers distinguish a timeout from a user abort.
+///
+/// A default-constructed token never fires on its own; polling it is a
+/// single relaxed atomic load (plus one clock read per poll when a deadline
+/// is set and the token has not fired yet).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<CancelState>,
+}
+
+impl Default for CancelState {
+    fn default() -> CancelState {
+        CancelState {
+            reason: AtomicU8::new(0),
+            deadline: None,
+            parent: None,
+        }
+    }
+}
+
+impl CancelToken {
+    /// A token that fires only on an explicit [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that (also) fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            state: Arc::new(CancelState {
+                reason: AtomicU8::new(0),
+                deadline: Some(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token that (also) fires `budget` from now.
+    pub fn with_timeout(budget: Duration) -> CancelToken {
+        // A budget large enough to overflow `Instant` arithmetic means "no
+        // deadline in any practical sense" — represent it as such.
+        match Instant::now().checked_add(budget) {
+            Some(deadline) => CancelToken::with_deadline(deadline),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// A child token that fires when **either** this token fires or
+    /// `budget` (measured from now) elapses — whichever comes first, with
+    /// the first cause latched.
+    ///
+    /// This is how a per-run wall-clock budget composes with a long-lived
+    /// user-cancellation token: the child carries the deadline, the parent
+    /// stays cancellable from other threads, and pollers of the child see
+    /// both.
+    pub fn linked_with_timeout(&self, budget: Duration) -> CancelToken {
+        CancelToken {
+            state: Arc::new(CancelState {
+                reason: AtomicU8::new(0),
+                deadline: Instant::now().checked_add(budget),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// The wall-clock deadline, if the token has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.state.deadline
+    }
+
+    /// Fires the token explicitly. Idempotent; a token that already fired
+    /// (by either cause) keeps its original [`CancelToken::reason`].
+    pub fn cancel(&self) {
+        let _ = self
+            .state
+            .reason
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Returns `true` once the token has fired — by explicit
+    /// [`CancelToken::cancel`], by its deadline passing, or by a linked
+    /// parent token firing (see [`CancelToken::linked_with_timeout`]). The
+    /// deadline and the parent are checked (and the cause latched) lazily,
+    /// on poll.
+    pub fn is_cancelled(&self) -> bool {
+        if self.state.reason.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        if let Some(parent) = &self.state.parent {
+            if parent.is_cancelled() {
+                let cause = match parent.reason() {
+                    Some(CancelReason::DeadlineExceeded) => 2,
+                    _ => 1,
+                };
+                let _ = self.state.reason.compare_exchange(
+                    0,
+                    cause,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                return true;
+            }
+        }
+        if let Some(deadline) = self.state.deadline {
+            if Instant::now() >= deadline {
+                let _ =
+                    self.state
+                        .reason
+                        .compare_exchange(0, 2, Ordering::Relaxed, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Why the token fired, or `None` while it is still live. Polls the
+    /// deadline like [`CancelToken::is_cancelled`].
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        match self.state.reason.load(Ordering::Relaxed) {
+            1 => Some(CancelReason::Cancelled),
+            2 => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
 
 /// The process-wide thread budget.
 ///
@@ -348,6 +514,57 @@ mod tests {
         );
         // Whether cancellation was observed is scheduling-dependent; the
         // assertion inside the closure is the real check.
+    }
+
+    #[test]
+    fn cancel_token_fires_exactly_once_and_latches_its_reason() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.reason(), None);
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), Some(CancelReason::Cancelled));
+        // Clones share state; a second cancel does not change the reason.
+        let clone = token.clone();
+        clone.cancel();
+        assert_eq!(clone.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_deadline_is_latched_as_deadline_exceeded() {
+        let token = CancelToken::with_timeout(Duration::from_secs(0));
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), Some(CancelReason::DeadlineExceeded));
+        // An explicit cancel after the deadline fired keeps the cause.
+        token.cancel();
+        assert_eq!(token.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn linked_token_fires_on_parent_cancel_or_own_deadline() {
+        // Parent cancel propagates (and latches the parent's cause).
+        let parent = CancelToken::new();
+        let child = parent.linked_with_timeout(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert_eq!(child.reason(), Some(CancelReason::Cancelled));
+        // The child's own deadline fires without touching the parent.
+        let parent = CancelToken::new();
+        let child = parent.linked_with_timeout(Duration::ZERO);
+        assert!(child.is_cancelled());
+        assert_eq!(child.reason(), Some(CancelReason::DeadlineExceeded));
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_with_future_deadline_stays_live() {
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert_eq!(token.reason(), None);
+        assert!(token.deadline().is_some());
+        token.cancel();
+        assert_eq!(token.reason(), Some(CancelReason::Cancelled));
     }
 
     #[test]

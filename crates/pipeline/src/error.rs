@@ -1,0 +1,180 @@
+//! The structured error type unifying every layer of the pipeline.
+//!
+//! Before this type existed, failures crossed the public seam as
+//! `(i32, String)` pairs: the CLI formatted errors eagerly and every other
+//! client had to re-parse strings to tell a DDL typo from an unsatisfiable
+//! refactoring. [`RefactorError`] keeps each layer's original error —
+//! span-carrying [`SqlError`]s from the SQL boundary, [`dbir::Error`]s from
+//! the program parser, [`BackendError`]s from execution — reachable through
+//! [`std::error::Error::source`], and represents "no program found" as data
+//! ([`RefactorError::Unsolved`] with the run's [`SynthesisOutcome`] and
+//! partial statistics) rather than prose.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use migrator::{SynthesisOutcome, SynthesisStats};
+use sqlbridge::SqlError;
+use sqlexec::{BackendError, ValidationOutcome};
+
+/// Which of the three pipeline inputs an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// The source-schema DDL.
+    SourceSchema,
+    /// The target-schema DDL.
+    TargetSchema,
+    /// The source program.
+    Program,
+}
+
+impl fmt::Display for InputKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InputKind::SourceSchema => "source schema",
+            InputKind::TargetSchema => "target schema",
+            InputKind::Program => "source program",
+        })
+    }
+}
+
+/// Everything that can go wrong between DDL text and a validated migration.
+///
+/// Variants keep the underlying layer's error intact (and reachable via
+/// [`std::error::Error::source`]); `Display` renders a one-line summary
+/// followed by the source error's own rendering — for [`SqlError`]s that
+/// includes the span-annotated source excerpt.
+#[derive(Debug)]
+pub enum RefactorError {
+    /// An input file could not be read.
+    Read {
+        /// The file that could not be read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// One of the DDL inputs failed to parse or resolve.
+    Ddl {
+        /// Which schema input the DDL belonged to.
+        input: InputKind,
+        /// Where the input came from (a path, or `<inline>`).
+        origin: String,
+        /// The span-carrying parse error.
+        source: SqlError,
+    },
+    /// The source program failed to parse or validate against the source
+    /// schema.
+    Program {
+        /// Where the program came from (a path, or `<inline>`).
+        origin: String,
+        /// The underlying dbir error (line/column-carrying for syntax
+        /// errors).
+        source: dbir::Error,
+    },
+    /// A configuration value is unusable (unknown dialect or backend name,
+    /// out-of-range numeric option, a missing input).
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// Synthesis finished without producing a program. The outcome
+    /// distinguishes a genuinely exhausted search space
+    /// ([`SynthesisOutcome::NoSolution`]) from a wall-clock timeout or an
+    /// explicit cancellation — callers must not conflate them: a timeout
+    /// says nothing about satisfiability.
+    Unsolved {
+        /// Why the run produced no program (`NoSolution`, `Timeout` or
+        /// `Cancelled`; never `Solved`).
+        outcome: SynthesisOutcome,
+        /// The statistics accumulated before the run ended (partial for
+        /// timeouts and cancellations).
+        stats: Box<SynthesisStats>,
+    },
+    /// The validation backend could not run the emitted migration at all
+    /// (as opposed to running it and finding a mismatch).
+    Backend {
+        /// The underlying backend error.
+        source: BackendError,
+    },
+    /// The migration executed but the resulting target instance did not
+    /// match the dbir-level prediction.
+    ValidationFailed {
+        /// The full outcome, with per-table diffs.
+        outcome: Box<ValidationOutcome>,
+    },
+}
+
+impl fmt::Display for RefactorError {
+    /// Renders a one-line summary plus the source error's own rendering —
+    /// for SQL errors that includes the span-annotated source excerpt.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefactorError::Read { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            RefactorError::Ddl {
+                input,
+                origin,
+                source,
+            } => {
+                write!(f, "in {origin} ({input}):\n{source}")
+            }
+            RefactorError::Program { origin, source } => {
+                write!(f, "in {origin}: {source}")
+            }
+            RefactorError::InvalidConfig { message } => f.write_str(message),
+            RefactorError::Unsolved { outcome, .. } => match outcome {
+                SynthesisOutcome::NoSolution => {
+                    f.write_str("no equivalent program found within the configured budget")
+                }
+                SynthesisOutcome::Timeout => f.write_str(
+                    "synthesis exceeded its wall-clock deadline before finding a program \
+                     (the refactoring may still be solvable with a larger budget)",
+                ),
+                SynthesisOutcome::Cancelled => f.write_str("synthesis was cancelled"),
+                SynthesisOutcome::Solved => unreachable!("Unsolved never carries Solved"),
+            },
+            RefactorError::Backend { source } => {
+                write!(f, "validation could not run: {source}")
+            }
+            RefactorError::ValidationFailed { outcome } => {
+                write!(f, "validation FAILED on backend `{}`:", outcome.backend)?;
+                for diff in &outcome.diffs {
+                    write!(f, "\n  {diff}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefactorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RefactorError::Read { source, .. } => Some(source),
+            RefactorError::Ddl { source, .. } => Some(source),
+            RefactorError::Program { source, .. } => Some(source),
+            RefactorError::Backend { source, .. } => Some(source),
+            RefactorError::InvalidConfig { .. }
+            | RefactorError::Unsolved { .. }
+            | RefactorError::ValidationFailed { .. } => None,
+        }
+    }
+}
+
+impl RefactorError {
+    /// The synthesis outcome for unsolved runs, `None` for every other
+    /// error kind.
+    pub fn outcome(&self) -> Option<SynthesisOutcome> {
+        match self {
+            RefactorError::Unsolved { outcome, .. } => Some(*outcome),
+            _ => None,
+        }
+    }
+
+    /// `true` for errors caused by the caller's inputs or configuration
+    /// (usage errors, in CLI terms) rather than by the pipeline's work.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, RefactorError::InvalidConfig { .. })
+    }
+}

@@ -1,0 +1,145 @@
+//! Machine-readable reports: the typed stage outputs rendered as one JSON
+//! document (the `migrate --json` payload).
+
+use migrator::{SynthesisOutcome, SynthesisStats, ValueCorrespondence};
+use sqlbridge::Json;
+use sqlexec::ValidationOutcome;
+
+use crate::{Emitted, Synthesized};
+
+/// Renders synthesis statistics as a JSON object.
+pub fn stats_json(stats: &SynthesisStats, outcome: SynthesisOutcome) -> Json {
+    Json::object()
+        .with("outcome", Json::str(outcome.as_str()))
+        .with("succeeded", Json::Bool(outcome == SynthesisOutcome::Solved))
+        .with("value_correspondences", stats.value_correspondences.into())
+        .with("sketches_generated", stats.sketches_generated.into())
+        .with("iterations", stats.iterations.into())
+        .with(
+            "invalid_instantiations",
+            stats.invalid_instantiations.into(),
+        )
+        .with("largest_search_space", stats.largest_search_space.into())
+        .with("sequences_tested", stats.sequences_tested.into())
+        .with("truncated_checks", stats.truncated_checks.into())
+        .with("oracle_hits", stats.oracle_hits.into())
+        .with(
+            "synthesis_time_secs",
+            stats.synthesis_time.as_secs_f64().into(),
+        )
+        .with(
+            "verification_time_secs",
+            stats.verification_time.as_secs_f64().into(),
+        )
+        .with("total_time_secs", stats.total_time().as_secs_f64().into())
+}
+
+/// Renders a value correspondence as an object: source attribute →
+/// array of target attributes.
+pub fn correspondence_json(phi: &ValueCorrespondence) -> Json {
+    let mut object = Json::object();
+    for (source, images) in phi.iter() {
+        if images.is_empty() {
+            continue;
+        }
+        let targets: Vec<Json> = images.iter().map(|t| Json::str(t.to_string())).collect();
+        object = object.with(source.to_string(), Json::Array(targets));
+    }
+    object
+}
+
+/// Renders a validation outcome as a JSON object.
+pub fn validation_json(outcome: &ValidationOutcome) -> Json {
+    let diffs = outcome
+        .diffs
+        .iter()
+        .map(|d| Json::str(d.to_string()))
+        .collect();
+    let details = outcome.details.iter().map(Json::str).collect();
+    Json::object()
+        .with("validated", Json::Bool(outcome.ok))
+        .with("backend", Json::str(&outcome.backend))
+        .with("dialect", Json::str(&outcome.dialect))
+        .with("seeded_rows", outcome.seeded_rows.into())
+        .with("migrated_rows", outcome.migrated_rows.into())
+        .with("diffs", Json::Array(diffs))
+        .with("details", Json::Array(details))
+}
+
+fn string_array(items: &[String]) -> Json {
+    Json::Array(items.iter().map(Json::str).collect())
+}
+
+/// Renders the whole refactoring result — correspondence, program, SQL,
+/// migration script, optional validation, statistics and the outcome kind —
+/// as one JSON document built from the typed stage outputs.
+pub fn result_json(
+    synthesized: &Synthesized,
+    emitted: &Emitted,
+    validation: Option<&ValidationOutcome>,
+) -> Json {
+    let functions: Vec<Json> = emitted
+        .functions
+        .iter()
+        .map(|function| {
+            let params: Vec<Json> = function
+                .params
+                .iter()
+                .map(|(name, ty)| {
+                    Json::object()
+                        .with("name", Json::str(name))
+                        .with("type", Json::str(ty.to_string()))
+                })
+                .collect();
+            Json::object()
+                .with("name", Json::str(&function.name))
+                .with(
+                    "kind",
+                    Json::str(if function.is_query { "query" } else { "update" }),
+                )
+                .with("params", Json::Array(params))
+                .with("fresh_ids", string_array(&function.fresh_ids))
+                .with("statements", string_array(&function.statements))
+        })
+        .collect();
+    Json::object()
+        .with("outcome", Json::str(synthesized.outcome.as_str()))
+        .with("dialect", Json::str(emitted.dialect.name()))
+        .with(
+            "correspondence",
+            correspondence_json(&synthesized.correspondence),
+        )
+        .with("program", Json::str(synthesized.program_text()))
+        .with(
+            "sql",
+            Json::object()
+                .with("script", Json::str(&emitted.program_sql))
+                .with("functions", Json::Array(functions)),
+        )
+        .with("target_ddl", Json::str(&emitted.target_ddl))
+        .with(
+            "migration",
+            Json::object()
+                .with("notes", string_array(&emitted.script.notes))
+                .with("preamble", string_array(&emitted.script.preamble))
+                .with("statements", string_array(&emitted.script.statements))
+                .with("cleanup", string_array(&emitted.script.cleanup))
+                .with("script", Json::str(&emitted.migration_sql)),
+        )
+        .with(
+            "validation",
+            match validation {
+                Some(outcome) => validation_json(outcome),
+                None => Json::Null,
+            },
+        )
+        .with("stats", stats_json(&synthesized.stats, synthesized.outcome))
+}
+
+/// The JSON document for a run that produced no program: the outcome kind
+/// and the (possibly partial) statistics.
+pub fn failure_json(outcome: SynthesisOutcome, stats: &SynthesisStats) -> Json {
+    Json::object()
+        .with("outcome", Json::str(outcome.as_str()))
+        .with("stats", stats_json(stats, outcome))
+}

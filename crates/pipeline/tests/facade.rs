@@ -1,0 +1,178 @@
+//! End-to-end tests of the `Refactoring` facade: the README quick example
+//! through all three stages, deadline/cancellation outcomes, and observer
+//! wiring.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use migrator::{EventLog, SynthesisEvent, SynthesisOutcome};
+use pipeline::{backend_by_name, dialect_by_name, report, RefactorError, Refactoring};
+
+const SOURCE_DDL: &str = "CREATE TABLE Users (uid INTEGER PRIMARY KEY, nick TEXT);";
+const TARGET_DDL: &str = "CREATE TABLE Users (uid INTEGER PRIMARY KEY, handle TEXT);";
+const PROGRAM: &str = r#"
+    update addUser(uid: int, nick: string)
+        INSERT INTO Users VALUES (uid: uid, nick: nick);
+    query getUser(uid: int)
+        SELECT nick FROM Users WHERE uid = uid;
+"#;
+
+fn session() -> Refactoring {
+    Refactoring::from_ddl(SOURCE_DDL, TARGET_DDL)
+        .unwrap()
+        .program_text(PROGRAM)
+        .unwrap()
+}
+
+/// The README quick example, through every stage of the facade.
+#[test]
+fn readme_example_round_trips_through_all_stages() {
+    let log = Arc::new(EventLog::new());
+    let synthesized = session()
+        .observer(log.clone())
+        .synthesize()
+        .expect("the rename synthesizes");
+    assert_eq!(synthesized.outcome, SynthesisOutcome::Solved);
+    assert!(synthesized.stats.value_correspondences >= 1);
+    assert!(synthesized.program_text().contains("handle"));
+    assert!(matches!(
+        log.events().last(),
+        Some(SynthesisEvent::Solved { .. })
+    ));
+
+    let emitted = synthesized.emit(dialect_by_name("ansi").unwrap());
+    assert!(
+        emitted
+            .program_sql
+            .contains("SELECT Users.handle FROM Users WHERE Users.uid = :uid;"),
+        "{}",
+        emitted.program_sql
+    );
+    assert_eq!(
+        emitted.script.preamble[0],
+        "ALTER TABLE Users RENAME TO legacy_Users;"
+    );
+    assert!(emitted.target_ddl.contains("CREATE TABLE Users"));
+
+    let mut backend = backend_by_name("memory").unwrap();
+    let validated = emitted
+        .validate(backend.as_mut(), 3)
+        .expect("memory backend runs");
+    assert!(validated.ok(), "{:#?}", validated.outcome);
+    assert!(validated.into_result().is_ok());
+
+    // And the whole thing as one machine-readable document.
+    let json = report::result_json(&synthesized, &emitted, None).to_pretty_string();
+    let parsed = sqlbridge::Json::parse(&json).expect("report JSON parses");
+    assert_eq!(
+        parsed.get("outcome").and_then(|o| o.as_str()),
+        Some("solved")
+    );
+    assert!(parsed.get("migration").is_some());
+}
+
+/// Every provided dialect emits and validates through the facade —
+/// including the new MySQL dialect.
+#[test]
+fn every_dialect_emits_and_validates() {
+    let synthesized = session().synthesize().expect("synthesizes");
+    for name in ["ansi", "sqlite", "postgres", "mysql"] {
+        let emitted = synthesized.emit(dialect_by_name(name).unwrap());
+        let mut backend = backend_by_name("memory").unwrap();
+        let validated = emitted
+            .validate(backend.as_mut(), 3)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(validated.ok(), "{name}: {:#?}", validated.outcome);
+        assert_eq!(validated.outcome.dialect, emitted.dialect.name());
+    }
+}
+
+/// An expired deadline surfaces as `Unsolved` with outcome `Timeout` —
+/// never `NoSolution` — and carries (partial) statistics.
+#[test]
+fn expired_deadline_is_reported_as_timeout() {
+    let err = session().deadline(Duration::ZERO).synthesize().unwrap_err();
+    assert_eq!(err.outcome(), Some(SynthesisOutcome::Timeout));
+    let RefactorError::Unsolved { outcome, stats } = err else {
+        panic!("expected Unsolved, got {err}");
+    };
+    assert_eq!(outcome, SynthesisOutcome::Timeout);
+    // Partial stats: the run never got to explore the space.
+    assert!(stats.value_correspondences <= 1);
+    // The failure document carries the outcome kind.
+    let json = report::failure_json(outcome, &stats).to_compact_string();
+    assert!(json.contains("\"timeout\""), "{json}");
+}
+
+/// The deadline budget is per run and its clock starts at `synthesize()`:
+/// time spent between configuring the builder and running it does not
+/// count, and a session can be run repeatedly under one budget.
+#[test]
+fn deadline_budget_is_measured_from_run_start_and_is_per_run() {
+    let session = session().deadline(Duration::from_millis(250));
+    // Builder-time delay longer than the whole budget: must not count.
+    std::thread::sleep(Duration::from_millis(300));
+    let first = session.synthesize().expect("fresh budget at run start");
+    assert_eq!(first.outcome, SynthesisOutcome::Solved);
+    // And the second run gets a fresh budget too.
+    let second = session.synthesize().expect("fresh budget per run");
+    assert_eq!(second.outcome, SynthesisOutcome::Solved);
+}
+
+/// Cancelling the session's token from outside stops the run with outcome
+/// `Cancelled`.
+#[test]
+fn external_cancellation_is_reported_as_cancelled() {
+    let token = pipeline::CancelToken::new();
+    let session = session().cancel_token(token.clone());
+    token.cancel();
+    let err = session.synthesize().unwrap_err();
+    assert_eq!(err.outcome(), Some(SynthesisOutcome::Cancelled));
+}
+
+/// A deadline budget composes with an explicit cancel token: firing the
+/// token stops a run that still has plenty of budget left.
+#[test]
+fn explicit_cancellation_fires_under_a_deadline_budget() {
+    let token = pipeline::CancelToken::new();
+    let session = session()
+        .cancel_token(token.clone())
+        .deadline(Duration::from_secs(3600));
+    token.cancel();
+    let err = session.synthesize().unwrap_err();
+    assert_eq!(err.outcome(), Some(SynthesisOutcome::Cancelled));
+}
+
+/// A genuinely unsolvable refactoring still reports `NoSolution`.
+#[test]
+fn unsolvable_refactoring_reports_no_solution() {
+    let err = Refactoring::from_ddl(
+        "CREATE TABLE T (a INTEGER, b TEXT);",
+        "CREATE TABLE T (a INTEGER);",
+    )
+    .unwrap()
+    .program_text(
+        r#"
+        update add(a: int, b: string)
+            INSERT INTO T VALUES (a: a, b: b);
+        query get(a: int)
+            SELECT b FROM T WHERE a = a;
+        "#,
+    )
+    .unwrap()
+    .synthesize()
+    .unwrap_err();
+    assert_eq!(err.outcome(), Some(SynthesisOutcome::NoSolution));
+}
+
+/// Program parse errors point at the program input and chain the source
+/// error.
+#[test]
+fn program_errors_are_structured() {
+    let err = Refactoring::from_ddl(SOURCE_DDL, TARGET_DDL)
+        .unwrap()
+        .program_text("update broken( SELECT;")
+        .unwrap_err();
+    assert!(matches!(err, RefactorError::Program { .. }));
+    assert!(std::error::Error::source(&err).is_some());
+}

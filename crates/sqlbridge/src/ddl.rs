@@ -4,8 +4,10 @@
 //! Supported per statement:
 //!
 //! * column definitions `name TYPE [(args)]` with the column constraints
-//!   `PRIMARY KEY`, `NOT NULL`, `UNIQUE`, `AUTOINCREMENT` / `AUTO_INCREMENT`,
-//!   `DEFAULT <literal>` and `REFERENCES table (column)`;
+//!   `PRIMARY KEY`, `NOT NULL`, `UNIQUE`, `AUTOINCREMENT` / `AUTO_INCREMENT`
+//!   (which, like `GENERATED ... AS IDENTITY` and `SERIAL`, marks the column
+//!   as a system-minted surrogate key), `DEFAULT <literal>` and
+//!   `REFERENCES table (column)`;
 //! * the table constraints `PRIMARY KEY (col)`, `UNIQUE (cols...)` and
 //!   `FOREIGN KEY (col) REFERENCES table (column)`, optionally prefixed with
 //!   `CONSTRAINT name`;
@@ -314,12 +316,16 @@ pub fn parse_ddl(source: &str) -> Result<Schema, SqlError> {
                     } else if t.is_kw("NOT") {
                         parser.next();
                         parser.expect_kw("NULL")?;
-                    } else if t.is_kw("NULL")
-                        || t.is_kw("UNIQUE")
-                        || t.is_kw("AUTOINCREMENT")
-                        || t.is_kw("AUTO_INCREMENT")
-                    {
+                    } else if t.is_kw("NULL") || t.is_kw("UNIQUE") {
                         parser.next();
+                    } else if t.is_auto_increment_kw() {
+                        // A system-minted surrogate key, i.e. `Id` (see
+                        // `Token::is_auto_increment_kw`) — the MySQL
+                        // analogue of `GENERATED ... AS IDENTITY` below.
+                        // This also makes the MySQL dialect's
+                        // `BIGINT AUTO_INCREMENT` rendering round-trip.
+                        parser.next();
+                        ty = DataType::Id;
                     } else if t.is_kw("DEFAULT") {
                         parser.next();
                         parser.skip_literal()?;

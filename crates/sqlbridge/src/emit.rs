@@ -14,7 +14,9 @@
 //!
 //! Rendering is parameterized by a [`Dialect`]: [`Ansi`] uses named `:param`
 //! placeholders and `VARCHAR`; [`Sqlite`] uses numbered `?N` placeholders and
-//! `TEXT`.
+//! `TEXT`; [`Postgres`] uses `$N` placeholders and identity surrogate keys;
+//! [`MySql`] uses bare `?` placeholders, backtick quoting and
+//! `AUTO_INCREMENT` surrogate keys.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -244,12 +246,70 @@ impl Dialect for Postgres {
     }
 }
 
+/// MySQL / MariaDB: bare `?` placeholders, backtick identifier quoting,
+/// `AUTO_INCREMENT` surrogate keys.
+///
+/// Differences from [`Ansi`]:
+///
+/// * placeholders are positional bare `?` (the MySQL client protocol has no
+///   numbered or named placeholders), so the parameter *order* of the
+///   emitted statement is the binding order;
+/// * identifiers that need quoting are quoted with backticks (MySQL treats
+///   `"` as a string quote unless `ANSI_QUOTES` is enabled);
+/// * [`DataType::Id`] columns are emitted as `BIGINT AUTO_INCREMENT` — the
+///   migration scripts fill them with integer skolem expressions, and the
+///   DDL parser maps `AUTO_INCREMENT` back to `Id`, so emitted DDL
+///   round-trips.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MySql;
+
+impl Dialect for MySql {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn placeholder(&self, _param: &str, _index: usize) -> String {
+        "?".to_string()
+    }
+
+    fn type_name(&self, ty: DataType) -> &'static str {
+        match ty {
+            DataType::Int => "BIGINT",
+            DataType::String => "VARCHAR(255)",
+            DataType::Binary => "BLOB",
+            DataType::Bool => "BOOLEAN",
+            DataType::Id => "BIGINT",
+        }
+    }
+
+    fn ddl_column_suffix(&self, ty: DataType) -> &'static str {
+        match ty {
+            DataType::Id => " AUTO_INCREMENT",
+            _ => "",
+        }
+    }
+
+    fn ident(&self, name: &str) -> String {
+        let plain = !name.is_empty()
+            && name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()));
+        if plain && !is_reserved(name) {
+            name.to_string()
+        } else {
+            format!("`{}`", name.replace('`', "``"))
+        }
+    }
+}
+
 /// Returns the dialect registered under `name`, if any.
 pub fn dialect_by_name(name: &str) -> Option<Box<dyn Dialect>> {
     match name.to_ascii_lowercase().as_str() {
         "ansi" | "generic" => Some(Box::new(Ansi)),
         "sqlite" | "sqlite3" => Some(Box::new(Sqlite)),
         "postgres" | "postgresql" | "pg" => Some(Box::new(Postgres)),
+        "mysql" | "mariadb" => Some(Box::new(MySql)),
         _ => None,
     }
 }
@@ -961,7 +1021,7 @@ mod tests {
     #[test]
     fn schema_ddl_roundtrips_through_the_parser() {
         let (schema, _) = motivating();
-        for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
+        for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres, &MySql] {
             let ddl = schema_to_ddl(&schema, dialect);
             let reparsed = crate::ddl::parse_ddl(&ddl).unwrap();
             assert_eq!(
@@ -988,7 +1048,7 @@ mod tests {
                 ],
             ))
             .unwrap();
-        for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
+        for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres, &MySql] {
             let ddl = schema_to_ddl(&schema, dialect);
             let reparsed = crate::ddl::parse_ddl(&ddl).unwrap();
             assert_eq!(
@@ -998,6 +1058,42 @@ mod tests {
                 dialect.name()
             );
         }
+    }
+
+    #[test]
+    fn mysql_uses_bare_placeholders_backticks_and_auto_increment() {
+        let (schema, program) = motivating();
+        let sql = function_to_sql(program.function("getInstructorInfo").unwrap(), &MySql);
+        assert!(sql.statements[0].contains("= ?"), "{:?}", sql.statements);
+        assert!(!sql.statements[0].contains("?1"), "{:?}", sql.statements);
+
+        let ddl = schema_to_ddl(&schema, &MySql);
+        assert!(ddl.contains("PicId BIGINT AUTO_INCREMENT"), "{ddl}");
+
+        // Reserved and non-plain identifiers are backtick-quoted.
+        assert_eq!(MySql.ident("Instructor"), "Instructor");
+        assert_eq!(MySql.ident("order"), "`order`");
+        assert_eq!(MySql.ident("weird name"), "`weird name`");
+        assert_eq!(MySql.ident("tick`ed"), "`tick``ed`");
+        assert_eq!(MySql.placeholder("id", 3), "?");
+    }
+
+    #[test]
+    fn mysql_dialect_is_registered() {
+        for name in ["mysql", "MySQL", "mariadb"] {
+            assert_eq!(dialect_by_name(name).unwrap().name(), "mysql");
+        }
+    }
+
+    #[test]
+    fn auto_increment_columns_parse_back_as_surrogate_keys() {
+        let schema =
+            crate::ddl::parse_ddl("CREATE TABLE T (id BIGINT AUTO_INCREMENT, name VARCHAR(255));")
+                .unwrap();
+        assert_eq!(
+            schema.attr_type(&QualifiedAttr::new("T", "id")),
+            Some(DataType::Id)
+        );
     }
 
     #[test]

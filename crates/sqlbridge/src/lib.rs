@@ -6,8 +6,8 @@
 //! * [`ddl`] — parse a practical subset of SQL `CREATE TABLE` statements
 //!   into a [`dbir::Schema`], with span-carrying error diagnostics;
 //! * [`emit`] — render schemas back to DDL and synthesized programs as
-//!   parameterized SQL, behind a [`emit::Dialect`] hook (generic ANSI and
-//!   SQLite provided);
+//!   parameterized SQL, behind a [`emit::Dialect`] hook (generic ANSI,
+//!   SQLite, Postgres and MySQL provided);
 //! * [`migration`] — plan and generate executable data-migration scripts
 //!   (staging renames, target DDL, `INSERT INTO target SELECT ... FROM
 //!   source` data moves, cleanup drops) that move existing data to the
@@ -83,7 +83,7 @@ pub mod token;
 pub use ddl::parse_ddl;
 pub use emit::{
     dialect_by_name, function_to_sql, instance_inserts, program_to_sql, render_sql_program,
-    schema_to_ddl, value_literal, Ansi, Dialect, Postgres, SqlFunction, Sqlite,
+    schema_to_ddl, value_literal, Ansi, Dialect, MySql, Postgres, SqlFunction, Sqlite,
 };
 pub use json::Json;
 pub use migration::{

@@ -128,6 +128,20 @@ impl Token {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
     }
+
+    /// True if the token is an auto-increment column constraint
+    /// (`AUTOINCREMENT` / `AUTO_INCREMENT`), which — like
+    /// `GENERATED ... AS IDENTITY` and `SERIAL` — marks the column as a
+    /// system-minted surrogate key (`DataType::Id`).
+    ///
+    /// Shared here because **two** `CREATE TABLE` parsers consume it: the
+    /// schema-ingestion parser (`sqlbridge::ddl`) and the execution
+    /// engine's (`sqlexec::engine`). Both must agree on the Id mapping or
+    /// the validator would execute DDL under different column types than
+    /// synthesis saw.
+    pub fn is_auto_increment_kw(&self) -> bool {
+        self.is_kw("AUTOINCREMENT") || self.is_kw("AUTO_INCREMENT")
+    }
 }
 
 /// Tokenizes a SQL script.

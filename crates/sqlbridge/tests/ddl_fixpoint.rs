@@ -1,16 +1,16 @@
 //! Fixpoint property for DDL ingestion and emission: `parse ∘ emit` is the
-//! identity on ingested schemas, for every benchmark schema and both
-//! provided dialects.
+//! identity on ingested schemas, for every benchmark schema and every
+//! provided dialect.
 
 use benchmarks::all_benchmarks;
-use sqlbridge::emit::{schema_to_ddl, Ansi, Dialect, Postgres, Sqlite};
+use sqlbridge::emit::{schema_to_ddl, Ansi, Dialect, MySql, Postgres, Sqlite};
 use sqlbridge::parse_ddl;
 
 #[test]
 fn benchmark_schemas_reach_a_ddl_fixpoint() {
     for benchmark in all_benchmarks() {
         for schema in [&benchmark.source_schema, &benchmark.target_schema] {
-            for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
+            for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres, &MySql] {
                 // One round trip may normalize foreign-key order (keys are
                 // grouped under their owning table); after that the
                 // representation must be stable.
@@ -60,7 +60,7 @@ fn handwritten_ddl_reaches_a_fixpoint_immediately() {
         CREATE TABLE Region (region_id UUID, label TEXT);
     "#;
     let schema = parse_ddl(ddl).unwrap();
-    for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres] {
+    for dialect in [&Ansi as &dyn Dialect, &Sqlite, &Postgres, &MySql] {
         let reparsed = parse_ddl(&schema_to_ddl(&schema, dialect)).unwrap();
         assert_eq!(schema, reparsed, "dialect {}", dialect.name());
     }

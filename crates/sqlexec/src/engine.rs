@@ -1106,6 +1106,12 @@ struct Parser<'a> {
     source: &'a str,
     tokens: Vec<Token>,
     pos: usize,
+    /// Bare `?` placeholders (MySQL style) seen in the current statement;
+    /// each one binds the next 1-based positional parameter.
+    bare_params: usize,
+    /// Whether the current statement used a numbered `?N` placeholder
+    /// (SQLite style). The two `?` styles cannot mix in one statement.
+    numbered_params: bool,
 }
 
 fn parse_script(sql: &str) -> Result<Vec<Stmt>, SqlError> {
@@ -1114,12 +1120,16 @@ fn parse_script(sql: &str) -> Result<Vec<Stmt>, SqlError> {
         source: sql,
         tokens,
         pos: 0,
+        bare_params: 0,
+        numbered_params: false,
     };
     let mut statements = Vec::new();
     while parser.peek().is_some() {
         if parser.eat_punct(';') {
             continue;
         }
+        parser.bare_params = 0;
+        parser.numbered_params = false;
         statements.push(parser.statement()?);
         if parser.peek().is_some() {
             parser.expect_punct(';')?;
@@ -1379,12 +1389,16 @@ impl<'a> Parser<'a> {
                     } else if t.is_kw("NOT") {
                         self.next();
                         self.expect_kw("NULL")?;
-                    } else if t.is_kw("NULL")
-                        || t.is_kw("UNIQUE")
-                        || t.is_kw("AUTOINCREMENT")
-                        || t.is_kw("AUTO_INCREMENT")
-                    {
+                    } else if t.is_kw("NULL") || t.is_kw("UNIQUE") {
                         self.next();
+                    } else if t.is_auto_increment_kw() {
+                        // A system-minted surrogate key — shared predicate
+                        // with the sqlbridge DDL parser (see
+                        // `Token::is_auto_increment_kw`), so the validator
+                        // executes DDL under the same column types
+                        // synthesis saw.
+                        self.next();
+                        ty = DataType::Id;
                     } else if t.is_kw("DEFAULT") {
                         self.next();
                         // A literal (possibly signed).
@@ -1764,6 +1778,31 @@ impl<'a> Parser<'a> {
         if token.is_punct('?') || token.is_punct('$') {
             self.next();
             let style = if token.is_punct('?') { '?' } else { '$' };
+            // A bare `?` (MySQL style) binds the next positional parameter.
+            // The two `?` styles must not mix within one statement: the
+            // bare counter knows nothing about explicitly numbered slots,
+            // so a mixture would silently bind the wrong parameter.
+            if style == '?'
+                && !matches!(self.peek(), Some(t) if matches!(t.kind, TokenKind::Number(_)))
+            {
+                if self.numbered_params {
+                    return Err(self.error(
+                        "cannot mix bare `?` and numbered `?N` placeholders in one statement",
+                        token.span,
+                    ));
+                }
+                self.bare_params += 1;
+                return Ok(Expr::Param {
+                    key: ParamKey::Indexed(self.bare_params),
+                    span: token.span,
+                });
+            }
+            if style == '?' && self.bare_params > 0 {
+                return Err(self.error(
+                    "cannot mix bare `?` and numbered `?N` placeholders in one statement",
+                    token.span,
+                ));
+            }
             let Some(t) = self.next() else {
                 return Err(self.error(format!("expected a number after `{style}`"), token.span));
             };
@@ -1773,6 +1812,9 @@ impl<'a> Parser<'a> {
             let index: usize = text
                 .parse()
                 .map_err(|_| self.error(format!("invalid placeholder `{style}{text}`"), t.span))?;
+            if style == '?' {
+                self.numbered_params = true;
+            }
             return Ok(Expr::Param {
                 key: ParamKey::Indexed(index),
                 span: token.span,
@@ -2062,6 +2104,67 @@ mod tests {
             .execute_script("INSERT INTO T (a, b) VALUES (?1, ?2);", &Params::none())
             .unwrap_err();
         assert!(err.message.contains("unbound parameter"), "{err}");
+    }
+
+    #[test]
+    fn bare_placeholders_bind_positionally() {
+        // MySQL-style bare `?`: each occurrence binds the next positional
+        // parameter, counted per statement.
+        let mut db = db("CREATE TABLE T (a INTEGER, b TEXT);");
+        db.execute_script(
+            "INSERT INTO T (a, b) VALUES (?, ?);",
+            &Params::positional(vec![Value::Int(7), Value::str("seven")]),
+        )
+        .unwrap();
+        let result = db
+            .query(
+                "SELECT T.b FROM T WHERE T.a = ?;",
+                &Params::positional(vec![Value::Int(7)]),
+            )
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![Value::str("seven")]]);
+    }
+
+    #[test]
+    fn mixed_bare_and_numbered_placeholders_are_rejected() {
+        let mut db = db("CREATE TABLE T (a INTEGER, b TEXT);");
+        for sql in [
+            "SELECT T.b FROM T WHERE T.a = ?1 AND T.b = ?;",
+            "SELECT T.b FROM T WHERE T.a = ? AND T.b = ?2;",
+        ] {
+            let err = db
+                .query(
+                    sql,
+                    &Params::positional(vec![Value::Int(1), Value::str("x")]),
+                )
+                .unwrap_err();
+            assert!(err.message.contains("cannot mix"), "{sql}: {err}");
+        }
+        // Consecutive statements are independent: one bare, one numbered.
+        db.execute_script(
+            "INSERT INTO T (a, b) VALUES (?, ?); INSERT INTO T (a, b) VALUES (?1, ?2);",
+            &Params::positional(vec![Value::Int(1), Value::str("x")]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn auto_increment_columns_are_surrogate_keys() {
+        // `AUTO_INCREMENT` marks a surrogate-key column exactly like
+        // `GENERATED ... AS IDENTITY`; backtick quoting parses too.
+        let mut db = db("CREATE TABLE `Order` (id BIGINT AUTO_INCREMENT, label TEXT);");
+        let order = db.table("Order").expect("table created");
+        assert_eq!(order.columns[0].ty, Some(DataType::Id));
+        assert_eq!(order.columns[1].ty, Some(DataType::String));
+        // Explicit values insert fine (MySQL allows them without any
+        // overriding clause).
+        db.execute_script(
+            "INSERT INTO `Order` (id, label) VALUES (0, 'first');",
+            &Params::none(),
+        )
+        .unwrap();
+        let schema = dbir::Schema::parse("Order(id: id, label: string)").unwrap();
+        assert_eq!(db.to_instance(&schema).unwrap().total_rows(), 1);
     }
 
     #[test]

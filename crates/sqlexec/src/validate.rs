@@ -629,8 +629,9 @@ mod tests {
     }
 
     /// Review regression: `--dialect X --validate` must validate the
-    /// dialect-X script. The memory engine executes all three provided
-    /// dialect renderings.
+    /// dialect-X script. The memory engine executes every provided
+    /// dialect rendering — including MySQL's `AUTO_INCREMENT` surrogate
+    /// keys, backtick quoting and bare `?` placeholders.
     #[test]
     fn every_dialect_validates_on_the_memory_backend() {
         let source =
@@ -655,6 +656,7 @@ mod tests {
             &sqlbridge::Ansi as &dyn Dialect,
             &sqlbridge::Sqlite,
             &sqlbridge::Postgres,
+            &sqlbridge::MySql,
         ] {
             let outcome = validate_migration_dialect(
                 &source,

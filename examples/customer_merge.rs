@@ -87,5 +87,6 @@ fn main() {
             println!("(found after executing {sequences_tested} invocation sequences)");
         }
         CheckOutcome::Equivalent { .. } => println!("unexpectedly equivalent"),
+        CheckOutcome::Cancelled { .. } => unreachable!("no cancel token installed"),
     }
 }

@@ -6,6 +6,9 @@
 //!
 //! See the individual crates for the real functionality:
 //!
+//! * [`pipeline`] — the `Refactoring` facade: typed stages
+//!   (synthesize → emit → validate), progress events, cancellation &
+//!   deadlines, structured errors — the recommended entry point;
 //! * [`dbir`] — schemas, programs, the in-memory engine, bounded
 //!   equivalence checking;
 //! * [`migrator`] — value-correspondence enumeration, sketch generation and
@@ -20,6 +23,7 @@
 pub use benchmarks;
 pub use dbir;
 pub use migrator;
+pub use pipeline;
 pub use sqlexec;
 
 /// Convenience re-export of the most commonly used entry points.
@@ -27,6 +31,7 @@ pub mod prelude {
     pub use benchmarks::{all_benchmarks, benchmark_by_name, Benchmark};
     pub use dbir::{parser::parse_program, Program, Schema};
     pub use migrator::{SynthesisConfig, Synthesizer};
+    pub use pipeline::{RefactorError, Refactoring};
 }
 
 #[cfg(test)]

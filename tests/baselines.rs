@@ -5,7 +5,7 @@
 use benchmarks::benchmark_by_name;
 use dbir::equiv::{compare_programs, SourceOracle, TestConfig};
 use migrator::baselines::{solve_cegis, solve_enumerative, CegisConfig};
-use migrator::completion::{complete_sketch, BlockingStrategy};
+use migrator::completion::{complete_sketch, BlockingStrategy, CompletionControls};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
 use migrator::value_corr::{VcConfig, VcEnumerator};
 use migrator::{SynthesisConfig, Synthesizer};
@@ -39,7 +39,7 @@ fn all_solvers_agree_on_ambler_4() {
         &TestConfig::default(),
         BlockingStrategy::MinimumFailingInput,
         0,
-        None,
+        CompletionControls::none(),
     );
     let enumerative = solve_enumerative(
         &sketch,

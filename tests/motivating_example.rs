@@ -6,7 +6,7 @@ use dbir::equiv::{SourceOracle, TestConfig};
 use dbir::parser::parse_program;
 use dbir::schema::QualifiedAttr;
 use dbir::{Program, Schema};
-use migrator::completion::{complete_sketch, BlockingStrategy};
+use migrator::completion::{complete_sketch, BlockingStrategy, CompletionControls};
 use migrator::sketch_gen::{generate_sketch, SketchGenConfig};
 use migrator::value_corr::{VcConfig, VcEnumerator};
 
@@ -123,7 +123,7 @@ fn mfi_guided_completion_finds_the_figure_4_program() {
         &TestConfig::thorough(),
         BlockingStrategy::MinimumFailingInput,
         0,
-        None,
+        CompletionControls::none(),
     );
     let synthesized = outcome.program.expect("completion succeeds");
     // Figure 4: every function routes pictures through the Picture table,
