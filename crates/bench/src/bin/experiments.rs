@@ -23,11 +23,14 @@
 //! `check` is the deterministic-stats mode CI runs on a fast benchmark
 //! subset: it re-runs the selected benchmarks and asserts that the
 //! *deterministic* columns — `iterations`, `value_correspondences`,
-//! `sequences_tested` and the success flag — match the committed trajectory
-//! file (wall time, thread count and cache-hit/allocation counters are
-//! machine- or scheduling-dependent and excluded). `--only` is repeatable.
-//! Exits non-zero on any mismatch, so a search-behaviour regression fails
-//! the build.
+//! `sequences_tested`, the success flag, and the deterministic phase
+//! counters `phases.sat_blocking_clauses` / `phases.plans_compiled` — match
+//! the committed trajectory file (wall time, thread count and
+//! cache-hit/allocation counters are machine- or scheduling-dependent and
+//! excluded). Mismatches are reported field by field in a `### Mismatches`
+//! section (expected vs measured) with a one-line summary count on stderr.
+//! `--only` is repeatable. Exits non-zero on any mismatch, so a
+//! search-behaviour regression fails the build.
 
 use std::time::{Duration, Instant};
 
@@ -351,7 +354,9 @@ fn check(options: &Options) {
     );
     println!("| Benchmark | Value Corr | Iters | Succeeded | Validated | Verdict |");
     println!("|---|---|---|---|---|---|");
-    let mut mismatches = 0usize;
+    // Per-benchmark field-level diffs, collected for the Mismatches section
+    // below the table (one `expected … / measured …` line per field).
+    let mut mismatched: Vec<(String, Vec<String>)> = Vec::new();
     let mut checked = 0usize;
     for benchmark in selected_benchmarks(options) {
         let Some(expected) = committed_row(&benchmark.name) else {
@@ -359,38 +364,60 @@ fn check(options: &Options) {
                 "| {} | - | - | - | - | MISSING from {} |",
                 benchmark.name, options.against
             );
-            mismatches += 1;
+            mismatched.push((
+                benchmark.name.clone(),
+                vec![format!("row is missing from {}", options.against)],
+            ));
             continue;
         };
         let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
         checked += 1;
         let mut diffs: Vec<String> = Vec::new();
-        let mut field = |label: &str, measured: i128, key: &str| {
-            let committed = expected.get(key).and_then(|v| v.as_i128());
+        let mut field = |committed: Option<i128>, measured: i128, label: &str| {
             if committed != Some(measured) {
                 diffs.push(format!(
-                    "{label}: measured {measured}, committed {}",
+                    "{label}: expected {}, measured {measured}",
                     committed.map_or("absent".to_string(), |v| v.to_string())
                 ));
             }
         };
+        let top = |key: &str| expected.get(key).and_then(|v| v.as_i128());
+        // Deterministic counters nested under `phases` are part of the
+        // trajectory contract too — but only those two; the other phase
+        // fields are wall-clock or scheduling-dependent by design.
+        let phase = |key: &str| {
+            expected
+                .get("phases")
+                .and_then(|p| p.get(key))
+                .and_then(|v| v.as_i128())
+        };
         field(
-            "value_correspondences",
+            top("value_correspondences"),
             row.value_corr as i128,
             "value_correspondences",
         );
-        field("iterations", row.iters as i128, "iterations");
+        field(top("iterations"), row.iters as i128, "iterations");
         field(
-            "sequences_tested",
+            top("sequences_tested"),
             row.sequences_tested as i128,
             "sequences_tested",
+        );
+        field(
+            phase("sat_blocking_clauses"),
+            row.phases.sat_blocking_clauses as i128,
+            "phases.sat_blocking_clauses",
+        );
+        field(
+            phase("plans_compiled"),
+            row.phases.plans_compiled as i128,
+            "phases.plans_compiled",
         );
         let committed_success = expected.get("succeeded").and_then(|v| v.as_bool());
         if committed_success != Some(row.succeeded) {
             diffs.push(format!(
-                "succeeded: measured {}, committed {}",
-                row.succeeded,
-                committed_success.map_or("absent".to_string(), |v| v.to_string())
+                "succeeded: expected {}, measured {}",
+                committed_success.map_or("absent".to_string(), |v| v.to_string()),
+                row.succeeded
             ));
         }
         // End-to-end migration validation is deterministic (seeded source
@@ -399,16 +426,17 @@ fn check(options: &Options) {
         let committed_validated = expected.get("validated").and_then(|v| v.as_bool());
         if committed_validated != row.validated {
             diffs.push(format!(
-                "validated: measured {}, committed {}",
-                row.validated.map_or("null".to_string(), |v| v.to_string()),
-                committed_validated.map_or("null".to_string(), |v| v.to_string())
+                "validated: expected {}, measured {}",
+                committed_validated.map_or("null".to_string(), |v| v.to_string()),
+                row.validated.map_or("null".to_string(), |v| v.to_string())
             ));
         }
         let verdict = if diffs.is_empty() {
             "ok".to_string()
         } else {
-            mismatches += 1;
-            format!("MISMATCH — {}", diffs.join("; "))
+            let fields = diffs.len();
+            mismatched.push((benchmark.name.clone(), diffs));
+            format!("MISMATCH ({fields} field(s), see below)")
         };
         println!(
             "| {} | {} | {} | {} | {} | {} |",
@@ -425,10 +453,20 @@ fn check(options: &Options) {
         eprintln!("no benchmarks selected — check the --only / --textbook-only filters");
         std::process::exit(2);
     }
-    if mismatches > 0 {
+    if !mismatched.is_empty() {
+        println!("### Mismatches\n");
+        for (name, diffs) in &mismatched {
+            for diff in diffs {
+                println!("- {name}: {diff}");
+            }
+        }
+        println!();
+        let fields: usize = mismatched.iter().map(|(_, diffs)| diffs.len()).sum();
         eprintln!(
-            "{mismatches} benchmark(s) diverged from {}",
-            options.against
+            "{} benchmark(s) diverged from {} ({} field(s) differ)",
+            mismatched.len(),
+            options.against,
+            fields
         );
         std::process::exit(1);
     }

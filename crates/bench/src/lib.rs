@@ -90,6 +90,10 @@ pub struct Table1Row {
     pub validated: Option<bool>,
     /// How the run ended (`solved`, `no_solution`, `timeout`, `cancelled`).
     pub outcome: &'static str,
+    /// Per-phase breakdown of the run: wall-clock times (never compared
+    /// across runs) plus the deterministic `sat_blocking_clauses` /
+    /// `plans_compiled` counters that `experiments check` verifies.
+    pub phases: migrator::PhaseBreakdown,
 }
 
 /// Builds the facade session the harness runs a benchmark through — the
@@ -154,6 +158,7 @@ fn row_from_stats(
         interned_bytes: dbir::intern::stats().total_bytes(),
         validated,
         outcome: outcome.as_str(),
+        phases: stats.phases.clone(),
     }
 }
 
@@ -197,6 +202,7 @@ pub fn row_to_json(benchmark: &Benchmark, row: &Table1Row) -> sqlbridge::Json {
         .with("outcome", Json::str(row.outcome))
         .with("synth_time_secs", row.synth_time.into())
         .with("total_time_secs", row.total_time.into())
+        .with("phases", pipeline::report::phases_json(&row.phases))
         .with(
             "paper",
             Json::object()

@@ -14,10 +14,14 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
-use migrator::SynthesisConfig;
-use pipeline::{backend_by_name, dialect_by_name, report, RefactorError, Refactoring, Validated};
+use migrator::{SynthesisConfig, SynthesisEvent, SynthesisObserver};
+use pipeline::{
+    backend_by_name, dialect_by_name, report, PipelineEvent, PipelineObserver, RefactorError,
+    Refactoring, Trace, Validated,
+};
 
 /// Exit code for usage errors.
 pub const EXIT_USAGE: i32 = 2;
@@ -49,13 +53,19 @@ pub struct Options {
     pub validate: bool,
     /// Backend for `--validate` (`memory` or `sqlite3`).
     pub backend: String,
+    /// Write a Chrome trace-event JSON file covering every pipeline stage
+    /// and synthesis phase to this path.
+    pub trace: Option<PathBuf>,
+    /// Stream one progress line per synthesis/pipeline event to stderr as
+    /// the run happens.
+    pub progress: bool,
 }
 
 /// The usage string printed on `--help` and argument errors.
 pub const USAGE: &str = "\
 usage: migrate --source-ddl <file.sql> --target-ddl <file.sql> --program <file.dbp>
                [--dialect ansi|sqlite|postgres|mysql] [--max-vcs <n>]
-               [--budget-secs <n>] [--json]
+               [--budget-secs <n>] [--json] [--trace <out.json>] [--progress]
                [--validate [--backend memory|sqlite3]]
 
 Reads the source schema and target schema as SQL DDL and the source program
@@ -73,6 +83,15 @@ means the search space was genuinely exhausted.
 --json replaces the section-formatted text with one machine-readable JSON
 document holding the correspondence, program, SQL, migration script,
 validation outcome (when --validate ran), statistics and the outcome kind.
+
+--trace writes a Chrome trace-event JSON file (loadable in Perfetto or
+chrome://tracing) with one span per pipeline stage — ingest, synthesize,
+emit, validate — and the synthesis phases (enumeration, sketching,
+completion, bounded testing, oracle, ...) as aggregated spans on a second
+track. The file is written even when synthesis fails.
+
+--progress streams one line per synthesis and pipeline event to stderr
+while the run happens.
 
 With --validate, additionally executes the emitted migration end-to-end on
 the selected backend (a seeded source instance, the DDL and the data-move
@@ -96,6 +115,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut json = false;
     let mut validate = false;
     let mut backend = "memory".to_string();
+    let mut trace = None;
+    let mut progress = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -130,6 +151,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => json = true,
             "--validate" => validate = true,
             "--backend" => backend = take("--backend")?,
+            "--trace" => trace = Some(PathBuf::from(take("--trace")?)),
+            "--progress" => progress = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
@@ -144,6 +167,37 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         json,
         validate,
         backend,
+        trace,
+        progress,
+    })
+}
+
+/// The `--progress` reporter: one stderr line per event, written as the
+/// run happens (buffering them into [`RunOutput`] would defeat liveness).
+#[derive(Debug)]
+struct ProgressReporter;
+
+impl SynthesisObserver for ProgressReporter {
+    fn event(&self, event: &SynthesisEvent) {
+        eprintln!("[migrate] {event}");
+    }
+}
+
+impl PipelineObserver for ProgressReporter {
+    fn pipeline_event(&self, event: &PipelineEvent) {
+        eprintln!("[migrate] {event}");
+    }
+}
+
+/// Writes the recorded trace as pretty-printed Chrome trace-event JSON.
+fn write_trace(path: &PathBuf, trace: &Trace) -> Result<(), (i32, String)> {
+    let mut text = trace.to_chrome_json().to_pretty_string();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|error| {
+        (
+            EXIT_FAILURE,
+            format!("cannot write trace file `{}`: {error}", path.display()),
+        )
     })
 }
 
@@ -235,11 +289,30 @@ fn run_inner(options: &Options) -> Result<RunOutput, (i32, String)> {
     if options.budget_secs > 0 {
         session = session.deadline(Duration::from_secs(options.budget_secs));
     }
+    let trace = options.trace.as_ref().map(|_| Arc::new(Trace::new()));
+    if let Some(trace) = &trace {
+        session = session.trace(trace.clone());
+    }
+    if options.progress {
+        let reporter = Arc::new(ProgressReporter);
+        session = session
+            .observer(reporter.clone())
+            .pipeline_observer(reporter);
+    }
+    // The trace file is written whichever way the run ends: a trace that
+    // only exists for successful runs cannot explain a failed one.
+    let flush_trace = |trace: &Option<Arc<Trace>>| -> Result<(), (i32, String)> {
+        match (&options.trace, trace) {
+            (Some(path), Some(trace)) => write_trace(path, trace),
+            _ => Ok(()),
+        }
+    };
 
     // Stage 1: synthesize.
     let synthesized = match session.synthesize() {
         Ok(synthesized) => synthesized,
         Err(error @ RefactorError::Unsolved { .. }) => {
+            flush_trace(&trace)?;
             let summary = error.to_string();
             let RefactorError::Unsolved { outcome, stats } = error else {
                 unreachable!("matched Unsolved above");
@@ -277,6 +350,7 @@ fn run_inner(options: &Options) -> Result<RunOutput, (i32, String)> {
     } else {
         None
     };
+    flush_trace(&trace)?;
 
     // Render.
     if options.json {
@@ -415,6 +489,8 @@ mod tests {
             json: false,
             validate: false,
             backend: "memory".into(),
+            trace: None,
+            progress: false,
         }
     }
 

@@ -375,3 +375,56 @@ fn json_failure_document_still_goes_to_stdout() {
         "stderr carries the summary: {stderr}"
     );
 }
+
+/// `--trace` writes a Chrome trace-event JSON file covering every pipeline
+/// stage and synthesis phase; `--progress` streams events to stderr.
+#[test]
+fn trace_flag_writes_chrome_trace_and_progress_streams_events() {
+    let dir = std::env::temp_dir().join("migrate-cli-trace");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("--source-ddl")
+        .arg(example_path("source.sql"))
+        .arg("--target-ddl")
+        .arg(example_path("target.sql"))
+        .arg("--program")
+        .arg(example_path("program.dbp"))
+        .arg("--validate")
+        .arg("--progress")
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("migrate binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The trace file is valid Chrome trace-event JSON with all four stage
+    // spans and the synthesis phase track.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let parsed = sqlbridge::Json::parse(&text).expect("trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for required in ["ingest", "synthesize", "emit", "validate", "oracle"] {
+        assert!(
+            names.contains(&required),
+            "missing `{required}` in {names:?}"
+        );
+    }
+
+    // Progress lines arrived on stderr, from both event families.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("[migrate] parsed source DDL"), "{stderr}");
+    assert!(stderr.contains("solved after"), "{stderr}");
+    assert!(stderr.contains("validation on memory: ok"), "{stderr}");
+}

@@ -10,7 +10,7 @@
 //! functions prunes every completion that would fail for the same reason
 //! (18,225 programs at once in the paper's running example).
 
-use dbir::equiv::{SourceOracle, TestConfig};
+use dbir::equiv::{CheckProfile, SourceOracle, TestConfig};
 use dbir::{Program, Schema};
 use parpool::CancelToken;
 use satsolver::encoder::exactly_one;
@@ -19,7 +19,7 @@ use satsolver::{Lit, Model, SolveResult, Solver, Var};
 use crate::observe::SynthesisEvent;
 use crate::sketch::{HoleAssignment, HoleId, Sketch};
 use crate::stats::SketchRunStats;
-use crate::verify::{check_candidate_cancel, CheckOutcome};
+use crate::verify::{check_candidate_profiled, CheckOutcome};
 
 /// The SAT encoding of a sketch: one variable per (hole, domain element).
 #[derive(Debug)]
@@ -125,6 +125,11 @@ pub struct CompletionControls<'a> {
     /// stay deterministic: the synthesizer replays winning buffers in
     /// enumeration order and discards losing ones.
     pub events: Option<&'a mut Vec<SynthesisEvent>>,
+    /// Accumulator receiving the per-phase accounting of every bounded
+    /// check this completion runs. Like the event buffer it is per-attempt:
+    /// the synthesizer absorbs winning buffers in enumeration order, so
+    /// losing speculative completions never contaminate the breakdown.
+    pub profile: Option<&'a mut CheckProfile>,
 }
 
 impl std::fmt::Debug for CompletionControls<'_> {
@@ -134,6 +139,7 @@ impl std::fmt::Debug for CompletionControls<'_> {
             .field("token", &self.token.is_some())
             .field("index", &self.index)
             .field("events", &self.events.is_some())
+            .field("profile", &self.profile.is_some())
             .finish()
     }
 }
@@ -268,7 +274,14 @@ pub fn complete_sketch(
             stats.blocking_clauses += 1;
         };
 
-        match check_candidate_cancel(oracle, &candidate, target_schema, testing, controls.token) {
+        match check_candidate_profiled(
+            oracle,
+            &candidate,
+            target_schema,
+            testing,
+            controls.token,
+            controls.profile.as_deref_mut(),
+        ) {
             CheckOutcome::Cancelled { sequences_tested } => {
                 stats.sequences_tested += sequences_tested;
                 return done(None, stats, false, true);
@@ -286,12 +299,13 @@ pub fn complete_sketch(
                     sequences_tested,
                 });
                 // Deeper verification pass before accepting.
-                match check_candidate_cancel(
+                match check_candidate_profiled(
                     oracle,
                     &candidate,
                     target_schema,
                     verification,
                     controls.token,
+                    controls.profile.as_deref_mut(),
                 ) {
                     CheckOutcome::Cancelled { sequences_tested } => {
                         stats.sequences_tested += sequences_tested;

@@ -99,7 +99,7 @@ pub mod verify;
 pub use config::{SketchSolverKind, SynthesisConfig};
 pub use observe::{EventLog, SynthesisEvent, SynthesisObserver};
 pub use sketch::Sketch;
-pub use stats::SynthesisStats;
+pub use stats::{PhaseBreakdown, SynthesisStats};
 pub use synthesizer::{SynthesisOutcome, SynthesisResult, Synthesizer};
 pub use value_corr::{ValueCorrespondence, VcEnumerator};
 

@@ -225,6 +225,11 @@ pub trait SynthesisObserver: Send + Sync {
 ///
 /// Useful for tests (the determinism suite compares rendered logs across
 /// thread counts) and for tools that want the full trace after the fact.
+///
+/// The log is poison-safe: if a thread panics while holding the buffer
+/// lock, later readers recover the events recorded so far instead of
+/// panicking in turn — the diagnostic record that explains a crash must
+/// survive the crash.
 #[derive(Debug, Default)]
 pub struct EventLog {
     events: Mutex<Vec<SynthesisEvent>>,
@@ -236,15 +241,20 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// Locks the buffer, recovering it from a panicked thread if needed.
+    fn buffer(&self) -> std::sync::MutexGuard<'_, Vec<SynthesisEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// The events recorded so far, in delivery order.
     pub fn events(&self) -> Vec<SynthesisEvent> {
-        self.events.lock().expect("event log poisoned").clone()
+        self.buffer().clone()
     }
 
     /// Renders the recorded stream as one line per event — a stable textual
     /// form for byte-for-byte comparisons.
     pub fn render(&self) -> String {
-        let events = self.events.lock().expect("event log poisoned");
+        let events = self.buffer();
         let mut out = String::new();
         for event in events.iter() {
             out.push_str(&event.to_string());
@@ -256,10 +266,7 @@ impl EventLog {
 
 impl SynthesisObserver for EventLog {
     fn event(&self, event: &SynthesisEvent) {
-        self.events
-            .lock()
-            .expect("event log poisoned")
-            .push(event.clone());
+        self.buffer().push(event.clone());
     }
 }
 
@@ -282,6 +289,31 @@ mod tests {
         assert_eq!(rendered.lines().count(), 2);
         assert!(rendered.contains("correspondence[0] enumerated (3 attrs mapped)"));
         assert!(rendered.contains("solved after 2 candidates"));
+        assert_eq!(log.events().len(), 2);
+    }
+
+    #[test]
+    fn a_poisoned_log_still_yields_its_events() {
+        let log = std::sync::Arc::new(EventLog::new());
+        log.event(&SynthesisEvent::Solved {
+            index: 0,
+            iterations: 2,
+        });
+        // Poison the buffer lock: a consumer panics while holding it.
+        let poisoner = std::sync::Arc::clone(&log);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.events.lock().unwrap();
+            panic!("consumer panicked while holding the log lock");
+        })
+        .join();
+        assert!(result.is_err(), "the consumer thread must have panicked");
+        // The record survives, and the log keeps accepting events.
+        assert_eq!(log.events().len(), 1);
+        assert!(log.render().contains("solved after 2 candidates"));
+        log.event(&SynthesisEvent::BoundExhausted {
+            index: 0,
+            iterations: 3,
+        });
         assert_eq!(log.events().len(), 2);
     }
 

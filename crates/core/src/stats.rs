@@ -1,7 +1,10 @@
 //! Statistics collected during synthesis, mirroring the columns of the
-//! paper's evaluation tables.
+//! paper's evaluation tables, plus a per-phase breakdown of where the time
+//! and allocation went.
 
 use std::time::Duration;
+
+use dbir::equiv::CheckProfile;
 
 /// Statistics for one synthesis run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -40,6 +43,8 @@ pub struct SynthesisStats {
     /// Time spent in the final verification pass (included in Table 1's
     /// "Total Time" but not in "Synth Time").
     pub verification_time: Duration,
+    /// Where the time and allocation went, phase by phase.
+    pub phases: PhaseBreakdown,
 }
 
 impl SynthesisStats {
@@ -56,6 +61,69 @@ impl SynthesisStats {
         self.sequences_tested += other.sequences_tested;
         self.truncated_checks += other.truncated_checks;
         self.largest_search_space = self.largest_search_space.max(other.search_space);
+        self.phases.sat_blocking_clauses += other.blocking_clauses;
+    }
+}
+
+/// Per-phase breakdown of one synthesis run: where the wall-clock time and
+/// the snapshot allocation went.
+///
+/// Two disciplines coexist here, and `experiments check` relies on the
+/// distinction:
+///
+/// * **Deterministic counters** — `sat_blocking_clauses` and
+///   `plans_compiled` are merged from the winning trajectory in enumeration
+///   order, so they are byte-identical at any thread count (the same
+///   contract as the synthesis event log).
+/// * **Scheduling-dependent diagnostics** — `snapshots_taken` and
+///   `snapshot_bytes_copied` grow with the thread count (parallel stub
+///   tasks replay their prefixes), and every `*_time` field is wall-clock.
+///   None of these may be compared across runs.
+///
+/// The time fields are not disjoint: `plan_compile_time`, `snapshot_time`
+/// and `oracle_time` all nest inside `bounded_testing_time`, which itself
+/// sums candidate checks across workers — so the sum of phases can exceed
+/// the run's wall time on a multi-threaded run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Time spent enumerating value correspondences (MaxSAT queries).
+    pub vc_enumeration_time: Duration,
+    /// Time spent generating sketches from correspondences.
+    pub sketch_generation_time: Duration,
+    /// Time spent completing sketches: SAT solving, decoding, instantiation
+    /// and MFI learning (includes the nested bounded testing).
+    pub completion_time: Duration,
+    /// Time spent inside bounded-testing equivalence checks (winning
+    /// trajectory plus the final verification pass).
+    pub bounded_testing_time: Duration,
+    /// Time spent compiling update/query plans for those checks.
+    pub plan_compile_time: Duration,
+    /// Time spent cloning instance snapshots inside the DFS walks.
+    pub snapshot_time: Duration,
+    /// CPU time spent interpreting the source program on oracle misses —
+    /// summed across *all* workers, including losing speculative attempts
+    /// (the oracle is shared), so this is the one field that is not
+    /// restricted to the winning trajectory.
+    pub oracle_time: Duration,
+    /// Blocking clauses added by the SAT completion loop (deterministic).
+    pub sat_blocking_clauses: usize,
+    /// Update/query plan compilations performed (deterministic).
+    pub plans_compiled: u64,
+    /// Instance snapshots cloned (scheduling-dependent).
+    pub snapshots_taken: u64,
+    /// Approximate heap bytes of cloned instances (scheduling-dependent).
+    pub snapshot_bytes_copied: u64,
+}
+
+impl PhaseBreakdown {
+    /// Merges one bounded-testing check's profile into the breakdown.
+    pub fn absorb_check(&mut self, profile: &CheckProfile) {
+        self.bounded_testing_time += profile.dfs_time + profile.plan_compile_time;
+        self.plan_compile_time += profile.plan_compile_time;
+        self.snapshot_time += profile.snapshot_time;
+        self.plans_compiled += profile.plans_compiled;
+        self.snapshots_taken += profile.snapshots_taken;
+        self.snapshot_bytes_copied += profile.snapshot_bytes_copied;
     }
 }
 
@@ -116,5 +184,30 @@ mod tests {
         assert_eq!(stats.sequences_tested, 50);
         assert_eq!(stats.truncated_checks, 1);
         assert_eq!(stats.largest_search_space, 100);
+        assert_eq!(stats.phases.sat_blocking_clauses, 3);
+    }
+
+    #[test]
+    fn check_profiles_fold_into_the_phase_breakdown() {
+        let mut phases = PhaseBreakdown::default();
+        phases.absorb_check(&CheckProfile {
+            plan_compile_time: Duration::from_millis(2),
+            plans_compiled: 8,
+            dfs_time: Duration::from_millis(10),
+            snapshot_time: Duration::from_millis(4),
+            snapshots_taken: 100,
+            snapshot_bytes_copied: 4096,
+        });
+        phases.absorb_check(&CheckProfile {
+            plans_compiled: 2,
+            snapshots_taken: 1,
+            ..CheckProfile::default()
+        });
+        assert_eq!(phases.bounded_testing_time, Duration::from_millis(12));
+        assert_eq!(phases.plan_compile_time, Duration::from_millis(2));
+        assert_eq!(phases.snapshot_time, Duration::from_millis(4));
+        assert_eq!(phases.plans_compiled, 10);
+        assert_eq!(phases.snapshots_taken, 101);
+        assert_eq!(phases.snapshot_bytes_copied, 4096);
     }
 }

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use dbir::{Program, Schema};
 
-use dbir::equiv::SourceOracle;
+use dbir::equiv::{CheckProfile, SourceOracle};
 use parpool::{CancelReason, CancelToken};
 
 use crate::completion::{complete_sketch, BlockingStrategy, CompletionControls};
@@ -20,7 +20,18 @@ use crate::observe::{SynthesisEvent, SynthesisObserver};
 use crate::sketch_gen::generate_sketch;
 use crate::stats::SynthesisStats;
 use crate::value_corr::{ValueCorrespondence, VcEnumerator};
-use crate::verify::{check_candidate_cancel, CheckOutcome};
+use crate::verify::{check_candidate_profiled, CheckOutcome};
+
+/// Per-attempt phase accounting, buffered next to the attempt's events and
+/// absorbed into [`SynthesisStats::phases`] only when the attempt is merged
+/// on the winning trajectory — losing speculative attempts never
+/// contaminate the breakdown.
+#[derive(Debug, Default)]
+struct AttemptProfile {
+    sketch_generation: Duration,
+    completion: Duration,
+    check: CheckProfile,
+}
 
 /// How a synthesis run ended.
 ///
@@ -233,17 +244,22 @@ impl Synthesizer {
          -> (
             Option<crate::completion::CompletionOutcome>,
             Vec<SynthesisEvent>,
+            AttemptProfile,
         ) {
             let mut events = Vec::new();
-            let Some(sketch) = generate_sketch(source, phi, target_schema, &self.config.sketch)
-            else {
-                return (None, events);
+            let mut profile = AttemptProfile::default();
+            let generation_start = Instant::now();
+            let sketch = generate_sketch(source, phi, target_schema, &self.config.sketch);
+            profile.sketch_generation = generation_start.elapsed();
+            let Some(sketch) = sketch else {
+                return (None, events, profile);
             };
             events.push(SynthesisEvent::SketchGenerated {
                 index,
                 holes: sketch.holes.len(),
                 completions: sketch.completion_count(),
             });
+            let completion_start = Instant::now();
             let outcome = complete_sketch(
                 &sketch,
                 &oracle,
@@ -257,9 +273,11 @@ impl Synthesizer {
                     token: Some(token),
                     index,
                     events: Some(&mut events),
+                    profile: Some(&mut profile.check),
                 },
             );
-            (Some(outcome), events)
+            profile.completion = completion_start.elapsed();
+            (Some(outcome), events, profile)
         };
 
         let speculation_cap = parpool::thread_limit().max(1).saturating_mul(2);
@@ -283,12 +301,14 @@ impl Synthesizer {
                 break;
             }
             let mut phis = Vec::new();
+            let enumeration_start = Instant::now();
             while phis.len() < batch_size.min(remaining) {
                 match enumerator.next_correspondence() {
                     Some(phi) => phis.push(phi),
                     None => break,
                 }
             }
+            stats.phases.vc_enumeration_time += enumeration_start.elapsed();
             if phis.is_empty() {
                 break;
             }
@@ -309,7 +329,7 @@ impl Synthesizer {
                 },
                 // A success stops the fan-out; so does a token interruption
                 // (everything after it is moot).
-                |(outcome, _)| {
+                |(outcome, _, _)| {
                     outcome
                         .as_ref()
                         .is_some_and(|o| o.program.is_some() || o.interrupted)
@@ -322,14 +342,14 @@ impl Synthesizer {
             let mut defensive_replay = false;
             for (i, phi) in phis.iter().enumerate() {
                 let index = base + i;
-                let (outcome, events) = if defensive_replay {
+                let (outcome, events, profile) = if defensive_replay {
                     // A verified-then-rejected winner (see below) invalidated
                     // the speculative results; recompute this correspondence
                     // inline. Deterministic, so the trajectory is preserved.
                     attempt(index, phi, None)
                 } else {
                     match results.next() {
-                        Some(Some(pair)) => pair,
+                        Some(Some(triple)) => triple,
                         Some(None) | None => break, // skipped: after the winner
                     }
                 };
@@ -345,6 +365,12 @@ impl Synthesizer {
                 for event in &events {
                     emit(event);
                 }
+                // Phase accounting follows the same enumeration-order merge
+                // as the events: only merged (winning-trajectory) attempts
+                // reach the breakdown.
+                stats.phases.sketch_generation_time += profile.sketch_generation;
+                stats.phases.completion_time += profile.completion;
+                stats.phases.absorb_check(&profile.check);
                 let Some(outcome) = outcome else {
                     continue; // no sketch for this correspondence
                 };
@@ -368,14 +394,17 @@ impl Synthesizer {
                     // Final verification pass, timed separately (the stand-in
                     // for the Mediator equivalence proof; see DESIGN.md).
                     let verification_start = Instant::now();
-                    let verified = check_candidate_cancel(
+                    let mut final_profile = CheckProfile::default();
+                    let verified = check_candidate_profiled(
                         &oracle,
                         &program,
                         target_schema,
                         &self.config.verification,
                         Some(token),
+                        Some(&mut final_profile),
                     );
                     stats.verification_time = verification_start.elapsed();
+                    stats.phases.absorb_check(&final_profile);
                     match verified {
                         CheckOutcome::Equivalent {
                             sequences_tested,
@@ -384,6 +413,7 @@ impl Synthesizer {
                             stats.sequences_tested += sequences_tested;
                             stats.truncated_checks += usize::from(!bound_exhausted);
                             stats.oracle_hits = oracle.hits();
+                            stats.phases.oracle_time = oracle.compute_time();
                             return SynthesisResult {
                                 program: Some(program),
                                 correspondence: Some(phi.clone()),
@@ -400,6 +430,7 @@ impl Synthesizer {
                             // `Timeout` with nothing.
                             stats.sequences_tested += sequences_tested;
                             stats.oracle_hits = oracle.hits();
+                            stats.phases.oracle_time = oracle.compute_time();
                             return SynthesisResult {
                                 program: Some(program),
                                 correspondence: Some(phi.clone()),
@@ -427,6 +458,7 @@ impl Synthesizer {
 
         stats.synthesis_time = synthesis_start.elapsed();
         stats.oracle_hits = oracle.hits();
+        stats.phases.oracle_time = oracle.compute_time();
         let outcome = if interrupted {
             let reason = token.reason().unwrap_or(CancelReason::Cancelled);
             emit(&SynthesisEvent::RunInterrupted { reason });
@@ -585,6 +617,17 @@ mod tests {
         assert_eq!(
             single.stats.invalid_instantiations,
             multi.stats.invalid_instantiations
+        );
+        // The deterministic subset of the phase breakdown obeys the same
+        // contract. (Snapshot counters and all times are scheduling- or
+        // wall-clock-dependent and deliberately not compared.)
+        assert_eq!(
+            single.stats.phases.sat_blocking_clauses,
+            multi.stats.phases.sat_blocking_clauses
+        );
+        assert_eq!(
+            single.stats.phases.plans_compiled,
+            multi.stats.phases.plans_compiled
         );
     }
 

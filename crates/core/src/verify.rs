@@ -8,7 +8,9 @@
 //! the last, most expensive check, and its cost is reported separately from
 //! synthesis time.
 
-use dbir::equiv::{compare_with_oracle_cancel, EquivalenceReport, SourceOracle, TestConfig};
+use dbir::equiv::{
+    compare_with_oracle_profiled, CheckProfile, EquivalenceReport, SourceOracle, TestConfig,
+};
 use dbir::{InvocationSequence, Program, Schema};
 use parpool::CancelToken;
 
@@ -113,13 +115,28 @@ pub fn check_candidate_cancel(
     config: &TestConfig,
     cancel: Option<&CancelToken>,
 ) -> CheckOutcome {
+    check_candidate_profiled(oracle, candidate, target_schema, config, cancel, None)
+}
+
+/// Like [`check_candidate_cancel`], but additionally fills `profile` with
+/// the check's per-phase accounting (plan compilation, DFS walk, snapshot
+/// copying) when one is supplied. With `profile` absent the behaviour and
+/// cost are identical.
+pub fn check_candidate_profiled(
+    oracle: &SourceOracle<'_>,
+    candidate: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+    cancel: Option<&CancelToken>,
+    profile: Option<&mut CheckProfile>,
+) -> CheckOutcome {
     let EquivalenceReport {
         equivalent,
         counterexample,
         sequences_tested,
         bound_exhausted,
         cancelled,
-    } = compare_with_oracle_cancel(oracle, candidate, target_schema, config, cancel);
+    } = compare_with_oracle_profiled(oracle, candidate, target_schema, config, cancel, profile);
     if cancelled {
         CheckOutcome::Cancelled { sequences_tested }
     } else if equivalent {

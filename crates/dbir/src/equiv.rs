@@ -51,8 +51,9 @@
 //! search at a given bound.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use parpool::{CancelToken, StopCtx};
 
@@ -208,6 +209,80 @@ pub struct EquivalenceReport {
     pub cancelled: bool,
 }
 
+/// Per-check phase accounting for one bounded equivalence check, filled by
+/// [`compare_with_oracle_profiled`].
+///
+/// The profile travels *next to* the [`EquivalenceReport`], never inside it:
+/// the report is compared structurally by the engine-differential tests and
+/// must stay free of wall-clock noise.
+///
+/// Determinism: `plans_compiled` is identical at any thread count (plan
+/// compilation happens once per check, before the parallel walk).
+/// `snapshots_taken` and `snapshot_bytes_copied` are **scheduling-dependent**
+/// — parallel stub tasks replay their stub prefixes from the empty roots, so
+/// higher thread counts take strictly more snapshots. All `*_time` fields
+/// are wall-clock. Only thread-count-independent counters may be compared
+/// across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckProfile {
+    /// Time spent compiling update/query plans for the check.
+    pub plan_compile_time: Duration,
+    /// Number of update/query plan compilations performed.
+    pub plans_compiled: u64,
+    /// Time spent walking the prefix-shared search tree (includes nested
+    /// oracle interpretation and snapshot copying).
+    pub dfs_time: Duration,
+    /// Time spent cloning instance snapshots inside the walk.
+    pub snapshot_time: Duration,
+    /// Number of instance snapshots cloned (scheduling-dependent).
+    pub snapshots_taken: u64,
+    /// Approximate heap bytes of the instances cloned
+    /// (scheduling-dependent).
+    pub snapshot_bytes_copied: u64,
+}
+
+impl CheckProfile {
+    /// Adds another profile's times and counters into this one.
+    pub fn merge(&mut self, other: &CheckProfile) {
+        self.plan_compile_time += other.plan_compile_time;
+        self.plans_compiled += other.plans_compiled;
+        self.dfs_time += other.dfs_time;
+        self.snapshot_time += other.snapshot_time;
+        self.snapshots_taken += other.snapshots_taken;
+        self.snapshot_bytes_copied += other.snapshot_bytes_copied;
+    }
+}
+
+/// Locally accumulated snapshot accounting for one walk: the high-water
+/// mark plus clone counters, folded into the caller's [`CheckProfile`] (and
+/// the process-wide peak) once per subtree instead of per node. Clones are
+/// clocked only when `timed` is set, so unprofiled checks pay no clock
+/// reads on the hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct SnapStats {
+    peak: usize,
+    taken: u64,
+    bytes: u64,
+    nanos: u64,
+    timed: bool,
+}
+
+impl SnapStats {
+    fn fresh(&self) -> SnapStats {
+        SnapStats {
+            timed: self.timed,
+            ..SnapStats::default()
+        }
+    }
+
+    fn absorb(&mut self, other: &SnapStats) {
+        self.peak = self.peak.max(other.peak);
+        self.taken += other.taken;
+        self.bytes += other.bytes;
+        self.nanos += other.nanos;
+    }
+}
+
 /// A minimal FNV-1a hasher for the oracle's interned-id keys.
 ///
 /// The cache is probed once per tested sequence — millions of times per
@@ -278,6 +353,12 @@ pub struct SourceOracle<'p> {
     hits: AtomicUsize,
     entries: AtomicUsize,
     capacity: usize,
+    /// Wall-clock nanoseconds spent interpreting the source program on
+    /// cache misses, across all workers. Includes duplicate computations by
+    /// racing workers, so this is total CPU spent in the oracle, not a span
+    /// of wall time.
+    compute_nanos: AtomicU64,
+    computes: AtomicUsize,
 }
 
 impl<'p> SourceOracle<'p> {
@@ -301,6 +382,8 @@ impl<'p> SourceOracle<'p> {
             hits: AtomicUsize::new(0),
             entries: AtomicUsize::new(0),
             capacity: Self::DEFAULT_CAPACITY,
+            compute_nanos: AtomicU64::new(0),
+            computes: AtomicUsize::new(0),
         }
     }
 
@@ -317,6 +400,19 @@ impl<'p> SourceOracle<'p> {
     /// Number of cache hits served so far.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total CPU time spent interpreting the source program on cache
+    /// misses, summed across all workers (racing workers may compute the
+    /// same sequence twice; both computations are counted).
+    pub fn compute_time(&self) -> Duration {
+        Duration::from_nanos(self.compute_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of source interpretations performed (cache misses, including
+    /// duplicates by racing workers).
+    pub fn computes(&self) -> usize {
+        self.computes.load(Ordering::Relaxed)
     }
 
     /// Number of distinct sequences currently cached.
@@ -374,7 +470,15 @@ impl<'p> SourceOracle<'p> {
         }
         // Interpret outside the lock: this is the expensive part, and
         // holding the shard across it would serialize unrelated misses.
+        // The clock reads cost two syscalls per *miss*, against a full
+        // program interpretation — noise.
+        let compute_start = Instant::now();
         let outcome = Arc::new(compute());
+        self.compute_nanos.fetch_add(
+            u64::try_from(compute_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.computes.fetch_add(1, Ordering::Relaxed);
         let mut guard = shard.lock().expect("oracle shard poisoned");
         match guard.get(key) {
             // A racing worker finished the same sequence first; adopt its
@@ -660,6 +764,24 @@ pub fn compare_with_oracle_cancel(
     config: &TestConfig,
     cancel: Option<&CancelToken>,
 ) -> EquivalenceReport {
+    compare_with_oracle_profiled(oracle, target, target_schema, config, cancel, None)
+}
+
+/// Like [`compare_with_oracle_cancel`], but additionally fills `profile`
+/// with per-phase accounting (plan compilation, tree walk, snapshot
+/// copying) when one is supplied. With `profile` absent the check takes no
+/// extra clock reads and the behaviour — including every reported count —
+/// is identical to [`compare_with_oracle_cancel`].
+pub fn compare_with_oracle_profiled(
+    oracle: &SourceOracle<'_>,
+    target: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+    cancel: Option<&CancelToken>,
+    mut profile: Option<&mut CheckProfile>,
+) -> EquivalenceReport {
+    let timed = profile.is_some();
+    let compile_start = timed.then(Instant::now);
     let source = oracle.program();
     let source_schema = oracle.schema();
     let plans = build_plans(source, target, config);
@@ -690,7 +812,18 @@ pub fn compare_with_oracle_cancel(
                 .collect(),
         })
         .collect();
-    let mut sequences_tested = 0usize;
+    if let (Some(profile), Some(start)) = (profile.as_deref_mut(), compile_start) {
+        profile.plan_compile_time += start.elapsed();
+        profile.plans_compiled += plans
+            .iter()
+            .map(|p| 2 * (p.update_calls.len() + p.query_calls.len()) as u64)
+            .sum::<u64>();
+    }
+    let mut snap = SnapStats {
+        timed,
+        ..SnapStats::default()
+    };
+    let dfs_start = timed.then(Instant::now);
 
     // Iterative deepening: depth ℓ re-runs the update prefixes of depths
     // < ℓ, but the extra work is a geometric series dominated by the last
@@ -700,63 +833,80 @@ pub fn compare_with_oracle_cancel(
     // them — parallelism lives *inside* each pair — so a counterexample in
     // an earlier pair is found before a later pair is ever entered, exactly
     // as in the sequential enumeration.
-    let cancelled_report = |sequences_tested: usize| EquivalenceReport {
-        equivalent: false,
-        counterexample: None,
-        sequences_tested,
-        bound_exhausted: false,
-        cancelled: true,
-    };
-    for length in 0..=config.max_updates {
-        for (plan, prep) in plans.iter().zip(&prepared) {
-            if length > 0 && plan.update_calls.is_empty() {
-                continue;
-            }
-            if cancel.is_some_and(CancelToken::is_cancelled) {
-                return cancelled_report(sequences_tested);
-            }
-            match search_plan(
-                oracle,
-                target_schema,
-                plan,
-                prep,
-                config,
-                length,
-                &mut sequences_tested,
-                cancel,
-            ) {
-                Search::Exhausted => {}
-                Search::Counterexample(sequence) => {
-                    return EquivalenceReport {
-                        equivalent: false,
-                        counterexample: Some(sequence),
-                        sequences_tested,
-                        bound_exhausted: false,
-                        cancelled: false,
-                    }
+    // (An immediately-invoked closure, so the early returns of the search
+    // still flow through the profile finalization below.)
+    let mut walk = || -> EquivalenceReport {
+        let mut sequences_tested = 0usize;
+        let cancelled_report = |sequences_tested: usize| EquivalenceReport {
+            equivalent: false,
+            counterexample: None,
+            sequences_tested,
+            bound_exhausted: false,
+            cancelled: true,
+        };
+        for length in 0..=config.max_updates {
+            for (plan, prep) in plans.iter().zip(&prepared) {
+                if length > 0 && plan.update_calls.is_empty() {
+                    continue;
                 }
-                Search::CapHit => {
-                    return EquivalenceReport {
-                        equivalent: true,
-                        counterexample: None,
-                        sequences_tested,
-                        bound_exhausted: false,
-                        cancelled: false,
-                    }
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return cancelled_report(sequences_tested);
                 }
-                Search::Cancelled => return cancelled_report(sequences_tested),
-                Search::Aborted => unreachable!("merge stops before aborted stubs"),
+                match search_plan(
+                    oracle,
+                    target_schema,
+                    plan,
+                    prep,
+                    config,
+                    length,
+                    &mut sequences_tested,
+                    cancel,
+                    &mut snap,
+                ) {
+                    Search::Exhausted => {}
+                    Search::Counterexample(sequence) => {
+                        return EquivalenceReport {
+                            equivalent: false,
+                            counterexample: Some(sequence),
+                            sequences_tested,
+                            bound_exhausted: false,
+                            cancelled: false,
+                        }
+                    }
+                    Search::CapHit => {
+                        return EquivalenceReport {
+                            equivalent: true,
+                            counterexample: None,
+                            sequences_tested,
+                            bound_exhausted: false,
+                            cancelled: false,
+                        }
+                    }
+                    Search::Cancelled => return cancelled_report(sequences_tested),
+                    Search::Aborted => unreachable!("merge stops before aborted stubs"),
+                }
             }
         }
-    }
 
-    EquivalenceReport {
-        equivalent: true,
-        counterexample: None,
-        sequences_tested,
-        bound_exhausted: true,
-        cancelled: false,
+        EquivalenceReport {
+            equivalent: true,
+            counterexample: None,
+            sequences_tested,
+            bound_exhausted: true,
+            cancelled: false,
+        }
+    };
+    let report = walk();
+
+    if let Some(profile) = profile {
+        if let Some(start) = dfs_start {
+            profile.dfs_time += start.elapsed();
+        }
+        profile.snapshot_time += Duration::from_nanos(snap.nanos);
+        profile.snapshots_taken += snap.taken;
+        profile.snapshot_bytes_copied += snap.bytes;
     }
+    report
 }
 
 /// Smallest estimated leaf count for which a (plan, length) subtree is
@@ -787,6 +937,7 @@ fn search_plan(
     length: usize,
     sequences_tested: &mut usize,
     token: Option<&CancelToken>,
+    snap: &mut SnapStats,
 ) -> Search {
     let source_schema = oracle.schema();
     let fanout = plan.update_calls.len();
@@ -815,12 +966,13 @@ fn search_plan(
             cancel: None,
             token,
             polls: 0,
-            snapshot_peak: 0,
+            snap: snap.fresh(),
         };
         let src_root = ExecState::Live(Instance::empty(source_schema), 0);
         let tgt_root = ExecState::Live(Instance::empty(target_schema), 0);
         let result = dfs.walk(length, &src_root, &tgt_root);
-        fold_snapshot_peak(dfs.snapshot_peak);
+        fold_snapshot_peak(dfs.snap.peak);
+        snap.absorb(&dfs.snap);
         return result;
     }
 
@@ -838,6 +990,7 @@ fn search_plan(
     }
     let stub_count = fanout.pow(stub_depth as u32);
     let stubs: Vec<usize> = (0..stub_count).collect();
+    let timed = snap.timed;
 
     let results = parpool::par_map_stop(
         &stubs,
@@ -855,10 +1008,13 @@ fn search_plan(
             let mut tgt = ExecState::Live(Instance::empty(target_schema), 0);
             let mut key = Vec::with_capacity(length + 1);
             let mut path = Vec::with_capacity(length);
-            let mut peak = 0usize;
+            let mut stub_snap = SnapStats {
+                timed,
+                ..SnapStats::default()
+            };
             for &i in &digits {
-                src = apply_update(&prep.src_updates[i], &src, &mut peak);
-                tgt = apply_update(&prep.tgt_updates[i], &tgt, &mut peak);
+                src = apply_update(&prep.src_updates[i], &src, &mut stub_snap);
+                tgt = apply_update(&prep.tgt_updates[i], &tgt, &mut stub_snap);
                 key.push(prep.update_ids[i]);
                 path.push(i);
             }
@@ -874,22 +1030,27 @@ fn search_plan(
                 cancel: Some((ctx, task_index)),
                 token,
                 polls: 0,
-                snapshot_peak: peak,
+                snap: stub_snap,
             };
             let search = dfs.walk(length - stub_depth, &src, &tgt);
-            fold_snapshot_peak(dfs.snapshot_peak);
-            (search, count)
+            fold_snapshot_peak(dfs.snap.peak);
+            let stub_snap = dfs.snap;
+            drop(dfs); // release the borrow of `count`
+            (search, count, stub_snap)
         },
         // A token cancellation is a stopping result too: it makes the whole
         // check moot, so still-queued stubs are skipped instead of started.
-        |(search, _)| matches!(search, Search::Counterexample(_) | Search::Cancelled),
+        |(search, _, _)| matches!(search, Search::Counterexample(_) | Search::Cancelled),
     );
 
     // Index-ordered merge: byte-identical to the sequential left-to-right
     // walk with early exit (see the parpool stop contract).
     for result in results {
-        let Some((search, count)) = result else { break };
+        let Some((search, count, stub_snap)) = result else {
+            break;
+        };
         *sequences_tested += count;
+        snap.absorb(&stub_snap);
         match search {
             Search::Exhausted => {}
             Search::Counterexample(sequence) => return Search::Counterexample(sequence),
@@ -923,9 +1084,10 @@ struct Dfs<'a, 'p> {
     token: Option<&'a CancelToken>,
     /// Nodes visited since the walk started, for token-poll pacing.
     polls: usize,
-    /// Local snapshot high-water mark, folded into the global metric by the
-    /// walk's caller.
-    snapshot_peak: usize,
+    /// Local snapshot accounting (high-water mark plus clone counters),
+    /// folded into the global metric and the caller's profile by the walk's
+    /// caller.
+    snap: SnapStats,
 }
 
 /// How many tree nodes a walker visits between two polls of the caller's
@@ -977,10 +1139,8 @@ impl Dfs<'_, '_> {
         }
         let prep = self.prep;
         for i in 0..self.plan.update_calls.len() {
-            let mut peak = self.snapshot_peak;
-            let src_child = apply_update(&prep.src_updates[i], src, &mut peak);
-            let tgt_child = apply_update(&prep.tgt_updates[i], tgt, &mut peak);
-            self.snapshot_peak = peak;
+            let src_child = apply_update(&prep.src_updates[i], src, &mut self.snap);
+            let tgt_child = apply_update(&prep.tgt_updates[i], tgt, &mut self.snap);
             self.key.push(prep.update_ids[i]);
             self.path.push(i);
             let result = self.walk(depth - 1, &src_child, &tgt_child);
@@ -1051,11 +1211,13 @@ impl Dfs<'_, '_> {
 /// Extends an execution state by one (pre-resolved, pre-bound) update call,
 /// cloning the instance so the parent snapshot survives for the node's
 /// siblings.
-/// `peak` is the caller's *local* snapshot high-water mark: sampling the
-/// global atomic here would put a shared read-modify-write on every node of
-/// every worker's walk, so callers accumulate locally and fold into
-/// [`SNAPSHOT_PEAK_BYTES`] once per subtree (see [`fold_snapshot_peak`]).
-fn apply_update(prepared: &PreparedUpdate, state: &ExecState, peak: &mut usize) -> ExecState {
+/// `snap` is the caller's *local* snapshot accounting: sampling a global
+/// atomic here would put a shared read-modify-write on every node of every
+/// worker's walk, so callers accumulate locally and fold into
+/// [`SNAPSHOT_PEAK_BYTES`] (and the check's [`CheckProfile`]) once per
+/// subtree (see [`fold_snapshot_peak`]). The clone is clocked only when
+/// `snap.timed` is set.
+fn apply_update(prepared: &PreparedUpdate, state: &ExecState, snap: &mut SnapStats) -> ExecState {
     let (instance, uid) = match state {
         ExecState::Failed(_) => return state.clone(),
         ExecState::Live(instance, uid) => (instance, *uid),
@@ -1064,8 +1226,15 @@ fn apply_update(prepared: &PreparedUpdate, state: &ExecState, peak: &mut usize) 
         PreparedUpdate::Ready(plan) => plan,
         PreparedUpdate::Failed(err) => return ExecState::Failed(err.clone()),
     };
+    let clone_start = snap.timed.then(Instant::now);
     let mut next = instance.clone();
-    *peak = (*peak).max(next.approx_heap_bytes());
+    if let Some(start) = clone_start {
+        snap.nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+    let bytes = next.approx_heap_bytes();
+    snap.peak = snap.peak.max(bytes);
+    snap.taken += 1;
+    snap.bytes += bytes as u64;
     match exec_update_plan(plan, &mut next, uid) {
         Ok(next_uid) => ExecState::Live(next, next_uid),
         Err(err) => ExecState::Failed(err),

@@ -1,0 +1,110 @@
+//! `tracecheck` — validates a Chrome trace-event JSON file.
+//!
+//! Usage: `tracecheck <trace.json> [required-span-name ...]`
+//!
+//! Checks that the file parses as JSON, has a `traceEvents` array of
+//! well-formed complete (`ph: "X"`) events, that the pipeline-track spans
+//! nest properly (no partial overlap), and that every required span name
+//! appears.  Exits non-zero with a message on the first failure — CI runs
+//! it against the `migrate --trace` output of the worked example.
+
+use std::process::ExitCode;
+
+use sqlbridge::Json;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("tracecheck: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: tracecheck <trace.json> [required-span-name ...]");
+    };
+    let required: Vec<String> = args.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) => return fail(&format!("cannot read {path}: {error}")),
+    };
+    let parsed = match Json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(error) => return fail(&format!("{path} is not valid JSON: {error}")),
+    };
+    let Some(events) = parsed.get("traceEvents").and_then(Json::as_array) else {
+        return fail("missing traceEvents array");
+    };
+
+    // Collect complete ("X") events; validate their shape.
+    let mut spans: Vec<(String, i128, i128, i128)> = Vec::new();
+    for event in events {
+        let ph = event.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "X" {
+            continue;
+        }
+        let Some(name) = event.get("name").and_then(Json::as_str) else {
+            return fail("X event without a name");
+        };
+        let (Some(ts), Some(dur)) = (
+            event.get("ts").and_then(Json::as_i128),
+            event.get("dur").and_then(Json::as_i128),
+        ) else {
+            return fail(&format!("span {name:?} lacks integer ts/dur"));
+        };
+        if ts < 0 || dur < 0 {
+            return fail(&format!("span {name:?} has negative ts/dur"));
+        }
+        let tid = event.get("tid").and_then(Json::as_i128).unwrap_or(0);
+        spans.push((name.to_string(), tid, ts, ts + dur));
+    }
+    if spans.is_empty() {
+        return fail("trace contains no complete (ph=\"X\") spans");
+    }
+
+    // Per track: spans must either nest or be disjoint — a partial overlap
+    // means broken begin/end bookkeeping.
+    let mut tids: Vec<i128> = spans.iter().map(|s| s.1).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut track: Vec<&(String, i128, i128, i128)> =
+            spans.iter().filter(|s| s.1 == tid).collect();
+        track.sort_by_key(|s| (s.2, -s.3));
+        let mut stack: Vec<&(String, i128, i128, i128)> = Vec::new();
+        for span in track {
+            while let Some(top) = stack.last() {
+                if span.2 >= top.3 {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                if span.3 > top.3 {
+                    return fail(&format!(
+                        "span {:?} [{}..{}] partially overlaps {:?} [{}..{}] on tid {tid}",
+                        span.0, span.2, span.3, top.0, top.2, top.3
+                    ));
+                }
+            }
+            stack.push(span);
+        }
+    }
+
+    for name in &required {
+        if !spans.iter().any(|s| &s.0 == name) {
+            return fail(&format!("required span {name:?} not found"));
+        }
+    }
+
+    println!(
+        "tracecheck: {} span(s) ok{}",
+        spans.len(),
+        if required.is_empty() {
+            String::new()
+        } else {
+            format!(", all {} required span(s) present", required.len())
+        }
+    );
+    ExitCode::SUCCESS
+}

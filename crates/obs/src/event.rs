@@ -1,0 +1,175 @@
+//! Pipeline-stage events: ingest, emission and validation progress.
+//!
+//! The synthesis loop already streams `SynthesisEvent`s; these events fill
+//! the remaining gap — DDL ingestion, SQL emission, backend execution and
+//! validation comparison — so a consumer can follow a refactoring from the
+//! first parsed table to the final instance diff.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// One observable step of the refactoring pipeline outside the synthesis
+/// loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// A DDL input was parsed into a schema.
+    DdlParsed {
+        /// Which input this was (`"source"` or `"target"`).
+        input: String,
+        /// Number of tables in the parsed schema.
+        tables: usize,
+    },
+    /// The synthesized program was emitted as SQL.
+    Emitted {
+        /// Dialect the SQL was emitted for.
+        dialect: String,
+        /// Number of emitted SQL functions.
+        functions: usize,
+        /// Number of data-migration statements in the script.
+        statements: usize,
+    },
+    /// The end-to-end validation script was staged for a backend.
+    ScriptStaged {
+        /// Backend the script is staged for.
+        backend: String,
+        /// Rows seeded per source table.
+        seeded_rows: usize,
+        /// Number of migration statements in the staged script.
+        statements: usize,
+    },
+    /// The backend executed one section of the staged script.
+    BackendStatementExecuted {
+        /// Backend that executed the section.
+        backend: String,
+        /// Which section ran (`"ddl"`, `"seed"`, `"migration"`).
+        phase: String,
+        /// Number of SQL statements in the section.
+        statements: usize,
+    },
+    /// The migrated instance was compared against the predicted target.
+    ValidationCompared {
+        /// Backend whose result was compared.
+        backend: String,
+        /// Whether the instances agreed.
+        ok: bool,
+        /// Number of target tables compared.
+        tables_compared: usize,
+        /// Number of row-level differences found.
+        diffs: usize,
+    },
+}
+
+impl fmt::Display for PipelineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineEvent::DdlParsed { input, tables } => {
+                write!(f, "parsed {input} DDL: {tables} table(s)")
+            }
+            PipelineEvent::Emitted {
+                dialect,
+                functions,
+                statements,
+            } => write!(
+                f,
+                "emitted {functions} function(s), {statements} migration statement(s) [{dialect}]"
+            ),
+            PipelineEvent::ScriptStaged {
+                backend,
+                seeded_rows,
+                statements,
+            } => write!(
+                f,
+                "staged validation script for {backend}: {seeded_rows} row(s)/table, {statements} migration statement(s)"
+            ),
+            PipelineEvent::BackendStatementExecuted {
+                backend,
+                phase,
+                statements,
+            } => write!(f, "{backend} executed {phase}: {statements} statement(s)"),
+            PipelineEvent::ValidationCompared {
+                backend,
+                ok,
+                tables_compared,
+                diffs,
+            } => write!(
+                f,
+                "validation on {backend}: {} ({tables_compared} table(s), {diffs} diff(s))",
+                if *ok { "ok" } else { "MISMATCH" }
+            ),
+        }
+    }
+}
+
+/// A consumer of pipeline-stage events.  Implementations must tolerate
+/// being called from any thread.
+pub trait PipelineObserver: Send + Sync {
+    /// Called once per pipeline event, in stage order.
+    fn pipeline_event(&self, event: &PipelineEvent);
+}
+
+/// A [`PipelineObserver`] that buffers events for later inspection.
+///
+/// Like the synthesis `EventLog`, the buffer survives a poisoned lock: a
+/// panicking consumer thread cannot wipe the record that explains it.
+#[derive(Debug, Default)]
+pub struct PipelineEventLog {
+    events: Mutex<Vec<PipelineEvent>>,
+}
+
+impl PipelineEventLog {
+    /// Creates an empty log.
+    pub fn new() -> PipelineEventLog {
+        PipelineEventLog::default()
+    }
+
+    /// Returns a copy of the buffered events in arrival order.
+    pub fn events(&self) -> Vec<PipelineEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Renders the buffered events one per line.
+    pub fn render(&self) -> String {
+        let events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for event in events.iter() {
+            out.push_str(&format!("{event}\n"));
+        }
+        out
+    }
+}
+
+impl PipelineObserver for PipelineEventLog {
+    fn pipeline_event(&self, event: &PipelineEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_buffers_events_in_order() {
+        let log = PipelineEventLog::new();
+        log.pipeline_event(&PipelineEvent::DdlParsed {
+            input: "source".into(),
+            tables: 1,
+        });
+        log.pipeline_event(&PipelineEvent::ValidationCompared {
+            backend: "memory".into(),
+            ok: true,
+            tables_compared: 2,
+            diffs: 0,
+        });
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert!(log.render().contains("parsed source DDL"));
+        assert!(log.render().contains("validation on memory: ok"));
+    }
+}

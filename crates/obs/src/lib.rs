@@ -1,0 +1,50 @@
+//! # obs — observability for the Migrator pipeline
+//!
+//! Three small pieces, shared by every layer of the workspace:
+//!
+//! * [`Trace`] — hierarchical timed spans for pipeline stages, rendered as
+//!   a human-readable tree or as Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`), built with the in-tree
+//!   `sqlbridge::Json` writer;
+//! * [`Metrics`] — a registry of counters and timing histograms.  Counters
+//!   follow the event-log determinism contract (byte-identical at any
+//!   thread count when merged in enumeration order); timings are
+//!   wall-clock diagnostics and excluded from deterministic renderings;
+//! * [`PipelineEvent`] / [`PipelineObserver`] — stage events for ingest,
+//!   emission, backend execution and validation, complementing the
+//!   synthesis-loop event stream.
+//!
+//! ```
+//! use obs::{Metrics, PipelineEvent, PipelineEventLog, PipelineObserver, Trace};
+//! use std::time::Duration;
+//!
+//! // Spans nest by begin/end order and export as Chrome trace JSON.
+//! let trace = Trace::new();
+//! let stage = trace.begin("synthesize");
+//! trace.end(stage);
+//! trace.add_phase(stage, "oracle", Duration::from_millis(2));
+//! let json = trace.to_chrome_json().to_pretty_string();
+//! assert!(json.contains("traceEvents"));
+//!
+//! // Counters render deterministically; timings stay out of that view.
+//! let metrics = Metrics::new();
+//! metrics.counter("synthesis.sketches_generated", 3);
+//! metrics.record_time("synthesis.wall", Duration::from_millis(14));
+//! assert_eq!(metrics.render_counters(), "synthesis.sketches_generated = 3\n");
+//!
+//! // Pipeline events narrate the stages outside the synthesis loop.
+//! let log = PipelineEventLog::new();
+//! log.pipeline_event(&PipelineEvent::DdlParsed { input: "source".into(), tables: 1 });
+//! assert!(log.render().contains("parsed source DDL"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod trace;
+
+pub use event::{PipelineEvent, PipelineEventLog, PipelineObserver};
+pub use metrics::{Metrics, TimingStat};
+pub use trace::{SpanHandle, Trace};

@@ -1,0 +1,194 @@
+//! A metrics registry: named counters and timing histograms.
+//!
+//! The registry follows the determinism contract established by the
+//! synthesis event log: **counters** must be byte-identical at any thread
+//! count — callers achieve this by recording per-worker deltas into local
+//! shards and merging them in enumeration order — while **timings** are
+//! wall-clock diagnostics and are excluded from deterministic renderings
+//! ([`Metrics::render_counters`]) and from `experiments check` comparisons.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sqlbridge::Json;
+
+const BUCKETS: usize = 32;
+
+/// Aggregated wall-clock timing for one name: count, total, max and a
+/// power-of-two microsecond histogram.
+#[derive(Debug, Clone, Default)]
+pub struct TimingStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Largest single sample.
+    pub max: Duration,
+    /// `buckets[i]` counts samples with `2^(i-1) <= µs < 2^i` (bucket 0
+    /// holds sub-microsecond samples).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl TimingStat {
+    fn record(&mut self, duration: Duration) {
+        self.count += 1;
+        self.total += duration;
+        self.max = self.max.max(duration);
+        let micros = duration.as_micros();
+        let index = if micros == 0 {
+            0
+        } else {
+            (128 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[index] += 1;
+    }
+
+    /// Mean sample duration (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    timings: BTreeMap<String, TimingStat>,
+}
+
+/// A thread-safe registry of counters and timing histograms.
+///
+/// Locks recover from poisoning so a consumer panic cannot destroy the
+/// collected numbers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to the named counter (created at zero).
+    pub fn counter(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Returns the current value of the named counter (zero if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one wall-clock timing sample under `name`.
+    pub fn record_time(&self, name: &str, duration: Duration) {
+        let mut inner = self.lock();
+        inner
+            .timings
+            .entry(name.to_string())
+            .or_default()
+            .record(duration);
+    }
+
+    /// Renders only the counters, sorted by name — the deterministic
+    /// subset of the registry.  Two runs of the same workload at different
+    /// thread counts must produce byte-identical output here.
+    pub fn render_counters(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+        out
+    }
+
+    /// Renders counters plus wall-clock timing summaries (count, total,
+    /// mean, max).  The timing half varies run to run; never compare it.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+        for (name, stat) in &inner.timings {
+            out.push_str(&format!(
+                "{name}: count {} total {:.3?} mean {:.3?} max {:.3?}\n",
+                stat.count,
+                stat.total,
+                stat.mean(),
+                stat.max
+            ));
+        }
+        out
+    }
+
+    /// Renders the registry as JSON: a deterministic `counters` object and
+    /// a wall-clock `timings` object.
+    pub fn to_json(&self) -> Json {
+        let inner = self.lock();
+        let mut counters = Json::object();
+        for (name, value) in &inner.counters {
+            counters = counters.with(name.clone(), Json::from(*value as usize));
+        }
+        let mut timings = Json::object();
+        for (name, stat) in &inner.timings {
+            timings = timings.with(
+                name.clone(),
+                Json::object()
+                    .with("count", Json::from(stat.count as usize))
+                    .with("total_secs", Json::from(stat.total.as_secs_f64()))
+                    .with("max_secs", Json::from(stat.max.as_secs_f64())),
+            );
+        }
+        Json::object()
+            .with("counters", counters)
+            .with("timings", timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_sorted() {
+        let metrics = Metrics::new();
+        metrics.counter("z.last", 1);
+        metrics.counter("a.first", 2);
+        metrics.counter("a.first", 3);
+        assert_eq!(metrics.counter_value("a.first"), 5);
+        assert_eq!(metrics.render_counters(), "a.first = 5\nz.last = 1\n");
+    }
+
+    #[test]
+    fn timings_are_excluded_from_the_deterministic_rendering() {
+        let metrics = Metrics::new();
+        metrics.counter("n", 1);
+        metrics.record_time("t", Duration::from_millis(7));
+        assert_eq!(metrics.render_counters(), "n = 1\n");
+        assert!(metrics.render().contains("t: count 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_follow_powers_of_two() {
+        let mut stat = TimingStat::default();
+        stat.record(Duration::from_micros(0));
+        stat.record(Duration::from_micros(1));
+        stat.record(Duration::from_micros(2));
+        stat.record(Duration::from_micros(3));
+        assert_eq!(stat.buckets[0], 1);
+        assert_eq!(stat.buckets[1], 1); // 1µs
+        assert_eq!(stat.buckets[2], 2); // 2µs and 3µs
+        assert_eq!(stat.count, 4);
+    }
+}

@@ -91,7 +91,59 @@ pub use error::{InputKind, RefactorError};
 pub use migrator::{CancelReason, CancelToken, SynthesisEvent};
 // Re-exported so facade clients need no direct dependency on the layer
 // crates for the common path.
+pub use obs::{Metrics, PipelineEvent, PipelineObserver, Trace};
 pub use sqlbridge::{dialect_by_name, Json};
+
+/// The observability hooks threaded through the stage outputs: an optional
+/// span [`Trace`], an optional [`Metrics`] registry and an optional
+/// [`PipelineObserver`] for stage events.
+///
+/// The context carries *instruments*, not data: two stage outputs that
+/// differ only in their attached instruments describe the same refactoring,
+/// so `ObsContext` compares equal to every other `ObsContext` and stays
+/// transparent to the stage outputs' `PartialEq`.
+#[derive(Clone, Default)]
+pub struct ObsContext {
+    trace: Option<Arc<Trace>>,
+    metrics: Option<Arc<Metrics>>,
+    observer: Option<Arc<dyn PipelineObserver>>,
+}
+
+impl std::fmt::Debug for ObsContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsContext")
+            .field("trace", &self.trace.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl PartialEq for ObsContext {
+    fn eq(&self, _other: &ObsContext) -> bool {
+        true // instruments, not data — see the type documentation
+    }
+}
+
+impl ObsContext {
+    fn event(&self, event: PipelineEvent) {
+        if let Some(observer) = &self.observer {
+            observer.pipeline_event(&event);
+        }
+    }
+
+    fn counter(&self, name: &str, value: u64) {
+        if let Some(metrics) = &self.metrics {
+            metrics.counter(name, value);
+        }
+    }
+
+    fn time(&self, name: &str, duration: Duration) {
+        if let Some(metrics) = &self.metrics {
+            metrics.record_time(name, duration);
+        }
+    }
+}
 
 /// Builds the backend registered under `name` (`memory`, or `sqlite3` when
 /// a `sqlite3` binary is installed).
@@ -125,6 +177,7 @@ pub struct Refactoring {
     observer: Option<Arc<dyn SynthesisObserver>>,
     cancel: CancelToken,
     budget: Option<Duration>,
+    obs: ObsContext,
 }
 
 impl std::fmt::Debug for Refactoring {
@@ -137,6 +190,7 @@ impl std::fmt::Debug for Refactoring {
             .field("observer", &self.observer.is_some())
             .field("cancel", &self.cancel)
             .field("budget", &self.budget)
+            .field("obs", &self.obs)
             .finish()
     }
 }
@@ -152,6 +206,7 @@ impl Refactoring {
             observer: None,
             cancel: CancelToken::new(),
             budget: None,
+            obs: ObsContext::default(),
         }
     }
 
@@ -291,6 +346,34 @@ impl Refactoring {
         self
     }
 
+    /// Installs a span [`Trace`]: every stage this session runs from here
+    /// on (`synthesize`, `emit`, `validate`) opens a span, and the
+    /// synthesis stage attaches its per-phase aggregates as synthetic
+    /// phase spans.  Render with [`Trace::render_tree`] or export with
+    /// [`Trace::to_chrome_json`].
+    pub fn trace(mut self, trace: Arc<Trace>) -> Refactoring {
+        self.obs.trace = Some(trace);
+        self
+    }
+
+    /// Installs a [`Metrics`] registry.  Counters recorded by the pipeline
+    /// are restricted to deterministic quantities (merged in enumeration
+    /// order), so [`Metrics::render_counters`] is byte-identical at any
+    /// thread count; wall-clock phase timings go to the separate timing
+    /// channel, which is excluded from that deterministic view.
+    pub fn metrics(mut self, metrics: Arc<Metrics>) -> Refactoring {
+        self.obs.metrics = Some(metrics);
+        self
+    }
+
+    /// Installs a [`PipelineObserver`] that receives one [`PipelineEvent`]
+    /// per pipeline milestone: DDL parsed, SQL emitted, validation script
+    /// staged and executed, instances compared.
+    pub fn pipeline_observer(mut self, observer: Arc<dyn PipelineObserver>) -> Refactoring {
+        self.obs.observer = Some(observer);
+        self
+    }
+
     /// Runs the synthesis stage: value-correspondence enumeration, sketch
     /// generation, MFI-guided completion and final bounded verification.
     ///
@@ -306,6 +389,31 @@ impl Refactoring {
                     .to_string(),
             });
         };
+        // DDL parsing happened in the constructors, before instruments could
+        // be installed; the ingest span marks the stage at the head of the
+        // run and carries the parsed table counts as arguments.
+        if let Some(trace) = &self.obs.trace {
+            let ingest = trace.begin("ingest");
+            trace.set_arg(
+                ingest,
+                "source_tables",
+                Json::from(self.source_schema.tables().len()),
+            );
+            trace.set_arg(
+                ingest,
+                "target_tables",
+                Json::from(self.target_schema.tables().len()),
+            );
+            trace.end(ingest);
+        }
+        self.obs.event(PipelineEvent::DdlParsed {
+            input: "source".to_string(),
+            tables: self.source_schema.tables().len(),
+        });
+        self.obs.event(PipelineEvent::DdlParsed {
+            input: "target".to_string(),
+            tables: self.target_schema.tables().len(),
+        });
         let mut synthesizer =
             Synthesizer::new(self.config.clone()).with_cancel(self.cancel.clone());
         if let Some(budget) = self.budget {
@@ -314,7 +422,32 @@ impl Refactoring {
         if let Some(observer) = &self.observer {
             synthesizer = synthesizer.with_observer(observer.clone());
         }
+        let span = self.obs.trace.as_ref().map(|t| t.begin("synthesize"));
         let result = synthesizer.synthesize(program, &self.source_schema, &self.target_schema);
+        if let (Some(trace), Some(span)) = (&self.obs.trace, span) {
+            trace.set_arg(span, "outcome", Json::str(format!("{:?}", result.outcome)));
+            trace.set_arg(span, "iterations", Json::from(result.stats.iterations));
+            trace.set_arg(
+                span,
+                "value_correspondences",
+                Json::from(result.stats.value_correspondences),
+            );
+            trace.end(span);
+            let phases = &result.stats.phases;
+            for (name, duration) in [
+                ("vc enumeration", phases.vc_enumeration_time),
+                ("sketch generation", phases.sketch_generation_time),
+                ("completion", phases.completion_time),
+                ("bounded testing", phases.bounded_testing_time),
+                ("plan compile", phases.plan_compile_time),
+                ("snapshot clone", phases.snapshot_time),
+                ("oracle", phases.oracle_time),
+                ("final verification", result.stats.verification_time),
+            ] {
+                trace.add_phase(span, name, duration);
+            }
+        }
+        self.record_synthesis_metrics(&result.stats);
         match (result.program, result.correspondence) {
             (Some(migrated), Some(correspondence)) => Ok(Synthesized {
                 source_schema: self.source_schema.clone(),
@@ -323,11 +456,67 @@ impl Refactoring {
                 correspondence,
                 stats: result.stats,
                 outcome: result.outcome,
+                obs: self.obs.clone(),
             }),
             _ => Err(RefactorError::Unsolved {
                 outcome: result.outcome,
                 stats: Box::new(result.stats),
             }),
+        }
+    }
+
+    /// Folds a finished run's statistics into the metrics registry.
+    ///
+    /// Counters are restricted to quantities merged from the winning
+    /// trajectory in enumeration order, so the rendered counter view is
+    /// byte-identical at any thread count.  Scheduling-dependent
+    /// diagnostics (oracle hits, snapshot counts) and wall-clock phase
+    /// timings go to the timing channel, which the deterministic view
+    /// excludes.
+    fn record_synthesis_metrics(&self, stats: &SynthesisStats) {
+        if self.obs.metrics.is_none() {
+            return;
+        }
+        let counters: [(&str, u64); 8] = [
+            (
+                "synthesis.value_correspondences",
+                stats.value_correspondences as u64,
+            ),
+            ("synthesis.iterations", stats.iterations as u64),
+            (
+                "synthesis.sketches_generated",
+                stats.sketches_generated as u64,
+            ),
+            (
+                "synthesis.invalid_instantiations",
+                stats.invalid_instantiations as u64,
+            ),
+            ("synthesis.sequences_tested", stats.sequences_tested as u64),
+            ("synthesis.truncated_checks", stats.truncated_checks as u64),
+            (
+                "phase.sat_blocking_clauses",
+                stats.phases.sat_blocking_clauses as u64,
+            ),
+            ("phase.plans_compiled", stats.phases.plans_compiled),
+        ];
+        for (name, value) in counters {
+            self.obs.counter(name, value);
+        }
+        let timings: [(&str, Duration); 8] = [
+            ("phase.vc_enumeration", stats.phases.vc_enumeration_time),
+            (
+                "phase.sketch_generation",
+                stats.phases.sketch_generation_time,
+            ),
+            ("phase.completion", stats.phases.completion_time),
+            ("phase.bounded_testing", stats.phases.bounded_testing_time),
+            ("phase.plan_compile", stats.phases.plan_compile_time),
+            ("phase.snapshot_clone", stats.phases.snapshot_time),
+            ("phase.oracle", stats.phases.oracle_time),
+            ("stage.verification", stats.verification_time),
+        ];
+        for (name, duration) in timings {
+            self.obs.time(name, duration);
         }
     }
 }
@@ -349,6 +538,9 @@ pub struct Synthesized {
     /// Always [`SynthesisOutcome::Solved`] (unsolved runs fail the stage);
     /// carried so reports need only one source of truth.
     pub outcome: SynthesisOutcome,
+    /// The observability instruments inherited from the session
+    /// (equality-transparent; see [`ObsContext`]).
+    obs: ObsContext,
 }
 
 impl Synthesized {
@@ -361,6 +553,7 @@ impl Synthesized {
     /// and plans + renders the executable data-migration script, all in
     /// `dialect`.
     pub fn emit(&self, dialect: Box<dyn Dialect>) -> Emitted {
+        let span = self.obs.trace.as_ref().map(|t| t.begin("emit"));
         let functions = sqlbridge::program_to_sql(&self.program, dialect.as_ref());
         let program_sql = render_sql_program(&self.program, dialect.as_ref());
         let target_ddl = schema_to_ddl(&self.target_schema, dialect.as_ref());
@@ -371,6 +564,20 @@ impl Synthesized {
             dialect.as_ref(),
         );
         let migration_sql = render_migration_script(&script, dialect.as_ref());
+        if let (Some(trace), Some(span)) = (&self.obs.trace, span) {
+            trace.set_arg(span, "dialect", Json::str(dialect.name()));
+            trace.set_arg(span, "functions", Json::from(functions.len()));
+            trace.set_arg(span, "statements", Json::from(script.statements.len()));
+            trace.end(span);
+        }
+        self.obs.counter("emit.functions", functions.len() as u64);
+        self.obs
+            .counter("emit.statements", script.statements.len() as u64);
+        self.obs.event(PipelineEvent::Emitted {
+            dialect: dialect.name().to_string(),
+            functions: functions.len(),
+            statements: script.statements.len(),
+        });
         Emitted {
             source_schema: self.source_schema.clone(),
             target_schema: self.target_schema.clone(),
@@ -381,6 +588,7 @@ impl Synthesized {
             target_ddl,
             script,
             migration_sql,
+            obs: self.obs.clone(),
         }
     }
 }
@@ -408,6 +616,8 @@ pub struct Emitted {
     pub script: MigrationScript,
     /// The migration script rendered as one executable SQL text.
     pub migration_sql: String,
+    /// The observability instruments inherited from the session.
+    obs: ObsContext,
 }
 
 impl std::fmt::Debug for Emitted {
@@ -450,15 +660,30 @@ impl Emitted {
         } else {
             self.dialect.as_ref()
         };
-        let outcome = sqlexec::validate_migration_dialect(
+        let span = self.obs.trace.as_ref().map(|t| t.begin("validate"));
+        let result = sqlexec::validate_migration_observed(
             &self.source_schema,
             &self.target_schema,
             &self.correspondence,
             backend,
             rows_per_table,
             dialect,
-        )
-        .map_err(|source| RefactorError::Backend { source })?;
+            self.obs.observer.as_deref(),
+        );
+        if let (Some(trace), Some(span)) = (&self.obs.trace, span) {
+            trace.set_arg(span, "backend", Json::str(backend.name()));
+            if let Ok(outcome) = &result {
+                trace.set_arg(span, "ok", Json::from(outcome.ok));
+            }
+            trace.end(span);
+        }
+        let outcome = result.map_err(|source| RefactorError::Backend { source })?;
+        self.obs.counter(
+            "validate.tables_compared",
+            self.target_schema.tables().len() as u64,
+        );
+        self.obs
+            .counter("validate.diffs", outcome.diffs.len() as u64);
         Ok(Validated { outcome })
     }
 }

@@ -56,6 +56,6 @@ pub mod validate;
 pub use backend::{Backend, BackendError, MemoryBackend, Sqlite3Backend};
 pub use engine::{Database, Params, QueryResult};
 pub use validate::{
-    predicted_target, seed_instance, validate_migration, validate_migration_dialect, InstanceDiff,
-    ValidationOutcome, DEFAULT_ROWS_PER_TABLE,
+    predicted_target, seed_instance, validate_migration, validate_migration_dialect,
+    validate_migration_observed, InstanceDiff, ValidationOutcome, DEFAULT_ROWS_PER_TABLE,
 };

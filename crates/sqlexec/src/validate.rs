@@ -474,18 +474,77 @@ pub fn validate_migration_dialect(
     rows_per_table: usize,
     dialect: &dyn Dialect,
 ) -> Result<ValidationOutcome, BackendError> {
+    validate_migration_observed(
+        source_schema,
+        target_schema,
+        phi,
+        backend,
+        rows_per_table,
+        dialect,
+        None,
+    )
+}
+
+/// [`validate_migration_dialect`] with an optional [`obs::PipelineObserver`]
+/// that receives stage events while the validation runs: the staged script
+/// ([`obs::PipelineEvent::ScriptStaged`]), each executed script section
+/// ([`obs::PipelineEvent::BackendStatementExecuted`] for `ddl`, `seed` and
+/// `migration` — the backend runs the staged text as one script, so the
+/// section events fire together once it has gone through), and the final
+/// instance comparison ([`obs::PipelineEvent::ValidationCompared`]).
+///
+/// # Errors
+///
+/// Fails when the backend rejects the script or cannot be read back; a
+/// *semantic* mismatch is not an error but an outcome with `ok == false`.
+pub fn validate_migration_observed(
+    source_schema: &Schema,
+    target_schema: &Schema,
+    phi: &ValueCorrespondence,
+    backend: &mut dyn Backend,
+    rows_per_table: usize,
+    dialect: &dyn Dialect,
+    observer: Option<&dyn obs::PipelineObserver>,
+) -> Result<ValidationOutcome, BackendError> {
+    let emit = |event: obs::PipelineEvent| {
+        if let Some(observer) = observer {
+            observer.pipeline_event(&event);
+        }
+    };
     let seed = seed_instance(source_schema, rows_per_table);
 
     let mut script = String::new();
-    script.push_str(&schema_to_ddl(source_schema, dialect));
-    for statement in instance_inserts(source_schema, &seed, dialect) {
+    let ddl = schema_to_ddl(source_schema, dialect);
+    let ddl_statements = ddl.matches(';').count();
+    script.push_str(&ddl);
+    let inserts = instance_inserts(source_schema, &seed, dialect);
+    let seed_statements = inserts.len();
+    for statement in inserts {
         script.push_str(&statement);
         script.push('\n');
     }
     let migration = migration_script(source_schema, target_schema, phi, dialect);
+    let migration_statements =
+        migration.preamble.len() + migration.statements.len() + migration.cleanup.len();
     script.push_str(&render_migration_script(&migration, dialect));
+    emit(obs::PipelineEvent::ScriptStaged {
+        backend: backend.name().to_string(),
+        seeded_rows: rows_per_table,
+        statements: migration_statements,
+    });
 
     backend.execute_script(&script)?;
+    for (phase, statements) in [
+        ("ddl", ddl_statements),
+        ("seed", seed_statements),
+        ("migration", migration_statements),
+    ] {
+        emit(obs::PipelineEvent::BackendStatementExecuted {
+            backend: backend.name().to_string(),
+            phase: phase.to_string(),
+            statements,
+        });
+    }
     let actual = backend.snapshot(target_schema)?;
 
     let plan = migration_plan(source_schema, target_schema, phi);
@@ -493,6 +552,12 @@ pub fn validate_migration_dialect(
     let expected = match predicted_target(&plan, source_schema, target_schema, &seed) {
         Ok(expected) => expected,
         Err(message) => {
+            emit(obs::PipelineEvent::ValidationCompared {
+                backend: backend.name().to_string(),
+                ok: false,
+                tables_compared: target_schema.tables().len(),
+                diffs: 0,
+            });
             return Ok(ValidationOutcome {
                 ok: false,
                 backend: backend.name().to_string(),
@@ -501,7 +566,7 @@ pub fn validate_migration_dialect(
                 migrated_rows: actual.total_rows(),
                 diffs: Vec::new(),
                 details: vec![format!("prediction failed: {message}")],
-            })
+            });
         }
     };
     let diffs = compare_instances(&expected, &actual, target_schema);
@@ -513,6 +578,12 @@ pub fn validate_migration_dialect(
             backend.name()
         ));
     }
+    emit(obs::PipelineEvent::ValidationCompared {
+        backend: backend.name().to_string(),
+        ok,
+        tables_compared: target_schema.tables().len(),
+        diffs: diffs.len(),
+    });
     Ok(ValidationOutcome {
         ok,
         backend: backend.name().to_string(),
