@@ -6,6 +6,7 @@
 //! experiments table3 [--textbook-only] [--cap <iterations>] [--threads <n>]
 //! experiments all    [--textbook-only] [--out <path>] [--threads <n>]
 //! experiments check  [--textbook-only] [--only <name>]... [--against <path>] [--threads <n>]
+//! experiments known-red [--threads <n>]
 //! ```
 //!
 //! `--threads N` caps the synthesizer's global thread budget (default: the
@@ -22,15 +23,21 @@
 //!
 //! `check` is the deterministic-stats mode CI runs on a fast benchmark
 //! subset: it re-runs the selected benchmarks and asserts that the
-//! *deterministic* columns — `iterations`, `value_correspondences`,
-//! `sequences_tested`, the success flag, and the deterministic phase
-//! counters `phases.sat_blocking_clauses` / `phases.plans_compiled` — match
-//! the committed trajectory file (wall time, thread count and
-//! cache-hit/allocation counters are machine- or scheduling-dependent and
-//! excluded). Mismatches are reported field by field in a `### Mismatches`
-//! section (expected vs measured) with a one-line summary count on stderr.
-//! `--only` is repeatable. Exits non-zero on any mismatch, so a
-//! search-behaviour regression fails the build.
+//! *deterministic* columns — the allowlists
+//! [`bench::DETERMINISTIC_TOP_FIELDS`] and
+//! [`bench::DETERMINISTIC_PHASE_FIELDS`], plus the success and validation
+//! flags — match the committed trajectory file (wall time, thread count and
+//! snapshot/oracle/allocation counters are machine- or
+//! scheduling-dependent and excluded). Mismatches are reported field by
+//! field in a `### Mismatches` section (expected vs measured) with a
+//! one-line summary count on stderr. `--only` is repeatable. Exits non-zero
+//! on any mismatch, so a search-behaviour regression fails the build.
+//!
+//! `known-red` is the frontier gate: every benchmark outside the known-red
+//! list must keep synthesizing and validating under the standard
+//! configuration, while the known-red benchmarks are attempted under the
+//! widened-space preset (`SynthesisConfig::widened`) and their status is
+//! recorded informationally in the Markdown output.
 
 use std::time::{Duration, Instant};
 
@@ -383,35 +390,20 @@ fn check(options: &Options) {
         };
         let top = |key: &str| expected.get(key).and_then(|v| v.as_i128());
         // Deterministic counters nested under `phases` are part of the
-        // trajectory contract too — but only those two; the other phase
-        // fields are wall-clock or scheduling-dependent by design.
+        // trajectory contract too — exactly the allowlisted ones; the other
+        // phase fields are wall-clock or scheduling-dependent by design.
         let phase = |key: &str| {
             expected
                 .get("phases")
                 .and_then(|p| p.get(key))
                 .and_then(|v| v.as_i128())
         };
-        field(
-            top("value_correspondences"),
-            row.value_corr as i128,
-            "value_correspondences",
-        );
-        field(top("iterations"), row.iters as i128, "iterations");
-        field(
-            top("sequences_tested"),
-            row.sequences_tested as i128,
-            "sequences_tested",
-        );
-        field(
-            phase("sat_blocking_clauses"),
-            row.phases.sat_blocking_clauses as i128,
-            "phases.sat_blocking_clauses",
-        );
-        field(
-            phase("plans_compiled"),
-            row.phases.plans_compiled as i128,
-            "phases.plans_compiled",
-        );
+        for (name, extract) in bench::DETERMINISTIC_TOP_FIELDS {
+            field(top(name), extract(&row), name);
+        }
+        for (name, extract) in bench::DETERMINISTIC_PHASE_FIELDS {
+            field(phase(name), extract(&row.phases), &format!("phases.{name}"));
+        }
         let committed_success = expected.get("succeeded").and_then(|v| v.as_bool());
         if committed_success != Some(row.succeeded) {
             diffs.push(format!(
@@ -473,6 +465,79 @@ fn check(options: &Options) {
     eprintln!("{checked} benchmark(s) match {}", options.against);
 }
 
+/// Benchmarks the repo records as unsolved under the standard
+/// configuration. The known-red gate attempts them with the widened-space
+/// preset and *records* the result instead of gating on it; everything not
+/// in this list must stay green.
+const KNOWN_RED: &[&str] = &["MathHotSpot", "probable-engine"];
+
+/// The known-red CI gate: every benchmark outside [`KNOWN_RED`] must keep
+/// synthesizing *and* validating under the standard configuration (exit 1
+/// otherwise), and the known-red frontier is attempted under the
+/// widened-space preset so the job summary records its current status.
+/// The output is Markdown, suitable for `$GITHUB_STEP_SUMMARY`.
+fn known_red(options: &Options) {
+    println!("## Known-red gate\n");
+    println!("| Benchmark | Config | Synthesized | Validated | Status |");
+    println!("|---|---|---|---|---|");
+    let mut regressions: Vec<String> = Vec::new();
+    let mut green = 0usize;
+    let mut frontier: Vec<Benchmark> = Vec::new();
+    for benchmark in selected_benchmarks(options) {
+        if KNOWN_RED.contains(&benchmark.name.as_str()) {
+            frontier.push(benchmark);
+            continue;
+        }
+        let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        let ok = row.succeeded && row.validated == Some(true);
+        if ok {
+            green += 1;
+        } else {
+            regressions.push(benchmark.name.clone());
+        }
+        println!(
+            "| {} | standard | {} | {} | {} |",
+            benchmark.name,
+            if row.succeeded { "yes" } else { "NO" },
+            match row.validated {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            },
+            if ok { "green" } else { "REGRESSION" },
+        );
+    }
+    for benchmark in frontier {
+        let row = bench::run_table1_with(&benchmark, bench::widened_config_for(&benchmark));
+        let solved = row.succeeded && row.validated == Some(true);
+        println!(
+            "| {} | widened | {} | {} | {} |",
+            benchmark.name,
+            if row.succeeded { "yes" } else { "no" },
+            match row.validated {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "-",
+            },
+            if solved {
+                "solved under widened space"
+            } else {
+                "known red (informational)"
+            },
+        );
+    }
+    println!();
+    if !regressions.is_empty() {
+        eprintln!(
+            "known-red gate: {} benchmark(s) regressed: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
+    eprintln!("known-red gate: {green} green benchmark(s) still green");
+}
+
 fn main() {
     let options = parse_args();
     // 0 means "use the machine's available parallelism" (parpool's default).
@@ -482,6 +547,7 @@ fn main() {
         "table2" => table2(&options),
         "table3" => table3(&options),
         "check" => check(&options),
+        "known-red" => known_red(&options),
         "all" => {
             table1(&options);
             table2(&options);

@@ -21,6 +21,20 @@ pub fn config_for(benchmark: &Benchmark, solver: SketchSolverKind) -> SynthesisC
         solver,
         ..SynthesisConfig::standard()
     };
+    lean_testing_for(benchmark, &mut config);
+    config
+}
+
+/// The widened-space configuration ([`SynthesisConfig::widened`]) with the
+/// same per-category bounded-testing adjustments as [`config_for`] — the
+/// configuration the known-red gate uses to attack the frontier benchmarks.
+pub fn widened_config_for(benchmark: &Benchmark) -> SynthesisConfig {
+    let mut config = SynthesisConfig::widened();
+    lean_testing_for(benchmark, &mut config);
+    config
+}
+
+fn lean_testing_for(benchmark: &Benchmark, config: &mut SynthesisConfig) {
     if benchmark.category == Category::RealWorld {
         config.testing = TestConfig {
             max_arg_combinations: Some(4),
@@ -31,8 +45,35 @@ pub fn config_for(benchmark: &Benchmark, solver: SketchSolverKind) -> SynthesisC
             ..TestConfig::default()
         };
     }
-    config
 }
+
+/// One entry in a deterministic-field allowlist: the JSON field name and
+/// the extractor that reads its value from a fresh run.
+pub type DeterministicField<T> = (&'static str, fn(&T) -> i128);
+
+/// The deterministic trajectory contract: the top-level `BENCH_results.json`
+/// fields `experiments check` compares against a fresh run, with their
+/// extractors. Everything not listed here (wall time, snapshot and
+/// oracle-hit counters, interner sizes) is machine- or scheduling-dependent
+/// and deliberately excluded.
+pub const DETERMINISTIC_TOP_FIELDS: &[DeterministicField<Table1Row>] = &[
+    ("value_correspondences", |row| row.value_corr as i128),
+    ("iterations", |row| row.iters as i128),
+    ("sequences_tested", |row| row.sequences_tested as i128),
+];
+
+/// The deterministic phase counters nested under `phases` in
+/// `BENCH_results.json` — the other half of the trajectory contract (see
+/// [`DETERMINISTIC_TOP_FIELDS`]). These are merged from the winning
+/// trajectory in enumeration order, so they are identical at any thread
+/// count.
+pub const DETERMINISTIC_PHASE_FIELDS: &[DeterministicField<migrator::PhaseBreakdown>] = &[
+    ("sat_blocking_clauses", |p| p.sat_blocking_clauses as i128),
+    ("plans_compiled", |p| p.plans_compiled as i128),
+    ("solver_reuses", |p| p.solver_reuses as i128),
+    ("learned_clauses_kept", |p| p.learned_clauses_kept as i128),
+    ("prefix_cache_hits", |p| p.prefix_cache_hits as i128),
+];
 
 /// The CEGIS (Sketch stand-in) configuration used in Table 2 runs.
 pub fn cegis_config_for(benchmark: &Benchmark, time_limit: Duration) -> CegisConfig {
@@ -91,27 +132,40 @@ pub struct Table1Row {
     /// How the run ended (`solved`, `no_solution`, `timeout`, `cancelled`).
     pub outcome: &'static str,
     /// Per-phase breakdown of the run: wall-clock times (never compared
-    /// across runs) plus the deterministic `sat_blocking_clauses` /
-    /// `plans_compiled` counters that `experiments check` verifies.
+    /// across runs) plus the deterministic counters
+    /// (`sat_blocking_clauses`, `plans_compiled`, `solver_reuses`,
+    /// `learned_clauses_kept`, `prefix_cache_hits`) that
+    /// `experiments check` verifies.
     pub phases: migrator::PhaseBreakdown,
 }
 
 /// Builds the facade session the harness runs a benchmark through — the
 /// same `Refactoring` pipeline every other client uses.
 pub fn session_for(benchmark: &Benchmark, solver: SketchSolverKind) -> Refactoring {
+    session_with(benchmark, config_for(benchmark, solver))
+}
+
+/// Builds the facade session for a benchmark with an explicit synthesis
+/// configuration (e.g. the widened-space preset).
+pub fn session_with(benchmark: &Benchmark, config: SynthesisConfig) -> Refactoring {
     Refactoring::new(
         benchmark.source_schema.clone(),
         benchmark.target_schema.clone(),
     )
     .program(benchmark.source_program.clone())
-    .config(config_for(benchmark, solver))
+    .config(config)
 }
 
 /// Runs the full synthesis pipeline on a benchmark — through the
 /// [`Refactoring`] facade — and returns the measured Table 1 row.
 pub fn run_table1(benchmark: &Benchmark, solver: SketchSolverKind) -> Table1Row {
+    run_table1_with(benchmark, config_for(benchmark, solver))
+}
+
+/// [`run_table1`] with an explicit synthesis configuration.
+pub fn run_table1_with(benchmark: &Benchmark, config: SynthesisConfig) -> Table1Row {
     dbir::equiv::reset_snapshot_peak();
-    let (outcome, stats, validated) = match session_for(benchmark, solver).synthesize() {
+    let (outcome, stats, validated) = match session_with(benchmark, config).synthesize() {
         Ok(synthesized) => {
             // Every successful synthesis also validates its emitted
             // migration end-to-end through the in-memory SQL backend, so a
@@ -227,6 +281,45 @@ mod tests {
         assert!(
             realworld_config.testing.max_arg_combinations.unwrap()
                 < textbook_config.testing.max_arg_combinations.unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic_allowlists_are_distinct_and_json_backed() {
+        // Every allowlisted field must exist (under its exact name) in the
+        // JSON a row renders to, or `check` would report spurious "absent"
+        // mismatches forever.
+        let benchmark = benchmark_by_name("Ambler-4").unwrap();
+        let row = run_table1(&benchmark, SketchSolverKind::MfiGuided);
+        let json = row_to_json(&benchmark, &row);
+        for (name, extract) in DETERMINISTIC_TOP_FIELDS {
+            assert_eq!(
+                json.get(name).and_then(|v| v.as_i128()),
+                Some(extract(&row)),
+                "top-level field {name}"
+            );
+        }
+        let phases = json.get("phases").unwrap();
+        for (name, extract) in DETERMINISTIC_PHASE_FIELDS {
+            assert_eq!(
+                phases.get(name).and_then(|v| v.as_i128()),
+                Some(extract(&row.phases)),
+                "phase field {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn widened_config_keeps_lean_testing_for_realworld() {
+        let realworld = benchmark_by_name("coachup").unwrap();
+        let widened = widened_config_for(&realworld);
+        assert_eq!(widened.testing.max_arg_combinations, Some(4));
+        assert!(widened.sketch.relax_delete_coverage);
+        let textbook = benchmark_by_name("Ambler-4").unwrap();
+        let widened = widened_config_for(&textbook);
+        assert_eq!(
+            widened.testing.max_arg_combinations,
+            SynthesisConfig::standard().testing.max_arg_combinations
         );
     }
 

@@ -9,8 +9,33 @@
 //! disequivalence — blocking only the assignment to the holes of those
 //! functions prunes every completion that would fail for the same reason
 //! (18,225 programs at once in the paper's running example).
+//!
+//! ## Incremental engine
+//!
+//! Three mechanisms make the loop incremental end-to-end:
+//!
+//! * **Persistent solver** — one [`Solver`] lives for the whole sketch;
+//!   blocking clauses are added to it and the conflict clauses, variable
+//!   activities and saved phases it accumulates carry over to every later
+//!   model (counted by [`SketchRunStats::solver_reuses`] and
+//!   [`SketchRunStats::learned_clauses_kept`]).
+//! * **Speculative candidate checking** — while candidate *k* is in
+//!   bounded testing, the solver probes for candidate *k+1* on a
+//!   [`parpool`] worker under a guard assumption `g` whose clause
+//!   `¬g ∨ block(k)` pre-blocks *k*'s full model. If *k* fails, the guard
+//!   is committed as a unit clause (sound: the learned MFI clause blocks a
+//!   superset of `block(k)`) and the probed model is *adopted* as the next
+//!   candidate when it already satisfies the MFI clause; if *k* is
+//!   accepted the probe is discarded. The probe always runs —
+//!   [`parpool::join`] degrades to sequential execution instead of
+//!   skipping — so the solver-state trajectory, and with it every model
+//!   and counter, is byte-identical at any thread count.
+//! * **Prefix sharing** — every bounded check of the sketch (testing and
+//!   verification) shares one [`PrefixCache`], so update prefixes executed
+//!   for candidate *k* are reused by candidate *k+1* when the prefix's
+//!   update bodies did not change.
 
-use dbir::equiv::{CheckProfile, SourceOracle, TestConfig};
+use dbir::equiv::{CheckProfile, PrefixCache, SourceOracle, TestConfig};
 use dbir::{Program, Schema};
 use parpool::CancelToken;
 use satsolver::encoder::exactly_one;
@@ -19,7 +44,7 @@ use satsolver::{Lit, Model, SolveResult, Solver, Var};
 use crate::observe::SynthesisEvent;
 use crate::sketch::{HoleAssignment, HoleId, Sketch};
 use crate::stats::SketchRunStats;
-use crate::verify::{check_candidate_profiled, CheckOutcome};
+use crate::verify::{check_candidate_cached, CheckOutcome};
 
 /// The SAT encoding of a sketch: one variable per (hole, domain element).
 #[derive(Debug)]
@@ -195,39 +220,54 @@ pub fn complete_sketch(
     let encoding = SketchEncoding::encode(sketch, &mut solver);
     let all_holes: Vec<HoleId> = sketch.holes.iter().map(|h| h.id).collect();
     let index = controls.index;
+    // Executed update-prefix states shared across every bounded check of
+    // this sketch — candidates mostly differ in one hole, so most prefixes
+    // carry over unchanged from check to check.
+    let mut cache = PrefixCache::new();
+    // A speculative model adopted from the previous iteration's probe,
+    // consumed instead of a fresh solver call.
+    let mut pending_model: Option<Model> = None;
     let done = |program: Option<Program>,
-                stats: SketchRunStats,
+                mut stats: SketchRunStats,
                 cancelled: bool,
-                interrupted: bool| CompletionOutcome {
-        program,
-        stats,
-        cancelled,
-        interrupted,
+                interrupted: bool,
+                solver: &Solver| {
+        stats.solver_reuses = solver.solves().saturating_sub(1);
+        stats.learned_clauses_kept = solver.learnt_clauses_kept();
+        CompletionOutcome {
+            program,
+            stats,
+            cancelled,
+            interrupted,
+        }
     };
 
     loop {
         if controls.token.is_some_and(CancelToken::is_cancelled) {
-            return done(None, stats, false, true);
+            return done(None, stats, false, true, &solver);
         }
         if controls.cancel.is_some_and(|cancelled| cancelled()) {
-            return done(None, stats, true, false);
+            return done(None, stats, true, false, &solver);
         }
         if max_iterations > 0 && stats.iterations >= max_iterations {
             controls.record(SynthesisEvent::BoundExhausted {
                 index,
                 iterations: stats.iterations,
             });
-            return done(None, stats, false, false);
+            return done(None, stats, false, false, &solver);
         }
-        let model = match solver.solve() {
-            SolveResult::Sat(model) => model,
-            SolveResult::Unsat => {
-                controls.record(SynthesisEvent::BoundExhausted {
-                    index,
-                    iterations: stats.iterations,
-                });
-                return done(None, stats, false, false);
-            }
+        let model = match pending_model.take() {
+            Some(model) => model,
+            None => match solver.solve() {
+                SolveResult::Sat(model) => model,
+                SolveResult::Unsat => {
+                    controls.record(SynthesisEvent::BoundExhausted {
+                        index,
+                        iterations: stats.iterations,
+                    });
+                    return done(None, stats, false, false, &solver);
+                }
+            },
         };
         let assignment = encoding.decode(&model);
 
@@ -256,11 +296,13 @@ pub fn complete_sketch(
             continue;
         }
 
-        // Blocks the failing candidate's holes and records the MFI event.
+        // Blocks the failing candidate's holes, records the MFI event and
+        // returns the blocked holes (the adoption test needs them).
         let learn = |failing_input: &dbir::InvocationSequence,
                      solver: &mut Solver,
                      stats: &mut SketchRunStats,
-                     controls: &mut CompletionControls<'_>| {
+                     controls: &mut CompletionControls<'_>|
+         -> Vec<HoleId> {
             let holes = holes_for_blocking(sketch, failing_input, strategy, &all_holes);
             controls.record(SynthesisEvent::MfiFound {
                 index,
@@ -272,19 +314,85 @@ pub fn complete_sketch(
             let clause = encoding.blocking_clause(&assignment, &holes);
             solver.add_clause(&clause);
             stats.blocking_clauses += 1;
+            holes
         };
 
-        match check_candidate_profiled(
-            oracle,
-            &candidate,
-            target_schema,
-            testing,
-            controls.token,
-            controls.profile.as_deref_mut(),
-        ) {
+        // Speculation: pre-block this candidate's full model behind a fresh
+        // guard literal, then probe for the next model under the guard
+        // assumption *while* the candidate is in bounded testing. The guard
+        // clause is inert until the guard is committed (failing candidate)
+        // and stays inert forever if the candidate is accepted.
+        let guard = solver.new_var();
+        let mut guard_clause = encoding.blocking_clause(&assignment, &all_holes);
+        guard_clause.push(Lit::new(guard, false));
+        solver.add_clause(&guard_clause);
+
+        let token = controls.token;
+        let profile = controls.profile.as_deref_mut();
+        let testing_cache = &mut cache;
+        let (test_outcome, speculation) = parpool::join(
+            || {
+                check_candidate_cached(
+                    oracle,
+                    &candidate,
+                    target_schema,
+                    testing,
+                    token,
+                    profile,
+                    Some(testing_cache),
+                )
+            },
+            || solver.solve_with_assumptions(&[Lit::pos(guard)]),
+        );
+
+        // Commits the speculative blocking after a failure and decides
+        // whether the probed model can seed the next iteration: it must
+        // satisfy the just-learned MFI clause (differ from the failing
+        // assignment on at least one blocked hole); the committed guard it
+        // satisfies by construction.
+        let resolve_speculation = |speculation: SolveResult,
+                                   mfi_holes: &[HoleId],
+                                   solver: &mut Solver,
+                                   stats: &mut SketchRunStats,
+                                   controls: &mut CompletionControls<'_>|
+         -> Option<Option<Model>> {
+            solver.add_clause(&[Lit::pos(guard)]);
+            match speculation {
+                SolveResult::Unsat => {
+                    // The failing candidate was the last model of the
+                    // space: with its MFI clause learned the formula is
+                    // unsatisfiable, so the next solve could only confirm
+                    // exhaustion.
+                    controls.record(SynthesisEvent::BoundExhausted {
+                        index,
+                        iterations: stats.iterations,
+                    });
+                    None
+                }
+                SolveResult::Sat(spec_model) => {
+                    let spec_assignment = encoding.decode(&spec_model);
+                    let adopted = mfi_holes
+                        .iter()
+                        .any(|&hole| spec_assignment[hole.0] != assignment[hole.0]);
+                    controls.record(SynthesisEvent::CandidateSpeculated {
+                        index,
+                        iteration: stats.iterations,
+                        adopted,
+                    });
+                    if adopted {
+                        stats.speculation_adoptions += 1;
+                        Some(Some(spec_model))
+                    } else {
+                        Some(None)
+                    }
+                }
+            }
+        };
+
+        match test_outcome {
             CheckOutcome::Cancelled { sequences_tested } => {
                 stats.sequences_tested += sequences_tested;
-                return done(None, stats, false, true);
+                return done(None, stats, false, true, &solver);
             }
             CheckOutcome::Equivalent {
                 sequences_tested,
@@ -298,18 +406,21 @@ pub fn complete_sketch(
                     accepted: true,
                     sequences_tested,
                 });
-                // Deeper verification pass before accepting.
-                match check_candidate_profiled(
+                // Deeper verification pass before accepting; it shares the
+                // prefix cache, so the prefixes the testing pass executed
+                // are reused here.
+                match check_candidate_cached(
                     oracle,
                     &candidate,
                     target_schema,
                     verification,
                     controls.token,
                     controls.profile.as_deref_mut(),
+                    Some(&mut cache),
                 ) {
                     CheckOutcome::Cancelled { sequences_tested } => {
                         stats.sequences_tested += sequences_tested;
-                        return done(None, stats, false, true);
+                        return done(None, stats, false, true, &solver);
                     }
                     CheckOutcome::Equivalent {
                         sequences_tested,
@@ -321,19 +432,32 @@ pub fn complete_sketch(
                             index,
                             iterations: stats.iterations,
                         });
-                        return done(Some(candidate), stats, false, false);
+                        // The speculation is simply discarded: its guard
+                        // was never committed, so the guard clause stays
+                        // vacuously satisfiable.
+                        return done(Some(candidate), stats, false, false, &solver);
                     }
                     CheckOutcome::NotEquivalent {
                         minimum_failing_input,
                         sequences_tested,
                     } => {
                         stats.sequences_tested += sequences_tested;
-                        learn(
+                        let holes = learn(
                             &minimum_failing_input,
                             &mut solver,
                             &mut stats,
                             &mut controls,
                         );
+                        match resolve_speculation(
+                            speculation,
+                            &holes,
+                            &mut solver,
+                            &mut stats,
+                            &mut controls,
+                        ) {
+                            None => return done(None, stats, false, false, &solver),
+                            Some(next) => pending_model = next,
+                        }
                     }
                 }
             }
@@ -348,12 +472,22 @@ pub fn complete_sketch(
                     accepted: false,
                     sequences_tested,
                 });
-                learn(
+                let holes = learn(
                     &minimum_failing_input,
                     &mut solver,
                     &mut stats,
                     &mut controls,
                 );
+                match resolve_speculation(
+                    speculation,
+                    &holes,
+                    &mut solver,
+                    &mut stats,
+                    &mut controls,
+                ) {
+                    None => return done(None, stats, false, false, &solver),
+                    Some(next) => pending_model = next,
+                }
             }
         }
     }
@@ -510,6 +644,171 @@ mod tests {
              enumerative search ({})",
             results[0],
             results[1]
+        );
+    }
+
+    /// Differential oracle over a *benchmark* encoding (the motivating
+    /// example's first sketch restricted to a small schema): the persistent
+    /// incremental solver and a from-scratch solver rebuilt after every
+    /// blocking clause enumerate exactly the same set of hole assignments.
+    /// Variable allocation in [`SketchEncoding::encode`] is deterministic,
+    /// so blocking clauses recorded from one encoding are valid verbatim in
+    /// a rebuilt one.
+    #[test]
+    fn incremental_encoding_enumeration_matches_from_scratch() {
+        let source_schema = Schema::parse("T(a: int, b: string)").unwrap();
+        let target_schema = Schema::parse("T(a: int, c: string, d: string)").unwrap();
+        let source = parse_program(
+            r#"
+            update add(a: int, b: string)
+                INSERT INTO T VALUES (a: a, b: b);
+            query get(a: int)
+                SELECT b FROM T WHERE a = a;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        let mut phi = crate::value_corr::ValueCorrespondence::new();
+        phi.add(
+            dbir::schema::QualifiedAttr::new("T", "a"),
+            dbir::schema::QualifiedAttr::new("T", "a"),
+        );
+        phi.add(
+            dbir::schema::QualifiedAttr::new("T", "b"),
+            dbir::schema::QualifiedAttr::new("T", "c"),
+        );
+        let sketch =
+            generate_sketch(&source, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+        assert!(
+            sketch.completion_count() < 5_000,
+            "the sketch must stay small enough for full enumeration ({})",
+            sketch.completion_count()
+        );
+        let all_holes: Vec<HoleId> = sketch.holes.iter().map(|h| h.id).collect();
+
+        let enumerate_incremental = || {
+            let mut solver = Solver::new();
+            let encoding = SketchEncoding::encode(&sketch, &mut solver);
+            let mut assignments = std::collections::BTreeSet::new();
+            while let SolveResult::Sat(model) = solver.solve() {
+                let assignment = encoding.decode(&model);
+                let clause = encoding.blocking_clause(&assignment, &all_holes);
+                solver.add_clause(&clause);
+                assert!(
+                    assignments.insert(assignment),
+                    "incremental solver repeated an assignment"
+                );
+            }
+            (assignments, solver.solves(), solver.learnt_clauses_kept())
+        };
+
+        let enumerate_from_scratch = || {
+            let mut blocking: Vec<Vec<Lit>> = Vec::new();
+            let mut assignments = std::collections::BTreeSet::new();
+            loop {
+                let mut solver = Solver::new();
+                let encoding = SketchEncoding::encode(&sketch, &mut solver);
+                for clause in &blocking {
+                    solver.add_clause(clause);
+                }
+                match solver.solve() {
+                    SolveResult::Sat(model) => {
+                        let assignment = encoding.decode(&model);
+                        blocking.push(encoding.blocking_clause(&assignment, &all_holes));
+                        assert!(
+                            assignments.insert(assignment),
+                            "from-scratch solver repeated an assignment"
+                        );
+                    }
+                    SolveResult::Unsat => return assignments,
+                }
+            }
+        };
+
+        let (incremental, solves, _learnt) = enumerate_incremental();
+        let from_scratch = enumerate_from_scratch();
+        assert_eq!(
+            incremental, from_scratch,
+            "incremental and from-scratch enumeration disagree on the assignment set"
+        );
+        assert_eq!(
+            solves as usize,
+            incremental.len() + 1,
+            "one persistent-solver call per model plus the final Unsat"
+        );
+    }
+
+    /// A failing sketch exercises the whole speculation protocol (guard
+    /// clauses, unit commits, adoption) on every iteration; its trajectory
+    /// — iterations, blocking clauses, solver reuses, adoptions and the
+    /// recorded event stream — must be identical whether the probe runs on
+    /// a worker thread or inline on an exhausted thread budget.
+    #[test]
+    fn speculation_trajectory_is_thread_budget_independent() {
+        let source_schema = Schema::parse("T(a: int, b: string)").unwrap();
+        let target_schema = Schema::parse("T(a: int, c: string, d: string)").unwrap();
+        let source = parse_program(
+            r#"
+            update add(a: int, b: string)
+                INSERT INTO T VALUES (a: a, b: b);
+            query get(a: int)
+                SELECT b FROM T WHERE a = a;
+            "#,
+            &source_schema,
+        )
+        .unwrap();
+        let mut phi = crate::value_corr::ValueCorrespondence::new();
+        phi.add(
+            dbir::schema::QualifiedAttr::new("T", "a"),
+            dbir::schema::QualifiedAttr::new("T", "a"),
+        );
+        phi.add(
+            dbir::schema::QualifiedAttr::new("T", "b"),
+            dbir::schema::QualifiedAttr::new("T", "c"),
+        );
+        // Break the query side so completion exhausts the space (see
+        // `unsatisfiable_sketch_reports_failure`).
+        let mut sketch =
+            generate_sketch(&source, &phi, &target_schema, &SketchGenConfig::default()).unwrap();
+        for function in &mut sketch.functions {
+            if let crate::sketch::BodySketch::Query(crate::sketch::QuerySketch::Project {
+                attrs,
+                ..
+            }) = &mut function.body
+            {
+                attrs[0] =
+                    crate::sketch::AttrSlot::Fixed(dbir::schema::QualifiedAttr::new("T", "d"));
+            }
+        }
+        let oracle = SourceOracle::new(&source, &source_schema);
+        let run = |threads: usize| {
+            parpool::set_thread_limit(threads);
+            let mut events = Vec::new();
+            let outcome = complete_sketch(
+                &sketch,
+                &oracle,
+                &target_schema,
+                &TestConfig::default(),
+                &TestConfig::default(),
+                BlockingStrategy::MinimumFailingInput,
+                0,
+                CompletionControls {
+                    events: Some(&mut events),
+                    ..CompletionControls::none()
+                },
+            );
+            parpool::set_thread_limit(0);
+            (outcome, events)
+        };
+        let (single, single_events) = run(1);
+        let (multi, multi_events) = run(4);
+        assert!(single.program.is_none());
+        assert_eq!(single.stats, multi.stats);
+        assert_eq!(single_events, multi_events);
+        assert!(
+            single.stats.solver_reuses + single.stats.speculation_adoptions
+                >= single.stats.iterations as u64,
+            "every candidate after the first came from a reused solver or an adoption"
         );
     }
 

@@ -70,6 +70,29 @@ impl SynthesisConfig {
             ..SynthesisConfig::standard()
         }
     }
+
+    /// The widened-space configuration used to attack the benchmarks that
+    /// [`standard`] cannot crack: more value-correspondence candidates and
+    /// local options per attribute, an unmapped bonus for attributes the
+    /// program never references (so vestigial columns — e.g. ones the
+    /// refactoring drops — stop poisoning delete coverage), deeper join
+    /// chains, more image combinations, relaxed delete coverage, and a
+    /// larger correspondence budget.
+    ///
+    /// [`standard`]: SynthesisConfig::standard
+    pub fn widened() -> SynthesisConfig {
+        let mut config = SynthesisConfig::standard();
+        config.vc.max_candidates_per_attr = 12;
+        config.vc.max_options_per_attr = 48;
+        // Above `pair_penalty`, hence above every singleton and pair score:
+        // unreferenced attributes rank "unmapped" first.
+        config.vc.unmapped_unreferenced_bonus = config.vc.pair_penalty() + 1;
+        config.sketch.max_steiner_extra = 3;
+        config.sketch.max_image_combinations = 64;
+        config.sketch.relax_delete_coverage = true;
+        config.max_value_correspondences = 256;
+        config
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +105,20 @@ mod tests {
         assert_eq!(config.solver, SketchSolverKind::MfiGuided);
         assert_eq!(SketchSolverKind::default(), SketchSolverKind::MfiGuided);
         assert!(config.verification.max_updates >= config.testing.max_updates);
+    }
+
+    #[test]
+    fn widened_preset_strictly_widens_the_search_space() {
+        let standard = SynthesisConfig::standard();
+        let widened = SynthesisConfig::widened();
+        assert!(widened.vc.max_candidates_per_attr > standard.vc.max_candidates_per_attr);
+        assert!(widened.vc.max_options_per_attr > standard.vc.max_options_per_attr);
+        assert!(widened.vc.unmapped_unreferenced_bonus > widened.vc.pair_penalty());
+        assert!(widened.sketch.max_steiner_extra > standard.sketch.max_steiner_extra);
+        assert!(widened.sketch.max_image_combinations > standard.sketch.max_image_combinations);
+        assert!(widened.sketch.relax_delete_coverage);
+        assert!(widened.max_value_correspondences > standard.max_value_correspondences);
+        assert_eq!(widened.solver, SketchSolverKind::MfiGuided);
     }
 
     #[test]

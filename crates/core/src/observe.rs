@@ -85,6 +85,24 @@ pub enum SynthesisEvent {
         /// Invocation sequences executed by the testing pass.
         sequences_tested: usize,
     },
+    /// While the `iteration`-th candidate was in bounded testing, the next
+    /// model was speculatively solved under a guard assumption that blocks
+    /// the candidate. After the candidate failed and its minimum-failing-
+    /// input clause was learned, the speculative model was either *adopted*
+    /// as the next candidate (it already satisfies the learned clause — no
+    /// fresh solver call needed) or discarded. Main stream, not side
+    /// channel: speculation always runs (the fork-join primitive degrades
+    /// to sequential execution when the thread budget is exhausted), so
+    /// both the probe and the adoption decision are byte-identical at any
+    /// thread count.
+    CandidateSpeculated {
+        /// Enumeration position of the owning correspondence.
+        index: usize,
+        /// 1-based candidate number whose test the probe overlapped.
+        iteration: usize,
+        /// Whether the speculative model became the next candidate.
+        adopted: bool,
+    },
     /// A failing candidate produced a minimum failing input, from which a
     /// blocking clause was learned.
     MfiFound {
@@ -163,6 +181,15 @@ impl fmt::Display for SynthesisEvent {
                 f,
                 "correspondence[{index}] candidate {iteration}: {} ({sequences_tested} sequences)",
                 if *accepted { "accepted" } else { "rejected" }
+            ),
+            SynthesisEvent::CandidateSpeculated {
+                index,
+                iteration,
+                adopted,
+            } => write!(
+                f,
+                "correspondence[{index}] candidate {iteration}: speculative model {}",
+                if *adopted { "adopted" } else { "discarded" }
             ),
             SynthesisEvent::MfiFound {
                 index,

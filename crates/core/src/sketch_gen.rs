@@ -46,6 +46,16 @@ pub struct SketchGenConfig {
     /// delete table-list domain is restricted to small subsets plus each
     /// candidate chain's full table set (instead of the full power set).
     pub max_delete_powerset_tables: usize,
+    /// Widened-space gate: when a delete statement's full needed-attribute
+    /// set (predicate attributes plus every mapped column of the deleted
+    /// tables) has no covering chain — typically because the value
+    /// correspondence maps a vestigial column into a table unreachable from
+    /// the delete's join neighbourhood — retry with the predicate attributes
+    /// alone instead of failing the whole sketch. The resulting sketch is
+    /// strictly wider (the table-list hole still ranges over the chain's
+    /// tables, and bounded testing rejects deletes that miss images), so
+    /// this only trades search-space size for coverage.
+    pub relax_delete_coverage: bool,
 }
 
 impl Default for SketchGenConfig {
@@ -54,6 +64,7 @@ impl Default for SketchGenConfig {
             max_steiner_extra: 2,
             max_image_combinations: 32,
             max_delete_powerset_tables: 4,
+            relax_delete_coverage: false,
         }
     }
 }
@@ -341,12 +352,22 @@ impl SketchBuilder<'_> {
                 // (mapped) columns plus the predicate's attributes.
                 let mut needed = BTreeSet::new();
                 Self::pred_needed_attrs(pred, &mut needed);
+                let pred_only = needed.clone();
                 for attr in self.source_table_columns(tables) {
                     if self.phi.is_mapped(&attr) {
                         needed.insert(attr);
                     }
                 }
-                let chains = self.candidate_chains(&needed)?;
+                let chains = match self.candidate_chains(&needed) {
+                    Some(chains) => chains,
+                    None if self.config.relax_delete_coverage && pred_only != needed => {
+                        // Widened space: cover the predicate alone and let
+                        // the table-list hole and bounded testing decide
+                        // which images actually need deleting.
+                        self.candidate_chains(&pred_only)?
+                    }
+                    None => return None,
+                };
                 let table_lists = self.delete_table_lists(&chains);
                 let join_hole = self.sketch.add_hole(HoleDomain::Join(chains));
                 let tables_hole = self.sketch.add_hole(HoleDomain::TableList(table_lists));
@@ -540,6 +561,37 @@ mod tests {
         let instantiated = sketch.instantiate(&assignment).unwrap();
         assert_eq!(instantiated.functions.len(), 2);
         assert!(instantiated.validate(&schema).is_ok());
+    }
+
+    #[test]
+    fn relaxed_delete_coverage_recovers_from_unreachable_images() {
+        // `T.note` is mapped into the disconnected table `Audit`, so the
+        // delete's full needed set {T.id, T.note} has no covering chain and
+        // generation fails. The widened-space gate retries with the
+        // predicate attribute alone.
+        let source_schema = Schema::parse("T(id: int, note: string)").unwrap();
+        let target_schema = Schema::parse("T(id: int)\nAudit(aid: int, note: string)").unwrap();
+        let program = parse_program(
+            "update del(id: int) DELETE T FROM T WHERE id = id;",
+            &source_schema,
+        )
+        .unwrap();
+        let mut phi = ValueCorrespondence::new();
+        phi.add(QualifiedAttr::new("T", "id"), QualifiedAttr::new("T", "id"));
+        phi.add(
+            QualifiedAttr::new("T", "note"),
+            QualifiedAttr::new("Audit", "note"),
+        );
+        assert!(
+            generate_sketch(&program, &phi, &target_schema, &SketchGenConfig::default()).is_none()
+        );
+        let relaxed = SketchGenConfig {
+            relax_delete_coverage: true,
+            ..SketchGenConfig::default()
+        };
+        let sketch = generate_sketch(&program, &phi, &target_schema, &relaxed)
+            .expect("predicate-only coverage succeeds");
+        assert!(sketch.completion_count() >= 1);
     }
 
     #[test]

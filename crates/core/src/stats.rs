@@ -62,6 +62,8 @@ impl SynthesisStats {
         self.truncated_checks += other.truncated_checks;
         self.largest_search_space = self.largest_search_space.max(other.search_space);
         self.phases.sat_blocking_clauses += other.blocking_clauses;
+        self.phases.solver_reuses += other.solver_reuses;
+        self.phases.learned_clauses_kept += other.learned_clauses_kept;
     }
 }
 
@@ -71,10 +73,16 @@ impl SynthesisStats {
 /// Two disciplines coexist here, and `experiments check` relies on the
 /// distinction:
 ///
-/// * **Deterministic counters** — `sat_blocking_clauses` and
-///   `plans_compiled` are merged from the winning trajectory in enumeration
-///   order, so they are byte-identical at any thread count (the same
-///   contract as the synthesis event log).
+/// * **Deterministic counters** — `sat_blocking_clauses`, `plans_compiled`,
+///   `solver_reuses`, `learned_clauses_kept` and `prefix_cache_hits` are
+///   merged from the winning trajectory in enumeration order, so they are
+///   byte-identical at any thread count (the same contract as the synthesis
+///   event log). The incremental-solver counters are deterministic because
+///   candidate speculation *always* runs — [`parpool::join`] degrades to
+///   sequential execution rather than skipping the probe — so the solver
+///   sees the same call sequence at any thread budget; prefix-cache
+///   resolution happens at sequential points of each check, so hit counts
+///   are a pure function of the candidate sequence.
 /// * **Scheduling-dependent diagnostics** — `snapshots_taken` and
 ///   `snapshot_bytes_copied` grow with the thread count (parallel stub
 ///   tasks replay their prefixes), and every `*_time` field is wall-clock.
@@ -109,6 +117,16 @@ pub struct PhaseBreakdown {
     pub sat_blocking_clauses: usize,
     /// Update/query plan compilations performed (deterministic).
     pub plans_compiled: u64,
+    /// Solver calls answered by a *reused* persistent solver — every call
+    /// after the first on each sketch's incremental solver (deterministic).
+    pub solver_reuses: u64,
+    /// Conflict clauses learned and retained across blocking clauses by the
+    /// persistent solvers of the winning trajectory (deterministic).
+    pub learned_clauses_kept: u64,
+    /// Update-prefix executions served from the cross-candidate
+    /// [`PrefixCache`](dbir::equiv::PrefixCache) instead of being re-run
+    /// (deterministic).
+    pub prefix_cache_hits: u64,
     /// Instance snapshots cloned (scheduling-dependent).
     pub snapshots_taken: u64,
     /// Approximate heap bytes of cloned instances (scheduling-dependent).
@@ -122,6 +140,7 @@ impl PhaseBreakdown {
         self.plan_compile_time += profile.plan_compile_time;
         self.snapshot_time += profile.snapshot_time;
         self.plans_compiled += profile.plans_compiled;
+        self.prefix_cache_hits += profile.prefix_cache_hits;
         self.snapshots_taken += profile.snapshots_taken;
         self.snapshot_bytes_copied += profile.snapshot_bytes_copied;
     }
@@ -144,6 +163,16 @@ pub struct SketchRunStats {
     pub search_space: u128,
     /// Number of blocking clauses added.
     pub blocking_clauses: usize,
+    /// Solver calls beyond the first answered by this sketch's persistent
+    /// incremental solver (each one reused the solver's learnt clauses,
+    /// activities and saved phases instead of rebuilding from the CNF).
+    pub solver_reuses: u64,
+    /// Conflict clauses the persistent solver learned and retained across
+    /// blocking clauses.
+    pub learned_clauses_kept: u64,
+    /// Speculative models adopted as the next candidate without a fresh
+    /// solver call (they already satisfied the learned blocking clause).
+    pub speculation_adoptions: u64,
 }
 
 #[cfg(test)]
@@ -170,6 +199,9 @@ mod tests {
             truncated_checks: 1,
             search_space: 100,
             blocking_clauses: 2,
+            solver_reuses: 4,
+            learned_clauses_kept: 7,
+            speculation_adoptions: 1,
         });
         stats.absorb_sketch_run(&SketchRunStats {
             iterations: 2,
@@ -178,6 +210,9 @@ mod tests {
             truncated_checks: 0,
             search_space: 50,
             blocking_clauses: 1,
+            solver_reuses: 2,
+            learned_clauses_kept: 1,
+            speculation_adoptions: 0,
         });
         assert_eq!(stats.iterations, 5);
         assert_eq!(stats.invalid_instantiations, 1);
@@ -185,6 +220,8 @@ mod tests {
         assert_eq!(stats.truncated_checks, 1);
         assert_eq!(stats.largest_search_space, 100);
         assert_eq!(stats.phases.sat_blocking_clauses, 3);
+        assert_eq!(stats.phases.solver_reuses, 6);
+        assert_eq!(stats.phases.learned_clauses_kept, 8);
     }
 
     #[test]
@@ -197,16 +234,19 @@ mod tests {
             snapshot_time: Duration::from_millis(4),
             snapshots_taken: 100,
             snapshot_bytes_copied: 4096,
+            prefix_cache_hits: 5,
         });
         phases.absorb_check(&CheckProfile {
             plans_compiled: 2,
             snapshots_taken: 1,
+            prefix_cache_hits: 3,
             ..CheckProfile::default()
         });
         assert_eq!(phases.bounded_testing_time, Duration::from_millis(12));
         assert_eq!(phases.plan_compile_time, Duration::from_millis(2));
         assert_eq!(phases.snapshot_time, Duration::from_millis(4));
         assert_eq!(phases.plans_compiled, 10);
+        assert_eq!(phases.prefix_cache_hits, 8);
         assert_eq!(phases.snapshots_taken, 101);
         assert_eq!(phases.snapshot_bytes_copied, 4096);
     }

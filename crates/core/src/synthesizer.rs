@@ -629,6 +629,18 @@ mod tests {
             single.stats.phases.plans_compiled,
             multi.stats.phases.plans_compiled
         );
+        assert_eq!(
+            single.stats.phases.solver_reuses,
+            multi.stats.phases.solver_reuses
+        );
+        assert_eq!(
+            single.stats.phases.learned_clauses_kept,
+            multi.stats.phases.learned_clauses_kept
+        );
+        assert_eq!(
+            single.stats.phases.prefix_cache_hits,
+            multi.stats.phases.prefix_cache_hits
+        );
     }
 
     #[test]

@@ -111,6 +111,16 @@ pub struct VcConfig {
     /// Consider at most this many ranked local options (single images, the
     /// empty image, pairs of images) per source attribute.
     pub max_options_per_attr: usize,
+    /// Objective bonus for leaving a source attribute *that the program
+    /// never references* unmapped. With the default of zero the empty image
+    /// scores below every similarity-weighted pair, so spurious cross-table
+    /// mappings of vestigial columns (e.g. columns dropped by the
+    /// refactoring) rank first and can poison delete-statement coverage.
+    /// Setting the bonus above [`VcConfig::pair_penalty`] ranks "unmapped"
+    /// first for unreferenced attributes while leaving the rest of the
+    /// option space untouched (the widened-space preset,
+    /// `SynthesisConfig::widened`, enables this).
+    pub unmapped_unreferenced_bonus: u64,
 }
 
 impl Default for VcConfig {
@@ -119,6 +129,7 @@ impl Default for VcConfig {
             alpha: 16,
             max_candidates_per_attr: 8,
             max_options_per_attr: 24,
+            unmapped_unreferenced_bonus: 0,
         }
     }
 }
@@ -153,6 +164,10 @@ struct AttrCandidates {
     /// Whether the source attribute is queried (and therefore must be
     /// mapped: the "necessary condition for equivalence").
     must_map: bool,
+    /// Whether the source attribute is referenced anywhere in the program
+    /// (queried, inserted, or used in a predicate). Unreferenced attributes
+    /// are eligible for the `unmapped_unreferenced_bonus`.
+    referenced: bool,
 }
 
 fn collect_candidates(
@@ -190,6 +205,7 @@ fn collect_candidates(
         targets.truncate(keep);
         result.push(AttrCandidates {
             must_map: queried.contains(&source_attr),
+            referenced: referenced.contains(&source_attr),
             source: source_attr,
             targets,
         });
@@ -255,11 +271,17 @@ impl VcEnumerator {
                 });
             }
             // The empty image (allowed only when the attribute is not
-            // queried by the program).
+            // queried by the program). Attributes the program never
+            // references may earn a bonus for staying unmapped.
             if !group.must_map {
+                let score = if group.referenced {
+                    0
+                } else {
+                    config.unmapped_unreferenced_bonus as i64
+                };
                 local.push(AttrOption {
                     images: Vec::new(),
-                    score: 0,
+                    score,
                 });
             } else if group.targets.is_empty() {
                 infeasible = true;
@@ -399,6 +421,18 @@ impl MaxSatVcEnumerator {
             if group.must_map {
                 let clause: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
                 maxsat.add_hard(&clause);
+            } else if !group.referenced
+                && config.unmapped_unreferenced_bonus > 0
+                && !vars.is_empty()
+            {
+                // Mirror of the best-first enumerator's bonus: an auxiliary
+                // variable that may only be true when the attribute is
+                // unmapped, rewarded with the bonus weight.
+                let unmapped = maxsat.new_var();
+                for &var in &vars {
+                    maxsat.add_hard(&[Lit::neg(unmapped), Lit::neg(var)]);
+                }
+                maxsat.add_soft(&[Lit::pos(unmapped)], config.unmapped_unreferenced_bonus);
             }
         }
         MaxSatVcEnumerator {
@@ -611,6 +645,41 @@ mod tests {
         assert!(phi
             .images(&QualifiedAttr::new("T", "zzz"))
             .contains(&QualifiedAttr::new("T", "description")));
+    }
+
+    #[test]
+    fn unmapped_bonus_leaves_unreferenced_attrs_unmapped() {
+        // `T.legacy` is never referenced by the program, but its name is
+        // close to `U.ledger`, so by default the first correspondence maps
+        // it cross-table — which is exactly the pattern that poisons delete
+        // coverage on the widened benchmarks.
+        let source_schema = Schema::parse("T(id: int, legacy: string)").unwrap();
+        let target_schema = Schema::parse("T(id: int)\nU(uid: int, ledger: string)").unwrap();
+        let program = parse_program(
+            "query get(id: int) SELECT id FROM T WHERE id = id;",
+            &source_schema,
+        )
+        .unwrap();
+        let legacy = QualifiedAttr::new("T", "legacy");
+
+        let default_config = VcConfig::default();
+        let mut plain =
+            VcEnumerator::new(&program, &source_schema, &target_schema, &default_config);
+        let phi = plain.next_correspondence().unwrap();
+        assert!(phi.is_mapped(&legacy), "default ranking maps by similarity");
+
+        let boosted = VcConfig {
+            unmapped_unreferenced_bonus: default_config.pair_penalty() + 1,
+            ..default_config
+        };
+        let mut fast = VcEnumerator::new(&program, &source_schema, &target_schema, &boosted);
+        let fast_first = fast.next_correspondence().unwrap();
+        assert!(!fast_first.is_mapped(&legacy));
+        assert!(fast_first.is_mapped(&QualifiedAttr::new("T", "id")));
+        // The MaxSAT reference implements the same bonus.
+        let mut reference =
+            MaxSatVcEnumerator::new(&program, &source_schema, &target_schema, &boosted);
+        assert_eq!(reference.next_correspondence().unwrap(), fast_first);
     }
 
     #[test]

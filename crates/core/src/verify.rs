@@ -9,7 +9,8 @@
 //! synthesis time.
 
 use dbir::equiv::{
-    compare_with_oracle_profiled, CheckProfile, EquivalenceReport, SourceOracle, TestConfig,
+    compare_with_oracle_profiled, CheckProfile, EquivalenceReport, PrefixCache, SourceOracle,
+    TestConfig,
 };
 use dbir::{InvocationSequence, Program, Schema};
 use parpool::CancelToken;
@@ -130,13 +131,49 @@ pub fn check_candidate_profiled(
     cancel: Option<&CancelToken>,
     profile: Option<&mut CheckProfile>,
 ) -> CheckOutcome {
+    check_candidate_cached(
+        oracle,
+        candidate,
+        target_schema,
+        config,
+        cancel,
+        profile,
+        None,
+    )
+}
+
+/// Like [`check_candidate_profiled`], but additionally shares executed
+/// update-prefix states across candidates through `cache` when one is
+/// supplied. The verdict and every reported count are identical with or
+/// without the cache — only which update executions are skipped changes —
+/// so passing the same cache to the bounded-testing and verification
+/// checks of one sketch is sound and lets verification reuse the prefixes
+/// testing already executed.
+#[allow(clippy::too_many_arguments)]
+pub fn check_candidate_cached(
+    oracle: &SourceOracle<'_>,
+    candidate: &Program,
+    target_schema: &Schema,
+    config: &TestConfig,
+    cancel: Option<&CancelToken>,
+    profile: Option<&mut CheckProfile>,
+    cache: Option<&mut PrefixCache>,
+) -> CheckOutcome {
     let EquivalenceReport {
         equivalent,
         counterexample,
         sequences_tested,
         bound_exhausted,
         cancelled,
-    } = compare_with_oracle_profiled(oracle, candidate, target_schema, config, cancel, profile);
+    } = compare_with_oracle_profiled(
+        oracle,
+        candidate,
+        target_schema,
+        config,
+        cancel,
+        profile,
+        cache,
+    );
     if cancelled {
         CheckOutcome::Cancelled { sequences_tested }
     } else if equivalent {

@@ -239,6 +239,11 @@ pub struct CheckProfile {
     /// Approximate heap bytes of the instances cloned
     /// (scheduling-dependent).
     pub snapshot_bytes_copied: u64,
+    /// Update-prefix states served from the cross-candidate [`PrefixCache`]
+    /// instead of re-executed. Deterministic at any thread count: every
+    /// lookup happens on the check's calling thread, between parallel
+    /// sections (see [`PrefixCache`]).
+    pub prefix_cache_hits: u64,
 }
 
 impl CheckProfile {
@@ -250,6 +255,7 @@ impl CheckProfile {
         self.snapshot_time += other.snapshot_time;
         self.snapshots_taken += other.snapshots_taken;
         self.snapshot_bytes_copied += other.snapshot_bytes_copied;
+        self.prefix_cache_hits += other.prefix_cache_hits;
     }
 }
 
@@ -649,6 +655,113 @@ enum ExecState {
     Failed(Error),
 }
 
+/// Longest update-prefix length kept by [`PrefixCache`]. Level-1 and
+/// level-2 prefixes cover the dominant share of re-executed update calls
+/// (fanout `k` gives `k + k²` cacheable nodes per subtree) while keeping the
+/// cache's footprint quadratic, not exponential, in the fanout.
+const PREFIX_CACHE_DEPTH: usize = 2;
+
+/// Hard cap on cached prefix states. Insertions beyond it are skipped (the
+/// computed state is still returned), which keeps eviction deterministic —
+/// entries are only ever added, in a deterministic order, never dropped.
+const PREFIX_CACHE_CAPACITY: usize = 1 << 17;
+
+/// Cross-candidate cache of update-prefix execution states, keyed by the
+/// *semantic identity* of the prefix — the oracle-interned update calls
+/// paired with the interned bodies of the functions they invoke — rather
+/// than by candidate.
+///
+/// During sketch completion the bounded-testing engine re-executes the same
+/// short update prefixes for every candidate: the source program never
+/// changes, and successive candidates usually differ in only a few update
+/// functions. One `PrefixCache` per sketch run lets every check reuse the
+/// executed states of prefixes whose calls *and* function bodies it has
+/// seen before — typically the entire source side after the first
+/// candidate, plus every target prefix not touching a changed hole —
+/// instead of re-running them from the empty instance.
+///
+/// All access is sequential: the cache is handed down as `&mut` and
+/// consulted only on the check's calling thread, between parallel sections
+/// (see [`compare_with_oracle_profiled`]). [`PrefixCache::hits`] is
+/// therefore byte-identical at any thread count, unlike the
+/// scheduling-dependent snapshot counters.
+#[derive(Debug, Default)]
+pub struct PrefixCache {
+    /// Interned function bodies: pretty-printed text → id. Two functions
+    /// share an id exactly when they are structurally identical, so a body
+    /// id in a prefix key is an exact fingerprint, not a lossy hash.
+    bodies: HashMap<String, u32, FnvBuild>,
+    /// Prefix key → the state after executing that prefix from the empty
+    /// instance.
+    states: HashMap<PrefixKey, Arc<ExecState>, FnvBuild>,
+    hits: u64,
+}
+
+/// A prefix-cache key: `(is_target_side, [(call id, body id), ..])` — the
+/// candidate-invariant semantics of one update prefix.
+type PrefixKey = (bool, Box<[(u32, u32)]>);
+
+impl PrefixCache {
+    /// An empty cache.
+    pub fn new() -> PrefixCache {
+        PrefixCache::default()
+    }
+
+    /// Update-prefix states served from the cache so far, across all checks
+    /// that shared this cache. Deterministic at any thread count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of distinct prefix states currently cached.
+    pub fn cached_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The interned id of `name`'s body in `program`. A program with no
+    /// such function gets a reserved per-name id — such calls fail
+    /// identically for every candidate, so sharing their entries is sound.
+    fn intern_function(&mut self, program: &Program, name: &str) -> u32 {
+        let text = match program.function(name) {
+            Some(function) => crate::pretty::function_to_string(function),
+            None => format!("<missing: {name}>"),
+        };
+        let next = self.bodies.len();
+        *self.bodies.entry(text).or_insert_with(|| {
+            u32::try_from(next).expect("more than u32::MAX distinct function bodies")
+        })
+    }
+
+    /// The cached state for `key`, computing (and, capacity permitting,
+    /// caching) it on a miss.
+    fn resolve(&mut self, key: PrefixKey, compute: impl FnOnce() -> ExecState) -> Arc<ExecState> {
+        if let Some(state) = self.states.get(&key) {
+            self.hits += 1;
+            return Arc::clone(state);
+        }
+        let state = Arc::new(compute());
+        if self.states.len() < PREFIX_CACHE_CAPACITY {
+            self.states.insert(key, Arc::clone(&state));
+        }
+        state
+    }
+}
+
+/// The cache key of an update-call prefix on one side: each step pairs the
+/// oracle-interned call with the interned body of the function it invokes,
+/// so the key changes exactly when the prefix's semantics can.
+fn prefix_key(
+    target_side: bool,
+    path: &[usize],
+    update_ids: &[u32],
+    body_ids: &[u32],
+) -> PrefixKey {
+    (
+        target_side,
+        path.iter().map(|&i| (update_ids[i], body_ids[i])).collect(),
+    )
+}
+
 /// Result of walking one (plan, depth) subtree.
 enum Search {
     /// Every sequence in the subtree was covered and agreed.
@@ -695,6 +808,12 @@ struct PreparedPlan {
     update_ids: Vec<u32>,
     /// Interned oracle ids, parallel to `QueryPlan::query_calls`.
     query_ids: Vec<u32>,
+    /// Source-side interned function-body ids, parallel to
+    /// `QueryPlan::update_calls`. Empty unless a [`PrefixCache`] is in use.
+    src_body_ids: Vec<u32>,
+    /// Target-side interned function-body ids, parallel to
+    /// `QueryPlan::update_calls`. Empty unless a [`PrefixCache`] is in use.
+    tgt_body_ids: Vec<u32>,
     src_updates: Vec<PreparedUpdate>,
     tgt_updates: Vec<PreparedUpdate>,
     src_queries: Vec<PreparedQuery>,
@@ -764,14 +883,18 @@ pub fn compare_with_oracle_cancel(
     config: &TestConfig,
     cancel: Option<&CancelToken>,
 ) -> EquivalenceReport {
-    compare_with_oracle_profiled(oracle, target, target_schema, config, cancel, None)
+    compare_with_oracle_profiled(oracle, target, target_schema, config, cancel, None, None)
 }
 
 /// Like [`compare_with_oracle_cancel`], but additionally fills `profile`
 /// with per-phase accounting (plan compilation, tree walk, snapshot
-/// copying) when one is supplied. With `profile` absent the check takes no
-/// extra clock reads and the behaviour — including every reported count —
-/// is identical to [`compare_with_oracle_cancel`].
+/// copying) when one is supplied, and shares executed update-prefix states
+/// across checks through `cache` when one is supplied. With both absent the
+/// check takes no extra clock reads and the behaviour — including every
+/// reported count — is identical to [`compare_with_oracle_cancel`]; with a
+/// cache, *what* is reported (counterexample, `sequences_tested`,
+/// `bound_exhausted`) is still identical — only which update executions are
+/// skipped changes.
 pub fn compare_with_oracle_profiled(
     oracle: &SourceOracle<'_>,
     target: &Program,
@@ -779,17 +902,20 @@ pub fn compare_with_oracle_profiled(
     config: &TestConfig,
     cancel: Option<&CancelToken>,
     mut profile: Option<&mut CheckProfile>,
+    mut cache: Option<&mut PrefixCache>,
 ) -> EquivalenceReport {
     let timed = profile.is_some();
     let compile_start = timed.then(Instant::now);
     let source = oracle.program();
     let source_schema = oracle.schema();
     let plans = build_plans(source, target, config);
-    let prepared: Vec<PreparedPlan> = plans
+    let mut prepared: Vec<PreparedPlan> = plans
         .iter()
         .map(|plan| PreparedPlan {
             update_ids: plan.update_calls.iter().map(|c| oracle.intern(c)).collect(),
             query_ids: plan.query_calls.iter().map(|c| oracle.intern(c)).collect(),
+            src_body_ids: Vec::new(),
+            tgt_body_ids: Vec::new(),
             src_updates: plan
                 .update_calls
                 .iter()
@@ -819,6 +945,24 @@ pub fn compare_with_oracle_profiled(
             .map(|p| 2 * (p.update_calls.len() + p.query_calls.len()) as u64)
             .sum::<u64>();
     }
+    // Prefix-cache keys pair each call with its function's body id, so the
+    // body interning must see this check's target program (candidates swap
+    // update-function bodies between checks).
+    if let Some(cache) = cache.as_deref_mut() {
+        for (plan, prep) in plans.iter().zip(&mut prepared) {
+            prep.src_body_ids = plan
+                .update_calls
+                .iter()
+                .map(|c| cache.intern_function(source, &c.function))
+                .collect();
+            prep.tgt_body_ids = plan
+                .update_calls
+                .iter()
+                .map(|c| cache.intern_function(target, &c.function))
+                .collect();
+        }
+    }
+    let hits_before = cache.as_deref().map(PrefixCache::hits);
     let mut snap = SnapStats {
         timed,
         ..SnapStats::default()
@@ -862,6 +1006,7 @@ pub fn compare_with_oracle_profiled(
                     &mut sequences_tested,
                     cancel,
                     &mut snap,
+                    cache.as_deref_mut(),
                 ) {
                     Search::Exhausted => {}
                     Search::Counterexample(sequence) => {
@@ -905,6 +1050,9 @@ pub fn compare_with_oracle_profiled(
         profile.snapshot_time += Duration::from_nanos(snap.nanos);
         profile.snapshots_taken += snap.taken;
         profile.snapshot_bytes_copied += snap.bytes;
+        if let (Some(cache), Some(before)) = (cache.as_deref(), hits_before) {
+            profile.prefix_cache_hits += cache.hits() - before;
+        }
     }
     report
 }
@@ -938,7 +1086,22 @@ fn search_plan(
     sequences_tested: &mut usize,
     token: Option<&CancelToken>,
     snap: &mut SnapStats,
+    cache: Option<&mut PrefixCache>,
 ) -> Search {
+    if let Some(cache) = cache {
+        return search_plan_prefix_cached(
+            oracle,
+            target_schema,
+            plan,
+            prep,
+            config,
+            length,
+            sequences_tested,
+            token,
+            snap,
+            cache,
+        );
+    }
     let source_schema = oracle.schema();
     let fanout = plan.update_calls.len();
     let workers = parpool::thread_limit();
@@ -1057,6 +1220,168 @@ fn search_plan(
             Search::CapHit => unreachable!("stub tasks run uncapped"),
             Search::Cancelled => return Search::Cancelled,
             Search::Aborted => unreachable!("merge stops before aborted stubs"),
+        }
+    }
+    Search::Exhausted
+}
+
+/// [`search_plan`] with cross-candidate prefix sharing.
+///
+/// Before walking, the first `min(length, PREFIX_CACHE_DEPTH)` levels of
+/// the update-call tree are resolved *sequentially, in lexicographic
+/// order* through the [`PrefixCache`]: each prefix's executed source and
+/// target states are either reused from an earlier candidate (or an
+/// earlier depth of this one) or computed once and published. Candidates
+/// that differ only in later update-function bodies — the common case in
+/// CEGIS, where one hole flips per iteration — hit on every shared prefix.
+///
+/// All cache access happens here, on the calling thread, at a sequential
+/// point *before* any parallel split; the walks below the resolved roots
+/// never touch the cache. Hit counts are therefore a pure function of the
+/// candidate sequence — deterministic at any thread count — and the cache
+/// needs no synchronization. The walk itself mirrors [`search_plan`]
+/// exactly: sequential per-root DFS in root order (sharing the one global
+/// sequence budget), or `par_map_stop` over the roots with the same
+/// index-ordered merge, so every reported count is identical to the
+/// uncached search.
+#[allow(clippy::too_many_arguments)]
+fn search_plan_prefix_cached(
+    oracle: &SourceOracle<'_>,
+    target_schema: &Schema,
+    plan: &QueryPlan,
+    prep: &PreparedPlan,
+    config: &TestConfig,
+    length: usize,
+    sequences_tested: &mut usize,
+    token: Option<&CancelToken>,
+    snap: &mut SnapStats,
+    cache: &mut PrefixCache,
+) -> Search {
+    let source_schema = oracle.schema();
+    let fanout = plan.update_calls.len();
+    let base = length.min(PREFIX_CACHE_DEPTH);
+
+    // Resolve the first `base` levels through the cache, level by level in
+    // lexicographic order. Misses execute the update once and account the
+    // clone in a local SnapStats folded below, exactly like a walk subtree.
+    let mut resolve_snap = snap.fresh();
+    let empty_path: Vec<usize> = Vec::new();
+    let src_root = Arc::new(ExecState::Live(Instance::empty(source_schema), 0));
+    let tgt_root = Arc::new(ExecState::Live(Instance::empty(target_schema), 0));
+    let mut roots: Vec<(Vec<usize>, Arc<ExecState>, Arc<ExecState>)> =
+        vec![(empty_path, src_root, tgt_root)];
+    for _ in 0..base {
+        let mut next = Vec::with_capacity(roots.len() * fanout);
+        for (path, src, tgt) in &roots {
+            for i in 0..fanout {
+                let mut child_path = path.clone();
+                child_path.push(i);
+                let src_child = cache.resolve(
+                    prefix_key(false, &child_path, &prep.update_ids, &prep.src_body_ids),
+                    || apply_update(&prep.src_updates[i], src, &mut resolve_snap),
+                );
+                let tgt_child = cache.resolve(
+                    prefix_key(true, &child_path, &prep.update_ids, &prep.tgt_body_ids),
+                    || apply_update(&prep.tgt_updates[i], tgt, &mut resolve_snap),
+                );
+                next.push((child_path, src_child, tgt_child));
+            }
+        }
+        roots = next;
+    }
+    fold_snapshot_peak(resolve_snap.peak);
+    snap.absorb(&resolve_snap);
+
+    let workers = parpool::thread_limit();
+    let leaves_estimate = (fanout as u128)
+        .saturating_pow(length as u32)
+        .saturating_mul(plan.query_calls.len() as u128);
+    // Same predicate as the uncached path: capped checks stay sequential so
+    // the single global budget is spent in enumeration order.
+    let parallel = config.max_sequences.is_none()
+        && length >= 1
+        && fanout >= 2
+        && workers > 1
+        && leaves_estimate >= PARALLEL_LEAF_THRESHOLD;
+
+    if !parallel {
+        for (path, src, tgt) in &roots {
+            let mut dfs = Dfs {
+                oracle,
+                plan,
+                prep,
+                cap: config.max_sequences,
+                sequences_tested: &mut *sequences_tested,
+                key: {
+                    let mut key = Vec::with_capacity(length + 1);
+                    key.extend(path.iter().map(|&i| prep.update_ids[i]));
+                    key
+                },
+                path: path.clone(),
+                cancel: None,
+                token,
+                polls: 0,
+                snap: snap.fresh(),
+            };
+            let result = dfs.walk(length - base, src, tgt);
+            fold_snapshot_peak(dfs.snap.peak);
+            let dfs_snap = dfs.snap;
+            drop(dfs);
+            snap.absorb(&dfs_snap);
+            if !matches!(result, Search::Exhausted) {
+                return result;
+            }
+        }
+        return Search::Exhausted;
+    }
+
+    let timed = snap.timed;
+    let results = parpool::par_map_stop(
+        &roots,
+        |task_index, (path, src, tgt), ctx| {
+            let mut count = 0usize;
+            let mut dfs = Dfs {
+                oracle,
+                plan,
+                prep,
+                cap: None,
+                sequences_tested: &mut count,
+                key: {
+                    let mut key = Vec::with_capacity(length + 1);
+                    key.extend(path.iter().map(|&i| prep.update_ids[i]));
+                    key
+                },
+                path: path.clone(),
+                cancel: Some((ctx, task_index)),
+                token,
+                polls: 0,
+                snap: SnapStats {
+                    timed,
+                    ..SnapStats::default()
+                },
+            };
+            let search = dfs.walk(length - base, src, tgt);
+            fold_snapshot_peak(dfs.snap.peak);
+            let root_snap = dfs.snap;
+            drop(dfs); // release the borrow of `count`
+            (search, count, root_snap)
+        },
+        |(search, _, _)| matches!(search, Search::Counterexample(_) | Search::Cancelled),
+    );
+
+    // Index-ordered merge: identical to the stub merge in [`search_plan`].
+    for result in results {
+        let Some((search, count, root_snap)) = result else {
+            break;
+        };
+        *sequences_tested += count;
+        snap.absorb(&root_snap);
+        match search {
+            Search::Exhausted => {}
+            Search::Counterexample(sequence) => return Search::Counterexample(sequence),
+            Search::CapHit => unreachable!("root tasks run uncapped"),
+            Search::Cancelled => return Search::Cancelled,
+            Search::Aborted => unreachable!("merge stops before aborted roots"),
         }
     }
     Search::Exhausted
@@ -1476,6 +1801,52 @@ mod tests {
         config.cluster_by_tables = true;
         let clustered = find_failing_input(&p, &schema(), &q, &schema(), &config);
         assert_eq!(unclustered.is_some(), clustered.is_some());
+    }
+
+    /// The prefix cache must change *what work is skipped*, never *what is
+    /// reported*: every candidate's report (verdict, counterexample,
+    /// `sequences_tested`, `bound_exhausted`) is byte-identical with and
+    /// without the cache, hits accrue once candidates share prefixes, and
+    /// the deterministic `prefix_cache_hits` counter lands in the profile.
+    #[test]
+    fn prefix_cache_preserves_reports_and_hits_across_candidates() {
+        let source = make_program(true);
+        let schema = schema();
+        let oracle = SourceOracle::new(&source, &schema);
+        let config = TestConfig::default();
+        // A CEGIS-like candidate stream: a wrong candidate, the right one,
+        // then the wrong one again (same bodies as the first — pure reuse).
+        let candidates = [make_program(false), make_program(true), make_program(false)];
+
+        let mut cache = PrefixCache::new();
+        let mut profile = CheckProfile::default();
+        for candidate in &candidates {
+            let cached = compare_with_oracle_profiled(
+                &oracle,
+                candidate,
+                &schema,
+                &config,
+                None,
+                Some(&mut profile),
+                Some(&mut cache),
+            );
+            let plain = compare_with_oracle_cancel(&oracle, candidate, &schema, &config, None);
+            assert_eq!(cached.equivalent, plain.equivalent);
+            assert_eq!(cached.counterexample, plain.counterexample);
+            assert_eq!(cached.sequences_tested, plain.sequences_tested);
+            assert_eq!(cached.bound_exhausted, plain.bound_exhausted);
+        }
+
+        // The source program never changes, so every source-side prefix
+        // after the first candidate is a hit; candidate 3 reuses candidate
+        // 1's target prefixes too.
+        assert!(cache.hits() > 0, "shared prefixes must produce hits");
+        assert!(cache.cached_states() > 0);
+        assert_eq!(
+            profile.prefix_cache_hits,
+            cache.hits(),
+            "profile must account exactly the hits of its checks"
+        );
     }
 
     #[test]

@@ -386,6 +386,37 @@ where
         .collect()
 }
 
+/// Runs two closures, possibly concurrently, and returns both results.
+///
+/// `g` runs on a borrowed worker token when one is free under the global
+/// thread budget; otherwise it runs inline on the caller's thread after `f`.
+/// Either way both closures run to completion exactly once, so a caller
+/// whose closures do not communicate observes identical results at any
+/// thread count — this is what lets the synthesizer overlap a speculative
+/// SAT solve with a candidate's bounded testing without perturbing the
+/// deterministic search trajectory. Never blocks waiting for a token.
+pub fn join<RF, RG, F, G>(f: F, g: G) -> (RF, RG)
+where
+    RF: Send,
+    RG: Send,
+    F: FnOnce() -> RF + Send,
+    G: FnOnce() -> RG + Send,
+{
+    if try_acquire(1) == 0 {
+        let rf = f();
+        let rg = g();
+        return (rf, rg);
+    }
+    let pair = std::thread::scope(|scope| {
+        let handle = scope.spawn(g);
+        let rf = f();
+        let rg = handle.join().expect("parpool join worker panicked");
+        (rf, rg)
+    });
+    release(1);
+    pair
+}
+
 /// Applies `f` to every item, possibly in parallel, and returns all results.
 ///
 /// Convenience wrapper over [`par_map_stop`] with no stopping results.
@@ -565,6 +596,28 @@ mod tests {
         assert!(token.deadline().is_some());
         token.cancel();
         assert_eq!(token.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn join_runs_both_closures_at_any_budget() {
+        let _guard = limit_lock();
+        for limit in [1usize, 4] {
+            set_thread_limit(limit);
+            let (a, b) = join(|| 1 + 1, || "right");
+            assert_eq!((a, b), (2, "right"));
+        }
+        set_thread_limit(0);
+    }
+
+    #[test]
+    fn join_inline_fallback_runs_left_then_right() {
+        let _guard = limit_lock();
+        set_thread_limit(1);
+        let order = Mutex::new(Vec::new());
+        let push = |tag: &'static str| order.lock().unwrap().push(tag);
+        let _ = join(|| push("left"), || push("right"));
+        set_thread_limit(0);
+        assert_eq!(order.into_inner().unwrap(), vec!["left", "right"]);
     }
 
     #[test]

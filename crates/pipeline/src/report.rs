@@ -9,10 +9,12 @@ use crate::{Emitted, Synthesized};
 
 /// Renders the per-phase breakdown as a JSON object.
 ///
-/// The four counters (`sat_blocking_clauses`, `plans_compiled`,
-/// `snapshots_taken`, `snapshot_bytes_copied`) are exact; the `*_secs`
-/// fields are wall-clock and must never be compared across runs — the
-/// experiments harness only checks the two deterministic counters.
+/// The counters are exact; the `*_secs` fields are wall-clock and must
+/// never be compared across runs. The experiments harness only checks the
+/// deterministic counters (`sat_blocking_clauses`, `plans_compiled`,
+/// `solver_reuses`, `learned_clauses_kept`, `prefix_cache_hits`);
+/// `snapshots_taken` and `snapshot_bytes_copied` are scheduling-dependent
+/// diagnostics.
 pub fn phases_json(phases: &PhaseBreakdown) -> Json {
     Json::object()
         .with(
@@ -39,6 +41,15 @@ pub fn phases_json(phases: &PhaseBreakdown) -> Json {
         .with("oracle_secs", phases.oracle_time.as_secs_f64().into())
         .with("sat_blocking_clauses", phases.sat_blocking_clauses.into())
         .with("plans_compiled", (phases.plans_compiled as usize).into())
+        .with("solver_reuses", (phases.solver_reuses as usize).into())
+        .with(
+            "learned_clauses_kept",
+            (phases.learned_clauses_kept as usize).into(),
+        )
+        .with(
+            "prefix_cache_hits",
+            (phases.prefix_cache_hits as usize).into(),
+        )
         .with("snapshots_taken", (phases.snapshots_taken as usize).into())
         .with(
             "snapshot_bytes_copied",

@@ -5,7 +5,16 @@
 //! learning, activity-based branching with phase saving, and geometric
 //! restarts. Clauses may be added incrementally between [`Solver::solve`]
 //! calls, which is how the synthesizer adds blocking clauses during model
-//! enumeration.
+//! enumeration: learnt clauses, variable activities and saved phases all
+//! survive across calls, so each re-solve resumes from everything earlier
+//! conflicts taught the solver instead of starting cold.
+//!
+//! [`Solver::solve_with_assumptions`] additionally solves under a set of
+//! assumption literals asserted as forced decisions. An `Unsat` answer from
+//! that entry point means *unsatisfiable under the assumptions* and does not
+//! latch the solver unsatisfiable — retraction is free, which is what lets
+//! the synthesizer speculate on a blocking clause behind a guard literal and
+//! abandon the speculation without rebuilding anything.
 
 use crate::cnf::{Lit, Model, Var};
 
@@ -63,6 +72,11 @@ pub struct Solver {
     decisions: u64,
     /// Statistics: number of literals propagated so far.
     propagations: u64,
+    /// Statistics: number of `solve`/`solve_with_assumptions` calls.
+    solves: u64,
+    /// Statistics: number of learnt clauses retained in the clause database
+    /// (including unit learns, which are retained as level-0 assignments).
+    learnt_kept: u64,
 }
 
 impl Solver {
@@ -110,6 +124,22 @@ impl Solver {
     /// Number of branching decisions made so far.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Number of `solve`/`solve_with_assumptions` calls made so far.
+    ///
+    /// Any count above one on the same solver means the clause database,
+    /// learnt clauses and branching heuristics were reused rather than
+    /// rebuilt — the incremental-mode counter the synthesizer reports as
+    /// `solver_reuses`.
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Number of learnt clauses retained across all `solve` calls so far
+    /// (unit learns are retained as level-0 assignments and counted too).
+    pub fn learnt_clauses_kept(&self) -> u64 {
+        self.learnt_kept
     }
 
     /// Returns `true` if the formula has been determined unsatisfiable.
@@ -362,6 +392,23 @@ impl Solver {
     /// The solver always resets to decision level zero before and after
     /// solving, so clauses can be added freely between calls.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the current formula under the given assumption literals.
+    ///
+    /// Assumptions are asserted in order as forced decisions below all
+    /// ordinary branching, in the MiniSat style. `Unsat` from this entry
+    /// point means unsatisfiable *under the assumptions*: the solver is not
+    /// latched unsatisfiable, and later calls with different (or no)
+    /// assumptions behave as if this call never happened — except that
+    /// clauses learnt during the search are retained. Retention is sound
+    /// because learnt clauses are implied by the clause database alone,
+    /// never by the assumptions: assumptions enter conflict analysis as
+    /// decisions, which contribute literals to the learnt clause rather
+    /// than being resolved away.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solves += 1;
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -384,6 +431,7 @@ impl Solver {
                 }
                 let (learnt, backtrack_level) = self.analyze(conflict);
                 self.cancel_until(backtrack_level);
+                self.learnt_kept += 1;
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], None);
                     if !ok {
@@ -404,6 +452,36 @@ impl Solver {
                 conflicts_since_restart = 0;
                 restart_limit = restart_limit.saturating_add(restart_limit / 2);
                 self.cancel_until(0);
+            } else if (self.decision_level() as usize) < assumptions.len() {
+                // Assert the next pending assumption as a forced decision.
+                // Restarts pop assumption levels along with everything else;
+                // this branch simply re-asserts them, indexed by decision
+                // level so the cursor needs no extra state.
+                let p = assumptions[self.decision_level() as usize];
+                debug_assert!(
+                    p.var().index() < self.num_vars(),
+                    "unknown assumption variable"
+                );
+                match self.lit_value(p) {
+                    1 => {
+                        // Already implied: open an empty decision level so
+                        // the level-indexed assumption cursor advances.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    -1 => {
+                        // Falsified by the formula or an earlier assumption:
+                        // unsatisfiable under the assumptions only, so the
+                        // `unsat` latch stays clear.
+                        self.cancel_until(0);
+                        return SolveResult::Unsat;
+                    }
+                    _ => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(p, None);
+                        debug_assert!(ok);
+                    }
+                }
             } else {
                 match self.pick_branch_var() {
                     None => {
@@ -528,6 +606,109 @@ mod tests {
         }
         solver.add_clause(&[lit(&vars, -3)]);
         assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_restrict_without_latching_unsat() {
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        // Unsat under [¬a, ¬b], but the formula itself stays satisfiable.
+        assert_eq!(
+            solver.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        assert!(!solver.is_known_unsat());
+        match solver.solve_with_assumptions(&[Lit::neg(a)]) {
+            SolveResult::Sat(model) => {
+                assert!(!model.value(a));
+                assert!(model.value(b));
+            }
+            SolveResult::Unsat => panic!("expected SAT under [¬a]"),
+        }
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_falsified_at_level_zero_are_retractable() {
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(&[Lit::pos(a)]);
+        solver.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        // `¬b` is false at level 0 (b is implied), `b` is already true.
+        assert_eq!(
+            solver.solve_with_assumptions(&[Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        assert!(!solver.is_known_unsat());
+        assert!(solver.solve_with_assumptions(&[Lit::pos(b)]).is_sat());
+        // Contradictory assumption pairs are unsat-under-assumptions too.
+        assert_eq!(
+            solver.solve_with_assumptions(&[Lit::pos(b), Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn guarded_blocking_clause_commits_on_unit_guard() {
+        // The speculation protocol: block a model behind guard g via
+        // (¬g ∨ blocking), probe with assumption [g], later commit by
+        // adding the unit clause g.
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        solver.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        let first = solver.solve().model().expect("xor is satisfiable");
+        let g = solver.new_var();
+        let mut guarded: Vec<Lit> = first.as_literals()[..2].iter().map(|&l| !l).collect();
+        guarded.push(Lit::neg(g));
+        solver.add_clause(&guarded);
+        let speculative = solver
+            .solve_with_assumptions(&[Lit::pos(g)])
+            .model()
+            .expect("the other xor model exists");
+        assert_ne!(speculative.value(a), first.value(a));
+        // Commit the guard; the blocked model must stay gone without it.
+        solver.add_clause(&[Lit::pos(g)]);
+        let committed = solver.solve().model().expect("still satisfiable");
+        assert_eq!(committed.value(a), speculative.value(a));
+        assert_eq!(committed.value(b), speculative.value(b));
+        let blocking: Vec<Lit> = [a, b]
+            .iter()
+            .map(|&v| Lit::new(v, !committed.value(v)))
+            .collect();
+        solver.add_clause(&blocking);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn solve_and_learnt_counters_advance() {
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(6);
+        let p = |i: usize, j: usize| vars[i * 2 + j];
+        for i in 0..3 {
+            solver.add_clause(&[Lit::pos(p(i, 0)), Lit::pos(p(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    solver.add_clause(&[Lit::neg(p(i1, j)), Lit::neg(p(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(solver.solves(), 0);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert_eq!(solver.solves(), 1);
+        assert!(
+            solver.learnt_clauses_kept() > 0,
+            "pigeonhole must learn clauses"
+        );
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert_eq!(solver.solves(), 2);
     }
 
     #[test]

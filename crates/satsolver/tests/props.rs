@@ -58,6 +58,105 @@ proptest! {
         }
     }
 
+    /// Differential oracle for incremental mode: enumerating models with one
+    /// persistent solver (learnt clauses, activities and phases retained
+    /// across blocking clauses) yields exactly the same model set as
+    /// rebuilding a from-scratch solver after every blocking clause. The
+    /// visit orders may differ; the sets may not.
+    #[test]
+    fn incremental_enumeration_matches_from_scratch((num_vars, clauses) in formula_strategy()) {
+        let build = |extra_blocking: &[Vec<(usize, bool)>]| {
+            let mut solver = Solver::new();
+            let vars = solver.new_vars(num_vars);
+            for clause in clauses.iter().chain(extra_blocking) {
+                let lits: Vec<Lit> = clause
+                    .iter()
+                    .map(|&(v, positive)| Lit::new(vars[v], positive))
+                    .collect();
+                solver.add_clause(&lits);
+            }
+            (solver, vars)
+        };
+
+        let enumerate_incremental = || {
+            let (mut solver, vars) = build(&[]);
+            let mut models = std::collections::BTreeSet::new();
+            while let SolveResult::Sat(model) = solver.solve() {
+                let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
+                assert!(models.insert(bits), "incremental solver repeated a model");
+                let blocking: Vec<Lit> = vars
+                    .iter()
+                    .map(|&v| Lit::new(v, !model.value(v)))
+                    .collect();
+                solver.add_clause(&blocking);
+            }
+            (models, solver.solves(), solver.learnt_clauses_kept())
+        };
+
+        let enumerate_from_scratch = || {
+            let mut blocking: Vec<Vec<(usize, bool)>> = Vec::new();
+            let mut models = std::collections::BTreeSet::new();
+            loop {
+                let (mut solver, vars) = build(&blocking);
+                match solver.solve() {
+                    SolveResult::Sat(model) => {
+                        let bits: Vec<bool> = vars.iter().map(|&v| model.value(v)).collect();
+                        blocking.push(
+                            vars.iter()
+                                .enumerate()
+                                .map(|(i, _)| (i, !bits[i]))
+                                .collect(),
+                        );
+                        assert!(models.insert(bits), "from-scratch solver repeated a model");
+                    }
+                    SolveResult::Unsat => return models,
+                }
+            }
+        };
+
+        let (incremental, solves, _learnt) = enumerate_incremental();
+        let from_scratch = enumerate_from_scratch();
+        prop_assert_eq!(&incremental, &from_scratch,
+            "incremental and from-scratch enumeration disagree on the model set");
+        prop_assert_eq!(solves as usize, incremental.len() + 1,
+            "one solve per model plus the final Unsat");
+    }
+
+    /// Solving under assumptions never changes the answer an unassumed solve
+    /// gives afterwards: unsat-under-assumptions is fully retractable.
+    #[test]
+    fn assumption_probes_are_side_effect_free((num_vars, clauses) in formula_strategy()) {
+        let mut cnf = Cnf::new();
+        let cnf_vars = cnf.new_vars(num_vars);
+        let mut solver = Solver::new();
+        let vars = solver.new_vars(num_vars);
+        for clause in &clauses {
+            cnf.add_clause(
+                clause
+                    .iter()
+                    .map(|&(v, positive)| Lit::new(cnf_vars[v], positive))
+                    .collect::<Vec<_>>(),
+            );
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, positive)| Lit::new(vars[v], positive))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        let expected = brute_force_sat(num_vars, &cnf);
+        // Probe under every single-literal assumption, both polarities.
+        for &v in &vars {
+            for positive in [false, true] {
+                if let SolveResult::Sat(model) = solver.solve_with_assumptions(&[Lit::new(v, positive)]) {
+                    prop_assert_eq!(model.value(v), positive, "assumption not honoured");
+                    prop_assert!(cnf.eval(&model.values()[..num_vars]));
+                }
+            }
+        }
+        prop_assert_eq!(solver.solve().is_sat(), expected,
+            "assumption probes perturbed the unassumed verdict");
+    }
+
     /// Exactly-one encodings admit exactly `n` models over the constrained
     /// variables.
     #[test]
