@@ -7,8 +7,8 @@
 //! noise or search-trajectory changes mask it in `experiments`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbir::ast::{JoinChain, Operand, Pred, Query};
-use dbir::eval::{CompiledQuery, Env, Evaluator};
+use dbir::ast::{JoinChain, Operand, Pred, Query, Update};
+use dbir::eval::{CompiledQuery, CompiledUpdate, Env, Evaluator, Journal};
 use dbir::schema::{QualifiedAttr, Schema};
 use dbir::{Instance, Value};
 
@@ -44,7 +44,20 @@ fn bench_snapshots(c: &mut Criterion) {
     let mut group = c.benchmark_group("instance_snapshot");
     group.sample_size(20);
     for rows in [4usize, 64, 512] {
-        let (_, instance) = populated(rows);
+        let (schema, instance) = populated(rows);
+        // A COW clone shares every table Arc: O(tables), not O(rows).
+        group.bench_function(format!("cow_clone/{rows}_rows"), |b| {
+            b.iter(|| instance.clone())
+        });
+        // The pre-COW cost for reference: materialise a fresh copy of
+        // every row.
+        group.bench_function(format!("deep_clone/{rows}_rows"), |b| {
+            b.iter(|| {
+                let mut copy = Instance::empty(&schema);
+                copy.set_rows(&"Product".into(), instance.rows(&"Product".into()).to_vec());
+                copy
+            })
+        });
         // The DFS pattern: clone the parent snapshot, mutate the child,
         // drop it when the subtree is done.
         group.bench_function(format!("clone_mutate_drop/{rows}_rows"), |b| {
@@ -66,6 +79,90 @@ fn bench_snapshots(c: &mut Criterion) {
         });
         group.bench_function(format!("approx_heap_bytes/{rows}_rows"), |b| {
             b.iter(|| instance.approx_heap_bytes())
+        });
+    }
+    group.finish();
+}
+
+/// One DFS frame's worth of mutation: insert a fresh row and rewrite the
+/// `weight` cells of the rows sharing one of the eight `pname` values.
+fn frame_update(schema: &Schema) -> CompiledUpdate {
+    let update = Update::Seq(vec![
+        Update::Insert {
+            join: JoinChain::table("Product"),
+            values: vec![
+                (
+                    QualifiedAttr::new("Product", "pid"),
+                    Operand::Value(Value::Int(-1)),
+                ),
+                (
+                    QualifiedAttr::new("Product", "pname"),
+                    Operand::Value(Value::str("fresh")),
+                ),
+                (
+                    QualifiedAttr::new("Product", "price"),
+                    Operand::Value(Value::Int(0)),
+                ),
+                (
+                    QualifiedAttr::new("Product", "descr"),
+                    Operand::Value(Value::str("fresh-descr")),
+                ),
+                (
+                    QualifiedAttr::new("Product", "image"),
+                    Operand::Value(Value::bytes([0u8])),
+                ),
+                (
+                    QualifiedAttr::new("Product", "weight"),
+                    Operand::Value(Value::Int(0)),
+                ),
+            ],
+        },
+        Update::UpdateAttr {
+            join: JoinChain::table("Product"),
+            pred: Pred::eq_value(
+                QualifiedAttr::new("Product", "pname"),
+                Operand::Value(Value::str("product-name-3")),
+            ),
+            attr: QualifiedAttr::new("Product", "weight"),
+            value: Operand::Value(Value::Int(7)),
+        },
+    ]);
+    CompiledUpdate::compile(schema, &update, &Env::new()).expect("update compiles")
+}
+
+/// The two backtracking strategies head to head: the undo-log journal
+/// (apply journaled, roll back) against clone-based restore (COW-clone a
+/// snapshot, apply — paying the copy-on-write of every touched table —
+/// then reinstate the snapshot). The journal mutates a uniquely-owned
+/// instance in place, so no table is ever copied.
+fn bench_backtracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backtracking");
+    group.sample_size(20);
+    for rows in [4usize, 64, 512] {
+        let (schema, original) = populated(rows);
+        let compiled = frame_update(&schema);
+
+        let mut work = original.clone();
+        let mut journal = Journal::new();
+        group.bench_function(format!("undo_rollback/{rows}_rows"), |b| {
+            b.iter(|| {
+                let mark = journal.mark();
+                let uid = compiled
+                    .execute_journaled(&mut work, 1_000, &mut journal)
+                    .expect("update applies");
+                journal.rollback_to(mark, &mut work);
+                uid
+            })
+        });
+
+        let mut work = original.clone();
+        group.bench_function(format!("snapshot_restore/{rows}_rows"), |b| {
+            b.iter(|| {
+                let snapshot = work.clone();
+                let uid = compiled.execute(&mut work, 1_000).expect("update applies");
+                work = snapshot;
+                uid
+            })
         });
     }
     group.finish();
@@ -110,5 +207,5 @@ fn bench_scans(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_snapshots, bench_scans);
+criterion_group!(benches, bench_snapshots, bench_backtracking, bench_scans);
 criterion_main!(benches);

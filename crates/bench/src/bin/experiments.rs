@@ -7,6 +7,7 @@
 //! experiments all    [--textbook-only] [--out <path>] [--threads <n>]
 //! experiments check  [--textbook-only] [--only <name>]... [--against <path>] [--threads <n>]
 //! experiments known-red [--threads <n>]
+//! experiments cmp <old.json> <new.json> [--threshold <ratio>]
 //! ```
 //!
 //! `--threads N` caps the synthesizer's global thread budget (default: the
@@ -38,6 +39,15 @@
 //! configuration, while the known-red benchmarks are attempted under the
 //! widened-space preset (`SynthesisConfig::widened`) and their status is
 //! recorded informationally in the Markdown output.
+//!
+//! `cmp` diffs two `BENCH_results.json` files run-over-run (the rebar-style
+//! companion to the trajectory file): per-benchmark wall-time ratios, drift
+//! in the deterministic allowlisted fields, and a `### Regressions` section
+//! listing benchmarks whose wall time grew beyond `--threshold` (default
+//! 1.2×). Wall-time regressions are advisory — two files from different
+//! machines are not comparable — but a deterministic-field mismatch means
+//! the search itself changed between the runs, so `cmp` exits non-zero on
+//! one exactly like `check`.
 
 use std::time::{Duration, Instant};
 
@@ -60,6 +70,8 @@ struct Options {
     out_explicit: bool,
     against: String,
     threads: usize,
+    threshold: f64,
+    positional: Vec<String>,
 }
 
 fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -90,6 +102,8 @@ fn parse_args() -> Options {
         out_explicit: false,
         against: "BENCH_results.json".to_string(),
         threads: 0,
+        threshold: 1.2,
+        positional: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,6 +117,8 @@ fn parse_args() -> Options {
             "--budget-secs" => options.budget_secs = require_number(&mut args, "--budget-secs"),
             "--threads" => options.threads = require_number(&mut args, "--threads"),
             "--cap" => options.cap = require_number(&mut args, "--cap"),
+            "--threshold" => options.threshold = require_number(&mut args, "--threshold"),
+            other if !other.starts_with('-') => options.positional.push(other.to_string()),
             other => eprintln!("ignoring unknown argument `{other}`"),
         }
     }
@@ -538,6 +554,214 @@ fn known_red(options: &Options) {
     eprintln!("known-red gate: {green} green benchmark(s) still green");
 }
 
+/// Loads one `BENCH_results.json` document, exiting with a usage error when
+/// the file is unreadable or not the expected shape.
+fn load_results(path: &str) -> sqlbridge::Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let document = sqlbridge::Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    if document
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .is_none()
+    {
+        eprintln!("{path} has no `benchmarks` array");
+        std::process::exit(2);
+    }
+    document
+}
+
+/// The run-over-run diff mode: `experiments cmp old.json new.json`.
+///
+/// Prints per-benchmark wall-time ratios and flags two kinds of divergence:
+/// wall-time regressions beyond `--threshold` (advisory — wall time is
+/// machine-dependent) and drift in the deterministic allowlisted fields
+/// (fatal — the search behaved differently, exit 1).
+fn cmp(options: &Options) {
+    let [old_path, new_path] = options.positional.as_slice() else {
+        eprintln!("usage: experiments cmp <old.json> <new.json> [--threshold <ratio>]");
+        std::process::exit(2);
+    };
+    let old_doc = load_results(old_path);
+    let new_doc = load_results(new_path);
+    let old_rows = old_doc
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .unwrap();
+    let new_rows = new_doc
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .unwrap();
+    let row_name = |row: &sqlbridge::Json| {
+        row.get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or("<unnamed>")
+            .to_string()
+    };
+    println!("## Bench comparison: {old_path} → {new_path}\n");
+    println!("| Benchmark | Total s (old) | Total s (new) | Ratio | Deterministic |");
+    println!("|---|---|---|---|---|");
+
+    let total_secs = |row: &sqlbridge::Json| row.get("total_time_secs").and_then(|v| v.as_f64());
+    let snapshot_bytes = |row: &sqlbridge::Json| {
+        row.get("phases")
+            .and_then(|p| p.get("snapshot_bytes_copied"))
+            .and_then(|v| v.as_i128())
+            .unwrap_or(0)
+    };
+
+    // Deterministic drift is judged field-by-field on the same allowlists
+    // `check` uses, plus the success/validation flags.
+    let drift_for = |old_row: &sqlbridge::Json, new_row: &sqlbridge::Json| -> Vec<String> {
+        let mut drift = Vec::new();
+        let mut diff = |label: &str, old: Option<i128>, new: Option<i128>| {
+            if old != new {
+                let fmt = |v: Option<i128>| v.map_or("absent".to_string(), |v| v.to_string());
+                drift.push(format!("{label}: {} → {}", fmt(old), fmt(new)));
+            }
+        };
+        for (name, _) in bench::DETERMINISTIC_TOP_FIELDS {
+            diff(
+                name,
+                old_row.get(name).and_then(|v| v.as_i128()),
+                new_row.get(name).and_then(|v| v.as_i128()),
+            );
+        }
+        let phase = |row: &sqlbridge::Json, key: &str| {
+            row.get("phases")
+                .and_then(|p| p.get(key))
+                .and_then(|v| v.as_i128())
+        };
+        for (name, _) in bench::DETERMINISTIC_PHASE_FIELDS {
+            diff(
+                &format!("phases.{name}"),
+                phase(old_row, name),
+                phase(new_row, name),
+            );
+        }
+        for flag in ["succeeded", "validated"] {
+            let read =
+                |row: &sqlbridge::Json| row.get(flag).and_then(|v| v.as_bool()).map(i128::from);
+            diff(flag, read(old_row), read(new_row));
+        }
+        drift
+    };
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut drifted: Vec<(String, Vec<String>)> = Vec::new();
+    let mut missing = 0usize;
+    let mut old_total = 0.0f64;
+    let mut new_total = 0.0f64;
+    let mut old_snapshot_total = 0i128;
+    let mut new_snapshot_total = 0i128;
+    let mut compared = 0usize;
+    for old_row in old_rows {
+        let name = row_name(old_row);
+        // A row absent from one file is not deterministic drift — filtered
+        // runs (CI's fast subset) legitimately cover fewer benchmarks.
+        let Some(new_row) = new_rows.iter().find(|r| row_name(r) == name) else {
+            println!("| {name} | - | - | - | not in {new_path} |");
+            missing += 1;
+            continue;
+        };
+        compared += 1;
+        let (old_secs, new_secs) = (total_secs(old_row), total_secs(new_row));
+        old_total += old_secs.unwrap_or(0.0);
+        new_total += new_secs.unwrap_or(0.0);
+        old_snapshot_total += snapshot_bytes(old_row);
+        new_snapshot_total += snapshot_bytes(new_row);
+        let ratio = match (old_secs, new_secs) {
+            (Some(old), Some(new)) if old > 0.0 => Some(new / old),
+            _ => None,
+        };
+        if let Some(ratio) = ratio {
+            if ratio > options.threshold {
+                regressions.push(format!(
+                    "{name}: total_time_secs {:.3} → {:.3} ({ratio:.2}x)",
+                    old_secs.unwrap_or(0.0),
+                    new_secs.unwrap_or(0.0),
+                ));
+            }
+        }
+        let drift = drift_for(old_row, new_row);
+        let verdict = if drift.is_empty() {
+            "ok".to_string()
+        } else {
+            let fields = drift.len();
+            drifted.push((name.clone(), drift));
+            format!("DRIFT ({fields} field(s), see below)")
+        };
+        println!(
+            "| {name} | {} | {} | {} | {verdict} |",
+            old_secs.map_or("-".to_string(), |s| format!("{s:.3}")),
+            new_secs.map_or("-".to_string(), |s| format!("{s:.3}")),
+            ratio.map_or("-".to_string(), |r| format!("{r:.2}x")),
+        );
+    }
+    for new_row in new_rows {
+        let name = row_name(new_row);
+        if !old_rows.iter().any(|r| row_name(r) == name) {
+            println!("| {name} | - | - | - | new in {new_path} |");
+            missing += 1;
+        }
+    }
+    println!();
+    println!(
+        "Suite totals: wall {old_total:.3}s → {new_total:.3}s ({}); snapshot_bytes_copied {old_snapshot_total} → {new_snapshot_total} ({})",
+        if old_total > 0.0 {
+            format!("{:.2}x", new_total / old_total)
+        } else {
+            "-".to_string()
+        },
+        if old_snapshot_total > 0 {
+            format!("{:.3}x", new_snapshot_total as f64 / old_snapshot_total as f64)
+        } else {
+            "-".to_string()
+        },
+    );
+    println!();
+
+    println!("### Regressions (threshold {:.2}x)\n", options.threshold);
+    if regressions.is_empty() {
+        println!("none");
+    } else {
+        for regression in &regressions {
+            println!("- {regression}");
+        }
+    }
+    println!();
+
+    if !drifted.is_empty() {
+        println!("### Deterministic drift\n");
+        for (name, drift) in &drifted {
+            for line in drift {
+                println!("- {name}: {line}");
+            }
+        }
+        println!();
+        let fields: usize = drifted.iter().map(|(_, d)| d.len()).sum();
+        eprintln!(
+            "{} benchmark(s) show deterministic drift between {old_path} and {new_path} ({fields} field(s))",
+            drifted.len()
+        );
+        std::process::exit(1);
+    }
+    if compared == 0 {
+        eprintln!("no common benchmarks between {old_path} and {new_path}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "{compared} benchmark(s) compared ({missing} only in one file); {} wall-time regression(s) beyond {:.2}x (advisory)",
+        regressions.len(),
+        options.threshold
+    );
+}
+
 fn main() {
     let options = parse_args();
     // 0 means "use the machine's available parallelism" (parpool's default).
@@ -548,13 +772,16 @@ fn main() {
         "table3" => table3(&options),
         "check" => check(&options),
         "known-red" => known_red(&options),
+        "cmp" => cmp(&options),
         "all" => {
             table1(&options);
             table2(&options);
             table3(&options);
         }
         other => {
-            eprintln!("unknown command `{other}`; expected table1, table2, table3, check or all");
+            eprintln!(
+                "unknown command `{other}`; expected table1, table2, table3, check, known-red, cmp or all"
+            );
             std::process::exit(2);
         }
     }

@@ -73,6 +73,8 @@ pub const DETERMINISTIC_PHASE_FIELDS: &[DeterministicField<migrator::PhaseBreakd
     ("solver_reuses", |p| p.solver_reuses as i128),
     ("learned_clauses_kept", |p| p.learned_clauses_kept as i128),
     ("prefix_cache_hits", |p| p.prefix_cache_hits as i128),
+    ("undo_frames", |p| p.undo_frames as i128),
+    ("undo_ops_rolled_back", |p| p.undo_ops_rolled_back as i128),
 ];
 
 /// The CEGIS (Sketch stand-in) configuration used in Table 2 runs.
@@ -116,10 +118,10 @@ pub struct Table1Row {
     pub bound_exhausted: bool,
     /// Source-side sequences served from the memoized source oracle.
     pub oracle_hits: usize,
-    /// Largest single instance snapshot (approximate heap bytes) taken by
-    /// the bounded-testing engine during this run — an allocation proxy
-    /// that makes snapshot-cost regressions visible independent of wall
-    /// time.
+    /// Largest single physical snapshot copy (bytes) performed by the
+    /// bounded-testing engine during this run — a COW clone's pointer
+    /// overhead or one copy-on-write table copy — an allocation proxy that
+    /// makes snapshot-cost regressions visible independent of wall time.
     pub peak_snapshot_bytes: usize,
     /// Total payload bytes held by the process-wide value interner after
     /// this run (cumulative across runs in one process).
@@ -134,8 +136,8 @@ pub struct Table1Row {
     /// Per-phase breakdown of the run: wall-clock times (never compared
     /// across runs) plus the deterministic counters
     /// (`sat_blocking_clauses`, `plans_compiled`, `solver_reuses`,
-    /// `learned_clauses_kept`, `prefix_cache_hits`) that
-    /// `experiments check` verifies.
+    /// `learned_clauses_kept`, `prefix_cache_hits`, `undo_frames`,
+    /// `undo_ops_rolled_back`) that `experiments check` verifies.
     pub phases: migrator::PhaseBreakdown,
 }
 

@@ -74,15 +74,18 @@ impl SynthesisStats {
 /// distinction:
 ///
 /// * **Deterministic counters** — `sat_blocking_clauses`, `plans_compiled`,
-///   `solver_reuses`, `learned_clauses_kept` and `prefix_cache_hits` are
-///   merged from the winning trajectory in enumeration order, so they are
-///   byte-identical at any thread count (the same contract as the synthesis
-///   event log). The incremental-solver counters are deterministic because
-///   candidate speculation *always* runs — [`parpool::join`] degrades to
-///   sequential execution rather than skipping the probe — so the solver
-///   sees the same call sequence at any thread budget; prefix-cache
-///   resolution happens at sequential points of each check, so hit counts
-///   are a pure function of the candidate sequence.
+///   `solver_reuses`, `learned_clauses_kept`, `prefix_cache_hits`,
+///   `undo_frames` and `undo_ops_rolled_back` are merged from the winning
+///   trajectory in enumeration order, so they are byte-identical at any
+///   thread count (the same contract as the synthesis event log). The
+///   incremental-solver counters are deterministic because candidate
+///   speculation *always* runs — [`parpool::join`] degrades to sequential
+///   execution rather than skipping the probe — so the solver sees the same
+///   call sequence at any thread budget; prefix-cache resolution happens at
+///   sequential points of each check, so hit counts are a pure function of
+///   the candidate sequence; the undo-log counters are deterministic
+///   because every production check runs prefix-cached, whose per-root walk
+///   work is merged in root order (see [`CheckProfile`]).
 /// * **Scheduling-dependent diagnostics** — `snapshots_taken` and
 ///   `snapshot_bytes_copied` grow with the thread count (parallel stub
 ///   tasks replay their prefixes), and every `*_time` field is wall-clock.
@@ -127,9 +130,17 @@ pub struct PhaseBreakdown {
     /// [`PrefixCache`](dbir::equiv::PrefixCache) instead of being re-run
     /// (deterministic).
     pub prefix_cache_hits: u64,
-    /// Instance snapshots cloned (scheduling-dependent).
+    /// Update calls executed in place with journaled inverses by the
+    /// bounded-testing walks (deterministic).
+    pub undo_frames: u64,
+    /// Row-level inverse operations replayed while backtracking
+    /// (deterministic).
+    pub undo_ops_rolled_back: u64,
+    /// Instance snapshots cloned — COW-cheap pointer copies
+    /// (scheduling-dependent).
     pub snapshots_taken: u64,
-    /// Approximate heap bytes of cloned instances (scheduling-dependent).
+    /// Heap bytes physically copied for snapshots: clone overhead plus
+    /// copy-on-write table copies (scheduling-dependent).
     pub snapshot_bytes_copied: u64,
 }
 
@@ -141,6 +152,8 @@ impl PhaseBreakdown {
         self.snapshot_time += profile.snapshot_time;
         self.plans_compiled += profile.plans_compiled;
         self.prefix_cache_hits += profile.prefix_cache_hits;
+        self.undo_frames += profile.undo_frames;
+        self.undo_ops_rolled_back += profile.undo_ops_rolled_back;
         self.snapshots_taken += profile.snapshots_taken;
         self.snapshot_bytes_copied += profile.snapshot_bytes_copied;
     }
@@ -235,11 +248,15 @@ mod tests {
             snapshots_taken: 100,
             snapshot_bytes_copied: 4096,
             prefix_cache_hits: 5,
+            undo_frames: 60,
+            undo_ops_rolled_back: 200,
         });
         phases.absorb_check(&CheckProfile {
             plans_compiled: 2,
             snapshots_taken: 1,
             prefix_cache_hits: 3,
+            undo_frames: 4,
+            undo_ops_rolled_back: 10,
             ..CheckProfile::default()
         });
         assert_eq!(phases.bounded_testing_time, Duration::from_millis(12));
@@ -247,6 +264,8 @@ mod tests {
         assert_eq!(phases.snapshot_time, Duration::from_millis(4));
         assert_eq!(phases.plans_compiled, 10);
         assert_eq!(phases.prefix_cache_hits, 8);
+        assert_eq!(phases.undo_frames, 64);
+        assert_eq!(phases.undo_ops_rolled_back, 210);
         assert_eq!(phases.snapshots_taken, 101);
         assert_eq!(phases.snapshot_bytes_copied, 4096);
     }

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use dbir::{Program, Schema};
 
-use dbir::equiv::{CheckProfile, SourceOracle};
+use dbir::equiv::{CheckProfile, PrefixCache, SourceOracle};
 use parpool::{CancelReason, CancelToken};
 
 use crate::completion::{complete_sketch, BlockingStrategy, CompletionControls};
@@ -20,7 +20,7 @@ use crate::observe::{SynthesisEvent, SynthesisObserver};
 use crate::sketch_gen::generate_sketch;
 use crate::stats::SynthesisStats;
 use crate::value_corr::{ValueCorrespondence, VcEnumerator};
-use crate::verify::{check_candidate_profiled, CheckOutcome};
+use crate::verify::{check_candidate_cached, CheckOutcome};
 
 /// Per-attempt phase accounting, buffered next to the attempt's events and
 /// absorbed into [`SynthesisStats::phases`] only when the attempt is merged
@@ -395,13 +395,20 @@ impl Synthesizer {
                     // for the Mediator equivalence proof; see DESIGN.md).
                     let verification_start = Instant::now();
                     let mut final_profile = CheckProfile::default();
-                    let verified = check_candidate_profiled(
+                    // A fresh per-pass prefix cache: the deeper verification
+                    // bound shares levels 1–2 within its own walk, and — the
+                    // determinism contract — a cached check's undo-log
+                    // counters are byte-identical at any thread count, which
+                    // the uncached stub-partitioned path is not.
+                    let mut verification_cache = PrefixCache::new();
+                    let verified = check_candidate_cached(
                         &oracle,
                         &program,
                         target_schema,
                         &self.config.verification,
                         Some(token),
                         Some(&mut final_profile),
+                        Some(&mut verification_cache),
                     );
                     stats.verification_time = verification_start.elapsed();
                     stats.phases.absorb_check(&final_profile);

@@ -9,15 +9,23 @@
 //! This module implements that procedure twice:
 //!
 //! * [`compare_programs`] — the production engine. It walks the tree of
-//!   update-call prefixes depth-first, snapshotting the [`Instance`] (plus
-//!   the evaluator's fresh-identifier counter) at every node, so each update
-//!   call in the tree is executed **once** instead of once per sequence that
-//!   extends it: `O(kᴸ)` update executions instead of the naive
-//!   `O(L·kᴸ·|Q|)`. Sequences are still enumerated depth-by-depth (iterative
-//!   deepening), so the first counterexample remains a minimum failing
-//!   input. Prefixes on which *both* programs have already failed are
-//!   counted arithmetically and never descended — every sequence through
-//!   them trivially agrees.
+//!   update-call prefixes depth-first with **in-place backtracking**: each
+//!   side keeps one working [`Instance`], update calls execute directly on
+//!   it while recording their inverses in an undo-log [`Journal`], and
+//!   backtracking rolls the journal back instead of restoring a cloned
+//!   snapshot. Each update call in the tree is thus executed **once**
+//!   instead of once per sequence that extends it — `O(kᴸ)` update
+//!   executions instead of the naive `O(L·kᴸ·|Q|)` — and, unlike the
+//!   earlier snapshot-per-node engine, without deep-cloning the instance at
+//!   every node. True snapshots survive only where a state must outlive the
+//!   walk ([`PrefixCache`] entries, parallel stub-replay roots), and those
+//!   are cheap because [`Instance`] is copy-on-write: cloning bumps
+//!   per-table `Arc`s, and only the first mutation of a shared table pays a
+//!   physical copy. Sequences are still enumerated depth-by-depth
+//!   (iterative deepening), so the first counterexample remains a minimum
+//!   failing input. Prefixes on which *both* programs have already failed
+//!   are counted arithmetically and never descended — every sequence
+//!   through them trivially agrees.
 //! * [`compare_programs_naive`] — the original odometer that materializes and
 //!   replays every sequence from scratch. It is retained as an executable
 //!   reference semantics: a differential property test asserts the two
@@ -43,6 +51,18 @@
 //! split without changing what it measures), and tiny subtrees are searched
 //! inline because fork-join overhead would dominate.
 //!
+//! **Undo-log correctness.** The in-place walk is equivalent to the
+//! snapshot walk because (a) the journaled executor
+//! (`exec_update_plan_journaled`) performs byte-for-byte the same
+//! mutations, in the same order, with the same error occurrences, as the
+//! plain executor it mirrors — it only *additionally* records inverses —
+//! and (b) rolling the journal back to a mark restores the instance
+//! exactly (see [`Journal`] for the inductive argument, including the
+//! failing-statement case where partial mutations are journaled and undone
+//! on the spot). A differential property test pins the in-place engine
+//! against clone-and-restore on random programs: identical end instances
+//! and identical [`EquivalenceReport`]s.
+//!
 //! Both engines apply a *relevance-closure* optimization: when testing a
 //! particular query function, only update functions whose (transitive) table
 //! footprint can influence that query in either program are considered.
@@ -60,8 +80,8 @@ use parpool::{CancelToken, StopCtx};
 use crate::ast::{Function, FunctionBody, Program};
 use crate::error::Error;
 use crate::eval::{
-    bind_args, exec_rows_plan, exec_update_plan, prepare_rows_plan, prepare_update_plan, RowsPlan,
-    UpdatePlan,
+    bind_args, exec_rows_plan, exec_update_plan_journaled, prepare_rows_plan, prepare_update_plan,
+    Journal, RowsPlan, UpdatePlan,
 };
 use crate::instance::Instance;
 use crate::invocation::{
@@ -219,9 +239,15 @@ pub struct EquivalenceReport {
 /// Determinism: `plans_compiled` is identical at any thread count (plan
 /// compilation happens once per check, before the parallel walk).
 /// `snapshots_taken` and `snapshot_bytes_copied` are **scheduling-dependent**
-/// — parallel stub tasks replay their stub prefixes from the empty roots, so
-/// higher thread counts take strictly more snapshots. All `*_time` fields
-/// are wall-clock. Only thread-count-independent counters may be compared
+/// on the uncached path — parallel stub tasks replay their stub prefixes
+/// from the empty roots, so higher thread counts take strictly more
+/// snapshots. `undo_frames` and `undo_ops_rolled_back` are deterministic
+/// whenever a [`PrefixCache`] is supplied (every production path): the
+/// walk's per-root work is a pure function of the candidate, and the
+/// index-ordered merge absorbs exactly the roots the sequential walk would
+/// have visited. On the uncached stub-partitioned path they inherit the
+/// snapshot counters' scheduling dependence. All `*_time` fields are
+/// wall-clock. Only thread-count-independent counters may be compared
 /// across runs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckProfile {
@@ -232,18 +258,31 @@ pub struct CheckProfile {
     /// Time spent walking the prefix-shared search tree (includes nested
     /// oracle interpretation and snapshot copying).
     pub dfs_time: Duration,
-    /// Time spent cloning instance snapshots inside the walk.
+    /// Time spent cloning instance snapshots inside the walk. COW clones
+    /// only — the in-place walk takes no per-node clones.
     pub snapshot_time: Duration,
-    /// Number of instance snapshots cloned (scheduling-dependent).
+    /// Number of instance snapshots cloned (scheduling-dependent on the
+    /// uncached path). Snapshots are COW-cheap: the physical cost is in
+    /// `snapshot_bytes_copied`, not in this count.
     pub snapshots_taken: u64,
-    /// Approximate heap bytes of the instances cloned
-    /// (scheduling-dependent).
+    /// Heap bytes **physically copied** for snapshots: per-clone pointer
+    /// overhead plus the copy-on-write table copies triggered by mutating a
+    /// shared instance. (Before the COW representation this field counted
+    /// the full logical heap of every clone.)
     pub snapshot_bytes_copied: u64,
     /// Update-prefix states served from the cross-candidate [`PrefixCache`]
     /// instead of re-executed. Deterministic at any thread count: every
     /// lookup happens on the check's calling thread, between parallel
     /// sections (see [`PrefixCache`]).
     pub prefix_cache_hits: u64,
+    /// Update calls executed in place with their inverses journaled (one
+    /// frame per journaled execution). Deterministic at any thread count
+    /// when a [`PrefixCache`] is supplied.
+    pub undo_frames: u64,
+    /// Row-level inverse operations replayed while backtracking (rows
+    /// un-pushed, rows re-inserted, cells restored). Deterministic under
+    /// the same condition as `undo_frames`.
+    pub undo_ops_rolled_back: u64,
 }
 
 impl CheckProfile {
@@ -256,20 +295,24 @@ impl CheckProfile {
         self.snapshots_taken += other.snapshots_taken;
         self.snapshot_bytes_copied += other.snapshot_bytes_copied;
         self.prefix_cache_hits += other.prefix_cache_hits;
+        self.undo_frames += other.undo_frames;
+        self.undo_ops_rolled_back += other.undo_ops_rolled_back;
     }
 }
 
-/// Locally accumulated snapshot accounting for one walk: the high-water
-/// mark plus clone counters, folded into the caller's [`CheckProfile`] (and
-/// the process-wide peak) once per subtree instead of per node. Clones are
-/// clocked only when `timed` is set, so unprofiled checks pay no clock
-/// reads on the hot path.
+/// Locally accumulated snapshot and undo-log accounting for one walk: the
+/// physical-copy high-water mark plus clone/journal counters, folded into
+/// the caller's [`CheckProfile`] (and the process-wide peak) once per
+/// subtree instead of per node. Clones are clocked only when `timed` is
+/// set, so unprofiled checks pay no clock reads on the hot path.
 #[derive(Debug, Clone, Copy, Default)]
 struct SnapStats {
     peak: usize,
     taken: u64,
     bytes: u64,
     nanos: u64,
+    frames: u64,
+    undone: u64,
     timed: bool,
 }
 
@@ -286,6 +329,8 @@ impl SnapStats {
         self.taken += other.taken;
         self.bytes += other.bytes;
         self.nanos += other.nanos;
+        self.frames += other.frames;
+        self.undone += other.undone;
     }
 }
 
@@ -627,15 +672,17 @@ pub fn compare_programs(
     compare_with_oracle(&oracle, target, target_schema, config)
 }
 
-/// High-water mark (bytes) of the largest instance snapshot taken by
-/// [`apply_update`], process-wide. A cheap allocation proxy the benchmark
-/// harness records next to wall times: interning shrinks exactly this
-/// number, so regressions in snapshot cost show up even when wall time is
-/// noisy.
+/// High-water mark (bytes) of the largest single **physical copy** performed
+/// for a snapshot, process-wide: either a COW clone's pointer overhead or
+/// one copy-on-write table copy. A cheap allocation proxy the benchmark
+/// harness records next to wall times: structural sharing shrinks exactly
+/// this number, so regressions in snapshot cost show up even when wall time
+/// is noisy. (Before the COW representation this tracked the full logical
+/// heap of the largest clone — shared rows are no longer double-counted.)
 static SNAPSHOT_PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
 
-/// The largest single instance snapshot (approximate heap bytes) taken since
-/// the last [`reset_snapshot_peak`].
+/// The largest single physical snapshot copy (bytes) since the last
+/// [`reset_snapshot_peak`].
 pub fn snapshot_peak_bytes() -> usize {
     SNAPSHOT_PEAK_BYTES.load(Ordering::Relaxed)
 }
@@ -1050,6 +1097,8 @@ pub fn compare_with_oracle_profiled(
         profile.snapshot_time += Duration::from_nanos(snap.nanos);
         profile.snapshots_taken += snap.taken;
         profile.snapshot_bytes_copied += snap.bytes;
+        profile.undo_frames += snap.frames;
+        profile.undo_ops_rolled_back += snap.undone;
         if let (Some(cache), Some(before)) = (cache.as_deref(), hits_before) {
             profile.prefix_cache_hits += cache.hits() - before;
         }
@@ -1130,10 +1179,10 @@ fn search_plan(
             token,
             polls: 0,
             snap: snap.fresh(),
+            src: WorkState::fresh(source_schema),
+            tgt: WorkState::fresh(target_schema),
         };
-        let src_root = ExecState::Live(Instance::empty(source_schema), 0);
-        let tgt_root = ExecState::Live(Instance::empty(target_schema), 0);
-        let result = dfs.walk(length, &src_root, &tgt_root);
+        let result = dfs.walk(length);
         fold_snapshot_peak(dfs.snap.peak);
         snap.absorb(&dfs.snap);
         return result;
@@ -1181,6 +1230,8 @@ fn search_plan(
                 key.push(prep.update_ids[i]);
                 path.push(i);
             }
+            let src_work = WorkState::from_snapshot(&src, source_schema);
+            let tgt_work = WorkState::from_snapshot(&tgt, target_schema);
             let mut count = 0usize;
             let mut dfs = Dfs {
                 oracle,
@@ -1194,8 +1245,10 @@ fn search_plan(
                 token,
                 polls: 0,
                 snap: stub_snap,
+                src: src_work,
+                tgt: tgt_work,
             };
-            let search = dfs.walk(length - stub_depth, &src, &tgt);
+            let search = dfs.walk(length - stub_depth);
             fold_snapshot_peak(dfs.snap.peak);
             let stub_snap = dfs.snap;
             drop(dfs); // release the borrow of `count`
@@ -1306,6 +1359,9 @@ fn search_plan_prefix_cached(
 
     if !parallel {
         for (path, src, tgt) in &roots {
+            let root_snap = snap.fresh();
+            let src_work = WorkState::from_snapshot(src, source_schema);
+            let tgt_work = WorkState::from_snapshot(tgt, target_schema);
             let mut dfs = Dfs {
                 oracle,
                 plan,
@@ -1321,9 +1377,11 @@ fn search_plan_prefix_cached(
                 cancel: None,
                 token,
                 polls: 0,
-                snap: snap.fresh(),
+                snap: root_snap,
+                src: src_work,
+                tgt: tgt_work,
             };
-            let result = dfs.walk(length - base, src, tgt);
+            let result = dfs.walk(length - base);
             fold_snapshot_peak(dfs.snap.peak);
             let dfs_snap = dfs.snap;
             drop(dfs);
@@ -1339,6 +1397,12 @@ fn search_plan_prefix_cached(
     let results = parpool::par_map_stop(
         &roots,
         |task_index, (path, src, tgt), ctx| {
+            let root_snap = SnapStats {
+                timed,
+                ..SnapStats::default()
+            };
+            let src_work = WorkState::from_snapshot(src, source_schema);
+            let tgt_work = WorkState::from_snapshot(tgt, target_schema);
             let mut count = 0usize;
             let mut dfs = Dfs {
                 oracle,
@@ -1355,12 +1419,11 @@ fn search_plan_prefix_cached(
                 cancel: Some((ctx, task_index)),
                 token,
                 polls: 0,
-                snap: SnapStats {
-                    timed,
-                    ..SnapStats::default()
-                },
+                snap: root_snap,
+                src: src_work,
+                tgt: tgt_work,
             };
-            let search = dfs.walk(length - base, src, tgt);
+            let search = dfs.walk(length - base);
             fold_snapshot_peak(dfs.snap.peak);
             let root_snap = dfs.snap;
             drop(dfs); // release the borrow of `count`
@@ -1387,6 +1450,104 @@ fn search_plan_prefix_cached(
     Search::Exhausted
 }
 
+/// The walk's working instance: a borrow of the (shared) root snapshot
+/// until the first mutation, an owned COW clone after. Read-only subtrees
+/// — every root at the cache depth of a depth-`base` walk, which dominate
+/// wide plans — therefore copy *nothing*, not even the table map.
+enum WorkInstance<'s> {
+    /// Still reading the root snapshot directly — nothing copied yet.
+    Borrowed(&'s Instance),
+    /// Detached by a mutation (or built fresh): the walk's own instance.
+    Owned(Instance),
+}
+
+impl WorkInstance<'_> {
+    /// The instance to evaluate queries against.
+    fn get(&self) -> &Instance {
+        match self {
+            WorkInstance::Borrowed(instance) => instance,
+            WorkInstance::Owned(instance) => instance,
+        }
+    }
+
+    /// The mutable working instance, detaching from a borrowed root
+    /// snapshot on first use. The detach is the walk's one per-root
+    /// snapshot: a COW-cheap clone (per-table pointer bumps) accounted at
+    /// its physical cost, the clone overhead; any table the walk then
+    /// mutates pays its copy through the journal's COW tracking.
+    fn owned(&mut self, snap: &mut SnapStats) -> &mut Instance {
+        if let WorkInstance::Borrowed(shared) = *self {
+            let clone_start = snap.timed.then(Instant::now);
+            let working = shared.clone();
+            if let Some(start) = clone_start {
+                snap.nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+            let overhead = working.clone_overhead_bytes();
+            snap.taken += 1;
+            snap.bytes += overhead as u64;
+            snap.peak = snap.peak.max(overhead);
+            *self = WorkInstance::Owned(working);
+        }
+        match self {
+            WorkInstance::Owned(instance) => instance,
+            WorkInstance::Borrowed(_) => unreachable!("just detached"),
+        }
+    }
+}
+
+/// One side's mutable working state for the in-place walk: the instance
+/// updates execute on, the evaluator's fresh-identifier counter, the undo
+/// log that makes every execution reversible, and the sticky failure of the
+/// current prefix (mirroring [`ExecState::Failed`]).
+struct WorkState<'s> {
+    instance: WorkInstance<'s>,
+    uid: u64,
+    journal: Journal,
+    failed: Option<Error>,
+}
+
+impl<'s> WorkState<'s> {
+    /// A live state over the empty instance — the walk's root.
+    fn fresh(schema: &Schema) -> WorkState<'s> {
+        WorkState {
+            instance: WorkInstance::Owned(Instance::empty(schema)),
+            uid: 0,
+            journal: Journal::new(),
+            failed: None,
+        }
+    }
+
+    /// A working view of a (possibly shared) snapshot. Nothing is copied
+    /// here: the instance stays borrowed until the walk's first mutation
+    /// detaches it (see [`WorkInstance::owned`]), so roots whose subtree
+    /// only evaluates queries never snapshot at all.
+    fn from_snapshot(state: &'s ExecState, schema: &Schema) -> WorkState<'s> {
+        match state {
+            ExecState::Failed(err) => WorkState {
+                instance: WorkInstance::Owned(Instance::empty(schema)),
+                uid: 0,
+                journal: Journal::new(),
+                failed: Some(err.clone()),
+            },
+            ExecState::Live(instance, uid) => WorkState {
+                instance: WorkInstance::Borrowed(instance),
+                uid: *uid,
+                journal: Journal::new(),
+                failed: None,
+            },
+        }
+    }
+}
+
+/// What [`apply_in_place`] hands back so [`revert_frame`] can undo exactly
+/// one update call: the journal mark to roll back to, the uid counter to
+/// restore, and whether this call is the one that set the sticky failure.
+struct Frame {
+    mark: usize,
+    prev_uid: u64,
+    set_failure: bool,
+}
+
 /// Depth-first walker over the update-call tree of one query plan.
 struct Dfs<'a, 'p> {
     oracle: &'a SourceOracle<'p>,
@@ -1409,10 +1570,13 @@ struct Dfs<'a, 'p> {
     token: Option<&'a CancelToken>,
     /// Nodes visited since the walk started, for token-poll pacing.
     polls: usize,
-    /// Local snapshot accounting (high-water mark plus clone counters),
-    /// folded into the global metric and the caller's profile by the walk's
-    /// caller.
+    /// Local snapshot/undo accounting, folded into the global metric and
+    /// the caller's profile by the walk's caller.
     snap: SnapStats,
+    /// The source program's working state, mutated and rolled back in place.
+    src: WorkState<'a>,
+    /// The target program's working state, mutated and rolled back in place.
+    tgt: WorkState<'a>,
 }
 
 /// How many tree nodes a walker visits between two polls of the caller's
@@ -1444,10 +1608,14 @@ impl Dfs<'_, '_> {
     }
 
     /// Visits every sequence with exactly `depth` more update calls below
-    /// the node whose states are `src`/`tgt`. Children are visited in
-    /// `update_calls` order and queries in `query_calls` order, which makes
-    /// the leaf enumeration order identical to the naive odometer's.
-    fn walk(&mut self, depth: usize, src: &ExecState, tgt: &ExecState) -> Search {
+    /// the current working states. Children are visited in `update_calls`
+    /// order and queries in `query_calls` order, which makes the leaf
+    /// enumeration order identical to the naive odometer's.
+    ///
+    /// Updates execute in place; every child edge is reverted before the
+    /// loop advances **or** a non-exhausted result propagates, so the
+    /// working states are back at this node's state on every exit path.
+    fn walk(&mut self, depth: usize) -> Search {
         if self.cancelled() {
             return Search::Aborted;
         }
@@ -1455,22 +1623,24 @@ impl Dfs<'_, '_> {
             return Search::Cancelled;
         }
         if depth == 0 {
-            return self.leaves(src, tgt);
+            return self.leaves();
         }
-        if let (ExecState::Failed(_), ExecState::Failed(_)) = (src, tgt) {
+        if self.src.failed.is_some() && self.tgt.failed.is_some() {
             // Every sequence through this node fails on both sides and
             // therefore agrees: account for the subtree without walking it.
             return self.skip_agreed_subtree(depth);
         }
         let prep = self.prep;
         for i in 0..self.plan.update_calls.len() {
-            let src_child = apply_update(&prep.src_updates[i], src, &mut self.snap);
-            let tgt_child = apply_update(&prep.tgt_updates[i], tgt, &mut self.snap);
+            let src_frame = apply_in_place(&prep.src_updates[i], &mut self.src, &mut self.snap);
+            let tgt_frame = apply_in_place(&prep.tgt_updates[i], &mut self.tgt, &mut self.snap);
             self.key.push(prep.update_ids[i]);
             self.path.push(i);
-            let result = self.walk(depth - 1, &src_child, &tgt_child);
+            let result = self.walk(depth - 1);
             self.path.pop();
             self.key.pop();
+            revert_frame(tgt_frame, &mut self.tgt, &mut self.snap);
+            revert_frame(src_frame, &mut self.src, &mut self.snap);
             if !matches!(result, Search::Exhausted) {
                 return result;
             }
@@ -1478,8 +1648,8 @@ impl Dfs<'_, '_> {
         Search::Exhausted
     }
 
-    /// Runs (and counts) all query calls against the two leaf states.
-    fn leaves(&mut self, src: &ExecState, tgt: &ExecState) -> Search {
+    /// Runs (and counts) all query calls against the two working states.
+    fn leaves(&mut self) -> Search {
         let prep = self.prep;
         for (qi, &query_id) in prep.query_ids.iter().enumerate() {
             if let Some(cap) = self.cap {
@@ -1488,16 +1658,16 @@ impl Dfs<'_, '_> {
                 }
             }
             *self.sequences_tested += 1;
-            if let (ExecState::Failed(_), ExecState::Failed(_)) = (src, tgt) {
+            if self.src.failed.is_some() && self.tgt.failed.is_some() {
                 // Both prefixes already failed: the outcomes agree whatever
                 // the query is, no need to even materialize the sequence.
                 continue;
             }
-            let tgt_outcome = query_outcome(&prep.tgt_queries[qi], tgt);
+            let tgt_outcome = work_outcome(&prep.tgt_queries[qi], &self.tgt);
             self.key.push(query_id);
             let src_outcome = self
                 .oracle
-                .outcome(&self.key, || query_outcome(&prep.src_queries[qi], src));
+                .outcome(&self.key, || work_outcome(&prep.src_queries[qi], &self.src));
             let agree = outcomes_agree(&src_outcome, &tgt_outcome);
             self.key.pop();
             if !agree {
@@ -1533,15 +1703,97 @@ impl Dfs<'_, '_> {
     }
 }
 
-/// Extends an execution state by one (pre-resolved, pre-bound) update call,
-/// cloning the instance so the parent snapshot survives for the node's
-/// siblings.
+/// Executes one (pre-resolved, pre-bound) update call **in place** on a
+/// working state, journaling its inverses, and returns the [`Frame`] that
+/// [`revert_frame`] undoes it with.
+///
+/// Mirrors the old clone-based `apply_update` exactly: an already-failed
+/// state stays failed (no-op frame), a preparation failure sets the sticky
+/// failure, and an execution failure leaves the state failed with the same
+/// error a full replay would report — its partial mutations are rolled
+/// back on the spot, so the instance under a failed state is byte-identical
+/// to the parent's (the old engine discarded the mutated clone; queries
+/// never read it either way because the failure gates them).
+fn apply_in_place(
+    prepared: &PreparedUpdate,
+    state: &mut WorkState<'_>,
+    snap: &mut SnapStats,
+) -> Frame {
+    let frame = Frame {
+        mark: state.journal.mark(),
+        prev_uid: state.uid,
+        set_failure: false,
+    };
+    if state.failed.is_some() {
+        return frame;
+    }
+    let plan = match prepared {
+        PreparedUpdate::Ready(plan) => plan,
+        PreparedUpdate::Failed(err) => {
+            state.failed = Some(err.clone());
+            return Frame {
+                set_failure: true,
+                ..frame
+            };
+        }
+    };
+    snap.frames += 1;
+    let instance = state.instance.owned(snap);
+    let result = exec_update_plan_journaled(plan, instance, state.uid, &mut state.journal);
+    let (cow_bytes, cow_peak) = state.journal.take_copy_stats();
+    snap.bytes += cow_bytes;
+    snap.peak = snap.peak.max(cow_peak);
+    match result {
+        Ok(next_uid) => {
+            state.uid = next_uid;
+            frame
+        }
+        Err(err) => {
+            let undone = state
+                .journal
+                .rollback_to(frame.mark, state.instance.owned(snap));
+            snap.undone += undone;
+            state.failed = Some(err);
+            Frame {
+                set_failure: true,
+                ..frame
+            }
+        }
+    }
+}
+
+/// Undoes exactly the update call that produced `frame`: clears the sticky
+/// failure if this call set it, restores the uid counter, and rolls the
+/// journal back to the frame's mark.
+fn revert_frame(frame: Frame, state: &mut WorkState<'_>, snap: &mut SnapStats) {
+    if frame.set_failure {
+        state.failed = None;
+    }
+    state.uid = frame.prev_uid;
+    // The guard keeps no-op frames (failed prefixes) from detaching a
+    // still-borrowed root; when there are ops to pop, the mutation that
+    // recorded them already owns the instance.
+    if state.journal.mark() > frame.mark {
+        let undone = state
+            .journal
+            .rollback_to(frame.mark, state.instance.owned(snap));
+        snap.undone += undone;
+    }
+}
+
+/// Extends a shared execution state by one update call, COW-cloning the
+/// instance so the parent snapshot survives. Used only where a state must
+/// outlive the walk — [`PrefixCache`] resolution and parallel stub replay;
+/// the walk itself mutates in place via [`apply_in_place`].
+///
 /// `snap` is the caller's *local* snapshot accounting: sampling a global
 /// atomic here would put a shared read-modify-write on every node of every
 /// worker's walk, so callers accumulate locally and fold into
 /// [`SNAPSHOT_PEAK_BYTES`] (and the check's [`CheckProfile`]) once per
-/// subtree (see [`fold_snapshot_peak`]). The clone is clocked only when
-/// `snap.timed` is set.
+/// subtree (see [`fold_snapshot_peak`]). Accounting is physical: the
+/// clone's pointer overhead plus the copy-on-write table copies the
+/// execution triggers (tracked through a scratch journal whose undo ops are
+/// discarded — nothing here ever rolls back).
 fn apply_update(prepared: &PreparedUpdate, state: &ExecState, snap: &mut SnapStats) -> ExecState {
     let (instance, uid) = match state {
         ExecState::Failed(_) => return state.clone(),
@@ -1556,11 +1808,16 @@ fn apply_update(prepared: &PreparedUpdate, state: &ExecState, snap: &mut SnapSta
     if let Some(start) = clone_start {
         snap.nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
-    let bytes = next.approx_heap_bytes();
-    snap.peak = snap.peak.max(bytes);
+    let overhead = next.clone_overhead_bytes();
     snap.taken += 1;
-    snap.bytes += bytes as u64;
-    match exec_update_plan(plan, &mut next, uid) {
+    snap.bytes += overhead as u64;
+    snap.peak = snap.peak.max(overhead);
+    let mut scratch = Journal::new();
+    let result = exec_update_plan_journaled(plan, &mut next, uid, &mut scratch);
+    let (cow_bytes, cow_peak) = scratch.take_copy_stats();
+    snap.bytes += cow_bytes;
+    snap.peak = snap.peak.max(cow_peak);
+    match result {
         Ok(next_uid) => ExecState::Live(next, next_uid),
         Err(err) => ExecState::Failed(err),
     }
@@ -1575,18 +1832,17 @@ fn fold_snapshot_peak(local: usize) {
 }
 
 /// The observable outcome of running one compiled query call against a
-/// prefix state, matching what a full replay of the sequence would observe
-/// (queries never mint identifiers, so the snapshot's uid counter is moot).
-fn query_outcome(prepared: &PreparedQuery, state: &ExecState) -> Outcome {
-    let instance = match state {
-        ExecState::Failed(err) => return Outcome::Failed(err.clone()),
-        ExecState::Live(instance, _uid) => instance,
-    };
+/// working state, matching what a full replay of the sequence would observe
+/// (queries never mint identifiers, so the state's uid counter is moot).
+fn work_outcome(prepared: &PreparedQuery, state: &WorkState<'_>) -> Outcome {
+    if let Some(err) = &state.failed {
+        return Outcome::Failed(err.clone());
+    }
     let plan = match prepared {
         PreparedQuery::Ready(plan) => plan,
         PreparedQuery::Failed(err) => return Outcome::Failed(err.clone()),
     };
-    match exec_rows_plan(plan, instance) {
+    match exec_rows_plan(plan, state.instance.get()) {
         Ok(rows) => {
             let mut rows = rows.into_owned();
             rows.sort();

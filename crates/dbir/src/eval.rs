@@ -886,6 +886,60 @@ impl CompiledQuery {
     }
 }
 
+/// An update statement compiled for repeated execution — the public wrapper
+/// around the engine-internal `UpdatePlan`, mirroring [`CompiledQuery`].
+///
+/// Besides plain execution it exposes the *journaled* execution mode the
+/// bounded-testing engine backtracks with: every row mutation records its
+/// inverse in a [`Journal`], and [`Journal::rollback_to`] restores the
+/// instance to any earlier mark in place — no snapshot clone, no restore
+/// copy.
+#[derive(Debug)]
+pub struct CompiledUpdate {
+    plan: UpdatePlan,
+}
+
+impl CompiledUpdate {
+    /// Compiles `update` (with parameters already bound in `env`) against
+    /// `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural errors interpretation would raise on every
+    /// execution (see `UpdatePlan`).
+    pub fn compile(schema: &Schema, update: &Update, env: &Env) -> Result<CompiledUpdate> {
+        Ok(CompiledUpdate {
+            plan: prepare_update_plan(schema, update, env)?,
+        })
+    }
+
+    /// Executes the compiled update. `next_uid` is the fresh-identifier
+    /// counter going in; the returned value is the counter after execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns instance-dependent evaluation errors, matching the
+    /// interpreter occurrence-wise. On failure the instance may retain the
+    /// partial mutations of earlier statements, exactly as the interpreter
+    /// leaves them.
+    pub fn execute(&self, instance: &mut Instance, next_uid: u64) -> Result<u64> {
+        exec_update_plan(&self.plan, instance, next_uid)
+    }
+
+    /// Like [`CompiledUpdate::execute`], but records the inverse of every
+    /// row mutation in `journal`, so the caller can restore the instance to
+    /// the pre-execution state with [`Journal::rollback_to`] — including
+    /// after a failure, whose partial mutations are journaled too.
+    pub fn execute_journaled(
+        &self,
+        instance: &mut Instance,
+        next_uid: u64,
+        journal: &mut Journal,
+    ) -> Result<u64> {
+        exec_update_plan_journaled(&self.plan, instance, next_uid, journal)
+    }
+}
+
 /// Evaluates an operand against parameter bindings.
 fn eval_operand_env(operand: &Operand, env: &Env) -> Result<Value> {
     match operand {
@@ -1237,6 +1291,281 @@ pub(crate) fn exec_update_plan(
                         row[update.column] = update.value;
                     }
                 }
+            }
+            Ok(next_uid)
+        }
+    }
+}
+
+/// One recorded inverse: enough to undo a single mutation step of a
+/// journaled update execution.
+#[derive(Debug)]
+enum UndoOp {
+    /// One row was appended to `table`'s tail; undo pops it.
+    Pushed { table: TableName },
+    /// Rows were removed from `table`, recorded as `(original index, row)`
+    /// in increasing index order; undo re-inserts them at those indices in
+    /// the same order.
+    Removed {
+        table: TableName,
+        rows: Vec<(usize, Tuple)>,
+    },
+    /// One column of several rows was overwritten, recorded as
+    /// `(row index, old value)`; undo restores the old values.
+    Cells {
+        table: TableName,
+        column: usize,
+        cells: Vec<(usize, Value)>,
+    },
+}
+
+/// An undo log for in-place update execution: every row mutation performed
+/// by `exec_update_plan_journaled` appends its exact inverse, and
+/// [`Journal::rollback_to`] replays the inverses to restore the instance to
+/// any earlier mark — the bounded-testing engine's replacement for
+/// clone-based backtracking.
+///
+/// # Correctness
+///
+/// Rollback replays inverses in strict LIFO order, so each inverse runs
+/// against precisely the table layout its mutation produced; restoring it
+/// re-establishes the layout the *previous* inverse expects, by induction
+/// back to the mark. The one subtle case is `UndoOp::Removed`: removal
+/// records `(index, row)` pairs in increasing original-index order, and
+/// re-inserting at those indices *in the same increasing order* is exact —
+/// each insertion shifts only positions at or above its index, which are
+/// exactly the positions later pairs (with strictly larger indices) are
+/// about to fill.
+///
+/// The journal also meters copy-on-write traffic: mutations go through
+/// [`Instance::rows_mut_tracked`], so the bytes physically copied to
+/// un-share a table (and the largest single such copy) are accounted where
+/// the pre-COW engine charged a full snapshot clone per tree edge.
+#[derive(Debug, Default)]
+pub struct Journal {
+    ops: Vec<UndoOp>,
+    recorded: u64,
+    cow_bytes: u64,
+    cow_peak: usize,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// An opaque position in the log; pass to [`Journal::rollback_to`] to
+    /// restore the instance to its state when the mark was taken.
+    pub fn mark(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Row-level inverse operations recorded so far (rows pushed, rows
+    /// removed, cells overwritten), across the journal's whole lifetime.
+    pub fn ops_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Drains the copy-on-write accounting accumulated since the last call:
+    /// `(bytes physically copied, largest single copy)`.
+    pub fn take_copy_stats(&mut self) -> (u64, usize) {
+        let stats = (self.cow_bytes, self.cow_peak);
+        self.cow_bytes = 0;
+        self.cow_peak = 0;
+        stats
+    }
+
+    /// Rolls the instance back to `mark`, undoing every mutation recorded
+    /// after it (in reverse order). Returns the number of row-level inverse
+    /// operations replayed.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or silently corrupt state) if `instance` is not the
+    /// instance the journal recorded against, or if it was mutated outside
+    /// the journal since the mark.
+    pub fn rollback_to(&mut self, mark: usize, instance: &mut Instance) -> u64 {
+        let mut undone = 0u64;
+        while self.ops.len() > mark {
+            match self.ops.pop().expect("ops.len() > mark") {
+                UndoOp::Pushed { table } => {
+                    instance.rows_mut(&table).pop();
+                    undone += 1;
+                }
+                UndoOp::Removed { table, rows } => {
+                    undone += rows.len() as u64;
+                    let live = instance.rows_mut(&table);
+                    for (index, row) in rows {
+                        live.insert(index, row);
+                    }
+                }
+                UndoOp::Cells {
+                    table,
+                    column,
+                    cells,
+                } => {
+                    undone += cells.len() as u64;
+                    let live = instance.rows_mut(&table);
+                    for (index, old) in cells {
+                        live[index][column] = old;
+                    }
+                }
+            }
+        }
+        undone
+    }
+
+    fn track_copy(&mut self, copied: usize) {
+        self.cow_bytes += copied as u64;
+        self.cow_peak = self.cow_peak.max(copied);
+    }
+
+    /// Order-preserving `retain` that records the removed rows.
+    fn retain_rows(
+        &mut self,
+        instance: &mut Instance,
+        table: &TableName,
+        mut keep: impl FnMut(&Tuple) -> bool,
+    ) {
+        let (rows, copied) = instance.rows_mut_tracked(table);
+        self.track_copy(copied);
+        let mut removed: Vec<(usize, Tuple)> = Vec::new();
+        let mut write = 0usize;
+        for read in 0..rows.len() {
+            if keep(&rows[read]) {
+                if write != read {
+                    rows.swap(write, read);
+                }
+                write += 1;
+            } else {
+                removed.push((read, std::mem::take(&mut rows[read])));
+            }
+        }
+        if removed.is_empty() {
+            return;
+        }
+        rows.truncate(write);
+        self.recorded += removed.len() as u64;
+        self.ops.push(UndoOp::Removed {
+            table: *table,
+            rows: removed,
+        });
+    }
+
+    /// Appends one row, recording the push.
+    fn push_row(&mut self, instance: &mut Instance, table: &TableName, row: Tuple) {
+        let (rows, copied) = instance.rows_mut_tracked(table);
+        self.track_copy(copied);
+        rows.push(row);
+        self.recorded += 1;
+        self.ops.push(UndoOp::Pushed { table: *table });
+    }
+
+    /// Overwrites `column` with `value` on every row matching `hit`,
+    /// recording the old cell values.
+    fn update_cells(
+        &mut self,
+        instance: &mut Instance,
+        table: &TableName,
+        mut hit: impl FnMut(&Tuple) -> bool,
+        column: usize,
+        value: Value,
+    ) {
+        let (rows, copied) = instance.rows_mut_tracked(table);
+        self.track_copy(copied);
+        let mut cells: Vec<(usize, Value)> = Vec::new();
+        for (index, row) in rows.iter_mut().enumerate() {
+            if hit(row) {
+                cells.push((index, row[column]));
+                row[column] = value;
+            }
+        }
+        if cells.is_empty() {
+            return;
+        }
+        self.recorded += cells.len() as u64;
+        self.ops.push(UndoOp::Cells {
+            table: *table,
+            column,
+            cells,
+        });
+    }
+}
+
+/// [`exec_update_plan`] with inverse recording: mutates `instance` exactly
+/// like the plain executor (same end state, same returned uid counter, same
+/// error occurrences), additionally appending the inverse of every row
+/// mutation to `journal`.
+///
+/// On failure the instance retains the partial mutations of earlier
+/// statements — exactly as [`exec_update_plan`] leaves them — but those
+/// mutations *are* journaled, so rolling back to the pre-call mark restores
+/// the pre-call state precisely.
+pub(crate) fn exec_update_plan_journaled(
+    plan: &UpdatePlan,
+    instance: &mut Instance,
+    next_uid: u64,
+    journal: &mut Journal,
+) -> Result<u64> {
+    match plan {
+        UpdatePlan::Seq(list) => {
+            let mut uid = next_uid;
+            for stmt in list {
+                uid = exec_update_plan_journaled(stmt, instance, uid, journal)?;
+            }
+            Ok(uid)
+        }
+        UpdatePlan::Insert(insert) => {
+            for target in &insert.targets {
+                let mut tuple = Tuple::with_capacity(target.slots.len());
+                for slot in &target.slots {
+                    tuple.push(match slot {
+                        InsertSlot::Const(value) => *value,
+                        InsertSlot::Fresh(group) => Value::Uid(next_uid + group),
+                    });
+                }
+                if let Some(key_index) = target.key_index {
+                    let key_value = tuple[key_index];
+                    if !key_value.is_null() {
+                        journal.retain_rows(instance, &target.table, |row| {
+                            row[key_index] != key_value
+                        });
+                    }
+                }
+                journal.push_row(instance, &target.table, tuple);
+            }
+            Ok(next_uid + insert.fresh_uids)
+        }
+        UpdatePlan::Delete(delete) => {
+            let doomed_sets = {
+                let matched = matched_rows(&delete.join, &delete.pred, instance)?;
+                delete
+                    .targets
+                    .iter()
+                    .map(|(_, indices)| project_rows(&matched, indices))
+                    .collect::<Vec<_>>()
+            };
+            for ((table, _), doomed) in delete.targets.iter().zip(doomed_sets) {
+                if !doomed.is_empty() {
+                    journal.retain_rows(instance, table, |row| !doomed.contains(row));
+                }
+            }
+            Ok(next_uid)
+        }
+        UpdatePlan::UpdateAttr(update) => {
+            let affected = {
+                let matched = matched_rows(&update.join, &update.pred, instance)?;
+                project_rows(&matched, &update.projection)
+            };
+            if !affected.is_empty() {
+                journal.update_cells(
+                    instance,
+                    &update.table,
+                    |row| affected.contains(row),
+                    update.column,
+                    update.value,
+                );
             }
             Ok(next_uid)
         }

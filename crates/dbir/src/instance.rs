@@ -1,7 +1,32 @@
 //! In-memory database instances and intermediate relations.
+//!
+//! # Structural sharing
+//!
+//! [`Instance`] is a *copy-on-write value*: each table's rows live behind an
+//! [`Arc`], so `Instance::clone()` is `O(tables)` pointer bumps and two
+//! clones share every row until one of them writes. The first mutable access
+//! to a table ([`Instance::rows_mut`]) un-shares just that table via
+//! [`Arc::make_mut`]; other tables stay shared. This makes the bounded
+//! testing engine's snapshots (prefix-cache entries, parallel walk roots)
+//! nearly free, and it is what the undo-log walk in [`crate::equiv`] relies
+//! on: a walker clones a cached prefix state cheaply, mutates its private
+//! copy in place, and can never perturb the cached original because every
+//! write path goes through `rows_mut`.
+//!
+//! Sharing invariants:
+//!
+//! * Rows are only reachable through [`Instance`] methods; no API hands out
+//!   an `Arc` or a `&mut` that bypasses the copy-on-write gate.
+//! * [`Value`] is `Copy` (strings and blobs are interned symbols), so
+//!   un-sharing a table is a flat memcpy of its tuples — no deep payload
+//!   clones, and shared rows never alias mutable heap data.
+//! * Holding an `Instance` clone (or anything cloned from one — prefix-cache
+//!   states, oracle outcomes, speculation snapshots) keeps the shared rows
+//!   alive but can never observe a sibling's writes.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::schema::{QualifiedAttr, Schema, TableName};
 use crate::value::Value;
@@ -11,9 +36,19 @@ pub type Tuple = Vec<Value>;
 
 /// A database instance: a mapping from table names to lists (multisets) of
 /// tuples, as in Definition A.4 of the paper.
+///
+/// Cloning is cheap (structural sharing — see the module docs); mutation
+/// copies only the touched table, and only when it is actually shared.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Instance {
-    tables: BTreeMap<TableName, Vec<Tuple>>,
+    tables: BTreeMap<TableName, Arc<Vec<Tuple>>>,
+}
+
+/// Approximate heap bytes of one table's rows, exploiting that every row of
+/// a table has the same arity.
+fn table_bytes(rows: &[Tuple]) -> usize {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    rows.len() * (std::mem::size_of::<Tuple>() + width * std::mem::size_of::<Value>())
 }
 
 impl Instance {
@@ -22,19 +57,48 @@ impl Instance {
     pub fn empty(schema: &Schema) -> Instance {
         let mut tables = BTreeMap::new();
         for table in schema.tables() {
-            tables.insert(table.name, Vec::new());
+            tables.insert(table.name, Arc::new(Vec::new()));
         }
         Instance { tables }
     }
 
     /// The tuples currently stored in a table (empty if the table is absent).
     pub fn rows(&self, table: &TableName) -> &[Tuple] {
-        self.tables.get(table).map(Vec::as_slice).unwrap_or(&[])
+        self.tables
+            .get(table)
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Mutable access to a table's tuples, creating the table if needed.
+    ///
+    /// This is the copy-on-write gate: if the table's rows are shared with
+    /// another instance (a snapshot, a cached prefix state), they are copied
+    /// first, so the sibling can never observe the mutation.
     pub fn rows_mut(&mut self, table: &TableName) -> &mut Vec<Tuple> {
-        self.tables.entry(*table).or_default()
+        Arc::make_mut(self.tables.entry(*table).or_default())
+    }
+
+    /// Like [`Instance::rows_mut`], but also reports the bytes physically
+    /// copied if this access had to un-share the table (`0` when the rows
+    /// were already uniquely owned). The bounded-testing engine uses this to
+    /// account *actual* copy traffic instead of logical snapshot sizes.
+    pub fn rows_mut_tracked(&mut self, table: &TableName) -> (&mut Vec<Tuple>, usize) {
+        let rows = self.tables.entry(*table).or_default();
+        let copied = if Arc::strong_count(rows) > 1 {
+            table_bytes(rows)
+        } else {
+            0
+        };
+        (Arc::make_mut(rows), copied)
+    }
+
+    /// Replaces a table's rows wholesale, dropping any sharing with other
+    /// instances. Used by bulk loaders (e.g. the SQL backend's
+    /// `Database::to_instance`) to build tables without a push-per-row
+    /// copy-on-write dance.
+    pub fn set_rows(&mut self, table: &TableName, rows: Vec<Tuple>) {
+        self.tables.insert(*table, Arc::new(rows));
     }
 
     /// Appends a tuple to a table.
@@ -44,7 +108,7 @@ impl Instance {
 
     /// Total number of tuples across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Vec::len).sum()
+        self.tables.values().map(|rows| rows.len()).sum()
     }
 
     /// Returns `true` if no table holds any tuple.
@@ -53,30 +117,58 @@ impl Instance {
     }
 
     /// Iterates over `(table, rows)` pairs in table-name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&TableName, &Vec<Tuple>)> {
-        self.tables.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (&TableName, &[Tuple])> {
+        self.tables
+            .iter()
+            .map(|(name, rows)| (name, rows.as_slice()))
     }
 
-    /// Approximate heap footprint of the instance in bytes, exploiting that
-    /// every row of a table has the same arity. `O(tables)`, so it is cheap
-    /// enough for the snapshot path to sample on every clone; used as an
-    /// allocation proxy by the benchmark harness. With interned values this
-    /// is also (approximately) the cost of one snapshot, since tuples hold
-    /// `Copy` values and no payload heap blocks.
+    /// Approximate heap footprint of the instance's *logical contents* in
+    /// bytes: every row counted once, whether or not it is shared with other
+    /// instances. `O(tables)`, so it is cheap enough to sample frequently.
+    /// With interned values this is the full cost of materializing the
+    /// instance from scratch; see [`Instance::heap_bytes_split`] for the
+    /// owned/shared breakdown that avoids double-counting structurally
+    /// shared rows across clones.
     pub fn approx_heap_bytes(&self) -> usize {
-        let mut bytes = std::mem::size_of::<Instance>();
+        let (owned, shared) = self.heap_bytes_split();
+        owned + shared
+    }
+
+    /// The instance's approximate heap bytes split into `(owned, shared)`:
+    /// tables whose rows this instance uniquely owns versus tables whose
+    /// rows are structurally shared with at least one other instance.
+    /// Summing `owned` across a family of clones counts every physical byte
+    /// exactly once per owner, where the pre-copy-on-write accounting would
+    /// have counted each shared table once per clone.
+    pub fn heap_bytes_split(&self) -> (usize, usize) {
+        let mut owned = std::mem::size_of::<Instance>();
+        let mut shared = 0;
         for rows in self.tables.values() {
-            let width = rows.first().map(Vec::len).unwrap_or(0);
-            bytes +=
-                rows.len() * (std::mem::size_of::<Tuple>() + width * std::mem::size_of::<Value>());
+            let bytes = table_bytes(rows);
+            if Arc::strong_count(rows) > 1 {
+                shared += bytes;
+            } else {
+                owned += bytes;
+            }
         }
-        bytes
+        (owned, shared)
+    }
+
+    /// The bytes physically copied by one `Instance::clone()`: the table map
+    /// and one `Arc` pointer bump per table — *not* the rows, which are
+    /// shared. This is the honest per-snapshot cost the bounded-testing
+    /// engine accounts for copy-on-write clones.
+    pub fn clone_overhead_bytes(&self) -> usize {
+        std::mem::size_of::<Instance>()
+            + self.tables.len()
+                * (std::mem::size_of::<TableName>() + std::mem::size_of::<Arc<Vec<Tuple>>>())
     }
 }
 
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (table, rows) in &self.tables {
+        for (table, rows) in self.iter() {
             writeln!(f, "{table}: {} row(s)", rows.len())?;
             for row in rows {
                 f.write_str("  (")?;
@@ -224,6 +316,75 @@ mod tests {
     fn missing_table_yields_empty_rows() {
         let instance = Instance::empty(&schema());
         assert!(instance.rows(&"Ghost".into()).is_empty());
+    }
+
+    #[test]
+    fn clones_share_rows_until_mutation() {
+        let mut original = Instance::empty(&schema());
+        original.insert(&"Car".into(), vec![Value::Int(1), Value::str("M1")]);
+        let mut clone = original.clone();
+        // Shared: the clone sees the rows without owning them.
+        let (owned, shared) = clone.heap_bytes_split();
+        assert!(shared > 0, "cloned table rows must be shared");
+        assert_eq!(owned, std::mem::size_of::<Instance>());
+        assert_eq!(
+            original.approx_heap_bytes(),
+            clone.approx_heap_bytes(),
+            "logical size is sharing-independent"
+        );
+
+        // Writing through the clone un-shares only the touched table and
+        // never perturbs the original.
+        clone.insert(&"Car".into(), vec![Value::Int(2), Value::str("M2")]);
+        assert_eq!(original.rows(&"Car".into()).len(), 1);
+        assert_eq!(clone.rows(&"Car".into()).len(), 2);
+        let (owned_after, shared_after) = clone.heap_bytes_split();
+        assert_eq!(shared_after, 0, "the only populated table was un-shared");
+        assert!(owned_after > owned);
+    }
+
+    #[test]
+    fn tracked_mutation_reports_copy_on_write_bytes() {
+        let mut original = Instance::empty(&schema());
+        original.insert(&"Car".into(), vec![Value::Int(1), Value::str("M1")]);
+        let mut clone = original.clone();
+        let (_, copied) = clone.rows_mut_tracked(&"Car".into());
+        assert!(copied > 0, "first write to a shared table copies its rows");
+        let (_, copied_again) = clone.rows_mut_tracked(&"Car".into());
+        assert_eq!(copied_again, 0, "already-unique rows are not re-copied");
+        // The untouched sibling table stays shared with the original.
+        let (_, part_copy) = clone.rows_mut_tracked(&"Part".into());
+        assert_eq!(part_copy, 0, "empty shared table copies zero bytes");
+    }
+
+    #[test]
+    fn clone_overhead_is_rows_independent() {
+        let mut instance = Instance::empty(&schema());
+        let overhead_empty = instance.clone_overhead_bytes();
+        for i in 0..100 {
+            instance.insert(&"Car".into(), vec![Value::Int(i), Value::str("M")]);
+        }
+        assert_eq!(
+            instance.clone_overhead_bytes(),
+            overhead_empty,
+            "clone cost depends on table count, not row count"
+        );
+        assert!(instance.approx_heap_bytes() > instance.clone_overhead_bytes());
+    }
+
+    #[test]
+    fn set_rows_replaces_wholesale() {
+        let mut instance = Instance::empty(&schema());
+        instance.set_rows(
+            &"Car".into(),
+            vec![
+                vec![Value::Int(1), Value::str("M1")],
+                vec![Value::Int(2), Value::str("M2")],
+            ],
+        );
+        assert_eq!(instance.rows(&"Car".into()).len(), 2);
+        let (_, shared) = instance.heap_bytes_split();
+        assert_eq!(shared, 0);
     }
 
     #[test]

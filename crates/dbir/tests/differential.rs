@@ -7,11 +7,15 @@
 //! property test throws randomly-built small programs and configurations at
 //! both engines and compares the full [`EquivalenceReport`]s.
 
-use dbir::ast::{CmpOp, Function, JoinChain, Operand, Param, Pred, Program, Query, Update};
+use dbir::ast::{
+    CmpOp, Function, FunctionBody, JoinChain, Operand, Param, Pred, Program, Query, Update,
+};
 use dbir::equiv::{compare_programs, compare_programs_naive, SourceOracle, TestConfig};
 use dbir::equiv::{compare_with_oracle, EquivalenceReport};
+use dbir::eval::{bind_args, CompiledUpdate, Journal};
 use dbir::schema::{QualifiedAttr, Schema};
 use dbir::value::{DataType, Value};
+use dbir::Instance;
 use proptest::prelude::*;
 
 fn schema() -> Schema {
@@ -244,6 +248,96 @@ proptest! {
         prop_assert_eq!(&with_shared_cache, &from_scratch);
     }
 
+    /// The undo-log journal is interchangeable with clone-and-restore: a
+    /// journaled execution reaches the same end state, fresh-uid counter and
+    /// error as the plain compiled execution, and rolling the journal back
+    /// restores the exact pre-state — including after a failed execution,
+    /// whose partial mutations are journaled too. The bounded-testing
+    /// engines built on the two strategies agree report-for-report (the
+    /// full-size version of that claim is `engines_agree_on_random_programs`).
+    #[test]
+    fn journal_rollback_matches_clone_and_restore(
+        shape in shape_strategy(),
+        arg_n in -2i64..6,
+        seed_rows in 0usize..5,
+    ) {
+        fn arg_for(ty: DataType, n: i64) -> Value {
+            match ty {
+                DataType::String => Value::str(format!("u{n}")),
+                DataType::Binary => Value::bytes([n as u8, 0x5a]),
+                _ => Value::Int(n),
+            }
+        }
+        let schema = schema();
+        let program = build_program(&shape);
+        // Seed: a few users so deletes and cross-table predicates have
+        // targets, not just the empty instance.
+        let mut pre = Instance::empty(&schema);
+        let next_uid = 100u64;
+        for i in 0..seed_rows {
+            pre.insert(
+                &"User".into(),
+                vec![Value::Int(i as i64), Value::str(format!("u{i}"))],
+            );
+            pre.insert(&"Tag".into(), vec![Value::str("t"), Value::Int(i as i64)]);
+        }
+
+        for function in program.functions.iter().filter(|f| !f.is_query()) {
+            let FunctionBody::Update(update) = &function.body else { continue };
+            let args: Vec<Value> = function
+                .params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| arg_for(p.ty, arg_n + i as i64))
+                .collect();
+            let env = bind_args(function, &args).unwrap();
+            let compiled = CompiledUpdate::compile(&schema, update, &env).unwrap();
+
+            // Clone-and-restore arm: mutate a throwaway copy.
+            let mut plain = pre.clone();
+            let plain_result = compiled.execute(&mut plain, next_uid);
+
+            // Journal arm: mutate in place, then roll back.
+            let mut journaled = pre.clone();
+            let mut journal = Journal::new();
+            let mark = journal.mark();
+            let journaled_result =
+                compiled.execute_journaled(&mut journaled, next_uid, &mut journal);
+
+            prop_assert_eq!(
+                format!("{plain_result:?}"),
+                format!("{journaled_result:?}"),
+                "uid counters / errors diverge for {}",
+                function.name
+            );
+            prop_assert_eq!(
+                &plain, &journaled,
+                "end states diverge for {}", function.name
+            );
+
+            journal.rollback_to(mark, &mut journaled);
+            prop_assert_eq!(
+                &pre, &journaled,
+                "rollback did not restore the pre-state for {}", function.name
+            );
+        }
+
+        // And a (cheap) end-to-end pin: the in-place engine and the naive
+        // clone-based reference still agree report-for-report.
+        let sibling = build_program(&ProgramShape {
+            predicate: shape.predicate.wrapping_add(1),
+            ..shape.clone()
+        });
+        let config = TestConfig {
+            max_updates: 1,
+            max_arg_combinations: Some(2),
+            ..TestConfig::default()
+        };
+        let fast = compare_programs(&program, &schema, &sibling, &schema, &config);
+        let naive = compare_programs_naive(&program, &schema, &sibling, &schema, &config);
+        prop_assert_eq!(&fast, &naive);
+    }
+
     /// Interning is a fixpoint: intern → resolve → intern yields the same
     /// symbol, and resolution returns the exact payload. (The engine's
     /// equality and hashing of interned values lean on this canonicity.)
@@ -336,4 +430,50 @@ fn parallel_walk_matches_naive_reference() {
     // run under the budget they expect. (Results are thread-count-invariant
     // either way; this keeps the *exercised path* deterministic.)
     parpool::set_thread_limit(0);
+}
+
+/// Copy-on-write aliasing: mutating one clone never perturbs its siblings,
+/// the original, or a cached snapshot — and tables nobody mutated stay
+/// physically shared (counted once, not once per clone).
+#[test]
+fn cow_clones_never_leak_mutations_to_siblings() {
+    let schema = schema();
+    let mut original = Instance::empty(&schema);
+    original.insert(&"User".into(), vec![Value::Int(1), Value::str("ada")]);
+    original.insert(&"Tag".into(), vec![Value::str("t"), Value::Int(1)]);
+
+    let snapshot = original.clone(); // e.g. a PrefixCache entry
+    let mut branch_a = original.clone();
+    let mut branch_b = original.clone();
+
+    // Divergent mutations: an append in one branch, an in-place cell
+    // rewrite in the other.
+    branch_a.insert(&"User".into(), vec![Value::Int(2), Value::str("bob")]);
+    branch_b.rows_mut(&"User".into())[0][1] = Value::str("eve");
+
+    // Each instance sees exactly its own history.
+    assert_eq!(original.rows(&"User".into()).len(), 1);
+    assert_eq!(original.rows(&"User".into())[0][1], Value::str("ada"));
+    assert_eq!(branch_a.rows(&"User".into()).len(), 2);
+    assert_eq!(branch_a.rows(&"User".into())[0][1], Value::str("ada"));
+    assert_eq!(branch_b.rows(&"User".into()).len(), 1);
+    assert_eq!(branch_b.rows(&"User".into())[0][1], Value::str("eve"));
+    assert_eq!(original, snapshot);
+
+    // The Tag table was never written: all four instances still share one
+    // physical copy, and the accounting reports it as `shared`, not owned.
+    let (_, shared_a) = branch_a.heap_bytes_split();
+    assert!(shared_a > 0, "untouched Tag rows should still be shared");
+    let family_owned: usize = [&original, &snapshot, &branch_a, &branch_b]
+        .iter()
+        .map(|i| i.heap_bytes_split().0)
+        .sum();
+    let family_logical: usize = [&original, &snapshot, &branch_a, &branch_b]
+        .iter()
+        .map(|i| i.approx_heap_bytes())
+        .sum();
+    assert!(
+        family_owned < family_logical,
+        "shared rows must not be charged once per clone ({family_owned} vs {family_logical})"
+    );
 }

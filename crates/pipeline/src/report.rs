@@ -12,9 +12,9 @@ use crate::{Emitted, Synthesized};
 /// The counters are exact; the `*_secs` fields are wall-clock and must
 /// never be compared across runs. The experiments harness only checks the
 /// deterministic counters (`sat_blocking_clauses`, `plans_compiled`,
-/// `solver_reuses`, `learned_clauses_kept`, `prefix_cache_hits`);
-/// `snapshots_taken` and `snapshot_bytes_copied` are scheduling-dependent
-/// diagnostics.
+/// `solver_reuses`, `learned_clauses_kept`, `prefix_cache_hits`,
+/// `undo_frames`, `undo_ops_rolled_back`); `snapshots_taken` and
+/// `snapshot_bytes_copied` are scheduling-dependent diagnostics.
 pub fn phases_json(phases: &PhaseBreakdown) -> Json {
     Json::object()
         .with(
@@ -49,6 +49,11 @@ pub fn phases_json(phases: &PhaseBreakdown) -> Json {
         .with(
             "prefix_cache_hits",
             (phases.prefix_cache_hits as usize).into(),
+        )
+        .with("undo_frames", (phases.undo_frames as usize).into())
+        .with(
+            "undo_ops_rolled_back",
+            (phases.undo_ops_rolled_back as usize).into(),
         )
         .with("snapshots_taken", (phases.snapshots_taken as usize).into())
         .with(

@@ -206,9 +206,10 @@ impl Database {
                     table_def.name
                 ));
             }
-            for row in &table.rows {
-                instance.insert(&table_def.name, row.clone());
-            }
+            // Wholesale replacement instead of per-row inserts: one table
+            // allocation, and no per-row COW gate probes on the shared-rows
+            // instance representation.
+            instance.set_rows(&table_def.name, table.rows.clone());
         }
         Ok(instance)
     }
