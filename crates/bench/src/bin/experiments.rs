@@ -8,6 +8,7 @@
 //! experiments check  [--textbook-only] [--only <name>]... [--against <path>] [--threads <n>]
 //! experiments known-red [--threads <n>]
 //! experiments cmp <old.json> <new.json> [--threshold <ratio>]
+//! experiments dump <benchmark> <dir>
 //! ```
 //!
 //! `--threads N` caps the synthesizer's global thread budget (default: the
@@ -48,6 +49,10 @@
 //! machines are not comparable — but a deterministic-field mismatch means
 //! the search itself changed between the runs, so `cmp` exits non-zero on
 //! one exactly like `check`.
+//!
+//! `dump` writes one benchmark's inputs (`source.sql`, `target.sql`,
+//! `program.dbp`) into a directory, so the `migrate` CLI — and CI's
+//! forensics job — can run the exact evaluation instance from files.
 
 use std::time::{Duration, Instant};
 
@@ -762,6 +767,51 @@ fn cmp(options: &Options) {
     );
 }
 
+/// Dumps one benchmark's inputs to a directory as the three files the
+/// `migrate` CLI consumes: `source.sql` / `target.sql` (ANSI DDL) and
+/// `program.dbp` (the source program). CI uses this to run `migrate explain`
+/// on the exact known-red evaluation instance.
+fn dump(options: &Options) {
+    let [name, dir] = options.positional.as_slice() else {
+        eprintln!("usage: experiments dump <benchmark> <dir>");
+        std::process::exit(2);
+    };
+    let Some(benchmark) = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+    else {
+        eprintln!("unknown benchmark `{name}`");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(2);
+    }
+    let dialect = sqlbridge::Ansi;
+    let files = [
+        (
+            "source.sql",
+            sqlbridge::schema_to_ddl(&benchmark.source_schema, &dialect),
+        ),
+        (
+            "target.sql",
+            sqlbridge::schema_to_ddl(&benchmark.target_schema, &dialect),
+        ),
+        (
+            "program.dbp",
+            dbir::pretty::program_to_string(&benchmark.source_program),
+        ),
+    ];
+    for (file, contents) in files {
+        let path = format!("{dir}/{file}");
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("wrote {}/{{source.sql,target.sql,program.dbp}}", dir);
+}
+
 fn main() {
     let options = parse_args();
     // 0 means "use the machine's available parallelism" (parpool's default).
@@ -773,6 +823,7 @@ fn main() {
         "check" => check(&options),
         "known-red" => known_red(&options),
         "cmp" => cmp(&options),
+        "dump" => dump(&options),
         "all" => {
             table1(&options);
             table2(&options);
@@ -780,7 +831,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; expected table1, table2, table3, check, known-red, cmp or all"
+                "unknown command `{other}`; expected table1, table2, table3, check, known-red, cmp, dump or all"
             );
             std::process::exit(2);
         }

@@ -19,8 +19,8 @@ use std::time::Duration;
 
 use migrator::{SynthesisConfig, SynthesisEvent, SynthesisObserver};
 use pipeline::{
-    backend_by_name, dialect_by_name, report, PipelineEvent, PipelineObserver, RefactorError,
-    Refactoring, Trace, Validated,
+    backend_by_name, dialect_by_name, report, NdjsonWriter, PipelineEvent, PipelineObserver,
+    RefactorError, Refactoring, SearchLedger, Trace, Validated,
 };
 
 /// Exit code for usage errors.
@@ -59,19 +59,40 @@ pub struct Options {
     /// Stream one progress line per synthesis/pipeline event to stderr as
     /// the run happens.
     pub progress: bool,
+    /// Run the `explain` subcommand: synthesize only, then print the
+    /// search-forensics report — for failed outcomes too — instead of the
+    /// migration artifacts.
+    pub explain: bool,
+    /// Stream every synthesis/pipeline event to this path as JSON lines
+    /// (the `tracecheck ndjson`-checkable wire format).
+    pub events: Option<PathBuf>,
+    /// Thread budget for parallel CEGIS (0 = the default limit). The
+    /// deterministic outputs — stats, events, forensics — are byte-identical
+    /// at any value.
+    pub threads: usize,
 }
 
 /// The usage string printed on `--help` and argument errors.
 pub const USAGE: &str = "\
-usage: migrate --source-ddl <file.sql> --target-ddl <file.sql> --program <file.dbp>
+usage: migrate [explain] --source-ddl <file.sql> --target-ddl <file.sql> --program <file.dbp>
                [--dialect ansi|sqlite|postgres|mysql] [--max-vcs <n>]
-               [--budget-secs <n>] [--json] [--trace <out.json>] [--progress]
+               [--budget-secs <n>] [--threads <n>] [--json] [--trace <out.json>]
+               [--events <out.ndjson>] [--progress]
                [--validate [--backend memory|sqlite3]]
 
 Reads the source schema and target schema as SQL DDL and the source program
 in the dbir concrete syntax, synthesizes an equivalent program over the
 target schema, and prints the migrated program, its SQL rendering, a
 data-migration script and the synthesis statistics (JSON).
+
+The `explain` subcommand runs synthesis only and prints the search
+forensics instead of the migration artifacts: the rejection taxonomy per
+value correspondence, which minimum failing inputs killed the candidate
+cohorts, at what update-call depth, and which sketch-hole domains were
+implicated. The report is printed for every outcome — `no_solution`,
+`timeout` and `cancelled` included — and is deterministic: byte-identical
+at any --threads value for runs that do not hit a wall-clock deadline.
+The exit code still reflects the outcome (0 only when solved).
 
 --max-vcs caps how many value correspondences the search may try; it must
 be at least 1 (omit the flag for the standard budget).
@@ -80,15 +101,26 @@ be at least 1 (omit the flag for the standard budget).
 reported with outcome `timeout` — distinctly from `no_solution`, which
 means the search space was genuinely exhausted.
 
+--threads caps the parallel CEGIS thread budget; it must be at least 1
+(omit the flag for the machine's default). Deterministic outputs do not
+depend on it.
+
 --json replaces the section-formatted text with one machine-readable JSON
 document holding the correspondence, program, SQL, migration script,
 validation outcome (when --validate ran), statistics and the outcome kind.
+On a failed run the document embeds the forensics summary under
+`\"forensics\"`.
 
 --trace writes a Chrome trace-event JSON file (loadable in Perfetto or
 chrome://tracing) with one span per pipeline stage — ingest, synthesize,
 emit, validate — and the synthesis phases (enumeration, sketching,
 completion, bounded testing, oracle, ...) as aggregated spans on a second
 track. The file is written even when synthesis fails.
+
+--events streams every synthesis and pipeline event to a file as JSON
+lines (one object per line, strictly increasing `seq`, a terminal
+`run_finished` line), written whichever way the run ends. Validate with
+`tracecheck ndjson <file>`.
 
 --progress streams one line per synthesis and pipeline event to stderr
 while the run happens.
@@ -117,6 +149,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut backend = "memory".to_string();
     let mut trace = None;
     let mut progress = false;
+    let mut events = None;
+    let mut threads = 0usize;
+
+    // The one positional subcommand, accepted only in the leading position
+    // (everything else is a flag, so there is no ambiguity).
+    let explain = args.first().map(String::as_str) == Some("explain");
+    let args = if explain { &args[1..] } else { args };
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -148,10 +187,23 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("`--budget-secs` expects a number, found `{value}`"))?;
             }
+            "--threads" => {
+                let value = take("--threads")?;
+                threads = value
+                    .parse()
+                    .map_err(|_| format!("`--threads` expects a number, found `{value}`"))?;
+                if threads == 0 {
+                    return Err(
+                        "`--threads` must be at least 1 (omit the flag for the default limit)"
+                            .to_string(),
+                    );
+                }
+            }
             "--json" => json = true,
             "--validate" => validate = true,
             "--backend" => backend = take("--backend")?,
             "--trace" => trace = Some(PathBuf::from(take("--trace")?)),
+            "--events" => events = Some(PathBuf::from(take("--events")?)),
             "--progress" => progress = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
@@ -169,6 +221,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         backend,
         trace,
         progress,
+        explain,
+        events,
+        threads,
     })
 }
 
@@ -189,6 +244,36 @@ impl PipelineObserver for ProgressReporter {
     }
 }
 
+/// Fans one synthesis event stream out to several observers: the session
+/// holds a single observer slot, but `--progress` and `--events` may both
+/// be requested.
+struct SynthesisFanout(Vec<Arc<dyn SynthesisObserver>>);
+
+impl SynthesisObserver for SynthesisFanout {
+    fn event(&self, event: &SynthesisEvent) {
+        for observer in &self.0 {
+            observer.event(event);
+        }
+    }
+
+    fn speculation(&self, event: &SynthesisEvent) {
+        for observer in &self.0 {
+            observer.speculation(event);
+        }
+    }
+}
+
+/// The pipeline-event counterpart of [`SynthesisFanout`].
+struct PipelineFanout(Vec<Arc<dyn PipelineObserver>>);
+
+impl PipelineObserver for PipelineFanout {
+    fn pipeline_event(&self, event: &PipelineEvent) {
+        for observer in &self.0 {
+            observer.pipeline_event(event);
+        }
+    }
+}
+
 /// Writes the recorded trace as pretty-printed Chrome trace-event JSON.
 fn write_trace(path: &PathBuf, trace: &Trace) -> Result<(), (i32, String)> {
     let mut text = trace.to_chrome_json().to_pretty_string();
@@ -199,6 +284,34 @@ fn write_trace(path: &PathBuf, trace: &Trace) -> Result<(), (i32, String)> {
             format!("cannot write trace file `{}`: {error}", path.display()),
         )
     })
+}
+
+/// Renders the `explain` subcommand's output: the forensics report goes to
+/// stdout for *every* outcome (that is the point — failed runs must be
+/// explainable), while the exit code still reflects whether a program was
+/// found.
+fn explain_output(
+    options: &Options,
+    outcome: migrator::SynthesisOutcome,
+    stats: &migrator::SynthesisStats,
+    ledger: &SearchLedger,
+    summary: String,
+) -> RunOutput {
+    let code = if outcome == migrator::SynthesisOutcome::Solved {
+        0
+    } else {
+        EXIT_FAILURE
+    };
+    let stdout = if options.json {
+        report::explain_json(outcome, stats, ledger).to_pretty_string()
+    } else {
+        ledger.render()
+    };
+    RunOutput {
+        code,
+        stdout,
+        stderr: summary,
+    }
 }
 
 /// Maps a facade error to the tool's `(exit code, stderr text)` shape.
@@ -246,6 +359,19 @@ impl RunOutput {
 
 /// Runs the tool.
 pub fn run(options: &Options) -> RunOutput {
+    if options.threads > 0 {
+        pipeline::set_thread_limit(options.threads);
+    }
+    let output = run_with_observers(options);
+    if options.threads > 0 {
+        // Restore the default so in-process callers (tests, library
+        // embeddings) are not left with this run's budget.
+        pipeline::set_thread_limit(0);
+    }
+    output
+}
+
+fn run_with_observers(options: &Options) -> RunOutput {
     match run_inner(options) {
         Ok(output) => output,
         Err((code, stderr)) if options.json => {
@@ -293,17 +419,61 @@ fn run_inner(options: &Options) -> Result<RunOutput, (i32, String)> {
     if let Some(trace) = &trace {
         session = session.trace(trace.clone());
     }
+    // The forensics ledger is always attached: it is O(histogram) cheap,
+    // and a failed run must be explainable after the fact — in the --json
+    // failure document, the text failure report and `migrate explain`.
+    let ledger = Arc::new(SearchLedger::new());
+    session = session.forensics(ledger.clone());
+    let events_writer = match &options.events {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|error| {
+                (
+                    EXIT_FAILURE,
+                    format!("cannot create events file `{}`: {error}", path.display()),
+                )
+            })?;
+            Some(Arc::new(NdjsonWriter::new(Box::new(
+                std::io::BufWriter::new(file),
+            ))))
+        }
+        None => None,
+    };
+    let mut synthesis_observers: Vec<Arc<dyn SynthesisObserver>> = Vec::new();
+    let mut pipeline_observers: Vec<Arc<dyn PipelineObserver>> = Vec::new();
     if options.progress {
         let reporter = Arc::new(ProgressReporter);
-        session = session
-            .observer(reporter.clone())
-            .pipeline_observer(reporter);
+        synthesis_observers.push(reporter.clone());
+        pipeline_observers.push(reporter);
     }
-    // The trace file is written whichever way the run ends: a trace that
-    // only exists for successful runs cannot explain a failed one.
+    if let Some(writer) = &events_writer {
+        synthesis_observers.push(writer.clone());
+        pipeline_observers.push(writer.clone());
+    }
+    match synthesis_observers.len() {
+        0 => {}
+        1 => session = session.observer(synthesis_observers.pop().expect("len checked")),
+        _ => session = session.observer(Arc::new(SynthesisFanout(synthesis_observers))),
+    }
+    match pipeline_observers.len() {
+        0 => {}
+        1 => session = session.pipeline_observer(pipeline_observers.pop().expect("len checked")),
+        _ => session = session.pipeline_observer(Arc::new(PipelineFanout(pipeline_observers))),
+    }
+    // The trace and events files are written whichever way the run ends: a
+    // record that only exists for successful runs cannot explain a failed
+    // one.
     let flush_trace = |trace: &Option<Arc<Trace>>| -> Result<(), (i32, String)> {
         match (&options.trace, trace) {
             (Some(path), Some(trace)) => write_trace(path, trace),
+            _ => Ok(()),
+        }
+    };
+    let finish_events = |outcome: &str| -> Result<(), (i32, String)> {
+        match (&events_writer, &options.events) {
+            (Some(writer), Some(path)) if !writer.finish(outcome) => Err((
+                EXIT_FAILURE,
+                format!("cannot write events file `{}`", path.display()),
+            )),
             _ => Ok(()),
         }
     };
@@ -317,24 +487,44 @@ fn run_inner(options: &Options) -> Result<RunOutput, (i32, String)> {
             let RefactorError::Unsolved { outcome, stats } = error else {
                 unreachable!("matched Unsolved above");
             };
+            finish_events(outcome.as_str())?;
+            if options.explain {
+                return Ok(explain_output(options, outcome, &stats, &ledger, summary));
+            }
             return Ok(if options.json {
                 RunOutput {
                     code: EXIT_FAILURE,
-                    stdout: report::failure_json(outcome, &stats).to_pretty_string(),
+                    stdout: report::failure_json(outcome, &stats, Some(&ledger)).to_pretty_string(),
                     stderr: summary,
                 }
             } else {
                 let mut err = format!("{summary}\n");
-                let _ = write!(
+                let _ = writeln!(
                     err,
                     "{}",
                     report::stats_json(&stats, outcome).to_pretty_string()
                 );
+                let _ = write!(err, "{}", ledger.render());
                 RunOutput::fail(EXIT_FAILURE, err)
             });
         }
-        Err(error) => return Err(to_exit(error)),
+        Err(error) => {
+            let _ = finish_events("error");
+            return Err(to_exit(error));
+        }
     };
+
+    if options.explain {
+        flush_trace(&trace)?;
+        finish_events(synthesized.outcome.as_str())?;
+        return Ok(explain_output(
+            options,
+            synthesized.outcome,
+            &synthesized.stats,
+            &ledger,
+            String::new(),
+        ));
+    }
 
     // Stage 2: emit.
     let emitted = synthesized.emit(dialect);
@@ -351,6 +541,7 @@ fn run_inner(options: &Options) -> Result<RunOutput, (i32, String)> {
         None
     };
     flush_trace(&trace)?;
+    finish_events(synthesized.outcome.as_str())?;
 
     // Render.
     if options.json {
@@ -491,6 +682,9 @@ mod tests {
             backend: "memory".into(),
             trace: None,
             progress: false,
+            explain: false,
+            events: None,
+            threads: 0,
         }
     }
 

@@ -376,6 +376,197 @@ fn json_failure_document_still_goes_to_stdout() {
     );
 }
 
+/// Writes the unsolvable T-schema example (a dropped column the queries
+/// still read) into a fresh temp dir and returns the three input paths.
+fn failing_example(dir_name: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(dir_name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let source_ddl = dir.join("source.sql");
+    let target_ddl = dir.join("target.sql");
+    let program = dir.join("program.dbp");
+    std::fs::write(&source_ddl, "CREATE TABLE T (a INTEGER, b TEXT, c TEXT);\n").unwrap();
+    std::fs::write(&target_ddl, "CREATE TABLE T (a INTEGER, d TEXT);\n").unwrap();
+    std::fs::write(
+        &program,
+        "update add(a: int, b: string, c: string)\n\
+         \x20   INSERT INTO T VALUES (a: a, b: b, c: c);\n\
+         query get(a: int)\n\
+         \x20   SELECT b, c FROM T WHERE a = a;\n",
+    )
+    .unwrap();
+    (source_ddl, target_ddl, program)
+}
+
+/// `migrate explain` on a failing run prints the search-forensics report —
+/// the rejection taxonomy, not the migration artifacts — and keeps the
+/// failure exit code.
+#[test]
+fn explain_subcommand_reports_forensics_on_a_failing_run() {
+    let (source_ddl, target_ddl, program) = failing_example("migrate-cli-explain-failure");
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("explain")
+        .arg("--source-ddl")
+        .arg(&source_ddl)
+        .arg("--target-ddl")
+        .arg(&target_ddl)
+        .arg("--program")
+        .arg(&program)
+        .output()
+        .expect("migrate binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(stdout.contains("== search forensics =="), "{stdout}");
+    assert!(
+        stdout.contains("rejection taxonomy (per correspondence):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("candidates checked:"), "{stdout}");
+    // Forensics only — no migration artifacts on a failed run.
+    assert!(!stdout.contains("-- migrated program --"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no equivalent program"), "{stderr}");
+}
+
+/// `migrate explain` reports solved runs too — exit 0, with the solved
+/// correspondence recorded in the taxonomy.
+#[test]
+fn explain_subcommand_reports_solved_runs_with_exit_zero() {
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("explain")
+        .arg("--source-ddl")
+        .arg(example_path("source.sql"))
+        .arg("--target-ddl")
+        .arg(example_path("target.sql"))
+        .arg("--program")
+        .arg(example_path("program.dbp"))
+        .output()
+        .expect("migrate binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(stdout.contains("== search forensics =="), "{stdout}");
+    assert!(stdout.contains("outcome: solved"), "{stdout}");
+    assert!(!stdout.contains("-- migrated program --"), "{stdout}");
+}
+
+/// `explain --json` emits the structured explain document: outcome, stats
+/// and the forensics summary with the taxonomy counters.
+#[test]
+fn explain_json_emits_the_structured_forensics_document() {
+    let (source_ddl, target_ddl, program) = failing_example("migrate-cli-explain-json");
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("explain")
+        .arg("--source-ddl")
+        .arg(&source_ddl)
+        .arg("--target-ddl")
+        .arg(&target_ddl)
+        .arg("--program")
+        .arg(&program)
+        .arg("--json")
+        .output()
+        .expect("migrate binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let document = sqlbridge::Json::parse(&stdout).expect("explain document parses");
+    assert_eq!(
+        document.get("outcome").and_then(|o| o.as_str()),
+        Some("no_solution")
+    );
+    let forensics = document.get("forensics").expect("forensics key");
+    assert!(forensics.get("taxonomy").is_some(), "{stdout}");
+    assert!(forensics.get("candidates").is_some(), "{stdout}");
+    assert_eq!(
+        forensics.get("outcome").and_then(|o| o.as_str()),
+        Some("no_solution")
+    );
+}
+
+/// A plain `migrate --json` failure document embeds the same forensics
+/// summary under `"forensics"` — and the exit code stays 1.
+#[test]
+fn json_failure_document_embeds_forensics() {
+    let (source_ddl, target_ddl, program) = failing_example("migrate-cli-json-forensics");
+    let output = Command::new(env!("CARGO_BIN_EXE_migrate"))
+        .arg("--source-ddl")
+        .arg(&source_ddl)
+        .arg("--target-ddl")
+        .arg(&target_ddl)
+        .arg("--program")
+        .arg(&program)
+        .arg("--json")
+        .output()
+        .expect("migrate binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let document = sqlbridge::Json::parse(&stdout).expect("failure document parses");
+    let forensics = document.get("forensics").expect("forensics key");
+    assert!(
+        forensics
+            .get("taxonomy")
+            .and_then(|t| t.get("all_completions_blocked"))
+            .and_then(|v| v.as_i128())
+            .is_some(),
+        "{stdout}"
+    );
+}
+
+/// `--events` writes an NDJSON stream: one JSON object per line, strictly
+/// increasing `seq`, and a terminal `run_finished` event carrying the
+/// outcome — on solved and failed runs alike.
+#[test]
+fn events_flag_writes_a_wellformed_ndjson_stream() {
+    let dir = std::env::temp_dir().join("migrate-cli-events");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let events_path = dir.join("events.ndjson");
+    let output = migrate(&["--events", events_path.to_str().unwrap()]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&events_path).expect("events file written");
+    let mut last_seq = -1i128;
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        let event = sqlbridge::Json::parse(line).expect("each line parses");
+        let seq = event
+            .get("seq")
+            .and_then(|s| s.as_i128())
+            .expect("seq field");
+        assert!(seq > last_seq, "seq must be strictly increasing: {line}");
+        last_seq = seq;
+        kinds.push(
+            event
+                .get("type")
+                .and_then(|t| t.as_str())
+                .expect("type tag")
+                .to_string(),
+        );
+    }
+    assert!(
+        kinds.iter().any(|k| k == "ddl_parsed"),
+        "pipeline events present: {kinds:?}"
+    );
+    assert!(
+        kinds.iter().any(|k| k == "correspondence_enumerated"),
+        "synthesis events present: {kinds:?}"
+    );
+    assert_eq!(
+        kinds.last().map(String::as_str),
+        Some("run_finished"),
+        "{kinds:?}"
+    );
+    let last = text.lines().last().unwrap();
+    let terminal = sqlbridge::Json::parse(last).unwrap();
+    assert_eq!(
+        terminal.get("outcome").and_then(|o| o.as_str()),
+        Some("solved")
+    );
+}
+
 /// `--trace` writes a Chrome trace-event JSON file covering every pipeline
 /// stage and synthesis phase; `--progress` streams events to stderr.
 #[test]

@@ -253,6 +253,7 @@ pub fn complete_sketch(
             controls.record(SynthesisEvent::BoundExhausted {
                 index,
                 iterations: stats.iterations,
+                space_exhausted: false,
             });
             return done(None, stats, false, false, &solver);
         }
@@ -264,6 +265,7 @@ pub fn complete_sketch(
                     controls.record(SynthesisEvent::BoundExhausted {
                         index,
                         iterations: stats.iterations,
+                        space_exhausted: true,
                     });
                     return done(None, stats, false, false, &solver);
                 }
@@ -304,12 +306,15 @@ pub fn complete_sketch(
                      controls: &mut CompletionControls<'_>|
          -> Vec<HoleId> {
             let holes = holes_for_blocking(sketch, failing_input, strategy, &all_holes);
+            let (pruned, domains) = cohort_of_blocked(sketch, &all_holes, &holes);
             controls.record(SynthesisEvent::MfiFound {
                 index,
                 iteration: stats.iterations,
-                updates: failing_input.updates.len(),
+                updates: failing_input.depth(),
                 query: failing_input.query.function.clone(),
                 blocked_holes: holes.len(),
+                pruned,
+                domains,
             });
             let clause = encoding.blocking_clause(&assignment, &holes);
             solver.add_clause(&clause);
@@ -366,6 +371,7 @@ pub fn complete_sketch(
                     controls.record(SynthesisEvent::BoundExhausted {
                         index,
                         iterations: stats.iterations,
+                        space_exhausted: true,
                     });
                     None
                 }
@@ -491,6 +497,44 @@ pub fn complete_sketch(
             }
         }
     }
+}
+
+/// Forensic measure of one learned blocking clause: the size of the
+/// candidate cohort it kills — every completion agreeing with the failing
+/// assignment on the blocked holes, i.e. the product of the domain sizes
+/// of the *unblocked* holes (saturating) — and the blocked-hole counts per
+/// [`HoleDomain::kind`](crate::HoleDomain::kind), in the domain kinds'
+/// fixed declaration order with zero-count kinds omitted.
+///
+/// `blocked` must be sorted (callers get it from [`holes_for_blocking`],
+/// which sorts), so membership is a binary search and the whole
+/// computation is O(holes · log holes) per MFI.
+fn cohort_of_blocked(
+    sketch: &Sketch,
+    all_holes: &[HoleId],
+    blocked: &[HoleId],
+) -> (u128, Vec<(&'static str, usize)>) {
+    let mut pruned: u128 = 1;
+    for &hole in all_holes {
+        if blocked.binary_search(&hole).is_err() {
+            pruned = pruned.saturating_mul(sketch.hole(hole).domain.size() as u128);
+        }
+    }
+    const KINDS: [&str; 4] = ["attr", "insert-target", "join", "table-list"];
+    let mut counts = [0usize; 4];
+    for &hole in blocked {
+        let kind = sketch.hole(hole).domain.kind();
+        if let Some(slot) = KINDS.iter().position(|&k| k == kind) {
+            counts[slot] += 1;
+        }
+    }
+    let domains = KINDS
+        .iter()
+        .zip(counts)
+        .filter(|&(_, count)| count > 0)
+        .map(|(&kind, count)| (kind, count))
+        .collect();
+    (pruned, domains)
 }
 
 /// The holes whose assignment should be blocked for a failing candidate:

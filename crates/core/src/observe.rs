@@ -103,6 +103,12 @@ pub enum SynthesisEvent {
         /// Whether the speculative model became the next candidate.
         adopted: bool,
     },
+    /// Sketch generation produced no sketch for the `index`-th
+    /// correspondence; the search moves on to the next one.
+    SketchGenerationFailed {
+        /// Enumeration position of the owning correspondence.
+        index: usize,
+    },
     /// A failing candidate produced a minimum failing input, from which a
     /// blocking clause was learned.
     MfiFound {
@@ -110,12 +116,22 @@ pub enum SynthesisEvent {
         index: usize,
         /// 1-based candidate number the input distinguishes.
         iteration: usize,
-        /// Number of update calls preceding the distinguishing query.
+        /// Number of update calls preceding the distinguishing query (the
+        /// candidate cohort's "death depth").
         updates: usize,
         /// Name of the distinguishing query function.
         query: String,
         /// Number of holes blocked by the learned clause.
         blocked_holes: usize,
+        /// Completions sharing the blocked hole assignment — the size of
+        /// the candidate cohort the learned clause removes from the space
+        /// (product of the domain sizes of the *unblocked* holes,
+        /// saturating).
+        pruned: u128,
+        /// Blocked-hole counts per hole-domain kind
+        /// ([`HoleDomain::kind`](crate::sketch::HoleDomain::kind) labels), in a
+        /// fixed order with zero-count kinds omitted.
+        domains: Vec<(&'static str, usize)>,
     },
     /// The sketch's completion space was exhausted (or its iteration budget
     /// ran out) without finding an equivalent program; the search moves on
@@ -125,6 +141,11 @@ pub enum SynthesisEvent {
         index: usize,
         /// Candidates examined before giving up.
         iterations: usize,
+        /// `true` when the SAT completion space was drained (every
+        /// completion blocked by a learned clause); `false` when the
+        /// per-sketch iteration budget ran out with models still
+        /// available.
+        space_exhausted: bool,
     },
     /// The winning candidate of the `index`-th correspondence passed the
     /// completion's checks; the run will finish after final verification.
@@ -133,6 +154,23 @@ pub enum SynthesisEvent {
         index: usize,
         /// Candidates examined in the winning sketch.
         iterations: usize,
+    },
+    /// The correspondence enumerator ran dry: every correspondence the
+    /// MaxSAT ranking can produce has been explored (or, with
+    /// `infeasible`, the encoding was unsatisfiable from the start and no
+    /// correspondence exists at all).
+    FrontierDrained {
+        /// Correspondences produced before the enumerator ran dry.
+        produced: usize,
+        /// `true` when the MaxSAT encoding was unsatisfiable at
+        /// construction: some must-map attribute has no candidate target.
+        infeasible: bool,
+    },
+    /// The `max_value_correspondences` budget stopped the search with
+    /// lower-ranked correspondences still unexplored ("ranked out").
+    FrontierBudgetReached {
+        /// Correspondences explored before the budget ran out.
+        explored: usize,
     },
     /// The run stopped early because its [`parpool::CancelToken`] fired.
     /// This is the only main-stream event whose position is *not*
@@ -191,27 +229,65 @@ impl fmt::Display for SynthesisEvent {
                 "correspondence[{index}] candidate {iteration}: speculative model {}",
                 if *adopted { "adopted" } else { "discarded" }
             ),
+            SynthesisEvent::SketchGenerationFailed { index } => {
+                write!(f, "correspondence[{index}] sketch generation failed")
+            }
             SynthesisEvent::MfiFound {
                 index,
                 iteration,
                 updates,
                 query,
                 blocked_holes,
+                pruned,
+                domains: _,
             } => write!(
                 f,
                 "correspondence[{index}] candidate {iteration}: MFI {updates} updates + {query}, \
-                 blocking {blocked_holes} holes"
+                 blocking {blocked_holes} holes ({pruned} completions)"
             ),
-            SynthesisEvent::BoundExhausted { index, iterations } => {
+            SynthesisEvent::BoundExhausted {
+                index,
+                iterations,
+                space_exhausted,
+            } => {
                 write!(
                     f,
-                    "correspondence[{index}] exhausted after {iterations} candidates"
+                    "correspondence[{index}] exhausted after {iterations} candidates ({})",
+                    if *space_exhausted {
+                        "completion space drained"
+                    } else {
+                        "iteration budget"
+                    }
                 )
             }
             SynthesisEvent::Solved { index, iterations } => {
                 write!(
                     f,
                     "correspondence[{index}] solved after {iterations} candidates"
+                )
+            }
+            SynthesisEvent::FrontierDrained {
+                produced,
+                infeasible,
+            } => {
+                if *infeasible {
+                    write!(
+                        f,
+                        "correspondence frontier infeasible (MaxSAT unsat: no correspondence \
+                         maps every required attribute)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "correspondence frontier drained after {produced} correspondences"
+                    )
+                }
+            }
+            SynthesisEvent::FrontierBudgetReached { explored } => {
+                write!(
+                    f,
+                    "correspondence budget reached after {explored} correspondences \
+                     (lower-ranked tail unexplored)"
                 )
             }
             SynthesisEvent::RunInterrupted { reason } => write!(
@@ -340,6 +416,7 @@ mod tests {
         log.event(&SynthesisEvent::BoundExhausted {
             index: 0,
             iterations: 3,
+            space_exhausted: true,
         });
         assert_eq!(log.events().len(), 2);
     }

@@ -54,6 +54,17 @@ impl HoleDomain {
             HoleDomain::TableList(v) => v.len(),
         }
     }
+
+    /// A stable label for the domain kind, used by the forensics ledger's
+    /// hole-domain histogram and the event stream's blocked-domain counts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HoleDomain::Attr(_) => "attr",
+            HoleDomain::InsertTarget(_) => "insert-target",
+            HoleDomain::Join(_) => "join",
+            HoleDomain::TableList(_) => "table-list",
+        }
+    }
 }
 
 /// A hole together with its domain.

@@ -298,6 +298,9 @@ impl Synthesizer {
                 usize::MAX
             };
             if remaining == 0 {
+                emit(&SynthesisEvent::FrontierBudgetReached {
+                    explored: stats.value_correspondences,
+                });
                 break;
             }
             let mut phis = Vec::new();
@@ -310,6 +313,14 @@ impl Synthesizer {
             }
             stats.phases.vc_enumeration_time += enumeration_start.elapsed();
             if phis.is_empty() {
+                // Both frontier events fire from the loop head after the
+                // previous batch is fully merged, so their position in the
+                // main stream is enumeration-ordered and thread-count
+                // independent like every other deterministic event.
+                emit(&SynthesisEvent::FrontierDrained {
+                    produced: enumerator.produced(),
+                    infeasible: enumerator.infeasible(),
+                });
                 break;
             }
             let base = next_index;
@@ -372,7 +383,10 @@ impl Synthesizer {
                 stats.phases.completion_time += profile.completion;
                 stats.phases.absorb_check(&profile.check);
                 let Some(outcome) = outcome else {
-                    continue; // no sketch for this correspondence
+                    // No sketch for this correspondence; tell the stream so
+                    // the forensics taxonomy can count the rejection.
+                    emit(&SynthesisEvent::SketchGenerationFailed { index });
+                    continue;
                 };
                 stats.sketches_generated += 1;
                 stats.absorb_sketch_run(&outcome.stats);

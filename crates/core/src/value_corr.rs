@@ -244,6 +244,9 @@ pub struct VcEnumerator {
     produced: usize,
     /// Set when the frontier is exhausted or the problem is infeasible.
     exhausted: bool,
+    /// Set at construction when the problem is infeasible: some must-map
+    /// attribute has no candidate target, so no correspondence exists.
+    infeasible: bool,
 }
 
 impl VcEnumerator {
@@ -310,6 +313,7 @@ impl VcEnumerator {
             seen: BTreeSet::new(),
             produced: 0,
             exhausted: infeasible,
+            infeasible,
         };
         if !enumerator.exhausted {
             let initial = vec![0usize; enumerator.options.len()];
@@ -336,6 +340,15 @@ impl VcEnumerator {
     /// column of Table 1).
     pub fn produced(&self) -> usize {
         self.produced
+    }
+
+    /// `true` when the enumeration problem was unsatisfiable from the
+    /// start: some attribute the program requires to be mapped has no
+    /// candidate target, so the MaxSAT ranking has no model at all. The
+    /// forensics ledger distinguishes this ("MaxSAT infeasible") from an
+    /// honestly drained frontier.
+    pub fn infeasible(&self) -> bool {
+        self.infeasible
     }
 
     /// Returns the next most likely value correspondence, or `None` when the

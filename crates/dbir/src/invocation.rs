@@ -72,6 +72,13 @@ impl InvocationSequence {
     pub fn is_empty(&self) -> bool {
         self.updates.is_empty()
     }
+
+    /// The update-call depth: how many update calls precede the
+    /// distinguishing query. This is the "death depth" the forensics
+    /// ledger buckets minimum failing inputs by.
+    pub fn depth(&self) -> usize {
+        self.updates.len()
+    }
 }
 
 impl fmt::Display for InvocationSequence {

@@ -1,12 +1,25 @@
-//! `tracecheck` — validates a Chrome trace-event JSON file.
+//! `tracecheck` — validates observability artefacts emitted by `migrate`.
 //!
-//! Usage: `tracecheck <trace.json> [required-span-name ...]`
+//! Usage:
 //!
-//! Checks that the file parses as JSON, has a `traceEvents` array of
-//! well-formed complete (`ph: "X"`) events, that the pipeline-track spans
-//! nest properly (no partial overlap), and that every required span name
-//! appears.  Exits non-zero with a message on the first failure — CI runs
-//! it against the `migrate --trace` output of the worked example.
+//! ```text
+//! tracecheck <trace.json> [required-span-name ...]
+//! tracecheck ndjson <events.ndjson>
+//! ```
+//!
+//! The default (legacy) mode checks a Chrome trace-event JSON file: the file
+//! parses as JSON, has a `traceEvents` array of well-formed complete
+//! (`ph: "X"`) events, the pipeline-track spans nest properly (no partial
+//! overlap), and every required span name appears.
+//!
+//! The `ndjson` mode checks a `migrate --events` export: every line is one
+//! well-formed JSON object with a `"type"` tag, the `"seq"` numbers are
+//! strictly increasing across both channels, and the stream ends with the
+//! terminal `run_finished` event (and nothing after it).
+//!
+//! Both modes exit non-zero with a message on the first failure — CI runs
+//! them against the `migrate --trace` / `migrate --events` output of the
+//! worked examples.
 
 use std::process::ExitCode;
 
@@ -19,20 +32,109 @@ fn fail(message: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        return fail("usage: tracecheck <trace.json> [required-span-name ...]");
+    let Some(first) = args.next() else {
+        return fail(
+            "usage: tracecheck <trace.json> [required-span-name ...] | tracecheck ndjson <events.ndjson>",
+        );
     };
+    if first == "ndjson" {
+        let Some(path) = args.next() else {
+            return fail("usage: tracecheck ndjson <events.ndjson>");
+        };
+        if args.next().is_some() {
+            return fail("ndjson mode takes exactly one file");
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => return fail(&format!("cannot read {path}: {error}")),
+        };
+        return match check_ndjson(&text) {
+            Ok(summary) => {
+                println!("tracecheck: {summary}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => fail(&message),
+        };
+    }
+    let path = first;
     let required: Vec<String> = args.collect();
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(error) => return fail(&format!("cannot read {path}: {error}")),
     };
-    let parsed = match Json::parse(&text) {
-        Ok(parsed) => parsed,
-        Err(error) => return fail(&format!("{path} is not valid JSON: {error}")),
-    };
+    match check_trace(&text, &required) {
+        Ok(summary) => {
+            println!("tracecheck: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => fail(&message.replace("{path}", &path)),
+    }
+}
+
+/// Validates a `migrate --events` NDJSON stream. Returns a one-line summary
+/// on success, the first violation otherwise.
+fn check_ndjson(text: &str) -> Result<String, String> {
+    let mut last_seq: Option<i128> = None;
+    let mut finished = false;
+    let mut lines = 0usize;
+    let mut speculation = 0usize;
+    for (number, line) in text.lines().enumerate() {
+        let number = number + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {number}: blank line in event stream"));
+        }
+        if finished {
+            return Err(format!("line {number}: event after terminal run_finished"));
+        }
+        let event =
+            Json::parse(line).map_err(|error| format!("line {number}: not valid JSON: {error}"))?;
+        if !matches!(event, Json::Object(_)) {
+            return Err(format!("line {number}: not a JSON object"));
+        }
+        let Some(kind) = event.get("type").and_then(Json::as_str) else {
+            return Err(format!("line {number}: missing \"type\" tag"));
+        };
+        let Some(seq) = event.get("seq").and_then(Json::as_i128) else {
+            return Err(format!("line {number}: missing integer \"seq\""));
+        };
+        if let Some(last) = last_seq {
+            if seq <= last {
+                return Err(format!(
+                    "line {number}: seq {seq} not greater than previous {last}"
+                ));
+            }
+        }
+        last_seq = Some(seq);
+        if event.get("channel").and_then(Json::as_str) == Some("speculation") {
+            speculation += 1;
+        }
+        if kind == "run_finished" {
+            if event.get("outcome").and_then(Json::as_str).is_none() {
+                return Err(format!("line {number}: run_finished without an outcome"));
+            }
+            finished = true;
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("event stream is empty".to_string());
+    }
+    if !finished {
+        return Err("event stream lacks the terminal run_finished event".to_string());
+    }
+    Ok(format!(
+        "{lines} event(s) ok ({speculation} on the speculation channel), terminal run_finished present"
+    ))
+}
+
+/// Validates a Chrome trace-event JSON document. Returns a one-line summary
+/// on success, the first violation otherwise (with `{path}` as a placeholder
+/// for the file name).
+fn check_trace(text: &str, required: &[String]) -> Result<String, String> {
+    let parsed =
+        Json::parse(text).map_err(|error| format!("{{path}} is not valid JSON: {error}"))?;
     let Some(events) = parsed.get("traceEvents").and_then(Json::as_array) else {
-        return fail("missing traceEvents array");
+        return Err("missing traceEvents array".to_string());
     };
 
     // Collect complete ("X") events; validate their shape.
@@ -43,22 +145,22 @@ fn main() -> ExitCode {
             continue;
         }
         let Some(name) = event.get("name").and_then(Json::as_str) else {
-            return fail("X event without a name");
+            return Err("X event without a name".to_string());
         };
         let (Some(ts), Some(dur)) = (
             event.get("ts").and_then(Json::as_i128),
             event.get("dur").and_then(Json::as_i128),
         ) else {
-            return fail(&format!("span {name:?} lacks integer ts/dur"));
+            return Err(format!("span {name:?} lacks integer ts/dur"));
         };
         if ts < 0 || dur < 0 {
-            return fail(&format!("span {name:?} has negative ts/dur"));
+            return Err(format!("span {name:?} has negative ts/dur"));
         }
         let tid = event.get("tid").and_then(Json::as_i128).unwrap_or(0);
         spans.push((name.to_string(), tid, ts, ts + dur));
     }
     if spans.is_empty() {
-        return fail("trace contains no complete (ph=\"X\") spans");
+        return Err("trace contains no complete (ph=\"X\") spans".to_string());
     }
 
     // Per track: spans must either nest or be disjoint — a partial overlap
@@ -81,7 +183,7 @@ fn main() -> ExitCode {
             }
             if let Some(top) = stack.last() {
                 if span.3 > top.3 {
-                    return fail(&format!(
+                    return Err(format!(
                         "span {:?} [{}..{}] partially overlaps {:?} [{}..{}] on tid {tid}",
                         span.0, span.2, span.3, top.0, top.2, top.3
                     ));
@@ -91,20 +193,85 @@ fn main() -> ExitCode {
         }
     }
 
-    for name in &required {
+    for name in required {
         if !spans.iter().any(|s| &s.0 == name) {
-            return fail(&format!("required span {name:?} not found"));
+            return Err(format!("required span {name:?} not found"));
         }
     }
 
-    println!(
-        "tracecheck: {} span(s) ok{}",
+    Ok(format!(
+        "{} span(s) ok{}",
         spans.len(),
         if required.is_empty() {
             String::new()
         } else {
             format!(", all {} required span(s) present", required.len())
         }
-    );
-    ExitCode::SUCCESS
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_accepts_a_well_formed_stream() {
+        let stream = concat!(
+            "{\"type\":\"correspondence_enumerated\",\"index\":0,\"seq\":0}\n",
+            "{\"type\":\"candidate_checked\",\"seq\":1,\"channel\":\"speculation\"}\n",
+            "{\"type\":\"run_finished\",\"outcome\":\"solved\",\"seq\":2}\n",
+        );
+        let summary = check_ndjson(stream).expect("stream is valid");
+        assert!(summary.contains("3 event(s)"), "{summary}");
+        assert!(
+            summary.contains("1 on the speculation channel"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn ndjson_rejects_violations() {
+        // Non-monotone seq.
+        let err = check_ndjson(
+            "{\"type\":\"a\",\"seq\":1}\n{\"type\":\"b\",\"seq\":1}\n{\"type\":\"run_finished\",\"outcome\":\"x\",\"seq\":2}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("not greater than"), "{err}");
+        // Missing terminal event.
+        let err = check_ndjson("{\"type\":\"a\",\"seq\":0}\n").unwrap_err();
+        assert!(err.contains("terminal"), "{err}");
+        // Event after the terminal one.
+        let err = check_ndjson(
+            "{\"type\":\"run_finished\",\"outcome\":\"x\",\"seq\":0}\n{\"type\":\"a\",\"seq\":1}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("after terminal"), "{err}");
+        // Not an object.
+        let err = check_ndjson("[1,2]\n").unwrap_err();
+        assert!(err.contains("not a JSON object"), "{err}");
+        // Missing type / seq.
+        assert!(check_ndjson("{\"seq\":0}\n").unwrap_err().contains("type"));
+        assert!(check_ndjson("{\"type\":\"a\"}\n")
+            .unwrap_err()
+            .contains("seq"));
+        // Empty stream.
+        assert!(check_ndjson("").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn trace_mode_still_validates_spans() {
+        let trace = r#"{"traceEvents":[
+            {"ph":"X","name":"pipeline","ts":0,"dur":100,"tid":0},
+            {"ph":"X","name":"synthesis","ts":10,"dur":50,"tid":0}
+        ]}"#;
+        let summary = check_trace(trace, &["pipeline".to_string()]).expect("trace is valid");
+        assert!(summary.contains("2 span(s) ok"), "{summary}");
+        let err = check_trace(trace, &["missing".to_string()]).unwrap_err();
+        assert!(err.contains("required span"), "{err}");
+        let overlap = r#"{"traceEvents":[
+            {"ph":"X","name":"a","ts":0,"dur":50,"tid":0},
+            {"ph":"X","name":"b","ts":25,"dur":50,"tid":0}
+        ]}"#;
+        assert!(check_trace(overlap, &[]).unwrap_err().contains("overlaps"));
+    }
 }

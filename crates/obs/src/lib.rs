@@ -12,7 +12,10 @@
 //!   wall-clock diagnostics and excluded from deterministic renderings;
 //! * [`PipelineEvent`] / [`PipelineObserver`] — stage events for ingest,
 //!   emission, backend execution and validation, complementing the
-//!   synthesis-loop event stream.
+//!   synthesis-loop event stream;
+//! * [`SearchLedger`] — search forensics: a deterministic, bounded-memory
+//!   rejection taxonomy plus MFI-kill / death-depth / hole-domain
+//!   histograms, explaining *why* a synthesis run failed.
 //!
 //! ```
 //! use obs::{Metrics, PipelineEvent, PipelineEventLog, PipelineObserver, Trace};
@@ -42,9 +45,11 @@
 #![warn(missing_docs)]
 
 mod event;
+mod forensics;
 mod metrics;
 mod trace;
 
 pub use event::{PipelineEvent, PipelineEventLog, PipelineObserver};
+pub use forensics::SearchLedger;
 pub use metrics::{Metrics, TimingStat};
 pub use trace::{SpanHandle, Trace};

@@ -86,13 +86,19 @@ use sqlexec::{Backend, ValidationOutcome};
 
 pub mod error;
 pub mod report;
+pub mod wire;
 
 pub use error::{InputKind, RefactorError};
 pub use migrator::{CancelReason, CancelToken, SynthesisEvent};
 // Re-exported so facade clients need no direct dependency on the layer
 // crates for the common path.
-pub use obs::{Metrics, PipelineEvent, PipelineObserver, Trace};
+pub use obs::{Metrics, PipelineEvent, PipelineObserver, SearchLedger, Trace};
+// The thread budget governs the parallel CEGIS fan-out; clients that let
+// users pick a budget (the CLI's `--threads`) need the setter without a
+// direct parpool dependency.
+pub use parpool::set_thread_limit;
 pub use sqlbridge::{dialect_by_name, Json};
+pub use wire::NdjsonWriter;
 
 /// The observability hooks threaded through the stage outputs: an optional
 /// span [`Trace`], an optional [`Metrics`] registry and an optional
@@ -107,6 +113,7 @@ pub struct ObsContext {
     trace: Option<Arc<Trace>>,
     metrics: Option<Arc<Metrics>>,
     observer: Option<Arc<dyn PipelineObserver>>,
+    forensics: Option<Arc<SearchLedger>>,
 }
 
 impl std::fmt::Debug for ObsContext {
@@ -115,6 +122,7 @@ impl std::fmt::Debug for ObsContext {
             .field("trace", &self.trace.is_some())
             .field("metrics", &self.metrics.is_some())
             .field("observer", &self.observer.is_some())
+            .field("forensics", &self.forensics.is_some())
             .finish()
     }
 }
@@ -141,6 +149,79 @@ impl ObsContext {
     fn time(&self, name: &str, duration: Duration) {
         if let Some(metrics) = &self.metrics {
             metrics.record_time(name, duration);
+        }
+    }
+}
+
+/// Feeds a [`SearchLedger`] from the synthesis event main stream while
+/// forwarding both channels to an optional inner observer.
+///
+/// Lives in the pipeline layer on purpose: the core synthesizer emits
+/// events without knowing about `obs`, and `obs` aggregates without
+/// knowing about synthesis — this adapter is the one place that sees both
+/// vocabularies. Determinism is inherited from the main stream's
+/// enumeration-order delivery contract.
+struct ForensicsRecorder {
+    ledger: Arc<SearchLedger>,
+    inner: Option<Arc<dyn SynthesisObserver>>,
+}
+
+impl SynthesisObserver for ForensicsRecorder {
+    fn event(&self, event: &SynthesisEvent) {
+        match event {
+            SynthesisEvent::CorrespondenceEnumerated { .. } => {
+                self.ledger.correspondence_enumerated();
+            }
+            SynthesisEvent::SketchGenerated {
+                holes, completions, ..
+            } => self.ledger.sketch_generated(*holes, *completions),
+            SynthesisEvent::SketchGenerationFailed { .. } => {
+                self.ledger.sketch_generation_failed();
+            }
+            SynthesisEvent::CandidateChecked { accepted, .. } => {
+                self.ledger.candidate_checked(*accepted);
+            }
+            SynthesisEvent::MfiFound {
+                updates,
+                query,
+                pruned,
+                domains,
+                ..
+            } => self.ledger.mfi(*updates, query, *pruned, domains),
+            SynthesisEvent::BoundExhausted {
+                space_exhausted, ..
+            } => self.ledger.bound_exhausted(*space_exhausted),
+            SynthesisEvent::Solved { index, iterations } => {
+                self.ledger.solved(*index, *iterations);
+            }
+            SynthesisEvent::FrontierDrained {
+                produced,
+                infeasible,
+            } => self.ledger.frontier_drained(*produced, *infeasible),
+            SynthesisEvent::FrontierBudgetReached { explored } => {
+                self.ledger.frontier_budget_reached(*explored);
+            }
+            SynthesisEvent::RunInterrupted { reason } => self.ledger.interrupted(match reason {
+                CancelReason::Cancelled => "cancelled",
+                CancelReason::DeadlineExceeded => "deadline exceeded",
+            }),
+            // Adoption probes are per-candidate detail the histograms
+            // already cover; the speculative dispatch notices below only
+            // ever arrive on the side channel.
+            SynthesisEvent::CandidateSpeculated { .. }
+            | SynthesisEvent::CorrespondenceSpeculated { .. }
+            | SynthesisEvent::CorrespondenceCancelled { .. } => {}
+        }
+        if let Some(inner) = &self.inner {
+            inner.event(event);
+        }
+    }
+
+    fn speculation(&self, event: &SynthesisEvent) {
+        // Scheduling-dependent notices never touch the ledger — they would
+        // break its byte-identical-at-any-thread-count contract.
+        if let Some(inner) = &self.inner {
+            inner.speculation(event);
         }
     }
 }
@@ -374,6 +455,22 @@ impl Refactoring {
         self
     }
 
+    /// Installs a forensics [`SearchLedger`]: every synthesis run this
+    /// session performs feeds the ledger from the deterministic event main
+    /// stream (rejection taxonomy, MFI-kill / death-depth / hole-domain
+    /// histograms) and stamps the run's outcome on it. The caller keeps
+    /// the `Arc` and reads [`SearchLedger::render`] /
+    /// [`SearchLedger::to_json`] after the run — in particular after a
+    /// *failed* run, which is exactly when the ledger explains what the
+    /// returned [`RefactorError::Unsolved`] statistics cannot.
+    ///
+    /// Composes with [`Refactoring::observer`]: the installed observer
+    /// still receives every event.
+    pub fn forensics(mut self, ledger: Arc<SearchLedger>) -> Refactoring {
+        self.obs.forensics = Some(ledger);
+        self
+    }
+
     /// Runs the synthesis stage: value-correspondence enumeration, sketch
     /// generation, MFI-guided completion and final bounded verification.
     ///
@@ -419,11 +516,26 @@ impl Refactoring {
         if let Some(budget) = self.budget {
             synthesizer = synthesizer.with_deadline(budget);
         }
-        if let Some(observer) = &self.observer {
-            synthesizer = synthesizer.with_observer(observer.clone());
+        // The forensics recorder taps the deterministic main stream for the
+        // ledger and forwards everything to the user's observer, so the two
+        // hooks compose.
+        match (&self.obs.forensics, &self.observer) {
+            (Some(ledger), observer) => {
+                synthesizer = synthesizer.with_observer(Arc::new(ForensicsRecorder {
+                    ledger: ledger.clone(),
+                    inner: observer.clone(),
+                }));
+            }
+            (None, Some(observer)) => {
+                synthesizer = synthesizer.with_observer(observer.clone());
+            }
+            (None, None) => {}
         }
         let span = self.obs.trace.as_ref().map(|t| t.begin("synthesize"));
         let result = synthesizer.synthesize(program, &self.source_schema, &self.target_schema);
+        if let Some(ledger) = &self.obs.forensics {
+            ledger.set_outcome(result.outcome.as_str());
+        }
         if let (Some(trace), Some(span)) = (&self.obs.trace, span) {
             trace.set_arg(span, "outcome", Json::str(format!("{:?}", result.outcome)));
             trace.set_arg(span, "iterations", Json::from(result.stats.iterations));

@@ -192,10 +192,35 @@ pub fn result_json(
         .with("stats", stats_json(&synthesized.stats, synthesized.outcome))
 }
 
-/// The JSON document for a run that produced no program: the outcome kind
-/// and the (possibly partial) statistics.
-pub fn failure_json(outcome: SynthesisOutcome, stats: &SynthesisStats) -> Json {
+/// The JSON document for a run that produced no program: the outcome kind,
+/// the (possibly partial) statistics and — when a
+/// [`SearchLedger`](crate::SearchLedger) was attached — the forensics
+/// summary explaining *why* the search came up empty (rejection taxonomy,
+/// MFI-kill / death-depth / hole-domain histograms).
+pub fn failure_json(
+    outcome: SynthesisOutcome,
+    stats: &SynthesisStats,
+    forensics: Option<&crate::SearchLedger>,
+) -> Json {
     Json::object()
         .with("outcome", Json::str(outcome.as_str()))
         .with("stats", stats_json(stats, outcome))
+        .with(
+            "forensics",
+            match forensics {
+                Some(ledger) => ledger.to_json(),
+                None => Json::Null,
+            },
+        )
+}
+
+/// The `migrate explain` document: the outcome kind, statistics and the
+/// forensics summary. Same shape as [`failure_json`] with the ledger
+/// always present — `explain` reports solved runs too.
+pub fn explain_json(
+    outcome: SynthesisOutcome,
+    stats: &SynthesisStats,
+    ledger: &crate::SearchLedger,
+) -> Json {
+    failure_json(outcome, stats, Some(ledger))
 }

@@ -1,0 +1,379 @@
+//! The JSON-lines wire format for the pipeline's event streams.
+//!
+//! Every [`SynthesisEvent`] and [`PipelineEvent`] has a structured JSON
+//! encoding here, and [`NdjsonWriter`] streams them — one compact JSON
+//! object per line — to any `Write` sink. This is the `--events` export of
+//! the `migrate` CLI and the wire format the ROADMAP's
+//! migration-as-a-service daemon will speak: a client that tails the file
+//! (or the socket) sees the run progress event by event and can stop
+//! parsing at any line boundary.
+//!
+//! Line discipline:
+//!
+//! * every line is one well-formed JSON object with a `"type"` field;
+//! * every line carries `"seq"`, a strictly increasing sequence number
+//!   across *both* streams (synthesis and pipeline events interleave in
+//!   delivery order);
+//! * scheduling-dependent speculation notices are tagged
+//!   `"channel": "speculation"` so deterministic consumers can filter
+//!   them out;
+//! * a terminal `{"type": "run_finished", "outcome": ...}` line closes
+//!   the stream (written by [`NdjsonWriter::finish`]).
+//!
+//! The `tracecheck ndjson` subcommand validates exactly this discipline.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use migrator::{CancelReason, SynthesisEvent, SynthesisObserver};
+use obs::{PipelineEvent, PipelineObserver};
+use sqlbridge::Json;
+
+/// Encodes one synthesis event as a structured JSON object (without the
+/// writer's `seq` / `channel` framing fields).
+pub fn synthesis_event_json(event: &SynthesisEvent) -> Json {
+    match event {
+        SynthesisEvent::CorrespondenceEnumerated {
+            index,
+            mapped_attrs,
+        } => Json::object()
+            .with("type", Json::str("correspondence_enumerated"))
+            .with("index", Json::from(*index))
+            .with("mapped_attrs", Json::from(*mapped_attrs)),
+        SynthesisEvent::CorrespondenceSpeculated { index } => Json::object()
+            .with("type", Json::str("correspondence_speculated"))
+            .with("index", Json::from(*index)),
+        SynthesisEvent::CorrespondenceCancelled { index } => Json::object()
+            .with("type", Json::str("correspondence_cancelled"))
+            .with("index", Json::from(*index)),
+        SynthesisEvent::SketchGenerated {
+            index,
+            holes,
+            completions,
+        } => Json::object()
+            .with("type", Json::str("sketch_generated"))
+            .with("index", Json::from(*index))
+            .with("holes", Json::from(*holes))
+            .with("completions", Json::str(completions.to_string())),
+        SynthesisEvent::SketchGenerationFailed { index } => Json::object()
+            .with("type", Json::str("sketch_generation_failed"))
+            .with("index", Json::from(*index)),
+        SynthesisEvent::CandidateChecked {
+            index,
+            iteration,
+            accepted,
+            sequences_tested,
+        } => Json::object()
+            .with("type", Json::str("candidate_checked"))
+            .with("index", Json::from(*index))
+            .with("iteration", Json::from(*iteration))
+            .with("accepted", Json::from(*accepted))
+            .with("sequences_tested", Json::from(*sequences_tested)),
+        SynthesisEvent::CandidateSpeculated {
+            index,
+            iteration,
+            adopted,
+        } => Json::object()
+            .with("type", Json::str("candidate_speculated"))
+            .with("index", Json::from(*index))
+            .with("iteration", Json::from(*iteration))
+            .with("adopted", Json::from(*adopted)),
+        SynthesisEvent::MfiFound {
+            index,
+            iteration,
+            updates,
+            query,
+            blocked_holes,
+            pruned,
+            domains,
+        } => {
+            let domains = domains
+                .iter()
+                .map(|&(kind, count)| {
+                    Json::object()
+                        .with("domain", Json::str(kind))
+                        .with("count", Json::from(count))
+                })
+                .collect();
+            Json::object()
+                .with("type", Json::str("mfi_found"))
+                .with("index", Json::from(*index))
+                .with("iteration", Json::from(*iteration))
+                .with("updates", Json::from(*updates))
+                .with("query", Json::str(query))
+                .with("blocked_holes", Json::from(*blocked_holes))
+                .with("pruned", Json::str(pruned.to_string()))
+                .with("domains", Json::Array(domains))
+        }
+        SynthesisEvent::BoundExhausted {
+            index,
+            iterations,
+            space_exhausted,
+        } => Json::object()
+            .with("type", Json::str("bound_exhausted"))
+            .with("index", Json::from(*index))
+            .with("iterations", Json::from(*iterations))
+            .with("space_exhausted", Json::from(*space_exhausted)),
+        SynthesisEvent::Solved { index, iterations } => Json::object()
+            .with("type", Json::str("solved"))
+            .with("index", Json::from(*index))
+            .with("iterations", Json::from(*iterations)),
+        SynthesisEvent::FrontierDrained {
+            produced,
+            infeasible,
+        } => Json::object()
+            .with("type", Json::str("frontier_drained"))
+            .with("produced", Json::from(*produced))
+            .with("infeasible", Json::from(*infeasible)),
+        SynthesisEvent::FrontierBudgetReached { explored } => Json::object()
+            .with("type", Json::str("frontier_budget_reached"))
+            .with("explored", Json::from(*explored)),
+        SynthesisEvent::RunInterrupted { reason } => Json::object()
+            .with("type", Json::str("run_interrupted"))
+            .with(
+                "reason",
+                Json::str(match reason {
+                    CancelReason::Cancelled => "cancelled",
+                    CancelReason::DeadlineExceeded => "deadline_exceeded",
+                }),
+            ),
+    }
+}
+
+/// Encodes one pipeline event as a structured JSON object.
+pub fn pipeline_event_json(event: &PipelineEvent) -> Json {
+    match event {
+        PipelineEvent::DdlParsed { input, tables } => Json::object()
+            .with("type", Json::str("ddl_parsed"))
+            .with("input", Json::str(input))
+            .with("tables", Json::from(*tables)),
+        PipelineEvent::Emitted {
+            dialect,
+            functions,
+            statements,
+        } => Json::object()
+            .with("type", Json::str("emitted"))
+            .with("dialect", Json::str(dialect))
+            .with("functions", Json::from(*functions))
+            .with("statements", Json::from(*statements)),
+        PipelineEvent::ScriptStaged {
+            backend,
+            seeded_rows,
+            statements,
+        } => Json::object()
+            .with("type", Json::str("script_staged"))
+            .with("backend", Json::str(backend))
+            .with("seeded_rows", Json::from(*seeded_rows))
+            .with("statements", Json::from(*statements)),
+        PipelineEvent::BackendStatementExecuted {
+            backend,
+            phase,
+            statements,
+        } => Json::object()
+            .with("type", Json::str("backend_statement_executed"))
+            .with("backend", Json::str(backend))
+            .with("phase", Json::str(phase))
+            .with("statements", Json::from(*statements)),
+        PipelineEvent::ValidationCompared {
+            backend,
+            ok,
+            tables_compared,
+            diffs,
+        } => Json::object()
+            .with("type", Json::str("validation_compared"))
+            .with("backend", Json::str(backend))
+            .with("ok", Json::from(*ok))
+            .with("tables_compared", Json::from(*tables_compared))
+            .with("diffs", Json::from(*diffs)),
+    }
+}
+
+struct NdjsonState {
+    sink: Box<dyn Write + Send>,
+    seq: u64,
+    failed: bool,
+}
+
+/// Streams both event channels to a sink as JSON lines.
+///
+/// Implements [`SynthesisObserver`] *and* [`PipelineObserver`], so one
+/// writer (behind an `Arc`) can be installed as both the synthesis
+/// observer and the pipeline observer of a session. Each event becomes one
+/// compact JSON line with a strictly increasing `"seq"` field; speculation
+/// side-channel notices additionally carry `"channel": "speculation"`.
+/// Call [`finish`](NdjsonWriter::finish) when the run ends — whichever way
+/// it ends — to append the terminal `run_finished` line and flush.
+///
+/// Sink errors are swallowed after the first failure (an observer must not
+/// panic mid-search); [`finish`](NdjsonWriter::finish) reports whether
+/// every line made it out.
+pub struct NdjsonWriter {
+    state: Mutex<NdjsonState>,
+}
+
+impl std::fmt::Debug for NdjsonWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NdjsonWriter").finish_non_exhaustive()
+    }
+}
+
+impl NdjsonWriter {
+    /// A writer over any sink (a file for `--events`, a socket for the
+    /// future daemon).
+    pub fn new(sink: Box<dyn Write + Send>) -> NdjsonWriter {
+        NdjsonWriter {
+            state: Mutex::new(NdjsonState {
+                sink,
+                seq: 0,
+                failed: false,
+            }),
+        }
+    }
+
+    fn write_line(&self, json: Json, speculation: bool) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.failed {
+            return;
+        }
+        let mut json = json.with("seq", Json::from(state.seq as usize));
+        if speculation {
+            json = json.with("channel", Json::str("speculation"));
+        }
+        state.seq += 1;
+        let line = json.to_compact_string();
+        let sink = &mut state.sink;
+        if writeln!(sink, "{line}").is_err() {
+            state.failed = true;
+        }
+    }
+
+    /// Writes the terminal `run_finished` line and flushes the sink.
+    /// Returns `false` if any write or the flush failed.
+    pub fn finish(&self, outcome: &str) -> bool {
+        self.write_line(
+            Json::object()
+                .with("type", Json::str("run_finished"))
+                .with("outcome", Json::str(outcome)),
+            false,
+        );
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.sink.flush().is_err() {
+            state.failed = true;
+        }
+        !state.failed
+    }
+}
+
+impl SynthesisObserver for NdjsonWriter {
+    fn event(&self, event: &SynthesisEvent) {
+        self.write_line(synthesis_event_json(event), false);
+    }
+
+    fn speculation(&self, event: &SynthesisEvent) {
+        self.write_line(synthesis_event_json(event), true);
+    }
+}
+
+impl PipelineObserver for NdjsonWriter {
+    fn pipeline_event(&self, event: &PipelineEvent) {
+        self.write_line(pipeline_event_json(event), false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A sink the test can read back: writes land in a shared buffer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_stream_as_sequenced_json_lines_with_terminal_event() {
+        let buf = SharedBuf::default();
+        let writer = NdjsonWriter::new(Box::new(buf.clone()));
+        writer.pipeline_event(&PipelineEvent::DdlParsed {
+            input: "source".to_string(),
+            tables: 2,
+        });
+        writer.event(&SynthesisEvent::CorrespondenceEnumerated {
+            index: 0,
+            mapped_attrs: 3,
+        });
+        writer.speculation(&SynthesisEvent::CorrespondenceSpeculated { index: 1 });
+        writer.event(&SynthesisEvent::MfiFound {
+            index: 0,
+            iteration: 1,
+            updates: 2,
+            query: "getUser".to_string(),
+            blocked_holes: 3,
+            pruned: 12,
+            domains: vec![("attr", 2), ("join", 1)],
+        });
+        assert!(writer.finish("no_solution"));
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let mut last_seq = -1i128;
+        for line in &lines {
+            let json = Json::parse(line).expect("every line parses");
+            let seq = json.get("seq").and_then(Json::as_i128).expect("seq");
+            assert!(seq > last_seq, "seq must be strictly increasing");
+            last_seq = seq;
+            assert!(json.get("type").and_then(Json::as_str).is_some());
+        }
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").and_then(Json::as_str), Some("ddl_parsed"));
+        let spec = Json::parse(lines[2]).unwrap();
+        assert_eq!(
+            spec.get("channel").and_then(Json::as_str),
+            Some("speculation")
+        );
+        let mfi = Json::parse(lines[3]).unwrap();
+        assert_eq!(mfi.get("pruned").and_then(Json::as_str), Some("12"));
+        assert_eq!(
+            mfi.get("domains").and_then(Json::as_array).map(|a| a.len()),
+            Some(2)
+        );
+        let last = Json::parse(lines[4]).unwrap();
+        assert_eq!(
+            last.get("type").and_then(Json::as_str),
+            Some("run_finished")
+        );
+        assert_eq!(
+            last.get("outcome").and_then(Json::as_str),
+            Some("no_solution")
+        );
+    }
+
+    #[test]
+    fn a_failing_sink_reports_failure_without_panicking() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("sink closed"))
+            }
+        }
+        let writer = NdjsonWriter::new(Box::new(FailingSink));
+        writer.event(&SynthesisEvent::Solved {
+            index: 0,
+            iterations: 1,
+        });
+        assert!(!writer.finish("solved"));
+    }
+}

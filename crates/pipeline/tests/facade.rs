@@ -100,7 +100,7 @@ fn expired_deadline_is_reported_as_timeout() {
     // Partial stats: the run never got to explore the space.
     assert!(stats.value_correspondences <= 1);
     // The failure document carries the outcome kind.
-    let json = report::failure_json(outcome, &stats).to_compact_string();
+    let json = report::failure_json(outcome, &stats, None).to_compact_string();
     assert!(json.contains("\"timeout\""), "{json}");
 }
 

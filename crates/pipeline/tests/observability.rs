@@ -5,8 +5,10 @@
 
 use std::sync::Arc;
 
+use dbir::equiv::TestConfig;
+use migrator::{SynthesisConfig, SynthesisOutcome};
 use obs::{Metrics, PipelineEvent, PipelineEventLog, Trace};
-use pipeline::{backend_by_name, dialect_by_name, Refactoring};
+use pipeline::{backend_by_name, dialect_by_name, Refactoring, SearchLedger};
 use sqlbridge::Json;
 
 const SOURCE_DDL: &str = "CREATE TABLE Users (uid INTEGER PRIMARY KEY, nick TEXT);";
@@ -183,5 +185,93 @@ fn metrics_counters_are_byte_identical_across_thread_counts() {
     assert_eq!(
         sequential, parallel,
         "deterministic counters must not depend on the thread count"
+    );
+}
+
+/// MathHotSpot — the known-red real-world benchmark — under a small
+/// correspondence budget so the failing search stays fast in debug builds.
+/// The lean bounded-testing limits mirror the experiment harness's
+/// real-world configuration.
+fn mathhotspot_session() -> Refactoring {
+    let benchmark = benchmarks::all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "MathHotSpot")
+        .expect("MathHotSpot is in the suite");
+    let lean = TestConfig {
+        max_arg_combinations: Some(4),
+        ..TestConfig::default()
+    };
+    let config = SynthesisConfig {
+        max_value_correspondences: 4,
+        testing: lean.clone(),
+        verification: lean,
+        ..SynthesisConfig::standard()
+    };
+    Refactoring::new(
+        benchmark.source_schema.clone(),
+        benchmark.target_schema.clone(),
+    )
+    .program(benchmark.source_program.clone())
+    .config(config)
+}
+
+/// The search-forensics ledger is byte-identical at one and at four worker
+/// threads on a *failing* run — the determinism contract `migrate explain`
+/// relies on. MathHotSpot under a small correspondence budget exercises
+/// every taxonomy path: sketch-generation failures, MFI-blocked cohorts and
+/// the frontier budget.
+#[test]
+fn search_ledger_is_byte_identical_across_thread_counts_on_a_failing_run() {
+    let run = |threads: usize| -> String {
+        parpool::set_thread_limit(threads);
+        let ledger = Arc::new(SearchLedger::new());
+        let err = mathhotspot_session()
+            .forensics(ledger.clone())
+            .synthesize()
+            .expect_err("MathHotSpot stays unsolved under the standard space");
+        parpool::set_thread_limit(0);
+        assert_eq!(err.outcome(), Some(SynthesisOutcome::NoSolution));
+        ledger.render()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert!(sequential.contains("outcome: no_solution"), "{sequential}");
+    assert!(
+        sequential.contains("correspondence budget reached"),
+        "{sequential}"
+    );
+    assert!(
+        sequential.contains("blocking clauses (MFIs):"),
+        "{sequential}"
+    );
+    assert!(sequential.contains("killer queries"), "{sequential}");
+    assert_eq!(
+        sequential, parallel,
+        "the forensics ledger must not depend on the thread count"
+    );
+}
+
+/// The ledger keeps the same byte-identity contract on a *succeeding* run,
+/// and records which correspondence solved after how many iterations.
+#[test]
+fn search_ledger_is_byte_identical_across_thread_counts_on_a_solved_run() {
+    let run = |threads: usize| -> String {
+        parpool::set_thread_limit(threads);
+        let ledger = Arc::new(SearchLedger::new());
+        let synthesized = session()
+            .forensics(ledger.clone())
+            .synthesize()
+            .expect("the rename synthesizes");
+        parpool::set_thread_limit(0);
+        assert_eq!(synthesized.outcome, SynthesisOutcome::Solved);
+        ledger.render()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert!(sequential.contains("outcome: solved"), "{sequential}");
+    assert!(sequential.contains("solved"), "{sequential}");
+    assert_eq!(
+        sequential, parallel,
+        "the forensics ledger must not depend on the thread count"
     );
 }
