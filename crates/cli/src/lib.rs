@@ -79,6 +79,12 @@ usage: migrate [explain] --source-ddl <file.sql> --target-ddl <file.sql> --progr
                [--budget-secs <n>] [--threads <n>] [--json] [--trace <out.json>]
                [--events <out.ndjson>] [--progress]
                [--validate [--backend memory|sqlite3]]
+       migrate serve [--addr <host:port>] [--workers <n>] [--threads <n>]
+       migrate client <addr> <command> [options]
+
+The `serve` subcommand starts the migration job server; `client` talks to
+it (submit/status/list/result/watch/cancel/shutdown). See
+`migrate serve --help` and `migrate client --help` for their options.
 
 Reads the source schema and target schema as SQL DDL and the source program
 in the dbir concrete syntax, synthesizes an equivalent program over the

@@ -4,6 +4,14 @@ use migrator_cli::{parse_args, run, EXIT_USAGE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The serving subcommands run live (a server blocks until shutdown, a
+    // watch streams as events happen), so they bypass the buffered
+    // RunOutput path entirely.
+    match args.first().map(String::as_str) {
+        Some("serve") => std::process::exit(served::serve_cli(&args[1..])),
+        Some("client") => std::process::exit(served::client_cli(&args[1..])),
+        _ => {}
+    }
     let options = match parse_args(&args) {
         Ok(options) => options,
         Err(message) => {

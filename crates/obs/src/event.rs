@@ -28,6 +28,37 @@ pub enum PipelineEvent {
         /// Number of data-migration statements in the script.
         statements: usize,
     },
+    /// One data move of the migration script was planned during emission:
+    /// which target table it fills and which (joined) source tables feed
+    /// it. Emitted once per planned `INSERT INTO .. SELECT` statement, so a
+    /// `watch` consumer sees the shape of the migration before anything
+    /// executes.
+    DataMovePlanned {
+        /// Target table receiving the moved rows.
+        target: String,
+        /// Source tables joined to produce the rows, in join order.
+        tables: Vec<String>,
+        /// 1-based index of this move among the planned moves.
+        statement: usize,
+        /// Total planned data-move statements.
+        statements: usize,
+    },
+    /// The backend executed one data-move statement of the migration
+    /// script. This is the migration-progress event the zero-downtime
+    /// (expand/contract) execution story builds on: a chunked backfill
+    /// reports one of these per completed chunk.
+    DataMoved {
+        /// Backend that executed the statement.
+        backend: String,
+        /// Target table that received rows.
+        table: String,
+        /// 1-based index of this move among the data-move statements.
+        statement: usize,
+        /// Total data-move statements in the script.
+        statements: usize,
+        /// Rows present in the target table after this move.
+        rows: usize,
+    },
     /// The end-to-end validation script was staged for a backend.
     ScriptStaged {
         /// Backend the script is staged for.
@@ -72,6 +103,26 @@ impl fmt::Display for PipelineEvent {
             } => write!(
                 f,
                 "emitted {functions} function(s), {statements} migration statement(s) [{dialect}]"
+            ),
+            PipelineEvent::DataMovePlanned {
+                target,
+                tables,
+                statement,
+                statements,
+            } => write!(
+                f,
+                "planned data move {statement}/{statements}: {} -> {target}",
+                tables.join(" + ")
+            ),
+            PipelineEvent::DataMoved {
+                backend,
+                table,
+                statement,
+                statements,
+                rows,
+            } => write!(
+                f,
+                "{backend} moved data {statement}/{statements}: {table} now {rows} row(s)"
             ),
             PipelineEvent::ScriptStaged {
                 backend,
@@ -161,6 +212,13 @@ mod tests {
             input: "source".into(),
             tables: 1,
         });
+        log.pipeline_event(&PipelineEvent::DataMoved {
+            backend: "memory".into(),
+            table: "Users".into(),
+            statement: 1,
+            statements: 2,
+            rows: 5,
+        });
         log.pipeline_event(&PipelineEvent::ValidationCompared {
             backend: "memory".into(),
             ok: true,
@@ -168,8 +226,11 @@ mod tests {
             diffs: 0,
         });
         let events = log.events();
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
         assert!(log.render().contains("parsed source DDL"));
+        assert!(log
+            .render()
+            .contains("memory moved data 1/2: Users now 5 row(s)"));
         assert!(log.render().contains("validation on memory: ok"));
     }
 }

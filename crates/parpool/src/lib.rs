@@ -264,6 +264,69 @@ fn release(tokens: usize) {
     budget().extra_in_use.fetch_sub(tokens, Ordering::Relaxed);
 }
 
+/// A long-lived, all-or-nothing reservation of worker tokens from the
+/// global thread budget, released on drop.
+///
+/// [`par_map_stop`] borrows tokens for the duration of one call; a
+/// *scheduler* — the `served` job server is the motivating client — instead
+/// needs to account for a thread that computes *outside* any `parpool`
+/// call: a job runner thread that will itself make nested `par_map_stop`
+/// calls. Reserving one token per running job makes those runner threads
+/// visible to every other borrower, so N concurrent jobs plus their nested
+/// fan-outs stay ≈ the configured limit instead of N × limit.
+///
+/// The reservation is all-or-nothing: [`BudgetReservation::try_new`]
+/// either acquires exactly `tokens` tokens or none, and never blocks — a
+/// scheduler that cannot reserve keeps its job queued and retries.
+#[derive(Debug)]
+pub struct BudgetReservation {
+    tokens: usize,
+}
+
+impl BudgetReservation {
+    /// Tries to reserve exactly `tokens` worker tokens from the global
+    /// budget. Returns `None` (acquiring nothing) when that many are not
+    /// free under the current [`thread_limit`]. Never blocks.
+    pub fn try_new(tokens: usize) -> Option<BudgetReservation> {
+        if tokens == 0 {
+            return Some(BudgetReservation { tokens: 0 });
+        }
+        let b = budget();
+        loop {
+            let in_use = b.extra_in_use.load(Ordering::Relaxed);
+            // Same headroom rule as `try_acquire`: the caller thread counts
+            // as one, so worker tokens top out at `limit - 1`.
+            if in_use + tokens >= thread_limit() {
+                return None;
+            }
+            if b.extra_in_use
+                .compare_exchange(
+                    in_use,
+                    in_use + tokens,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return Some(BudgetReservation { tokens });
+            }
+        }
+    }
+
+    /// How many tokens this reservation holds.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+}
+
+impl Drop for BudgetReservation {
+    fn drop(&mut self) {
+        if self.tokens > 0 {
+            release(self.tokens);
+        }
+    }
+}
+
 /// Cancellation signal shared by the tasks of one [`par_map_stop`] call.
 ///
 /// Holds the lowest index (so far) whose task produced a stopping result.
@@ -618,6 +681,40 @@ mod tests {
         let _ = join(|| push("left"), || push("right"));
         set_thread_limit(0);
         assert_eq!(order.into_inner().unwrap(), vec!["left", "right"]);
+    }
+
+    #[test]
+    fn budget_reservation_is_all_or_nothing_and_releases_on_drop() {
+        let _guard = limit_lock();
+        set_thread_limit(4);
+        // 3 worker tokens free (limit - 1). A 2-token reservation fits; a
+        // second 2-token reservation must fail *without* acquiring anything.
+        let first = BudgetReservation::try_new(2).expect("2 of 3 tokens free");
+        assert_eq!(first.tokens(), 2);
+        assert!(BudgetReservation::try_new(2).is_none());
+        // A 1-token reservation still fits beside the first (2 + 1 < 4):
+        // the headroom rule only keeps the caller thread's implicit slot.
+        assert!(BudgetReservation::try_new(1).is_some());
+        drop(first);
+        let again = BudgetReservation::try_new(2);
+        assert!(again.is_some(), "dropping the reservation frees its tokens");
+        drop(again);
+        set_thread_limit(0);
+    }
+
+    #[test]
+    fn reserved_tokens_shrink_the_fan_out_budget() {
+        let _guard = limit_lock();
+        set_thread_limit(2);
+        // With the single spare token reserved, par_map_stop degrades to
+        // the sequential fallback: a stop at index 4 leaves 5..N untouched
+        // (the parallel path could have started them already).
+        let reservation = BudgetReservation::try_new(1).expect("one spare token");
+        let items: Vec<usize> = (0..10).collect();
+        let results = par_map_stop(&items, |i, _, _| i, |&r| r == 4);
+        assert!(results[5..].iter().all(Option::is_none));
+        drop(reservation);
+        set_thread_limit(0);
     }
 
     #[test]

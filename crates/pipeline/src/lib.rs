@@ -85,10 +85,12 @@ use sqlbridge::{parse_ddl, render_sql_program, schema_to_ddl, Dialect, SqlFuncti
 use sqlexec::{Backend, ValidationOutcome};
 
 pub mod error;
+pub mod job;
 pub mod report;
 pub mod wire;
 
 pub use error::{InputKind, RefactorError};
+pub use job::{run_job, JobReport, JobSpec};
 pub use migrator::{CancelReason, CancelToken, SynthesisEvent};
 // Re-exported so facade clients need no direct dependency on the layer
 // crates for the common path.
@@ -98,7 +100,7 @@ pub use obs::{Metrics, PipelineEvent, PipelineObserver, SearchLedger, Trace};
 // direct parpool dependency.
 pub use parpool::set_thread_limit;
 pub use sqlbridge::{dialect_by_name, Json};
-pub use wire::NdjsonWriter;
+pub use wire::{LineBus, LineBusSink, LineFollower, NdjsonError, NdjsonWriter};
 
 /// The observability hooks threaded through the stage outputs: an optional
 /// span [`Trace`], an optional [`Metrics`] registry and an optional
@@ -690,6 +692,26 @@ impl Synthesized {
             functions: functions.len(),
             statements: script.statements.len(),
         });
+        if self.obs.observer.is_some() {
+            // One progress event per planned data move, in script order, so
+            // a `watch` stream shows the shape of the migration before
+            // anything executes. The plan is deterministic, so these lines
+            // are part of the byte-identical main stream.
+            let plan = sqlbridge::migration::migration_plan(
+                &self.source_schema,
+                &self.target_schema,
+                &self.correspondence,
+            );
+            let total = plan.inserts.len();
+            for (index, insert) in plan.inserts.iter().enumerate() {
+                self.obs.event(PipelineEvent::DataMovePlanned {
+                    target: insert.target.to_string(),
+                    tables: insert.tables.iter().map(|t| t.to_string()).collect(),
+                    statement: index + 1,
+                    statements: total,
+                });
+            }
+        }
         Emitted {
             source_schema: self.source_schema.clone(),
             target_schema: self.target_schema.clone(),

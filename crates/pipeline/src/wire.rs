@@ -23,7 +23,7 @@
 //! The `tracecheck ndjson` subcommand validates exactly this discipline.
 
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use migrator::{CancelReason, SynthesisEvent, SynthesisObserver};
 use obs::{PipelineEvent, PipelineObserver};
@@ -156,6 +156,33 @@ pub fn pipeline_event_json(event: &PipelineEvent) -> Json {
             .with("dialect", Json::str(dialect))
             .with("functions", Json::from(*functions))
             .with("statements", Json::from(*statements)),
+        PipelineEvent::DataMovePlanned {
+            target,
+            tables,
+            statement,
+            statements,
+        } => Json::object()
+            .with("type", Json::str("data_move_planned"))
+            .with("target", Json::str(target))
+            .with(
+                "tables",
+                Json::Array(tables.iter().map(Json::str).collect()),
+            )
+            .with("statement", Json::from(*statement))
+            .with("statements", Json::from(*statements)),
+        PipelineEvent::DataMoved {
+            backend,
+            table,
+            statement,
+            statements,
+            rows,
+        } => Json::object()
+            .with("type", Json::str("data_moved"))
+            .with("backend", Json::str(backend))
+            .with("table", Json::str(table))
+            .with("statement", Json::from(*statement))
+            .with("statements", Json::from(*statements))
+            .with("rows", Json::from(*rows)),
         PipelineEvent::ScriptStaged {
             backend,
             seeded_rows,
@@ -188,10 +215,37 @@ pub fn pipeline_event_json(event: &PipelineEvent) -> Json {
     }
 }
 
+/// Why an [`NdjsonWriter`] stopped accepting events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdjsonError {
+    /// The underlying sink failed; lines after the failure were dropped.
+    SinkFailed,
+    /// An event arrived after [`NdjsonWriter::finish`] wrote the terminal
+    /// `run_finished` line. The stream contract promises consumers that
+    /// nothing follows the terminal line, so a late event is a caller bug —
+    /// typically an observer still installed somewhere after the run was
+    /// declared over — and must not be silently swallowed.
+    WriteAfterFinish,
+}
+
+impl std::fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NdjsonError::SinkFailed => write!(f, "the NDJSON sink failed"),
+            NdjsonError::WriteAfterFinish => {
+                write!(f, "an event arrived after the terminal `run_finished` line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NdjsonError {}
+
 struct NdjsonState {
     sink: Box<dyn Write + Send>,
     seq: u64,
-    failed: bool,
+    finished: bool,
+    error: Option<NdjsonError>,
 }
 
 /// Streams both event channels to a sink as JSON lines.
@@ -206,7 +260,12 @@ struct NdjsonState {
 ///
 /// Sink errors are swallowed after the first failure (an observer must not
 /// panic mid-search); [`finish`](NdjsonWriter::finish) reports whether
-/// every line made it out.
+/// every line made it out, and [`error`](NdjsonWriter::error) names the
+/// failure class. Once `finish` has written the terminal line the stream
+/// is sealed: a later event (or a second `finish`) is recorded as
+/// [`NdjsonError::WriteAfterFinish`] and never reaches the sink — a
+/// multi-consumer stream whose consumers stop at `run_finished` must not
+/// quietly grow a tail nobody reads.
 pub struct NdjsonWriter {
     state: Mutex<NdjsonState>,
 }
@@ -225,14 +284,19 @@ impl NdjsonWriter {
             state: Mutex::new(NdjsonState {
                 sink,
                 seq: 0,
-                failed: false,
+                finished: false,
+                error: None,
             }),
         }
     }
 
     fn write_line(&self, json: Json, speculation: bool) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if state.failed {
+        if state.finished {
+            state.error.get_or_insert(NdjsonError::WriteAfterFinish);
+            return;
+        }
+        if state.error.is_some() {
             return;
         }
         let mut json = json.with("seq", Json::from(state.seq as usize));
@@ -243,12 +307,14 @@ impl NdjsonWriter {
         let line = json.to_compact_string();
         let sink = &mut state.sink;
         if writeln!(sink, "{line}").is_err() {
-            state.failed = true;
+            state.error = Some(NdjsonError::SinkFailed);
         }
     }
 
-    /// Writes the terminal `run_finished` line and flushes the sink.
-    /// Returns `false` if any write or the flush failed.
+    /// Writes the terminal `run_finished` line, flushes the sink and seals
+    /// the stream. Returns `false` if any write or the flush failed — or if
+    /// the stream was already sealed (a second `finish` is a
+    /// [`NdjsonError::WriteAfterFinish`] like any other late write).
     pub fn finish(&self, outcome: &str) -> bool {
         self.write_line(
             Json::object()
@@ -257,10 +323,19 @@ impl NdjsonWriter {
             false,
         );
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if state.sink.flush().is_err() {
-            state.failed = true;
+        if !state.finished {
+            state.finished = true;
+            if state.sink.flush().is_err() {
+                state.error.get_or_insert(NdjsonError::SinkFailed);
+            }
         }
-        !state.failed
+        state.error.is_none()
+    }
+
+    /// Why the stream stopped accepting events, if it did. `None` means
+    /// every line (including the terminal one, once written) made it out.
+    pub fn error(&self) -> Option<NdjsonError> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).error
     }
 }
 
@@ -277,6 +352,213 @@ impl SynthesisObserver for NdjsonWriter {
 impl PipelineObserver for NdjsonWriter {
     fn pipeline_event(&self, event: &PipelineEvent) {
         self.write_line(pipeline_event_json(event), false);
+    }
+}
+
+/// Shared state of a [`LineBus`]: the full line history plus whether the
+/// stream is closed.
+struct LineBusState {
+    lines: Vec<String>,
+    closed: bool,
+    /// Bytes received that are not yet terminated by `\n` (the bus is a
+    /// `Write` sink, and one logical line may arrive as several writes).
+    partial: String,
+}
+
+/// A replayable fan-out of one NDJSON stream to any number of subscribers.
+///
+/// The job server's `watch` command needs every subscriber — whether it
+/// connected before the job started or long after it finished — to see the
+/// *same complete stream*. A plain broadcast would lose the prefix for late
+/// subscribers, so the bus keeps the full line history (job streams are
+/// bounded: one run's events) and hands each [`LineFollower`] its own
+/// cursor into it. Followers block on a condvar until new lines arrive or
+/// the bus closes.
+///
+/// The bus implements [`Write`], so it can serve directly as an
+/// [`NdjsonWriter`] sink: whatever framing the writer produces is replayed
+/// verbatim, keeping watched streams byte-identical to a file export of
+/// the same run.
+pub struct LineBus {
+    state: Mutex<LineBusState>,
+    wakeup: Condvar,
+}
+
+impl std::fmt::Debug for LineBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("LineBus")
+            .field("lines", &state.lines.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+impl Default for LineBus {
+    fn default() -> LineBus {
+        LineBus::new()
+    }
+}
+
+impl LineBus {
+    /// An empty, open bus.
+    pub fn new() -> LineBus {
+        LineBus {
+            state: Mutex::new(LineBusState {
+                lines: Vec::new(),
+                closed: false,
+                partial: String::new(),
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Appends one complete line (without trailing newline).
+    pub fn push(&self, line: String) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.lines.push(line);
+        self.wakeup.notify_all();
+    }
+
+    /// Closes the bus: followers drain the remaining history and then see
+    /// `None`. A trailing unterminated fragment is flushed as a final line.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.partial.is_empty() {
+            let line = std::mem::take(&mut state.partial);
+            state.lines.push(line);
+        }
+        state.closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Whether [`close`](LineBus::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// A snapshot of every line pushed so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lines
+            .clone()
+    }
+
+    /// A new follower positioned at the start of the history, so every
+    /// subscriber replays the complete stream regardless of when it joined.
+    pub fn follow(self: &Arc<Self>) -> LineFollower {
+        LineFollower {
+            bus: Arc::clone(self),
+            cursor: 0,
+        }
+    }
+}
+
+impl Write for &LineBus {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let text = String::from_utf8_lossy(buf);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(std::io::Error::other("line bus closed"));
+        }
+        let mut pushed = false;
+        for ch in text.chars() {
+            if ch == '\n' {
+                let line = std::mem::take(&mut state.partial);
+                state.lines.push(line);
+                pushed = true;
+            } else {
+                state.partial.push(ch);
+            }
+        }
+        if pushed {
+            self.wakeup.notify_all();
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An owning [`Write`] adapter over an [`Arc<LineBus>`], suitable as a
+/// boxed [`NdjsonWriter`] sink.
+#[derive(Debug, Clone)]
+pub struct LineBusSink(pub Arc<LineBus>);
+
+impl Write for LineBusSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        (&*self.0).write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One subscriber's cursor into a [`LineBus`] (see [`LineBus::follow`]).
+#[derive(Debug)]
+pub struct LineFollower {
+    bus: Arc<LineBus>,
+    cursor: usize,
+}
+
+impl LineFollower {
+    /// The next line, blocking until one arrives. `None` once the bus is
+    /// closed and the history is drained.
+    pub fn next_line(&mut self) -> Option<String> {
+        let mut state = self.bus.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.cursor < state.lines.len() {
+                let line = state.lines[self.cursor].clone();
+                self.cursor += 1;
+                return Some(line);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .bus
+                .wakeup
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`next_line`](LineFollower::next_line), but gives up after
+    /// `timeout` so a server can poll a client-side disconnect between
+    /// waits. `Ok(None)` means closed-and-drained; `Err(())` means no line
+    /// arrived within the timeout.
+    #[allow(clippy::result_unit_err)]
+    pub fn next_line_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<String>, ()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.bus.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.cursor < state.lines.len() {
+                let line = state.lines[self.cursor].clone();
+                self.cursor += 1;
+                return Ok(Some(line));
+            }
+            if state.closed {
+                return Ok(None);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (next, _timed_out) = self
+                .bus
+                .wakeup
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
     }
 }
 
@@ -375,5 +657,101 @@ mod tests {
             iterations: 1,
         });
         assert!(!writer.finish("solved"));
+        assert_eq!(writer.error(), Some(NdjsonError::SinkFailed));
+    }
+
+    #[test]
+    fn writes_after_finish_are_an_error_not_a_silent_latch() {
+        let buf = SharedBuf::default();
+        let writer = NdjsonWriter::new(Box::new(buf.clone()));
+        writer.event(&SynthesisEvent::Solved {
+            index: 0,
+            iterations: 1,
+        });
+        assert!(writer.finish("solved"));
+        assert_eq!(writer.error(), None);
+        // A late event must be surfaced, and must not reach the sink: the
+        // stream contract says nothing follows `run_finished`.
+        writer.event(&SynthesisEvent::CorrespondenceEnumerated {
+            index: 1,
+            mapped_attrs: 2,
+        });
+        assert_eq!(writer.error(), Some(NdjsonError::WriteAfterFinish));
+        // A second finish is a late write too.
+        assert!(!writer.finish("solved"));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let last = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            last.get("type").and_then(Json::as_str),
+            Some("run_finished")
+        );
+    }
+
+    #[test]
+    fn line_bus_replays_history_to_late_subscribers() {
+        let bus = Arc::new(LineBus::new());
+        bus.push("one".to_string());
+        bus.push("two".to_string());
+        // A follower that joins after lines were pushed still sees them all.
+        let mut late = bus.follow();
+        assert_eq!(late.next_line(), Some("one".to_string()));
+        bus.push("three".to_string());
+        bus.close();
+        assert_eq!(late.next_line(), Some("two".to_string()));
+        assert_eq!(late.next_line(), Some("three".to_string()));
+        assert_eq!(late.next_line(), None);
+        // Two followers see identical streams.
+        let mut other = bus.follow();
+        let mut collected = Vec::new();
+        while let Some(line) = other.next_line() {
+            collected.push(line);
+        }
+        assert_eq!(collected, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn line_bus_is_a_working_ndjson_sink_even_with_split_writes() {
+        let bus = Arc::new(LineBus::new());
+        let writer = NdjsonWriter::new(Box::new(LineBusSink(Arc::clone(&bus))));
+        writer.event(&SynthesisEvent::Solved {
+            index: 3,
+            iterations: 7,
+        });
+        assert!(writer.finish("solved"));
+        // And a raw split write reassembles into one line.
+        use std::io::Write as _;
+        let mut sink = LineBusSink(Arc::clone(&bus));
+        // (The bus rejects writes only after close; it is still open.)
+        sink.write_all(b"partial ").unwrap();
+        sink.write_all(b"line\n").unwrap();
+        bus.close();
+        let lines = bus.lines();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        let solved = Json::parse(&lines[0]).unwrap();
+        assert_eq!(solved.get("type").and_then(Json::as_str), Some("solved"));
+        assert_eq!(solved.get("seq").and_then(Json::as_i128), Some(0));
+        assert_eq!(lines[2], "partial line");
+    }
+
+    #[test]
+    fn line_bus_follower_timeout_reports_an_idle_open_bus() {
+        let bus = Arc::new(LineBus::new());
+        let mut follower = bus.follow();
+        assert_eq!(
+            follower.next_line_timeout(std::time::Duration::from_millis(10)),
+            Err(())
+        );
+        bus.push("now".to_string());
+        assert_eq!(
+            follower.next_line_timeout(std::time::Duration::from_millis(10)),
+            Ok(Some("now".to_string()))
+        );
+        bus.close();
+        assert_eq!(
+            follower.next_line_timeout(std::time::Duration::from_millis(10)),
+            Ok(None)
+        );
     }
 }

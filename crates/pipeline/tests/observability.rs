@@ -146,6 +146,34 @@ fn chrome_trace_round_trips_with_all_stage_spans() {
         )),
         "{events:#?}"
     );
+    // Every planned data move is later reported executed, with matching
+    // 1-based indices, and planning precedes execution.
+    let planned: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::DataMovePlanned { statement, .. } => Some(*statement),
+            _ => None,
+        })
+        .collect();
+    let moved: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::DataMoved { statement, .. } => Some(*statement),
+            _ => None,
+        })
+        .collect();
+    assert!(!planned.is_empty(), "{events:#?}");
+    assert_eq!(planned, moved, "{events:#?}");
+    assert_eq!(planned, (1..=planned.len()).collect::<Vec<_>>());
+    let first_planned = events
+        .iter()
+        .position(|e| matches!(e, PipelineEvent::DataMovePlanned { .. }))
+        .unwrap();
+    let first_moved = events
+        .iter()
+        .position(|e| matches!(e, PipelineEvent::DataMoved { .. }))
+        .unwrap();
+    assert!(first_planned < first_moved);
     assert!(matches!(
         events.last(),
         Some(PipelineEvent::ValidationCompared {

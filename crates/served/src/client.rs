@@ -1,0 +1,443 @@
+//! The line-JSON protocol client: library helpers plus the
+//! `migrate client` CLI.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pipeline::{JobSpec, Json};
+
+/// How often [`wait_done`] polls the server.
+const WAIT_POLL: Duration = Duration::from_millis(50);
+
+/// Usage string for `migrate client`.
+pub const CLIENT_USAGE: &str = "\
+usage: migrate client <addr> <command> [options]
+
+commands:
+  submit --source-ddl <f> --target-ddl <f> --program <f>
+         [--dialect <name>] [--config standard|widened|enumerative]
+         [--max-vcs <n>] [--budget-secs <secs>] [--no-validate]
+         [--backend memory|sqlite3] [--rows <n>]
+         [--watch <out.ndjson>] [--wait]
+                     submit a job; prints `{\"id\": N}`. With --watch the
+                     job's NDJSON stream is written to the file (implies
+                     waiting for the job); with --wait the final result
+                     document is printed and the exit code reflects the
+                     outcome (0 solved+validated, 1 otherwise).
+  status <id>        print the job's status line
+  list               print one status line per job
+  result <id>        print the finished job's result document
+                     (exit 0 solved+validated, 1 otherwise)
+  watch <id> [--out <file>]
+                     stream the job's NDJSON events to stdout or <file>
+  cancel <id>        request cancellation of a job
+  shutdown [--mode drain|cancel]
+                     stop the server (drain: finish queued work first)
+
+<addr> is the `host:port` printed by `migrate serve` on startup.";
+
+/// Sends one request and reads the one-line reply.
+///
+/// # Errors
+///
+/// A human-readable message on connection failure, protocol violation or
+/// an `ok: false` reply (whose `error` text is propagated).
+pub fn request(addr: &str, request: &Json) -> Result<Json, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    writeln!(stream, "{}", request.to_compact_string())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    stream
+        .flush()
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    if line.trim().is_empty() {
+        return Err("server closed the connection without a reply".to_string());
+    }
+    let reply = Json::parse(line.trim()).map_err(|e| format!("bad reply: {e}"))?;
+    match reply.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(reply),
+        Some(false) => Err(reply
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("request failed")
+            .to_string()),
+        None => Err(format!("malformed reply: {}", reply.to_compact_string())),
+    }
+}
+
+/// Submits a job spec; returns the assigned job id.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn submit(addr: &str, spec: &JobSpec) -> Result<u64, String> {
+    let reply = request(
+        addr,
+        &Json::object()
+            .with("cmd", Json::str("submit"))
+            .with("job", spec.to_json()),
+    )?;
+    reply
+        .get("id")
+        .and_then(Json::as_i128)
+        .map(|id| id as u64)
+        .ok_or_else(|| "submit reply carries no id".to_string())
+}
+
+/// Streams a job's NDJSON events into `sink` until the stream's terminal
+/// line; returns the number of lines written.
+///
+/// # Errors
+///
+/// A message on connection or write failure, or when the server replies
+/// with an error line instead of a stream.
+pub fn watch_into(addr: &str, id: u64, sink: &mut dyn Write) -> Result<usize, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let watch = Json::object()
+        .with("cmd", Json::str("watch"))
+        .with("id", Json::from(id as usize));
+    writeln!(stream, "{}", watch.to_compact_string())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut lines = 0usize;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("stream error: {e}"))?;
+        if lines == 0 {
+            // An error reply ({"ok":false,...}) arrives where the first
+            // event line would; surface it instead of writing it out.
+            if let Ok(reply) = Json::parse(&line) {
+                if reply.get("ok").and_then(Json::as_bool) == Some(false) {
+                    return Err(reply
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("watch failed")
+                        .to_string());
+                }
+            }
+        }
+        writeln!(sink, "{line}").map_err(|e| format!("cannot write stream: {e}"))?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Polls `status` until the job is done, then fetches its `result`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn wait_done(addr: &str, id: u64) -> Result<Json, String> {
+    loop {
+        let status = request(
+            addr,
+            &Json::object()
+                .with("cmd", Json::str("status"))
+                .with("id", Json::from(id as usize)),
+        )?;
+        if status.get("status").and_then(Json::as_str) == Some("done") {
+            return request(
+                addr,
+                &Json::object()
+                    .with("cmd", Json::str("result"))
+                    .with("id", Json::from(id as usize)),
+            );
+        }
+        std::thread::sleep(WAIT_POLL);
+    }
+}
+
+/// Exit code semantics shared by `submit --wait` and `result`: success
+/// only for a solved job whose validation (if any) matched.
+fn outcome_exit_code(result: &Json) -> i32 {
+    let solved = result.get("outcome").and_then(Json::as_str) == Some("solved");
+    let ok = result.get("result_ok").and_then(Json::as_bool) == Some(true);
+    i32::from(!(solved && ok))
+}
+
+fn read_file(path: &PathBuf) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+struct SubmitArgs {
+    spec: JobSpec,
+    watch: Option<PathBuf>,
+    wait: bool,
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut source = None;
+    let mut target = None;
+    let mut program = None;
+    let mut dialect = None;
+    let mut config = None;
+    let mut max_vcs = None;
+    let mut budget = None;
+    let mut validate = true;
+    let mut backend = None;
+    let mut rows = None;
+    let mut watch = None;
+    let mut wait = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for `{what}`"))
+        };
+        match arg.as_str() {
+            "--source-ddl" => source = Some(PathBuf::from(take("--source-ddl")?)),
+            "--target-ddl" => target = Some(PathBuf::from(take("--target-ddl")?)),
+            "--program" => program = Some(PathBuf::from(take("--program")?)),
+            "--dialect" => dialect = Some(take("--dialect")?),
+            "--config" => config = Some(take("--config")?),
+            "--max-vcs" => {
+                let value = take("--max-vcs")?;
+                max_vcs = Some(value.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(
+                    || format!("`--max-vcs` expects a number >= 1, found `{value}`"),
+                )?);
+            }
+            "--budget-secs" => {
+                let value = take("--budget-secs")?;
+                budget = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|b| b.is_finite() && *b > 0.0)
+                        .ok_or_else(|| {
+                            format!("`--budget-secs` expects a positive number, found `{value}`")
+                        })?,
+                );
+            }
+            "--no-validate" => validate = false,
+            "--backend" => backend = Some(take("--backend")?),
+            "--rows" => {
+                let value = take("--rows")?;
+                rows = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| {
+                            format!("`--rows` expects a number >= 1, found `{value}`")
+                        })?,
+                );
+            }
+            "--watch" => watch = Some(PathBuf::from(take("--watch")?)),
+            "--wait" => wait = true,
+            other => return Err(format!("unknown submit argument `{other}`")),
+        }
+    }
+    let source = source.ok_or("`--source-ddl` is required")?;
+    let target = target.ok_or("`--target-ddl` is required")?;
+    let program = program.ok_or("`--program` is required")?;
+    let mut spec = JobSpec::new(
+        read_file(&source)?,
+        read_file(&target)?,
+        read_file(&program)?,
+    );
+    if let Some(dialect) = dialect {
+        spec.dialect = dialect;
+    }
+    if let Some(config) = config {
+        spec.config = config;
+    }
+    spec.max_value_correspondences = max_vcs;
+    spec.budget_secs = budget;
+    spec.validate = validate;
+    if let Some(backend) = backend {
+        spec.backend = backend;
+    }
+    if let Some(rows) = rows {
+        spec.rows = rows;
+    }
+    Ok(SubmitArgs { spec, watch, wait })
+}
+
+fn parse_id(value: Option<&String>) -> Result<u64, String> {
+    value
+        .ok_or("missing job id")?
+        .parse::<u64>()
+        .map_err(|_| "job id must be a positive integer".to_string())
+}
+
+fn render_status(entry: &Json) -> String {
+    let id = entry.get("id").and_then(Json::as_i128).unwrap_or(0);
+    let status = entry.get("status").and_then(Json::as_str).unwrap_or("?");
+    match entry.get("outcome").and_then(Json::as_str) {
+        Some(outcome) => format!("job {id}: {status} ({outcome})"),
+        None => format!("job {id}: {status}"),
+    }
+}
+
+/// The `migrate client` entry point. Returns the process exit code
+/// (0 success, 1 failure, 2 usage).
+pub fn client_cli(args: &[String]) -> i32 {
+    match client_cli_inner(args) {
+        Ok(code) => code,
+        Err((code, message)) => {
+            eprintln!("{message}");
+            code
+        }
+    }
+}
+
+fn client_cli_inner(args: &[String]) -> Result<i32, (i32, String)> {
+    if args.first().map(String::as_str) == Some("--help")
+        || args.first().map(String::as_str) == Some("-h")
+    {
+        return Err((2, CLIENT_USAGE.to_string()));
+    }
+    let addr = args
+        .first()
+        .ok_or((2, format!("missing server address\n\n{CLIENT_USAGE}")))?
+        .clone();
+    let command = args
+        .get(1)
+        .ok_or((2, format!("missing command\n\n{CLIENT_USAGE}")))?
+        .as_str();
+    let rest = &args[2..];
+    let usage = |message: String| (2, format!("{message}\n\n{CLIENT_USAGE}"));
+    let failure = |message: String| (1, message);
+    match command {
+        "submit" => {
+            let submit_args = parse_submit(rest).map_err(usage)?;
+            let id = submit(&addr, &submit_args.spec).map_err(failure)?;
+            println!(
+                "{}",
+                Json::object()
+                    .with("id", Json::from(id as usize))
+                    .to_compact_string()
+            );
+            if let Some(path) = &submit_args.watch {
+                let mut file = std::fs::File::create(path)
+                    .map_err(|e| failure(format!("cannot create {}: {e}", path.display())))?;
+                watch_into(&addr, id, &mut file).map_err(failure)?;
+            }
+            if submit_args.wait || submit_args.watch.is_some() {
+                let result = wait_done(&addr, id).map_err(failure)?;
+                println!(
+                    "{}",
+                    result
+                        .get("document")
+                        .cloned()
+                        .unwrap_or(Json::Null)
+                        .to_pretty_string()
+                );
+                return Ok(outcome_exit_code(&result));
+            }
+            Ok(0)
+        }
+        "status" => {
+            let id = parse_id(rest.first()).map_err(usage)?;
+            let reply = request(
+                &addr,
+                &Json::object()
+                    .with("cmd", Json::str("status"))
+                    .with("id", Json::from(id as usize)),
+            )
+            .map_err(failure)?;
+            println!("{}", render_status(&reply));
+            Ok(0)
+        }
+        "list" => {
+            let reply =
+                request(&addr, &Json::object().with("cmd", Json::str("list"))).map_err(failure)?;
+            for entry in reply.get("jobs").and_then(Json::as_array).unwrap_or(&[]) {
+                println!("{}", render_status(entry));
+            }
+            Ok(0)
+        }
+        "result" => {
+            let id = parse_id(rest.first()).map_err(usage)?;
+            let reply = request(
+                &addr,
+                &Json::object()
+                    .with("cmd", Json::str("result"))
+                    .with("id", Json::from(id as usize)),
+            )
+            .map_err(failure)?;
+            println!(
+                "{}",
+                reply
+                    .get("document")
+                    .cloned()
+                    .unwrap_or(Json::Null)
+                    .to_pretty_string()
+            );
+            Ok(outcome_exit_code(&reply))
+        }
+        "watch" => {
+            let id = parse_id(rest.first()).map_err(usage)?;
+            let mut out: Option<PathBuf> = None;
+            let mut iter = rest[1..].iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        out =
+                            Some(PathBuf::from(iter.next().cloned().ok_or_else(|| {
+                                usage("missing value for `--out`".to_string())
+                            })?));
+                    }
+                    other => return Err(usage(format!("unknown watch argument `{other}`"))),
+                }
+            }
+            match out {
+                Some(path) => {
+                    let mut file = std::fs::File::create(&path)
+                        .map_err(|e| failure(format!("cannot create {}: {e}", path.display())))?;
+                    watch_into(&addr, id, &mut file).map_err(failure)?;
+                }
+                None => {
+                    let stdout = std::io::stdout();
+                    let mut lock = stdout.lock();
+                    watch_into(&addr, id, &mut lock).map_err(failure)?;
+                }
+            }
+            Ok(0)
+        }
+        "cancel" => {
+            let id = parse_id(rest.first()).map_err(usage)?;
+            request(
+                &addr,
+                &Json::object()
+                    .with("cmd", Json::str("cancel"))
+                    .with("id", Json::from(id as usize)),
+            )
+            .map_err(failure)?;
+            println!("cancellation requested for job {id}");
+            Ok(0)
+        }
+        "shutdown" => {
+            let mut mode = "drain".to_string();
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--mode" => {
+                        mode = iter
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| usage("missing value for `--mode`".to_string()))?;
+                    }
+                    other => return Err(usage(format!("unknown shutdown argument `{other}`"))),
+                }
+            }
+            request(
+                &addr,
+                &Json::object()
+                    .with("cmd", Json::str("shutdown"))
+                    .with("mode", Json::str(&mode)),
+            )
+            .map_err(failure)?;
+            println!("shutdown requested ({mode})");
+            Ok(0)
+        }
+        other => Err(usage(format!("unknown command `{other}`"))),
+    }
+}

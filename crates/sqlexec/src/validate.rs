@@ -32,8 +32,8 @@ use dbir::schema::QualifiedAttr;
 use dbir::{DataType, Instance, Schema, TableName, Value};
 use migrator::ValueCorrespondence;
 use sqlbridge::{
-    instance_inserts, migration_plan, migration_script, render_migration_script, schema_to_ddl,
-    ColumnFill, Dialect, MigrationPlan,
+    instance_inserts, migration_plan, render_migration_plan, schema_to_ddl, ColumnFill, Dialect,
+    MigrationPlan,
 };
 
 use crate::backend::{Backend, BackendError};
@@ -489,9 +489,18 @@ pub fn validate_migration_dialect(
 /// that receives stage events while the validation runs: the staged script
 /// ([`obs::PipelineEvent::ScriptStaged`]), each executed script section
 /// ([`obs::PipelineEvent::BackendStatementExecuted`] for `ddl`, `seed` and
-/// `migration` — the backend runs the staged text as one script, so the
-/// section events fire together once it has gone through), and the final
-/// instance comparison ([`obs::PipelineEvent::ValidationCompared`]).
+/// `migration`), one [`obs::PipelineEvent::DataMoved`] per executed
+/// data-move statement (with the target table's row count after the move —
+/// the migration-progress feed the zero-downtime execution story builds
+/// on), and the final instance comparison
+/// ([`obs::PipelineEvent::ValidationCompared`]).
+///
+/// Execution is sectioned: source DDL + seeds + migration preamble run as
+/// one script, then each data move runs individually, then cleanup. Both
+/// backends keep state across [`Backend::execute_script`] calls, so the
+/// sectioning is observationally equivalent to the single staged script an
+/// unobserved run used to execute — per-move row counts are only computed
+/// (via snapshots) when an observer is installed.
 ///
 /// # Errors
 ///
@@ -513,41 +522,71 @@ pub fn validate_migration_observed(
     };
     let seed = seed_instance(source_schema, rows_per_table);
 
-    let mut script = String::new();
+    // Stage the setup section: source DDL, seed rows and the migration
+    // preamble (staging renames + target DDL) run as one script; the data
+    // moves then execute statement-by-statement so an observer can follow
+    // migration progress per target table.
+    let mut setup = String::new();
     let ddl = schema_to_ddl(source_schema, dialect);
     let ddl_statements = ddl.matches(';').count();
-    script.push_str(&ddl);
+    setup.push_str(&ddl);
     let inserts = instance_inserts(source_schema, &seed, dialect);
     let seed_statements = inserts.len();
     for statement in inserts {
-        script.push_str(&statement);
-        script.push('\n');
+        setup.push_str(&statement);
+        setup.push('\n');
     }
-    let migration = migration_script(source_schema, target_schema, phi, dialect);
+    let plan = migration_plan(source_schema, target_schema, phi);
+    let migration = render_migration_plan(&plan, target_schema, dialect);
     let migration_statements =
         migration.preamble.len() + migration.statements.len() + migration.cleanup.len();
-    script.push_str(&render_migration_script(&migration, dialect));
+    for statement in &migration.preamble {
+        setup.push_str(statement);
+        setup.push('\n');
+    }
     emit(obs::PipelineEvent::ScriptStaged {
         backend: backend.name().to_string(),
         seeded_rows: rows_per_table,
         statements: migration_statements,
     });
 
-    backend.execute_script(&script)?;
-    for (phase, statements) in [
-        ("ddl", ddl_statements),
-        ("seed", seed_statements),
-        ("migration", migration_statements),
-    ] {
+    backend.execute_script(&setup)?;
+    for (phase, statements) in [("ddl", ddl_statements), ("seed", seed_statements)] {
         emit(obs::PipelineEvent::BackendStatementExecuted {
             backend: backend.name().to_string(),
             phase: phase.to_string(),
             statements,
         });
     }
+    let total_moves = migration.statements.len();
+    for (index, statement) in migration.statements.iter().enumerate() {
+        backend.execute_script(statement)?;
+        if observer.is_some() {
+            // Progress reporting only: the row count needs a snapshot, so
+            // it is skipped entirely on unobserved runs to keep the
+            // benchmark-checked hot path untouched.
+            let target = &plan.inserts[index].target;
+            let rows = backend.snapshot(target_schema)?.rows(target).len();
+            emit(obs::PipelineEvent::DataMoved {
+                backend: backend.name().to_string(),
+                table: target.to_string(),
+                statement: index + 1,
+                statements: total_moves,
+                rows,
+            });
+        }
+    }
+    if !migration.cleanup.is_empty() {
+        let cleanup = migration.cleanup.join("\n");
+        backend.execute_script(&cleanup)?;
+    }
+    emit(obs::PipelineEvent::BackendStatementExecuted {
+        backend: backend.name().to_string(),
+        phase: "migration".to_string(),
+        statements: migration_statements,
+    });
     let actual = backend.snapshot(target_schema)?;
 
-    let plan = migration_plan(source_schema, target_schema, phi);
     let mut details = plan.notes.clone();
     let expected = match predicted_target(&plan, source_schema, target_schema, &seed) {
         Ok(expected) => expected,
@@ -599,6 +638,7 @@ pub fn validate_migration_observed(
 mod tests {
     use super::*;
     use crate::backend::MemoryBackend;
+    use sqlbridge::{migration_script, render_migration_script};
 
     fn qa(t: &str, a: &str) -> QualifiedAttr {
         QualifiedAttr::new(t, a)
